@@ -1,0 +1,82 @@
+// E5 — sender-side estimation equivalence figure.
+//
+// Paper claim (§3): moving the loss-rate estimation to the sender needs
+// only "few changes" and keeps TFRC behaviour intact; QTPlight's rate
+// must match classic TFRC's.
+//
+// Workload: identical lossy paths; one run with the classic receiver-side
+// estimator, one with the QTPlight sender-side estimator. Reported, per
+// loss rate: the loss-event rate each estimator converged to, goodput of
+// both variants, and their ratio. Expected shape: near-identical p and
+// goodput across the sweep.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vtp;
+using namespace vtp::bench;
+using util::milliseconds;
+using util::seconds;
+
+sim::dumbbell make_net(std::uint64_t seed) {
+    sim::dumbbell_config cfg;
+    cfg.pairs = 1;
+    cfg.access_rate_bps = 100e6;
+    cfg.access_delay = milliseconds(1);
+    cfg.bottleneck_rate_bps = 20e6;
+    cfg.bottleneck_delay = milliseconds(28);
+    cfg.bottleneck_queue_packets = 100;
+    cfg.seed = seed;
+    return sim::dumbbell(cfg);
+}
+
+struct run_outcome {
+    double goodput_mbps_value;
+    double p_estimate;
+};
+
+run_outcome run_classic(double loss, std::uint64_t seed) {
+    sim::dumbbell net = make_net(seed);
+    net.forward_bottleneck().set_loss_model(
+        std::make_unique<sim::bernoulli_loss>(loss, 1000 + seed));
+    auto flow = add_tfrc_flow(net, 0, 1);
+    net.sched().run_until(seconds(60));
+    return {goodput_mbps(flow.received_bytes(), seconds(60)),
+            flow.receiver->history().loss_event_rate()};
+}
+
+run_outcome run_light(double loss, std::uint64_t seed) {
+    sim::dumbbell net = make_net(seed);
+    net.forward_bottleneck().set_loss_model(
+        std::make_unique<sim::bernoulli_loss>(loss, 1000 + seed));
+    auto flow = add_tfrc_light_flow(net, 0, 1);
+    net.sched().run_until(seconds(60));
+    return {goodput_mbps(flow.received_bytes(), seconds(60)),
+            flow.sender->estimator().loss_event_rate()};
+}
+
+} // namespace
+
+int main() {
+    std::printf("E5: receiver-side vs sender-side (QTPlight) loss estimation —\n");
+    std::printf("identical 20 Mb/s lossy paths, 60 s runs.\n\n");
+
+    table t({"loss p [%]", "p_recv-side", "p_send-side", "classic [Mb/s]",
+             "QTPlight [Mb/s]", "rate ratio"});
+    for (double loss : {0.002, 0.005, 0.01, 0.02, 0.05}) {
+        const run_outcome classic = run_classic(loss, 21);
+        const run_outcome light = run_light(loss, 21);
+        t.add_row({fmt("%.1f", loss * 100), fmt("%.4f", classic.p_estimate),
+                   fmt("%.4f", light.p_estimate), fmt("%.3f", classic.goodput_mbps_value),
+                   fmt("%.3f", light.goodput_mbps_value),
+                   fmt("%.2f", light.goodput_mbps_value / classic.goodput_mbps_value)});
+    }
+    t.print();
+
+    std::printf("\nExpected shape: p estimates and goodput curves coincide\n");
+    std::printf("(ratio ~1.0 across the sweep) — the estimator placement is\n");
+    std::printf("transparent to the congestion control.\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+// Shared helpers for the experiment harnesses (bench_e*): flow setup on
+// dumbbells and aligned table printing. Each bench binary regenerates one
+// table/figure from EXPERIMENTS.md and prints the series to stdout.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/qtp.hpp"
+#include "diffserv/conditioner.hpp"
+#include "diffserv/rio.hpp"
+#include "sim/topology.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "tfrc/receiver.hpp"
+#include "tfrc/sender.hpp"
+
+namespace vtp::bench {
+
+struct tfrc_flow {
+    tfrc::sender_agent* sender = nullptr;
+    tfrc::receiver_agent* receiver = nullptr;
+    tfrc::light_receiver_agent* light_receiver = nullptr;
+
+    std::uint64_t received_bytes() const {
+        if (receiver != nullptr) return receiver->received_bytes();
+        if (light_receiver != nullptr) return light_receiver->received_bytes();
+        return 0;
+    }
+};
+
+inline tfrc_flow add_tfrc_flow(sim::dumbbell& net, std::size_t i, std::uint32_t flow_id,
+                               double misreport_p = 1.0, double misreport_x = 1.0) {
+    tfrc::sender_config scfg;
+    scfg.flow_id = flow_id;
+    scfg.peer_addr = net.right_addr(i);
+    scfg.mode = tfrc::estimation_mode::receiver_side;
+
+    tfrc::receiver_config rcfg;
+    rcfg.flow_id = flow_id;
+    rcfg.peer_addr = net.left_addr(i);
+    rcfg.misreport_p_factor = misreport_p;
+    rcfg.misreport_x_factor = misreport_x;
+
+    tfrc_flow flow;
+    flow.receiver =
+        net.right_host(i).attach(flow_id, std::make_unique<tfrc::receiver_agent>(rcfg));
+    flow.sender =
+        net.left_host(i).attach(flow_id, std::make_unique<tfrc::sender_agent>(scfg));
+    return flow;
+}
+
+inline tfrc_flow add_tfrc_light_flow(sim::dumbbell& net, std::size_t i,
+                                     std::uint32_t flow_id) {
+    tfrc::sender_config scfg;
+    scfg.flow_id = flow_id;
+    scfg.peer_addr = net.right_addr(i);
+    scfg.mode = tfrc::estimation_mode::sender_side;
+
+    tfrc::light_receiver_config rcfg;
+    rcfg.flow_id = flow_id;
+    rcfg.peer_addr = net.left_addr(i);
+
+    tfrc_flow flow;
+    flow.light_receiver = net.right_host(i).attach(
+        flow_id, std::make_unique<tfrc::light_receiver_agent>(rcfg));
+    flow.sender =
+        net.left_host(i).attach(flow_id, std::make_unique<tfrc::sender_agent>(scfg));
+    return flow;
+}
+
+struct tcp_flow {
+    tcp::tcp_sender_agent* sender = nullptr;
+    tcp::tcp_receiver_agent* receiver = nullptr;
+};
+
+inline tcp_flow add_tcp_flow(sim::dumbbell& net, std::size_t i, std::uint32_t flow_id,
+                             std::uint64_t max_bytes = UINT64_MAX) {
+    tcp::tcp_sender_config scfg;
+    scfg.flow_id = flow_id;
+    scfg.peer_addr = net.right_addr(i);
+    scfg.max_bytes = max_bytes;
+
+    tcp::tcp_receiver_config rcfg;
+    rcfg.flow_id = flow_id;
+    rcfg.peer_addr = net.left_addr(i);
+
+    tcp_flow flow;
+    flow.receiver =
+        net.right_host(i).attach(flow_id, std::make_unique<tcp::tcp_receiver_agent>(rcfg));
+    flow.sender =
+        net.left_host(i).attach(flow_id, std::make_unique<tcp::tcp_sender_agent>(scfg));
+    return flow;
+}
+
+struct qtp_flow {
+    qtp::connection_sender* sender = nullptr;
+    qtp::connection_receiver* receiver = nullptr;
+};
+
+inline qtp_flow add_qtp_flow(sim::dumbbell& net, std::size_t i, std::uint32_t flow_id,
+                             qtp::connection_pair pair) {
+    qtp_flow flow;
+    flow.receiver = net.right_host(i).attach(flow_id, std::move(pair.receiver));
+    flow.sender = net.left_host(i).attach(flow_id, std::move(pair.sender));
+    return flow;
+}
+
+inline double goodput_mbps(std::uint64_t bytes, util::sim_time duration) {
+    return static_cast<double>(bytes) * 8.0 / util::to_seconds(duration) / 1e6;
+}
+
+/// Column-aligned table printer.
+class table {
+public:
+    explicit table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    void print() const {
+        std::vector<std::size_t> widths(headers_.size(), 0);
+        for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+        for (const auto& row : rows_)
+            for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string>& cells) {
+            std::printf("|");
+            for (std::size_t c = 0; c < headers_.size(); ++c) {
+                const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+                std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(headers_);
+        std::printf("|");
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+        }
+        std::printf("\n");
+        for (const auto& row : rows_) print_row(row);
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, format, value);
+    return buf;
+}
+
+inline std::string fmt_u64(std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+    return buf;
+}
+
+} // namespace vtp::bench

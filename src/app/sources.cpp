@@ -1,0 +1,107 @@
+#include "app/sources.hpp"
+
+namespace vtp::app {
+
+namespace {
+
+packet::packet datagram(std::uint32_t flow, std::uint32_t src, std::uint32_t dst,
+                        std::uint64_t seq, std::uint32_t payload, util::sim_time now) {
+    packet::data_segment d;
+    d.seq = seq;
+    d.byte_offset = seq * payload;
+    d.payload_len = payload;
+    d.ts = now;
+    return packet::make_packet(flow, src, dst, d);
+}
+
+} // namespace
+
+// --- cbr_source -----------------------------------------------------------
+
+cbr_source::cbr_source(cbr_config cfg) : cfg_(cfg) {}
+
+util::sim_time cbr_source::spacing() const {
+    const double seconds = static_cast<double>(cfg_.packet_size) * 8.0 / cfg_.rate_bps;
+    return util::from_seconds(seconds);
+}
+
+void cbr_source::start(qtp::environment& env) {
+    env_ = &env;
+    env_->schedule(cfg_.start_at, [this] { tick(); });
+}
+
+void cbr_source::tick() {
+    const util::sim_time now = env_->now();
+    if (now >= cfg_.stop_at) return;
+    env_->send(datagram(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, next_seq_++,
+                        cfg_.packet_size, now));
+    ++packets_sent_;
+    bytes_sent_ += cfg_.packet_size;
+    env_->schedule(spacing(), [this] { tick(); });
+}
+
+// --- poisson_source ---------------------------------------------------------
+
+poisson_source::poisson_source(poisson_config cfg) : cfg_(cfg) {}
+
+void poisson_source::start(qtp::environment& env) {
+    env_ = &env;
+    tick();
+}
+
+void poisson_source::tick() {
+    const double mean_spacing_s =
+        static_cast<double>(cfg_.packet_size) * 8.0 / cfg_.mean_rate_bps;
+    const util::sim_time gap =
+        util::from_seconds(env_->random().exponential(mean_spacing_s));
+    env_->schedule(gap, [this] {
+        env_->send(datagram(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
+                            next_seq_++, cfg_.packet_size, env_->now()));
+        ++packets_sent_;
+        tick();
+    });
+}
+
+// --- onoff_source -----------------------------------------------------------
+
+onoff_source::onoff_source(onoff_config cfg) : cfg_(cfg) {}
+
+void onoff_source::start(qtp::environment& env) {
+    env_ = &env;
+    toggle(); // begin with an OFF->ON transition draw
+}
+
+void onoff_source::toggle() {
+    on_ = !on_;
+    const double mean_s =
+        util::to_seconds(on_ ? cfg_.mean_on : cfg_.mean_off);
+    const util::sim_time period =
+        util::from_seconds(env_->random().exponential(mean_s));
+    env_->schedule(period, [this] { toggle(); });
+    if (on_ && send_timer_ == qtp::no_timer) tick();
+}
+
+void onoff_source::tick() {
+    send_timer_ = qtp::no_timer;
+    if (!on_) return;
+    env_->send(datagram(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, next_seq_++,
+                        cfg_.packet_size, env_->now()));
+    ++packets_sent_;
+    bytes_sent_ += cfg_.packet_size;
+    const double spacing_s =
+        static_cast<double>(cfg_.packet_size) * 8.0 / cfg_.on_rate_bps;
+    send_timer_ = env_->schedule(util::from_seconds(spacing_s), [this] { tick(); });
+}
+
+// --- sink_agent --------------------------------------------------------------
+
+void sink_agent::on_packet(const packet::packet& pkt) {
+    ++packets_;
+    if (const auto* data = std::get_if<packet::data_segment>(pkt.body.get())) {
+        bytes_ += data->payload_len;
+        if (data->ts > 0 && env_ != nullptr)
+            delays_.add(util::to_seconds(env_->now() - data->ts));
+    }
+}
+
+} // namespace vtp::app

@@ -1,0 +1,72 @@
+#include "app/web_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vtp::app {
+
+web_workload::web_workload(sim::dumbbell& net, std::size_t pair_index,
+                           web_workload_config cfg)
+    : net_(net),
+      pair_(pair_index),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      next_flow_id_(cfg.first_flow_id),
+      users_(cfg.users) {}
+
+std::uint64_t web_workload::draw_size() {
+    // Pareto with the configured mean: scale = mean*(shape-1)/shape.
+    const double shape = cfg_.pareto_shape;
+    const double scale =
+        static_cast<double>(cfg_.mean_transfer_bytes) * (shape - 1.0) / shape;
+    const double size = rng_.pareto(shape, std::max(scale, 1000.0));
+    return static_cast<std::uint64_t>(std::min(size, 20.0 * 1e6)); // cap at 20 MB
+}
+
+void web_workload::start() {
+    for (std::size_t u = 0; u < users_.size(); ++u) {
+        // Stagger user start times to avoid a synchronised stampede.
+        const util::sim_time offset = util::from_seconds(
+            rng_.exponential(util::to_seconds(cfg_.mean_think)));
+        net_.sched().after(offset, [this, u] { start_transfer(u); });
+    }
+}
+
+void web_workload::start_transfer(std::size_t user_index) {
+    user& u = users_[user_index];
+    const std::uint32_t flow = next_flow_id_++;
+    u.size = draw_size();
+    u.active = true;
+
+    tcp::tcp_sender_config scfg;
+    scfg.flow_id = flow;
+    scfg.peer_addr = net_.right_addr(pair_);
+    scfg.max_bytes = u.size;
+    tcp::tcp_receiver_config rcfg;
+    rcfg.flow_id = flow;
+    rcfg.peer_addr = net_.left_addr(pair_);
+
+    net_.right_host(pair_).attach(flow,
+                                  std::make_unique<tcp::tcp_receiver_agent>(rcfg));
+    u.sender = net_.left_host(pair_).attach(
+        flow, std::make_unique<tcp::tcp_sender_agent>(scfg));
+
+    net_.sched().after(cfg_.poll_interval, [this, user_index] { poll(user_index); });
+}
+
+void web_workload::poll(std::size_t user_index) {
+    user& u = users_[user_index];
+    if (!u.active) return;
+    if (u.sender != nullptr && u.sender->completed()) {
+        u.active = false;
+        ++transfers_completed_;
+        bytes_completed_ += u.size;
+        const util::sim_time think = util::from_seconds(
+            rng_.exponential(util::to_seconds(cfg_.mean_think)));
+        net_.sched().after(think, [this, user_index] { start_transfer(user_index); });
+        return;
+    }
+    net_.sched().after(cfg_.poll_interval, [this, user_index] { poll(user_index); });
+}
+
+} // namespace vtp::app

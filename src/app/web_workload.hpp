@@ -1,0 +1,65 @@
+// Closed-loop web-like background traffic.
+//
+// A population of emulated users on one dumbbell pair: each user
+// repeatedly (1) starts a TCP transfer whose size is Pareto-distributed
+// (heavy-tailed, web-like), (2) waits for it to complete, (3) thinks for
+// an exponential time, then repeats. This is the standard "realistic
+// background" for transport experiments — short flows in slow start mix
+// with long-lived ones.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/topology.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "util/rng.hpp"
+
+namespace vtp::app {
+
+struct web_workload_config {
+    std::size_t users = 4;
+    double pareto_shape = 1.3;           ///< tail index (<2: infinite variance)
+    std::uint64_t mean_transfer_bytes = 60'000;
+    util::sim_time mean_think = util::seconds(1);
+    util::sim_time poll_interval = util::milliseconds(50);
+    std::uint32_t first_flow_id = 50'000;
+    std::uint64_t seed = 99;
+};
+
+/// Drives the workload on dumbbell pair `pair_index`. The object must
+/// outlive the simulation run.
+class web_workload {
+public:
+    web_workload(sim::dumbbell& net, std::size_t pair_index, web_workload_config cfg);
+
+    /// Begin all users (call once before running the scheduler).
+    void start();
+
+    std::uint64_t transfers_completed() const { return transfers_completed_; }
+    std::uint64_t bytes_completed() const { return bytes_completed_; }
+
+private:
+    struct user {
+        tcp::tcp_sender_agent* sender = nullptr;
+        std::uint64_t size = 0;
+        bool active = false;
+    };
+
+    void start_transfer(std::size_t user_index);
+    void poll(std::size_t user_index);
+    std::uint64_t draw_size();
+
+    sim::dumbbell& net_;
+    std::size_t pair_;
+    web_workload_config cfg_;
+    util::rng rng_;
+    std::uint32_t next_flow_id_;
+    std::vector<user> users_;
+    std::uint64_t transfers_completed_ = 0;
+    std::uint64_t bytes_completed_ = 0;
+};
+
+} // namespace vtp::app

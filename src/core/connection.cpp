@@ -1,0 +1,474 @@
+#include "core/connection.hpp"
+
+#include <algorithm>
+
+#include "packet/wire.hpp"
+#include "tfrc/equation.hpp"
+#include "util/logging.hpp"
+
+namespace vtp::qtp {
+
+// ---------------------------------------------------------------------------
+// connection_sender
+// ---------------------------------------------------------------------------
+
+connection_sender::connection_sender(connection_config cfg)
+    : cfg_(cfg),
+      handshake_(cfg.proposal),
+      rate_(cfg.rate),
+      estimator_(cfg.estimator),
+      scoreboard_(cfg.scoreboard) {
+    if (cfg_.rate.equation.packet_size_bytes != cfg_.packet_size) {
+        tfrc::rate_controller_config fixed = cfg_.rate;
+        fixed.equation.packet_size_bytes = cfg_.packet_size;
+        cfg_.rate = fixed;
+        rate_ = tfrc::rate_controller(fixed);
+    }
+}
+
+void connection_sender::start(environment& env) {
+    env_ = &env;
+    send_syn();
+}
+
+void connection_sender::send_syn() {
+    if (handshake_.established()) return;
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
+                                   handshake_.make_syn()));
+    handshake_timer_ = env_->schedule(cfg_.handshake_rtx, [this] {
+        handshake_timer_ = qtp::no_timer;
+        send_syn();
+    });
+}
+
+void connection_sender::on_handshake(const packet::handshake_segment& seg) {
+    const bool was_established = handshake_.established();
+    const auto accepted = handshake_.on_segment(seg);
+    if (!accepted || was_established) return;
+
+    active_ = *accepted;
+    if (handshake_timer_ != qtp::no_timer) {
+        env_->cancel(handshake_timer_);
+        handshake_timer_ = qtp::no_timer;
+    }
+
+    // The negotiated profile decides the rate floor (gTFRC).
+    tfrc::rate_controller_config rc = cfg_.rate;
+    rc.guaranteed_rate_bps = active_.qos_aware ? active_.target_rate_bps : 0.0;
+    rate_ = tfrc::rate_controller(rc);
+
+    util::log(util::log_level::info, "qtp-send", "established: ", active_.describe());
+    arm_nofeedback_timer();
+    send_next();
+}
+
+sack::reliability_policy connection_sender::policy() const {
+    sack::reliability_policy pol;
+    pol.mode = active_.reliability;
+    // A retransmission is pointless if it cannot beat the deadline:
+    // allow one-way delay (RTT/2) plus scheduling slack.
+    const util::sim_time rtt = rate_.has_rtt() ? rate_.rtt() : util::milliseconds(100);
+    pol.partial_margin = rtt / 2 + util::milliseconds(5);
+    pol.max_transmissions = cfg_.max_transmissions;
+    return pol;
+}
+
+bool connection_sender::work_available() const {
+    if (!rtx_queue_.empty()) return true;
+    if (next_offset_ < cfg_.total_bytes) return true;
+    // Tail phase: outstanding transmissions whose fate is unknown. We
+    // keep sending zero-payload probes so the receiver's highest sequence
+    // advances and the scoreboard can finalise the tail (else a loss in
+    // the last `horizon` packets would stall the transfer forever).
+    return active_.reliability != sack::reliability_mode::none &&
+           scoreboard_.outstanding() > 0 && !closed_;
+}
+
+void connection_sender::on_packet(const packet::packet& pkt) {
+    if (const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get())) {
+        if (hs->type == packet::handshake_segment::kind::fin_ack) {
+            if (fin_sent_ && !closed_) {
+                closed_ = true;
+                if (fin_timer_ != qtp::no_timer) env_->cancel(fin_timer_);
+                fin_timer_ = qtp::no_timer;
+                if (nofeedback_timer_ != qtp::no_timer) env_->cancel(nofeedback_timer_);
+                nofeedback_timer_ = qtp::no_timer;
+                util::log(util::log_level::info, "qtp-send", "closed");
+            }
+            return;
+        }
+        on_handshake(*hs);
+        return;
+    }
+    if (const auto* fb = std::get_if<packet::sack_feedback_segment>(pkt.body.get())) {
+        if (handshake_.established()) {
+            on_sack_feedback(*fb);
+            maybe_begin_close();
+        }
+        return;
+    }
+}
+
+void connection_sender::maybe_begin_close() {
+    if (fin_sent_ || cfg_.total_bytes == UINT64_MAX || !handshake_.established()) return;
+    const bool done = active_.reliability == sack::reliability_mode::full
+                          ? transfer_complete()
+                          : (next_offset_ >= cfg_.total_bytes && rtx_queue_.empty());
+    if (!done) return;
+    fin_sent_ = true;
+    send_fin();
+}
+
+void connection_sender::send_fin() {
+    fin_timer_ = qtp::no_timer;
+    if (closed_ || fin_attempts_ >= 10) return;
+    ++fin_attempts_;
+    packet::handshake_segment fin;
+    fin.type = packet::handshake_segment::kind::fin;
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, fin));
+    const util::sim_time retry =
+        std::max<util::sim_time>(rate_.has_rtt() ? 2 * rate_.rtt() : 0,
+                                 util::milliseconds(200));
+    fin_timer_ = env_->schedule(retry, [this] { send_fin(); });
+}
+
+void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb) {
+    const util::sim_time now = env_->now();
+    const util::sim_time sample =
+        std::max<util::sim_time>(now - fb.ts_echo - fb.t_delay, util::microseconds(1));
+
+    // Loss estimation: locally (QTPlight) or trusted from the receiver.
+    double p = 0.0;
+    if (active_.estimation == tfrc::estimation_mode::sender_side) {
+        const util::sim_time rtt_for_grouping = rate_.has_rtt() ? rate_.rtt() : sample;
+        const bool new_event = estimator_.on_feedback(fb, now, rtt_for_grouping);
+        if (new_event && estimator_.history().loss_events() == 1 &&
+            estimator_.history().intervals().empty()) {
+            const double p_init = tfrc::loss_rate_for_throughput(
+                cfg_.rate.equation,
+                util::to_seconds(std::max<util::sim_time>(rtt_for_grouping, 1)), fb.x_recv);
+            estimator_.history().seed_first_interval(p_init);
+        }
+        p = estimator_.loss_event_rate();
+    } else {
+        p = fb.has_p ? fb.p : 0.0;
+    }
+
+    rate_.on_feedback(p, fb.x_recv, sample, now);
+    arm_nofeedback_timer();
+
+    // Reliability: find newly finalised losses, queue what the policy allows.
+    if (active_.reliability != sack::reliability_mode::none) {
+        std::vector<sack::transmission_record> lost;
+        scoreboard_.on_sack(fb, lost);
+        const sack::reliability_policy pol = policy();
+        for (const auto& rec : lost) rtx_queue_.push(rec, pol);
+    }
+
+    // Re-pace: the pending send slot was computed at the old rate.
+    if (send_timer_ != qtp::no_timer) {
+        env_->cancel(send_timer_);
+        send_timer_ = qtp::no_timer;
+        schedule_next_send();
+    } else if (work_available()) {
+        send_next();
+    }
+}
+
+void connection_sender::send_next() {
+    send_timer_ = qtp::no_timer;
+    if (!handshake_.established()) return;
+
+    packet::data_segment seg;
+    bool have_payload = false;
+
+    // Retransmissions take priority over new data.
+    if (active_.reliability != sack::reliability_mode::none) {
+        if (auto rec = rtx_queue_.pop(env_->now(), policy())) {
+            seg.byte_offset = rec->byte_offset;
+            seg.payload_len = rec->length;
+            seg.message_id = rec->message_id;
+            seg.deadline = rec->deadline;
+            seg.is_retransmission = true;
+            have_payload = true;
+            rtx_bytes_sent_ += rec->length;
+
+            sack::transmission_record again = *rec;
+            again.seq = next_seq_;
+            again.sent_at = env_->now();
+            ++again.transmit_count;
+            scoreboard_.record(again);
+        }
+    }
+
+    if (!have_payload && next_offset_ < cfg_.total_bytes) {
+        const std::uint32_t len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            cfg_.packet_size, cfg_.total_bytes - next_offset_));
+        seg.byte_offset = next_offset_;
+        seg.payload_len = len;
+        seg.end_of_stream = (next_offset_ + len >= cfg_.total_bytes &&
+                             cfg_.total_bytes != UINT64_MAX);
+
+        if (cfg_.message_size > 0) {
+            const std::uint32_t msg =
+                static_cast<std::uint32_t>(next_offset_ / cfg_.message_size);
+            if (msg != current_message_id_ || current_message_deadline_ == util::time_never) {
+                current_message_id_ = msg;
+                current_message_deadline_ =
+                    cfg_.message_deadline == util::time_never
+                        ? util::time_never
+                        : env_->now() + cfg_.message_deadline;
+            }
+            seg.message_id = msg;
+            seg.deadline = current_message_deadline_;
+        }
+
+        next_offset_ += len;
+        have_payload = true;
+
+        if (active_.reliability != sack::reliability_mode::none) {
+            sack::transmission_record rec;
+            rec.seq = next_seq_;
+            rec.byte_offset = seg.byte_offset;
+            rec.length = seg.payload_len;
+            rec.message_id = seg.message_id;
+            rec.deadline = seg.deadline;
+            rec.sent_at = env_->now();
+            scoreboard_.record(rec);
+        }
+    }
+
+    bool is_probe = false;
+    if (!have_payload && active_.reliability != sack::reliability_mode::none &&
+        scoreboard_.outstanding() > 0 && !closed_) {
+        // Zero-payload tail probe (new sequence number, no stream bytes).
+        seg.byte_offset = next_offset_;
+        seg.payload_len = 0;
+        have_payload = true;
+        is_probe = true;
+    }
+
+    if (!have_payload) return; // nothing to do: pacing resumes on next feedback
+
+    seg.seq = next_seq_++;
+    seg.ts = env_->now();
+    seg.rtt_estimate = rate_.has_rtt() ? rate_.rtt() : 0;
+
+    if (active_.estimation == tfrc::estimation_mode::sender_side)
+        estimator_.on_send(seg.seq, env_->now());
+
+    ++packets_sent_;
+    bytes_sent_ += seg.payload_len;
+    if (is_probe) ++probes_sent_;
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, seg));
+
+    schedule_next_send();
+    if (!work_available()) maybe_begin_close(); // unreliable finite stream
+}
+
+void connection_sender::schedule_next_send() {
+    if (send_timer_ != qtp::no_timer || !work_available()) return;
+    const double rate = std::max(rate_.allowed_rate(), 1.0);
+    double spacing_s = static_cast<double>(cfg_.packet_size) / rate;
+    if (rtx_queue_.empty() && next_offset_ >= cfg_.total_bytes) {
+        // Only probes left: a few per RTT are plenty.
+        const util::sim_time rtt =
+            rate_.has_rtt() ? rate_.rtt() : util::milliseconds(100);
+        spacing_s = std::max(spacing_s, util::to_seconds(rtt) / 4.0);
+    }
+    const util::sim_time spacing = std::clamp<util::sim_time>(
+        util::from_seconds(spacing_s), util::microseconds(10), util::seconds(2));
+    send_timer_ = env_->schedule(spacing, [this] { send_next(); });
+}
+
+void connection_sender::arm_nofeedback_timer() {
+    if (nofeedback_timer_ != qtp::no_timer) env_->cancel(nofeedback_timer_);
+    nofeedback_timer_ = env_->schedule(rate_.nofeedback_interval(), [this] {
+        nofeedback_timer_ = qtp::no_timer;
+        rate_.on_nofeedback_timeout(env_->now());
+        arm_nofeedback_timer();
+    });
+}
+
+bool connection_sender::transfer_complete() const {
+    if (cfg_.total_bytes == UINT64_MAX) return false;
+    if (active_.reliability == sack::reliability_mode::full)
+        return scoreboard_.delivered().contains(0, cfg_.total_bytes);
+    return next_offset_ >= cfg_.total_bytes;
+}
+
+// ---------------------------------------------------------------------------
+// connection_receiver
+// ---------------------------------------------------------------------------
+
+connection_receiver::connection_receiver(connection_config cfg)
+    : cfg_(cfg), responder_(cfg.caps), history_(tfrc::loss_history_config{}) {}
+
+void connection_receiver::start(environment& env) { env_ = &env; }
+
+void connection_receiver::on_packet(const packet::packet& pkt) {
+    if (const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get())) {
+        if (hs->type == packet::handshake_segment::kind::fin) {
+            remote_closed_ = true;
+            if (feedback_timer_ != qtp::no_timer) {
+                env_->cancel(feedback_timer_);
+                feedback_timer_ = qtp::no_timer;
+            }
+            packet::handshake_segment ack;
+            ack.type = packet::handshake_segment::kind::fin_ack;
+            env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(),
+                                           cfg_.peer_addr, ack));
+            return;
+        }
+        on_handshake(*hs);
+        return;
+    }
+    if (const auto* data = std::get_if<packet::data_segment>(pkt.body.get())) {
+        if (responder_.established()) on_data(*data);
+        return;
+    }
+}
+
+void connection_receiver::on_handshake(const packet::handshake_segment& seg) {
+    const auto resp = responder_.on_segment(seg);
+    if (!resp) return;
+
+    if (reassembly_ == nullptr) {
+        active_ = resp->accepted;
+        const auto order = active_.reliability == sack::reliability_mode::full
+                               ? sack::delivery_order::ordered
+                               : sack::delivery_order::immediate;
+        reassembly_ = std::make_unique<sack::reassembly>(
+            order, [this](std::uint64_t offset, std::uint32_t len) {
+                if (deliver_) deliver_(offset, len);
+            });
+        util::log(util::log_level::info, "qtp-recv", "accepted: ", active_.describe());
+    }
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
+                                   resp->syn_ack));
+}
+
+void connection_receiver::on_data(const packet::data_segment& seg) {
+    const util::sim_time now = env_->now();
+    ++received_packets_;
+    ++packets_since_feedback_;
+    received_bytes_ += seg.payload_len;
+    bytes_since_feedback_ += seg.payload_len;
+    if (seg.rtt_estimate > 0) last_rtt_hint_ = seg.rtt_estimate;
+    last_data_ts_ = seg.ts;
+    last_data_arrival_ = now;
+
+    record_seq(seg.seq);
+
+    bool new_event = false;
+    if (active_.estimation == tfrc::estimation_mode::receiver_side) {
+        new_event = history_.on_packet(seg.seq, now, last_rtt_hint_);
+        if (new_event && history_.loss_events() == 1 && history_.intervals().empty()) {
+            const util::sim_time elapsed =
+                now - last_feedback_at_ > 0 ? now - last_feedback_at_ : last_rtt_hint_;
+            const double x_recv = util::to_seconds(elapsed) > 0.0
+                                      ? static_cast<double>(bytes_since_feedback_) /
+                                            util::to_seconds(elapsed)
+                                      : 0.0;
+            tfrc::equation_params eq;
+            eq.packet_size_bytes = cfg_.packet_size;
+            history_.seed_first_interval(tfrc::loss_rate_for_throughput(
+                eq, util::to_seconds(last_rtt_hint_), x_recv));
+        }
+    }
+
+    reassembly_->on_data(seg.byte_offset, seg.payload_len, seg.end_of_stream);
+
+    if (!seen_data_) {
+        seen_data_ = true;
+        last_feedback_at_ = now;
+        send_feedback();
+        return;
+    }
+    if (new_event) send_feedback();
+}
+
+void connection_receiver::record_seq(std::uint64_t seq) {
+    if (!ranges_.empty() && ranges_.back().end == seq) {
+        ranges_.back().end = seq + 1;
+    } else {
+        auto it = std::lower_bound(
+            ranges_.begin(), ranges_.end(), seq,
+            [](const packet::sack_block& b, std::uint64_t s) { return b.end < s; });
+        if (it != ranges_.end() && it->begin <= seq && seq < it->end) return;
+        if (it != ranges_.end() && it->begin == seq + 1) {
+            it->begin = seq;
+        } else if (it != ranges_.end() && it->end == seq) {
+            it->end = seq + 1;
+            auto next = std::next(it);
+            if (next != ranges_.end() && next->begin == it->end) {
+                it->end = next->end;
+                ranges_.erase(next);
+            }
+        } else {
+            ranges_.insert(it, packet::sack_block{seq, seq + 1});
+        }
+    }
+    while (ranges_.size() > 64) ranges_.pop_front();
+    // Sequence numbers past the sender's finalisation horizon are settled
+    // (retransmissions travel under fresh sequence numbers), so ranges
+    // far behind the newest one can be pruned in every reliability mode.
+    constexpr std::uint64_t active_window = 256;
+    const std::uint64_t highest_end = ranges_.back().end;
+    while (ranges_.front().end + active_window < highest_end) {
+        ranges_.pop_front();
+    }
+}
+
+void connection_receiver::arm_feedback_timer() {
+    if (feedback_timer_ != qtp::no_timer) env_->cancel(feedback_timer_);
+    feedback_timer_ = env_->schedule(last_rtt_hint_, [this] {
+        feedback_timer_ = qtp::no_timer;
+        // Zero-payload tail probes count as packets: they must be
+        // acknowledged or the sender could never finalise its tail.
+        if (bytes_since_feedback_ > 0 || packets_since_feedback_ > 0) send_feedback();
+        else arm_feedback_timer();
+    });
+}
+
+void connection_receiver::send_feedback() {
+    const util::sim_time now = env_->now();
+    packet::sack_feedback_segment fb;
+    fb.cum_ack = ranges_.empty() ? 0 : ranges_.front().begin;
+    const std::size_t max_blocks = packet::max_wire_sack_blocks;
+    const std::size_t first = ranges_.size() > max_blocks ? ranges_.size() - max_blocks : 0;
+    for (std::size_t i = first; i < ranges_.size(); ++i) fb.blocks.push_back(ranges_[i]);
+    fb.ts_echo = last_data_ts_;
+    fb.t_delay = now - last_data_arrival_;
+    const util::sim_time elapsed = now - last_feedback_at_;
+    const double window =
+        elapsed > 0 ? util::to_seconds(elapsed) : util::to_seconds(last_rtt_hint_);
+    fb.x_recv = window > 0.0 ? static_cast<double>(bytes_since_feedback_) / window : 0.0;
+    if (active_.estimation == tfrc::estimation_mode::receiver_side) {
+        fb.has_p = true;
+        fb.p = history_.loss_event_rate();
+    }
+
+    packet::packet out = packet::make_packet(cfg_.flow_id, env_->local_addr(),
+                                             cfg_.peer_addr, std::move(fb));
+    feedback_bytes_ += out.size_bytes;
+    ++feedback_sent_;
+    env_->send(std::move(out));
+
+    bytes_since_feedback_ = 0;
+    packets_since_feedback_ = 0;
+    last_feedback_at_ = now;
+    arm_feedback_timer();
+}
+
+std::size_t connection_receiver::state_bytes() const {
+    std::size_t total = sizeof(*this) + ranges_.size() * sizeof(packet::sack_block);
+    if (active_.estimation == tfrc::estimation_mode::receiver_side)
+        total += history_.state_bytes();
+    if (reassembly_ != nullptr)
+        total += sizeof(sack::reassembly) +
+                 reassembly_->received().range_count() * 2 * sizeof(std::uint64_t);
+    return total;
+}
+
+} // namespace vtp::qtp

@@ -1,0 +1,192 @@
+// Composed QTP connection endpoints.
+//
+// `connection_sender` and `connection_receiver` assemble the
+// micro-mechanisms — TFRC rate control (tfrc::rate_controller), loss
+// estimation at either end (tfrc::loss_history / tfrc::sender_estimator),
+// and SACK reliability (sack::scoreboard + sack::retransmit_queue /
+// sack::reassembly) — according to the profile negotiated at handshake.
+// Configure them through the factories in core/qtp.hpp.
+//
+// Data flow, sender side:
+//   pacing timer (rate from TFRC) -> next payload = retransmission-queue
+//   front (policy-filtered) or new stream bytes -> data segment with a
+//   fresh sequence number -> scoreboard + (QTPlight) estimator record.
+// Feedback path:
+//   SACK feedback -> estimator (sender-side p) or embedded p (receiver
+//   side) -> rate controller; SACK blocks -> scoreboard -> lost ranges ->
+//   retransmission queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/environment.hpp"
+#include "core/negotiation.hpp"
+#include "core/profile.hpp"
+#include "sack/reassembly.hpp"
+#include "sack/retransmit.hpp"
+#include "sack/scoreboard.hpp"
+#include "tfrc/loss_history.hpp"
+#include "tfrc/receiver.hpp"
+#include "tfrc/sender.hpp"
+#include "tfrc/sender_estimator.hpp"
+
+namespace vtp::qtp {
+
+struct connection_config {
+    std::uint32_t flow_id = 0;
+    std::uint32_t peer_addr = 0;
+    std::uint32_t packet_size = 1000; ///< payload bytes per data packet
+
+    profile proposal{};    ///< sender side: profile to propose
+    capabilities caps{};   ///< receiver side: what to accept
+
+    tfrc::rate_controller_config rate{};
+    tfrc::sender_estimator_config estimator{};
+    sack::scoreboard_config scoreboard{};
+    /// Retransmission cap for partial reliability (0 = unlimited).
+    std::uint32_t max_transmissions = 0;
+
+    /// Application source: stream length in bytes (UINT64_MAX = unlimited
+    /// synthetic source, the usual benchmark configuration).
+    std::uint64_t total_bytes = UINT64_MAX;
+
+    /// Message framing for partial reliability: the stream is cut into
+    /// `message_size`-byte messages; each message expires
+    /// `message_deadline` after its first transmission. 0 disables
+    /// framing (plain byte stream).
+    std::uint32_t message_size = 0;
+    util::sim_time message_deadline = util::time_never;
+
+    /// Handshake retransmission interval.
+    util::sim_time handshake_rtx = util::milliseconds(500);
+};
+
+class connection_sender : public qtp::agent {
+public:
+    explicit connection_sender(connection_config cfg);
+
+    void start(environment& env) override;
+    void on_packet(const packet::packet& pkt) override;
+    std::string name() const override { return "qtp-send"; }
+
+    bool established() const { return handshake_.established(); }
+    const profile& active_profile() const { return active_; }
+    const tfrc::rate_controller& rate() const { return rate_; }
+    const sack::scoreboard& reliability() const { return scoreboard_; }
+    const sack::retransmit_queue& retransmissions() const { return rtx_queue_; }
+    const tfrc::sender_estimator& estimator() const { return estimator_; }
+
+    std::uint64_t packets_sent() const { return packets_sent_; }
+    std::uint64_t bytes_sent() const { return bytes_sent_; }
+    std::uint64_t new_bytes_sent() const { return next_offset_; }
+    std::uint64_t rtx_bytes_sent() const { return rtx_bytes_sent_; }
+    std::uint64_t probes_sent() const { return probes_sent_; }
+    /// Full-reliability completion: every stream byte acknowledged.
+    bool transfer_complete() const;
+    /// FIN sent and FIN-ACK received: the connection is fully closed.
+    bool closed() const { return closed_; }
+    bool fin_sent() const { return fin_sent_; }
+
+private:
+    void send_syn();
+    void on_handshake(const packet::handshake_segment& seg);
+    void on_sack_feedback(const packet::sack_feedback_segment& fb);
+    void send_next();
+    void schedule_next_send();
+    void arm_nofeedback_timer();
+    bool work_available() const;
+    sack::reliability_policy policy() const;
+    void maybe_begin_close();
+    void send_fin();
+
+    connection_config cfg_;
+    environment* env_ = nullptr;
+    handshake_initiator handshake_;
+    profile active_{};
+
+    tfrc::rate_controller rate_;
+    tfrc::sender_estimator estimator_;
+    sack::scoreboard scoreboard_;
+    sack::retransmit_queue rtx_queue_;
+
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_offset_ = 0; ///< next new stream byte
+    std::uint32_t current_message_id_ = 0;
+    util::sim_time current_message_deadline_ = util::time_never;
+
+    qtp::timer_id send_timer_ = qtp::no_timer;
+    qtp::timer_id nofeedback_timer_ = qtp::no_timer;
+    qtp::timer_id handshake_timer_ = qtp::no_timer;
+    qtp::timer_id fin_timer_ = qtp::no_timer;
+    bool fin_sent_ = false;
+    bool closed_ = false;
+    int fin_attempts_ = 0;
+
+    std::uint64_t packets_sent_ = 0;
+    std::uint64_t bytes_sent_ = 0;
+    std::uint64_t rtx_bytes_sent_ = 0;
+    std::uint64_t probes_sent_ = 0;
+};
+
+class connection_receiver : public qtp::agent {
+public:
+    /// Delivery hook: (stream offset, length).
+    using deliver_fn = std::function<void(std::uint64_t, std::uint32_t)>;
+
+    explicit connection_receiver(connection_config cfg);
+
+    void start(environment& env) override;
+    void on_packet(const packet::packet& pkt) override;
+    std::string name() const override { return "qtp-recv"; }
+
+    void set_delivery(deliver_fn cb) { deliver_ = std::move(cb); }
+
+    bool established() const { return responder_.established(); }
+    const profile& active_profile() const { return active_; }
+    const sack::reassembly& stream() const { return *reassembly_; }
+    const tfrc::loss_history& history() const { return history_; }
+    /// Peer announced it is done (FIN seen).
+    bool remote_closed() const { return remote_closed_; }
+
+    std::uint64_t received_packets() const { return received_packets_; }
+    std::uint64_t received_bytes() const { return received_bytes_; }
+    std::uint64_t feedback_sent() const { return feedback_sent_; }
+    std::uint64_t feedback_bytes() const { return feedback_bytes_; }
+    /// Resident per-connection state (E4 memory metric).
+    std::size_t state_bytes() const;
+
+private:
+    void on_handshake(const packet::handshake_segment& seg);
+    void on_data(const packet::data_segment& seg);
+    void record_seq(std::uint64_t seq);
+    void send_feedback();
+    void arm_feedback_timer();
+
+    connection_config cfg_;
+    environment* env_ = nullptr;
+    handshake_responder responder_;
+    profile active_{};
+
+    std::unique_ptr<sack::reassembly> reassembly_;
+    tfrc::loss_history history_; ///< used only with receiver-side estimation
+    deliver_fn deliver_;
+
+    std::deque<packet::sack_block> ranges_; ///< merged received seq ranges
+    util::sim_time last_rtt_hint_ = util::milliseconds(100);
+    util::sim_time last_data_ts_ = 0;
+    util::sim_time last_data_arrival_ = 0;
+    std::uint64_t bytes_since_feedback_ = 0;
+    std::uint64_t packets_since_feedback_ = 0;
+    util::sim_time last_feedback_at_ = 0;
+    qtp::timer_id feedback_timer_ = qtp::no_timer;
+    bool seen_data_ = false;
+    bool remote_closed_ = false;
+
+    std::uint64_t received_packets_ = 0;
+    std::uint64_t received_bytes_ = 0;
+    std::uint64_t feedback_sent_ = 0;
+    std::uint64_t feedback_bytes_ = 0;
+};
+
+} // namespace vtp::qtp

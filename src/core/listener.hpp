@@ -1,0 +1,68 @@
+// Passive QTP endpoint: accepts incoming connections.
+//
+// Installed as a host's default agent, the listener receives packets of
+// flows nobody terminates yet. On a SYN it spawns a connection_receiver
+// configured with the listener's capabilities (negotiation then proceeds
+// inside the new endpoint, which also gets this first SYN), attaches it
+// to the substrate, and reports it through the accept callback. This is
+// how a streaming server serves many QTP clients from one socket — on
+// the simulator and the UDP datapath alike.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/connection.hpp"
+
+namespace vtp::qtp {
+
+struct listener_config {
+    capabilities caps{};
+    /// Template for spawned endpoints (flow id / peer filled per SYN).
+    connection_config endpoint{};
+};
+
+class listener : public agent {
+public:
+    /// (flow id, the freshly attached endpoint). The endpoint is owned by
+    /// the substrate and lives until detached.
+    using accept_callback = std::function<void(std::uint32_t, connection_receiver&)>;
+
+    explicit listener(listener_config cfg) : cfg_(cfg) {}
+
+    void set_on_accept(accept_callback cb) { on_accept_ = std::move(cb); }
+
+    void start(environment& env) override { env_ = &env; }
+
+    void on_packet(const packet::packet& pkt) override {
+        const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get());
+        if (hs == nullptr || hs->type != packet::handshake_segment::kind::syn) {
+            ++stray_packets_;
+            return;
+        }
+        connection_config cfg = cfg_.endpoint;
+        cfg.flow_id = pkt.flow_id;
+        cfg.peer_addr = pkt.src;
+        cfg.caps = cfg_.caps;
+        auto endpoint = std::make_unique<connection_receiver>(cfg);
+        connection_receiver* raw = endpoint.get();
+        env_->attach_dynamic(pkt.flow_id, std::move(endpoint));
+        raw->on_packet(pkt); // hand over the SYN that triggered the accept
+        ++accepted_;
+        if (on_accept_) on_accept_(pkt.flow_id, *raw);
+    }
+
+    std::string name() const override { return "qtp-listener"; }
+
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t stray_packets() const { return stray_packets_; }
+
+private:
+    listener_config cfg_;
+    environment* env_ = nullptr;
+    accept_callback on_accept_;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t stray_packets_ = 0;
+};
+
+} // namespace vtp::qtp

@@ -1,0 +1,39 @@
+#include "core/negotiation.hpp"
+
+namespace vtp::qtp {
+
+packet::handshake_segment handshake_initiator::make_syn() const {
+    packet::handshake_segment syn;
+    syn.type = packet::handshake_segment::kind::syn;
+    syn.profile_bits = proposal_.encode();
+    syn.target_rate_bps = proposal_.target_rate_bps;
+    return syn;
+}
+
+std::optional<profile> handshake_initiator::on_segment(
+    const packet::handshake_segment& seg) {
+    if (seg.type != packet::handshake_segment::kind::syn_ack) return std::nullopt;
+    accepted_ = profile::decode(seg.profile_bits, seg.target_rate_bps);
+    established_ = true;
+    return accepted_;
+}
+
+std::optional<handshake_responder::response> handshake_responder::on_segment(
+    const packet::handshake_segment& seg) {
+    if (seg.type != packet::handshake_segment::kind::syn) return std::nullopt;
+
+    if (!established_) {
+        const profile proposed = profile::decode(seg.profile_bits, seg.target_rate_bps);
+        accepted_ = negotiate(proposed, caps_);
+        established_ = true;
+    }
+    // Duplicate SYNs get the same answer (the SYN-ACK may have been lost).
+    response r;
+    r.syn_ack.type = packet::handshake_segment::kind::syn_ack;
+    r.syn_ack.profile_bits = accepted_.encode();
+    r.syn_ack.target_rate_bps = accepted_.target_rate_bps;
+    r.accepted = accepted_;
+    return r;
+}
+
+} // namespace vtp::qtp

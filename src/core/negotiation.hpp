@@ -1,0 +1,60 @@
+// Connection-establishment state machines.
+//
+// QTP negotiates the profile in a two-segment exchange: the initiator's
+// SYN carries the proposed profile, the responder's SYN-ACK the accepted
+// (possibly downgraded) one. Both sides are pure state machines — the
+// owning agents do the actual packet I/O and retransmission timing — so
+// the negotiation logic is unit-testable without a network.
+#pragma once
+
+#include <optional>
+
+#include "core/profile.hpp"
+#include "packet/segment.hpp"
+
+namespace vtp::qtp {
+
+class handshake_initiator {
+public:
+    explicit handshake_initiator(profile proposal) : proposal_(proposal) {}
+
+    /// The SYN to (re)send while waiting for the SYN-ACK.
+    packet::handshake_segment make_syn() const;
+
+    /// Feed an incoming handshake segment. Returns the accepted profile
+    /// when the SYN-ACK arrives (idempotent on duplicates).
+    std::optional<profile> on_segment(const packet::handshake_segment& seg);
+
+    bool established() const { return established_; }
+    const profile& proposal() const { return proposal_; }
+    const profile& accepted() const { return accepted_; }
+
+private:
+    profile proposal_;
+    profile accepted_{};
+    bool established_ = false;
+};
+
+class handshake_responder {
+public:
+    explicit handshake_responder(capabilities caps) : caps_(caps) {}
+
+    struct response {
+        packet::handshake_segment syn_ack;
+        profile accepted;
+    };
+
+    /// Feed an incoming handshake segment. A SYN (including a duplicate)
+    /// yields the SYN-ACK to send back.
+    std::optional<response> on_segment(const packet::handshake_segment& seg);
+
+    bool established() const { return established_; }
+    const profile& accepted() const { return accepted_; }
+
+private:
+    capabilities caps_;
+    profile accepted_{};
+    bool established_ = false;
+};
+
+} // namespace vtp::qtp

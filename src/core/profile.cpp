@@ -1,0 +1,98 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vtp::qtp {
+
+namespace {
+constexpr std::uint32_t reliability_mask = 0x3;      // bits 0-1
+constexpr std::uint32_t estimation_bit = 1u << 2;    // 0 = receiver, 1 = sender
+constexpr std::uint32_t qos_bit = 1u << 3;
+} // namespace
+
+std::uint32_t profile::encode() const {
+    std::uint32_t bits = static_cast<std::uint32_t>(reliability) & reliability_mask;
+    if (estimation == tfrc::estimation_mode::sender_side) bits |= estimation_bit;
+    if (qos_aware) bits |= qos_bit;
+    return bits;
+}
+
+profile profile::decode(std::uint32_t bits, double target_rate_bps) {
+    profile p;
+    const std::uint32_t rel = bits & reliability_mask;
+    p.reliability = rel > 2 ? sack::reliability_mode::none
+                            : static_cast<sack::reliability_mode>(rel);
+    p.estimation = (bits & estimation_bit) ? tfrc::estimation_mode::sender_side
+                                           : tfrc::estimation_mode::receiver_side;
+    p.qos_aware = (bits & qos_bit) != 0;
+    p.target_rate_bps = p.qos_aware ? std::max(0.0, target_rate_bps) : 0.0;
+    return p;
+}
+
+std::string profile::describe() const {
+    std::ostringstream out;
+    out << "reliability=";
+    switch (reliability) {
+    case sack::reliability_mode::none: out << "none"; break;
+    case sack::reliability_mode::full: out << "full"; break;
+    case sack::reliability_mode::partial: out << "partial"; break;
+    }
+    out << " estimation="
+        << (estimation == tfrc::estimation_mode::sender_side ? "sender" : "receiver");
+    out << " qos=" << (qos_aware ? "on" : "off");
+    if (qos_aware) out << " target=" << target_rate_bps / 1e6 << "Mbps";
+    return out.str();
+}
+
+profile qtp_af_profile(double target_rate_bps) {
+    profile p;
+    p.reliability = sack::reliability_mode::full;
+    p.estimation = tfrc::estimation_mode::receiver_side;
+    p.qos_aware = true;
+    p.target_rate_bps = target_rate_bps;
+    return p;
+}
+
+profile qtp_light_profile(sack::reliability_mode reliability) {
+    profile p;
+    p.reliability = reliability;
+    p.estimation = tfrc::estimation_mode::sender_side;
+    p.qos_aware = false;
+    return p;
+}
+
+profile qtp_default_profile() { return profile{}; }
+
+profile negotiate(const profile& proposed, const capabilities& local) {
+    profile accepted = proposed;
+
+    if (accepted.reliability == sack::reliability_mode::full &&
+        !local.allow_full_reliability) {
+        accepted.reliability = local.allow_partial_reliability
+                                   ? sack::reliability_mode::partial
+                                   : sack::reliability_mode::none;
+    }
+    if (accepted.reliability == sack::reliability_mode::partial &&
+        !local.allow_partial_reliability) {
+        accepted.reliability = sack::reliability_mode::none;
+    }
+
+    if (accepted.estimation == tfrc::estimation_mode::receiver_side &&
+        !local.support_receiver_estimation) {
+        accepted.estimation = tfrc::estimation_mode::sender_side;
+    }
+    if (accepted.estimation == tfrc::estimation_mode::sender_side &&
+        !local.support_sender_estimation) {
+        accepted.estimation = tfrc::estimation_mode::receiver_side;
+    }
+
+    if (accepted.qos_aware && !local.qos_aware) {
+        accepted.qos_aware = false;
+        accepted.target_rate_bps = 0.0;
+    }
+    accepted.target_rate_bps = std::min(accepted.target_rate_bps, local.max_target_rate_bps);
+    return accepted;
+}
+
+} // namespace vtp::qtp

@@ -1,0 +1,49 @@
+#include "core/qtp.hpp"
+
+namespace vtp::qtp {
+
+connection_pair make_connection(std::uint32_t flow_id, std::uint32_t sender_addr,
+                                std::uint32_t receiver_addr, const profile& proposal,
+                                const capabilities& receiver_caps, connection_config base) {
+    connection_config sender_cfg = base;
+    sender_cfg.flow_id = flow_id;
+    sender_cfg.peer_addr = receiver_addr;
+    sender_cfg.proposal = proposal;
+
+    connection_config receiver_cfg = base;
+    receiver_cfg.flow_id = flow_id;
+    receiver_cfg.peer_addr = sender_addr;
+    receiver_cfg.caps = receiver_caps;
+
+    connection_pair pair;
+    pair.sender = std::make_unique<connection_sender>(sender_cfg);
+    pair.receiver = std::make_unique<connection_receiver>(receiver_cfg);
+    return pair;
+}
+
+connection_pair make_qtp_af(std::uint32_t flow_id, std::uint32_t sender_addr,
+                            std::uint32_t receiver_addr, double target_rate_bps,
+                            connection_config base) {
+    return make_connection(flow_id, sender_addr, receiver_addr,
+                           qtp_af_profile(target_rate_bps), capabilities{}, base);
+}
+
+connection_pair make_qtp_light(std::uint32_t flow_id, std::uint32_t sender_addr,
+                               std::uint32_t receiver_addr,
+                               sack::reliability_mode reliability, connection_config base) {
+    // A light device advertises that it cannot run receiver-side
+    // estimation; negotiation would force sender-side even if proposed
+    // otherwise.
+    capabilities light_caps;
+    light_caps.support_receiver_estimation = false;
+    return make_connection(flow_id, sender_addr, receiver_addr,
+                           qtp_light_profile(reliability), light_caps, base);
+}
+
+connection_pair make_qtp_default(std::uint32_t flow_id, std::uint32_t sender_addr,
+                                 std::uint32_t receiver_addr, connection_config base) {
+    return make_connection(flow_id, sender_addr, receiver_addr, qtp_default_profile(),
+                           capabilities{}, base);
+}
+
+} // namespace vtp::qtp

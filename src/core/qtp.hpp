@@ -1,0 +1,56 @@
+// Public entry point of the versatile transport protocol library.
+//
+// Quick use (simulation substrate):
+//
+//   sim::dumbbell net(cfg);
+//   auto pair = qtp::make_qtp_af(flow_id, /*sender*/net.left_addr(0),
+//                                /*receiver*/net.right_addr(0),
+//                                /*target*/4e6);
+//   auto* tx = net.left_host(0).attach(flow_id, std::move(pair.sender));
+//   auto* rx = net.right_host(0).attach(flow_id, std::move(pair.receiver));
+//   net.sched().run_until(util::seconds(60));
+//
+// The same agents run unchanged on the live UDP datapath (net::udp_host).
+#pragma once
+
+#include <memory>
+
+#include "core/connection.hpp"
+#include "core/profile.hpp"
+
+namespace vtp::qtp {
+
+/// A configured sender/receiver pair for one connection.
+struct connection_pair {
+    std::unique_ptr<connection_sender> sender;
+    std::unique_ptr<connection_receiver> receiver;
+};
+
+/// QTPAF: gTFRC congestion control honouring the negotiated AF committed
+/// rate, composed with full SACK reliability — the paper's QoS-network
+/// instance. `target_rate_bps` is the rate contracted with the DiffServ
+/// edge (the gTFRC g).
+connection_pair make_qtp_af(std::uint32_t flow_id, std::uint32_t sender_addr,
+                            std::uint32_t receiver_addr, double target_rate_bps,
+                            connection_config base = {});
+
+/// QTPlight: sender-side loss estimation (the receiver only echoes SACK
+/// vectors), optional partial reliability — the paper's resource-limited
+/// receiver instance.
+connection_pair make_qtp_light(std::uint32_t flow_id, std::uint32_t sender_addr,
+                               std::uint32_t receiver_addr,
+                               sack::reliability_mode reliability =
+                                   sack::reliability_mode::none,
+                               connection_config base = {});
+
+/// Best-effort default: classic TFRC, no reliability.
+connection_pair make_qtp_default(std::uint32_t flow_id, std::uint32_t sender_addr,
+                                 std::uint32_t receiver_addr, connection_config base = {});
+
+/// Generic factory: any profile/capability combination.
+connection_pair make_connection(std::uint32_t flow_id, std::uint32_t sender_addr,
+                                std::uint32_t receiver_addr, const profile& proposal,
+                                const capabilities& receiver_caps,
+                                connection_config base = {});
+
+} // namespace vtp::qtp

@@ -1,0 +1,51 @@
+#include "diffserv/conditioner.hpp"
+
+namespace vtp::diffserv {
+
+void conditioner::set_profile(std::uint32_t flow_id, double cir_bps, std::size_t cbs_bytes) {
+    markers_[flow_id] = std::make_unique<token_bucket_marker>(cir_bps, cbs_bytes);
+}
+
+void conditioner::set_marker(std::uint32_t flow_id, std::unique_ptr<marker> m) {
+    markers_[flow_id] = std::move(m);
+}
+
+void conditioner::install(sim::node& n) {
+    n.set_filter([this](packet::packet& pkt) { colour(pkt); });
+}
+
+void conditioner::install_egress(sim::node& n) {
+    const std::uint32_t self = n.id();
+    n.set_filter([this, self](packet::packet& pkt) {
+        if (pkt.src == self) colour(pkt);
+    });
+}
+
+void conditioner::colour(packet::packet& pkt) {
+    auto it = markers_.find(pkt.flow_id);
+    if (it == markers_.end()) return;
+    const packet::dscp colour = it->second->mark(pkt, sched_.now());
+    pkt.ds = colour;
+    flow_stats& s = stats_[pkt.flow_id];
+    switch (colour) {
+    case packet::dscp::af11:
+        ++s.green_packets;
+        s.green_bytes += pkt.size_bytes;
+        break;
+    case packet::dscp::af12:
+        ++s.yellow_packets;
+        s.yellow_bytes += pkt.size_bytes;
+        break;
+    default:
+        ++s.red_packets;
+        s.red_bytes += pkt.size_bytes;
+        break;
+    }
+}
+
+const conditioner::flow_stats& conditioner::stats(std::uint32_t flow_id) const {
+    auto it = stats_.find(flow_id);
+    return it == stats_.end() ? empty_stats_ : it->second;
+}
+
+} // namespace vtp::diffserv

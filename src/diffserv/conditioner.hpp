@@ -1,0 +1,56 @@
+// DiffServ edge conditioner: per-flow markers installed at a node's
+// ingress. This is the "network service" a QoS-enabled domain offers:
+// the application negotiates a committed rate (CIR), the edge marks its
+// bytes in/out of profile, the core RIO queue protects in-profile bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "diffserv/marker.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vtp::diffserv {
+
+class conditioner {
+public:
+    explicit conditioner(sim::scheduler& sched) : sched_(sched) {}
+
+    /// Contract `flow_id` for `cir_bps` with the given bucket depth,
+    /// using the standard two-colour marker.
+    void set_profile(std::uint32_t flow_id, double cir_bps, std::size_t cbs_bytes);
+
+    /// Install an arbitrary marker for a flow (srTCM/trTCM ablations).
+    void set_marker(std::uint32_t flow_id, std::unique_ptr<marker> m);
+
+    /// Attach to a node: every packet entering it gets coloured.
+    /// Packets of uncontracted flows pass unmarked (best effort).
+    void install(sim::node& n);
+
+    /// Attach to an end host's node, marking only traffic *originating*
+    /// there (feedback flowing back to the host must not consume profile
+    /// tokens — marking is per direction at a DiffServ edge).
+    void install_egress(sim::node& n);
+
+    struct flow_stats {
+        std::uint64_t green_packets = 0;
+        std::uint64_t green_bytes = 0;
+        std::uint64_t yellow_packets = 0;
+        std::uint64_t yellow_bytes = 0;
+        std::uint64_t red_packets = 0;
+        std::uint64_t red_bytes = 0;
+    };
+    const flow_stats& stats(std::uint32_t flow_id) const;
+
+private:
+    void colour(packet::packet& pkt);
+
+    sim::scheduler& sched_;
+    std::unordered_map<std::uint32_t, std::unique_ptr<marker>> markers_;
+    std::unordered_map<std::uint32_t, flow_stats> stats_;
+    flow_stats empty_stats_;
+};
+
+} // namespace vtp::diffserv

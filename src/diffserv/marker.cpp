@@ -1,0 +1,31 @@
+#include "diffserv/marker.hpp"
+
+namespace vtp::diffserv {
+
+token_bucket_marker::token_bucket_marker(double cir_bps, std::size_t cbs_bytes)
+    : committed_(cir_bps, cbs_bytes) {}
+
+packet::dscp token_bucket_marker::mark(const packet::packet& pkt, util::sim_time now) {
+    return committed_.consume(pkt.size_bytes, now) ? packet::dscp::af11 : packet::dscp::af12;
+}
+
+srtcm_marker::srtcm_marker(double cir_bps, std::size_t cbs_bytes, std::size_t ebs_bytes)
+    : committed_(cir_bps, cbs_bytes), excess_(cir_bps, ebs_bytes) {}
+
+packet::dscp srtcm_marker::mark(const packet::packet& pkt, util::sim_time now) {
+    if (committed_.consume(pkt.size_bytes, now)) return packet::dscp::af11;
+    if (excess_.consume(pkt.size_bytes, now)) return packet::dscp::af12;
+    return packet::dscp::af13;
+}
+
+trtcm_marker::trtcm_marker(double cir_bps, std::size_t cbs_bytes, double pir_bps,
+                           std::size_t pbs_bytes)
+    : committed_(cir_bps, cbs_bytes), peak_(pir_bps, pbs_bytes) {}
+
+packet::dscp trtcm_marker::mark(const packet::packet& pkt, util::sim_time now) {
+    if (!peak_.consume(pkt.size_bytes, now)) return packet::dscp::af13;
+    if (committed_.consume(pkt.size_bytes, now)) return packet::dscp::af11;
+    return packet::dscp::af12;
+}
+
+} // namespace vtp::diffserv

@@ -1,0 +1,63 @@
+// DiffServ edge markers.
+//
+// A marker colours each packet of a flow according to its traffic
+// profile. The two-colour token-bucket marker (in-profile -> AF11,
+// excess -> AF12) is the conditioner used in the AF bandwidth-assurance
+// literature the paper builds on; srTCM (RFC 2697) and trTCM (RFC 2698)
+// are provided for completeness and ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "diffserv/token_bucket.hpp"
+#include "packet/segment.hpp"
+
+namespace vtp::diffserv {
+
+class marker {
+public:
+    virtual ~marker() = default;
+    /// Colour one packet (returns the DSCP to stamp).
+    virtual packet::dscp mark(const packet::packet& pkt, util::sim_time now) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// Two-colour single-rate marker: conforming bytes are AF11 (green),
+/// excess AF12 (yellow).
+class token_bucket_marker : public marker {
+public:
+    token_bucket_marker(double cir_bps, std::size_t cbs_bytes);
+    packet::dscp mark(const packet::packet& pkt, util::sim_time now) override;
+    std::string name() const override { return "tb-2colour"; }
+
+private:
+    token_bucket committed_;
+};
+
+/// RFC 2697 single-rate three-colour marker (colour-blind mode).
+class srtcm_marker : public marker {
+public:
+    srtcm_marker(double cir_bps, std::size_t cbs_bytes, std::size_t ebs_bytes);
+    packet::dscp mark(const packet::packet& pkt, util::sim_time now) override;
+    std::string name() const override { return "srtcm"; }
+
+private:
+    token_bucket committed_;
+    token_bucket excess_;
+};
+
+/// RFC 2698 two-rate three-colour marker (colour-blind mode).
+class trtcm_marker : public marker {
+public:
+    trtcm_marker(double cir_bps, std::size_t cbs_bytes, double pir_bps, std::size_t pbs_bytes);
+    packet::dscp mark(const packet::packet& pkt, util::sim_time now) override;
+    std::string name() const override { return "trtcm"; }
+
+private:
+    token_bucket committed_;
+    token_bucket peak_;
+};
+
+} // namespace vtp::diffserv

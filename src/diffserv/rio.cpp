@@ -1,0 +1,78 @@
+#include "diffserv/rio.hpp"
+
+namespace vtp::diffserv {
+
+rio_queue::rio_queue(rio_params params, std::uint64_t seed)
+    : red_in_(params.in),
+      red_out_(params.out),
+      capacity_bytes_(params.capacity_bytes),
+      rng_(seed) {}
+
+bool rio_queue::enqueue(packet::packet pkt, sim::sim_time now) {
+    const bool in_profile = is_in_profile(pkt);
+
+    // RIO-C: total average is updated on every arrival, in-average only
+    // on in-profile arrivals.
+    red_out_.update_average(static_cast<double>(bytes_total_), now,
+                            fifo_.empty() ? idle_since_ : util::time_never);
+    bool early;
+    if (in_profile) {
+        red_in_.update_average(static_cast<double>(bytes_in_), now,
+                               bytes_in_ == 0 ? in_idle_since_ : util::time_never);
+        early = red_in_.should_drop(rng_);
+    } else {
+        early = red_out_.should_drop(rng_);
+    }
+
+    const bool overflow = bytes_total_ + pkt.size_bytes > capacity_bytes_;
+    if (early || overflow) {
+        if (in_profile)
+            ++in_drops_;
+        else
+            ++out_drops_;
+        count_drop(pkt);
+        return false;
+    }
+
+    pkt.enqueued_at = now;
+    bytes_total_ += pkt.size_bytes;
+    if (in_profile) bytes_in_ += pkt.size_bytes;
+    count_enqueue(pkt);
+    fifo_.push_back(std::move(pkt));
+    return true;
+}
+
+std::optional<packet::packet> rio_queue::dequeue(sim::sim_time now) {
+    if (fifo_.empty()) return std::nullopt;
+    packet::packet pkt = std::move(fifo_.front());
+    fifo_.pop_front();
+    bytes_total_ -= pkt.size_bytes;
+    if (is_in_profile(pkt)) {
+        bytes_in_ -= pkt.size_bytes;
+        if (bytes_in_ == 0) in_idle_since_ = now;
+    }
+    if (fifo_.empty()) idle_since_ = now;
+    count_dequeue(pkt);
+    return pkt;
+}
+
+rio_params default_rio_params(std::size_t capacity_packets, std::size_t packet_size) {
+    rio_params p;
+    const double cap = static_cast<double>(capacity_packets * packet_size);
+    p.capacity_bytes = static_cast<std::size_t>(cap);
+
+    p.out.min_th = 0.10 * cap;
+    p.out.max_th = 0.40 * cap;
+    p.out.max_p = 0.2;
+    p.out.weight = 0.002;
+    p.out.gentle = true;
+
+    p.in.min_th = 0.40 * cap;
+    p.in.max_th = 0.80 * cap;
+    p.in.max_p = 0.02;
+    p.in.weight = 0.002;
+    p.in.gentle = true;
+    return p;
+}
+
+} // namespace vtp::diffserv

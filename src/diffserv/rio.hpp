@@ -1,0 +1,62 @@
+// RIO ("RED with In and Out") queue — the DiffServ AF per-hop behaviour.
+//
+// Coupled variant (RIO-C): in-profile (AF11/green) arrivals are dropped
+// according to the average *in-profile* occupancy with permissive
+// thresholds; out-of-profile arrivals (AF12/AF13/best-effort) according
+// to the average *total* occupancy with aggressive thresholds. Under
+// congestion out-profile packets are shed first, which is what protects
+// the committed rate of AF-compliant flows — and what gTFRC/QTPAF exploit.
+#pragma once
+
+#include <deque>
+
+#include "sim/red.hpp"
+
+namespace vtp::diffserv {
+
+struct rio_params {
+    sim::red_params in;    ///< applied to AF11 against avg in-profile occupancy
+    sim::red_params out;   ///< applied to everything else against avg total occupancy
+    std::size_t capacity_bytes = 0;
+};
+
+class rio_queue : public sim::queue_discipline {
+public:
+    rio_queue(rio_params params, std::uint64_t seed);
+
+    bool enqueue(packet::packet pkt, sim::sim_time now) override;
+    std::optional<packet::packet> dequeue(sim::sim_time now) override;
+    std::size_t byte_length() const override { return bytes_total_; }
+    std::size_t packet_length() const override { return fifo_.size(); }
+    std::string name() const override { return "rio"; }
+
+    std::size_t in_profile_bytes_queued() const { return bytes_in_; }
+    std::uint64_t in_drops() const { return in_drops_; }
+    std::uint64_t out_drops() const { return out_drops_; }
+    double average_in() const { return red_in_.average(); }
+    double average_total() const { return red_out_.average(); }
+
+private:
+    static bool is_in_profile(const packet::packet& pkt) {
+        return pkt.ds == packet::dscp::af11;
+    }
+
+    sim::red_state red_in_;
+    sim::red_state red_out_;
+    std::size_t capacity_bytes_;
+    std::size_t bytes_total_ = 0;
+    std::size_t bytes_in_ = 0;
+    std::deque<packet::packet> fifo_;
+    util::rng rng_;
+    sim::sim_time idle_since_ = 0;
+    sim::sim_time in_idle_since_ = 0;
+    std::uint64_t in_drops_ = 0;
+    std::uint64_t out_drops_ = 0;
+};
+
+/// RIO parameters that protect in-profile traffic on a bottleneck with a
+/// `capacity_packets`-packet buffer: out thresholds at 10–40% of the
+/// buffer with max_p 0.2, in thresholds at 40–80% with max_p 0.02.
+rio_params default_rio_params(std::size_t capacity_packets, std::size_t packet_size);
+
+} // namespace vtp::diffserv

@@ -1,0 +1,32 @@
+#include "diffserv/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace vtp::diffserv {
+
+token_bucket::token_bucket(double rate_bps, std::size_t burst_bytes)
+    : rate_bytes_per_second_(rate_bps / 8.0),
+      capacity_(static_cast<double>(burst_bytes)),
+      tokens_(static_cast<double>(burst_bytes)) {}
+
+void token_bucket::refill(util::sim_time now) {
+    if (now <= last_refill_) return;
+    const double elapsed = util::to_seconds(now - last_refill_);
+    tokens_ = std::min(capacity_, tokens_ + elapsed * rate_bytes_per_second_);
+    last_refill_ = now;
+}
+
+bool token_bucket::consume(std::size_t bytes, util::sim_time now) {
+    refill(now);
+    const double needed = static_cast<double>(bytes);
+    if (tokens_ + 1e-9 < needed) return false;
+    tokens_ -= needed;
+    return true;
+}
+
+double token_bucket::available(util::sim_time now) {
+    refill(now);
+    return tokens_;
+}
+
+} // namespace vtp::diffserv

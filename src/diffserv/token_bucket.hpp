@@ -1,0 +1,35 @@
+// Continuous-refill token bucket, the metering primitive behind every
+// DiffServ marker in this library.
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+namespace vtp::diffserv {
+
+class token_bucket {
+public:
+    /// `rate_bps` refill rate in bits/s; `burst_bytes` bucket depth.
+    token_bucket(double rate_bps, std::size_t burst_bytes);
+
+    /// Refill to `now`, then atomically consume `bytes` tokens if
+    /// available; returns whether the packet conformed.
+    bool consume(std::size_t bytes, util::sim_time now);
+
+    /// Tokens currently available (after refill to `now`).
+    double available(util::sim_time now);
+
+    double rate_bps() const { return rate_bytes_per_second_ * 8.0; }
+    std::size_t burst_bytes() const { return static_cast<std::size_t>(capacity_); }
+
+private:
+    void refill(util::sim_time now);
+
+    double rate_bytes_per_second_;
+    double capacity_;
+    double tokens_;
+    util::sim_time last_refill_ = 0;
+};
+
+} // namespace vtp::diffserv

@@ -1,0 +1,90 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+
+namespace vtp::net {
+
+namespace {
+util::sim_time monotonic_ns() {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<util::sim_time>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+} // namespace
+
+event_loop::event_loop() : epoch_(monotonic_ns()) {}
+
+util::sim_time event_loop::now() const { return monotonic_ns() - epoch_; }
+
+void event_loop::add_fd(int fd, std::function<void()> on_readable) {
+    fds_.emplace_back(fd, std::move(on_readable));
+}
+
+void event_loop::remove_fd(int fd) {
+    fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                              [fd](const auto& e) { return e.first == fd; }),
+               fds_.end());
+}
+
+std::uint64_t event_loop::schedule_after(util::sim_time delay, std::function<void()> fn) {
+    const std::uint64_t id = next_timer_id_++;
+    timers_[id] = timer_entry{now() + std::max<util::sim_time>(delay, 0), std::move(fn)};
+    return id;
+}
+
+void event_loop::cancel(std::uint64_t id) { timers_.erase(id); }
+
+util::sim_time event_loop::next_timer_delay() const {
+    if (timers_.empty()) return util::milliseconds(100);
+    util::sim_time earliest = util::time_never;
+    for (const auto& [id, t] : timers_) earliest = std::min(earliest, t.deadline);
+    return std::max<util::sim_time>(earliest - now(), 0);
+}
+
+void event_loop::fire_due_timers() {
+    const util::sim_time t = now();
+    // Collect due ids first: callbacks may add/cancel timers.
+    std::vector<std::uint64_t> due;
+    for (const auto& [id, entry] : timers_)
+        if (entry.deadline <= t) due.push_back(id);
+    for (std::uint64_t id : due) {
+        auto it = timers_.find(id);
+        if (it == timers_.end()) continue;
+        auto fn = std::move(it->second.fn);
+        timers_.erase(it);
+        fn();
+    }
+}
+
+void event_loop::run(util::sim_time for_duration) {
+    running_ = true;
+    const util::sim_time deadline =
+        for_duration == util::time_never ? util::time_never : now() + for_duration;
+
+    while (running_) {
+        if (deadline != util::time_never && now() >= deadline) break;
+
+        util::sim_time wait = next_timer_delay();
+        if (deadline != util::time_never) wait = std::min(wait, deadline - now());
+        const int timeout_ms =
+            static_cast<int>(std::clamp<util::sim_time>(wait / 1'000'000, 0, 1000));
+
+        std::vector<pollfd> pfds;
+        pfds.reserve(fds_.size());
+        for (const auto& [fd, cb] : fds_) pfds.push_back(pollfd{fd, POLLIN, 0});
+
+        const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+        if (ready > 0) {
+            for (std::size_t i = 0; i < pfds.size() && i < fds_.size(); ++i) {
+                if (pfds[i].revents & POLLIN) fds_[i].second();
+            }
+        }
+        fire_due_timers();
+    }
+    running_ = false;
+}
+
+} // namespace vtp::net

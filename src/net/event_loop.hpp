@@ -1,0 +1,48 @@
+// Minimal real-time event loop (poll(2) + monotonic timers) for the live
+// UDP datapath. Single-threaded by design: transport agents are not
+// thread-safe and do not need to be — exactly like the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vtp::net {
+
+class event_loop {
+public:
+    event_loop();
+
+    /// Nanoseconds since loop creation (CLOCK_MONOTONIC based).
+    util::sim_time now() const;
+
+    /// Watch `fd` for readability.
+    void add_fd(int fd, std::function<void()> on_readable);
+    void remove_fd(int fd);
+
+    std::uint64_t schedule_after(util::sim_time delay, std::function<void()> fn);
+    void cancel(std::uint64_t id);
+
+    /// Run until stop() or (optionally) until `deadline` relative to now.
+    void run(util::sim_time for_duration = util::time_never);
+    void stop() { running_ = false; }
+
+private:
+    void fire_due_timers();
+    util::sim_time next_timer_delay() const;
+
+    util::sim_time epoch_;
+    bool running_ = false;
+    std::uint64_t next_timer_id_ = 1;
+    struct timer_entry {
+        util::sim_time deadline;
+        std::function<void()> fn;
+    };
+    std::map<std::uint64_t, timer_entry> timers_; ///< id -> entry
+    std::vector<std::pair<int, std::function<void()>>> fds_;
+};
+
+} // namespace vtp::net

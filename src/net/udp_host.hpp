@@ -1,0 +1,73 @@
+// Live UDP implementation of the transport environment.
+//
+// Addressing: a transport address is a UDP port on 127.0.0.1 (the demo
+// topology). Each datagram is [flow_id:u32][src_addr:u32] followed by
+// the wire-encoded segment (packet/wire.hpp) — the same bytes
+// header_size() accounts for in simulation.
+//
+// This substrate exists to demonstrate that every agent in the library
+// (TFRC flows, QTP connections, the TCP baseline) runs unmodified outside
+// the simulator; see examples/live_udp_transfer.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/environment.hpp"
+#include "net/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace vtp::net {
+
+class udp_host : public qtp::environment {
+public:
+    /// Bind 127.0.0.1:port. Throws std::runtime_error on failure.
+    udp_host(event_loop& loop, std::uint16_t port, std::uint64_t rng_seed = 1);
+    ~udp_host() override;
+
+    udp_host(const udp_host&) = delete;
+    udp_host& operator=(const udp_host&) = delete;
+
+    /// Attach an agent terminating `flow_id` here; the host owns it.
+    template <typename agent_type>
+    agent_type* attach(std::uint32_t flow_id, std::unique_ptr<agent_type> a) {
+        agent_type* raw = a.get();
+        attach_erased(flow_id, std::move(a));
+        return raw;
+    }
+
+    // --- qtp::environment ---
+    util::sim_time now() const override { return loop_.now(); }
+    qtp::timer_id schedule(util::sim_time delay, std::function<void()> fn) override;
+    void cancel(qtp::timer_id id) override;
+    void send(packet::packet pkt) override;
+    std::uint32_t local_addr() const override { return port_; }
+    util::rng& random() override { return rng_; }
+    void attach_dynamic(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a) override {
+        attach_erased(flow_id, std::move(a));
+    }
+
+    /// Packets for flows with no attached agent go here (listener hook).
+    void set_default_agent(qtp::agent* a) { default_agent_ = a; }
+
+    std::uint64_t sent_datagrams() const { return sent_; }
+    std::uint64_t received_datagrams() const { return received_; }
+    std::uint64_t decode_errors() const { return decode_errors_; }
+
+private:
+    void attach_erased(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a);
+    void on_readable();
+
+    event_loop& loop_;
+    std::uint16_t port_;
+    int fd_ = -1;
+    util::rng rng_;
+    qtp::agent* default_agent_ = nullptr;
+    std::unordered_map<std::uint32_t, std::unique_ptr<qtp::agent>> agents_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t received_ = 0;
+    std::uint64_t decode_errors_ = 0;
+};
+
+} // namespace vtp::net

@@ -1,0 +1,148 @@
+// Transport segment model.
+//
+// All transports in the library (QTP instances, the TCP baseline) exchange
+// typed segments. In simulation the typed form travels directly inside
+// `packet`; on the live UDP datapath the same segments are serialized with
+// packet/wire.hpp. Keeping one segment model for both substrates is what
+// makes the protocol components substrate-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vtp::packet {
+
+using util::sim_time;
+
+/// DiffServ codepoints used by the library. `af11` marks in-profile
+/// (green) traffic of AF class 1, `af12` out-of-profile (yellow).
+enum class dscp : std::uint8_t {
+    best_effort = 0,
+    af11 = 10,
+    af12 = 12,
+    af13 = 14,
+    ef = 46,
+};
+
+std::string to_string(dscp d);
+
+/// Contiguous range of received packet sequence numbers, [begin, end).
+struct sack_block {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    bool operator==(const sack_block&) const = default;
+};
+
+/// QTP data segment. Sequence numbers are per-packet (TFRC style); the
+/// byte offset locates the payload in the application stream for
+/// reliability and reassembly.
+struct data_segment {
+    std::uint64_t seq = 0;
+    std::uint64_t byte_offset = 0;
+    std::uint32_t payload_len = 0;
+    sim_time ts = 0;             ///< sender clock at transmission
+    sim_time rtt_estimate = 0;   ///< sender's current RTT (drives receiver feedback timer)
+    std::uint32_t message_id = 0;
+    sim_time deadline = util::time_never; ///< partial reliability: drop after this
+    bool is_retransmission = false;
+    bool end_of_stream = false;
+
+    bool operator==(const data_segment&) const = default;
+};
+
+/// Standard RFC 3448 receiver report (receiver-side loss estimation).
+struct tfrc_feedback_segment {
+    sim_time ts_echo = 0;   ///< timestamp of last data packet received
+    sim_time t_delay = 0;   ///< time spent at receiver before sending this report
+    double x_recv = 0.0;    ///< receive rate since last report, bytes/s
+    double p = 0.0;         ///< receiver-computed loss event rate
+    std::uint64_t highest_seq = 0;
+
+    bool operator==(const tfrc_feedback_segment&) const = default;
+};
+
+/// SACK feedback: a cumulative ack plus SACK blocks.
+///
+/// In QTPlight mode this is the entire receiver report — no loss rate is
+/// carried; computing it is the sender's job (has_p = false). In QTPAF
+/// mode (receiver-side estimation composed with reliability), the
+/// receiver additionally reports its RFC 3448 loss event rate (has_p =
+/// true), so one segment serves both the rate controller and the
+/// retransmission scoreboard.
+struct sack_feedback_segment {
+    std::uint64_t cum_ack = 0; ///< all seq < cum_ack received
+    std::vector<sack_block> blocks;
+    sim_time ts_echo = 0;
+    sim_time t_delay = 0;
+    double x_recv = 0.0; ///< receive rate, bytes/s (cheap byte counter)
+    bool has_p = false;  ///< receiver-side estimation: p is meaningful
+    double p = 0.0;      ///< receiver-computed loss event rate
+
+    bool operator==(const sack_feedback_segment&) const = default;
+};
+
+/// Connection management segments; carry the proposed/accepted profile in
+/// encoded form (see core/profile.hpp for the bit layout).
+struct handshake_segment {
+    enum class kind : std::uint8_t { syn = 0, syn_ack = 1, fin = 2, fin_ack = 3 };
+    kind type = kind::syn;
+    std::uint32_t profile_bits = 0;
+    double target_rate_bps = 0.0; ///< QoS reservation advertised to peer
+
+    bool operator==(const handshake_segment&) const = default;
+};
+
+/// Baseline TCP segment (byte sequence space, cumulative + SACK acks).
+struct tcp_segment {
+    std::uint64_t seq = 0;      ///< first byte carried
+    std::uint32_t payload_len = 0;
+    std::uint64_t ack = 0;      ///< next byte expected (valid when is_ack)
+    bool is_ack = false;
+    bool syn = false;
+    bool fin = false;
+    std::vector<sack_block> sack; ///< byte ranges received above ack
+    sim_time ts = 0;
+    sim_time ts_echo = 0;
+
+    bool operator==(const tcp_segment&) const = default;
+};
+
+using segment = std::variant<data_segment, tfrc_feedback_segment, sack_feedback_segment,
+                             handshake_segment, tcp_segment>;
+
+/// Wire header size in bytes for each segment kind (payload excluded).
+/// Matches what packet/wire.hpp actually emits, so simulation sizes and
+/// live datapath sizes agree.
+std::uint32_t header_size(const segment& s);
+
+/// Total wire size: header + payload.
+std::uint32_t wire_size(const segment& s);
+
+/// Short human-readable rendering for traces.
+std::string describe(const segment& s);
+
+/// A packet in flight. Cheap to copy: the segment body is shared.
+struct packet {
+    std::uint32_t flow_id = 0;
+    std::uint32_t src = 0; ///< source node id
+    std::uint32_t dst = 0; ///< destination node id
+    std::uint32_t size_bytes = 0;
+    dscp ds = dscp::best_effort;
+    bool ecn_capable = false;
+    bool ecn_ce = false;
+    sim_time sent_at = 0;     ///< stamped by the host on transmit
+    sim_time enqueued_at = 0; ///< stamped by queues for delay accounting
+    std::shared_ptr<const segment> body;
+};
+
+/// Build a packet around a segment, computing its wire size.
+packet make_packet(std::uint32_t flow_id, std::uint32_t src, std::uint32_t dst, segment body,
+                   dscp ds = dscp::best_effort);
+
+} // namespace vtp::packet

@@ -1,0 +1,199 @@
+#include "packet/wire.hpp"
+
+#include "util/bytes.hpp"
+
+namespace vtp::packet {
+
+using util::byte_reader;
+using util::byte_writer;
+using util::decode_error;
+
+namespace {
+
+constexpr std::uint8_t data_flag_rtx = 0x01;
+constexpr std::uint8_t data_flag_eos = 0x02;
+
+constexpr std::uint8_t tcp_flag_ack = 0x01;
+constexpr std::uint8_t tcp_flag_syn = 0x02;
+constexpr std::uint8_t tcp_flag_fin = 0x04;
+
+struct encode_visitor {
+    byte_writer& out;
+
+    void operator()(const data_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::data));
+        std::uint8_t flags = 0;
+        if (s.is_retransmission) flags |= data_flag_rtx;
+        if (s.end_of_stream) flags |= data_flag_eos;
+        out.put_u8(flags);
+        out.put_u32(s.payload_len);
+        out.put_u64(s.seq);
+        out.put_u64(s.byte_offset);
+        out.put_i64(s.ts);
+        out.put_i64(s.rtt_estimate);
+        out.put_u32(s.message_id);
+        out.put_i64(s.deadline);
+    }
+
+    void operator()(const tfrc_feedback_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::tfrc_feedback));
+        out.put_i64(s.ts_echo);
+        out.put_i64(s.t_delay);
+        out.put_f64(s.x_recv);
+        out.put_f64(s.p);
+        out.put_u64(s.highest_seq);
+    }
+
+    void operator()(const sack_feedback_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::sack_feedback));
+        out.put_u8(s.has_p ? 1 : 0);
+        out.put_u64(s.cum_ack);
+        out.put_i64(s.ts_echo);
+        out.put_i64(s.t_delay);
+        out.put_f64(s.x_recv);
+        out.put_f64(s.p);
+        const auto count = static_cast<std::uint16_t>(
+            s.blocks.size() > max_wire_sack_blocks ? max_wire_sack_blocks : s.blocks.size());
+        out.put_u16(count);
+        for (std::uint16_t i = 0; i < count; ++i) {
+            out.put_u64(s.blocks[i].begin);
+            out.put_u64(s.blocks[i].end);
+        }
+    }
+
+    void operator()(const handshake_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::handshake));
+        out.put_u8(static_cast<std::uint8_t>(s.type));
+        out.put_u32(s.profile_bits);
+        out.put_f64(s.target_rate_bps);
+    }
+
+    void operator()(const tcp_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::tcp));
+        std::uint8_t flags = 0;
+        if (s.is_ack) flags |= tcp_flag_ack;
+        if (s.syn) flags |= tcp_flag_syn;
+        if (s.fin) flags |= tcp_flag_fin;
+        out.put_u8(flags);
+        out.put_u64(s.seq);
+        out.put_u32(s.payload_len);
+        out.put_u64(s.ack);
+        out.put_i64(s.ts);
+        out.put_i64(s.ts_echo);
+        const auto count = static_cast<std::uint8_t>(
+            s.sack.size() > max_wire_sack_blocks ? max_wire_sack_blocks : s.sack.size());
+        out.put_u8(count);
+        for (std::uint8_t i = 0; i < count; ++i) {
+            out.put_u64(s.sack[i].begin);
+            out.put_u64(s.sack[i].end);
+        }
+    }
+};
+
+data_segment decode_data(byte_reader& in) {
+    data_segment s;
+    const std::uint8_t flags = in.get_u8();
+    s.is_retransmission = (flags & data_flag_rtx) != 0;
+    s.end_of_stream = (flags & data_flag_eos) != 0;
+    s.payload_len = in.get_u32();
+    s.seq = in.get_u64();
+    s.byte_offset = in.get_u64();
+    s.ts = in.get_i64();
+    s.rtt_estimate = in.get_i64();
+    s.message_id = in.get_u32();
+    s.deadline = in.get_i64();
+    return s;
+}
+
+tfrc_feedback_segment decode_tfrc_feedback(byte_reader& in) {
+    tfrc_feedback_segment s;
+    s.ts_echo = in.get_i64();
+    s.t_delay = in.get_i64();
+    s.x_recv = in.get_f64();
+    s.p = in.get_f64();
+    s.highest_seq = in.get_u64();
+    return s;
+}
+
+sack_feedback_segment decode_sack_feedback(byte_reader& in) {
+    sack_feedback_segment s;
+    s.has_p = in.get_u8() != 0;
+    s.cum_ack = in.get_u64();
+    s.ts_echo = in.get_i64();
+    s.t_delay = in.get_i64();
+    s.x_recv = in.get_f64();
+    s.p = in.get_f64();
+    const std::uint16_t count = in.get_u16();
+    if (count > max_wire_sack_blocks) throw decode_error("sack block count out of range");
+    s.blocks.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+        sack_block b;
+        b.begin = in.get_u64();
+        b.end = in.get_u64();
+        if (b.end < b.begin) throw decode_error("inverted sack block");
+        s.blocks.push_back(b);
+    }
+    return s;
+}
+
+handshake_segment decode_handshake(byte_reader& in) {
+    handshake_segment s;
+    const std::uint8_t type = in.get_u8();
+    if (type > static_cast<std::uint8_t>(handshake_segment::kind::fin_ack))
+        throw decode_error("unknown handshake type");
+    s.type = static_cast<handshake_segment::kind>(type);
+    s.profile_bits = in.get_u32();
+    s.target_rate_bps = in.get_f64();
+    return s;
+}
+
+tcp_segment decode_tcp(byte_reader& in) {
+    tcp_segment s;
+    const std::uint8_t flags = in.get_u8();
+    s.is_ack = (flags & tcp_flag_ack) != 0;
+    s.syn = (flags & tcp_flag_syn) != 0;
+    s.fin = (flags & tcp_flag_fin) != 0;
+    s.seq = in.get_u64();
+    s.payload_len = in.get_u32();
+    s.ack = in.get_u64();
+    s.ts = in.get_i64();
+    s.ts_echo = in.get_i64();
+    const std::uint8_t count = in.get_u8();
+    if (count > max_wire_sack_blocks) throw decode_error("tcp sack count out of range");
+    s.sack.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+        sack_block b;
+        b.begin = in.get_u64();
+        b.end = in.get_u64();
+        if (b.end < b.begin) throw decode_error("inverted tcp sack block");
+        s.sack.push_back(b);
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<std::uint8_t> encode_segment(const segment& s) {
+    byte_writer out;
+    std::visit(encode_visitor{out}, s);
+    return out.take();
+}
+
+segment decode_segment(const std::uint8_t* data, std::size_t len) {
+    byte_reader in(data, len);
+    const std::uint8_t kind = in.get_u8();
+    switch (static_cast<wire_kind>(kind)) {
+    case wire_kind::data: return decode_data(in);
+    case wire_kind::tfrc_feedback: return decode_tfrc_feedback(in);
+    case wire_kind::sack_feedback: return decode_sack_feedback(in);
+    case wire_kind::handshake: return decode_handshake(in);
+    case wire_kind::tcp: return decode_tcp(in);
+    }
+    throw decode_error("unknown segment kind");
+}
+
+segment decode_segment(const std::vector<std::uint8_t>& buf) {
+    return decode_segment(buf.data(), buf.size());
+}
+
+} // namespace vtp::packet

@@ -1,0 +1,41 @@
+// Wire encoding of QTP segments (network byte order).
+//
+// The encoded form is what the live UDP datapath (src/net) puts on the
+// wire; `header_size()` in segment.hpp is defined to be exactly the size
+// this encoder produces, so simulated packet sizes match reality.
+//
+// Layout (all integers big-endian):
+//   byte 0: segment kind tag
+//   then kind-specific fields; see wire.cpp for the field order.
+// Data and TCP payload bytes are not part of the header encoding; the
+// datapath appends them after the header (payload_len gives the length).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/segment.hpp"
+
+namespace vtp::packet {
+
+/// Kind tags on the wire.
+enum class wire_kind : std::uint8_t {
+    data = 1,
+    tfrc_feedback = 2,
+    sack_feedback = 3,
+    handshake = 4,
+    tcp = 5,
+};
+
+/// Encode a segment header to bytes. Never fails.
+std::vector<std::uint8_t> encode_segment(const segment& s);
+
+/// Decode a segment header. Throws util::decode_error on truncated or
+/// malformed input (unknown kind tag, absurd block counts).
+segment decode_segment(const std::uint8_t* data, std::size_t len);
+segment decode_segment(const std::vector<std::uint8_t>& buf);
+
+/// Maximum SACK blocks the wire format will carry in one segment.
+inline constexpr std::size_t max_wire_sack_blocks = 16;
+
+} // namespace vtp::packet

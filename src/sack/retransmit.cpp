@@ -1,0 +1,38 @@
+#include "sack/retransmit.hpp"
+
+namespace vtp::sack {
+
+bool retransmit_queue::expired(const transmission_record& rec, util::sim_time now,
+                               const reliability_policy& policy) const {
+    if (policy.mode == reliability_mode::partial) {
+        if (rec.deadline != util::time_never && rec.deadline - now <= policy.partial_margin)
+            return true;
+    }
+    if (policy.max_transmissions != 0 && rec.transmit_count >= policy.max_transmissions)
+        return true;
+    return false;
+}
+
+void retransmit_queue::push(const transmission_record& lost,
+                            const reliability_policy& policy) {
+    if (policy.mode == reliability_mode::none) return;
+    ++queued_ranges_;
+    queue_.push_back(lost);
+}
+
+std::optional<transmission_record> retransmit_queue::pop(util::sim_time now,
+                                                         const reliability_policy& policy) {
+    while (!queue_.empty()) {
+        transmission_record rec = queue_.front();
+        queue_.pop_front();
+        if (expired(rec, now, policy)) {
+            ++abandoned_ranges_;
+            abandoned_bytes_ += rec.length;
+            continue;
+        }
+        return rec;
+    }
+    return std::nullopt;
+}
+
+} // namespace vtp::sack

@@ -1,0 +1,60 @@
+// Retransmission queue + reliability policy.
+//
+// The paper's framework negotiates reliability per connection: none
+// (pure TFRC streaming), full (QTPAF: every lost byte is retransmitted
+// until delivered), or partial (QTPlight media mode: a loss is
+// retransmitted only while it can still arrive before its message
+// deadline — stale media is not worth a retransmission).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sack/scoreboard.hpp"
+#include "util/time.hpp"
+
+namespace vtp::sack {
+
+enum class reliability_mode : std::uint8_t {
+    none = 0,
+    full = 1,
+    partial = 2,
+};
+
+struct reliability_policy {
+    reliability_mode mode = reliability_mode::none;
+    /// partial mode: retransmit only if deadline - now > margin (the
+    /// expected one-way delivery delay, typically RTT/2 + jitter slack).
+    util::sim_time partial_margin = util::milliseconds(0);
+    /// Abandon a byte range after this many transmissions (0 = unlimited).
+    std::uint32_t max_transmissions = 0;
+};
+
+class retransmit_queue {
+public:
+    /// Offer a lost range for retransmission (ignored in mode none).
+    void push(const transmission_record& lost, const reliability_policy& policy);
+
+    /// Next range worth retransmitting at `now`; expired entries are
+    /// dropped and counted as abandoned.
+    std::optional<transmission_record> pop(util::sim_time now,
+                                           const reliability_policy& policy);
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t pending() const { return queue_.size(); }
+    std::uint64_t abandoned_ranges() const { return abandoned_ranges_; }
+    std::uint64_t abandoned_bytes() const { return abandoned_bytes_; }
+    std::uint64_t queued_ranges() const { return queued_ranges_; }
+
+private:
+    bool expired(const transmission_record& rec, util::sim_time now,
+                 const reliability_policy& policy) const;
+
+    std::deque<transmission_record> queue_;
+    std::uint64_t abandoned_ranges_ = 0;
+    std::uint64_t abandoned_bytes_ = 0;
+    std::uint64_t queued_ranges_ = 0;
+};
+
+} // namespace vtp::sack

@@ -1,0 +1,46 @@
+#include "sack/scoreboard.hpp"
+
+#include <algorithm>
+
+namespace vtp::sack {
+
+scoreboard::scoreboard(scoreboard_config cfg) : cfg_(cfg) {}
+
+void scoreboard::record(const transmission_record& rec) {
+    outstanding_.emplace(rec.seq, rec);
+}
+
+void scoreboard::on_sack(const packet::sack_feedback_segment& fb,
+                         std::vector<transmission_record>& lost_out) {
+    any_feedback_ = true;
+
+    // Mark acked sequences delivered.
+    for (const auto& block : fb.blocks) {
+        if (block.begin >= block.end) continue;
+        highest_reported_ =
+            std::max(highest_reported_, block.end - 1);
+        auto it = outstanding_.lower_bound(block.begin);
+        while (it != outstanding_.end() && it->first < block.end) {
+            const transmission_record& rec = it->second;
+            delivered_.add(rec.byte_offset, rec.byte_offset + rec.length);
+            ++acked_sequences_;
+            it = outstanding_.erase(it);
+        }
+    }
+
+    // Finalise sequences the receiver has definitively moved past.
+    if (highest_reported_ < cfg_.finalize_horizon) return;
+    const std::uint64_t limit = highest_reported_ - cfg_.finalize_horizon;
+    auto it = outstanding_.begin();
+    while (it != outstanding_.end() && it->first <= limit) {
+        transmission_record rec = it->second;
+        it = outstanding_.erase(it);
+        ++lost_sequences_;
+        // Only report the loss if those bytes never made it another way.
+        if (!delivered_.contains(rec.byte_offset, rec.byte_offset + rec.length)) {
+            lost_out.push_back(rec);
+        }
+    }
+}
+
+} // namespace vtp::sack

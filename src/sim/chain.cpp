@@ -1,0 +1,56 @@
+#include "sim/chain.hpp"
+
+#include <cassert>
+
+#include "sim/loss.hpp"
+
+namespace vtp::sim {
+
+chain::chain(chain_config cfg) : cfg_(cfg) {
+    assert(cfg_.hops >= 1);
+    const std::size_t n_nodes = cfg_.hops + 1;
+    nodes_.reserve(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i)
+        nodes_.push_back(std::make_unique<node>(static_cast<std::uint32_t>(i)));
+
+    for (std::size_t i = 0; i < cfg_.hops; ++i) {
+        link::config hop_cfg{cfg_.link_rate_bps, cfg_.link_delay,
+                             cfg_.link_jitter, cfg_.seed * 101 + i};
+        auto fwd = std::make_unique<link>(
+            sched_, hop_cfg, make_drop_tail(cfg_.queue_packets, 1500));
+        fwd->set_destination(nodes_[i + 1].get());
+        forward_.push_back(std::move(fwd));
+
+        hop_cfg.jitter_seed = cfg_.seed * 101 + 50 + i;
+        auto rev = std::make_unique<link>(
+            sched_, hop_cfg, make_drop_tail(cfg_.queue_packets, 1500));
+        rev->set_destination(nodes_[i].get());
+        reverse_.push_back(std::move(rev));
+    }
+
+    // Static routing: downstream packets (dst id > node id) go forward,
+    // everything else goes back toward the source.
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        for (std::size_t target = 0; target < n_nodes; ++target) {
+            if (target == i) continue;
+            if (target > i)
+                nodes_[i]->add_route(static_cast<std::uint32_t>(target),
+                                     forward_[i].get());
+            else
+                nodes_[i]->add_route(static_cast<std::uint32_t>(target),
+                                     reverse_[i - 1].get());
+        }
+    }
+
+    src_host_ = std::make_unique<host>(sched_, *nodes_.front(), cfg_.seed * 31 + 1);
+    dst_host_ = std::make_unique<host>(sched_, *nodes_.back(), cfg_.seed * 31 + 2);
+}
+
+void chain::set_per_hop_loss(double p, std::uint64_t seed_base) {
+    for (std::size_t i = 0; i < forward_.size(); ++i) {
+        forward_[i]->set_loss_model(
+            std::make_unique<bernoulli_loss>(p, seed_base + i));
+    }
+}
+
+} // namespace vtp::sim

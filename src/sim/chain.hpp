@@ -1,0 +1,67 @@
+// Multi-hop chain topology: src — r1 — r2 — … — rN — dst.
+//
+// Models the multi-hop ad hoc paths of the paper's §2 motivation: every
+// hop is a (typically lossy, moderate-rate) link, so end-to-end loss
+// compounds per hop and the RTT grows with hop count. Loss models can be
+// installed per hop in both directions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/node.hpp"
+#include "sim/queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vtp::sim {
+
+struct chain_config {
+    std::size_t hops = 3; ///< number of links end-to-end (>= 1)
+    double link_rate_bps = 11e6;
+    sim_time link_delay = util::milliseconds(4);
+    /// Per-packet extra delay, uniform in [0, link_jitter], on every hop
+    /// (wireless MAC contention; can reorder deliveries).
+    sim_time link_jitter = 0;
+    std::size_t queue_packets = 50;
+    std::uint64_t seed = 1;
+};
+
+class chain {
+public:
+    explicit chain(chain_config cfg);
+
+    scheduler& sched() { return sched_; }
+
+    host& src_host() { return *src_host_; }
+    host& dst_host() { return *dst_host_; }
+    std::uint32_t src_addr() const { return 0; }
+    std::uint32_t dst_addr() const { return static_cast<std::uint32_t>(cfg_.hops); }
+
+    std::size_t hops() const { return cfg_.hops; }
+
+    /// Forward-direction link of hop i (0-based, src side first).
+    link& forward_link(std::size_t i) { return *forward_.at(i); }
+    link& reverse_link(std::size_t i) { return *reverse_.at(i); }
+
+    /// Install independent Bernoulli loss `p` on every forward hop
+    /// (end-to-end survival probability = (1-p)^hops).
+    void set_per_hop_loss(double p, std::uint64_t seed_base);
+
+    /// Propagation-only RTT.
+    sim_time base_rtt() const {
+        return 2 * static_cast<sim_time>(cfg_.hops) * cfg_.link_delay;
+    }
+
+private:
+    chain_config cfg_;
+    scheduler sched_;
+    std::vector<std::unique_ptr<node>> nodes_; ///< 0 = src, hops = dst
+    std::vector<std::unique_ptr<link>> forward_;
+    std::vector<std::unique_ptr<link>> reverse_;
+    std::unique_ptr<host> src_host_;
+    std::unique_ptr<host> dst_host_;
+};
+
+} // namespace vtp::sim

@@ -1,0 +1,54 @@
+#include "sim/host.hpp"
+
+#include "util/logging.hpp"
+
+namespace vtp::sim {
+
+host::host(scheduler& sched, node& n, std::uint64_t rng_seed)
+    : sched_(sched), node_(n), rng_(rng_seed) {
+    node_.set_delivery([this](packet::packet pkt) { deliver(std::move(pkt)); });
+}
+
+void host::attach_erased(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a) {
+    qtp::agent* raw = a.get();
+    agents_[flow_id] = std::move(a);
+    raw->start(*this);
+}
+
+void host::detach(std::uint32_t flow_id) { agents_.erase(flow_id); }
+
+void host::add_observer(std::function<void(const packet::packet&)> fn) {
+    observers_.push_back(std::move(fn));
+}
+
+qtp::timer_id host::schedule(util::sim_time delay, std::function<void()> fn) {
+    return sched_.after(delay, std::move(fn));
+}
+
+void host::cancel(qtp::timer_id id) { sched_.cancel(id); }
+
+void host::send(packet::packet pkt) {
+    pkt.src = node_.id();
+    pkt.sent_at = sched_.now();
+    ++sent_packets_;
+    node_.inject(std::move(pkt));
+}
+
+void host::deliver(packet::packet pkt) {
+    ++received_packets_;
+    for (const auto& obs : observers_) obs(pkt);
+    auto it = agents_.find(pkt.flow_id);
+    if (it == agents_.end()) {
+        if (default_agent_ != nullptr) {
+            default_agent_->on_packet(pkt);
+            return;
+        }
+        ++undeliverable_;
+        util::log(util::log_level::debug, "host",
+                  "node ", node_.id(), ": no agent for flow ", pkt.flow_id);
+        return;
+    }
+    it->second->on_packet(pkt);
+}
+
+} // namespace vtp::sim

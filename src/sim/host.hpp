@@ -1,0 +1,73 @@
+// Simulator-side implementation of the transport environment.
+//
+// A host sits on an endpoint node, owns the transport agents terminating
+// there, dispatches arriving packets to them by flow id, and provides the
+// clock/timer/send/random services of qtp::environment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/environment.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace vtp::sim {
+
+class host : public qtp::environment {
+public:
+    host(scheduler& sched, node& n, std::uint64_t rng_seed);
+
+    /// Attach an agent terminating `flow_id` on this host; starts it.
+    /// The host owns the agent.
+    template <typename agent_type>
+    agent_type* attach(std::uint32_t flow_id, std::unique_ptr<agent_type> a) {
+        agent_type* raw = a.get();
+        attach_erased(flow_id, std::move(a));
+        return raw;
+    }
+
+    void detach(std::uint32_t flow_id);
+
+    /// Packets for flows with no attached agent go here (listener hook).
+    void set_default_agent(qtp::agent* a) { default_agent_ = a; }
+
+    /// Observe every packet delivered to this host (monitoring taps;
+    /// called before agent dispatch).
+    void add_observer(std::function<void(const packet::packet&)> fn);
+
+    // --- qtp::environment ---
+    util::sim_time now() const override { return sched_.now(); }
+    qtp::timer_id schedule(util::sim_time delay, std::function<void()> fn) override;
+    void cancel(qtp::timer_id id) override;
+    void send(packet::packet pkt) override;
+    std::uint32_t local_addr() const override { return node_.id(); }
+    util::rng& random() override { return rng_; }
+    void attach_dynamic(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a) override {
+        attach_erased(flow_id, std::move(a));
+    }
+
+    std::uint64_t sent_packets() const { return sent_packets_; }
+    std::uint64_t received_packets() const { return received_packets_; }
+    std::uint64_t undeliverable_packets() const { return undeliverable_; }
+
+private:
+    void attach_erased(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a);
+    void deliver(packet::packet pkt);
+
+    scheduler& sched_;
+    node& node_;
+    util::rng rng_;
+    qtp::agent* default_agent_ = nullptr;
+    std::unordered_map<std::uint32_t, std::unique_ptr<qtp::agent>> agents_;
+    std::vector<std::function<void(const packet::packet&)>> observers_;
+    std::uint64_t sent_packets_ = 0;
+    std::uint64_t received_packets_ = 0;
+    std::uint64_t undeliverable_ = 0;
+};
+
+} // namespace vtp::sim

@@ -1,0 +1,64 @@
+#include "sim/link.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/node.hpp"
+
+namespace vtp::sim {
+
+link::link(scheduler& sched, config cfg, std::unique_ptr<queue_discipline> queue)
+    : sched_(sched),
+      cfg_(cfg),
+      queue_(std::move(queue)),
+      loss_(std::make_unique<no_loss>()),
+      jitter_rng_(cfg.jitter_seed) {
+    assert(cfg_.rate_bps > 0);
+}
+
+sim_time link::service_time(const packet::packet& pkt) const {
+    const double seconds = static_cast<double>(pkt.size_bytes) * 8.0 / cfg_.rate_bps;
+    return util::from_seconds(seconds);
+}
+
+void link::transmit(packet::packet pkt) {
+    if (!queue_->enqueue(std::move(pkt), sched_.now())) return; // queue counted the drop
+    if (!busy_) start_service();
+}
+
+void link::start_service() {
+    auto next = queue_->dequeue(sched_.now());
+    if (!next) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    const sim_time tx = service_time(*next);
+    busy_accum_ += tx;
+    sched_.after(tx, [this, pkt = std::move(*next)]() mutable { finish_service(std::move(pkt)); });
+}
+
+void link::finish_service(packet::packet pkt) {
+    if (loss_->should_drop(pkt, sched_.now())) {
+        ++wire_losses_;
+    } else {
+        ++delivered_packets_;
+        delivered_bytes_ += pkt.size_bytes;
+        if (destination_ != nullptr) {
+            sim_time delay = cfg_.propagation_delay;
+            if (cfg_.jitter > 0)
+                delay += jitter_rng_.uniform_int(0, cfg_.jitter);
+            sched_.after(delay, [dst = destination_, pkt = std::move(pkt)]() mutable {
+                dst->receive(std::move(pkt));
+            });
+        }
+    }
+    start_service();
+}
+
+double link::utilisation(sim_time now) const {
+    if (now <= 0) return 0.0;
+    return static_cast<double>(busy_accum_) / static_cast<double>(now);
+}
+
+} // namespace vtp::sim

@@ -1,0 +1,68 @@
+// Unidirectional link: rate-limited serialization, propagation delay,
+// a queue discipline and an optional loss model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/loss.hpp"
+#include "sim/queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vtp::sim {
+
+class node;
+
+class link {
+public:
+    struct config {
+        double rate_bps = 10e6;
+        sim_time propagation_delay = util::milliseconds(10);
+        /// Extra per-packet delay, uniform in [0, jitter]. Nonzero jitter
+        /// can reorder deliveries (wireless/multi-path realism); the
+        /// transports' reorder tolerance is what copes with it.
+        sim_time jitter = 0;
+        std::uint64_t jitter_seed = 1;
+    };
+
+    link(scheduler& sched, config cfg, std::unique_ptr<queue_discipline> queue);
+
+    /// The node packets arrive at after traversing this link.
+    void set_destination(node* destination) { destination_ = destination; }
+
+    /// Install a loss model (applied post-service, i.e. on the wire).
+    void set_loss_model(std::unique_ptr<loss_model> model) { loss_ = std::move(model); }
+
+    /// Offer a packet for transmission (may be dropped by the queue).
+    void transmit(packet::packet pkt);
+
+    queue_discipline& queue() { return *queue_; }
+    const queue_discipline& queue() const { return *queue_; }
+    const config& cfg() const { return cfg_; }
+
+    std::uint64_t delivered_packets() const { return delivered_packets_; }
+    std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+    std::uint64_t wire_losses() const { return wire_losses_; }
+
+    /// Utilisation: busy time / elapsed time since creation.
+    double utilisation(sim_time now) const;
+
+private:
+    void start_service();
+    void finish_service(packet::packet pkt);
+    sim_time service_time(const packet::packet& pkt) const;
+
+    scheduler& sched_;
+    config cfg_;
+    std::unique_ptr<queue_discipline> queue_;
+    std::unique_ptr<loss_model> loss_;
+    util::rng jitter_rng_;
+    node* destination_ = nullptr;
+    bool busy_ = false;
+    sim_time busy_accum_ = 0;
+    std::uint64_t delivered_packets_ = 0;
+    std::uint64_t delivered_bytes_ = 0;
+    std::uint64_t wire_losses_ = 0;
+};
+
+} // namespace vtp::sim

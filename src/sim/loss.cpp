@@ -1,0 +1,32 @@
+#include "sim/loss.hpp"
+
+namespace vtp::sim {
+
+bernoulli_loss::bernoulli_loss(double probability, std::uint64_t seed)
+    : probability_(probability), rng_(seed) {}
+
+bool bernoulli_loss::should_drop(const packet::packet&, util::sim_time) {
+    return rng_.bernoulli(probability_);
+}
+
+gilbert_elliott_loss::gilbert_elliott_loss(params p, std::uint64_t seed)
+    : params_(p), rng_(seed) {}
+
+bool gilbert_elliott_loss::should_drop(const packet::packet&, util::sim_time) {
+    // Transition first, then sample loss in the (possibly new) state.
+    if (bad_) {
+        if (rng_.bernoulli(params_.p_bad_to_good)) bad_ = false;
+    } else {
+        if (rng_.bernoulli(params_.p_good_to_bad)) bad_ = true;
+    }
+    return rng_.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double gilbert_elliott_loss::steady_state_loss() const {
+    const double denom = params_.p_good_to_bad + params_.p_bad_to_good;
+    if (denom <= 0.0) return params_.loss_good;
+    const double pi_bad = params_.p_good_to_bad / denom;
+    return pi_bad * params_.loss_bad + (1.0 - pi_bad) * params_.loss_good;
+}
+
+} // namespace vtp::sim

@@ -1,0 +1,72 @@
+// Link-level loss models for wireless/multi-hop experiments.
+//
+// These model non-congestion loss (corruption, fading): the packet is
+// dropped after it has been serviced by the queue, exactly as a corrupted
+// frame would be discarded by the receiving NIC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "packet/segment.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace vtp::sim {
+
+class loss_model {
+public:
+    virtual ~loss_model() = default;
+    /// Decide whether this transmission is lost.
+    virtual bool should_drop(const packet::packet& pkt, util::sim_time now) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// No loss (default on every link).
+class no_loss : public loss_model {
+public:
+    bool should_drop(const packet::packet&, util::sim_time) override { return false; }
+    std::string name() const override { return "none"; }
+};
+
+/// Independent (Bernoulli) loss with fixed probability.
+class bernoulli_loss : public loss_model {
+public:
+    bernoulli_loss(double probability, std::uint64_t seed);
+    bool should_drop(const packet::packet& pkt, util::sim_time now) override;
+    std::string name() const override { return "bernoulli"; }
+    double probability() const { return probability_; }
+
+private:
+    double probability_;
+    util::rng rng_;
+};
+
+/// Two-state Gilbert–Elliott bursty loss. State transitions are evaluated
+/// per transmission; `loss_good`/`loss_bad` are the per-packet loss
+/// probabilities within each state.
+class gilbert_elliott_loss : public loss_model {
+public:
+    struct params {
+        double p_good_to_bad = 0.01; ///< transition probability G->B per packet
+        double p_bad_to_good = 0.3;  ///< transition probability B->G per packet
+        double loss_good = 0.0;      ///< loss prob in Good state
+        double loss_bad = 0.5;       ///< loss prob in Bad state
+    };
+
+    gilbert_elliott_loss(params p, std::uint64_t seed);
+    bool should_drop(const packet::packet& pkt, util::sim_time now) override;
+    std::string name() const override { return "gilbert-elliott"; }
+
+    bool in_bad_state() const { return bad_; }
+    /// Long-run average loss probability implied by the parameters.
+    double steady_state_loss() const;
+
+private:
+    params params_;
+    bool bad_ = false;
+    util::rng rng_;
+};
+
+} // namespace vtp::sim

@@ -1,0 +1,56 @@
+#include "sim/monitor.hpp"
+
+namespace vtp::sim {
+
+periodic_sampler::periodic_sampler(scheduler& sched, sim_time interval,
+                                   std::function<double()> probe)
+    : sched_(sched), interval_(interval), probe_(std::move(probe)) {}
+
+void periodic_sampler::begin() {
+    if (running_) return;
+    running_ = true;
+    sched_.after(interval_, [this] { tick(); });
+}
+
+void periodic_sampler::tick() {
+    if (!running_) return;
+    series_.add(probe_());
+    sched_.after(interval_, [this] { tick(); });
+}
+
+void flow_accounting::on_bytes(std::uint32_t flow_id, std::size_t bytes) {
+    entry& e = flows_[flow_id];
+    e.bytes += bytes;
+    ++e.packets;
+}
+
+std::uint64_t flow_accounting::bytes(std::uint32_t flow_id) const {
+    auto it = flows_.find(flow_id);
+    return it == flows_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t flow_accounting::packets(std::uint32_t flow_id) const {
+    auto it = flows_.find(flow_id);
+    return it == flows_.end() ? 0 : it->second.packets;
+}
+
+void flow_accounting::snapshot(std::uint32_t flow_id) {
+    entry& e = flows_[flow_id];
+    e.snapshot_bytes = e.bytes;
+}
+
+double flow_accounting::delta_bits_per_second(std::uint32_t flow_id, sim_time t0,
+                                              sim_time t1) const {
+    auto it = flows_.find(flow_id);
+    if (it == flows_.end() || t1 <= t0) return 0.0;
+    const double delta_bytes =
+        static_cast<double>(it->second.bytes - it->second.snapshot_bytes);
+    return delta_bytes * 8.0 / util::to_seconds(t1 - t0);
+}
+
+double flow_accounting::mean_bits_per_second(std::uint32_t flow_id, sim_time duration) const {
+    if (duration <= 0) return 0.0;
+    return static_cast<double>(bytes(flow_id)) * 8.0 / util::to_seconds(duration);
+}
+
+} // namespace vtp::sim

@@ -1,0 +1,61 @@
+// Measurement instruments: periodic samplers and per-flow accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/scheduler.hpp"
+#include "util/stats.hpp"
+
+namespace vtp::sim {
+
+/// Samples `probe()` every `interval` and records the series; used for
+/// throughput/queue-occupancy traces (e.g. the smoothness figure E2).
+class periodic_sampler {
+public:
+    periodic_sampler(scheduler& sched, sim_time interval, std::function<double()> probe);
+
+    /// Begin sampling at now()+interval; safe to call once.
+    void begin();
+    void stop() { running_ = false; }
+
+    const util::sample_series& series() const { return series_; }
+    sim_time interval() const { return interval_; }
+
+private:
+    void tick();
+
+    scheduler& sched_;
+    sim_time interval_;
+    std::function<double()> probe_;
+    util::sample_series series_;
+    bool running_ = false;
+};
+
+/// Byte/packet accounting per flow with interval-based throughput.
+class flow_accounting {
+public:
+    void on_bytes(std::uint32_t flow_id, std::size_t bytes);
+
+    std::uint64_t bytes(std::uint32_t flow_id) const;
+    std::uint64_t packets(std::uint32_t flow_id) const;
+
+    /// Mean application throughput in bit/s over [t0, t1], based on the
+    /// byte counter delta recorded by snapshot()/delta_bits_per_second.
+    void snapshot(std::uint32_t flow_id);
+    double delta_bits_per_second(std::uint32_t flow_id, sim_time t0, sim_time t1) const;
+
+    /// Total throughput over the whole run.
+    double mean_bits_per_second(std::uint32_t flow_id, sim_time duration) const;
+
+private:
+    struct entry {
+        std::uint64_t bytes = 0;
+        std::uint64_t packets = 0;
+        std::uint64_t snapshot_bytes = 0;
+    };
+    std::unordered_map<std::uint32_t, entry> flows_;
+};
+
+} // namespace vtp::sim

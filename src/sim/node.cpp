@@ -1,0 +1,27 @@
+#include "sim/node.hpp"
+
+#include "sim/link.hpp"
+#include "util/logging.hpp"
+
+namespace vtp::sim {
+
+void node::receive(packet::packet pkt) {
+    if (filter_) filter_(pkt);
+    if (pkt.dst == id_) {
+        ++delivered_;
+        if (delivery_) delivery_(std::move(pkt));
+        return;
+    }
+    link* out = default_route_;
+    if (auto it = routes_.find(pkt.dst); it != routes_.end()) out = it->second;
+    if (out == nullptr) {
+        ++routeless_drops_;
+        util::log(util::log_level::warn, "node",
+                  "node ", id_, " has no route for dst ", pkt.dst);
+        return;
+    }
+    ++forwarded_;
+    out->transmit(std::move(pkt));
+}
+
+} // namespace vtp::sim

@@ -1,0 +1,56 @@
+// A network node: static routing table plus optional local delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "packet/segment.hpp"
+
+namespace vtp::sim {
+
+class link;
+
+class node {
+public:
+    explicit node(std::uint32_t id) : id_(id) {}
+
+    std::uint32_t id() const { return id_; }
+
+    /// Route packets destined to `dst` out of `out`.
+    void add_route(std::uint32_t dst, link* out) { routes_[dst] = out; }
+
+    /// Fallback route when no specific entry matches.
+    void set_default_route(link* out) { default_route_ = out; }
+
+    /// Invoked for packets addressed to this node (host attach point).
+    void set_delivery(std::function<void(packet::packet)> fn) { delivery_ = std::move(fn); }
+
+    /// Ingress filter applied to every packet entering this node (local
+    /// injections included) before routing; DiffServ edge conditioners
+    /// install their marker here.
+    void set_filter(std::function<void(packet::packet&)> fn) { filter_ = std::move(fn); }
+
+    /// A packet arriving from a link (or locally injected): deliver it
+    /// here if addressed to us, otherwise forward along the route.
+    void receive(packet::packet pkt);
+
+    /// Entry point for locally originated packets.
+    void inject(packet::packet pkt) { receive(std::move(pkt)); }
+
+    std::uint64_t forwarded() const { return forwarded_; }
+    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t routeless_drops() const { return routeless_drops_; }
+
+private:
+    std::uint32_t id_;
+    std::unordered_map<std::uint32_t, link*> routes_;
+    link* default_route_ = nullptr;
+    std::function<void(packet::packet)> delivery_;
+    std::function<void(packet::packet&)> filter_;
+    std::uint64_t forwarded_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t routeless_drops_ = 0;
+};
+
+} // namespace vtp::sim

@@ -1,0 +1,32 @@
+#include "sim/queue.hpp"
+
+namespace vtp::sim {
+
+drop_tail_queue::drop_tail_queue(std::size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+bool drop_tail_queue::enqueue(packet::packet pkt, sim_time now) {
+    if (bytes_ + pkt.size_bytes > capacity_bytes_) {
+        count_drop(pkt);
+        return false;
+    }
+    pkt.enqueued_at = now;
+    bytes_ += pkt.size_bytes;
+    count_enqueue(pkt);
+    fifo_.push_back(std::move(pkt));
+    return true;
+}
+
+std::optional<packet::packet> drop_tail_queue::dequeue(sim_time) {
+    if (fifo_.empty()) return std::nullopt;
+    packet::packet pkt = std::move(fifo_.front());
+    fifo_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    count_dequeue(pkt);
+    return pkt;
+}
+
+std::unique_ptr<drop_tail_queue> make_drop_tail(std::size_t packets, std::size_t packet_size) {
+    return std::make_unique<drop_tail_queue>(packets * packet_size);
+}
+
+} // namespace vtp::sim

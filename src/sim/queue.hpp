@@ -1,0 +1,91 @@
+// Queue disciplines for simulated links.
+//
+// A queue discipline decides, per arriving packet, whether to accept or
+// drop it, and hands packets back to the link in service order. DropTail
+// and RED live here; the DiffServ RIO queue builds on sim/red.hpp and
+// lives in src/diffserv.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "packet/segment.hpp"
+#include "util/time.hpp"
+
+namespace vtp::sim {
+
+using util::sim_time;
+
+/// Cumulative drop/acceptance counters every discipline maintains.
+struct queue_stats {
+    std::uint64_t enqueued_packets = 0;
+    std::uint64_t enqueued_bytes = 0;
+    std::uint64_t dropped_packets = 0;
+    std::uint64_t dropped_bytes = 0;
+    std::uint64_t dequeued_packets = 0;
+    std::uint64_t dequeued_bytes = 0;
+
+    double drop_ratio() const {
+        const auto offered = enqueued_packets + dropped_packets;
+        return offered == 0 ? 0.0 : static_cast<double>(dropped_packets) / offered;
+    }
+};
+
+class queue_discipline {
+public:
+    virtual ~queue_discipline() = default;
+
+    /// Offer a packet; returns true if accepted. Drops are counted.
+    virtual bool enqueue(packet::packet pkt, sim_time now) = 0;
+
+    /// Remove the next packet to serve, if any.
+    virtual std::optional<packet::packet> dequeue(sim_time now) = 0;
+
+    virtual std::size_t byte_length() const = 0;
+    virtual std::size_t packet_length() const = 0;
+    virtual std::string name() const = 0;
+
+    const queue_stats& stats() const { return stats_; }
+
+protected:
+    void count_enqueue(const packet::packet& pkt) {
+        ++stats_.enqueued_packets;
+        stats_.enqueued_bytes += pkt.size_bytes;
+    }
+    void count_drop(const packet::packet& pkt) {
+        ++stats_.dropped_packets;
+        stats_.dropped_bytes += pkt.size_bytes;
+    }
+    void count_dequeue(const packet::packet& pkt) {
+        ++stats_.dequeued_packets;
+        stats_.dequeued_bytes += pkt.size_bytes;
+    }
+
+    queue_stats stats_;
+};
+
+/// FIFO with a byte-capacity limit (classic DropTail).
+class drop_tail_queue : public queue_discipline {
+public:
+    explicit drop_tail_queue(std::size_t capacity_bytes);
+
+    bool enqueue(packet::packet pkt, sim_time now) override;
+    std::optional<packet::packet> dequeue(sim_time now) override;
+    std::size_t byte_length() const override { return bytes_; }
+    std::size_t packet_length() const override { return fifo_.size(); }
+    std::string name() const override { return "droptail"; }
+
+private:
+    std::size_t capacity_bytes_;
+    std::size_t bytes_ = 0;
+    std::deque<packet::packet> fifo_;
+};
+
+/// Convenience: capacity expressed as a number of `packet_size`-byte
+/// packets (how queue sizes are quoted in the literature).
+std::unique_ptr<drop_tail_queue> make_drop_tail(std::size_t packets, std::size_t packet_size);
+
+} // namespace vtp::sim

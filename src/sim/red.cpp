@@ -1,0 +1,97 @@
+#include "sim/red.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vtp::sim {
+
+void red_state::update_average(double queue_bytes, util::sim_time now,
+                               util::sim_time idle_since) {
+    if (idle_since != util::time_never && queue_bytes <= 0.0) {
+        // Queue idle: decay the average as if m small packets had been
+        // serviced while it was empty (RFC 2309 / Floyd's idle fix).
+        const double idle = static_cast<double>(now - idle_since);
+        const double m = idle / static_cast<double>(params_.mean_packet_time);
+        if (m > 0) avg_ *= std::pow(1.0 - params_.weight, std::min(m, 1e6));
+    } else {
+        avg_ = (1.0 - params_.weight) * avg_ + params_.weight * queue_bytes;
+    }
+}
+
+bool red_state::should_drop(util::rng& rng) {
+    if (avg_ < params_.min_th) {
+        count_ = -1;
+        return false;
+    }
+
+    double pb;
+    if (avg_ < params_.max_th) {
+        pb = params_.max_p * (avg_ - params_.min_th) / (params_.max_th - params_.min_th);
+    } else if (params_.gentle && avg_ < 2.0 * params_.max_th) {
+        pb = params_.max_p +
+             (1.0 - params_.max_p) * (avg_ - params_.max_th) / params_.max_th;
+    } else {
+        count_ = 0;
+        return true; // forced drop region
+    }
+
+    ++count_;
+    double pa = pb;
+    const double denom = 1.0 - static_cast<double>(count_) * pb;
+    if (denom > 0.0)
+        pa = pb / denom;
+    else
+        pa = 1.0;
+
+    if (rng.bernoulli(pa)) {
+        count_ = 0;
+        return true;
+    }
+    return false;
+}
+
+red_queue::red_queue(red_params params, std::size_t capacity_bytes, std::uint64_t seed)
+    : red_(params), capacity_bytes_(capacity_bytes), rng_(seed) {}
+
+bool red_queue::enqueue(packet::packet pkt, sim_time now) {
+    red_.update_average(static_cast<double>(bytes_), now,
+                        fifo_.empty() ? idle_since_ : util::time_never);
+    const bool early = red_.should_drop(rng_);
+    const bool overflow = bytes_ + pkt.size_bytes > capacity_bytes_;
+    if (early || overflow) {
+        if (overflow)
+            ++forced_drops_;
+        else
+            ++early_drops_;
+        count_drop(pkt);
+        return false;
+    }
+    pkt.enqueued_at = now;
+    bytes_ += pkt.size_bytes;
+    count_enqueue(pkt);
+    fifo_.push_back(std::move(pkt));
+    return true;
+}
+
+std::optional<packet::packet> red_queue::dequeue(sim_time now) {
+    if (fifo_.empty()) return std::nullopt;
+    packet::packet pkt = std::move(fifo_.front());
+    fifo_.pop_front();
+    bytes_ -= pkt.size_bytes;
+    if (fifo_.empty()) idle_since_ = now;
+    count_dequeue(pkt);
+    return pkt;
+}
+
+red_params default_red_params(std::size_t capacity_packets, std::size_t packet_size) {
+    red_params p;
+    const double cap = static_cast<double>(capacity_packets * packet_size);
+    p.min_th = 0.2 * cap;
+    p.max_th = 0.6 * cap;
+    p.max_p = 0.1;
+    p.weight = 0.002;
+    p.gentle = true;
+    return p;
+}
+
+} // namespace vtp::sim

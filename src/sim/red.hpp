@@ -1,0 +1,77 @@
+// Random Early Detection (Floyd & Jacobson 1993), with the "gentle"
+// variant, factored so the DiffServ RIO queue can reuse the estimator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/queue.hpp"
+#include "util/rng.hpp"
+
+namespace vtp::sim {
+
+/// Parameters of one RED drop profile. Thresholds are in bytes.
+struct red_params {
+    double min_th = 0;         ///< below: never drop
+    double max_th = 0;         ///< above: drop with prob 1 (or gentle ramp)
+    double max_p = 0.1;        ///< drop probability at max_th
+    double weight = 0.002;     ///< EWMA weight w_q
+    bool gentle = true;        ///< ramp max_p..1 over [max_th, 2*max_th]
+    util::sim_time mean_packet_time = util::microseconds(120); ///< idle-decay granularity
+};
+
+/// The reusable estimator/dropper: maintains the EWMA of a queue length
+/// and answers "should this arrival be dropped?".
+class red_state {
+public:
+    explicit red_state(red_params params) : params_(params) {}
+
+    /// Update the average for an arrival seeing instantaneous length
+    /// `queue_bytes`; `idle_since` is the time the (physical) queue went
+    /// empty, or time_never if it is busy.
+    void update_average(double queue_bytes, util::sim_time now, util::sim_time idle_since);
+
+    /// Early-drop decision for one arrival (call after update_average).
+    bool should_drop(util::rng& rng);
+
+    double average() const { return avg_; }
+    const red_params& params() const { return params_; }
+
+private:
+    red_params params_;
+    double avg_ = 0.0;
+    std::int64_t count_ = -1; ///< packets since last drop, -1 = below min_th
+};
+
+/// Single-profile RED queue discipline with a hard byte capacity.
+class red_queue : public queue_discipline {
+public:
+    red_queue(red_params params, std::size_t capacity_bytes, std::uint64_t seed);
+
+    bool enqueue(packet::packet pkt, sim_time now) override;
+    std::optional<packet::packet> dequeue(sim_time now) override;
+    std::size_t byte_length() const override { return bytes_; }
+    std::size_t packet_length() const override { return fifo_.size(); }
+    std::string name() const override { return "red"; }
+
+    double average() const { return red_.average(); }
+    std::uint64_t early_drops() const { return early_drops_; }
+    std::uint64_t forced_drops() const { return forced_drops_; }
+
+private:
+    red_state red_;
+    std::size_t capacity_bytes_;
+    std::size_t bytes_ = 0;
+    std::deque<packet::packet> fifo_;
+    util::rng rng_;
+    util::sim_time idle_since_ = 0; ///< queue empty since t=0
+    std::uint64_t early_drops_ = 0;
+    std::uint64_t forced_drops_ = 0;
+};
+
+/// Conventional RED configuration for a bottleneck of `capacity_packets`
+/// packets of `packet_size` bytes: min_th = 20%, max_th = 60% of capacity.
+red_params default_red_params(std::size_t capacity_packets, std::size_t packet_size);
+
+} // namespace vtp::sim

@@ -1,0 +1,64 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vtp::sim {
+
+scheduler::event_id scheduler::at(sim_time t, callback fn) {
+    assert(t >= now_ && "cannot schedule in the past");
+    const event_id id = next_id_++;
+    queue_.push(event{t < now_ ? now_ : t, id, std::move(fn)});
+    queued_ids_.insert(id);
+    return id;
+}
+
+scheduler::event_id scheduler::after(sim_time delay, callback fn) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void scheduler::cancel(event_id id) {
+    // Cancelling an already-fired or unknown id must be a no-op.
+    if (queued_ids_.count(id) != 0) cancelled_.insert(id);
+}
+
+bool scheduler::step() {
+    while (!queue_.empty()) {
+        event ev = queue_.top();
+        queue_.pop();
+        queued_ids_.erase(ev.id);
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.at;
+        ++executed_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+void scheduler::run(std::uint64_t limit) {
+    for (std::uint64_t i = 0; i < limit && step(); ++i) {
+    }
+}
+
+void scheduler::run_until(sim_time t) {
+    while (!queue_.empty()) {
+        if (queue_.top().at > t) break;
+        event ev = queue_.top();
+        queue_.pop();
+        queued_ids_.erase(ev.id);
+        if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        now_ = ev.at;
+        ++executed_;
+        ev.fn();
+    }
+    if (now_ < t) now_ = t;
+}
+
+} // namespace vtp::sim

@@ -1,0 +1,71 @@
+// Discrete-event scheduler.
+//
+// Events execute in (time, insertion-order) order, which makes every
+// simulation deterministic: two runs with the same seed produce the same
+// event trace bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vtp::sim {
+
+using util::sim_time;
+
+class scheduler {
+public:
+    using callback = std::function<void()>;
+    using event_id = std::uint64_t;
+
+    /// Current simulation time. Starts at 0.
+    sim_time now() const { return now_; }
+
+    /// Schedule `fn` at absolute time `t` (>= now). Returns a cancellable id.
+    event_id at(sim_time t, callback fn);
+
+    /// Schedule `fn` after `delay` (>= 0) from now.
+    event_id after(sim_time delay, callback fn);
+
+    /// Cancel a pending event. Cancelling an already-fired or unknown id
+    /// is a harmless no-op.
+    void cancel(event_id id);
+
+    /// Execute a single event; returns false when the queue is empty.
+    bool step();
+
+    /// Run until the queue is empty or `limit` events executed.
+    void run(std::uint64_t limit = UINT64_MAX);
+
+    /// Run all events with time <= t, then set now() = t.
+    void run_until(sim_time t);
+
+    std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+    std::uint64_t executed() const { return executed_; }
+
+private:
+    struct event {
+        sim_time at;
+        event_id id;
+        callback fn;
+    };
+    struct later {
+        bool operator()(const event& a, const event& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.id > b.id; // same-time events fire in insertion order
+        }
+    };
+
+    sim_time now_ = 0;
+    event_id next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<event, std::vector<event>, later> queue_;
+    std::unordered_set<event_id> queued_ids_; ///< ids still in the queue
+    std::unordered_set<event_id> cancelled_;
+};
+
+} // namespace vtp::sim

@@ -1,0 +1,94 @@
+#include "sim/topology.hpp"
+
+namespace vtp::sim {
+
+namespace {
+constexpr std::size_t deep_queue_bytes = 64 * 1024 * 1024;
+} // namespace
+
+dumbbell::dumbbell(dumbbell_config cfg) : cfg_(std::move(cfg)) {
+    const std::size_t n = cfg_.pairs;
+
+    auto make_access_queue = [this]() -> std::unique_ptr<queue_discipline> {
+        if (cfg_.access_queue) return cfg_.access_queue();
+        return std::make_unique<drop_tail_queue>(deep_queue_bytes);
+    };
+    auto make_bottleneck_queue = [this]() -> std::unique_ptr<queue_discipline> {
+        if (cfg_.bottleneck_queue) return cfg_.bottleneck_queue();
+        return make_drop_tail(cfg_.bottleneck_queue_packets, 1500);
+    };
+
+    // Nodes: left 0..n-1, right n..2n-1, routers 2n and 2n+1.
+    nodes_.reserve(2 * n + 2);
+    for (std::size_t i = 0; i < 2 * n + 2; ++i)
+        nodes_.push_back(std::make_unique<node>(static_cast<std::uint32_t>(i)));
+    router_left_index_ = 2 * n;
+    router_right_index_ = 2 * n + 1;
+
+    node& rl = *nodes_[router_left_index_];
+    node& rr = *nodes_[router_right_index_];
+
+    auto pair_access_delay = [this](std::size_t i) {
+        if (i < cfg_.per_pair_access_delay.size()) return cfg_.per_pair_access_delay[i];
+        return cfg_.access_delay;
+    };
+
+    // Bottleneck links.
+    {
+        link::config bn{cfg_.bottleneck_rate_bps, cfg_.bottleneck_delay};
+        auto fwd = std::make_unique<link>(sched_, bn, make_bottleneck_queue());
+        fwd->set_destination(&rr);
+        bn_forward_ = fwd.get();
+        links_.push_back(std::move(fwd));
+
+        auto rev = std::make_unique<link>(sched_, bn, make_access_queue());
+        rev->set_destination(&rl);
+        bn_reverse_ = rev.get();
+        links_.push_back(std::move(rev));
+    }
+    rl.set_default_route(bn_forward_);
+    rr.set_default_route(bn_reverse_);
+
+    // Access links + hosts.
+    for (std::size_t i = 0; i < n; ++i) {
+        node& left = *nodes_[i];
+        node& right = *nodes_[n + i];
+        const link::config access_left{cfg_.access_rate_bps, pair_access_delay(i)};
+        const link::config access_right{cfg_.access_rate_bps, cfg_.access_delay};
+
+        auto up_l = std::make_unique<link>(sched_, access_left, make_access_queue());
+        up_l->set_destination(&rl);
+        left.set_default_route(up_l.get());
+        links_.push_back(std::move(up_l));
+
+        auto down_l = std::make_unique<link>(sched_, access_left, make_access_queue());
+        down_l->set_destination(&left);
+        rl.add_route(left.id(), down_l.get());
+        links_.push_back(std::move(down_l));
+
+        auto up_r = std::make_unique<link>(sched_, access_right, make_access_queue());
+        up_r->set_destination(&rr);
+        right.set_default_route(up_r.get());
+        links_.push_back(std::move(up_r));
+
+        auto down_r = std::make_unique<link>(sched_, access_right, make_access_queue());
+        down_r->set_destination(&right);
+        links_.push_back(std::move(down_r));
+        rr.add_route(right.id(), links_.back().get());
+
+        left_hosts_.push_back(
+            std::make_unique<host>(sched_, left, cfg_.seed * 1000003ULL + i * 2));
+        right_hosts_.push_back(
+            std::make_unique<host>(sched_, right, cfg_.seed * 1000003ULL + i * 2 + 1));
+    }
+}
+
+sim_time dumbbell::base_rtt(std::size_t i) const {
+    const sim_time access = i < cfg_.per_pair_access_delay.size()
+                                ? cfg_.per_pair_access_delay[i]
+                                : cfg_.access_delay;
+    // left access + bottleneck + right access, both directions.
+    return 2 * (access + cfg_.bottleneck_delay + cfg_.access_delay);
+}
+
+} // namespace vtp::sim

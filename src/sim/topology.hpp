@@ -1,0 +1,90 @@
+// Canonical experiment topologies.
+//
+// The dumbbell (n left hosts, n right hosts, one shared bottleneck) is
+// the workhorse of every evaluation in the paper's lineage: TFRC
+// friendliness, DiffServ bandwidth assurance, wireless loss. The builder
+// owns the scheduler, nodes, links and hosts, and wires static routes.
+//
+//   left[0] ---\                      /--- right[0]
+//   left[1] ----+-- RL ====bn==== RR +---- right[1]
+//   ...        /                      \...
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/node.hpp"
+#include "sim/queue.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vtp::sim {
+
+using queue_factory = std::function<std::unique_ptr<queue_discipline>()>;
+
+struct dumbbell_config {
+    std::size_t pairs = 2;
+
+    double access_rate_bps = 100e6;
+    sim_time access_delay = util::milliseconds(1);
+    /// Optional per-pair access delay (left side), for RTT heterogeneity.
+    std::vector<sim_time> per_pair_access_delay;
+
+    double bottleneck_rate_bps = 10e6;
+    sim_time bottleneck_delay = util::milliseconds(20);
+
+    /// Queue for the congested (left->right) bottleneck direction; the
+    /// default is a DropTail of `bottleneck_queue_packets` 1500B packets.
+    queue_factory bottleneck_queue;
+    std::size_t bottleneck_queue_packets = 50;
+
+    /// Access queues; default DropTail deep enough never to drop.
+    queue_factory access_queue;
+
+    std::uint64_t seed = 1;
+};
+
+class dumbbell {
+public:
+    explicit dumbbell(dumbbell_config cfg);
+
+    scheduler& sched() { return sched_; }
+
+    std::size_t pairs() const { return cfg_.pairs; }
+    host& left_host(std::size_t i) { return *left_hosts_.at(i); }
+    host& right_host(std::size_t i) { return *right_hosts_.at(i); }
+    std::uint32_t left_addr(std::size_t i) const { return static_cast<std::uint32_t>(i); }
+    std::uint32_t right_addr(std::size_t i) const {
+        return static_cast<std::uint32_t>(cfg_.pairs + i);
+    }
+
+    /// Congested direction (left -> right).
+    link& forward_bottleneck() { return *bn_forward_; }
+    /// Ack path (right -> left).
+    link& reverse_bottleneck() { return *bn_reverse_; }
+
+    node& left_router() { return *nodes_[router_left_index_]; }
+    node& right_router() { return *nodes_[router_right_index_]; }
+    node& left_node(std::size_t i) { return *nodes_.at(i); }
+    node& right_node(std::size_t i) { return *nodes_.at(cfg_.pairs + i); }
+
+    /// RTT (propagation only) for pair i.
+    sim_time base_rtt(std::size_t i) const;
+
+private:
+    dumbbell_config cfg_;
+    scheduler sched_;
+    std::vector<std::unique_ptr<node>> nodes_;
+    std::vector<std::unique_ptr<link>> links_;
+    std::vector<std::unique_ptr<host>> left_hosts_;
+    std::vector<std::unique_ptr<host>> right_hosts_;
+    link* bn_forward_ = nullptr;
+    link* bn_reverse_ = nullptr;
+    std::size_t router_left_index_ = 0;
+    std::size_t router_right_index_ = 0;
+};
+
+} // namespace vtp::sim

@@ -1,0 +1,44 @@
+#include "tcp/newreno.hpp"
+
+#include <algorithm>
+
+namespace vtp::tcp {
+
+newreno::newreno(newreno_config cfg) : cfg_(cfg) {
+    if (cfg_.initial_cwnd == 0) {
+        cfg_.initial_cwnd = std::min<std::uint64_t>(
+            4ull * cfg_.mss, std::max<std::uint64_t>(2ull * cfg_.mss, 4380));
+    }
+    cwnd_ = cfg_.initial_cwnd;
+    ssthresh_ = cfg_.initial_ssthresh;
+}
+
+void newreno::on_new_ack(std::uint64_t acked_bytes) {
+    if (in_slow_start()) {
+        // RFC 5681 §3.1: cwnd += min(N, SMSS) per ack.
+        cwnd_ += std::min<std::uint64_t>(acked_bytes, cfg_.mss);
+        return;
+    }
+    // Congestion avoidance, byte-counted: one MSS per cwnd of acked data.
+    ca_accumulator_ += acked_bytes * cfg_.mss;
+    if (ca_accumulator_ >= cwnd_) {
+        cwnd_ += ca_accumulator_ / std::max<std::uint64_t>(cwnd_, 1);
+        ca_accumulator_ = 0;
+    }
+}
+
+void newreno::enter_recovery(std::uint64_t flight_size) {
+    ssthresh_ = std::max<std::uint64_t>(flight_size / 2, 2ull * cfg_.mss);
+    cwnd_ = ssthresh_;
+    ca_accumulator_ = 0;
+}
+
+void newreno::exit_recovery() { cwnd_ = ssthresh_; }
+
+void newreno::on_timeout(std::uint64_t flight_size) {
+    ssthresh_ = std::max<std::uint64_t>(flight_size / 2, 2ull * cfg_.mss);
+    cwnd_ = cfg_.mss;
+    ca_accumulator_ = 0;
+}
+
+} // namespace vtp::tcp

@@ -1,0 +1,50 @@
+// NewReno congestion window arithmetic (RFC 5681/6582), byte counted.
+//
+// The sender owns the sequence-space bookkeeping (recovery point, SACK
+// scoreboard); this class owns only cwnd/ssthresh evolution, which keeps
+// it independently unit-testable.
+#pragma once
+
+#include <cstdint>
+
+namespace vtp::tcp {
+
+struct newreno_config {
+    std::uint32_t mss = 1000;
+    /// RFC 3390 initial window: min(4*MSS, max(2*MSS, 4380)).
+    std::uint64_t initial_cwnd = 0; ///< 0 = derive per RFC 3390
+    std::uint64_t initial_ssthresh = UINT64_MAX;
+};
+
+class newreno {
+public:
+    explicit newreno(newreno_config cfg = {});
+
+    std::uint64_t cwnd() const { return cwnd_; }
+    std::uint64_t ssthresh() const { return ssthresh_; }
+    bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+    /// Cumulative ack advanced by `acked_bytes` outside recovery:
+    /// slow-start or congestion-avoidance growth.
+    void on_new_ack(std::uint64_t acked_bytes);
+
+    /// Loss detected (3 dupacks / SACK threshold): halve.
+    /// `flight_size` = bytes outstanding at detection time.
+    void enter_recovery(std::uint64_t flight_size);
+
+    /// Recovery completed (cumulative ack reached the recovery point).
+    void exit_recovery();
+
+    /// Retransmission timeout: cwnd back to 1 MSS.
+    void on_timeout(std::uint64_t flight_size);
+
+    std::uint32_t mss() const { return cfg_.mss; }
+
+private:
+    newreno_config cfg_;
+    std::uint64_t cwnd_;
+    std::uint64_t ssthresh_;
+    std::uint64_t ca_accumulator_ = 0; ///< byte-counted CA increase
+};
+
+} // namespace vtp::tcp

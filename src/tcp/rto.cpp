@@ -1,0 +1,37 @@
+#include "tcp/rto.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace vtp::tcp {
+
+rto_estimator::rto_estimator(rto_config cfg) : cfg_(cfg) {}
+
+void rto_estimator::on_sample(util::sim_time rtt) {
+    if (!has_sample_) {
+        has_sample_ = true;
+        srtt_ = rtt;
+        rttvar_ = rtt / 2;
+        return;
+    }
+    const util::sim_time err = std::llabs(srtt_ - rtt);
+    rttvar_ = static_cast<util::sim_time>((1.0 - cfg_.beta) * static_cast<double>(rttvar_) +
+                                          cfg_.beta * static_cast<double>(err));
+    srtt_ = static_cast<util::sim_time>((1.0 - cfg_.alpha) * static_cast<double>(srtt_) +
+                                        cfg_.alpha * static_cast<double>(rtt));
+}
+
+void rto_estimator::on_timeout() {
+    backoff_ = std::min(backoff_ * 2, 64);
+}
+
+util::sim_time rto_estimator::rto() const {
+    util::sim_time base = cfg_.initial_rto;
+    if (has_sample_) {
+        base = srtt_ + static_cast<util::sim_time>(cfg_.k * static_cast<double>(rttvar_));
+        base = std::clamp(base, cfg_.min_rto, cfg_.max_rto);
+    }
+    return std::min<util::sim_time>(base * backoff_, cfg_.max_rto);
+}
+
+} // namespace vtp::tcp

@@ -1,0 +1,46 @@
+// RTO estimation per Jacobson/Karels with Karn's algorithm hooks
+// (RFC 6298): SRTT/RTTVAR smoothing, exponential back-off on timeout.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace vtp::tcp {
+
+struct rto_config {
+    util::sim_time min_rto = util::milliseconds(200);
+    util::sim_time max_rto = util::seconds(60);
+    util::sim_time initial_rto = util::seconds(1);
+    double alpha = 1.0 / 8.0; ///< SRTT gain
+    double beta = 1.0 / 4.0;  ///< RTTVAR gain
+    double k = 4.0;           ///< RTO = SRTT + K*RTTVAR
+};
+
+class rto_estimator {
+public:
+    explicit rto_estimator(rto_config cfg = {});
+
+    /// Feed one RTT sample (callers must enforce Karn's rule: never
+    /// sample a retransmitted segment).
+    void on_sample(util::sim_time rtt);
+
+    /// Timeout fired: double the RTO (bounded by max_rto).
+    void on_timeout();
+
+    /// New data acked: collapse any back-off.
+    void reset_backoff() { backoff_ = 1; }
+
+    util::sim_time rto() const;
+    util::sim_time srtt() const { return srtt_; }
+    util::sim_time rttvar() const { return rttvar_; }
+    bool has_sample() const { return has_sample_; }
+    int backoff() const { return backoff_; }
+
+private:
+    rto_config cfg_;
+    util::sim_time srtt_ = 0;
+    util::sim_time rttvar_ = 0;
+    bool has_sample_ = false;
+    int backoff_ = 1;
+};
+
+} // namespace vtp::tcp

@@ -1,0 +1,72 @@
+#include "tcp/tcp_receiver.hpp"
+
+#include <algorithm>
+
+namespace vtp::tcp {
+
+tcp_receiver_agent::tcp_receiver_agent(tcp_receiver_config cfg)
+    : cfg_(cfg), buffer_(sack::delivery_order::ordered) {}
+
+void tcp_receiver_agent::start(qtp::environment& env) { env_ = &env; }
+
+void tcp_receiver_agent::set_delivery(sack::reassembly::deliver_fn cb) {
+    buffer_ = sack::reassembly(sack::delivery_order::ordered, std::move(cb));
+}
+
+void tcp_receiver_agent::on_packet(const packet::packet& pkt) {
+    const auto* seg = std::get_if<packet::tcp_segment>(pkt.body.get());
+    if (seg == nullptr || seg->is_ack) return;
+
+    if (seg->fin) fin_seen_ = true;
+    if (seg->payload_len > 0) {
+        buffer_.on_data(seg->seq, seg->payload_len, seg->fin);
+
+        // Track recency for SACK block selection.
+        const packet::sack_block blk{seg->seq, seg->seq + seg->payload_len};
+        recent_blocks_.erase(
+            std::remove_if(recent_blocks_.begin(), recent_blocks_.end(),
+                           [&](const packet::sack_block& b) {
+                               return b.begin == blk.begin && b.end == blk.end;
+                           }),
+            recent_blocks_.end());
+        recent_blocks_.push_front(blk);
+        while (recent_blocks_.size() > 16) recent_blocks_.pop_back();
+    }
+    send_ack(seg->ts);
+}
+
+void tcp_receiver_agent::send_ack(util::sim_time ts_echo) {
+    packet::tcp_segment ack;
+    ack.is_ack = true;
+    ack.ack = buffer_.in_order_point();
+    ack.ts = env_->now();
+    ack.ts_echo = ts_echo;
+
+    // SACK: most recent ranges strictly above the cumulative ack,
+    // expanded to the containing received range.
+    for (const auto& recent : recent_blocks_) {
+        if (ack.sack.size() >= cfg_.max_sack_blocks) break;
+        if (recent.end <= ack.ack) continue;
+        // Expand to the merged range in the reassembly buffer.
+        packet::sack_block merged = recent;
+        for (const auto& [begin, end] : buffer_.received().ranges()) {
+            if (begin <= recent.begin && recent.end <= end) {
+                merged = packet::sack_block{std::max(begin, ack.ack), end};
+                break;
+            }
+        }
+        const bool duplicate =
+            std::any_of(ack.sack.begin(), ack.sack.end(), [&](const packet::sack_block& b) {
+                return b.begin == merged.begin && b.end == merged.end;
+            });
+        if (!duplicate) ack.sack.push_back(merged);
+    }
+
+    packet::packet out =
+        packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, std::move(ack));
+    ack_bytes_ += out.size_bytes;
+    ++acks_sent_;
+    env_->send(std::move(out));
+}
+
+} // namespace vtp::tcp

@@ -1,0 +1,50 @@
+// TCP receiver agent: cumulative ack + SACK generation, in-order
+// delivery to the application. Acks every segment (no delayed acks).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/environment.hpp"
+#include "sack/reassembly.hpp"
+
+namespace vtp::tcp {
+
+struct tcp_receiver_config {
+    std::uint32_t flow_id = 0;
+    std::uint32_t peer_addr = 0;
+    std::size_t max_sack_blocks = 3; ///< classic TCP option space limit
+};
+
+class tcp_receiver_agent : public qtp::agent {
+public:
+    explicit tcp_receiver_agent(tcp_receiver_config cfg);
+
+    void start(qtp::environment& env) override;
+    void on_packet(const packet::packet& pkt) override;
+    std::string name() const override { return "tcp-recv"; }
+
+    /// Application delivery hook: (offset, length) in order.
+    void set_delivery(sack::reassembly::deliver_fn cb);
+
+    std::uint64_t delivered_bytes() const { return buffer_.delivered_bytes(); }
+    std::uint64_t received_bytes() const { return buffer_.received_bytes(); }
+    std::uint64_t acks_sent() const { return acks_sent_; }
+    std::uint64_t ack_bytes() const { return ack_bytes_; }
+    bool fin_received() const { return fin_seen_; }
+    bool complete() const { return buffer_.complete(); }
+
+private:
+    void send_ack(util::sim_time ts_echo);
+
+    tcp_receiver_config cfg_;
+    qtp::environment* env_ = nullptr;
+    sack::reassembly buffer_;
+    /// Recently received ranges, newest first (SACK block recency rule).
+    std::deque<packet::sack_block> recent_blocks_;
+    bool fin_seen_ = false;
+    std::uint64_t acks_sent_ = 0;
+    std::uint64_t ack_bytes_ = 0;
+};
+
+} // namespace vtp::tcp

@@ -1,0 +1,224 @@
+#include "tcp/tcp_sender.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vtp::tcp {
+
+tcp_sender_agent::tcp_sender_agent(tcp_sender_config cfg)
+    : cfg_(cfg), cc_(cfg.cc), rto_(cfg.rto) {
+    if (cfg_.cc.mss != cfg_.mss) {
+        newreno_config fixed = cfg_.cc;
+        fixed.mss = cfg_.mss;
+        cc_ = newreno(fixed);
+    }
+}
+
+void tcp_sender_agent::start(qtp::environment& env) {
+    env_ = &env;
+    try_send();
+}
+
+std::uint64_t tcp_sender_agent::pipe() const {
+    // RFC 6675: bytes in flight = outstanding - SACKed - marked-lost.
+    // (`lost_` and `sacked_` are kept disjoint: marking excludes sacked
+    // ranges and new SACK blocks are removed from `lost_`.)
+    const std::uint64_t outstanding = next_seq_ - snd_una_;
+    const std::uint64_t sacked_in_window = sacked_.covered_in(snd_una_, next_seq_);
+    const std::uint64_t lost_in_window = lost_.covered_in(snd_una_, next_seq_);
+    const std::uint64_t discount = sacked_in_window + lost_in_window;
+    return outstanding > discount ? outstanding - discount : 0;
+}
+
+std::uint64_t tcp_sender_agent::highest_sacked() const {
+    if (sacked_.empty()) return snd_una_;
+    return std::max(snd_una_, sacked_.ranges().rbegin()->second);
+}
+
+void tcp_sender_agent::on_packet(const packet::packet& pkt) {
+    if (const auto* seg = std::get_if<packet::tcp_segment>(pkt.body.get())) {
+        if (seg->is_ack) on_ack(*seg);
+    }
+}
+
+void tcp_sender_agent::on_ack(const packet::tcp_segment& seg) {
+    for (const auto& block : seg.sack) {
+        sacked_.add(block.begin, block.end);
+        lost_.remove(block.begin, block.end); // delivered after all
+    }
+
+    const bool new_data_acked = seg.ack > snd_una_;
+    if (new_data_acked) {
+        const std::uint64_t old_una = snd_una_;
+        const std::uint64_t newly = seg.ack - snd_una_;
+        snd_una_ = seg.ack;
+        dupacks_ = 0;
+
+        // Karn: only sample when the acked range was never retransmitted.
+        if (seg.ts_echo > 0 && rtx_ever_.covered_in(old_una, snd_una_) == 0) {
+            rto_.on_sample(env_->now() - seg.ts_echo);
+        }
+        rto_.reset_backoff();
+
+        if (in_recovery_) {
+            if (snd_una_ >= recovery_point_) {
+                in_recovery_ = false;
+                cc_.exit_recovery();
+                rtx_queued_ = sack::interval_set{};
+            } else {
+                // NewReno partial ack: retransmit the next hole at once.
+                queue_holes_up_to(recovery_point_);
+            }
+        } else {
+            cc_.on_new_ack(newly);
+        }
+    } else {
+        ++dupacks_;
+    }
+
+    detect_loss_and_queue_holes();
+
+    if (pipe() == 0 && rtx_pending_.empty() && lost_.covered_in(snd_una_, next_seq_) == 0) {
+        if (rto_timer_ != qtp::no_timer) {
+            env_->cancel(rto_timer_);
+            rto_timer_ = qtp::no_timer;
+        }
+    } else if (new_data_acked) {
+        restart_rto();
+    } else {
+        ensure_rto(); // dup-ack: leave a running timer alone
+    }
+
+    try_send();
+}
+
+void tcp_sender_agent::detect_loss_and_queue_holes() {
+    const std::uint64_t sacked_above = sacked_.covered_in(snd_una_, next_seq_);
+    const bool sack_threshold = sacked_above >= 3ull * cfg_.mss;
+    if (!in_recovery_) {
+        if (dupacks_ >= 3 || sack_threshold) {
+            in_recovery_ = true;
+            ++fast_recoveries_;
+            recovery_point_ = next_seq_;
+            cc_.enter_recovery(pipe());
+            rtx_queued_ = sack::interval_set{};
+            queue_holes_up_to(recovery_point_);
+        }
+        return;
+    }
+    queue_holes_up_to(recovery_point_);
+}
+
+void tcp_sender_agent::queue_holes_up_to(std::uint64_t limit) {
+    // Queue unsacked ranges in [snd_una_, min(limit, highest_sacked))
+    // that have not been queued during this recovery episode.
+    const std::uint64_t scan_end = std::min(limit, highest_sacked());
+    std::uint64_t cursor = snd_una_;
+    while (cursor < scan_end) {
+        cursor = sacked_.first_gap(cursor);
+        if (cursor >= scan_end) break;
+        auto next_range = sacked_.ranges().upper_bound(cursor);
+        const std::uint64_t gap_end = next_range == sacked_.ranges().end()
+                                          ? scan_end
+                                          : std::min(next_range->first, scan_end);
+        for (std::uint64_t b = cursor; b < gap_end; b += cfg_.mss) {
+            const std::uint64_t e = std::min<std::uint64_t>(b + cfg_.mss, gap_end);
+            if (rtx_queued_.covered_in(b, e) == 0) {
+                rtx_pending_.push_back(packet::sack_block{b, e});
+                rtx_queued_.add(b, e);
+                lost_.add(b, e); // no longer counted in flight
+            }
+        }
+        cursor = gap_end;
+    }
+}
+
+void tcp_sender_agent::try_send() {
+    while (true) {
+        const std::uint64_t window = cc_.cwnd();
+        if (!rtx_pending_.empty()) {
+            if (pipe() + cfg_.mss > window + cfg_.mss) break; // allow one rtx beyond
+            packet::sack_block hole = rtx_pending_.front();
+            rtx_pending_.pop_front();
+            const std::uint32_t len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(hole.end - hole.begin, cfg_.mss));
+            send_segment(hole.begin, len, true);
+            if (hole.begin + len < hole.end)
+                rtx_pending_.push_front(packet::sack_block{hole.begin + len, hole.end});
+            continue;
+        }
+        if (next_seq_ >= cfg_.max_bytes) break;
+        if (pipe() + cfg_.mss > window) break;
+        const std::uint32_t len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(cfg_.mss, cfg_.max_bytes - next_seq_));
+        send_segment(next_seq_, len, false);
+        next_seq_ += len;
+    }
+    if (pipe() > 0 || !rtx_pending_.empty()) ensure_rto();
+}
+
+void tcp_sender_agent::send_segment(std::uint64_t seq, std::uint32_t len, bool rtx) {
+    packet::tcp_segment seg;
+    seg.seq = seq;
+    seg.payload_len = len;
+    seg.ts = env_->now();
+    seg.fin = (seq + len >= cfg_.max_bytes && cfg_.max_bytes != UINT64_MAX);
+    if (rtx) {
+        rtx_ever_.add(seq, seq + len);
+        lost_.remove(seq, seq + len); // back in flight
+        ++retransmitted_segments_;
+    }
+    ++segments_sent_;
+    bytes_sent_ += len;
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, seg));
+}
+
+void tcp_sender_agent::restart_rto() {
+    if (rto_timer_ != qtp::no_timer) env_->cancel(rto_timer_);
+    rto_timer_ = env_->schedule(rto_.rto(), [this] {
+        rto_timer_ = qtp::no_timer;
+        on_rto_timeout();
+    });
+}
+
+void tcp_sender_agent::ensure_rto() {
+    if (rto_timer_ == qtp::no_timer) restart_rto();
+}
+
+void tcp_sender_agent::on_rto_timeout() {
+    if (pipe() == 0 && rtx_pending_.empty() && next_seq_ >= cfg_.max_bytes) return;
+    ++timeouts_;
+    rto_.on_timeout();
+    cc_.on_timeout(pipe());
+    in_recovery_ = false;
+    rtx_queued_ = sack::interval_set{};
+    rtx_pending_.clear();
+
+    // RTO means everything unSACKed in flight is presumed lost (the pipe
+    // drains so retransmissions actually fit the collapsed window), and
+    // we go back to the first hole.
+    std::uint64_t cursor = snd_una_;
+    while (cursor < next_seq_) {
+        cursor = sacked_.first_gap(cursor);
+        if (cursor >= next_seq_) break;
+        auto next_range = sacked_.ranges().upper_bound(cursor);
+        const std::uint64_t gap_end = next_range == sacked_.ranges().end()
+                                          ? next_seq_
+                                          : std::min(next_range->first, next_seq_);
+        lost_.add(cursor, gap_end);
+        cursor = gap_end;
+    }
+    if (snd_una_ < next_seq_) {
+        std::uint64_t begin = snd_una_;
+        if (sacked_.contains(begin, begin + 1)) begin = sacked_.first_gap(begin);
+        if (begin < next_seq_) {
+            std::uint64_t end = std::min<std::uint64_t>(begin + cfg_.mss, next_seq_);
+            rtx_pending_.push_back(packet::sack_block{begin, end});
+        }
+    }
+    try_send();
+    restart_rto();
+}
+
+} // namespace vtp::tcp

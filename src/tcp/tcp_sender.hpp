@@ -1,0 +1,98 @@
+// TCP NewReno + SACK sender agent — the baseline every experiment
+// compares against.
+//
+// Byte-sequence window transport: ack-clocked transmission (bursty, the
+// source of the sawtooth TFRC smooths out), SACK-based loss detection
+// (3-dupack / 3-MSS sacked threshold), NewReno partial-ack
+// retransmission during recovery, Karn-compliant RTT sampling, and RTO
+// with exponential back-off.
+//
+// Deliberate simplifications (documented in DESIGN.md): no three-way
+// handshake (flows start hot, as in ns-2 FTP sources), no delayed acks,
+// no window scaling (the receive window is unbounded). None of these
+// affect the phenomena under study: congestion response shape, AF
+// under-assurance, loss sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "core/environment.hpp"
+#include "sack/reassembly.hpp"
+#include "tcp/newreno.hpp"
+#include "tcp/rto.hpp"
+
+namespace vtp::tcp {
+
+struct tcp_sender_config {
+    std::uint32_t flow_id = 0;
+    std::uint32_t peer_addr = 0;
+    std::uint32_t mss = 1000;          ///< payload bytes per segment
+    std::uint64_t max_bytes = UINT64_MAX; ///< finite transfer size
+    newreno_config cc{};
+    rto_config rto{};
+};
+
+class tcp_sender_agent : public qtp::agent {
+public:
+    explicit tcp_sender_agent(tcp_sender_config cfg);
+
+    void start(qtp::environment& env) override;
+    void on_packet(const packet::packet& pkt) override;
+    std::string name() const override { return "tcp-send"; }
+
+    const newreno& congestion() const { return cc_; }
+    const rto_estimator& rto() const { return rto_; }
+    std::uint64_t bytes_acked() const { return snd_una_; }
+    std::uint64_t bytes_sent() const { return bytes_sent_; }
+    std::uint64_t segments_sent() const { return segments_sent_; }
+    std::uint64_t retransmitted_segments() const { return retransmitted_segments_; }
+    std::uint64_t timeouts() const { return timeouts_; }
+    std::uint64_t fast_recoveries() const { return fast_recoveries_; }
+    bool completed() const { return snd_una_ >= cfg_.max_bytes; }
+
+    /// Bytes in flight (sent, neither cumulatively acked nor SACKed).
+    std::uint64_t pipe() const;
+
+private:
+    void on_ack(const packet::tcp_segment& seg);
+    void detect_loss_and_queue_holes();
+    void queue_holes_up_to(std::uint64_t limit);
+    void try_send();
+    void send_segment(std::uint64_t seq, std::uint32_t len, bool rtx);
+    /// Cancel + rearm (on new-data acks and timeouts, per RFC 6298).
+    void restart_rto();
+    /// Arm only if no timer is pending (after transmissions). Dup-acks
+    /// must NOT touch the timer, or a lost retransmission can stall the
+    /// connection forever behind an endlessly-postponed timeout.
+    void ensure_rto();
+    void on_rto_timeout();
+    std::uint64_t highest_sacked() const;
+
+    tcp_sender_config cfg_;
+    qtp::environment* env_ = nullptr;
+    newreno cc_;
+    rto_estimator rto_;
+
+    std::uint64_t next_seq_ = 0; ///< next new byte to send
+    std::uint64_t snd_una_ = 0;  ///< oldest unacked byte
+    sack::interval_set sacked_;  ///< receiver-reported ranges above snd_una_
+    sack::interval_set lost_;    ///< marked lost, awaiting retransmission (RFC 6675 pipe)
+    sack::interval_set rtx_ever_;   ///< bytes ever retransmitted (Karn)
+    sack::interval_set rtx_queued_; ///< holes queued this recovery episode
+    std::deque<packet::sack_block> rtx_pending_; ///< byte ranges to resend
+
+    bool in_recovery_ = false;
+    std::uint64_t recovery_point_ = 0;
+    int dupacks_ = 0;
+
+    qtp::timer_id rto_timer_ = qtp::no_timer;
+
+    std::uint64_t bytes_sent_ = 0;
+    std::uint64_t segments_sent_ = 0;
+    std::uint64_t retransmitted_segments_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t fast_recoveries_ = 0;
+};
+
+} // namespace vtp::tcp

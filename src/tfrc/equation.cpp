@@ -1,0 +1,53 @@
+#include "tfrc/equation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vtp::tfrc {
+
+double throughput_bytes_per_second(const equation_params& params, double rtt_seconds,
+                                   double t_rto_seconds, double p) {
+    assert(p > 0.0 && "equation undefined at p == 0; handle slow start separately");
+    const double clamped_p = std::min(p, 1.0);
+    const double s = params.packet_size_bytes;
+    const double b = params.b;
+    const double root_term = rtt_seconds * std::sqrt(2.0 * b * clamped_p / 3.0);
+    const double rto_term = t_rto_seconds * (3.0 * std::sqrt(3.0 * b * clamped_p / 8.0)) *
+                            clamped_p * (1.0 + 32.0 * clamped_p * clamped_p);
+    const double denom = root_term + rto_term;
+    if (denom <= 0.0) return 0.0;
+    return s / denom;
+}
+
+double throughput_bytes_per_second(const equation_params& params, double rtt_seconds,
+                                   double p) {
+    return throughput_bytes_per_second(params, rtt_seconds, 4.0 * rtt_seconds, p);
+}
+
+double loss_rate_for_throughput(const equation_params& params, double rtt_seconds,
+                                double x_bytes_per_second) {
+    constexpr double p_lo_limit = 1e-8;
+    constexpr double p_hi_limit = 1.0;
+    if (x_bytes_per_second <= 0.0) return p_hi_limit;
+
+    // X(p) is strictly decreasing in p.
+    double lo = p_lo_limit; // high rate
+    double hi = p_hi_limit; // low rate
+    if (throughput_bytes_per_second(params, rtt_seconds, lo) <= x_bytes_per_second)
+        return lo;
+    if (throughput_bytes_per_second(params, rtt_seconds, hi) >= x_bytes_per_second)
+        return hi;
+
+    for (int i = 0; i < 100; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double x_mid = throughput_bytes_per_second(params, rtt_seconds, mid);
+        if (x_mid > x_bytes_per_second)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace vtp::tfrc

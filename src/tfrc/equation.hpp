@@ -1,0 +1,42 @@
+// The TCP throughput equation at the heart of TFRC (RFC 3448 §3.1):
+//
+//                              s
+//   X = --------------------------------------------------
+//       R*sqrt(2*b*p/3) + t_RTO*(3*sqrt(3*b*p/8))*p*(1+32*p^2)
+//
+// X: transmit rate in bytes/second, s: packet size in bytes, R: RTT in
+// seconds, p: loss event rate, t_RTO: retransmission timeout (4R),
+// b: packets acknowledged per ACK (1 here).
+//
+// The inverse (p from X) is needed to synthesise the first loss interval
+// when the receiver (or the QTPlight sender-side estimator) observes its
+// first loss event while the flow is still in slow start (RFC 3448
+// §6.3.1): the history is seeded so that the equation yields the rate the
+// flow was actually achieving.
+#pragma once
+
+namespace vtp::tfrc {
+
+struct equation_params {
+    double packet_size_bytes = 1000.0; ///< s
+    double b = 1.0;                    ///< packets per ACK
+};
+
+/// X in bytes/second for loss event rate `p` (0 < p <= 1) and RTT
+/// `rtt_seconds`. Returns +inf-like large value as p -> 0 is undefined;
+/// callers must handle p == 0 (slow start) separately, so this function
+/// requires p > 0.
+double throughput_bytes_per_second(const equation_params& params, double rtt_seconds,
+                                   double t_rto_seconds, double p);
+
+/// Convenience overload with t_RTO = 4*RTT (the RFC 3448 recommendation).
+double throughput_bytes_per_second(const equation_params& params, double rtt_seconds,
+                                   double p);
+
+/// Invert the equation: the loss event rate p that would produce rate
+/// `x_bytes_per_second` at the given RTT. Solved by bisection on the
+/// strictly decreasing X(p); result clamped to [1e-8, 1].
+double loss_rate_for_throughput(const equation_params& params, double rtt_seconds,
+                                double x_bytes_per_second);
+
+} // namespace vtp::tfrc

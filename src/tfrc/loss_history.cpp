@@ -1,0 +1,131 @@
+#include "tfrc/loss_history.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vtp::tfrc {
+
+std::vector<double> interval_weights(std::size_t n) {
+    std::vector<double> w(n, 1.0);
+    const std::size_t half = n / 2;
+    for (std::size_t i = half; i < n; ++i) {
+        w[i] = 1.0 - static_cast<double>(i - (half - 1)) / static_cast<double>(half + 1);
+    }
+    return w;
+}
+
+loss_history::loss_history(loss_history_config cfg)
+    : cfg_(cfg), weights_(interval_weights(cfg.num_intervals)) {}
+
+bool loss_history::on_packet(std::uint64_t seq, sim_time at, sim_time rtt) {
+    ++packets_seen_;
+    bool new_event = false;
+
+    if (!started_) {
+        started_ = true;
+        next_expected_ = seq + 1;
+        highest_seq_ = seq;
+        return false;
+    }
+
+    if (seq < next_expected_) {
+        // Late (reordered) arrival: cancel the pending hole if any.
+        auto it = std::find_if(pending_.begin(), pending_.end(),
+                               [seq](const pending_hole& h) { return h.seq == seq; });
+        if (it != pending_.end()) pending_.erase(it);
+        return false;
+    }
+
+    // New holes between expected and this arrival.
+    for (std::uint64_t missing = next_expected_; missing < seq; ++missing) {
+        pending_.push_back(pending_hole{missing, 0});
+    }
+    next_expected_ = seq + 1;
+    highest_seq_ = std::max(highest_seq_, seq);
+
+    // This arrival is evidence against every pending hole below it.
+    for (auto& hole : pending_) {
+        if (hole.seq < seq) ++hole.later_arrivals;
+    }
+    while (!pending_.empty() && pending_.front().later_arrivals >= cfg_.reorder_tolerance) {
+        const std::uint64_t lost_seq = pending_.front().seq;
+        pending_.pop_front();
+        const bool was_new_event = !open_event_ || at > open_event_start_ + rtt;
+        declare_lost(lost_seq, at, rtt);
+        new_event = new_event || was_new_event;
+    }
+    return new_event;
+}
+
+void loss_history::declare_lost(std::uint64_t seq, sim_time at, sim_time rtt) {
+    ++lost_packets_;
+    if (!open_event_) {
+        open_event_ = true;
+        open_event_first_seq_ = seq;
+        open_event_start_ = at;
+        ++loss_events_;
+        return;
+    }
+    if (at > open_event_start_ + rtt) {
+        // Close the current interval and start a new event.
+        const std::uint64_t length =
+            seq > open_event_first_seq_ ? seq - open_event_first_seq_ : 1;
+        intervals_.push_front(length);
+        while (intervals_.size() > cfg_.num_intervals) intervals_.pop_back();
+        open_event_first_seq_ = seq;
+        open_event_start_ = at;
+        ++loss_events_;
+    }
+    // else: same loss event; the lost packet extends no interval.
+}
+
+void loss_history::seed_first_interval(double p_initial) {
+    if (!intervals_.empty() || p_initial <= 0.0) return;
+    const double interval = std::max(1.0, 1.0 / p_initial);
+    intervals_.push_front(static_cast<std::uint64_t>(std::llround(interval)));
+}
+
+std::uint64_t loss_history::open_interval() const {
+    if (!open_event_) return 0;
+    return highest_seq_ >= open_event_first_seq_ ? highest_seq_ - open_event_first_seq_ : 0;
+}
+
+double loss_history::loss_event_rate() const {
+    if (!open_event_) return 0.0;
+
+    const std::size_t n = cfg_.num_intervals;
+
+    // Average including the open interval as I_0.
+    double tot0 = 0.0;
+    double wsum0 = 0.0;
+    {
+        const double i0 = std::max<double>(1.0, static_cast<double>(open_interval()));
+        tot0 += weights_[0] * i0;
+        wsum0 += weights_[0];
+        for (std::size_t i = 0; i + 1 < n && i < intervals_.size(); ++i) {
+            tot0 += weights_[i + 1] * static_cast<double>(intervals_[i]);
+            wsum0 += weights_[i + 1];
+        }
+    }
+
+    // Average over closed intervals only.
+    double tot1 = 0.0;
+    double wsum1 = 0.0;
+    for (std::size_t i = 0; i < n && i < intervals_.size(); ++i) {
+        tot1 += weights_[i] * static_cast<double>(intervals_[i]);
+        wsum1 += weights_[i];
+    }
+
+    const double mean0 = wsum0 > 0.0 ? tot0 / wsum0 : 0.0;
+    const double mean1 = wsum1 > 0.0 ? tot1 / wsum1 : 0.0;
+    const double i_mean = std::max({mean0, mean1, 1.0});
+    return 1.0 / i_mean;
+}
+
+std::size_t loss_history::state_bytes() const {
+    return sizeof(*this) + weights_.capacity() * sizeof(double) +
+           pending_.size() * sizeof(pending_hole) +
+           intervals_.size() * sizeof(std::uint64_t);
+}
+
+} // namespace vtp::tfrc

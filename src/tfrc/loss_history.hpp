@@ -1,0 +1,102 @@
+// Loss-event history and loss-event-rate estimation (RFC 3448 §5).
+//
+// This is the data structure whose *placement* is the QTPlight
+// contribution: classic TFRC keeps it at the receiver; QTPlight moves it
+// to the sender, which rebuilds the same packet-arrival view from SACK
+// feedback (tfrc/sender_estimator.hpp). Both sides therefore share this
+// exact class, which is what makes the E5 equivalence experiment an
+// apples-to-apples comparison.
+//
+// Semantics implemented:
+//  - A packet is declared lost once `reorder_tolerance` packets with
+//    higher sequence numbers have been observed (RFC 3448's "3 subsequent
+//    packets" rule; late arrivals cancel the pending hole).
+//  - Losses whose detection time lies within one RTT of the start of the
+//    current loss event belong to that event; otherwise they begin a new
+//    event (one interval per event, measured in packets between the first
+//    losses of consecutive events).
+//  - The loss event rate is 1 / I_mean where I_mean is the RFC 3448 §5.4
+//    weighted average over the last `num_intervals` intervals, taking
+//    max(with-open-interval, without-open-interval) so the estimate never
+//    rises merely because time passed without loss.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vtp::tfrc {
+
+using util::sim_time;
+
+struct loss_history_config {
+    std::size_t num_intervals = 8; ///< n in RFC 3448 (8 recommended)
+    int reorder_tolerance = 3;     ///< packets after a hole before it is a loss
+};
+
+/// RFC 3448 §5.4 interval weights for history depth n: 1 for the newest
+/// n/2, then linearly decaying.
+std::vector<double> interval_weights(std::size_t n);
+
+class loss_history {
+public:
+    explicit loss_history(loss_history_config cfg = {});
+
+    /// Record the arrival of data packet `seq` at time `at`; `rtt` is the
+    /// current round-trip estimate used for loss-event grouping.
+    /// Returns true if this arrival *confirmed a new loss event*.
+    bool on_packet(std::uint64_t seq, sim_time at, sim_time rtt);
+
+    /// Loss event rate p in [0,1]; 0 until the first loss event.
+    double loss_event_rate() const;
+
+    bool has_loss() const { return open_event_; }
+
+    /// Synthesise the first (previous) interval after the first loss so
+    /// the equation reproduces the pre-loss rate (RFC 3448 §6.3.1): the
+    /// interval is set to 1/p_initial packets.
+    void seed_first_interval(double p_initial);
+
+    std::size_t loss_events() const { return loss_events_; }
+    std::uint64_t lost_packets() const { return lost_packets_; }
+    std::uint64_t highest_seq() const { return highest_seq_; }
+    std::uint64_t packets_seen() const { return packets_seen_; }
+
+    /// Resident state size in bytes (the E4 memory-footprint metric).
+    std::size_t state_bytes() const;
+
+    /// Closed intervals, newest first (exposed for tests/benches).
+    const std::deque<std::uint64_t>& intervals() const { return intervals_; }
+    /// Packets since the first loss of the open (current) event.
+    std::uint64_t open_interval() const;
+
+private:
+    struct pending_hole {
+        std::uint64_t seq;
+        int later_arrivals;
+    };
+
+    void declare_lost(std::uint64_t seq, sim_time at, sim_time rtt);
+
+    loss_history_config cfg_;
+    std::vector<double> weights_;
+
+    bool started_ = false;
+    std::uint64_t next_expected_ = 0;
+    std::uint64_t highest_seq_ = 0;
+    std::uint64_t packets_seen_ = 0;
+
+    std::deque<pending_hole> pending_;
+
+    bool open_event_ = false;
+    std::uint64_t open_event_first_seq_ = 0;
+    sim_time open_event_start_ = 0;
+    std::deque<std::uint64_t> intervals_; ///< closed intervals, newest first
+
+    std::size_t loss_events_ = 0;
+    std::uint64_t lost_packets_ = 0;
+};
+
+} // namespace vtp::tfrc

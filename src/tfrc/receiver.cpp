@@ -1,0 +1,202 @@
+#include "tfrc/receiver.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vtp::tfrc {
+
+// ---------------------------------------------------------------------------
+// receiver_agent (classic RFC 3448 receiver)
+// ---------------------------------------------------------------------------
+
+receiver_agent::receiver_agent(receiver_config cfg) : cfg_(cfg), history_(cfg.history) {}
+
+void receiver_agent::start(qtp::environment& env) { env_ = &env; }
+
+void receiver_agent::on_packet(const packet::packet& pkt) {
+    if (const auto* data = std::get_if<packet::data_segment>(pkt.body.get())) {
+        on_data(*data, pkt);
+    }
+}
+
+void receiver_agent::on_data(const packet::data_segment& seg, const packet::packet&) {
+    const util::sim_time now = env_->now();
+    ++received_packets_;
+    received_bytes_ += seg.payload_len;
+    bytes_since_feedback_ += seg.payload_len;
+    if (seg.rtt_estimate > 0) last_rtt_hint_ = seg.rtt_estimate;
+    last_data_ts_ = seg.ts;
+    last_data_arrival_ = now;
+    highest_seq_ = std::max(highest_seq_, seg.seq);
+
+    const bool new_event = history_.on_packet(seg.seq, now, last_rtt_hint_);
+
+    if (new_event && history_.loss_events() == 1 && history_.intervals().empty()) {
+        // First loss event ever: synthesise the previous interval from the
+        // rate achieved so far (RFC 3448 §6.3.1).
+        const double elapsed = util::to_seconds(
+            now - last_feedback_at_ > 0 ? now - last_feedback_at_ : last_rtt_hint_);
+        const double x_recv = elapsed > 0.0
+                                  ? static_cast<double>(bytes_since_feedback_) / elapsed
+                                  : 0.0;
+        const double p_init = loss_rate_for_throughput(
+            cfg_.equation, util::to_seconds(last_rtt_hint_), x_recv);
+        history_.seed_first_interval(p_init);
+    }
+
+    if (deliver_) deliver_(seg.byte_offset, seg.payload_len, seg.end_of_stream);
+
+    if (!seen_data_) {
+        seen_data_ = true;
+        last_feedback_at_ = now;
+        send_feedback(); // RFC 3448 §6.2: feedback on first packet
+        return;
+    }
+    if (new_event) {
+        send_feedback(); // expedited feedback on a new loss event
+    }
+}
+
+void receiver_agent::arm_feedback_timer() {
+    if (feedback_timer_ != qtp::no_timer) env_->cancel(feedback_timer_);
+    feedback_timer_ = env_->schedule(last_rtt_hint_, [this] {
+        feedback_timer_ = qtp::no_timer;
+        if (bytes_since_feedback_ > 0) send_feedback();
+        else arm_feedback_timer(); // idle: keep the timer alive
+    });
+}
+
+void receiver_agent::send_feedback() {
+    const util::sim_time now = env_->now();
+    packet::tfrc_feedback_segment fb;
+    fb.ts_echo = last_data_ts_;
+    fb.t_delay = now - last_data_arrival_;
+    const util::sim_time elapsed = now - last_feedback_at_;
+    const double window = elapsed > 0 ? util::to_seconds(elapsed)
+                                      : util::to_seconds(last_rtt_hint_);
+    fb.x_recv = window > 0.0 ? static_cast<double>(bytes_since_feedback_) / window : 0.0;
+    fb.p = history_.loss_event_rate();
+    fb.highest_seq = highest_seq_;
+
+    // Selfish-receiver attack (evaluation hook, E6).
+    fb.p *= cfg_.misreport_p_factor;
+    fb.x_recv *= cfg_.misreport_x_factor;
+
+    packet::packet out = packet::make_packet(cfg_.flow_id, env_->local_addr(),
+                                             cfg_.peer_addr, fb);
+    feedback_bytes_ += out.size_bytes;
+    ++feedback_sent_;
+    env_->send(std::move(out));
+
+    bytes_since_feedback_ = 0;
+    last_feedback_at_ = now;
+    arm_feedback_timer();
+}
+
+// ---------------------------------------------------------------------------
+// light_receiver_agent (QTPlight receiver)
+// ---------------------------------------------------------------------------
+
+light_receiver_agent::light_receiver_agent(light_receiver_config cfg) : cfg_(cfg) {}
+
+void light_receiver_agent::start(qtp::environment& env) { env_ = &env; }
+
+void light_receiver_agent::on_packet(const packet::packet& pkt) {
+    if (const auto* data = std::get_if<packet::data_segment>(pkt.body.get())) {
+        on_data(*data, pkt);
+    }
+}
+
+void light_receiver_agent::on_data(const packet::data_segment& seg, const packet::packet&) {
+    const util::sim_time now = env_->now();
+    ++received_packets_;
+    received_bytes_ += seg.payload_len;
+    bytes_since_feedback_ += seg.payload_len;
+    if (seg.rtt_estimate > 0) last_rtt_hint_ = seg.rtt_estimate;
+    last_data_ts_ = seg.ts;
+    last_data_arrival_ = now;
+
+    record_seq(seg.seq);
+    if (deliver_) deliver_(seg.byte_offset, seg.payload_len, seg.end_of_stream);
+
+    if (!seen_data_) {
+        seen_data_ = true;
+        last_feedback_at_ = now;
+        send_feedback();
+    }
+}
+
+void light_receiver_agent::record_seq(std::uint64_t seq) {
+    // Merge into the ascending, disjoint range list. The common case
+    // (in-order arrival) extends the last range in O(1).
+    if (!ranges_.empty() && ranges_.back().end == seq) {
+        ranges_.back().end = seq + 1;
+    } else {
+        // General case: find insertion point.
+        auto it = std::lower_bound(ranges_.begin(), ranges_.end(), seq,
+                                   [](const packet::sack_block& b, std::uint64_t s) {
+                                       return b.end < s;
+                                   });
+        if (it != ranges_.end() && it->begin <= seq && seq < it->end)
+            return; // duplicate
+        if (it != ranges_.end() && it->begin == seq + 1) {
+            it->begin = seq;
+        } else if (it != ranges_.end() && it->end == seq) {
+            it->end = seq + 1;
+            auto next = std::next(it);
+            if (next != ranges_.end() && next->begin == it->end) {
+                it->end = next->end;
+                ranges_.erase(next);
+            }
+        } else {
+            ranges_.insert(it, packet::sack_block{seq, seq + 1});
+        }
+    }
+    while (ranges_.size() > cfg_.max_tracked_ranges) ranges_.pop_front();
+    // Drop ranges the sender has necessarily finalised already.
+    const std::uint64_t highest_end = ranges_.back().end;
+    while (ranges_.front().end + cfg_.active_window < highest_end) {
+        ranges_.pop_front();
+    }
+}
+
+void light_receiver_agent::arm_feedback_timer() {
+    if (feedback_timer_ != qtp::no_timer) env_->cancel(feedback_timer_);
+    feedback_timer_ = env_->schedule(last_rtt_hint_, [this] {
+        feedback_timer_ = qtp::no_timer;
+        if (bytes_since_feedback_ > 0) send_feedback();
+        else arm_feedback_timer();
+    });
+}
+
+void light_receiver_agent::send_feedback() {
+    const util::sim_time now = env_->now();
+    packet::sack_feedback_segment fb;
+    fb.cum_ack = ranges_.empty() ? 0 : ranges_.front().begin;
+    const std::size_t first =
+        ranges_.size() > cfg_.max_report_blocks ? ranges_.size() - cfg_.max_report_blocks : 0;
+    for (std::size_t i = first; i < ranges_.size(); ++i) fb.blocks.push_back(ranges_[i]);
+    fb.ts_echo = last_data_ts_;
+    fb.t_delay = now - last_data_arrival_;
+    const util::sim_time elapsed = now - last_feedback_at_;
+    const double window = elapsed > 0 ? util::to_seconds(elapsed)
+                                      : util::to_seconds(last_rtt_hint_);
+    fb.x_recv = window > 0.0 ? static_cast<double>(bytes_since_feedback_) / window : 0.0;
+
+    packet::packet out = packet::make_packet(cfg_.flow_id, env_->local_addr(),
+                                             cfg_.peer_addr, std::move(fb));
+    feedback_bytes_ += out.size_bytes;
+    ++feedback_sent_;
+    env_->send(std::move(out));
+
+    bytes_since_feedback_ = 0;
+    last_feedback_at_ = now;
+    arm_feedback_timer();
+}
+
+std::size_t light_receiver_agent::state_bytes() const {
+    return sizeof(*this) + ranges_.size() * sizeof(packet::sack_block);
+}
+
+} // namespace vtp::tfrc

@@ -1,0 +1,144 @@
+// TFRC receivers.
+//
+// `receiver_agent` is the classic RFC 3448 receiver: it owns the loss
+// history, computes the loss event rate p, and returns it in feedback
+// once per RTT (immediately on a new loss event). This is the costly
+// path the paper wants off mobile devices.
+//
+// `light_receiver_agent` is the QTPlight receiver: it keeps only a
+// bounded list of received sequence ranges and a byte counter, and
+// returns a SACK vector — no loss-interval bookkeeping at all. The
+// matching sender-side estimator lives in tfrc/sender_estimator.hpp.
+//
+// Both receivers support an application delivery callback and, for the
+// selfish-receiver experiment (E6), the standard receiver can be
+// configured to under-report its loss rate and inflate x_recv — the
+// attack of Georg & Gorinsky that QTPlight is immune to by construction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "core/environment.hpp"
+#include "tfrc/equation.hpp"
+#include "tfrc/loss_history.hpp"
+
+namespace vtp::tfrc {
+
+/// Application-side delivery hook: (byte_offset, length, end_of_stream).
+using delivery_callback = std::function<void(std::uint64_t, std::uint32_t, bool)>;
+
+struct receiver_config {
+    std::uint32_t flow_id = 0;
+    std::uint32_t peer_addr = 0;
+    loss_history_config history{};
+    equation_params equation{};
+
+    /// Selfish-receiver attack knobs (E6): reported p is multiplied by
+    /// `misreport_p_factor` (1.0 = honest, 0 = claims no loss) and
+    /// reported x_recv by `misreport_x_factor`.
+    double misreport_p_factor = 1.0;
+    double misreport_x_factor = 1.0;
+};
+
+class receiver_agent : public qtp::agent {
+public:
+    explicit receiver_agent(receiver_config cfg);
+
+    void start(qtp::environment& env) override;
+    void on_packet(const packet::packet& pkt) override;
+    std::string name() const override { return "tfrc-recv"; }
+
+    void set_delivery(delivery_callback cb) { deliver_ = std::move(cb); }
+
+    const loss_history& history() const { return history_; }
+    std::uint64_t received_packets() const { return received_packets_; }
+    std::uint64_t received_bytes() const { return received_bytes_; }
+    std::uint64_t feedback_sent() const { return feedback_sent_; }
+    std::uint64_t feedback_bytes() const { return feedback_bytes_; }
+
+private:
+    void on_data(const packet::data_segment& seg, const packet::packet& pkt);
+    void send_feedback();
+    void arm_feedback_timer();
+
+    receiver_config cfg_;
+    qtp::environment* env_ = nullptr;
+    loss_history history_;
+    delivery_callback deliver_;
+
+    util::sim_time last_rtt_hint_ = util::milliseconds(100);
+    util::sim_time last_data_ts_ = 0;      ///< sender timestamp of newest data
+    util::sim_time last_data_arrival_ = 0; ///< our clock at newest data
+    std::uint64_t highest_seq_ = 0;
+    std::uint64_t bytes_since_feedback_ = 0;
+    util::sim_time last_feedback_at_ = 0;
+    qtp::timer_id feedback_timer_ = qtp::no_timer;
+    bool seen_data_ = false;
+
+    std::uint64_t received_packets_ = 0;
+    std::uint64_t received_bytes_ = 0;
+    std::uint64_t feedback_sent_ = 0;
+    std::uint64_t feedback_bytes_ = 0;
+};
+
+struct light_receiver_config {
+    std::uint32_t flow_id = 0;
+    std::uint32_t peer_addr = 0;
+    /// Retain at most this many merged received ranges (oldest forgotten;
+    /// the sender's finalisation horizon is far shorter).
+    std::size_t max_tracked_ranges = 64;
+    /// Report at most this many ranges per feedback packet.
+    std::size_t max_report_blocks = 16;
+    /// Sequences more than this far behind the newest one are already
+    /// finalised by the sender (its horizon is 16), so ranges wholly
+    /// below the window are pruned — this is what keeps both the
+    /// receiver state and the feedback "light and simple".
+    std::uint64_t active_window = 64;
+};
+
+class light_receiver_agent : public qtp::agent {
+public:
+    explicit light_receiver_agent(light_receiver_config cfg);
+
+    void start(qtp::environment& env) override;
+    void on_packet(const packet::packet& pkt) override;
+    std::string name() const override { return "qtplight-recv"; }
+
+    void set_delivery(delivery_callback cb) { deliver_ = std::move(cb); }
+
+    std::uint64_t received_packets() const { return received_packets_; }
+    std::uint64_t received_bytes() const { return received_bytes_; }
+    std::uint64_t feedback_sent() const { return feedback_sent_; }
+    std::uint64_t feedback_bytes() const { return feedback_bytes_; }
+    /// Resident tracking state (E4 memory metric).
+    std::size_t state_bytes() const;
+    const std::deque<packet::sack_block>& ranges() const { return ranges_; }
+
+private:
+    void on_data(const packet::data_segment& seg, const packet::packet& pkt);
+    void record_seq(std::uint64_t seq);
+    void send_feedback();
+    void arm_feedback_timer();
+
+    light_receiver_config cfg_;
+    qtp::environment* env_ = nullptr;
+    delivery_callback deliver_;
+
+    std::deque<packet::sack_block> ranges_; ///< merged, ascending, bounded
+    util::sim_time last_rtt_hint_ = util::milliseconds(100);
+    util::sim_time last_data_ts_ = 0;
+    util::sim_time last_data_arrival_ = 0;
+    std::uint64_t bytes_since_feedback_ = 0;
+    util::sim_time last_feedback_at_ = 0;
+    qtp::timer_id feedback_timer_ = qtp::no_timer;
+    bool seen_data_ = false;
+
+    std::uint64_t received_packets_ = 0;
+    std::uint64_t received_bytes_ = 0;
+    std::uint64_t feedback_sent_ = 0;
+    std::uint64_t feedback_bytes_ = 0;
+};
+
+} // namespace vtp::tfrc

@@ -1,0 +1,206 @@
+#include "tfrc/sender.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vtp::tfrc {
+
+// ---------------------------------------------------------------------------
+// rate_controller
+// ---------------------------------------------------------------------------
+
+rate_controller::rate_controller(rate_controller_config cfg)
+    : cfg_(cfg),
+      // Before any feedback: one packet per second (RFC 3448 §4.2).
+      x_(cfg.equation.packet_size_bytes) {}
+
+void rate_controller::on_feedback(double p, double x_recv_bytes, util::sim_time rtt_sample,
+                                  util::sim_time now) {
+    (void)now;
+    ++feedback_count_;
+    const double s = cfg_.equation.packet_size_bytes;
+
+    const bool first_feedback = !has_rtt_;
+    if (first_feedback) {
+        has_rtt_ = true;
+        rtt_ = rtt_sample;
+        // First feedback: initial window over one RTT (RFC 3390 sizing).
+        const double w_init =
+            std::min(4.0 * s, std::max(2.0 * s, cfg_.initial_window_bytes));
+        x_ = std::max(w_init / util::to_seconds(std::max<util::sim_time>(rtt_, 1)), s);
+    } else {
+        const double q = cfg_.rtt_filter_q;
+        rtt_ = static_cast<util::sim_time>(q * static_cast<double>(rtt_) +
+                                           (1.0 - q) * static_cast<double>(rtt_sample));
+    }
+
+    // Oscillation damping (RFC 3448 §4.5): compare this RTT sample with
+    // the long-run sqrt-mean; a sample above the mean means the queue is
+    // building, so the instantaneous rate is scaled down.
+    if (cfg_.oscillation_damping) {
+        const double sqrt_sample =
+            std::sqrt(util::to_seconds(std::max<util::sim_time>(rtt_sample, 1)));
+        if (rtt_sqmean_ <= 0.0) {
+            rtt_sqmean_ = sqrt_sample;
+        } else {
+            const double q2 = cfg_.rtt_sqmean_filter_q;
+            rtt_sqmean_ = q2 * rtt_sqmean_ + (1.0 - q2) * sqrt_sample;
+        }
+        damping_ = std::clamp(rtt_sqmean_ / sqrt_sample, 0.5, 1.0);
+    }
+
+    p_ = p;
+    last_x_recv_ = x_recv_bytes;
+    const double rtt_s = util::to_seconds(std::max<util::sim_time>(rtt_, 1));
+    const double t_mbi_s = util::to_seconds(cfg_.max_backoff_interval);
+
+    if (p > 0.0) {
+        const double x_calc = throughput_bytes_per_second(cfg_.equation, rtt_s, p);
+        x_ = std::max(std::min(x_calc, 2.0 * x_recv_bytes), s / t_mbi_s);
+    } else if (!first_feedback) {
+        // Slow start: double per feedback, capped by twice the receive
+        // rate. (The very first feedback only establishes the initial
+        // window; doubling starts with the next one.)
+        x_ = std::max(std::min(2.0 * x_, 2.0 * x_recv_bytes), s / rtt_s);
+    }
+}
+
+void rate_controller::on_nofeedback_timeout(util::sim_time) {
+    ++timeout_count_;
+    const double s = cfg_.equation.packet_size_bytes;
+    const double t_mbi_s = util::to_seconds(cfg_.max_backoff_interval);
+    x_ = std::max(x_ / 2.0, s / t_mbi_s);
+}
+
+double rate_controller::allowed_rate() const {
+    const double floor_bytes = cfg_.guaranteed_rate_bps / 8.0;
+    return std::max(x_ * damping_, floor_bytes);
+}
+
+util::sim_time rate_controller::nofeedback_interval() const {
+    if (!has_rtt_) return util::seconds(2);
+    const double s = cfg_.equation.packet_size_bytes;
+    const double two_packets_s = 2.0 * s / std::max(allowed_rate(), 1.0);
+    return std::max<util::sim_time>(4 * rtt_, util::from_seconds(two_packets_s));
+}
+
+// ---------------------------------------------------------------------------
+// sender_agent
+// ---------------------------------------------------------------------------
+
+sender_agent::sender_agent(sender_config cfg)
+    : cfg_(cfg), rate_(cfg.rate), estimator_(cfg.estimator) {
+    // Keep the equation packet size consistent with what we actually send.
+    if (cfg_.rate.equation.packet_size_bytes != cfg_.packet_size) {
+        rate_controller_config fixed = cfg_.rate;
+        fixed.equation.packet_size_bytes = cfg_.packet_size;
+        rate_ = rate_controller(fixed);
+    }
+}
+
+void sender_agent::start(qtp::environment& env) {
+    env_ = &env;
+    arm_nofeedback_timer();
+    send_next();
+}
+
+util::sim_time sender_agent::rtt_sample(util::sim_time ts_echo,
+                                        util::sim_time t_delay) const {
+    const util::sim_time sample = env_->now() - ts_echo - t_delay;
+    return std::max<util::sim_time>(sample, util::microseconds(1));
+}
+
+void sender_agent::on_packet(const packet::packet& pkt) {
+    if (const auto* fb = std::get_if<packet::tfrc_feedback_segment>(pkt.body.get())) {
+        if (cfg_.mode == estimation_mode::receiver_side) on_tfrc_feedback(*fb);
+        return;
+    }
+    if (const auto* fb = std::get_if<packet::sack_feedback_segment>(pkt.body.get())) {
+        if (cfg_.mode == estimation_mode::sender_side) on_sack_feedback(*fb);
+        return;
+    }
+}
+
+void sender_agent::on_tfrc_feedback(const packet::tfrc_feedback_segment& fb) {
+    const util::sim_time sample = rtt_sample(fb.ts_echo, fb.t_delay);
+    rate_.on_feedback(fb.p, fb.x_recv, sample, env_->now());
+    arm_nofeedback_timer();
+    reschedule_pacing();
+}
+
+void sender_agent::on_sack_feedback(const packet::sack_feedback_segment& fb) {
+    const util::sim_time sample = rtt_sample(fb.ts_echo, fb.t_delay);
+    const util::sim_time rtt_for_grouping = rate_.has_rtt() ? rate_.rtt() : sample;
+    const bool new_event = estimator_.on_feedback(fb, env_->now(), rtt_for_grouping);
+
+    if (new_event && estimator_.history().loss_events() == 1 &&
+        estimator_.history().intervals().empty()) {
+        // First loss event: seed the previous interval from the achieved
+        // rate, mirroring the receiver-side RFC 3448 §6.3.1 behaviour.
+        const double p_init = loss_rate_for_throughput(
+            cfg_.rate.equation, util::to_seconds(std::max<util::sim_time>(rtt_for_grouping, 1)),
+            fb.x_recv);
+        estimator_.history().seed_first_interval(p_init);
+    }
+
+    rate_.on_feedback(estimator_.loss_event_rate(), fb.x_recv, sample, env_->now());
+    arm_nofeedback_timer();
+    reschedule_pacing();
+}
+
+void sender_agent::reschedule_pacing() {
+    // The pending send slot was computed at the previous rate; after a
+    // rate update the next transmission must honour the new spacing, or
+    // a slow initial timer would stall the whole slow-start ramp.
+    if (send_timer_ == qtp::no_timer) return;
+    env_->cancel(send_timer_);
+    send_timer_ = qtp::no_timer;
+    schedule_next_send();
+}
+
+void sender_agent::send_next() {
+    send_timer_ = qtp::no_timer;
+    if (packets_sent_ >= cfg_.max_packets) return;
+
+    packet::data_segment seg;
+    seg.seq = next_seq_++;
+    seg.byte_offset = seg.seq * static_cast<std::uint64_t>(cfg_.packet_size);
+    seg.payload_len = cfg_.packet_size;
+    seg.ts = env_->now();
+    seg.rtt_estimate = rate_.has_rtt() ? rate_.rtt() : 0;
+    seg.end_of_stream = (packets_sent_ + 1 == cfg_.max_packets);
+
+    if (cfg_.mode == estimation_mode::sender_side)
+        estimator_.on_send(seg.seq, env_->now());
+
+    ++packets_sent_;
+    bytes_sent_ += seg.payload_len;
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, seg));
+
+    schedule_next_send();
+}
+
+void sender_agent::schedule_next_send() {
+    if (send_timer_ != qtp::no_timer || packets_sent_ >= cfg_.max_packets) return;
+    const double rate = std::max(rate_.allowed_rate(), 1.0);
+    const double spacing_s = static_cast<double>(cfg_.packet_size) / rate;
+    const util::sim_time spacing =
+        std::clamp<util::sim_time>(util::from_seconds(spacing_s), util::microseconds(10),
+                                   util::seconds(2));
+    send_timer_ = env_->schedule(spacing, [this] { send_next(); });
+}
+
+void sender_agent::arm_nofeedback_timer() {
+    if (nofeedback_timer_ != qtp::no_timer) env_->cancel(nofeedback_timer_);
+    nofeedback_timer_ = env_->schedule(rate_.nofeedback_interval(), [this] {
+        nofeedback_timer_ = qtp::no_timer;
+        rate_.on_nofeedback_timeout(env_->now());
+        util::log(util::log_level::debug, "tfrc-send", "nofeedback timeout, rate now ",
+                  rate_.allowed_rate() * 8.0, " bit/s");
+        arm_nofeedback_timer();
+    });
+}
+
+} // namespace vtp::tfrc

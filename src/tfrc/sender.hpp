@@ -1,0 +1,139 @@
+// TFRC sender: rate controller + pacing agent.
+//
+// `rate_controller` implements RFC 3448 §4: slow-start doubling capped by
+// twice the reported receive rate, equation-based rate once loss appears,
+// and the nofeedback timer back-off. It also implements the paper's
+// gTFRC specialisation (QTPAF): when a guaranteed rate g has been
+// negotiated with a DiffServ/AF network, the sending rate never drops
+// below g — the AF class protects in-profile packets, so observed loss
+// on out-of-profile packets must not starve the reservation
+// (draft-lochin-ietf-tsvwg-gtfrc).
+//
+// `sender_agent` paces data packets at the controlled rate and accepts
+// either feedback flavour:
+//  - receiver_side: classic TFRC feedback carrying p computed remotely;
+//  - sender_side (QTPlight): SACK vectors, fed to tfrc::sender_estimator.
+#pragma once
+
+#include <cstdint>
+
+#include "core/environment.hpp"
+#include "tfrc/equation.hpp"
+#include "tfrc/sender_estimator.hpp"
+#include "util/stats.hpp"
+
+namespace vtp::tfrc {
+
+struct rate_controller_config {
+    equation_params equation{};
+    /// gTFRC guaranteed rate in bits/s (0 disables the floor).
+    double guaranteed_rate_bps = 0.0;
+    /// t_mbi: ceiling on the back-off inter-packet interval (RFC: 64 s).
+    util::sim_time max_backoff_interval = util::seconds(64);
+    /// Initial window in bytes (RFC 3390-style: min(4s, max(2s, 4380))).
+    double initial_window_bytes = 4380.0;
+    /// RTT EWMA weight on the old estimate (RFC 3448 q = 0.9).
+    double rtt_filter_q = 0.9;
+    /// RFC 3448 §4.5 oscillation damping: scale the instantaneous rate by
+    /// sqrt(R_sample)/R_sqmean so a building queue (rising RTT) throttles
+    /// the flow before loss does.
+    bool oscillation_damping = true;
+    double rtt_sqmean_filter_q = 0.9;
+};
+
+class rate_controller {
+public:
+    explicit rate_controller(rate_controller_config cfg);
+
+    /// Process one feedback report: loss event rate `p`, receiver rate
+    /// `x_recv` (bytes/s) and a fresh RTT sample.
+    void on_feedback(double p, double x_recv_bytes, util::sim_time rtt_sample,
+                     util::sim_time now);
+
+    /// Nofeedback timer expired: halve the rate (floored at one packet
+    /// per t_mbi, and at the gTFRC guarantee if configured).
+    void on_nofeedback_timeout(util::sim_time now);
+
+    /// Allowed sending rate in bytes/s, including the gTFRC floor.
+    double allowed_rate() const;
+
+    /// Equation-tracking rate without the gTFRC floor (ablation A1).
+    double x_tfrc() const { return x_; }
+
+    util::sim_time rtt() const { return rtt_; }
+    bool has_rtt() const { return has_rtt_; }
+    double current_loss_rate() const { return p_; }
+    bool in_slow_start() const { return p_ <= 0.0; }
+
+    /// Interval for the nofeedback timer: max(4R, 2s/X); 2 s before any
+    /// feedback has arrived (RFC 3448 §4.2/4.4).
+    util::sim_time nofeedback_interval() const;
+
+    std::uint64_t feedback_count() const { return feedback_count_; }
+    std::uint64_t timeout_count() const { return timeout_count_; }
+
+private:
+    rate_controller_config cfg_;
+    double x_;            ///< current TFRC rate, bytes/s
+    double p_ = 0.0;      ///< latest loss event rate
+    double last_x_recv_ = 0.0;
+    util::sim_time rtt_ = 0;
+    bool has_rtt_ = false;
+    double rtt_sqmean_ = 0.0;  ///< EWMA of sqrt(RTT sample), seconds^0.5
+    double damping_ = 1.0;     ///< §4.5 instantaneous-rate factor
+    std::uint64_t feedback_count_ = 0;
+    std::uint64_t timeout_count_ = 0;
+};
+
+enum class estimation_mode {
+    receiver_side, ///< classic TFRC: p computed by the receiver
+    sender_side,   ///< QTPlight: p computed here from SACK feedback
+};
+
+struct sender_config {
+    std::uint32_t flow_id = 0;
+    std::uint32_t peer_addr = 0;
+    std::uint32_t packet_size = 1000; ///< payload bytes per data packet
+    estimation_mode mode = estimation_mode::receiver_side;
+    rate_controller_config rate{};
+    sender_estimator_config estimator{};
+    /// Finite transfer length in packets (default: unlimited source).
+    std::uint64_t max_packets = UINT64_MAX;
+};
+
+class sender_agent : public qtp::agent {
+public:
+    explicit sender_agent(sender_config cfg);
+
+    void start(qtp::environment& env) override;
+    void on_packet(const packet::packet& pkt) override;
+    std::string name() const override { return "tfrc-send"; }
+
+    const rate_controller& rate() const { return rate_; }
+    const sender_estimator& estimator() const { return estimator_; }
+    std::uint64_t packets_sent() const { return packets_sent_; }
+    std::uint64_t bytes_sent() const { return bytes_sent_; }
+    bool finished() const { return packets_sent_ >= cfg_.max_packets; }
+
+private:
+    void on_tfrc_feedback(const packet::tfrc_feedback_segment& fb);
+    void on_sack_feedback(const packet::sack_feedback_segment& fb);
+    void send_next();
+    void schedule_next_send();
+    void reschedule_pacing();
+    void arm_nofeedback_timer();
+    util::sim_time rtt_sample(util::sim_time ts_echo, util::sim_time t_delay) const;
+
+    sender_config cfg_;
+    qtp::environment* env_ = nullptr;
+    rate_controller rate_;
+    sender_estimator estimator_;
+
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t packets_sent_ = 0;
+    std::uint64_t bytes_sent_ = 0;
+    qtp::timer_id send_timer_ = qtp::no_timer;
+    qtp::timer_id nofeedback_timer_ = qtp::no_timer;
+};
+
+} // namespace vtp::tfrc

@@ -1,0 +1,121 @@
+// Byte-order-safe serialization primitives (network byte order).
+//
+// Used by packet/wire.cpp to encode segments for the live UDP datapath
+// and by the serialization round-trip tests/fuzz suites.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vtp::util {
+
+/// Append-only big-endian writer over a growable byte vector.
+class byte_writer {
+public:
+    void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+    void put_u16(std::uint16_t v) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+        buf_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void put_u32(std::uint32_t v) {
+        put_u16(static_cast<std::uint16_t>(v >> 16));
+        put_u16(static_cast<std::uint16_t>(v));
+    }
+
+    void put_u64(std::uint64_t v) {
+        put_u32(static_cast<std::uint32_t>(v >> 32));
+        put_u32(static_cast<std::uint32_t>(v));
+    }
+
+    void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+    /// IEEE-754 binary64 bits, big-endian.
+    void put_f64(double v) {
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, sizeof bits);
+        put_u64(bits);
+    }
+
+    void put_bytes(const std::uint8_t* data, std::size_t len) {
+        buf_.insert(buf_.end(), data, data + len);
+    }
+
+    const std::vector<std::uint8_t>& data() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Thrown by byte_reader on truncated input.
+class decode_error : public std::runtime_error {
+public:
+    explicit decode_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Bounds-checked big-endian reader over a byte span.
+class byte_reader {
+public:
+    byte_reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+    explicit byte_reader(const std::vector<std::uint8_t>& buf)
+        : byte_reader(buf.data(), buf.size()) {}
+
+    std::uint8_t get_u8() {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t get_u16() {
+        need(2);
+        const std::uint16_t v = static_cast<std::uint16_t>(
+            (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t get_u32() {
+        const std::uint32_t hi = get_u16();
+        return (hi << 16) | get_u16();
+    }
+
+    std::uint64_t get_u64() {
+        const std::uint64_t hi = get_u32();
+        return (hi << 32) | get_u32();
+    }
+
+    std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+    double get_f64() {
+        const std::uint64_t bits = get_u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    void get_bytes(std::uint8_t* out, std::size_t len) {
+        need(len);
+        std::memcpy(out, data_ + pos_, len);
+        pos_ += len;
+    }
+
+    std::size_t remaining() const { return len_ - pos_; }
+    bool done() const { return pos_ == len_; }
+
+private:
+    void need(std::size_t n) const {
+        if (len_ - pos_ < n) throw decode_error("truncated buffer");
+    }
+
+    const std::uint8_t* data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace vtp::util

@@ -1,0 +1,46 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+#include "util/time.hpp"
+
+namespace vtp::util {
+
+namespace {
+log_level g_level = log_level::none;
+
+const char* level_name(log_level level) {
+    switch (level) {
+    case log_level::error: return "ERROR";
+    case log_level::warn: return "WARN";
+    case log_level::info: return "INFO";
+    case log_level::debug: return "DEBUG";
+    case log_level::none: return "NONE";
+    }
+    return "?";
+}
+} // namespace
+
+void set_log_level(log_level level) { g_level = level; }
+log_level get_log_level() { return g_level; }
+
+void log_line(log_level level, const std::string& component, const std::string& message) {
+    if (level > g_level) return;
+    std::fprintf(stderr, "[%-5s] %-10s %s\n", level_name(level), component.c_str(),
+                 message.c_str());
+}
+
+std::string format_time(sim_time t) {
+    char buf[32];
+    if (t == time_never) return "never";
+    if (t >= seconds(1)) {
+        std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(t));
+    } else if (t >= milliseconds(1)) {
+        std::snprintf(buf, sizeof buf, "%.3fms", to_milliseconds(t));
+    } else {
+        std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+    }
+    return buf;
+}
+
+} // namespace vtp::util

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (level none) so simulations stay fast and
+// benchmark output clean; examples raise the level to show protocol
+// behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vtp::util {
+
+enum class log_level { none = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+/// Process-wide log threshold.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+/// Emit one line at `level` (no-op when above the threshold).
+void log_line(log_level level, const std::string& component, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename head, typename... tail>
+void append_all(std::ostringstream& out, const head& h, const tail&... t) {
+    out << h;
+    append_all(out, t...);
+}
+} // namespace detail
+
+/// Variadic convenience: log(info, "tfrc", "rate=", x, "bps").
+template <typename... parts>
+void log(log_level level, const std::string& component, const parts&... p) {
+    if (level > get_log_level()) return;
+    std::ostringstream out;
+    detail::append_all(out, p...);
+    log_line(level, component, out.str());
+}
+
+} // namespace vtp::util

@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace vtp::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+rng::rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double rng::uniform() {
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64()); // full range
+    // Unbiased rejection sampling (Lemire-style threshold).
+    const std::uint64_t threshold = (0 - span) % span;
+    for (;;) {
+        const std::uint64_t r = next_u64();
+        if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
+    }
+}
+
+bool rng::bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+}
+
+double rng::exponential(double mean) {
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double rng::normal(double mean, double stddev) {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return mean + stddev * cached_normal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_normal_ = radius * std::sin(angle);
+    has_cached_normal_ = true;
+    return mean + stddev * radius * std::cos(angle);
+}
+
+double rng::pareto(double shape, double scale) {
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return scale / std::pow(u, 1.0 / shape);
+}
+
+rng rng::fork() { return rng(next_u64()); }
+
+} // namespace vtp::util

@@ -1,0 +1,120 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vtp::util {
+
+void running_stats::add(double x) {
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double running_stats::cov() const {
+    const double m = mean();
+    return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+void running_stats::reset() {
+    count_ = 0;
+    mean_ = m2_ = min_ = max_ = sum_ = 0.0;
+}
+
+double sample_series::mean() const {
+    if (samples_.empty()) return 0.0;
+    double total = 0.0;
+    for (double s : samples_) total += s;
+    return total / static_cast<double>(samples_.size());
+}
+
+double sample_series::stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double m2 = 0.0;
+    for (double s : samples_) m2 += (s - m) * (s - m);
+    return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double sample_series::cov() const {
+    const double m = mean();
+    return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double sample_series::percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(q, 0.0, 100.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double sample_series::min() const {
+    if (samples_.empty()) return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double sample_series::max() const {
+    if (samples_.empty()) return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void ewma::add(double x) {
+    if (!initialised_) {
+        value_ = x;
+        initialised_ = true;
+        return;
+    }
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+}
+
+void rate_meter::add(std::size_t bytes, sim_time at) {
+    events_.push_back({at, bytes});
+}
+
+void rate_meter::expire(sim_time now) const {
+    const sim_time cutoff = now - window_;
+    auto first_live = std::find_if(events_.begin(), events_.end(),
+                                   [cutoff](const event& e) { return e.at >= cutoff; });
+    events_.erase(events_.begin(), first_live);
+}
+
+double rate_meter::bits_per_second(sim_time now) const {
+    expire(now);
+    if (events_.empty()) return 0.0;
+    std::size_t total = 0;
+    for (const event& e : events_) total += e.bytes;
+    const double window_s = to_seconds(window_);
+    return window_s <= 0.0 ? 0.0 : static_cast<double>(total) * 8.0 / window_s;
+}
+
+double jain_fairness(const std::vector<double>& throughputs) {
+    if (throughputs.empty()) return 0.0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double x : throughputs) {
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0) return 1.0;
+    return sum * sum / (static_cast<double>(throughputs.size()) * sum_sq);
+}
+
+} // namespace vtp::util

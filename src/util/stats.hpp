@@ -1,0 +1,99 @@
+// Online statistics used by flow monitors, benchmarks and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vtp::util {
+
+/// Welford online mean/variance plus min/max. O(1) per sample.
+class running_stats {
+public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    /// Coefficient of variation: stddev / mean (0 when mean == 0).
+    double cov() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    void reset();
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Retains all samples; supports exact percentiles. Use for bounded-size
+/// series (per-interval rate samples, latency samples in tests/benches).
+class sample_series {
+public:
+    void add(double x) { samples_.push_back(x); }
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+    double stddev() const;
+    double cov() const;
+    /// Exact percentile by nearest-rank on a sorted copy; q in [0,100].
+    double percentile(double q) const;
+    double min() const;
+    double max() const;
+    const std::vector<double>& samples() const { return samples_; }
+    void clear() { samples_.clear(); }
+
+private:
+    std::vector<double> samples_;
+};
+
+/// Exponentially weighted moving average.
+class ewma {
+public:
+    /// alpha in (0,1]: weight of the newest sample.
+    explicit ewma(double alpha) : alpha_(alpha) {}
+    void add(double x);
+    double value() const { return value_; }
+    bool empty() const { return !initialised_; }
+    void reset() { initialised_ = false; value_ = 0.0; }
+
+private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialised_ = false;
+};
+
+/// Windowed byte-rate meter: add(bytes, at) then rate over trailing window.
+class rate_meter {
+public:
+    explicit rate_meter(sim_time window = milliseconds(500)) : window_(window) {}
+
+    void add(std::size_t bytes, sim_time at);
+    /// Bits per second over [now - window, now].
+    double bits_per_second(sim_time now) const;
+    void clear() { events_.clear(); }
+
+private:
+    struct event {
+        sim_time at;
+        std::size_t bytes;
+    };
+    void expire(sim_time now) const;
+
+    sim_time window_;
+    mutable std::vector<event> events_; // kept sorted by time; pruned lazily
+};
+
+/// Jain's fairness index over per-flow throughputs: (Σx)² / (n·Σx²).
+double jain_fairness(const std::vector<double>& throughputs);
+
+} // namespace vtp::util

@@ -1,0 +1,39 @@
+// Fixed-point simulation time.
+//
+// All protocol and simulator code measures time in integer nanoseconds so
+// that event ordering is exact and runs are reproducible bit-for-bit.
+// Floating-point seconds appear only at the API edges (configuration and
+// reporting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vtp::util {
+
+/// Absolute simulation time or duration, in nanoseconds.
+using sim_time = std::int64_t;
+
+inline constexpr sim_time nanoseconds(std::int64_t n) { return n; }
+inline constexpr sim_time microseconds(std::int64_t u) { return u * 1'000; }
+inline constexpr sim_time milliseconds(std::int64_t m) { return m * 1'000'000; }
+inline constexpr sim_time seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Largest representable time; used as "never".
+inline constexpr sim_time time_never = INT64_MAX;
+
+/// Convert a floating-point duration in seconds to sim_time (rounds to
+/// nearest nanosecond; negative durations are allowed for deltas).
+constexpr sim_time from_seconds(double s) {
+    return static_cast<sim_time>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert sim_time to floating-point seconds (for reporting/maths only).
+constexpr double to_seconds(sim_time t) { return static_cast<double>(t) * 1e-9; }
+
+constexpr double to_milliseconds(sim_time t) { return static_cast<double>(t) * 1e-6; }
+
+/// Render as "12.345ms" / "1.234s" for logs and traces.
+std::string format_time(sim_time t);
+
+} // namespace vtp::util

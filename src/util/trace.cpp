@@ -1,0 +1,36 @@
+#include "util/trace.hpp"
+
+#include <cstdio>
+
+namespace vtp::util {
+
+csv_trace::csv_trace(const std::string& path, const std::vector<std::string>& columns)
+    : out_(path), columns_(columns.size()) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << columns[i];
+    }
+    out_ << '\n';
+}
+
+void csv_trace::row(const std::vector<double>& values) {
+    char buf[64];
+    for (std::size_t i = 0; i < values.size() && i < columns_; ++i) {
+        if (i) out_ << ',';
+        std::snprintf(buf, sizeof buf, "%.6g", values[i]);
+        out_ << buf;
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+void csv_trace::row_text(const std::vector<std::string>& values) {
+    for (std::size_t i = 0; i < values.size() && i < columns_; ++i) {
+        if (i) out_ << ',';
+        out_ << values[i];
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+} // namespace vtp::util

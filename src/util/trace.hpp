@@ -1,0 +1,37 @@
+// CSV trace writer for experiment post-processing.
+//
+// Columns are declared once; rows are appended as the simulation runs;
+// the result is a plot-ready CSV (gnuplot/matplotlib). Used by the
+// vtpsim CLI tool and available to any experiment harness.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vtp::util {
+
+class csv_trace {
+public:
+    /// Opens `path` for writing and emits the header row. Check ok().
+    csv_trace(const std::string& path, const std::vector<std::string>& columns);
+
+    bool ok() const { return out_.good(); }
+    std::size_t rows_written() const { return rows_; }
+
+    /// Append one row; values are rendered with %.6g.
+    void row(const std::vector<double>& values);
+
+    /// Mixed row (strings pass through, useful for labels).
+    void row_text(const std::vector<std::string>& values);
+
+    void flush() { out_.flush(); }
+
+private:
+    std::ofstream out_;
+    std::size_t columns_ = 0;
+    std::size_t rows_ = 0;
+};
+
+} // namespace vtp::util

@@ -1,0 +1,169 @@
+// Profile encoding and negotiation tests.
+#include <gtest/gtest.h>
+
+#include "core/negotiation.hpp"
+#include "core/profile.hpp"
+
+namespace {
+
+using namespace vtp::qtp;
+using vtp::sack::reliability_mode;
+using vtp::tfrc::estimation_mode;
+
+TEST(profile_test, published_instances) {
+    const profile af = qtp_af_profile(4e6);
+    EXPECT_EQ(af.reliability, reliability_mode::full);
+    EXPECT_EQ(af.estimation, estimation_mode::receiver_side);
+    EXPECT_TRUE(af.qos_aware);
+    EXPECT_DOUBLE_EQ(af.target_rate_bps, 4e6);
+
+    const profile light = qtp_light_profile();
+    EXPECT_EQ(light.reliability, reliability_mode::none);
+    EXPECT_EQ(light.estimation, estimation_mode::sender_side);
+    EXPECT_FALSE(light.qos_aware);
+
+    const profile def = qtp_default_profile();
+    EXPECT_EQ(def.reliability, reliability_mode::none);
+    EXPECT_EQ(def.estimation, estimation_mode::receiver_side);
+}
+
+struct combo {
+    reliability_mode rel;
+    estimation_mode est;
+    bool qos;
+};
+
+class profile_roundtrip_test : public ::testing::TestWithParam<combo> {};
+
+TEST_P(profile_roundtrip_test, encode_decode_roundtrip) {
+    profile p;
+    p.reliability = GetParam().rel;
+    p.estimation = GetParam().est;
+    p.qos_aware = GetParam().qos;
+    p.target_rate_bps = GetParam().qos ? 2.5e6 : 0.0;
+    const profile back = profile::decode(p.encode(), p.target_rate_bps);
+    EXPECT_EQ(back, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    all_combinations, profile_roundtrip_test,
+    ::testing::Values(combo{reliability_mode::none, estimation_mode::receiver_side, false},
+                      combo{reliability_mode::none, estimation_mode::sender_side, false},
+                      combo{reliability_mode::full, estimation_mode::receiver_side, false},
+                      combo{reliability_mode::full, estimation_mode::sender_side, true},
+                      combo{reliability_mode::partial, estimation_mode::receiver_side, true},
+                      combo{reliability_mode::partial, estimation_mode::sender_side, false}));
+
+TEST(profile_test, decode_scrubs_target_rate_when_not_qos) {
+    profile p = qtp_light_profile();
+    const profile back = profile::decode(p.encode(), 9e9);
+    EXPECT_DOUBLE_EQ(back.target_rate_bps, 0.0);
+}
+
+TEST(profile_test, decode_rejects_invalid_reliability_bits) {
+    const profile back = profile::decode(0x3, 0.0); // reliability=3 invalid
+    EXPECT_EQ(back.reliability, reliability_mode::none);
+}
+
+TEST(negotiate_test, full_acceptance_when_capable) {
+    const profile p = qtp_af_profile(3e6);
+    const profile accepted = negotiate(p, capabilities{});
+    EXPECT_EQ(accepted, p);
+}
+
+TEST(negotiate_test, full_reliability_downgrades_to_partial_then_none) {
+    profile p = qtp_af_profile(3e6);
+    capabilities caps;
+    caps.allow_full_reliability = false;
+    EXPECT_EQ(negotiate(p, caps).reliability, reliability_mode::partial);
+    caps.allow_partial_reliability = false;
+    EXPECT_EQ(negotiate(p, caps).reliability, reliability_mode::none);
+}
+
+TEST(negotiate_test, light_device_forces_sender_estimation) {
+    profile p; // default: receiver-side estimation
+    capabilities caps;
+    caps.support_receiver_estimation = false;
+    EXPECT_EQ(negotiate(p, caps).estimation, estimation_mode::sender_side);
+}
+
+TEST(negotiate_test, sender_estimation_downgrades_if_unsupported) {
+    profile p = qtp_light_profile();
+    capabilities caps;
+    caps.support_sender_estimation = false;
+    EXPECT_EQ(negotiate(p, caps).estimation, estimation_mode::receiver_side);
+}
+
+TEST(negotiate_test, qos_dropped_when_not_supported) {
+    profile p = qtp_af_profile(3e6);
+    capabilities caps;
+    caps.qos_aware = false;
+    const profile accepted = negotiate(p, caps);
+    EXPECT_FALSE(accepted.qos_aware);
+    EXPECT_DOUBLE_EQ(accepted.target_rate_bps, 0.0);
+}
+
+TEST(negotiate_test, target_rate_capped) {
+    profile p = qtp_af_profile(100e6);
+    capabilities caps;
+    caps.max_target_rate_bps = 10e6;
+    EXPECT_DOUBLE_EQ(negotiate(p, caps).target_rate_bps, 10e6);
+}
+
+TEST(handshake_test, initiator_responder_agree) {
+    handshake_initiator init(qtp_af_profile(5e6));
+    handshake_responder resp(capabilities{});
+
+    const auto syn = init.make_syn();
+    EXPECT_EQ(syn.type, vtp::packet::handshake_segment::kind::syn);
+
+    const auto answer = resp.on_segment(syn);
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_TRUE(resp.established());
+
+    const auto accepted = init.on_segment(answer->syn_ack);
+    ASSERT_TRUE(accepted.has_value());
+    EXPECT_TRUE(init.established());
+    EXPECT_EQ(*accepted, qtp_af_profile(5e6));
+}
+
+TEST(handshake_test, duplicate_syn_gets_same_answer) {
+    handshake_initiator init(qtp_af_profile(5e6));
+    handshake_responder resp(capabilities{});
+    const auto syn = init.make_syn();
+    const auto a1 = resp.on_segment(syn);
+    const auto a2 = resp.on_segment(syn);
+    ASSERT_TRUE(a1 && a2);
+    EXPECT_EQ(a1->accepted, a2->accepted);
+    EXPECT_EQ(a1->syn_ack.profile_bits, a2->syn_ack.profile_bits);
+}
+
+TEST(handshake_test, downgrade_is_visible_to_initiator) {
+    handshake_initiator init(qtp_af_profile(5e6));
+    capabilities caps;
+    caps.qos_aware = false;
+    caps.allow_full_reliability = false;
+    handshake_responder resp(caps);
+    const auto answer = resp.on_segment(init.make_syn());
+    ASSERT_TRUE(answer);
+    const auto accepted = init.on_segment(answer->syn_ack);
+    ASSERT_TRUE(accepted);
+    EXPECT_FALSE(accepted->qos_aware);
+    EXPECT_EQ(accepted->reliability, reliability_mode::partial);
+}
+
+TEST(handshake_test, initiator_ignores_stray_segments) {
+    handshake_initiator init(qtp_default_profile());
+    vtp::packet::handshake_segment fin;
+    fin.type = vtp::packet::handshake_segment::kind::fin;
+    EXPECT_FALSE(init.on_segment(fin).has_value());
+    EXPECT_FALSE(init.established());
+}
+
+TEST(profile_test, describe_mentions_features) {
+    const std::string s = qtp_af_profile(4e6).describe();
+    EXPECT_NE(s.find("full"), std::string::npos);
+    EXPECT_NE(s.find("qos=on"), std::string::npos);
+}
+
+} // namespace

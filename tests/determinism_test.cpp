@@ -1,0 +1,89 @@
+// Reproducibility: identical seeds give bit-identical simulations —
+// the property every experiment in EXPERIMENTS.md relies on.
+#include <gtest/gtest.h>
+
+#include "diffserv/conditioner.hpp"
+#include "diffserv/rio.hpp"
+#include "sim_fixtures.hpp"
+
+namespace {
+
+using namespace vtp;
+namespace packet = vtp::packet;
+using namespace vtp::testing;
+using util::milliseconds;
+using util::seconds;
+
+struct run_result {
+    std::uint64_t tfrc_bytes = 0;
+    std::uint64_t tcp_bytes = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t events = 0;
+};
+
+run_result run_mixed(std::uint64_t seed) {
+    sim::dumbbell_config cfg;
+    cfg.pairs = 2;
+    cfg.access_rate_bps = 100e6;
+    cfg.access_delay = milliseconds(1);
+    cfg.bottleneck_rate_bps = 10e6;
+    cfg.bottleneck_delay = milliseconds(20);
+    cfg.bottleneck_queue = [seed] {
+        return std::make_unique<sim::red_queue>(sim::default_red_params(60, 1050),
+                                                60 * 1050, seed * 17 + 1);
+    };
+    cfg.seed = seed;
+    sim::dumbbell net(cfg);
+
+    auto tfrc = add_tfrc_flow(net, 0, 1);
+    auto tcp = add_tcp_flow(net, 1, 2);
+    net.sched().run_until(seconds(30));
+
+    run_result r;
+    r.tfrc_bytes = tfrc.receiver->received_bytes();
+    r.tcp_bytes = tcp.receiver->delivered_bytes();
+    r.drops = net.forward_bottleneck().queue().stats().dropped_packets;
+    r.events = net.sched().executed();
+    return r;
+}
+
+TEST(determinism_test, identical_seed_identical_trace) {
+    const run_result a = run_mixed(42);
+    const run_result b = run_mixed(42);
+    EXPECT_EQ(a.tfrc_bytes, b.tfrc_bytes);
+    EXPECT_EQ(a.tcp_bytes, b.tcp_bytes);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(determinism_test, different_seed_different_trace) {
+    const run_result a = run_mixed(42);
+    const run_result b = run_mixed(43);
+    // RED randomness differs, so some observable must change.
+    EXPECT_TRUE(a.tfrc_bytes != b.tfrc_bytes || a.tcp_bytes != b.tcp_bytes ||
+                a.drops != b.drops || a.events != b.events);
+}
+
+TEST(determinism_test, lossy_qtp_connection_is_reproducible) {
+    auto run = [](std::uint64_t seed) {
+        sim::dumbbell_config cfg;
+        cfg.pairs = 1;
+        cfg.bottleneck_rate_bps = 20e6;
+        cfg.seed = seed;
+        sim::dumbbell net(cfg);
+        net.forward_bottleneck().set_loss_model(
+            std::make_unique<sim::bernoulli_loss>(0.02, seed));
+        qtp::connection_config base;
+        base.total_bytes = 1'000'000;
+        auto pair = qtp::make_connection(1, net.left_addr(0), net.right_addr(0),
+                                         qtp::qtp_af_profile(0.0), qtp::capabilities{},
+                                         base);
+        auto flow = add_qtp_flow(net, 0, 1, std::move(pair));
+        net.sched().run_until(seconds(120));
+        return std::make_tuple(flow.sender->packets_sent(), flow.sender->rtx_bytes_sent(),
+                               flow.receiver->received_bytes(), net.sched().executed());
+    };
+    EXPECT_EQ(run(7), run(7));
+}
+
+} // namespace

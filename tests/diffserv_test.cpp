@@ -1,0 +1,247 @@
+// DiffServ substrate tests: token bucket, markers, RIO, conditioner.
+#include <gtest/gtest.h>
+
+#include "diffserv/conditioner.hpp"
+#include "diffserv/marker.hpp"
+#include "diffserv/rio.hpp"
+#include "diffserv/token_bucket.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace vtp::diffserv;
+using vtp::packet::dscp;
+using vtp::util::milliseconds;
+using vtp::util::seconds;
+
+vtp::packet::packet pkt_of(std::uint32_t bytes, std::uint32_t flow = 1,
+                           dscp ds = dscp::best_effort) {
+    vtp::packet::packet p =
+        vtp::packet::make_packet(flow, 0, 1, vtp::packet::data_segment{}, ds);
+    p.size_bytes = bytes;
+    return p;
+}
+
+TEST(token_bucket_test, burst_allows_initial_bytes) {
+    token_bucket tb(8e6, 5000); // 1 MB/s refill, 5 kB burst
+    EXPECT_TRUE(tb.consume(5000, 0));
+    EXPECT_FALSE(tb.consume(1, 0));
+}
+
+TEST(token_bucket_test, refills_at_rate) {
+    token_bucket tb(8e6, 5000); // 1 MB/s
+    EXPECT_TRUE(tb.consume(5000, 0));
+    // After 1 ms: 1000 bytes refilled.
+    EXPECT_TRUE(tb.consume(1000, milliseconds(1)));
+    EXPECT_FALSE(tb.consume(1000, milliseconds(1)));
+    EXPECT_TRUE(tb.consume(1000, milliseconds(2)));
+}
+
+TEST(token_bucket_test, never_exceeds_capacity) {
+    token_bucket tb(8e6, 2000);
+    EXPECT_NEAR(tb.available(seconds(100)), 2000.0, 1e-6);
+}
+
+TEST(token_bucket_test, sustained_rate_equals_cir) {
+    token_bucket tb(8e6, 3000); // 1 MB/s
+    std::uint64_t sent = 0;
+    for (int ms = 0; ms < 1000; ++ms) {
+        // Offer 2x the contracted rate.
+        if (tb.consume(1000, milliseconds(ms))) sent += 1000;
+        if (tb.consume(1000, milliseconds(ms))) sent += 1000;
+    }
+    // ~1 MB conformed over 1 s (plus initial burst).
+    EXPECT_NEAR(static_cast<double>(sent), 1e6, 5e3 + 3000);
+}
+
+TEST(marker_test, two_colour_green_within_cir) {
+    token_bucket_marker m(8e6, 1 << 20);
+    // Offered below CIR: everything green.
+    for (int ms = 0; ms < 100; ++ms)
+        EXPECT_EQ(m.mark(pkt_of(500), milliseconds(ms)), dscp::af11);
+}
+
+TEST(marker_test, two_colour_yellow_beyond_cir) {
+    token_bucket_marker m(8e5, 2000); // 100 kB/s
+    int green = 0, yellow = 0;
+    for (int ms = 0; ms < 1000; ++ms) {
+        // Offer 1000 B/ms = 1 MB/s, ten times the profile.
+        (m.mark(pkt_of(1000), milliseconds(ms)) == dscp::af11 ? green : yellow) += 1;
+    }
+    EXPECT_GT(yellow, green);
+    // Green share ~ CIR/offered = 10%.
+    EXPECT_NEAR(static_cast<double>(green) / 1000.0, 0.1, 0.03);
+}
+
+TEST(marker_test, srtcm_colours_in_order) {
+    srtcm_marker m(8e5, 2000, 2000);
+    bool seen_yellow = false, seen_red = false;
+    for (int i = 0; i < 100; ++i) {
+        const dscp d = m.mark(pkt_of(1000), 0); // no refill time passes
+        if (d == dscp::af12) seen_yellow = true;
+        if (d == dscp::af13) {
+            seen_red = true;
+            EXPECT_TRUE(seen_yellow); // red only after excess bucket empty
+        }
+    }
+    EXPECT_TRUE(seen_red);
+}
+
+TEST(marker_test, trtcm_peak_limits_yellow) {
+    trtcm_marker m(8e5, 2000, 1.6e6, 4000);
+    int red = 0;
+    for (int i = 0; i < 100; ++i)
+        if (m.mark(pkt_of(1000), 0) == dscp::af13) ++red;
+    EXPECT_GT(red, 90); // both buckets drained almost immediately
+}
+
+rio_params test_rio() {
+    rio_params p = default_rio_params(50, 1000);
+    p.in.weight = 0.5; // fast averages for unit tests
+    p.out.weight = 0.5;
+    return p;
+}
+
+TEST(rio_test, out_packets_dropped_before_in) {
+    rio_queue q(test_rio(), 11);
+    // Hold the queue around 50% occupancy: the total average sits in the
+    // out-profile drop region while the in-profile average stays low.
+    for (int i = 0; i < 2000; ++i) {
+        q.enqueue(pkt_of(1000, 1, dscp::af11), i);
+        q.enqueue(pkt_of(1000, 1, dscp::af12), i);
+        while (q.byte_length() > 25'000) (void)q.dequeue(i);
+    }
+    EXPECT_GT(q.out_drops(), 0u);
+    // Out-profile must suffer disproportionately.
+    EXPECT_GT(q.out_drops(), 4 * q.in_drops());
+}
+
+TEST(rio_test, in_profile_protected_at_moderate_load) {
+    rio_queue q(test_rio(), 13);
+    // Load that keeps total average between out thresholds but the
+    // in-profile average below its own min_th.
+    std::uint64_t in_offered = 0, in_accepted = 0;
+    for (int i = 0; i < 500; ++i) {
+        if (i % 5 == 0) {
+            ++in_offered;
+            if (q.enqueue(pkt_of(1000, 1, dscp::af11), i)) ++in_accepted;
+        } else {
+            q.enqueue(pkt_of(1000, 2, dscp::af12), i);
+        }
+        if (i % 2 == 0) (void)q.dequeue(i);
+    }
+    EXPECT_EQ(in_offered, in_accepted);
+}
+
+TEST(rio_test, capacity_overflow_counts_by_colour) {
+    rio_params p = test_rio();
+    p.capacity_bytes = 3000;
+    p.in.min_th = 1e9; // disable early drops
+    p.in.max_th = 2e9;
+    p.out.min_th = 1e9;
+    p.out.max_th = 2e9;
+    rio_queue q(p, 17);
+    EXPECT_TRUE(q.enqueue(pkt_of(1500, 1, dscp::af11), 0));
+    EXPECT_TRUE(q.enqueue(pkt_of(1500, 1, dscp::af12), 0));
+    EXPECT_FALSE(q.enqueue(pkt_of(1500, 1, dscp::af11), 0));
+    EXPECT_FALSE(q.enqueue(pkt_of(1500, 1, dscp::af12), 0));
+    EXPECT_EQ(q.in_drops(), 1u);
+    EXPECT_EQ(q.out_drops(), 1u);
+}
+
+TEST(rio_test, fifo_across_colours) {
+    rio_queue q(test_rio(), 19);
+    q.enqueue(pkt_of(100, 1, dscp::af11), 0);
+    q.enqueue(pkt_of(200, 2, dscp::af12), 0);
+    q.enqueue(pkt_of(300, 3, dscp::af11), 0);
+    EXPECT_EQ(q.dequeue(0)->size_bytes, 100u);
+    EXPECT_EQ(q.dequeue(0)->size_bytes, 200u);
+    EXPECT_EQ(q.dequeue(0)->size_bytes, 300u);
+}
+
+TEST(rio_test, in_profile_byte_accounting) {
+    rio_queue q(test_rio(), 23);
+    q.enqueue(pkt_of(1000, 1, dscp::af11), 0);
+    q.enqueue(pkt_of(1000, 2, dscp::af12), 0);
+    EXPECT_EQ(q.in_profile_bytes_queued(), 1000u);
+    (void)q.dequeue(0);
+    EXPECT_EQ(q.in_profile_bytes_queued(), 0u);
+}
+
+TEST(conditioner_test, marks_contracted_flow_only) {
+    vtp::sim::scheduler sched;
+    conditioner cond(sched);
+    cond.set_profile(7, 8e6, 10000);
+    vtp::sim::node n(1); // packets below are addressed to node 1
+    cond.install(n);
+    dscp seen_contracted = dscp::best_effort;
+    dscp seen_other = dscp::af13;
+    n.set_delivery([&](vtp::packet::packet p) {
+        if (p.flow_id == 7)
+            seen_contracted = p.ds;
+        else
+            seen_other = p.ds;
+    });
+    n.receive(pkt_of(1000, 7));
+    n.receive(pkt_of(1000, 8));
+    EXPECT_EQ(seen_contracted, dscp::af11);
+    EXPECT_EQ(seen_other, dscp::best_effort);
+}
+
+TEST(conditioner_test, per_flow_stats_accumulate) {
+    vtp::sim::scheduler sched;
+    conditioner cond(sched);
+    cond.set_profile(7, 8e5, 1000); // 100 kB/s, 1 kB burst
+    vtp::sim::node n(1);
+    cond.install(n);
+    n.set_delivery([](vtp::packet::packet) {});
+    for (int i = 0; i < 10; ++i) n.receive(pkt_of(1000, 7)); // all at t=0
+    const auto& s = cond.stats(7);
+    EXPECT_EQ(s.green_packets + s.yellow_packets, 10u);
+    EXPECT_EQ(s.green_packets, 1u); // burst fits exactly one packet
+    EXPECT_EQ(s.yellow_packets, 9u);
+}
+
+TEST(conditioner_test, egress_install_marks_only_locally_sourced_packets) {
+    vtp::sim::scheduler sched;
+    conditioner cond(sched);
+    cond.set_profile(7, 8e6, 10000);
+    vtp::sim::node n(1);
+    cond.install_egress(n);
+    dscp data_colour = dscp::best_effort;
+    dscp feedback_colour = dscp::af13;
+    n.set_delivery([&](vtp::packet::packet p) {
+        if (p.src == 1)
+            data_colour = p.ds;
+        else
+            feedback_colour = p.ds;
+    });
+    // Locally originated data (src == node id) gets marked...
+    auto outbound = pkt_of(1000, 7);
+    outbound.src = 1;
+    outbound.dst = 1;
+    n.receive(outbound);
+    // ...while feedback arriving from the peer does not consume tokens.
+    auto inbound = pkt_of(1000, 7);
+    inbound.src = 9;
+    inbound.dst = 1;
+    n.receive(inbound);
+    EXPECT_EQ(data_colour, dscp::af11);
+    EXPECT_EQ(feedback_colour, dscp::best_effort);
+}
+
+TEST(conditioner_test, unknown_flow_stats_are_zero) {
+    vtp::sim::scheduler sched;
+    conditioner cond(sched);
+    EXPECT_EQ(cond.stats(99).green_packets, 0u);
+}
+
+TEST(rio_test, default_params_order_thresholds_sanely) {
+    const rio_params p = default_rio_params(100, 1500);
+    EXPECT_LT(p.out.min_th, p.out.max_th);
+    EXPECT_LT(p.in.min_th, p.in.max_th);
+    EXPECT_LT(p.out.min_th, p.in.min_th); // out is dropped earlier
+    EXPECT_GT(p.out.max_p, p.in.max_p);   // and more aggressively
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+// interval_set::remove — the primitive behind RFC 6675 pipe accounting
+// in the TCP baseline (lost-marked bytes leave the set when they are
+// retransmitted or SACKed).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sack/reassembly.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using vtp::sack::interval_set;
+
+TEST(interval_remove_test, remove_exact_range) {
+    interval_set s;
+    s.add(10, 20);
+    s.remove(10, 20);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(interval_remove_test, remove_middle_splits) {
+    interval_set s;
+    s.add(0, 30);
+    s.remove(10, 20);
+    EXPECT_EQ(s.range_count(), 2u);
+    EXPECT_TRUE(s.contains(0, 10));
+    EXPECT_TRUE(s.contains(20, 30));
+    EXPECT_FALSE(s.contains(10, 11));
+    EXPECT_EQ(s.total(), 20u);
+}
+
+TEST(interval_remove_test, remove_left_edge) {
+    interval_set s;
+    s.add(10, 30);
+    s.remove(5, 15);
+    EXPECT_TRUE(s.contains(15, 30));
+    EXPECT_FALSE(s.contains(10, 15));
+    EXPECT_EQ(s.total(), 15u);
+}
+
+TEST(interval_remove_test, remove_right_edge) {
+    interval_set s;
+    s.add(10, 30);
+    s.remove(25, 40);
+    EXPECT_TRUE(s.contains(10, 25));
+    EXPECT_FALSE(s.contains(25, 26));
+    EXPECT_EQ(s.total(), 15u);
+}
+
+TEST(interval_remove_test, remove_spanning_multiple_ranges) {
+    interval_set s;
+    s.add(0, 10);
+    s.add(20, 30);
+    s.add(40, 50);
+    s.remove(5, 45);
+    EXPECT_EQ(s.range_count(), 2u);
+    EXPECT_TRUE(s.contains(0, 5));
+    EXPECT_TRUE(s.contains(45, 50));
+    EXPECT_EQ(s.total(), 10u);
+}
+
+TEST(interval_remove_test, remove_nonexistent_is_noop) {
+    interval_set s;
+    s.add(10, 20);
+    s.remove(30, 40);
+    s.remove(0, 10); // adjacent, not overlapping
+    s.remove(20, 25);
+    EXPECT_EQ(s.total(), 10u);
+    EXPECT_TRUE(s.contains(10, 20));
+}
+
+TEST(interval_remove_test, remove_empty_range_is_noop) {
+    interval_set s;
+    s.add(10, 20);
+    s.remove(15, 15);
+    s.remove(18, 12);
+    EXPECT_EQ(s.total(), 10u);
+}
+
+TEST(interval_remove_test, add_back_after_remove) {
+    interval_set s;
+    s.add(0, 100);
+    s.remove(40, 60);
+    s.add(45, 55);
+    EXPECT_EQ(s.total(), 90u);
+    EXPECT_TRUE(s.contains(45, 55));
+    EXPECT_FALSE(s.contains(40, 45));
+    s.add(40, 45);
+    s.add(55, 60);
+    EXPECT_EQ(s.range_count(), 1u);
+    EXPECT_EQ(s.total(), 100u);
+}
+
+TEST(interval_remove_test, randomized_against_reference_bitmap) {
+    vtp::util::rng rng(31415);
+    interval_set s;
+    std::vector<bool> ref(4000, false);
+    for (int op = 0; op < 3000; ++op) {
+        const auto b = static_cast<std::uint64_t>(rng.uniform_int(0, 3900));
+        const auto len = static_cast<std::uint64_t>(rng.uniform_int(1, 99));
+        if (rng.bernoulli(0.45)) {
+            s.remove(b, b + len);
+            for (std::uint64_t k = b; k < b + len; ++k) ref[k] = false;
+        } else {
+            s.add(b, b + len);
+            for (std::uint64_t k = b; k < b + len; ++k) ref[k] = true;
+        }
+        if (op % 100 == 0) {
+            std::uint64_t ref_total = 0;
+            for (bool v : ref)
+                if (v) ++ref_total;
+            ASSERT_EQ(s.total(), ref_total) << "op " << op;
+        }
+    }
+    // Final exhaustive point check.
+    for (std::uint64_t k = 0; k < ref.size(); ++k) {
+        ASSERT_EQ(s.contains(k, k + 1), static_cast<bool>(ref[k])) << "point " << k;
+    }
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+// Shared helpers for end-to-end simulation tests: set up flows on a
+// dumbbell and measure application goodput.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/qtp.hpp"
+#include "sim/topology.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "tfrc/receiver.hpp"
+#include "tfrc/sender.hpp"
+
+namespace vtp::testing {
+
+struct tfrc_flow {
+    tfrc::sender_agent* sender = nullptr;
+    tfrc::receiver_agent* receiver = nullptr;
+    tfrc::light_receiver_agent* light_receiver = nullptr;
+};
+
+/// Classic TFRC flow (receiver-side estimation) on dumbbell pair `i`.
+inline tfrc_flow add_tfrc_flow(sim::dumbbell& net, std::size_t i, std::uint32_t flow_id,
+                               double misreport_p = 1.0, double misreport_x = 1.0) {
+    tfrc::sender_config scfg;
+    scfg.flow_id = flow_id;
+    scfg.peer_addr = net.right_addr(i);
+    scfg.mode = tfrc::estimation_mode::receiver_side;
+
+    tfrc::receiver_config rcfg;
+    rcfg.flow_id = flow_id;
+    rcfg.peer_addr = net.left_addr(i);
+    rcfg.misreport_p_factor = misreport_p;
+    rcfg.misreport_x_factor = misreport_x;
+
+    tfrc_flow flow;
+    flow.receiver = net.right_host(i).attach(
+        flow_id, std::make_unique<tfrc::receiver_agent>(rcfg));
+    flow.sender = net.left_host(i).attach(
+        flow_id, std::make_unique<tfrc::sender_agent>(scfg));
+    return flow;
+}
+
+/// QTPlight-style raw TFRC flow: sender-side estimation + light receiver.
+inline tfrc_flow add_tfrc_light_flow(sim::dumbbell& net, std::size_t i,
+                                     std::uint32_t flow_id) {
+    tfrc::sender_config scfg;
+    scfg.flow_id = flow_id;
+    scfg.peer_addr = net.right_addr(i);
+    scfg.mode = tfrc::estimation_mode::sender_side;
+
+    tfrc::light_receiver_config rcfg;
+    rcfg.flow_id = flow_id;
+    rcfg.peer_addr = net.left_addr(i);
+
+    tfrc_flow flow;
+    flow.light_receiver = net.right_host(i).attach(
+        flow_id, std::make_unique<tfrc::light_receiver_agent>(rcfg));
+    flow.sender = net.left_host(i).attach(
+        flow_id, std::make_unique<tfrc::sender_agent>(scfg));
+    return flow;
+}
+
+struct tcp_flow {
+    tcp::tcp_sender_agent* sender = nullptr;
+    tcp::tcp_receiver_agent* receiver = nullptr;
+};
+
+/// Long-lived TCP flow on dumbbell pair `i`.
+inline tcp_flow add_tcp_flow(sim::dumbbell& net, std::size_t i, std::uint32_t flow_id,
+                             std::uint64_t max_bytes = UINT64_MAX) {
+    tcp::tcp_sender_config scfg;
+    scfg.flow_id = flow_id;
+    scfg.peer_addr = net.right_addr(i);
+    scfg.max_bytes = max_bytes;
+
+    tcp::tcp_receiver_config rcfg;
+    rcfg.flow_id = flow_id;
+    rcfg.peer_addr = net.left_addr(i);
+
+    tcp_flow flow;
+    flow.receiver = net.right_host(i).attach(
+        flow_id, std::make_unique<tcp::tcp_receiver_agent>(rcfg));
+    flow.sender = net.left_host(i).attach(
+        flow_id, std::make_unique<tcp::tcp_sender_agent>(scfg));
+    return flow;
+}
+
+struct qtp_flow {
+    qtp::connection_sender* sender = nullptr;
+    qtp::connection_receiver* receiver = nullptr;
+};
+
+/// Composed QTP connection on dumbbell pair `i`.
+inline qtp_flow add_qtp_flow(sim::dumbbell& net, std::size_t i, std::uint32_t flow_id,
+                             qtp::connection_pair pair) {
+    qtp_flow flow;
+    flow.receiver = net.right_host(i).attach(flow_id, std::move(pair.receiver));
+    flow.sender = net.left_host(i).attach(flow_id, std::move(pair.sender));
+    return flow;
+}
+
+/// Application goodput in bit/s given bytes delivered over a duration.
+inline double goodput_bps(std::uint64_t bytes, util::sim_time duration) {
+    return static_cast<double>(bytes) * 8.0 / util::to_seconds(duration);
+}
+
+} // namespace vtp::testing

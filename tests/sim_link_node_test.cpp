@@ -1,0 +1,153 @@
+// Link serialization/propagation timing and node routing tests.
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace vtp::sim;
+namespace packet = vtp::packet;
+using vtp::util::from_seconds;
+using vtp::util::milliseconds;
+using vtp::util::sim_time;
+
+packet::packet make_pkt(std::uint32_t dst, std::uint32_t bytes) {
+    packet::data_segment d;
+    packet::packet p = packet::make_packet(1, 0, dst, d);
+    p.size_bytes = bytes;
+    return p;
+}
+
+TEST(link_test, single_packet_timing_is_exact) {
+    scheduler sched;
+    node dst(7);
+    sim_time arrival = -1;
+    dst.set_delivery([&](packet::packet) { arrival = sched.now(); });
+
+    vtp::sim::link::config cfg{8e6 /* 8 Mb/s */, milliseconds(10)};
+    vtp::sim::link l(sched, cfg, std::make_unique<drop_tail_queue>(1 << 20));
+    l.set_destination(&dst);
+
+    l.transmit(make_pkt(7, 1000)); // 1000B at 8Mb/s = 1 ms serialisation
+    sched.run();
+    EXPECT_EQ(arrival, milliseconds(11));
+}
+
+TEST(link_test, back_to_back_packets_serialize) {
+    scheduler sched;
+    node dst(7);
+    std::vector<sim_time> arrivals;
+    dst.set_delivery([&](packet::packet) { arrivals.push_back(sched.now()); });
+
+    vtp::sim::link::config cfg{8e6, milliseconds(0)};
+    vtp::sim::link l(sched, cfg, std::make_unique<drop_tail_queue>(1 << 20));
+    l.set_destination(&dst);
+
+    for (int i = 0; i < 3; ++i) l.transmit(make_pkt(7, 1000));
+    sched.run();
+    ASSERT_EQ(arrivals.size(), 3u);
+    EXPECT_EQ(arrivals[0], milliseconds(1));
+    EXPECT_EQ(arrivals[1], milliseconds(2));
+    EXPECT_EQ(arrivals[2], milliseconds(3));
+}
+
+TEST(link_test, queue_overflow_drops_are_counted) {
+    scheduler sched;
+    node dst(7);
+    dst.set_delivery([](packet::packet) {});
+    vtp::sim::link::config cfg{1e6, milliseconds(0)};
+    vtp::sim::link l(sched, cfg, std::make_unique<drop_tail_queue>(2000));
+    l.set_destination(&dst);
+
+    for (int i = 0; i < 10; ++i) l.transmit(make_pkt(7, 1000));
+    sched.run();
+    // One in service immediately, two queued, rest dropped.
+    EXPECT_EQ(l.queue().stats().dropped_packets, 7u);
+    EXPECT_EQ(l.delivered_packets(), 3u);
+}
+
+TEST(link_test, loss_model_drops_on_wire) {
+    scheduler sched;
+    node dst(7);
+    int delivered = 0;
+    dst.set_delivery([&](packet::packet) { ++delivered; });
+    vtp::sim::link::config cfg{100e6, milliseconds(1)};
+    vtp::sim::link l(sched, cfg, std::make_unique<drop_tail_queue>(1 << 24));
+    l.set_destination(&dst);
+    l.set_loss_model(std::make_unique<bernoulli_loss>(1.0, 9)); // lose all
+
+    for (int i = 0; i < 5; ++i) l.transmit(make_pkt(7, 1000));
+    sched.run();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(l.wire_losses(), 5u);
+}
+
+TEST(link_test, utilisation_reflects_busy_time) {
+    scheduler sched;
+    node dst(7);
+    dst.set_delivery([](packet::packet) {});
+    vtp::sim::link::config cfg{8e6, milliseconds(0)};
+    vtp::sim::link l(sched, cfg, std::make_unique<drop_tail_queue>(1 << 24));
+    l.set_destination(&dst);
+
+    l.transmit(make_pkt(7, 1000)); // 1ms busy
+    sched.run_until(milliseconds(10));
+    EXPECT_NEAR(l.utilisation(sched.now()), 0.1, 1e-9);
+}
+
+TEST(node_test, delivers_to_local_address) {
+    node n(5);
+    int delivered = 0;
+    n.set_delivery([&](packet::packet) { ++delivered; });
+    n.receive(make_pkt(5, 100));
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(n.delivered(), 1u);
+}
+
+TEST(node_test, forwards_via_specific_route) {
+    scheduler sched;
+    node a(1), b(2);
+    int delivered = 0;
+    b.set_delivery([&](packet::packet) { ++delivered; });
+    vtp::sim::link::config cfg{100e6, 0};
+    vtp::sim::link ab(sched, cfg, std::make_unique<drop_tail_queue>(1 << 20));
+    ab.set_destination(&b);
+    a.add_route(2, &ab);
+    a.receive(make_pkt(2, 500));
+    sched.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(a.forwarded(), 1u);
+}
+
+TEST(node_test, default_route_used_when_no_match) {
+    scheduler sched;
+    node a(1), b(2);
+    int delivered = 0;
+    b.set_delivery([&](packet::packet) { ++delivered; });
+    vtp::sim::link::config cfg{100e6, 0};
+    vtp::sim::link ab(sched, cfg, std::make_unique<drop_tail_queue>(1 << 20));
+    ab.set_destination(&b);
+    a.set_default_route(&ab);
+    a.receive(make_pkt(2, 500));
+    sched.run();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(node_test, routeless_packet_dropped_and_counted) {
+    node a(1);
+    a.receive(make_pkt(99, 500));
+    EXPECT_EQ(a.routeless_drops(), 1u);
+}
+
+TEST(node_test, ingress_filter_can_remark_dscp) {
+    node a(1);
+    packet::dscp seen = packet::dscp::best_effort;
+    a.set_filter([](packet::packet& p) { p.ds = packet::dscp::af12; });
+    a.set_delivery([&](packet::packet p) { seen = p.ds; });
+    a.receive(make_pkt(1, 100));
+    EXPECT_EQ(seen, packet::dscp::af12);
+}
+
+} // namespace

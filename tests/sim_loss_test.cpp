@@ -1,0 +1,103 @@
+// Loss model statistics: Bernoulli rate, Gilbert–Elliott steady state
+// and burstiness.
+#include <gtest/gtest.h>
+
+#include "sim/loss.hpp"
+
+namespace {
+
+using namespace vtp::sim;
+namespace packet = vtp::packet;
+
+packet::packet dummy() {
+    return packet::make_packet(0, 0, 0, packet::data_segment{});
+}
+
+TEST(loss_test, no_loss_never_drops) {
+    no_loss m;
+    for (int i = 0; i < 1000; ++i) EXPECT_FALSE(m.should_drop(dummy(), i));
+}
+
+class bernoulli_rate_test : public ::testing::TestWithParam<double> {};
+
+TEST_P(bernoulli_rate_test, empirical_rate_matches_parameter) {
+    const double p = GetParam();
+    bernoulli_loss m(p, 1234);
+    const int n = 200000;
+    int drops = 0;
+    for (int i = 0; i < n; ++i)
+        if (m.should_drop(dummy(), i)) ++drops;
+    EXPECT_NEAR(static_cast<double>(drops) / n, p, 0.003);
+}
+
+INSTANTIATE_TEST_SUITE_P(rates, bernoulli_rate_test,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.2));
+
+TEST(bernoulli_test, deterministic_for_seed) {
+    bernoulli_loss a(0.1, 7), b(0.1, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.should_drop(dummy(), i), b.should_drop(dummy(), i));
+}
+
+TEST(gilbert_elliott_test, steady_state_formula) {
+    gilbert_elliott_loss::params p;
+    p.p_good_to_bad = 0.02;
+    p.p_bad_to_good = 0.18;
+    p.loss_good = 0.001;
+    p.loss_bad = 0.4;
+    gilbert_elliott_loss m(p, 5);
+    // pi_bad = 0.02/0.2 = 0.1 -> loss = 0.1*0.4 + 0.9*0.001
+    EXPECT_NEAR(m.steady_state_loss(), 0.1 * 0.4 + 0.9 * 0.001, 1e-12);
+}
+
+TEST(gilbert_elliott_test, empirical_loss_matches_steady_state) {
+    gilbert_elliott_loss::params p;
+    p.p_good_to_bad = 0.02;
+    p.p_bad_to_good = 0.18;
+    p.loss_good = 0.0;
+    p.loss_bad = 0.5;
+    gilbert_elliott_loss m(p, 11);
+    const int n = 400000;
+    int drops = 0;
+    for (int i = 0; i < n; ++i)
+        if (m.should_drop(dummy(), i)) ++drops;
+    EXPECT_NEAR(static_cast<double>(drops) / n, m.steady_state_loss(), 0.005);
+}
+
+TEST(gilbert_elliott_test, losses_are_bursty) {
+    // Compare P(loss | previous loss) with the marginal loss rate: in a
+    // bursty model the conditional probability is much higher.
+    gilbert_elliott_loss::params p;
+    p.p_good_to_bad = 0.005;
+    p.p_bad_to_good = 0.1;
+    p.loss_good = 0.0;
+    p.loss_bad = 0.6;
+    gilbert_elliott_loss m(p, 13);
+    const int n = 400000;
+    int losses = 0, pairs = 0, loss_after_loss = 0;
+    bool prev = false;
+    for (int i = 0; i < n; ++i) {
+        const bool lost = m.should_drop(dummy(), i);
+        if (lost) ++losses;
+        if (prev) {
+            ++pairs;
+            if (lost) ++loss_after_loss;
+        }
+        prev = lost;
+    }
+    const double marginal = static_cast<double>(losses) / n;
+    const double conditional = static_cast<double>(loss_after_loss) / pairs;
+    EXPECT_GT(conditional, 2.0 * marginal);
+}
+
+TEST(gilbert_elliott_test, degenerate_all_good) {
+    gilbert_elliott_loss::params p;
+    p.p_good_to_bad = 0.0;
+    p.p_bad_to_good = 1.0;
+    p.loss_good = 0.0;
+    p.loss_bad = 1.0;
+    gilbert_elliott_loss m(p, 17);
+    for (int i = 0; i < 10000; ++i) EXPECT_FALSE(m.should_drop(dummy(), i));
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+// Queue discipline tests: DropTail and RED.
+#include <gtest/gtest.h>
+
+#include "packet/segment.hpp"
+#include "sim/queue.hpp"
+#include "sim/red.hpp"
+
+namespace {
+
+using namespace vtp::sim;
+namespace packet = vtp::packet;
+using vtp::util::milliseconds;
+using vtp::util::microseconds;
+
+packet::packet make_pkt(std::uint32_t bytes, packet::dscp ds = packet::dscp::best_effort) {
+    packet::data_segment d;
+    d.payload_len = bytes > 50 ? bytes - 50 : 0; // data header is 50B
+    packet::packet p = packet::make_packet(1, 0, 1, d, ds);
+    p.size_bytes = bytes;
+    return p;
+}
+
+TEST(drop_tail_test, accepts_until_capacity) {
+    drop_tail_queue q(3000);
+    EXPECT_TRUE(q.enqueue(make_pkt(1000), 0));
+    EXPECT_TRUE(q.enqueue(make_pkt(1000), 0));
+    EXPECT_TRUE(q.enqueue(make_pkt(1000), 0));
+    EXPECT_FALSE(q.enqueue(make_pkt(1000), 0));
+    EXPECT_EQ(q.packet_length(), 3u);
+    EXPECT_EQ(q.byte_length(), 3000u);
+    EXPECT_EQ(q.stats().dropped_packets, 1u);
+}
+
+TEST(drop_tail_test, fifo_order) {
+    drop_tail_queue q(1 << 20);
+    for (std::uint32_t i = 1; i <= 5; ++i) q.enqueue(make_pkt(100 + i), 0);
+    for (std::uint32_t i = 1; i <= 5; ++i) {
+        auto p = q.dequeue(0);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_EQ(p->size_bytes, 100 + i);
+    }
+    EXPECT_FALSE(q.dequeue(0).has_value());
+}
+
+TEST(drop_tail_test, byte_accounting_through_churn) {
+    drop_tail_queue q(5000);
+    q.enqueue(make_pkt(2000), 0);
+    q.enqueue(make_pkt(2000), 0);
+    (void)q.dequeue(0);
+    EXPECT_TRUE(q.enqueue(make_pkt(3000), 0));
+    EXPECT_EQ(q.byte_length(), 5000u);
+    EXPECT_EQ(q.stats().enqueued_packets, 3u);
+    EXPECT_EQ(q.stats().dequeued_packets, 1u);
+}
+
+TEST(drop_tail_test, small_packet_fits_in_residual_space) {
+    drop_tail_queue q(1500);
+    EXPECT_TRUE(q.enqueue(make_pkt(1000), 0));
+    EXPECT_FALSE(q.enqueue(make_pkt(1000), 0));
+    EXPECT_TRUE(q.enqueue(make_pkt(500), 0));
+}
+
+TEST(drop_tail_test, make_drop_tail_sizes_in_packets) {
+    auto q = make_drop_tail(10, 1500);
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(q->enqueue(make_pkt(1500), 0));
+    EXPECT_FALSE(q->enqueue(make_pkt(1500), 0));
+}
+
+TEST(drop_tail_test, stats_drop_ratio) {
+    drop_tail_queue q(1000);
+    q.enqueue(make_pkt(1000), 0);
+    q.enqueue(make_pkt(1000), 0);
+    EXPECT_DOUBLE_EQ(q.stats().drop_ratio(), 0.5);
+}
+
+red_params small_red() {
+    red_params p;
+    p.min_th = 2000;
+    p.max_th = 6000;
+    p.max_p = 0.1;
+    p.weight = 0.5; // fast-moving average for unit tests
+    p.gentle = true;
+    return p;
+}
+
+TEST(red_test, no_drops_below_min_threshold) {
+    red_queue q(small_red(), 1 << 20, 1);
+    // Average stays near 0-2000 for light occupancy.
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(q.enqueue(make_pkt(500), i));
+        (void)q.dequeue(i);
+    }
+    EXPECT_EQ(q.stats().dropped_packets, 0u);
+}
+
+TEST(red_test, drops_appear_under_sustained_load) {
+    red_queue q(small_red(), 1 << 20, 2);
+    // Never dequeue: queue builds, average crosses thresholds.
+    int accepted = 0;
+    for (int i = 0; i < 200; ++i)
+        if (q.enqueue(make_pkt(1000), i)) ++accepted;
+    EXPECT_GT(q.stats().dropped_packets, 0u);
+    EXPECT_LT(accepted, 200);
+}
+
+TEST(red_test, forced_drop_region_above_double_max_th) {
+    red_params p = small_red();
+    p.gentle = true;
+    red_queue q(p, 1 << 20, 3);
+    for (int i = 0; i < 400; ++i) q.enqueue(make_pkt(1000), i);
+    // With avg far above 2*max_th every arrival is dropped.
+    const auto drops_before = q.stats().dropped_packets;
+    EXPECT_FALSE(q.enqueue(make_pkt(1000), 500));
+    EXPECT_EQ(q.stats().dropped_packets, drops_before + 1);
+}
+
+TEST(red_test, hard_capacity_respected) {
+    red_params p = small_red();
+    p.min_th = 1e9; // RED never early-drops
+    p.max_th = 2e9;
+    red_queue q(p, 3000, 4);
+    EXPECT_TRUE(q.enqueue(make_pkt(1500), 0));
+    EXPECT_TRUE(q.enqueue(make_pkt(1500), 0));
+    EXPECT_FALSE(q.enqueue(make_pkt(1500), 0));
+    EXPECT_EQ(q.forced_drops(), 1u);
+}
+
+TEST(red_test, average_decays_when_idle) {
+    red_queue q(small_red(), 1 << 20, 5);
+    for (int i = 0; i < 10; ++i) q.enqueue(make_pkt(1000), 0);
+    const double avg_busy = q.average();
+    while (q.dequeue(milliseconds(1)).has_value()) {
+    }
+    // Long idle period, then one arrival: the average must have decayed.
+    q.enqueue(make_pkt(100), milliseconds(1000));
+    EXPECT_LT(q.average(), avg_busy);
+}
+
+TEST(red_test, deterministic_with_same_seed) {
+    auto run = [](std::uint64_t seed) {
+        red_queue q(small_red(), 1 << 20, seed);
+        std::uint64_t drops = 0;
+        for (int i = 0; i < 500; ++i)
+            if (!q.enqueue(make_pkt(1000), i)) ++drops;
+        return drops;
+    };
+    EXPECT_EQ(run(77), run(77));
+}
+
+TEST(red_test, default_params_scale_with_capacity) {
+    const red_params p = default_red_params(100, 1500);
+    EXPECT_DOUBLE_EQ(p.min_th, 0.2 * 150000);
+    EXPECT_DOUBLE_EQ(p.max_th, 0.6 * 150000);
+    EXPECT_GT(p.max_p, 0.0);
+}
+
+} // namespace

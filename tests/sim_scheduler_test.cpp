@@ -1,0 +1,150 @@
+// Unit tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace vtp::sim;
+using vtp::util::milliseconds;
+
+TEST(scheduler_test, events_fire_in_time_order) {
+    scheduler sched;
+    std::vector<int> order;
+    sched.at(milliseconds(30), [&] { order.push_back(3); });
+    sched.at(milliseconds(10), [&] { order.push_back(1); });
+    sched.at(milliseconds(20), [&] { order.push_back(2); });
+    sched.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(scheduler_test, same_time_events_fire_in_insertion_order) {
+    scheduler sched;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        sched.at(milliseconds(5), [&order, i] { order.push_back(i); });
+    sched.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(scheduler_test, now_advances_to_event_time) {
+    scheduler sched;
+    vtp::util::sim_time seen = -1;
+    sched.at(milliseconds(42), [&] { seen = sched.now(); });
+    sched.run();
+    EXPECT_EQ(seen, milliseconds(42));
+    EXPECT_EQ(sched.now(), milliseconds(42));
+}
+
+TEST(scheduler_test, after_is_relative_to_now) {
+    scheduler sched;
+    vtp::util::sim_time seen = -1;
+    sched.at(milliseconds(10), [&] {
+        sched.after(milliseconds(5), [&] { seen = sched.now(); });
+    });
+    sched.run();
+    EXPECT_EQ(seen, milliseconds(15));
+}
+
+TEST(scheduler_test, cancel_prevents_execution) {
+    scheduler sched;
+    bool fired = false;
+    const auto id = sched.at(milliseconds(10), [&] { fired = true; });
+    sched.cancel(id);
+    sched.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(scheduler_test, cancel_unknown_id_is_noop) {
+    scheduler sched;
+    sched.cancel(0);
+    sched.cancel(9999);
+    bool fired = false;
+    sched.at(milliseconds(1), [&] { fired = true; });
+    sched.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(scheduler_test, cancel_after_fire_is_noop) {
+    scheduler sched;
+    const auto id = sched.at(milliseconds(1), [] {});
+    sched.run();
+    sched.cancel(id); // must not blow up or corrupt state
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(scheduler_test, run_until_executes_due_events_only) {
+    scheduler sched;
+    std::vector<int> order;
+    sched.at(milliseconds(10), [&] { order.push_back(1); });
+    sched.at(milliseconds(20), [&] { order.push_back(2); });
+    sched.at(milliseconds(30), [&] { order.push_back(3); });
+    sched.run_until(milliseconds(20));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(sched.now(), milliseconds(20));
+    sched.run_until(milliseconds(40));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sched.now(), milliseconds(40));
+}
+
+TEST(scheduler_test, run_until_advances_clock_even_when_idle) {
+    scheduler sched;
+    sched.run_until(milliseconds(100));
+    EXPECT_EQ(sched.now(), milliseconds(100));
+}
+
+TEST(scheduler_test, events_scheduled_during_run_execute) {
+    scheduler sched;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5) sched.after(milliseconds(1), chain);
+    };
+    sched.after(milliseconds(1), chain);
+    sched.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(sched.now(), milliseconds(5));
+}
+
+TEST(scheduler_test, step_returns_false_when_empty) {
+    scheduler sched;
+    EXPECT_FALSE(sched.step());
+    sched.at(0, [] {});
+    EXPECT_TRUE(sched.step());
+    EXPECT_FALSE(sched.step());
+}
+
+TEST(scheduler_test, pending_and_executed_counters) {
+    scheduler sched;
+    sched.at(1, [] {});
+    sched.at(2, [] {});
+    const auto id = sched.at(3, [] {});
+    sched.cancel(id);
+    EXPECT_EQ(sched.pending(), 2u);
+    sched.run();
+    EXPECT_EQ(sched.executed(), 2u);
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(scheduler_test, run_with_limit_stops_early) {
+    scheduler sched;
+    int count = 0;
+    for (int i = 0; i < 10; ++i) sched.at(i, [&] { ++count; });
+    sched.run(4);
+    EXPECT_EQ(count, 4);
+}
+
+TEST(scheduler_test, cancelled_events_do_not_stall_run_until) {
+    scheduler sched;
+    const auto a = sched.at(milliseconds(5), [] {});
+    const auto b = sched.at(milliseconds(6), [] {});
+    sched.cancel(a);
+    sched.cancel(b);
+    bool fired = false;
+    sched.at(milliseconds(7), [&] { fired = true; });
+    sched.run_until(milliseconds(10));
+    EXPECT_TRUE(fired);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+// TFRC throughput equation: value sanity, monotonicity, inversion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfrc/equation.hpp"
+
+namespace {
+
+using namespace vtp::tfrc;
+
+equation_params params(double s = 1000.0) {
+    equation_params p;
+    p.packet_size_bytes = s;
+    return p;
+}
+
+// Independent re-computation of the RFC 3448 formula.
+double reference(double s, double rtt, double p) {
+    const double t_rto = 4.0 * rtt;
+    return s / (rtt * std::sqrt(2.0 * p / 3.0) +
+                t_rto * 3.0 * std::sqrt(3.0 * p / 8.0) * p * (1.0 + 32.0 * p * p));
+}
+
+TEST(equation_test, matches_reference_formula) {
+    for (double p : {0.0001, 0.001, 0.01, 0.05, 0.2}) {
+        for (double rtt : {0.01, 0.05, 0.1, 0.5}) {
+            EXPECT_NEAR(throughput_bytes_per_second(params(), rtt, p),
+                        reference(1000, rtt, p), 1e-6 * reference(1000, rtt, p));
+        }
+    }
+}
+
+TEST(equation_test, sqrt_p_regime_at_low_loss) {
+    // At small p the RTO term is negligible: X ~ s/(R*sqrt(2p/3)).
+    const double x = throughput_bytes_per_second(params(), 0.1, 1e-5);
+    const double approx = 1000.0 / (0.1 * std::sqrt(2.0 * 1e-5 / 3.0));
+    EXPECT_NEAR(x, approx, 0.02 * approx);
+}
+
+TEST(equation_test, decreasing_in_loss_rate) {
+    double prev = 1e18;
+    for (double p = 1e-6; p <= 1.0; p *= 2) {
+        const double x = throughput_bytes_per_second(params(), 0.1, p);
+        EXPECT_LT(x, prev);
+        prev = x;
+    }
+}
+
+TEST(equation_test, decreasing_in_rtt) {
+    double prev = 1e18;
+    for (double rtt = 0.001; rtt <= 2.0; rtt *= 2) {
+        const double x = throughput_bytes_per_second(params(), rtt, 0.01);
+        EXPECT_LT(x, prev);
+        prev = x;
+    }
+}
+
+TEST(equation_test, proportional_to_packet_size) {
+    const double x1 = throughput_bytes_per_second(params(500), 0.1, 0.01);
+    const double x2 = throughput_bytes_per_second(params(1500), 0.1, 0.01);
+    EXPECT_NEAR(x2 / x1, 3.0, 1e-9);
+}
+
+TEST(equation_test, p_clamped_at_one) {
+    EXPECT_EQ(throughput_bytes_per_second(params(), 0.1, 1.0),
+              throughput_bytes_per_second(params(), 0.1, 5.0));
+}
+
+TEST(equation_test, explicit_rto_overload) {
+    const double with_4r = throughput_bytes_per_second(params(), 0.1, 0.05);
+    const double explicit_rto = throughput_bytes_per_second(params(), 0.1, 0.4, 0.05);
+    EXPECT_NEAR(with_4r, explicit_rto, 1e-9);
+    // Larger RTO lowers the rate.
+    EXPECT_LT(throughput_bytes_per_second(params(), 0.1, 1.0, 0.05), with_4r);
+}
+
+class inversion_test : public ::testing::TestWithParam<double> {};
+
+TEST_P(inversion_test, loss_rate_for_throughput_inverts_equation) {
+    const double p = GetParam();
+    const double rtt = 0.08;
+    const double x = throughput_bytes_per_second(params(), rtt, p);
+    const double p_back = loss_rate_for_throughput(params(), rtt, x);
+    EXPECT_NEAR(p_back, p, 1e-4 * p + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(loss_grid, inversion_test,
+                         ::testing::Values(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3,
+                                           0.6));
+
+TEST(inversion_test_edge, absurdly_high_rate_gives_min_loss) {
+    EXPECT_LE(loss_rate_for_throughput(params(), 0.1, 1e15), 1e-7);
+}
+
+TEST(inversion_test_edge, zero_rate_gives_max_loss) {
+    EXPECT_EQ(loss_rate_for_throughput(params(), 0.1, 0.0), 1.0);
+}
+
+TEST(inversion_test_edge, tiny_rate_gives_high_loss) {
+    const double p = loss_rate_for_throughput(params(), 0.1, 10.0);
+    EXPECT_GT(p, 0.3);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+// QTPlight sender-side estimator: equivalence with the receiver-side
+// loss history (the paper's "few changes to TFRC" claim) and robustness
+// to feedback loss.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "tfrc/loss_history.hpp"
+#include "tfrc/sender_estimator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vtp::tfrc;
+using vtp::packet::sack_block;
+using vtp::packet::sack_feedback_segment;
+using vtp::util::milliseconds;
+
+constexpr sim_time rtt = milliseconds(100);
+constexpr sim_time spacing = milliseconds(5); // inter-packet send gap
+
+// Minimal replica of the light receiver's range tracking (in-order feed).
+struct light_tracker {
+    std::deque<sack_block> ranges;
+
+    void record(std::uint64_t seq) {
+        if (!ranges.empty() && ranges.back().end == seq) {
+            ranges.back().end = seq + 1;
+            return;
+        }
+        ranges.push_back({seq, seq + 1});
+        while (ranges.size() > 64) ranges.pop_front();
+    }
+
+    sack_feedback_segment feedback() const {
+        sack_feedback_segment fb;
+        const std::size_t first = ranges.size() > 16 ? ranges.size() - 16 : 0;
+        for (std::size_t i = first; i < ranges.size(); ++i) fb.blocks.push_back(ranges[i]);
+        fb.cum_ack = ranges.empty() ? 0 : ranges.front().begin;
+        return fb;
+    }
+};
+
+struct twin_run {
+    loss_history receiver_view;
+    sender_estimator estimator;
+    std::uint64_t receiver_events = 0;
+    std::uint64_t estimator_events = 0;
+
+    twin_run()
+        : receiver_view(loss_history_config{}),
+          estimator([] {
+              sender_estimator_config cfg;
+              cfg.finalize_horizon = 16;
+              return cfg;
+          }()) {}
+};
+
+// Drive both estimators with the same loss pattern; `feedback_kept`
+// selects which feedback packets survive (for robustness tests).
+twin_run run_twins(const std::set<std::uint64_t>& lost, std::uint64_t total,
+                   int feedback_every, double feedback_loss, std::uint64_t seed) {
+    twin_run tw;
+    light_tracker tracker;
+    vtp::util::rng fb_rng(seed);
+
+    for (std::uint64_t seq = 0; seq < total; ++seq) {
+        const sim_time send_at = static_cast<sim_time>(seq) * spacing;
+        tw.estimator.on_send(seq, send_at);
+        if (lost.count(seq) != 0) continue;
+
+        const sim_time arrival = send_at + rtt / 2;
+        if (tw.receiver_view.on_packet(seq, arrival, rtt)) ++tw.receiver_events;
+        tracker.record(seq);
+
+        if (seq % static_cast<std::uint64_t>(feedback_every) == 0 && seq > 0) {
+            if (!fb_rng.bernoulli(feedback_loss)) {
+                auto fb = tracker.feedback();
+                if (tw.estimator.on_feedback(fb, arrival + rtt / 2, rtt))
+                    ++tw.estimator_events;
+            }
+        }
+    }
+    // Final flush so the estimator finalises the tail.
+    auto fb = tracker.feedback();
+    if (tw.estimator.on_feedback(fb, static_cast<sim_time>(total) * spacing + rtt, rtt))
+        ++tw.estimator_events;
+    return tw;
+}
+
+std::set<std::uint64_t> random_losses(double p, std::uint64_t total, std::uint64_t seed,
+                                      std::uint64_t clean_tail = 200) {
+    vtp::util::rng rng(seed);
+    std::set<std::uint64_t> lost;
+    for (std::uint64_t s = 1; s + clean_tail < total; ++s)
+        if (rng.bernoulli(p)) lost.insert(s);
+    return lost;
+}
+
+TEST(estimator_test, no_loss_gives_zero_rate) {
+    const auto tw = run_twins({}, 2000, 7, 0.0, 1);
+    EXPECT_EQ(tw.estimator.loss_event_rate(), 0.0);
+    EXPECT_EQ(tw.receiver_view.loss_event_rate(), 0.0);
+}
+
+TEST(estimator_test, detects_single_loss_like_receiver) {
+    const auto tw = run_twins({500}, 1200, 7, 0.0, 2);
+    EXPECT_EQ(tw.receiver_view.loss_events(), 1u);
+    EXPECT_EQ(tw.estimator.history().loss_events(), 1u);
+}
+
+class equivalence_test : public ::testing::TestWithParam<double> {};
+
+TEST_P(equivalence_test, loss_event_structure_matches_receiver_side) {
+    const double loss_rate = GetParam();
+    const auto lost = random_losses(loss_rate, 6000, 42 + static_cast<int>(loss_rate * 1e4));
+    const auto tw = run_twins(lost, 6000, 7, 0.0, 3);
+
+    ASSERT_GT(tw.receiver_view.loss_events(), 0u);
+    EXPECT_EQ(tw.estimator.history().loss_events(), tw.receiver_view.loss_events());
+    EXPECT_EQ(tw.estimator.history().lost_packets(), tw.receiver_view.lost_packets());
+    EXPECT_EQ(tw.estimator.history().intervals(), tw.receiver_view.intervals());
+
+    const double p_recv = tw.receiver_view.loss_event_rate();
+    const double p_send = tw.estimator.loss_event_rate();
+    // Identical closed intervals; the open interval differs by at most
+    // the finalisation horizon, so the rates are within a few percent.
+    EXPECT_NEAR(p_send, p_recv, 0.05 * p_recv + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(loss_rates, equivalence_test,
+                         ::testing::Values(0.002, 0.01, 0.03, 0.08));
+
+class feedback_loss_test : public ::testing::TestWithParam<double> {};
+
+TEST_P(feedback_loss_test, estimate_survives_lost_feedback) {
+    const double fb_loss = GetParam();
+    const auto lost = random_losses(0.02, 6000, 99);
+    const auto clean = run_twins(lost, 6000, 7, 0.0, 4);
+    const auto lossy = run_twins(lost, 6000, 7, fb_loss, 5);
+
+    // Overlapping SACK windows mean lost feedback only delays
+    // finalisation; the event structure must be identical.
+    EXPECT_EQ(lossy.estimator.history().loss_events(),
+              clean.estimator.history().loss_events());
+    EXPECT_EQ(lossy.estimator.history().intervals(),
+              clean.estimator.history().intervals());
+}
+
+INSTANTIATE_TEST_SUITE_P(feedback_loss_rates, feedback_loss_test,
+                         ::testing::Values(0.1, 0.3, 0.5));
+
+TEST(estimator_test, burst_loss_grouped_into_one_event) {
+    // Five consecutive losses are one loss event (within one RTT).
+    const auto tw = run_twins({300, 301, 302, 303, 304}, 1000, 7, 0.0, 6);
+    EXPECT_EQ(tw.estimator.history().loss_events(), 1u);
+    EXPECT_EQ(tw.estimator.history().lost_packets(), 5u);
+}
+
+TEST(estimator_test, spaced_losses_separate_events) {
+    // Two losses far apart in time (> RTT worth of spacing).
+    const auto tw = run_twins({300, 600}, 1200, 7, 0.0, 7);
+    EXPECT_EQ(tw.estimator.history().loss_events(), 2u);
+}
+
+TEST(estimator_test, finalization_respects_horizon) {
+    sender_estimator_config cfg;
+    cfg.finalize_horizon = 16;
+    sender_estimator est(cfg);
+    for (std::uint64_t s = 0; s < 100; ++s)
+        est.on_send(s, static_cast<sim_time>(s) * spacing);
+
+    sack_feedback_segment fb;
+    fb.blocks = {{0, 100}};
+    est.on_feedback(fb, milliseconds(1000), rtt);
+    // highest reported = 99, horizon 16 -> everything up to 83 final,
+    // so the next sequence to finalise is 84.
+    EXPECT_EQ(est.finalized_up_to(), 84u);
+}
+
+TEST(estimator_test, seed_first_interval_flows_through) {
+    sender_estimator est;
+    for (std::uint64_t s = 0; s < 200; ++s)
+        est.on_send(s, static_cast<sim_time>(s) * spacing);
+    sack_feedback_segment fb;
+    fb.blocks = {{0, 50}, {51, 200}}; // 50 lost
+    est.on_feedback(fb, milliseconds(2000), rtt);
+    ASSERT_EQ(est.history().loss_events(), 1u);
+    ASSERT_TRUE(est.history().intervals().empty());
+    est.history().seed_first_interval(0.02);
+    EXPECT_EQ(est.history().intervals().front(), 50u);
+}
+
+TEST(estimator_test, state_bytes_bounded_by_send_record_cap) {
+    sender_estimator_config cfg;
+    cfg.max_send_records = 128;
+    sender_estimator est(cfg);
+    for (std::uint64_t s = 0; s < 100000; ++s) est.on_send(s, s);
+    // The send-time ring must not grow beyond its cap.
+    EXPECT_LT(est.state_bytes(), 128 * sizeof(sim_time) + 4096);
+}
+
+} // namespace

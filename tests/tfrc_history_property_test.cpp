@@ -1,0 +1,210 @@
+// Property test: the incremental loss_history must agree with a slow,
+// obviously-correct reference model replaying the same arrival trace.
+//
+// The reference recomputes everything from the full trace on every
+// query: holes confirmed by `tolerance` later arrivals become losses;
+// losses within one RTT of the current event's start join it; intervals
+// are the packet distances between first losses of consecutive events;
+// p = RFC 3448 §5.4 weighted average with the max(open, closed) rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "tfrc/loss_history.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vtp::tfrc;
+using vtp::util::milliseconds;
+
+struct arrival {
+    std::uint64_t seq;
+    sim_time at;
+};
+
+// Reference model: O(n^2)-ish, built for clarity not speed.
+struct reference_model {
+    int tolerance;
+    std::size_t depth;
+
+    struct outcome {
+        std::vector<std::uint64_t> intervals; ///< newest first
+        std::uint64_t open_first_seq = 0;
+        std::uint64_t highest_seq = 0;
+        std::size_t events = 0;
+        std::uint64_t lost = 0;
+        bool any_loss = false;
+    };
+
+    outcome replay(const std::vector<arrival>& trace, sim_time rtt) const {
+        outcome out;
+        std::set<std::uint64_t> received;
+        std::uint64_t next_expected = 0;
+        bool started = false;
+
+        // Losses in confirmation order: (seq, confirmation time).
+        std::vector<std::pair<std::uint64_t, sim_time>> losses;
+        std::vector<std::pair<std::uint64_t, int>> pending; // hole, later count
+
+        for (const auto& a : trace) {
+            if (!started) {
+                started = true;
+                next_expected = a.seq + 1;
+                out.highest_seq = a.seq;
+                received.insert(a.seq);
+                continue;
+            }
+            if (a.seq < next_expected) {
+                // late arrival cancels a pending hole
+                pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                             [&](auto& h) { return h.first == a.seq; }),
+                              pending.end());
+                received.insert(a.seq);
+                continue;
+            }
+            for (std::uint64_t missing = next_expected; missing < a.seq; ++missing)
+                pending.push_back({missing, 0});
+            next_expected = a.seq + 1;
+            out.highest_seq = std::max(out.highest_seq, a.seq);
+            received.insert(a.seq);
+            for (auto& h : pending)
+                if (h.first < a.seq) ++h.second;
+            while (!pending.empty() && pending.front().second >= tolerance) {
+                losses.push_back({pending.front().first, a.at});
+                pending.erase(pending.begin());
+            }
+        }
+
+        // Group losses into events and derive intervals.
+        std::optional<std::uint64_t> event_first;
+        std::optional<sim_time> event_start;
+        std::vector<std::uint64_t> first_seqs;
+        for (const auto& [seq, at] : losses) {
+            ++out.lost;
+            if (!event_first || at > *event_start + rtt) {
+                if (event_first) {
+                    const std::uint64_t len =
+                        seq > *event_first ? seq - *event_first : 1;
+                    out.intervals.insert(out.intervals.begin(), len);
+                }
+                event_first = seq;
+                event_start = at;
+                ++out.events;
+                first_seqs.push_back(seq);
+            }
+        }
+        if (event_first) {
+            out.any_loss = true;
+            out.open_first_seq = *event_first;
+        }
+        while (out.intervals.size() > depth) out.intervals.pop_back();
+        return out;
+    }
+
+    double loss_rate(const outcome& o) const {
+        if (!o.any_loss) return 0.0;
+        const auto w = interval_weights(depth);
+        double tot0 = 0, wsum0 = 0;
+        const double open = std::max<double>(
+            1.0, static_cast<double>(o.highest_seq - o.open_first_seq));
+        tot0 += w[0] * open;
+        wsum0 += w[0];
+        for (std::size_t i = 0; i + 1 < depth && i < o.intervals.size(); ++i) {
+            tot0 += w[i + 1] * static_cast<double>(o.intervals[i]);
+            wsum0 += w[i + 1];
+        }
+        double tot1 = 0, wsum1 = 0;
+        for (std::size_t i = 0; i < depth && i < o.intervals.size(); ++i) {
+            tot1 += w[i] * static_cast<double>(o.intervals[i]);
+            wsum1 += w[i];
+        }
+        const double mean0 = wsum0 > 0 ? tot0 / wsum0 : 0;
+        const double mean1 = wsum1 > 0 ? tot1 / wsum1 : 0;
+        return 1.0 / std::max({mean0, mean1, 1.0});
+    }
+};
+
+std::vector<arrival> random_trace(std::uint64_t seed, double loss, double reorder_prob,
+                                  std::size_t n) {
+    vtp::util::rng rng(seed);
+    std::vector<arrival> trace;
+    sim_time t = 0;
+    std::uint64_t seq = 0;
+    std::optional<arrival> held; // displaced packet awaiting reinsertion
+    for (std::size_t i = 0; i < n; ++i) {
+        t += milliseconds(5);
+        if (rng.bernoulli(loss)) {
+            ++seq;
+            continue;
+        }
+        arrival a{seq++, t};
+        if (held) {
+            trace.push_back(a);
+            // reinsert the held (older) packet after 1-2 newer ones
+            if (rng.bernoulli(0.6)) {
+                held->at = t + milliseconds(1);
+                trace.push_back(*held);
+                held.reset();
+            }
+            continue;
+        }
+        if (rng.bernoulli(reorder_prob)) {
+            held = a; // delay this one
+            continue;
+        }
+        trace.push_back(a);
+    }
+    if (held) trace.push_back(*held);
+    return trace;
+}
+
+struct property_case {
+    std::uint64_t seed;
+    double loss;
+    double reorder;
+    int tolerance;
+    std::size_t depth;
+};
+
+class history_property_test : public ::testing::TestWithParam<property_case> {};
+
+TEST_P(history_property_test, incremental_matches_reference) {
+    const auto pc = GetParam();
+    const sim_time rtt = milliseconds(100);
+    const auto trace = random_trace(pc.seed, pc.loss, pc.reorder, 4000);
+
+    loss_history_config cfg;
+    cfg.reorder_tolerance = pc.tolerance;
+    cfg.num_intervals = pc.depth;
+    loss_history incremental(cfg);
+    for (const auto& a : trace) incremental.on_packet(a.seq, a.at, rtt);
+
+    reference_model ref{pc.tolerance, pc.depth};
+    const auto expected = ref.replay(trace, rtt);
+
+    EXPECT_EQ(incremental.loss_events(), expected.events);
+    EXPECT_EQ(incremental.lost_packets(), expected.lost);
+    ASSERT_EQ(incremental.intervals().size(), expected.intervals.size());
+    for (std::size_t i = 0; i < expected.intervals.size(); ++i)
+        EXPECT_EQ(incremental.intervals()[i], expected.intervals[i]) << "interval " << i;
+    EXPECT_NEAR(incremental.loss_event_rate(), ref.loss_rate(expected), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    traces, history_property_test,
+    ::testing::Values(property_case{1, 0.01, 0.0, 3, 8},
+                      property_case{2, 0.05, 0.0, 3, 8},
+                      property_case{3, 0.20, 0.0, 3, 8},
+                      property_case{4, 0.01, 0.02, 3, 8},
+                      property_case{5, 0.05, 0.05, 3, 8},
+                      property_case{6, 0.02, 0.0, 0, 8},
+                      property_case{7, 0.02, 0.0, 3, 4},
+                      property_case{8, 0.02, 0.0, 3, 16},
+                      property_case{9, 0.001, 0.0, 3, 8},
+                      property_case{10, 0.5, 0.0, 3, 8}));
+
+} // namespace

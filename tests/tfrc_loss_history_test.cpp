@@ -1,0 +1,265 @@
+// Loss-interval history: event detection, grouping, weighted average.
+#include <gtest/gtest.h>
+
+#include "tfrc/loss_history.hpp"
+
+namespace {
+
+using namespace vtp::tfrc;
+using vtp::util::milliseconds;
+
+constexpr sim_time rtt = milliseconds(100);
+
+loss_history_config immediate() {
+    loss_history_config cfg;
+    cfg.reorder_tolerance = 0; // declare holes instantly (simulator FIFO)
+    return cfg;
+}
+
+TEST(weights_test, rfc3448_weights_for_n8) {
+    const auto w = interval_weights(8);
+    ASSERT_EQ(w.size(), 8u);
+    const double expected[] = {1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2};
+    for (int i = 0; i < 8; ++i) EXPECT_NEAR(w[i], expected[i], 1e-12);
+}
+
+TEST(weights_test, generalised_depths) {
+    const auto w4 = interval_weights(4);
+    EXPECT_DOUBLE_EQ(w4[0], 1.0);
+    EXPECT_DOUBLE_EQ(w4[1], 1.0);
+    EXPECT_GT(w4[2], w4[3]);
+    const auto w16 = interval_weights(16);
+    for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(w16[i], 1.0);
+    for (int i = 8; i < 15; ++i) EXPECT_GT(w16[i], w16[i + 1]);
+}
+
+TEST(loss_history_test, no_loss_means_zero_rate) {
+    loss_history h(immediate());
+    for (std::uint64_t s = 0; s < 1000; ++s)
+        EXPECT_FALSE(h.on_packet(s, milliseconds(s), rtt));
+    EXPECT_EQ(h.loss_event_rate(), 0.0);
+    EXPECT_FALSE(h.has_loss());
+    EXPECT_EQ(h.packets_seen(), 1000u);
+}
+
+TEST(loss_history_test, single_gap_is_one_event) {
+    loss_history h(immediate());
+    h.on_packet(0, milliseconds(0), rtt);
+    h.on_packet(1, milliseconds(1), rtt);
+    // seq 2 lost
+    EXPECT_TRUE(h.on_packet(3, milliseconds(3), rtt));
+    EXPECT_EQ(h.loss_events(), 1u);
+    EXPECT_EQ(h.lost_packets(), 1u);
+    EXPECT_TRUE(h.has_loss());
+    EXPECT_GT(h.loss_event_rate(), 0.0);
+}
+
+TEST(loss_history_test, burst_within_rtt_is_single_event) {
+    loss_history h(immediate());
+    for (std::uint64_t s = 0; s < 10; ++s) h.on_packet(s, milliseconds(s), rtt);
+    // Lose 10,11,12 — revealed together by 13 within one RTT.
+    h.on_packet(13, milliseconds(13), rtt);
+    EXPECT_EQ(h.loss_events(), 1u);
+    EXPECT_EQ(h.lost_packets(), 3u);
+}
+
+TEST(loss_history_test, spaced_losses_are_separate_events) {
+    loss_history h(immediate());
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    auto send_ok = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            h.on_packet(seq++, t, rtt);
+            t += milliseconds(10);
+        }
+    };
+    send_ok(20);
+    ++seq; // lose one
+    send_ok(20); // next arrival reveals it; 200 ms later another loss
+    ++seq;
+    send_ok(20);
+    EXPECT_EQ(h.loss_events(), 2u);
+    EXPECT_EQ(h.intervals().size(), 1u);
+    // Interval between first losses: 21 packets apart.
+    EXPECT_EQ(h.intervals().front(), 21u);
+}
+
+TEST(loss_history_test, losses_within_rtt_of_event_start_do_not_open_event) {
+    loss_history h(immediate());
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    for (int i = 0; i < 10; ++i) {
+        h.on_packet(seq++, t, rtt);
+        t += milliseconds(10);
+    }
+    ++seq; // loss A revealed at t
+    h.on_packet(seq++, t, rtt);
+    t += milliseconds(50); // still within 100ms RTT of event start
+    ++seq;                 // loss B
+    h.on_packet(seq++, t, rtt);
+    EXPECT_EQ(h.loss_events(), 1u);
+    EXPECT_EQ(h.lost_packets(), 2u);
+}
+
+TEST(loss_history_test, open_interval_grows_with_clean_packets) {
+    loss_history h(immediate());
+    h.on_packet(0, 0, rtt);
+    h.on_packet(2, milliseconds(1), rtt); // seq1 lost
+    const std::uint64_t open_before = h.open_interval();
+    for (std::uint64_t s = 3; s < 50; ++s) h.on_packet(s, milliseconds(s), rtt);
+    EXPECT_GT(h.open_interval(), open_before);
+}
+
+TEST(loss_history_test, rate_decreases_during_loss_free_run) {
+    loss_history h(immediate());
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    // Two spaced loss events to establish a closed interval.
+    for (int k = 0; k < 2; ++k) {
+        for (int i = 0; i < 10; ++i) {
+            h.on_packet(seq++, t, rtt);
+            t += milliseconds(30);
+        }
+        ++seq;
+    }
+    for (int i = 0; i < 5; ++i) {
+        h.on_packet(seq++, t, rtt);
+        t += milliseconds(30);
+    }
+    const double p_before = h.loss_event_rate();
+    for (int i = 0; i < 200; ++i) {
+        h.on_packet(seq++, t, rtt);
+        t += milliseconds(30);
+    }
+    EXPECT_LT(h.loss_event_rate(), p_before);
+}
+
+TEST(loss_history_test, rate_never_rises_without_new_loss) {
+    loss_history h(immediate());
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    for (int i = 0; i < 10; ++i) h.on_packet(seq++, t += milliseconds(10), rtt);
+    ++seq;
+    h.on_packet(seq++, t += milliseconds(10), rtt);
+    double prev = h.loss_event_rate();
+    for (int i = 0; i < 300; ++i) {
+        h.on_packet(seq++, t += milliseconds(10), rtt);
+        const double p = h.loss_event_rate();
+        ASSERT_LE(p, prev + 1e-12);
+        prev = p;
+    }
+}
+
+TEST(loss_history_test, seed_first_interval_sets_rate) {
+    loss_history h(immediate());
+    h.on_packet(0, 0, rtt);
+    h.on_packet(2, milliseconds(1), rtt); // first loss
+    ASSERT_TRUE(h.intervals().empty());
+    h.seed_first_interval(0.01); // interval of 100 packets
+    ASSERT_EQ(h.intervals().size(), 1u);
+    EXPECT_EQ(h.intervals().front(), 100u);
+    // p should now be near 1/100 (open interval is tiny).
+    EXPECT_NEAR(h.loss_event_rate(), 0.01, 0.002);
+}
+
+TEST(loss_history_test, seed_is_noop_once_intervals_exist) {
+    loss_history h(immediate());
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    for (int k = 0; k < 2; ++k) {
+        for (int i = 0; i < 10; ++i) h.on_packet(seq++, t += milliseconds(30), rtt);
+        ++seq;
+    }
+    h.on_packet(seq++, t += milliseconds(30), rtt);
+    ASSERT_FALSE(h.intervals().empty());
+    const auto before = h.intervals();
+    h.seed_first_interval(0.5);
+    EXPECT_EQ(h.intervals(), before);
+}
+
+TEST(loss_history_test, history_depth_bounded) {
+    loss_history_config cfg = immediate();
+    cfg.num_intervals = 4;
+    loss_history h(cfg);
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    for (int event = 0; event < 20; ++event) {
+        for (int i = 0; i < 10; ++i) h.on_packet(seq++, t += milliseconds(30), rtt);
+        ++seq; // loss
+    }
+    h.on_packet(seq++, t += milliseconds(30), rtt);
+    EXPECT_LE(h.intervals().size(), 4u);
+}
+
+TEST(loss_history_test, reorder_tolerance_cancels_late_arrival) {
+    loss_history_config cfg;
+    cfg.reorder_tolerance = 3;
+    loss_history h(cfg);
+    h.on_packet(0, milliseconds(0), rtt);
+    h.on_packet(2, milliseconds(2), rtt); // hole at 1 (1 later arrival)
+    h.on_packet(3, milliseconds(3), rtt); // 2 later arrivals
+    h.on_packet(1, milliseconds(4), rtt); // late arrival cancels the hole
+    h.on_packet(4, milliseconds(5), rtt);
+    h.on_packet(5, milliseconds(6), rtt);
+    EXPECT_EQ(h.loss_events(), 0u);
+    EXPECT_EQ(h.loss_event_rate(), 0.0);
+}
+
+TEST(loss_history_test, reorder_tolerance_declares_after_three) {
+    loss_history_config cfg;
+    cfg.reorder_tolerance = 3;
+    loss_history h(cfg);
+    h.on_packet(0, milliseconds(0), rtt);
+    EXPECT_FALSE(h.on_packet(2, milliseconds(2), rtt));
+    EXPECT_FALSE(h.on_packet(3, milliseconds(3), rtt));
+    EXPECT_TRUE(h.on_packet(4, milliseconds(4), rtt)); // third arrival past hole
+    EXPECT_EQ(h.loss_events(), 1u);
+}
+
+TEST(loss_history_test, duplicate_and_old_packets_ignored) {
+    loss_history h(immediate());
+    h.on_packet(0, 0, rtt);
+    h.on_packet(1, 1, rtt);
+    h.on_packet(1, 2, rtt); // duplicate
+    h.on_packet(0, 3, rtt); // old
+    EXPECT_EQ(h.loss_events(), 0u);
+    EXPECT_EQ(h.highest_seq(), 1u);
+}
+
+TEST(loss_history_test, weighted_average_spot_check) {
+    // Construct exactly two closed intervals (10 and 20) plus a long open
+    // interval, then verify p against the hand-computed weighted mean.
+    loss_history h(immediate());
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    auto clean = [&](int n, sim_time gap) {
+        for (int i = 0; i < n; ++i) h.on_packet(seq++, t += gap, rtt);
+    };
+    clean(5, milliseconds(30));
+    ++seq;                      // loss 1 at seq 5
+    clean(9, milliseconds(30)); // interval 1 will be 10 (first losses 5 -> 15)
+    ++seq;                      // loss 2 at seq 15
+    clean(19, milliseconds(30)); // interval 2 will be 20 (15 -> 35)
+    ++seq;                       // loss 3 at seq 35
+    clean(3, milliseconds(30));
+    ASSERT_EQ(h.loss_events(), 3u);
+    ASSERT_EQ(h.intervals().size(), 2u);
+    EXPECT_EQ(h.intervals()[0], 20u); // newest closed
+    EXPECT_EQ(h.intervals()[1], 10u);
+    // I_tot1 path: (1*20 + 1*10)/2 = 15; open interval (3) cannot beat it.
+    EXPECT_NEAR(h.loss_event_rate(), 1.0 / 15.0, 1e-9);
+}
+
+TEST(loss_history_test, state_bytes_reported) {
+    loss_history h(immediate());
+    const std::size_t empty = h.state_bytes();
+    std::uint64_t seq = 0;
+    sim_time t = 0;
+    for (int k = 0; k < 10; ++k) {
+        for (int i = 0; i < 10; ++i) h.on_packet(seq++, t += milliseconds(30), rtt);
+        ++seq;
+    }
+    EXPECT_GE(h.state_bytes(), empty);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+// Unit tests for byte-order-safe serialization primitives.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vtp::util;
+
+TEST(bytes_test, u8_roundtrip) {
+    byte_writer w;
+    w.put_u8(0x00);
+    w.put_u8(0xff);
+    w.put_u8(0x42);
+    byte_reader r(w.data());
+    EXPECT_EQ(r.get_u8(), 0x00);
+    EXPECT_EQ(r.get_u8(), 0xff);
+    EXPECT_EQ(r.get_u8(), 0x42);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(bytes_test, u16_is_big_endian) {
+    byte_writer w;
+    w.put_u16(0x1234);
+    EXPECT_EQ(w.data()[0], 0x12);
+    EXPECT_EQ(w.data()[1], 0x34);
+}
+
+TEST(bytes_test, u32_is_big_endian) {
+    byte_writer w;
+    w.put_u32(0xdeadbeef);
+    EXPECT_EQ(w.data()[0], 0xde);
+    EXPECT_EQ(w.data()[3], 0xef);
+    byte_reader r(w.data());
+    EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+}
+
+TEST(bytes_test, u64_roundtrip_extremes) {
+    byte_writer w;
+    w.put_u64(0);
+    w.put_u64(UINT64_MAX);
+    w.put_u64(0x0123456789abcdefULL);
+    byte_reader r(w.data());
+    EXPECT_EQ(r.get_u64(), 0u);
+    EXPECT_EQ(r.get_u64(), UINT64_MAX);
+    EXPECT_EQ(r.get_u64(), 0x0123456789abcdefULL);
+}
+
+TEST(bytes_test, i64_roundtrip_negative) {
+    byte_writer w;
+    w.put_i64(-1);
+    w.put_i64(INT64_MIN);
+    w.put_i64(INT64_MAX);
+    byte_reader r(w.data());
+    EXPECT_EQ(r.get_i64(), -1);
+    EXPECT_EQ(r.get_i64(), INT64_MIN);
+    EXPECT_EQ(r.get_i64(), INT64_MAX);
+}
+
+TEST(bytes_test, f64_roundtrip_special_values) {
+    byte_writer w;
+    w.put_f64(0.0);
+    w.put_f64(-0.0);
+    w.put_f64(1.5);
+    w.put_f64(std::numeric_limits<double>::infinity());
+    w.put_f64(std::numeric_limits<double>::denorm_min());
+    byte_reader r(w.data());
+    EXPECT_EQ(r.get_f64(), 0.0);
+    EXPECT_EQ(r.get_f64(), -0.0);
+    EXPECT_EQ(r.get_f64(), 1.5);
+    EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::infinity());
+    EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(bytes_test, f64_roundtrip_random_bits) {
+    rng random(123);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = random.uniform(-1e12, 1e12);
+        byte_writer w;
+        w.put_f64(v);
+        byte_reader r(w.data());
+        EXPECT_EQ(r.get_f64(), v);
+    }
+}
+
+TEST(bytes_test, raw_bytes_roundtrip) {
+    const std::uint8_t src[] = {1, 2, 3, 4, 5};
+    byte_writer w;
+    w.put_bytes(src, sizeof src);
+    byte_reader r(w.data());
+    std::uint8_t dst[5] = {};
+    r.get_bytes(dst, 5);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(src[i], dst[i]);
+}
+
+TEST(bytes_test, truncated_read_throws) {
+    byte_writer w;
+    w.put_u16(7);
+    byte_reader r(w.data());
+    EXPECT_EQ(r.get_u8(), 0);
+    EXPECT_EQ(r.remaining(), 1u);
+    EXPECT_THROW(r.get_u32(), decode_error);
+}
+
+TEST(bytes_test, empty_reader_throws_immediately) {
+    byte_reader r(nullptr, 0);
+    EXPECT_TRUE(r.done());
+    EXPECT_THROW(r.get_u8(), decode_error);
+}
+
+TEST(bytes_test, mixed_sequence_roundtrip) {
+    byte_writer w;
+    w.put_u8(9);
+    w.put_u64(1234567890123ULL);
+    w.put_f64(-2.75);
+    w.put_u16(65535);
+    byte_reader r(w.data());
+    EXPECT_EQ(r.get_u8(), 9);
+    EXPECT_EQ(r.get_u64(), 1234567890123ULL);
+    EXPECT_EQ(r.get_f64(), -2.75);
+    EXPECT_EQ(r.get_u16(), 65535);
+    EXPECT_TRUE(r.done());
+}
+
+} // namespace

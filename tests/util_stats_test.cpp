@@ -1,0 +1,134 @@
+// Unit tests for online statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace vtp::util;
+
+TEST(running_stats_test, empty_is_zero) {
+    running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.cov(), 0.0);
+}
+
+TEST(running_stats_test, single_sample) {
+    running_stats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(running_stats_test, known_mean_and_variance) {
+    running_stats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance with n-1: sum of squared devs = 32, n-1 = 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(running_stats_test, cov_is_relative_dispersion) {
+    running_stats s;
+    for (double x : {10.0, 10.0, 10.0}) s.add(x);
+    EXPECT_EQ(s.cov(), 0.0);
+    running_stats t;
+    for (double x : {5.0, 15.0}) t.add(x);
+    EXPECT_NEAR(t.cov(), std::sqrt(50.0) / 10.0, 1e-12);
+}
+
+TEST(running_stats_test, reset_clears_state) {
+    running_stats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(sample_series_test, percentiles_exact) {
+    sample_series s;
+    for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+    EXPECT_EQ(s.percentile(50), 50.0);
+    EXPECT_EQ(s.percentile(99), 99.0);
+    EXPECT_EQ(s.percentile(100), 100.0);
+    EXPECT_EQ(s.percentile(0), 1.0);
+    EXPECT_EQ(s.min(), 1.0);
+    EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(sample_series_test, mean_and_cov_match_running_stats) {
+    sample_series s;
+    running_stats r;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 10.0}) {
+        s.add(x);
+        r.add(x);
+    }
+    EXPECT_NEAR(s.mean(), r.mean(), 1e-12);
+    EXPECT_NEAR(s.stddev(), r.stddev(), 1e-12);
+    EXPECT_NEAR(s.cov(), r.cov(), 1e-12);
+}
+
+TEST(sample_series_test, empty_is_safe) {
+    sample_series s;
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.percentile(50), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+}
+
+TEST(ewma_test, first_sample_initialises) {
+    ewma e(0.5);
+    EXPECT_TRUE(e.empty());
+    e.add(10.0);
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(ewma_test, smooths_toward_new_samples) {
+    ewma e(0.25);
+    e.add(0.0);
+    e.add(8.0);
+    EXPECT_DOUBLE_EQ(e.value(), 2.0);
+    e.add(8.0);
+    EXPECT_DOUBLE_EQ(e.value(), 3.5);
+}
+
+TEST(rate_meter_test, basic_rate) {
+    rate_meter m(milliseconds(1000));
+    m.add(1000, milliseconds(100));
+    m.add(1000, milliseconds(600));
+    // 2000 bytes over a 1 s window = 16 kbit/s.
+    EXPECT_NEAR(m.bits_per_second(milliseconds(1000)), 16000.0, 1e-9);
+}
+
+TEST(rate_meter_test, old_samples_expire) {
+    rate_meter m(milliseconds(500));
+    m.add(1000, milliseconds(0));
+    EXPECT_GT(m.bits_per_second(milliseconds(100)), 0.0);
+    EXPECT_EQ(m.bits_per_second(milliseconds(2000)), 0.0);
+}
+
+TEST(jain_test, equal_shares_give_one) {
+    EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(jain_test, single_user_monopoly) {
+    // One of n users gets everything: index = 1/n.
+    EXPECT_NEAR(jain_fairness({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(jain_test, empty_and_zero_inputs) {
+    EXPECT_EQ(jain_fairness({}), 0.0);
+    EXPECT_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+} // namespace

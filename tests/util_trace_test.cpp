@@ -1,0 +1,63 @@
+// CSV trace writer tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/trace.hpp"
+
+namespace {
+
+using vtp::util::csv_trace;
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(csv_trace_test, header_and_rows) {
+    const std::string path = ::testing::TempDir() + "trace_basic.csv";
+    {
+        csv_trace trace(path, {"t_s", "rate_mbps"});
+        ASSERT_TRUE(trace.ok());
+        trace.row({0.5, 3.25});
+        trace.row({1.0, 4.0});
+        EXPECT_EQ(trace.rows_written(), 2u);
+        trace.flush();
+    }
+    const std::string content = slurp(path);
+    EXPECT_EQ(content, "t_s,rate_mbps\n0.5,3.25\n1,4\n");
+    std::remove(path.c_str());
+}
+
+TEST(csv_trace_test, text_rows_pass_through) {
+    const std::string path = ::testing::TempDir() + "trace_text.csv";
+    {
+        csv_trace trace(path, {"proto", "result"});
+        trace.row_text({"qtp-af", "pass"});
+        trace.flush();
+    }
+    EXPECT_EQ(slurp(path), "proto,result\nqtp-af,pass\n");
+    std::remove(path.c_str());
+}
+
+TEST(csv_trace_test, extra_values_are_truncated_to_columns) {
+    const std::string path = ::testing::TempDir() + "trace_trunc.csv";
+    {
+        csv_trace trace(path, {"a", "b"});
+        trace.row({1, 2, 3, 4});
+        trace.flush();
+    }
+    EXPECT_EQ(slurp(path), "a,b\n1,2\n");
+    std::remove(path.c_str());
+}
+
+TEST(csv_trace_test, unwritable_path_reports_not_ok) {
+    csv_trace trace("/nonexistent-dir/zzz/trace.csv", {"a"});
+    EXPECT_FALSE(trace.ok());
+}
+
+} // namespace

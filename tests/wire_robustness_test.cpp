@@ -1,0 +1,111 @@
+// Adversarial decode tests: the wire decoder must never crash, loop or
+// accept garbage silently — it either returns a valid segment or throws
+// decode_error. (The live UDP datapath feeds it raw datagrams.)
+#include <gtest/gtest.h>
+
+#include "packet/wire.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vtp::packet;
+
+TEST(wire_robustness_test, random_garbage_never_crashes) {
+    vtp::util::rng rng(8675309);
+    int decoded = 0, rejected = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto len = static_cast<std::size_t>(rng.uniform_int(0, 300));
+        std::vector<std::uint8_t> buf(len);
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        try {
+            (void)decode_segment(buf);
+            ++decoded;
+        } catch (const vtp::util::decode_error&) {
+            ++rejected;
+        }
+    }
+    // Overwhelmingly rejected; the occasional accidental accept is fine
+    // (a valid-looking header is a valid header).
+    EXPECT_GT(rejected, 15000);
+    EXPECT_EQ(decoded + rejected, 20000);
+}
+
+TEST(wire_robustness_test, bit_flips_in_valid_segments_never_crash) {
+    vtp::util::rng rng(424242);
+    sack_feedback_segment fb;
+    fb.cum_ack = 1000;
+    fb.blocks = {{1000, 1100}, {1200, 1300}};
+    fb.has_p = true;
+    fb.p = 0.01;
+    const auto clean = encode_segment(segment{fb});
+    for (int i = 0; i < 20000; ++i) {
+        auto corrupted = clean;
+        const int flips = static_cast<int>(rng.uniform_int(1, 8));
+        for (int f = 0; f < flips; ++f) {
+            const auto byte = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(corrupted.size()) - 1));
+            corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+        }
+        try {
+            (void)decode_segment(corrupted);
+        } catch (const vtp::util::decode_error&) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(wire_robustness_test, truncation_of_every_kind_throws) {
+    std::vector<segment> segments;
+    segments.emplace_back(data_segment{});
+    segments.emplace_back(tfrc_feedback_segment{});
+    sack_feedback_segment fb;
+    fb.blocks = {{0, 5}};
+    segments.emplace_back(fb);
+    segments.emplace_back(handshake_segment{});
+    tcp_segment t;
+    t.sack = {{0, 5}};
+    segments.emplace_back(t);
+
+    for (const auto& seg : segments) {
+        const auto bytes = encode_segment(seg);
+        for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+            EXPECT_THROW((void)decode_segment(bytes.data(), cut),
+                         vtp::util::decode_error);
+        }
+        // Full length decodes to the original.
+        EXPECT_EQ(decode_segment(bytes), seg);
+    }
+}
+
+TEST(wire_robustness_test, trailing_bytes_are_tolerated) {
+    // A datagram may carry payload after the header; the decoder must
+    // parse the header and ignore the rest.
+    data_segment d;
+    d.payload_len = 3;
+    auto bytes = encode_segment(segment{d});
+    bytes.push_back(0xAA);
+    bytes.push_back(0xBB);
+    bytes.push_back(0xCC);
+    const segment decoded = decode_segment(bytes);
+    EXPECT_EQ(decoded, segment{d});
+}
+
+TEST(wire_robustness_test, roundtrip_of_decoded_garbage_is_stable) {
+    // If garbage happens to decode, re-encoding and re-decoding it must
+    // be a fixed point (canonical form).
+    vtp::util::rng rng(777);
+    for (int i = 0; i < 20000; ++i) {
+        const auto len = static_cast<std::size_t>(rng.uniform_int(1, 200));
+        std::vector<std::uint8_t> buf(len);
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        try {
+            const segment first = decode_segment(buf);
+            const segment second = decode_segment(encode_segment(first));
+            ASSERT_EQ(first, second);
+        } catch (const vtp::util::decode_error&) {
+        }
+    }
+}
+
+} // namespace
