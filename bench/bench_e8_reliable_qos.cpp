@@ -12,6 +12,8 @@
 // achieved rate vs g, delivery completeness and retransmission overhead.
 #include <cstdio>
 
+#include "api/server.hpp"
+#include "api/session.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -61,20 +63,27 @@ outcome run_qtp(bool reliable, std::uint64_t seed) {
     diffserv::conditioner cond(net.sched());
     setup_competition(net, cond);
 
-    qtp::connection_config base;
-    base.total_bytes = transfer_bytes;
-    qtp::profile prof = qtp::qtp_af_profile(target_bps);
-    if (!reliable) prof.reliability = sack::reliability_mode::none;
-    auto flow = add_qtp_flow(net, 0, 1,
-                             qtp::make_connection(1, net.left_addr(0), net.right_addr(0),
-                                                  prof, qtp::capabilities{}, base));
+    // The measured flow runs through the vtp::session facade: a server
+    // accepts on the right-hand host, the sender connects with the QTPAF
+    // profile (reliability ablated for the unreliable contender).
+    vtp::server srv(net.right_host(0), vtp::server_options{});
+    vtp::session* rx = nullptr;
+    srv.set_on_session([&](vtp::session& s) { rx = &s; });
+
+    vtp::session_options opts;
+    opts.flow_id = 1; // must match the conditioner's marked profile
+    opts.profile = qtp::qtp_af_profile(target_bps);
+    if (!reliable) opts.profile.reliability = sack::reliability_mode::none;
+    vtp::session tx = vtp::session::connect(net.left_host(0), net.right_addr(0), opts);
+    tx.send(transfer_bytes);
+    tx.close();
 
     const util::sim_time limit = seconds(180);
     util::sim_time finished_at = 0;
     while (net.sched().now() < limit) {
         net.sched().run_until(net.sched().now() + milliseconds(250));
-        const bool done = reliable ? flow.sender->transfer_complete()
-                                   : flow.sender->new_bytes_sent() >= transfer_bytes;
+        const bool done = reliable ? tx.stats().stream_bytes_acked >= transfer_bytes
+                                   : tx.stats().stream_bytes_sent >= transfer_bytes;
         if (done) {
             finished_at = net.sched().now();
             break;
@@ -88,11 +97,12 @@ outcome run_qtp(bool reliable, std::uint64_t seed) {
     outcome o;
     const util::sim_time elapsed = finished_at != 0 ? finished_at : limit;
     o.transfer_time_s = finished_at != 0 ? util::to_seconds(finished_at) : 0.0;
-    o.achieved_mbps =
-        goodput_mbps(flow.receiver->stream().received_bytes(), elapsed);
-    o.completeness = static_cast<double>(flow.receiver->stream().received_bytes()) /
-                     static_cast<double>(transfer_bytes);
-    o.rtx_overhead = static_cast<double>(flow.sender->rtx_bytes_sent()) /
+    const std::uint64_t received =
+        rx != nullptr ? rx->receiver()->stream().received_bytes() : 0;
+    o.achieved_mbps = goodput_mbps(received, elapsed);
+    o.completeness =
+        static_cast<double>(received) / static_cast<double>(transfer_bytes);
+    o.rtx_overhead = static_cast<double>(tx.stats().rtx_bytes_sent) /
                      static_cast<double>(transfer_bytes);
     return o;
 }

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "api/server.hpp"
+#include "api/session.hpp"
 #include "bench_util.hpp"
 
 namespace {
@@ -43,11 +45,20 @@ outcome run(sack::reliability_mode mode, util::sim_time deadline, double loss,
     net.forward_bottleneck().set_loss_model(
         std::make_unique<sim::bernoulli_loss>(loss, seed + 7));
 
-    qtp::connection_config base;
-    base.message_size = 1000; // one packet per message
-    base.message_deadline = deadline;
-    auto pair = qtp::make_qtp_light(1, net.left_addr(0), net.right_addr(0), mode, base);
-    auto flow = add_qtp_flow(net, 0, 1, std::move(pair));
+    // QTPlight through the facade: the receiving server refuses
+    // receiver-side estimation (resource-limited device), the sender
+    // streams deadline-framed messages.
+    vtp::server_options srv_opts;
+    srv_opts.capabilities.support_receiver_estimation = false;
+    vtp::server srv(net.right_host(0), srv_opts);
+
+    vtp::session_options opts;
+    opts.flow_id = 1;
+    opts.profile = qtp::qtp_light_profile(mode);
+    opts.message_size = 1000; // one packet per message
+    opts.message_deadline = deadline;
+    vtp::session tx = vtp::session::connect(net.left_host(0), net.right_addr(0), opts);
+    tx.send(UINT64_MAX / 2); // unlimited media source
 
     // Observer: a message counts if any copy of it arrives by its deadline.
     std::unordered_set<std::uint32_t> in_time;
@@ -61,7 +72,7 @@ outcome run(sack::reliability_mode mode, util::sim_time deadline, double loss,
     const util::sim_time duration = seconds(60);
     net.sched().run_until(duration);
 
-    const std::uint64_t messages_sent = flow.sender->new_bytes_sent() / 1000;
+    const std::uint64_t messages_sent = tx.stats().stream_bytes_sent / 1000;
     // Ignore the trailing second of messages that may still be in flight.
     const std::uint64_t counted =
         messages_sent > 2000 ? messages_sent - 2000 : messages_sent;
@@ -73,8 +84,8 @@ outcome run(sack::reliability_mode mode, util::sim_time deadline, double loss,
     o.in_time_fraction =
         counted == 0 ? 0.0
                      : static_cast<double>(delivered_in_time) / static_cast<double>(counted);
-    o.rtx_bytes = flow.sender->rtx_bytes_sent();
-    o.abandoned_bytes = flow.sender->retransmissions().abandoned_bytes();
+    o.rtx_bytes = tx.stats().rtx_bytes_sent;
+    o.abandoned_bytes = tx.sender()->retransmissions().abandoned_bytes();
     return o;
 }
 

@@ -10,7 +10,8 @@
 #include <cstdio>
 #include <functional>
 
-#include "core/qtp.hpp"
+#include "api/server.hpp"
+#include "api/session.hpp"
 #include "diffserv/conditioner.hpp"
 #include "diffserv/rio.hpp"
 #include "sim/topology.hpp"
@@ -79,11 +80,18 @@ int main() {
         edge.install_egress(net.left_node(0));
         add_background_tcp(net);
 
-        auto pair = qtp::make_qtp_af(1, net.left_addr(0), net.right_addr(0), target_bps);
-        auto* rx = net.right_host(0).attach(1, std::move(pair.receiver));
-        net.left_host(0).attach(1, std::move(pair.sender));
+        server srv(net.right_host(0), server_options{});
+        session* rx = nullptr;
+        srv.set_on_session([&](session& s) { rx = &s; });
 
-        report_timeline(net, "QTPAF", [rx] { return rx->received_bytes(); });
+        session_options opts = session_options::af(target_bps);
+        opts.flow_id = 1; // must match the edge conditioner's profile
+        session tx = session::connect(net.left_host(0), net.right_addr(0), opts);
+        tx.send(UINT64_MAX / 2); // endless stream
+
+        report_timeline(net, "QTPAF", [&rx] {
+            return rx != nullptr ? rx->stats().bytes_received : 0;
+        });
 
         const auto& marks = edge.stats(1);
         std::printf("  edge marking: %llu green / %llu yellow packets\n\n",

@@ -1,13 +1,14 @@
-// The same protocol stack on real sockets: a QTP transfer over UDP
-// loopback — no simulator involved.
+// The same protocol stack on real sockets: a vtp::session transfer over
+// UDP loopback — no simulator involved.
 //
 // Both endpoints live in one process for convenience (two udp_hosts on
-// one event loop); the agents are byte-identical to the ones the
-// simulator runs, demonstrating the transport/substrate separation that
-// makes the protocol "versatile".
+// one event loop); the session/server code is byte-identical to what the
+// simulator examples run, demonstrating the transport/substrate
+// separation that makes the protocol "versatile".
 #include <cstdio>
 
-#include "core/qtp.hpp"
+#include "api/server.hpp"
+#include "api/session.hpp"
 #include "net/udp_host.hpp"
 
 using namespace vtp;
@@ -20,37 +21,41 @@ int main() {
 
     net::event_loop loop;
     try {
-        net::udp_host server(loop, server_port, 1);
-        net::udp_host client(loop, client_port, 2);
+        net::udp_host receiver_host(loop, server_port, 1);
+        net::udp_host sender_host(loop, client_port, 2);
 
-        qtp::connection_config app;
-        app.total_bytes = stream_bytes;
-        auto pair = qtp::make_connection(7, server_port, client_port,
-                                         qtp::qtp_af_profile(0.0), qtp::capabilities{},
-                                         app);
-        auto* rx = client.attach(7, std::move(pair.receiver));
-        auto* tx = server.attach(7, std::move(pair.sender));
+        // The receiving end is a vtp::server: it accepts the connection
+        // and counts what the transport hands the application.
+        server srv(receiver_host, server_options{});
+        std::uint64_t delivered = 0;
+        srv.set_on_session([&](session& s) {
+            s.set_on_delivered(
+                [&](std::uint64_t, std::uint32_t len) { delivered += len; });
+        });
+
+        // The sending end connects with full reliability and streams.
+        session tx = session::connect(sender_host, server_port,
+                                      session_options::reliable());
+        tx.send(stream_bytes);
+        tx.close();
 
         std::printf("transferring %.1f MB over UDP loopback %u -> %u ...\n",
-                    stream_bytes / 1e6, server_port, client_port);
+                    stream_bytes / 1e6, client_port, server_port);
 
         const auto started = loop.now();
-        while (!tx->transfer_complete() && loop.now() - started < util::seconds(30)) {
+        while (!tx.closed() && loop.now() - started < util::seconds(30)) {
             loop.run(milliseconds(100));
         }
         const double elapsed = util::to_seconds(loop.now() - started);
 
-        std::printf("complete   : %s in %.2f s\n",
-                    tx->transfer_complete() ? "yes" : "no", elapsed);
-        std::printf("received   : %llu bytes (stream complete: %s)\n",
-                    static_cast<unsigned long long>(rx->stream().received_bytes()),
-                    rx->stream().complete() ? "yes" : "no");
-        std::printf("goodput    : %.2f Mb/s\n",
-                    rx->stream().received_bytes() * 8.0 / elapsed / 1e6);
-        std::printf("datagrams  : %llu sent by server, %llu by client (feedback)\n",
-                    static_cast<unsigned long long>(server.sent_datagrams()),
-                    static_cast<unsigned long long>(client.sent_datagrams()));
-        return tx->transfer_complete() ? 0 : 1;
+        std::printf("complete   : %s in %.2f s\n", tx.closed() ? "yes" : "no", elapsed);
+        std::printf("delivered  : %llu bytes\n",
+                    static_cast<unsigned long long>(delivered));
+        std::printf("goodput    : %.2f Mb/s\n", delivered * 8.0 / elapsed / 1e6);
+        std::printf("datagrams  : %llu sent by sender, %llu by receiver (feedback)\n",
+                    static_cast<unsigned long long>(sender_host.sent_datagrams()),
+                    static_cast<unsigned long long>(receiver_host.sent_datagrams()));
+        return tx.closed() ? 0 : 1;
     } catch (const std::exception& e) {
         std::printf("skipped: %s (sockets unavailable in this environment)\n", e.what());
         return 0;

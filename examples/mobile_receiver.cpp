@@ -1,10 +1,11 @@
-// QTPlight in its element: a resource-limited mobile receiver.
+// QTPlight in its element: a resource-limited mobile receiver, through
+// the vtp::session API.
 //
-// The "phone" advertises that it cannot run receiver-side loss
-// estimation; profile negotiation therefore lands on QTPlight — the
-// sender rebuilds the loss history from the phone's SACK feedback. The
-// stream uses partial reliability with per-message deadlines: stale
-// media is never retransmitted.
+// The "phone" runs a vtp::server whose capability policy refuses
+// receiver-side loss estimation; profile negotiation therefore lands on
+// QTPlight — the content server rebuilds the loss history from the
+// phone's SACK feedback. The stream uses partial reliability with
+// per-message deadlines: stale media is never retransmitted.
 //
 // The example prints the negotiated profile (watch the estimation
 // placement flip), the phone's resident transport state, and what the
@@ -12,7 +13,8 @@
 // merge ranges and echo timestamps.
 #include <cstdio>
 
-#include "core/qtp.hpp"
+#include "api/server.hpp"
+#include "api/session.hpp"
 #include "sim/topology.hpp"
 
 using namespace vtp;
@@ -34,43 +36,52 @@ int main() {
     net.forward_bottleneck().set_loss_model(
         std::make_unique<sim::gilbert_elliott_loss>(channel, 99));
 
-    // The application asks for partial reliability (300 ms deadlines on
-    // 1 kB media messages); the phone's capabilities force sender-side
-    // estimation during the handshake.
-    qtp::connection_config app;
-    app.message_size = 1000;
-    app.message_deadline = milliseconds(300);
-    qtp::connection_pair pair = qtp::make_qtp_light(
-        1, net.left_addr(0), net.right_addr(0), sack::reliability_mode::partial, app);
+    // The phone: a passive endpoint that will not maintain a loss
+    // history, whatever the sender proposes.
+    server_options phone_opts;
+    phone_opts.capabilities.support_receiver_estimation = false;
+    server phone(net.right_host(0), phone_opts);
+    session* phone_side = nullptr;
+    phone.set_on_session([&](session& s) { phone_side = &s; });
 
-    auto* phone = net.right_host(0).attach(1, std::move(pair.receiver));
-    auto* server = net.left_host(0).attach(1, std::move(pair.sender));
+    // The content server asks for partial reliability (300 ms deadlines
+    // on 1 kB media messages); the phone's capabilities force sender-side
+    // estimation during the handshake.
+    session_options opts;
+    opts.profile = qtp::qtp_light_profile(sack::reliability_mode::partial);
+    opts.profile.estimation = tfrc::estimation_mode::receiver_side; // ask anyway
+    opts.message_size = 1000;
+    opts.message_deadline = milliseconds(300);
+    session media = session::connect(net.left_host(0), net.right_addr(0), opts);
+    media.send(UINT64_MAX / 2); // endless media stream
 
     net.sched().run_until(seconds(30));
 
-    std::printf("negotiated profile : %s\n", server->active_profile().describe().c_str());
+    const session_stats tx = media.stats();
+    const session_stats rx = phone_side->stats();
+    std::printf("negotiated profile : %s\n", tx.profile.describe().c_str());
     std::printf("stream received    : %.2f MB over 30 s (%.2f Mb/s)\n",
-                phone->received_bytes() / 1e6, phone->received_bytes() * 8.0 / 30e6);
+                rx.bytes_received / 1e6, rx.bytes_received * 8.0 / 30e6);
     std::printf("\n--- what the phone had to do ---\n");
     std::printf("resident transport state : %zu bytes (no loss-interval history)\n",
-                phone->state_bytes());
+                phone_side->receiver()->state_bytes());
     std::printf("feedback sent            : %llu packets, %llu bytes (one per RTT)\n",
-                static_cast<unsigned long long>(phone->feedback_sent()),
-                static_cast<unsigned long long>(phone->feedback_bytes()));
+                static_cast<unsigned long long>(rx.feedback_sent),
+                static_cast<unsigned long long>(
+                    phone_side->receiver()->feedback_bytes()));
     std::printf("loss events it tracked   : %llu (none: that is the point)\n",
-                static_cast<unsigned long long>(phone->history().loss_events()));
+                static_cast<unsigned long long>(
+                    phone_side->receiver()->history().loss_events()));
     std::printf("\n--- what the server worked out on its own ---\n");
     std::printf("loss events reconstructed: %llu\n",
                 static_cast<unsigned long long>(
-                    server->estimator().history().loss_events()));
-    std::printf("loss event rate          : %.4f\n",
-                server->estimator().loss_event_rate());
-    std::printf("allowed rate             : %.2f Mb/s\n",
-                server->rate().allowed_rate() * 8.0 / 1e6);
+                    media.sender()->estimator().history().loss_events()));
+    std::printf("loss event rate          : %.4f\n", tx.loss_event_rate);
+    std::printf("allowed rate             : %.2f Mb/s\n", tx.allowed_rate_bps / 1e6);
     std::printf("retransmitted            : %llu bytes (deadline-aware)\n",
-                static_cast<unsigned long long>(server->rtx_bytes_sent()));
+                static_cast<unsigned long long>(tx.rtx_bytes_sent));
     std::printf("abandoned as stale       : %llu bytes\n",
                 static_cast<unsigned long long>(
-                    server->retransmissions().abandoned_bytes()));
+                    media.sender()->retransmissions().abandoned_bytes()));
     return 0;
 }

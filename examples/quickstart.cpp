@@ -1,19 +1,21 @@
-// Quickstart: a reliable QTP transfer over a simulated network in ~60
-// lines of application code.
+// Quickstart: a reliable QTP transfer over a simulated network through
+// the socket-style vtp::session API.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build && cmake --build build
 //   ./build/examples/quickstart
 //
 // What it shows:
 //  1. building a topology (a dumbbell with one sender/receiver pair),
-//  2. opening a QTP connection with a negotiated profile
+//  2. a vtp::server accepting connections on the right-hand host,
+//  3. vtp::session::connect() proposing a negotiated profile
 //     (full reliability + classic TFRC congestion control),
-//  3. pushing a 5 MB stream through a lossy bottleneck,
-//  4. reading the connection statistics afterwards.
+//  4. pushing a 5 MB stream through a lossy bottleneck with send()/close(),
+//  5. reading the session statistics afterwards.
 #include <cstdio>
 
-#include "core/qtp.hpp"
+#include "api/server.hpp"
+#include "api/session.hpp"
 #include "sim/topology.hpp"
 
 using namespace vtp;
@@ -30,38 +32,43 @@ int main() {
     sim::dumbbell net(net_cfg);
     net.forward_bottleneck().set_loss_model(std::make_unique<sim::bernoulli_loss>(0.01, 7));
 
-    // 2. A QTP connection: QTPAF profile with no QoS target degenerates
-    //    to "TFRC congestion control + full SACK reliability".
-    qtp::connection_config app;
-    app.total_bytes = 5'000'000;
-    qtp::connection_pair pair =
-        qtp::make_connection(/*flow*/ 1, net.left_addr(0), net.right_addr(0),
-                             qtp::qtp_af_profile(/*target rate*/ 0.0),
-                             qtp::capabilities{}, app);
+    // 2. A server accepting QTP connections on the right-hand host.
+    server srv(net.right_host(0), server_options{});
+    std::uint64_t delivered = 0;
+    srv.set_on_session([&](session& s) {
+        s.set_on_delivered(
+            [&](std::uint64_t, std::uint32_t len) { delivered += len; });
+    });
 
-    // 3. Attach the endpoints and run until the transfer completes.
-    auto* receiver = net.right_host(0).attach(1, std::move(pair.receiver));
-    auto* sender = net.left_host(0).attach(1, std::move(pair.sender));
+    // 3. Connect. session_options::reliable() proposes the QTPAF
+    //    composition with no QoS contract: "TFRC congestion control +
+    //    full SACK reliability".
+    session tx = session::connect(net.left_host(0), net.right_addr(0),
+                                  session_options::reliable());
 
-    while (!sender->transfer_complete() && net.sched().now() < seconds(120)) {
+    // 4. Queue the whole transfer and half-close; the FIN goes out once
+    //    every byte is delivered.
+    constexpr std::uint64_t stream_bytes = 5'000'000;
+    tx.send(stream_bytes);
+    tx.close();
+
+    while (!tx.closed() && net.sched().now() < seconds(120)) {
         net.sched().run_until(net.sched().now() + milliseconds(500));
     }
 
-    // 4. Report.
+    // 5. Report.
+    const session_stats st = tx.stats();
     const double elapsed = util::to_seconds(net.sched().now());
-    std::printf("profile          : %s\n", sender->active_profile().describe().c_str());
-    std::printf("transfer complete: %s after %.1f s\n",
-                sender->transfer_complete() ? "yes" : "no", elapsed);
-    std::printf("stream received  : %llu / %llu bytes (complete=%s, in order)\n",
-                static_cast<unsigned long long>(receiver->stream().received_bytes()),
-                static_cast<unsigned long long>(app.total_bytes),
-                receiver->stream().complete() ? "yes" : "no");
-    std::printf("goodput          : %.2f Mb/s\n",
-                receiver->stream().received_bytes() * 8.0 / elapsed / 1e6);
+    std::printf("profile          : %s\n", st.profile.describe().c_str());
+    std::printf("transfer complete: %s after %.1f s\n", tx.closed() ? "yes" : "no",
+                elapsed);
+    std::printf("stream delivered : %llu / %llu bytes (in order)\n",
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(stream_bytes));
+    std::printf("goodput          : %.2f Mb/s\n", delivered * 8.0 / elapsed / 1e6);
     std::printf("packets sent     : %llu (%llu bytes retransmitted)\n",
-                static_cast<unsigned long long>(sender->packets_sent()),
-                static_cast<unsigned long long>(sender->rtx_bytes_sent()));
-    std::printf("loss event rate  : %.4f (receiver-side estimate)\n",
-                receiver->history().loss_event_rate());
-    return sender->transfer_complete() ? 0 : 1;
+                static_cast<unsigned long long>(st.packets_sent),
+                static_cast<unsigned long long>(st.rtx_bytes_sent));
+    std::printf("loss event rate  : %.4f\n", st.loss_event_rate);
+    return tx.closed() ? 0 : 1;
 }

@@ -1,0 +1,49 @@
+#include "api/server.hpp"
+
+namespace vtp {
+
+namespace {
+
+qtp::listener_config make_listener_config(const server_options& opts) {
+    qtp::listener_config cfg;
+    cfg.caps = opts.capabilities;
+    cfg.capability_policy = opts.capability_policy;
+    cfg.endpoint.packet_size = opts.packet_size;
+    cfg.endpoint.handshake_rtx = opts.handshake_rtx;
+    return cfg;
+}
+
+} // namespace
+
+server::server(qtp::environment& env, server_options opts)
+    : env_(env), listener_(make_listener_config(opts)) {
+    listener_.set_on_accept([this](std::uint32_t flow, qtp::connection_receiver& rx) {
+        auto handle = std::unique_ptr<session>(new session(&rx, flow));
+        session& ref = *handle;
+        sessions_[flow] = std::move(handle);
+        if (on_session_) on_session_(ref);
+    });
+    listener_.start(env);
+    env.set_default_agent(&listener_);
+}
+
+session* server::find(std::uint32_t flow_id) {
+    const auto it = sessions_.find(flow_id);
+    return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::size_t server::reap_closed() {
+    std::size_t reaped = 0;
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->second->closed()) {
+            env_.detach_dynamic(it->first);
+            it = sessions_.erase(it);
+            ++reaped;
+        } else {
+            ++it;
+        }
+    }
+    return reaped;
+}
+
+} // namespace vtp

@@ -1,0 +1,86 @@
+// vtp::server — passive endpoint of the socket-style API.
+//
+// Wraps qtp::listener: installed as a substrate's default agent, it
+// accepts one QTP connection per incoming SYN, applies a per-accept
+// capability policy (what reliability / estimation locus / rate tier to
+// grant *this* client), and hands the application a receiver-role
+// vtp::session:
+//
+//   vtp::server srv(host, opts);
+//   srv.set_on_session([](vtp::session& s) {
+//       s.set_on_delivered([](std::uint64_t off, std::uint32_t len) { ... });
+//   });
+//
+// Works identically on sim::host and net::udp_host. Stray packets for
+// unknown flows (including renegotiation segments of dead connections)
+// are counted, never answered — a reneg must never spawn an endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "api/session.hpp"
+#include "core/listener.hpp"
+
+namespace vtp {
+
+struct server_options {
+    /// Capabilities granted to every client (the negotiation downgrade
+    /// bound for the SYN and for later renegotiations).
+    qtp::capabilities capabilities{};
+
+    /// Per-accept policy: (flow id, peer address) -> capabilities for
+    /// that client. Overrides `capabilities` when set — e.g. cap
+    /// target_rate by customer tier, or refuse receiver-side estimation
+    /// under memory pressure.
+    std::function<qtp::capabilities(std::uint32_t, std::uint32_t)> capability_policy;
+
+    std::uint32_t packet_size = 1000;
+    /// Handshake / renegotiation retransmission interval for accepted
+    /// endpoints.
+    util::sim_time handshake_rtx = util::milliseconds(500);
+};
+
+class server {
+public:
+    /// Register on `env` as the passive endpoint. The server must
+    /// outlive the substrate's use of it.
+    server(qtp::environment& env, server_options opts = {});
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// Called with each freshly accepted session. The session reference
+    /// stays valid for the server's lifetime.
+    void set_on_session(std::function<void(session&)> cb) { on_session_ = std::move(cb); }
+
+    std::size_t session_count() const { return sessions_.size(); }
+    session* find(std::uint32_t flow_id);
+
+    /// Reclaim sessions whose peer has closed (FIN seen): destroys their
+    /// endpoints and handles, returns how many were reaped. Call from
+    /// application context (an event-loop turn or a scheduler callback),
+    /// never from inside a session callback. Session references obtained
+    /// earlier for reaped flows become invalid. Note: reaping immediately
+    /// after close forfeits FIN-ACK retransmission for that flow (a peer
+    /// whose FIN-ACK was lost retries against the listener as a stray),
+    /// so a production loop reaps periodically, not per-packet.
+    std::size_t reap_closed();
+
+    std::uint64_t accepted() const { return listener_.accepted(); }
+    std::uint64_t stray_packets() const { return listener_.stray_packets(); }
+    std::uint64_t stray_renegs() const { return listener_.stray_renegs(); }
+
+    /// Escape hatch to the underlying acceptor.
+    const qtp::listener& acceptor() const { return listener_; }
+
+private:
+    qtp::environment& env_;
+    qtp::listener listener_;
+    std::function<void(session&)> on_session_;
+    std::unordered_map<std::uint32_t, std::unique_ptr<session>> sessions_;
+};
+
+} // namespace vtp

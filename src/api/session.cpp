@@ -1,0 +1,126 @@
+#include "api/session.hpp"
+
+#include <atomic>
+
+namespace vtp {
+
+namespace {
+
+// Auto-assigned flow ids live in their own range so they never collide
+// with hand-numbered flows in mixed (facade + raw factory) setups.
+std::uint32_t next_auto_flow_id() {
+    static std::atomic<std::uint32_t> counter{0x40000000};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+const qtp::profile& empty_profile() {
+    static const qtp::profile p{};
+    return p;
+}
+
+} // namespace
+
+session session::connect(qtp::environment& env, std::uint32_t peer_addr,
+                         session_options opts) {
+    qtp::connection_config cfg = opts.to_connection_config();
+    cfg.flow_id = opts.flow_id != 0 ? opts.flow_id : next_auto_flow_id();
+    cfg.peer_addr = peer_addr;
+    // Application-driven source: the stream grows through send() and ends
+    // at close().
+    cfg.total_bytes = 0;
+    cfg.stream_open = true;
+
+    auto agent = std::make_unique<qtp::connection_sender>(cfg);
+    qtp::connection_sender* raw = agent.get();
+    env.attach_dynamic(cfg.flow_id, std::move(agent));
+    return session(raw, cfg.flow_id);
+}
+
+void session::send(std::uint64_t bytes) {
+    if (sender_ != nullptr) sender_->offer(bytes);
+}
+
+void session::close() {
+    if (sender_ != nullptr) sender_->finish_stream();
+}
+
+void session::renegotiate(const qtp::profile& p) {
+    if (sender_ != nullptr) sender_->request_renegotiate(p);
+    if (receiver_ != nullptr) receiver_->request_renegotiate(p);
+}
+
+bool session::renegotiation_pending() const {
+    if (sender_ != nullptr) return sender_->renegotiation_pending();
+    if (receiver_ != nullptr) return receiver_->renegotiation_pending();
+    return false;
+}
+
+bool session::established() const {
+    if (sender_ != nullptr) return sender_->established();
+    if (receiver_ != nullptr) return receiver_->established();
+    return false;
+}
+
+bool session::closed() const {
+    if (sender_ != nullptr) return sender_->closed();
+    if (receiver_ != nullptr) return receiver_->remote_closed();
+    return false;
+}
+
+const qtp::profile& session::active_profile() const {
+    if (sender_ != nullptr) return sender_->active_profile();
+    if (receiver_ != nullptr) return receiver_->active_profile();
+    return empty_profile();
+}
+
+session_stats session::stats() const {
+    session_stats s;
+    s.established = established();
+    s.closed = closed();
+    s.profile = active_profile();
+    if (sender_ != nullptr) {
+        s.renegotiations = sender_->renegotiations();
+        s.stream_bytes_queued =
+            sender_->stream_length() == UINT64_MAX ? 0 : sender_->stream_length();
+        s.stream_bytes_sent = sender_->new_bytes_sent();
+        s.stream_bytes_acked = sender_->reliability().delivered_bytes();
+        s.rtx_bytes_sent = sender_->rtx_bytes_sent();
+        s.packets_sent = sender_->packets_sent();
+        s.allowed_rate_bps = sender_->rate().allowed_rate() * 8.0;
+        s.loss_event_rate =
+            s.profile.estimation == tfrc::estimation_mode::sender_side
+                ? sender_->estimator().loss_event_rate()
+                : sender_->rate().current_loss_rate();
+        s.rtt = sender_->rate().has_rtt() ? sender_->rate().rtt() : 0;
+    }
+    if (receiver_ != nullptr) {
+        s.renegotiations = receiver_->renegotiations();
+        s.bytes_received = receiver_->received_bytes();
+        s.packets_received = receiver_->received_packets();
+        if (receiver_->established())
+            s.bytes_delivered = receiver_->stream().delivered_bytes();
+        s.feedback_sent = receiver_->feedback_sent();
+    }
+    return s;
+}
+
+void session::set_on_established(std::function<void(const qtp::profile&)> cb) {
+    if (sender_ != nullptr) sender_->set_on_established(std::move(cb));
+    else if (receiver_ != nullptr) receiver_->set_on_established(std::move(cb));
+}
+
+void session::set_on_delivered(std::function<void(std::uint64_t, std::uint32_t)> cb) {
+    if (receiver_ != nullptr) receiver_->set_delivery(std::move(cb));
+}
+
+void session::set_on_closed(std::function<void()> cb) {
+    if (sender_ != nullptr) sender_->set_on_closed(std::move(cb));
+    else if (receiver_ != nullptr) receiver_->set_on_closed(std::move(cb));
+}
+
+void session::set_on_profile_changed(std::function<void(const qtp::profile&)> cb) {
+    if (sender_ != nullptr) sender_->set_on_profile_changed(std::move(cb));
+    else if (receiver_ != nullptr) receiver_->set_on_profile_changed(std::move(cb));
+}
+
+} // namespace vtp

@@ -1,0 +1,130 @@
+// vtp::session — the socket-style public API of the versatile transport.
+//
+// A session is one endpoint of one QTP connection, hosted on any
+// substrate implementing qtp::environment (the discrete-event simulator's
+// sim::host or the live UDP datapath's net::udp_host — the code is
+// identical on both):
+//
+//   vtp::session s = vtp::session::connect(host, peer_addr,
+//                                          vtp::session_options::af(4e6));
+//   s.set_on_established([](const qtp::profile& p) { ... });
+//   s.send(5'000'000);           // queue application bytes
+//   s.close();                   // FIN once everything is delivered
+//
+// The headline capability is *runtime renegotiation*: at any point either
+// endpoint may call renegotiate() with a new profile; the peer answers
+// through its capability policy and both sides atomically swap
+// micro-mechanisms (estimator locus, reliability policy, gTFRC floor) at
+// the acknowledged sequence boundary — no teardown, no handshake rerun,
+// congestion state intact:
+//
+//   s.renegotiate(qtp::qtp_light_profile(sack::reliability_mode::partial));
+//
+// Receiver-role sessions are produced by vtp::server (api/server.hpp);
+// they deliver stream bytes through set_on_delivered() and may equally
+// initiate renegotiation (the paper's mobile-receiver scenario).
+//
+// Lifetime: the underlying agent is owned by the substrate and lives as
+// long as it does; a session is a cheap movable handle. The legacy
+// make_qtp_* factories in core/qtp.hpp remain as deprecated shims.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "api/session_options.hpp"
+#include "core/connection.hpp"
+#include "core/environment.hpp"
+
+namespace vtp {
+
+/// One-call snapshot of everything an application usually polls.
+struct session_stats {
+    bool established = false;
+    bool closed = false;
+    qtp::profile profile{};
+    std::uint32_t renegotiations = 0;
+
+    // Sending side (zero on receiver-role sessions).
+    std::uint64_t stream_bytes_queued = 0; ///< offered by the application
+    std::uint64_t stream_bytes_sent = 0;   ///< first transmissions
+    std::uint64_t stream_bytes_acked = 0;  ///< confirmed delivered
+    std::uint64_t rtx_bytes_sent = 0;
+    std::uint64_t packets_sent = 0;
+    double allowed_rate_bps = 0.0;
+    double loss_event_rate = 0.0;
+    util::sim_time rtt = 0;
+
+    // Receiving side (zero on sender-role sessions).
+    std::uint64_t bytes_received = 0;
+    std::uint64_t packets_received = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t feedback_sent = 0;
+};
+
+class session {
+public:
+    session() = default;
+    session(session&&) = default;
+    session& operator=(session&&) = default;
+    session(const session&) = delete;
+    session& operator=(const session&) = delete;
+
+    /// Open a connection from `env` to the peer at `peer_addr` (a node id
+    /// on the simulator, a UDP port on the live datapath). The returned
+    /// session is the sending endpoint; the handshake proposing
+    /// `opts.profile` starts immediately.
+    static session connect(qtp::environment& env, std::uint32_t peer_addr,
+                           session_options opts = {});
+
+    bool valid() const { return sender_ != nullptr || receiver_ != nullptr; }
+    bool can_send() const { return sender_ != nullptr; }
+    std::uint32_t flow_id() const { return flow_id_; }
+
+    /// Queue `bytes` application bytes on the outgoing stream. The
+    /// transport paces them out at the TFRC-controlled rate.
+    void send(std::uint64_t bytes);
+
+    /// Half-close: no more send() calls will follow; the connection runs
+    /// the FIN handshake once every queued byte has been delivered (under
+    /// the active reliability policy).
+    void close();
+
+    /// Propose a new service profile mid-connection. The peer downgrades
+    /// it through its capabilities; on acceptance both endpoints swap
+    /// micro-mechanisms and on_profile_changed fires with the profile
+    /// actually agreed.
+    void renegotiate(const qtp::profile& p);
+    bool renegotiation_pending() const;
+
+    bool established() const;
+    /// Sender role: FIN acknowledged. Receiver role: peer's FIN seen.
+    bool closed() const;
+    const qtp::profile& active_profile() const;
+    session_stats stats() const;
+
+    void set_on_established(std::function<void(const qtp::profile&)> cb);
+    /// Receiver role: (stream offset, length) handed to the application.
+    void set_on_delivered(std::function<void(std::uint64_t, std::uint32_t)> cb);
+    void set_on_closed(std::function<void()> cb);
+    void set_on_profile_changed(std::function<void(const qtp::profile&)> cb);
+
+    /// Escape hatches to the composed endpoint (stats beyond
+    /// session_stats; nullptr for the role the session does not have).
+    qtp::connection_sender* sender() { return sender_; }
+    const qtp::connection_sender* sender() const { return sender_; }
+    qtp::connection_receiver* receiver() { return receiver_; }
+    const qtp::connection_receiver* receiver() const { return receiver_; }
+
+private:
+    friend class server;
+    session(qtp::connection_sender* s, std::uint32_t flow) : sender_(s), flow_id_(flow) {}
+    session(qtp::connection_receiver* r, std::uint32_t flow)
+        : receiver_(r), flow_id_(flow) {}
+
+    qtp::connection_sender* sender_ = nullptr;     ///< owned by the substrate
+    qtp::connection_receiver* receiver_ = nullptr; ///< owned by the substrate
+    std::uint32_t flow_id_ = 0;
+};
+
+} // namespace vtp

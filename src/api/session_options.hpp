@@ -1,0 +1,90 @@
+// Options for opening a vtp::session (api/session.hpp).
+//
+// A session is configured with (1) the service profile to propose —
+// reliability, loss-estimation locus, QoS awareness — and (2) the
+// capabilities this endpoint is willing to run, which bound what a peer
+// can renegotiate the connection to later. The presets mirror the
+// paper's published protocol instances.
+#pragma once
+
+#include <cstdint>
+
+#include "core/connection.hpp"
+#include "core/profile.hpp"
+
+namespace vtp {
+
+struct session_options {
+    /// Service profile proposed at connect (the peer may downgrade it).
+    qtp::profile profile = qtp::qtp_default_profile();
+
+    /// What this endpoint supports; also the answer given to any
+    /// mid-connection renegotiation proposal from the peer.
+    qtp::capabilities capabilities{};
+
+    /// Flow identifier; 0 picks a fresh one automatically.
+    std::uint32_t flow_id = 0;
+
+    std::uint32_t packet_size = 1000; ///< payload bytes per data packet
+
+    /// Message framing for partial reliability: the stream is cut into
+    /// `message_size`-byte messages, each expiring `message_deadline`
+    /// after first transmission. 0 disables framing.
+    std::uint32_t message_size = 0;
+    util::sim_time message_deadline = util::time_never;
+
+    /// Retransmission cap for partial reliability (0 = unlimited).
+    std::uint32_t max_transmissions = 0;
+
+    /// Handshake / renegotiation retransmission interval.
+    util::sim_time handshake_rtx = util::milliseconds(500);
+
+    /// Advanced congestion-control / reliability knobs.
+    tfrc::rate_controller_config rate{};
+    tfrc::sender_estimator_config estimator{};
+    sack::scoreboard_config scoreboard{};
+
+    /// QTPAF: full reliability + receiver-side estimation + a gTFRC
+    /// committed rate (the QoS-network instance).
+    static session_options af(double target_rate_bps) {
+        session_options o;
+        o.profile = qtp::qtp_af_profile(target_rate_bps);
+        return o;
+    }
+
+    /// QTPlight: sender-side estimation, optional partial reliability
+    /// (the resource-limited receiver instance).
+    static session_options light(
+        sack::reliability_mode reliability = sack::reliability_mode::none) {
+        session_options o;
+        o.profile = qtp::qtp_light_profile(reliability);
+        o.capabilities.support_receiver_estimation = false;
+        return o;
+    }
+
+    /// Full reliability over plain TFRC (no QoS contract).
+    static session_options reliable() {
+        session_options o;
+        o.profile = qtp::qtp_af_profile(0.0);
+        return o;
+    }
+
+    /// Lower the options into a core connection_config (the facade's
+    /// glue; applications should not need this).
+    qtp::connection_config to_connection_config() const {
+        qtp::connection_config cfg;
+        cfg.packet_size = packet_size;
+        cfg.proposal = profile;
+        cfg.caps = capabilities;
+        cfg.rate = rate;
+        cfg.estimator = estimator;
+        cfg.scoreboard = scoreboard;
+        cfg.max_transmissions = max_transmissions;
+        cfg.message_size = message_size;
+        cfg.message_deadline = message_deadline;
+        cfg.handshake_rtx = handshake_rtx;
+        return cfg;
+    }
+};
+
+} // namespace vtp

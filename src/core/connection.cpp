@@ -15,6 +15,8 @@ namespace vtp::qtp {
 connection_sender::connection_sender(connection_config cfg)
     : cfg_(cfg),
       handshake_(cfg.proposal),
+      reneg_resp_(cfg.caps),
+      stream_open_(cfg.stream_open),
       rate_(cfg.rate),
       estimator_(cfg.estimator),
       scoreboard_(cfg.scoreboard) {
@@ -58,8 +60,82 @@ void connection_sender::on_handshake(const packet::handshake_segment& seg) {
     rate_ = tfrc::rate_controller(rc);
 
     util::log(util::log_level::info, "qtp-send", "established: ", active_.describe());
+    if (on_established_) on_established_(active_);
     arm_nofeedback_timer();
     send_next();
+}
+
+void connection_sender::offer(std::uint64_t n) {
+    // Rejected once the stream end was announced (finish_stream), not
+    // just once the FIN went out: the receiver may already have seen an
+    // end-of-stream marker for the current length.
+    if (!stream_open_ || fin_sent_ || closed_ || cfg_.total_bytes == UINT64_MAX) return;
+    cfg_.total_bytes += n;
+    if (env_ != nullptr && handshake_.established() && send_timer_ == qtp::no_timer)
+        send_next();
+}
+
+void connection_sender::finish_stream() {
+    if (!stream_open_) return;
+    stream_open_ = false;
+    if (env_ == nullptr || !handshake_.established()) return;
+    maybe_begin_close();
+    // Everything already sent: announce the stream length with a
+    // zero-payload end-of-stream marker so the receiver can finalise.
+    if (!fin_sent_ && next_offset_ >= cfg_.total_bytes && send_timer_ == qtp::no_timer)
+        send_next();
+}
+
+void connection_sender::request_renegotiate(const profile& p) {
+    if (!handshake_.established() || closed_ || env_ == nullptr) return;
+    reneg_.start(*env_, cfg_.flow_id, cfg_.peer_addr, cfg_.handshake_rtx, "qtp-send", p);
+}
+
+void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_seq) {
+    // Any reliability-mode change restarts the coverage the scoreboard is
+    // accountable for: bytes sent under the previous mode keep its
+    // semantics (untracked under none, possibly abandoned under partial)
+    // and must not gate full-reliability completion afterwards.
+    if (p.reliability != active_.reliability) reliable_from_offset_ = next_offset_;
+    active_ = p;
+    ++renegotiations_;
+    last_reneg_boundary_ = boundary_seq;
+    // Swap micro-mechanisms in place: the congestion state (rate, RTT,
+    // loss history) survives the switch; only the composition changes.
+    // The estimator has recorded every transmission since the start, so
+    // flipping to sender-side estimation mid-flight has send times for
+    // packets already in the air.
+    rate_.set_guaranteed_rate(active_.qos_aware ? active_.target_rate_bps : 0.0);
+    util::log(util::log_level::info, "qtp-send", "renegotiated: ", active_.describe(),
+              " from seq ", boundary_seq);
+    if (on_profile_changed_) on_profile_changed_(active_);
+    // A reliability switch changes what counts as pending work (tail
+    // probes appear or disappear), so re-evaluate the pacing loop.
+    if (send_timer_ == qtp::no_timer && work_available()) send_next();
+}
+
+void connection_sender::on_reneg(const packet::handshake_segment& seg) {
+    if (!handshake_.established()) return;
+    if (seg.type == packet::handshake_segment::kind::reneg) {
+        // Simultaneous proposals tie-break by role: the sender's wins.
+        // While our own proposal is outstanding we defer answering; the
+        // receiver yields (see connection_receiver::on_reneg), so its
+        // retransmissions are answered once our exchange settles.
+        if (reneg_.pending()) return;
+        // Peer proposes; we are the responder. The boundary is our next
+        // transmission: everything from next_seq_ runs the new profile.
+        const auto resp = reneg_resp_.on_segment(seg, next_seq_);
+        if (!resp) return;
+        if (resp->is_new) apply_profile(resp->accepted, resp->ack.boundary_seq);
+        env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
+                                       resp->ack));
+        return;
+    }
+    if (const auto accepted = reneg_.on_ack(*env_, seg)) {
+        // Our own proposal came back accepted: it governs our packets
+        // from the next transmission on.
+        apply_profile(*accepted, next_seq_);
+    }
 }
 
 sack::reliability_policy connection_sender::policy() const {
@@ -93,8 +169,15 @@ void connection_sender::on_packet(const packet::packet& pkt) {
                 fin_timer_ = qtp::no_timer;
                 if (nofeedback_timer_ != qtp::no_timer) env_->cancel(nofeedback_timer_);
                 nofeedback_timer_ = qtp::no_timer;
+                reneg_.cancel(*env_);
                 util::log(util::log_level::info, "qtp-send", "closed");
+                if (on_closed_) on_closed_();
             }
+            return;
+        }
+        if (hs->type == packet::handshake_segment::kind::reneg ||
+            hs->type == packet::handshake_segment::kind::reneg_ack) {
+            on_reneg(*hs);
             return;
         }
         on_handshake(*hs);
@@ -110,7 +193,9 @@ void connection_sender::on_packet(const packet::packet& pkt) {
 }
 
 void connection_sender::maybe_begin_close() {
-    if (fin_sent_ || cfg_.total_bytes == UINT64_MAX || !handshake_.established()) return;
+    if (fin_sent_ || stream_open_ || cfg_.total_bytes == UINT64_MAX ||
+        !handshake_.established())
+        return;
     const bool done = active_.reliability == sack::reliability_mode::full
                           ? transfer_complete()
                           : (next_offset_ >= cfg_.total_bytes && rtx_queue_.empty());
@@ -207,7 +292,7 @@ void connection_sender::send_next() {
         seg.byte_offset = next_offset_;
         seg.payload_len = len;
         seg.end_of_stream = (next_offset_ + len >= cfg_.total_bytes &&
-                             cfg_.total_bytes != UINT64_MAX);
+                             cfg_.total_bytes != UINT64_MAX && !stream_open_);
 
         if (cfg_.message_size > 0) {
             const std::uint32_t msg =
@@ -244,6 +329,22 @@ void connection_sender::send_next() {
         // Zero-payload tail probe (new sequence number, no stream bytes).
         seg.byte_offset = next_offset_;
         seg.payload_len = 0;
+        seg.end_of_stream = (!stream_open_ && cfg_.total_bytes != UINT64_MAX &&
+                             next_offset_ >= cfg_.total_bytes);
+        have_payload = true;
+        is_probe = true;
+    }
+
+    // An application-driven stream that was finished after its last byte
+    // went out: emit one zero-payload end-of-stream marker so the
+    // receiver learns the final length.
+    if (!have_payload && !stream_open_ && cfg_.stream_open &&
+        cfg_.total_bytes != UINT64_MAX && next_offset_ >= cfg_.total_bytes &&
+        !eos_marker_sent_ && !fin_sent_) {
+        seg.byte_offset = next_offset_;
+        seg.payload_len = 0;
+        seg.end_of_stream = true;
+        eos_marker_sent_ = true;
         have_payload = true;
         is_probe = true;
     }
@@ -254,7 +355,13 @@ void connection_sender::send_next() {
     seg.ts = env_->now();
     seg.rtt_estimate = rate_.has_rtt() ? rate_.rtt() : 0;
 
-    if (active_.estimation == tfrc::estimation_mode::sender_side)
+    // Record transmissions whenever sender-side estimation is active or
+    // could become active through renegotiation (our capabilities allow
+    // it): a switch mid-flight must find send times for packets already
+    // in the air. Endpoints that can never estimate locally skip the
+    // bookkeeping (~512 KB per long-lived connection).
+    if (active_.estimation == tfrc::estimation_mode::sender_side ||
+        cfg_.caps.support_sender_estimation)
         estimator_.on_send(seg.seq, env_->now());
 
     ++packets_sent_;
@@ -292,8 +399,15 @@ void connection_sender::arm_nofeedback_timer() {
 
 bool connection_sender::transfer_complete() const {
     if (cfg_.total_bytes == UINT64_MAX) return false;
-    if (active_.reliability == sack::reliability_mode::full)
-        return scoreboard_.delivered().contains(0, cfg_.total_bytes);
+    if (active_.reliability == sack::reliability_mode::full) {
+        // Only bytes sent while reliability was active are in the
+        // scoreboard; anything before a none -> full renegotiation went
+        // out untracked and must not gate completion.
+        if (reliable_from_offset_ >= cfg_.total_bytes)
+            return next_offset_ >= cfg_.total_bytes;
+        return next_offset_ >= cfg_.total_bytes &&
+               scoreboard_.delivered().contains(reliable_from_offset_, cfg_.total_bytes);
+    }
     return next_offset_ >= cfg_.total_bytes;
 }
 
@@ -302,22 +416,33 @@ bool connection_sender::transfer_complete() const {
 // ---------------------------------------------------------------------------
 
 connection_receiver::connection_receiver(connection_config cfg)
-    : cfg_(cfg), responder_(cfg.caps), history_(tfrc::loss_history_config{}) {}
+    : cfg_(cfg),
+      responder_(cfg.caps),
+      reneg_resp_(cfg.caps),
+      history_(tfrc::loss_history_config{}) {}
 
 void connection_receiver::start(environment& env) { env_ = &env; }
 
 void connection_receiver::on_packet(const packet::packet& pkt) {
     if (const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get())) {
         if (hs->type == packet::handshake_segment::kind::fin) {
+            const bool first_fin = !remote_closed_;
             remote_closed_ = true;
             if (feedback_timer_ != qtp::no_timer) {
                 env_->cancel(feedback_timer_);
                 feedback_timer_ = qtp::no_timer;
             }
+            reneg_.cancel(*env_);
             packet::handshake_segment ack;
             ack.type = packet::handshake_segment::kind::fin_ack;
             env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(),
                                            cfg_.peer_addr, ack));
+            if (first_fin && on_closed_) on_closed_();
+            return;
+        }
+        if (hs->type == packet::handshake_segment::kind::reneg ||
+            hs->type == packet::handshake_segment::kind::reneg_ack) {
+            on_reneg(*hs);
             return;
         }
         on_handshake(*hs);
@@ -343,9 +468,49 @@ void connection_receiver::on_handshake(const packet::handshake_segment& seg) {
                 if (deliver_) deliver_(offset, len);
             });
         util::log(util::log_level::info, "qtp-recv", "accepted: ", active_.describe());
+        if (on_established_) on_established_(active_);
     }
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
                                    resp->syn_ack));
+}
+
+void connection_receiver::request_renegotiate(const profile& p) {
+    if (!responder_.established() || remote_closed_ || env_ == nullptr) return;
+    reneg_.start(*env_, cfg_.flow_id, cfg_.peer_addr, cfg_.handshake_rtx, "qtp-recv", p);
+}
+
+void connection_receiver::apply_profile(const profile& p) {
+    active_ = p;
+    ++renegotiations_;
+    // The estimation locus and feedback contents (has_p) follow active_
+    // directly; the loss history simply goes idle or starts warming up.
+    // The reassembly delivery order deliberately stays as negotiated at
+    // accept time: switching ordered->immediate mid-stream would hand the
+    // application bytes past an open gap.
+    util::log(util::log_level::info, "qtp-recv", "renegotiated: ", active_.describe());
+    if (on_profile_changed_) on_profile_changed_(active_);
+}
+
+void connection_receiver::on_reneg(const packet::handshake_segment& seg) {
+    if (!responder_.established()) return;
+    if (seg.type == packet::handshake_segment::kind::reneg) {
+        // Simultaneous proposals tie-break by role: the sender's wins.
+        // Yield our own outstanding proposal (a late ack for it is still
+        // honoured — the sender applies when it answers) and respond.
+        reneg_.yield(*env_);
+        // The sender proposes; our boundary estimate is the next unseen
+        // sequence number (the sender states its own in the data stream).
+        const std::uint64_t boundary = ranges_.empty() ? 0 : ranges_.back().end;
+        const auto resp = reneg_resp_.on_segment(seg, boundary);
+        if (!resp) return;
+        if (resp->is_new) apply_profile(resp->accepted);
+        env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
+                                       resp->ack));
+        return;
+    }
+    if (const auto accepted = reneg_.on_ack(*env_, seg)) {
+        apply_profile(*accepted);
+    }
 }
 
 void connection_receiver::on_data(const packet::data_segment& seg) {

@@ -5,7 +5,12 @@
 // estimation at either end (tfrc::loss_history / tfrc::sender_estimator),
 // and SACK reliability (sack::scoreboard + sack::retransmit_queue /
 // sack::reassembly) — according to the profile negotiated at handshake.
-// Configure them through the factories in core/qtp.hpp.
+// The profile is not frozen there: either endpoint may call
+// request_renegotiate() mid-connection; the reneg/reneg_ack exchange
+// (core/negotiation.hpp) runs the proposal through the peer's
+// capabilities and both sides swap micro-mechanisms at the acknowledged
+// sequence boundary. Most applications should use the vtp::session /
+// vtp::server facade in api/session.hpp instead of these classes.
 //
 // Data flow, sender side:
 //   pacing timer (rate from TFRC) -> next payload = retransmission-queue
@@ -39,7 +44,9 @@ struct connection_config {
     std::uint32_t packet_size = 1000; ///< payload bytes per data packet
 
     profile proposal{};    ///< sender side: profile to propose
-    capabilities caps{};   ///< receiver side: what to accept
+    /// What this endpoint supports. The receiver uses it to answer the
+    /// SYN; both sides use it to answer mid-connection reneg proposals.
+    capabilities caps{};
 
     tfrc::rate_controller_config rate{};
     tfrc::sender_estimator_config estimator{};
@@ -50,6 +57,13 @@ struct connection_config {
     /// Application source: stream length in bytes (UINT64_MAX = unlimited
     /// synthetic source, the usual benchmark configuration).
     std::uint64_t total_bytes = UINT64_MAX;
+
+    /// Application-driven source (the vtp::session API): the stream grows
+    /// through connection_sender::offer() and only ends once
+    /// finish_stream() is called — until then no FIN is sent even when
+    /// every offered byte is delivered. `total_bytes` is the initial
+    /// backlog (use 0 with this flag).
+    bool stream_open = false;
 
     /// Message framing for partial reliability: the stream is cut into
     /// `message_size`-byte messages; each message expires
@@ -70,6 +84,31 @@ public:
     void on_packet(const packet::packet& pkt) override;
     std::string name() const override { return "qtp-send"; }
 
+    /// Append `n` bytes to the outgoing stream (application write; only
+    /// meaningful with cfg.stream_open).
+    void offer(std::uint64_t n);
+    /// No more bytes will be offered; the FIN handshake may begin once
+    /// everything offered is delivered.
+    void finish_stream();
+
+    /// Propose switching the connection to profile `p`. The proposal is
+    /// retransmitted until acknowledged; on acceptance (possibly
+    /// downgraded by the peer's capabilities) both endpoints swap
+    /// micro-mechanisms and on_profile_changed fires.
+    void request_renegotiate(const profile& p);
+    bool renegotiation_pending() const { return reneg_.pending(); }
+    std::uint32_t renegotiations() const { return renegotiations_; }
+    /// First sequence number governed by the latest accepted profile.
+    std::uint64_t last_reneg_boundary() const { return last_reneg_boundary_; }
+
+    void set_on_established(std::function<void(const profile&)> cb) {
+        on_established_ = std::move(cb);
+    }
+    void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+    void set_on_profile_changed(std::function<void(const profile&)> cb) {
+        on_profile_changed_ = std::move(cb);
+    }
+
     bool established() const { return handshake_.established(); }
     const profile& active_profile() const { return active_; }
     const tfrc::rate_controller& rate() const { return rate_; }
@@ -80,6 +119,9 @@ public:
     std::uint64_t packets_sent() const { return packets_sent_; }
     std::uint64_t bytes_sent() const { return bytes_sent_; }
     std::uint64_t new_bytes_sent() const { return next_offset_; }
+    /// Current stream length: total_bytes, grown by offer() when
+    /// application-driven (UINT64_MAX = unlimited synthetic source).
+    std::uint64_t stream_length() const { return cfg_.total_bytes; }
     std::uint64_t rtx_bytes_sent() const { return rtx_bytes_sent_; }
     std::uint64_t probes_sent() const { return probes_sent_; }
     /// Full-reliability completion: every stream byte acknowledged.
@@ -91,7 +133,9 @@ public:
 private:
     void send_syn();
     void on_handshake(const packet::handshake_segment& seg);
+    void on_reneg(const packet::handshake_segment& seg);
     void on_sack_feedback(const packet::sack_feedback_segment& fb);
+    void apply_profile(const profile& p, std::uint64_t boundary_seq);
     void send_next();
     void schedule_next_send();
     void arm_nofeedback_timer();
@@ -103,7 +147,16 @@ private:
     connection_config cfg_;
     environment* env_ = nullptr;
     handshake_initiator handshake_;
+    reneg_driver reneg_;
+    reneg_responder reneg_resp_;
     profile active_{};
+    bool stream_open_ = false;
+    bool eos_marker_sent_ = false;
+    /// First stream byte covered by the scoreboard: 0 when reliability
+    /// was on from the handshake, the switch offset after a runtime
+    /// renegotiation none -> full/partial (earlier bytes were sent
+    /// untracked and can never be acknowledged).
+    std::uint64_t reliable_from_offset_ = 0;
 
     tfrc::rate_controller rate_;
     tfrc::sender_estimator estimator_;
@@ -123,10 +176,16 @@ private:
     bool closed_ = false;
     int fin_attempts_ = 0;
 
+    std::function<void(const profile&)> on_established_;
+    std::function<void()> on_closed_;
+    std::function<void(const profile&)> on_profile_changed_;
+
     std::uint64_t packets_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
     std::uint64_t rtx_bytes_sent_ = 0;
     std::uint64_t probes_sent_ = 0;
+    std::uint32_t renegotiations_ = 0;
+    std::uint64_t last_reneg_boundary_ = 0;
 };
 
 class connection_receiver : public qtp::agent {
@@ -141,6 +200,20 @@ public:
     std::string name() const override { return "qtp-recv"; }
 
     void set_delivery(deliver_fn cb) { deliver_ = std::move(cb); }
+
+    /// Propose switching the connection to profile `p` (e.g. a mobile
+    /// receiver dropping to sender-side estimation on battery pressure).
+    void request_renegotiate(const profile& p);
+    bool renegotiation_pending() const { return reneg_.pending(); }
+    std::uint32_t renegotiations() const { return renegotiations_; }
+
+    void set_on_established(std::function<void(const profile&)> cb) {
+        on_established_ = std::move(cb);
+    }
+    void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+    void set_on_profile_changed(std::function<void(const profile&)> cb) {
+        on_profile_changed_ = std::move(cb);
+    }
 
     bool established() const { return responder_.established(); }
     const profile& active_profile() const { return active_; }
@@ -158,7 +231,9 @@ public:
 
 private:
     void on_handshake(const packet::handshake_segment& seg);
+    void on_reneg(const packet::handshake_segment& seg);
     void on_data(const packet::data_segment& seg);
+    void apply_profile(const profile& p);
     void record_seq(std::uint64_t seq);
     void send_feedback();
     void arm_feedback_timer();
@@ -166,6 +241,8 @@ private:
     connection_config cfg_;
     environment* env_ = nullptr;
     handshake_responder responder_;
+    reneg_driver reneg_;
+    reneg_responder reneg_resp_;
     profile active_{};
 
     std::unique_ptr<sack::reassembly> reassembly_;
@@ -183,10 +260,15 @@ private:
     bool seen_data_ = false;
     bool remote_closed_ = false;
 
+    std::function<void(const profile&)> on_established_;
+    std::function<void()> on_closed_;
+    std::function<void(const profile&)> on_profile_changed_;
+
     std::uint64_t received_packets_ = 0;
     std::uint64_t received_bytes_ = 0;
     std::uint64_t feedback_sent_ = 0;
     std::uint64_t feedback_bytes_ = 0;
+    std::uint32_t renegotiations_ = 0;
 };
 
 } // namespace vtp::qtp

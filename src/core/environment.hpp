@@ -58,6 +58,15 @@ public:
     /// qtp::listener to spawn a connection endpoint per accepted SYN).
     /// The substrate takes ownership and start()s the agent.
     virtual void attach_dynamic(std::uint32_t flow_id, std::unique_ptr<agent> a) = 0;
+
+    /// Install the agent that receives packets of flows nobody terminates
+    /// yet (the listener hook a vtp::server relies on). Substrates that
+    /// cannot host a passive endpoint may leave this a no-op.
+    virtual void set_default_agent(agent*) {}
+
+    /// Destroy a dynamically attached agent (connection teardown). Must
+    /// not be called from within that agent's own callbacks.
+    virtual void detach_dynamic(std::uint32_t) {}
 };
 
 /// A transport endpoint hosted by a substrate. One agent terminates one

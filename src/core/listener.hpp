@@ -20,6 +20,10 @@ struct listener_config {
     capabilities caps{};
     /// Template for spawned endpoints (flow id / peer filled per SYN).
     connection_config endpoint{};
+    /// Per-accept capability policy: decide what to grant this client
+    /// (flow id, peer address), e.g. rate-tier by address or load-shed
+    /// receiver-side estimation under pressure. Overrides `caps` when set.
+    std::function<capabilities(std::uint32_t, std::uint32_t)> capability_policy;
 };
 
 class listener : public agent {
@@ -28,22 +32,27 @@ public:
     /// the substrate and lives until detached.
     using accept_callback = std::function<void(std::uint32_t, connection_receiver&)>;
 
-    explicit listener(listener_config cfg) : cfg_(cfg) {}
+    explicit listener(listener_config cfg) : cfg_(std::move(cfg)) {}
 
     void set_on_accept(accept_callback cb) { on_accept_ = std::move(cb); }
 
-    void start(environment& env) override { env_ = &env; }
-
     void on_packet(const packet::packet& pkt) override {
+        // Only a SYN may spawn an endpoint. Anything else for an unknown
+        // flow — data, feedback, and notably a reneg/reneg_ack whose
+        // endpoint is already gone — is a stray, not a connection attempt.
         const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get());
         if (hs == nullptr || hs->type != packet::handshake_segment::kind::syn) {
             ++stray_packets_;
+            if (hs != nullptr && (hs->type == packet::handshake_segment::kind::reneg ||
+                                  hs->type == packet::handshake_segment::kind::reneg_ack))
+                ++stray_renegs_;
             return;
         }
         connection_config cfg = cfg_.endpoint;
         cfg.flow_id = pkt.flow_id;
         cfg.peer_addr = pkt.src;
-        cfg.caps = cfg_.caps;
+        cfg.caps = cfg_.capability_policy ? cfg_.capability_policy(pkt.flow_id, pkt.src)
+                                          : cfg_.caps;
         auto endpoint = std::make_unique<connection_receiver>(cfg);
         connection_receiver* raw = endpoint.get();
         env_->attach_dynamic(pkt.flow_id, std::move(endpoint));
@@ -52,10 +61,13 @@ public:
         if (on_accept_) on_accept_(pkt.flow_id, *raw);
     }
 
+    void start(environment& env) override { env_ = &env; }
+
     std::string name() const override { return "qtp-listener"; }
 
     std::uint64_t accepted() const { return accepted_; }
     std::uint64_t stray_packets() const { return stray_packets_; }
+    std::uint64_t stray_renegs() const { return stray_renegs_; }
 
 private:
     listener_config cfg_;
@@ -63,6 +75,7 @@ private:
     accept_callback on_accept_;
     std::uint64_t accepted_ = 0;
     std::uint64_t stray_packets_ = 0;
+    std::uint64_t stray_renegs_ = 0;
 };
 
 } // namespace vtp::qtp

@@ -1,5 +1,7 @@
 #include "core/negotiation.hpp"
 
+#include "util/logging.hpp"
+
 namespace vtp::qtp {
 
 packet::handshake_segment handshake_initiator::make_syn() const {
@@ -34,6 +36,100 @@ std::optional<handshake_responder::response> handshake_responder::on_segment(
     r.syn_ack.target_rate_bps = accepted_.target_rate_bps;
     r.accepted = accepted_;
     return r;
+}
+
+packet::handshake_segment reneg_initiator::propose(const profile& p) {
+    proposal_ = p;
+    state_ = state::pending;
+    current_ = packet::handshake_segment{};
+    current_.type = packet::handshake_segment::kind::reneg;
+    current_.profile_bits = p.encode();
+    current_.target_rate_bps = p.target_rate_bps;
+    current_.token = ++next_token_;
+    return current_;
+}
+
+std::optional<profile> reneg_initiator::on_segment(
+    const packet::handshake_segment& seg) {
+    if (seg.type != packet::handshake_segment::kind::reneg_ack) return std::nullopt;
+    if (state_ == state::idle || seg.token != current_.token) return std::nullopt;
+    state_ = state::idle;
+    return profile::decode(seg.profile_bits, seg.target_rate_bps);
+}
+
+std::optional<reneg_responder::response> reneg_responder::on_segment(
+    const packet::handshake_segment& seg, std::uint64_t boundary_seq) {
+    if (seg.type != packet::handshake_segment::kind::reneg) return std::nullopt;
+
+    // Tokens are monotonic per initiator. A retransmission of the
+    // current proposal gets the stored answer (the original ack and its
+    // boundary may have been lost, but the switch must not move); a
+    // delayed duplicate of an *older*, superseded proposal must be
+    // dropped — re-applying it would diverge the endpoints.
+    if (any_ && seg.token < last_token_) return std::nullopt;
+    if (!any_ || seg.token != last_token_) {
+        const profile proposed = profile::decode(seg.profile_bits, seg.target_rate_bps);
+        last_accepted_ = negotiate(proposed, caps_);
+        last_token_ = seg.token;
+        any_ = true;
+        last_ack_ = packet::handshake_segment{};
+        last_ack_.type = packet::handshake_segment::kind::reneg_ack;
+        last_ack_.profile_bits = last_accepted_.encode();
+        last_ack_.target_rate_bps = last_accepted_.target_rate_bps;
+        last_ack_.token = seg.token;
+        last_ack_.boundary_seq = boundary_seq;
+        return response{last_ack_, last_accepted_, true};
+    }
+    return response{last_ack_, last_accepted_, false};
+}
+
+void reneg_driver::start(environment& env, std::uint32_t flow_id,
+                         std::uint32_t peer_addr, util::sim_time rtx, const char* tag,
+                         const profile& p) {
+    cancel_timer(env);
+    flow_id_ = flow_id;
+    peer_addr_ = peer_addr;
+    rtx_ = rtx;
+    tag_ = tag;
+    attempts_ = 0;
+    (void)init_.propose(p);
+    send_step(env);
+}
+
+std::optional<profile> reneg_driver::on_ack(environment& env,
+                                            const packet::handshake_segment& seg) {
+    const auto accepted = init_.on_segment(seg);
+    if (accepted) cancel_timer(env);
+    return accepted;
+}
+
+void reneg_driver::yield(environment& env) {
+    if (!init_.pending()) return;
+    cancel_timer(env);
+    init_.abandon();
+}
+
+void reneg_driver::cancel(environment& env) { cancel_timer(env); }
+
+void reneg_driver::cancel_timer(environment& env) {
+    if (timer_ != no_timer) {
+        env.cancel(timer_);
+        timer_ = no_timer;
+    }
+}
+
+void reneg_driver::send_step(environment& env) {
+    timer_ = no_timer;
+    if (!init_.pending()) return;
+    if (attempts_ >= 10) {
+        util::log(util::log_level::warn, tag_, "renegotiation retries exhausted");
+        init_.abandon(); // a late ack will still be honoured
+        return;
+    }
+    ++attempts_;
+    env.send(packet::make_packet(flow_id_, env.local_addr(), peer_addr_,
+                                 init_.current()));
+    timer_ = env.schedule(rtx_, [this, &env] { send_step(env); });
 }
 
 } // namespace vtp::qtp

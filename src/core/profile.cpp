@@ -5,29 +5,32 @@
 
 namespace vtp::qtp {
 
-namespace {
-constexpr std::uint32_t reliability_mask = 0x3;      // bits 0-1
-constexpr std::uint32_t estimation_bit = 1u << 2;    // 0 = receiver, 1 = sender
-constexpr std::uint32_t qos_bit = 1u << 3;
-} // namespace
-
 std::uint32_t profile::encode() const {
-    std::uint32_t bits = static_cast<std::uint32_t>(reliability) & reliability_mask;
-    if (estimation == tfrc::estimation_mode::sender_side) bits |= estimation_bit;
-    if (qos_aware) bits |= qos_bit;
+    std::uint32_t bits =
+        static_cast<std::uint32_t>(reliability) & packet::profile_reliability_mask;
+    if (estimation == tfrc::estimation_mode::sender_side)
+        bits |= packet::profile_estimation_bit;
+    if (qos_aware) bits |= packet::profile_qos_bit;
     return bits;
 }
 
 profile profile::decode(std::uint32_t bits, double target_rate_bps) {
     profile p;
-    const std::uint32_t rel = bits & reliability_mask;
+    const std::uint32_t rel = bits & packet::profile_reliability_mask;
     p.reliability = rel > 2 ? sack::reliability_mode::none
                             : static_cast<sack::reliability_mode>(rel);
-    p.estimation = (bits & estimation_bit) ? tfrc::estimation_mode::sender_side
-                                           : tfrc::estimation_mode::receiver_side;
-    p.qos_aware = (bits & qos_bit) != 0;
+    p.estimation = (bits & packet::profile_estimation_bit)
+                       ? tfrc::estimation_mode::sender_side
+                       : tfrc::estimation_mode::receiver_side;
+    p.qos_aware = (bits & packet::profile_qos_bit) != 0;
     p.target_rate_bps = p.qos_aware ? std::max(0.0, target_rate_bps) : 0.0;
     return p;
+}
+
+std::optional<profile> profile::decode_checked(std::uint32_t bits,
+                                               double target_rate_bps) {
+    if (!packet::valid_profile_bits(bits)) return std::nullopt;
+    return decode(bits, target_rate_bps);
 }
 
 std::string profile::describe() const {

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "packet/segment.hpp"
 #include "sack/retransmit.hpp"
 #include "tfrc/sender.hpp"
 
@@ -28,9 +30,19 @@ struct profile {
     bool operator==(const profile&) const = default;
 
     /// Pack the enumerable features into handshake bits (the target rate
-    /// travels in its own handshake field).
+    /// travels in its own handshake field). The bit layout is defined in
+    /// packet/segment.hpp, next to the wire format that carries it.
     std::uint32_t encode() const;
+
+    /// Lenient decode: malformed bits degrade to safe defaults. Use for
+    /// already-validated input (the wire decoder rejects malformed bits
+    /// before they get here).
     static profile decode(std::uint32_t bits, double target_rate_bps);
+
+    /// Strict decode: nullopt unless `bits` is a point of the feature
+    /// lattice (see packet::valid_profile_bits).
+    static std::optional<profile> decode_checked(std::uint32_t bits,
+                                                 double target_rate_bps);
 
     std::string describe() const;
 };

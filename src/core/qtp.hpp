@@ -1,16 +1,20 @@
-// Public entry point of the versatile transport protocol library.
+// Legacy factories for composed QTP connection pairs.
 //
-// Quick use (simulation substrate):
+// DEPRECATED ENTRY POINT — new code should use the socket-style facade in
+// api/session.hpp / api/server.hpp instead:
 //
-//   sim::dumbbell net(cfg);
-//   auto pair = qtp::make_qtp_af(flow_id, /*sender*/net.left_addr(0),
-//                                /*receiver*/net.right_addr(0),
-//                                /*target*/4e6);
-//   auto* tx = net.left_host(0).attach(flow_id, std::move(pair.sender));
-//   auto* rx = net.right_host(0).attach(flow_id, std::move(pair.receiver));
-//   net.sched().run_until(util::seconds(60));
+//   vtp::server srv(net.right_host(0), {});
+//   vtp::session tx = vtp::session::connect(net.left_host(0),
+//                                           net.right_addr(0),
+//                                           vtp::session_options::af(4e6));
+//   tx.send(bytes); tx.close();
 //
-// The same agents run unchanged on the live UDP datapath (net::udp_host).
+// The session API adds what these factories cannot express: an
+// application-driven stream (send()/close()), per-accept capability
+// policies, and mid-connection profile renegotiation. The make_qtp_*
+// factories below remain as thin shims over the same connection_config
+// lowering for code that wires both endpoints by hand; they run
+// unchanged on the simulator and the live UDP datapath.
 #pragma once
 
 #include <memory>
@@ -30,6 +34,7 @@ struct connection_pair {
 /// rate, composed with full SACK reliability — the paper's QoS-network
 /// instance. `target_rate_bps` is the rate contracted with the DiffServ
 /// edge (the gTFRC g).
+/// @deprecated Prefer vtp::session::connect with session_options::af().
 connection_pair make_qtp_af(std::uint32_t flow_id, std::uint32_t sender_addr,
                             std::uint32_t receiver_addr, double target_rate_bps,
                             connection_config base = {});
@@ -37,6 +42,7 @@ connection_pair make_qtp_af(std::uint32_t flow_id, std::uint32_t sender_addr,
 /// QTPlight: sender-side loss estimation (the receiver only echoes SACK
 /// vectors), optional partial reliability — the paper's resource-limited
 /// receiver instance.
+/// @deprecated Prefer vtp::session::connect with session_options::light().
 connection_pair make_qtp_light(std::uint32_t flow_id, std::uint32_t sender_addr,
                                std::uint32_t receiver_addr,
                                sack::reliability_mode reliability =
@@ -44,6 +50,7 @@ connection_pair make_qtp_light(std::uint32_t flow_id, std::uint32_t sender_addr,
                                connection_config base = {});
 
 /// Best-effort default: classic TFRC, no reliability.
+/// @deprecated Prefer vtp::session::connect with default session_options.
 connection_pair make_qtp_default(std::uint32_t flow_id, std::uint32_t sender_addr,
                                  std::uint32_t receiver_addr, connection_config base = {});
 

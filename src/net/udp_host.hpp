@@ -47,9 +47,10 @@ public:
     void attach_dynamic(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a) override {
         attach_erased(flow_id, std::move(a));
     }
+    void detach_dynamic(std::uint32_t flow_id) override { agents_.erase(flow_id); }
 
     /// Packets for flows with no attached agent go here (listener hook).
-    void set_default_agent(qtp::agent* a) { default_agent_ = a; }
+    void set_default_agent(qtp::agent* a) override { default_agent_ = a; }
 
     std::uint64_t sent_datagrams() const { return sent_; }
     std::uint64_t received_datagrams() const { return received_; }

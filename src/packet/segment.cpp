@@ -23,7 +23,7 @@ constexpr std::uint32_t data_header_bytes = 50;
 constexpr std::uint32_t tfrc_feedback_bytes = 41;
 constexpr std::uint32_t sack_feedback_fixed_bytes = 44;
 constexpr std::uint32_t sack_block_bytes = 16;
-constexpr std::uint32_t handshake_bytes = 14;
+constexpr std::uint32_t handshake_bytes = 26;
 constexpr std::uint32_t tcp_fixed_bytes = 39;
 
 struct size_visitor {
@@ -72,9 +72,15 @@ struct describe_visitor {
         return out.str();
     }
     std::string operator()(const handshake_segment& s) const {
-        static const char* names[] = {"SYN", "SYN-ACK", "FIN", "FIN-ACK"};
+        static const char* names[] = {"SYN", "SYN-ACK", "FIN", "FIN-ACK", "RENEG", "RENEG-ACK"};
         std::ostringstream out;
         out << names[static_cast<int>(s.type)] << " profile=0x" << std::hex << s.profile_bits;
+        if (s.type == handshake_segment::kind::reneg ||
+            s.type == handshake_segment::kind::reneg_ack) {
+            out << std::dec << " token=" << s.token;
+            if (s.type == handshake_segment::kind::reneg_ack)
+                out << " boundary=" << s.boundary_seq;
+        }
         return out.str();
     }
     std::string operator()(const tcp_segment& s) const {

@@ -87,13 +87,40 @@ struct sack_feedback_segment {
     bool operator==(const sack_feedback_segment&) const = default;
 };
 
+/// Profile feature bits carried in handshake segments. The semantics live
+/// in core/profile.hpp; the layout is defined here so the wire decoder can
+/// reject malformed encodings without depending on core/.
+inline constexpr std::uint32_t profile_reliability_mask = 0x3; ///< bits 0-1 (value 3 invalid)
+inline constexpr std::uint32_t profile_estimation_bit = 1u << 2; ///< 0 = receiver, 1 = sender
+inline constexpr std::uint32_t profile_qos_bit = 1u << 3;
+inline constexpr std::uint32_t profile_bits_mask = 0xF;
+
+constexpr bool valid_profile_bits(std::uint32_t bits) {
+    return (bits & ~profile_bits_mask) == 0 &&
+           (bits & profile_reliability_mask) != profile_reliability_mask;
+}
+
 /// Connection management segments; carry the proposed/accepted profile in
 /// encoded form (see core/profile.hpp for the bit layout).
+///
+/// `reneg`/`reneg_ack` renegotiate the profile mid-connection: either side
+/// proposes a new profile (`reneg`, identified by `token`); the peer
+/// answers with the accepted — possibly downgraded — profile and the data
+/// sequence number from which it applies (`reneg_ack`).
 struct handshake_segment {
-    enum class kind : std::uint8_t { syn = 0, syn_ack = 1, fin = 2, fin_ack = 3 };
+    enum class kind : std::uint8_t {
+        syn = 0,
+        syn_ack = 1,
+        fin = 2,
+        fin_ack = 3,
+        reneg = 4,
+        reneg_ack = 5,
+    };
     kind type = kind::syn;
     std::uint32_t profile_bits = 0;
     double target_rate_bps = 0.0; ///< QoS reservation advertised to peer
+    std::uint32_t token = 0;      ///< reneg exchange id (matches ack to proposal)
+    std::uint64_t boundary_seq = 0; ///< reneg_ack: first seq under the new profile
 
     bool operator==(const handshake_segment&) const = default;
 };

@@ -66,6 +66,8 @@ struct encode_visitor {
         out.put_u8(static_cast<std::uint8_t>(s.type));
         out.put_u32(s.profile_bits);
         out.put_f64(s.target_rate_bps);
+        out.put_u32(s.token);
+        out.put_u64(s.boundary_seq);
     }
 
     void operator()(const tcp_segment& s) const {
@@ -139,11 +141,15 @@ sack_feedback_segment decode_sack_feedback(byte_reader& in) {
 handshake_segment decode_handshake(byte_reader& in) {
     handshake_segment s;
     const std::uint8_t type = in.get_u8();
-    if (type > static_cast<std::uint8_t>(handshake_segment::kind::fin_ack))
+    if (type > static_cast<std::uint8_t>(handshake_segment::kind::reneg_ack))
         throw decode_error("unknown handshake type");
     s.type = static_cast<handshake_segment::kind>(type);
     s.profile_bits = in.get_u32();
+    if (!valid_profile_bits(s.profile_bits))
+        throw decode_error("malformed profile bits");
     s.target_rate_bps = in.get_f64();
+    s.token = in.get_u32();
+    s.boundary_seq = in.get_u64();
     return s;
 }
 

@@ -34,7 +34,7 @@ public:
     void detach(std::uint32_t flow_id);
 
     /// Packets for flows with no attached agent go here (listener hook).
-    void set_default_agent(qtp::agent* a) { default_agent_ = a; }
+    void set_default_agent(qtp::agent* a) override { default_agent_ = a; }
 
     /// Observe every packet delivered to this host (monitoring taps;
     /// called before agent dispatch).
@@ -50,6 +50,7 @@ public:
     void attach_dynamic(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a) override {
         attach_erased(flow_id, std::move(a));
     }
+    void detach_dynamic(std::uint32_t flow_id) override { detach(flow_id); }
 
     std::uint64_t sent_packets() const { return sent_packets_; }
     std::uint64_t received_packets() const { return received_packets_; }

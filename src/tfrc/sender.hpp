@@ -57,6 +57,11 @@ public:
     /// Allowed sending rate in bytes/s, including the gTFRC floor.
     double allowed_rate() const;
 
+    /// Adjust the gTFRC floor in place (profile renegotiation: an AF
+    /// re-contract or a QoS downgrade must not reset congestion state).
+    void set_guaranteed_rate(double bps) { cfg_.guaranteed_rate_bps = bps; }
+    double guaranteed_rate() const { return cfg_.guaranteed_rate_bps; }
+
     /// Equation-tracking rate without the gTFRC floor (ablation A1).
     double x_tfrc() const { return x_; }
 

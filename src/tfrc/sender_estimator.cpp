@@ -32,6 +32,23 @@ bool sender_estimator::on_feedback(const packet::sack_feedback_segment& fb, sim_
         base_ = fb.blocks.empty() ? fb.cum_ack : fb.blocks.front().begin;
     }
 
+    // Never track below the oldest send record still held. When
+    // estimation sits idle across a stretch of the connection (runtime
+    // profile renegotiation parks it on the receiver and later brings it
+    // back), feedback can describe a backlog whose send times are gone —
+    // replaying it would produce bogus arrival timestamps and an
+    // O(backlog) scan. Skipped sequences simply never reach the history.
+    if (base_ < send_base_) {
+        const std::uint64_t jump = send_base_ - base_;
+        if (jump >= received_.size()) {
+            received_.clear();
+        } else {
+            received_.erase(received_.begin(),
+                            received_.begin() + static_cast<std::ptrdiff_t>(jump));
+        }
+        base_ = send_base_;
+    }
+
     for (const auto& block : fb.blocks) {
         for (std::uint64_t seq = std::max(block.begin, base_); seq < block.end; ++seq) {
             const std::uint64_t idx = seq - base_;

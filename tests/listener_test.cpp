@@ -1,0 +1,155 @@
+// Listener paths: accept, duplicate SYN, and strays — only a SYN may
+// spawn an endpoint; anything else for an unknown flow (data, feedback,
+// and notably reneg/reneg_ack segments of dead connections) is counted
+// and dropped.
+#include <gtest/gtest.h>
+
+#include "core/listener.hpp"
+#include "mock_env.hpp"
+#include "sim_fixtures.hpp"
+
+namespace {
+
+using namespace vtp;
+using namespace vtp::testing;
+using util::seconds;
+
+packet::packet packet_for(std::uint32_t flow, packet::segment body) {
+    return packet::make_packet(flow, /*src*/ 9, /*dst*/ 0, std::move(body));
+}
+
+packet::handshake_segment handshake_of(packet::handshake_segment::kind k) {
+    packet::handshake_segment hs;
+    hs.type = k;
+    hs.profile_bits = qtp::qtp_default_profile().encode();
+    return hs;
+}
+
+TEST(listener_unit_test, syn_spawns_endpoint_and_answers) {
+    mock_env env;
+    qtp::listener listen(qtp::listener_config{});
+    listen.start(env);
+
+    listen.on_packet(packet_for(42, handshake_of(packet::handshake_segment::kind::syn)));
+
+    EXPECT_EQ(listen.accepted(), 1u);
+    EXPECT_EQ(listen.stray_packets(), 0u);
+    ASSERT_EQ(env.attached.count(42), 1u);
+    // The spawned endpoint received the SYN and answered with a SYN-ACK.
+    ASSERT_EQ(env.sent.size(), 1u);
+    const auto* hs = std::get_if<packet::handshake_segment>(env.sent[0].body.get());
+    ASSERT_NE(hs, nullptr);
+    EXPECT_EQ(hs->type, packet::handshake_segment::kind::syn_ack);
+}
+
+TEST(listener_unit_test, non_syn_segments_are_stray_not_accepted) {
+    mock_env env;
+    qtp::listener listen(qtp::listener_config{});
+    listen.start(env);
+
+    packet::data_segment data;
+    data.payload_len = 100;
+    listen.on_packet(packet_for(1, data));
+    listen.on_packet(packet_for(2, packet::sack_feedback_segment{}));
+    listen.on_packet(packet_for(3, handshake_of(packet::handshake_segment::kind::fin)));
+    listen.on_packet(packet_for(4, handshake_of(packet::handshake_segment::kind::syn_ack)));
+
+    EXPECT_EQ(listen.accepted(), 0u);
+    EXPECT_EQ(listen.stray_packets(), 4u);
+    EXPECT_EQ(listen.stray_renegs(), 0u);
+    EXPECT_TRUE(env.attached.empty());
+    EXPECT_TRUE(env.sent.empty());
+}
+
+TEST(listener_unit_test, reneg_for_unknown_flow_is_stray_not_a_connection) {
+    // A renegotiation proposal whose endpoint is gone (or never existed)
+    // must not spawn a fresh endpoint — and must not be answered.
+    mock_env env;
+    qtp::listener listen(qtp::listener_config{});
+    listen.start(env);
+
+    auto reneg = handshake_of(packet::handshake_segment::kind::reneg);
+    reneg.token = 5;
+    listen.on_packet(packet_for(77, reneg));
+    auto reneg_ack = handshake_of(packet::handshake_segment::kind::reneg_ack);
+    reneg_ack.token = 5;
+    listen.on_packet(packet_for(77, reneg_ack));
+
+    EXPECT_EQ(listen.accepted(), 0u);
+    EXPECT_EQ(listen.stray_packets(), 2u);
+    EXPECT_EQ(listen.stray_renegs(), 2u);
+    EXPECT_TRUE(env.attached.empty());
+    EXPECT_TRUE(env.sent.empty());
+}
+
+TEST(listener_unit_test, capability_policy_overrides_static_caps) {
+    mock_env env;
+    qtp::listener_config cfg;
+    cfg.caps.support_receiver_estimation = true;
+    cfg.capability_policy = [](std::uint32_t, std::uint32_t) {
+        qtp::capabilities caps;
+        caps.support_receiver_estimation = false; // force QTPlight
+        return caps;
+    };
+    qtp::listener listen(cfg);
+    listen.start(env);
+
+    auto syn = handshake_of(packet::handshake_segment::kind::syn);
+    syn.profile_bits = qtp::qtp_default_profile().encode(); // asks receiver-side
+    listen.on_packet(packet_for(5, syn));
+
+    ASSERT_EQ(env.sent.size(), 1u);
+    const auto* ack = std::get_if<packet::handshake_segment>(env.sent[0].body.get());
+    ASSERT_NE(ack, nullptr);
+    const auto accepted = qtp::profile::decode(ack->profile_bits, ack->target_rate_bps);
+    EXPECT_EQ(accepted.estimation, tfrc::estimation_mode::sender_side);
+}
+
+TEST(listener_sim_test, duplicate_syn_is_answered_but_accepted_once) {
+    sim::dumbbell_config cfg;
+    cfg.pairs = 1;
+    sim::dumbbell net(cfg);
+
+    qtp::listener listen(qtp::listener_config{});
+    listen.start(net.right_host(0));
+    net.right_host(0).set_default_agent(&listen);
+
+    // An agent that fires the same SYN twice, 10 ms apart (as a client
+    // whose SYN-ACK was delayed would).
+    class twice : public qtp::agent {
+    public:
+        explicit twice(std::uint32_t dst) : dst_(dst) {}
+        void start(qtp::environment& env) override {
+            packet::handshake_segment syn;
+            syn.type = packet::handshake_segment::kind::syn;
+            syn.profile_bits = qtp::qtp_default_profile().encode();
+            env.send(packet::make_packet(11, env.local_addr(), dst_, syn));
+            env.schedule(util::milliseconds(10), [this, &env] {
+                packet::handshake_segment syn2;
+                syn2.type = packet::handshake_segment::kind::syn;
+                syn2.profile_bits = qtp::qtp_default_profile().encode();
+                env.send(packet::make_packet(11, env.local_addr(), dst_, syn2));
+            });
+        }
+        void on_packet(const packet::packet& pkt) override {
+            const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get());
+            if (hs != nullptr && hs->type == packet::handshake_segment::kind::syn_ack)
+                ++syn_acks;
+        }
+        std::string name() const override { return "twice"; }
+        int syn_acks = 0;
+
+    private:
+        std::uint32_t dst_;
+    };
+
+    auto* client = net.left_host(0).attach(11, std::make_unique<twice>(net.right_addr(0)));
+    net.sched().run_until(seconds(1));
+
+    // One endpoint, two answers: the duplicate went to the spawned
+    // endpoint, whose responder replied idempotently.
+    EXPECT_EQ(listen.accepted(), 1u);
+    EXPECT_EQ(client->syn_acks, 2);
+}
+
+} // namespace

@@ -31,7 +31,12 @@ public:
         attached[flow_id]->start(*this);
     }
 
+    void set_default_agent(qtp::agent* a) override { default_agent = a; }
+
+    void detach_dynamic(std::uint32_t flow_id) override { attached.erase(flow_id); }
+
     std::map<std::uint32_t, std::unique_ptr<qtp::agent>> attached;
+    qtp::agent* default_agent = nullptr;
 
     /// Advance the clock, firing due timers in deadline order.
     void advance(util::sim_time dt) {

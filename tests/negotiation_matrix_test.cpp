@@ -1,0 +1,225 @@
+// negotiate() downgrade matrix: every (proposal, capabilities)
+// combination must land on a profile the responder actually supports,
+// with target_rate_bps clamped by max_target_rate_bps. Also covers the
+// reneg_initiator / reneg_responder state machines that reuse
+// negotiate() mid-connection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/negotiation.hpp"
+#include "core/profile.hpp"
+
+namespace {
+
+using namespace vtp::qtp;
+using vtp::sack::reliability_mode;
+using vtp::tfrc::estimation_mode;
+
+std::vector<profile> full_lattice() {
+    std::vector<profile> out;
+    for (auto rel : {reliability_mode::none, reliability_mode::full,
+                     reliability_mode::partial})
+        for (auto est : {estimation_mode::receiver_side, estimation_mode::sender_side})
+            for (bool qos : {false, true}) {
+                profile p;
+                p.reliability = rel;
+                p.estimation = est;
+                p.qos_aware = qos;
+                p.target_rate_bps = qos ? 25e6 : 0.0;
+                out.push_back(p);
+            }
+    return out;
+}
+
+/// Does `caps` support running profile `p`?
+bool supports(const profile& p, const capabilities& caps) {
+    if (p.reliability == reliability_mode::full && !caps.allow_full_reliability)
+        return false;
+    if (p.reliability == reliability_mode::partial && !caps.allow_partial_reliability)
+        return false;
+    if (p.estimation == estimation_mode::receiver_side && !caps.support_receiver_estimation)
+        return false;
+    if (p.estimation == estimation_mode::sender_side && !caps.support_sender_estimation)
+        return false;
+    if (p.qos_aware && !caps.qos_aware) return false;
+    return p.target_rate_bps <= caps.max_target_rate_bps;
+}
+
+TEST(negotiate_matrix_test, every_combination_lands_on_a_supported_profile) {
+    int combinations = 0;
+    for (const profile& proposal : full_lattice()) {
+        for (int mask = 0; mask < 32; ++mask) {
+            for (double max_rate : {1e12, 10e6, 0.0}) {
+                capabilities caps;
+                caps.allow_full_reliability = (mask & 1) != 0;
+                caps.allow_partial_reliability = (mask & 2) != 0;
+                caps.support_receiver_estimation = (mask & 4) != 0;
+                caps.support_sender_estimation = (mask & 8) != 0;
+                caps.qos_aware = (mask & 16) != 0;
+                caps.max_target_rate_bps = max_rate;
+
+                // A device with no estimation locus at all cannot run the
+                // protocol; such capability sets are unsatisfiable by
+                // construction and excluded from the support guarantee.
+                if (!caps.support_receiver_estimation && !caps.support_sender_estimation)
+                    continue;
+
+                const profile accepted = negotiate(proposal, caps);
+                EXPECT_TRUE(supports(accepted, caps))
+                    << "proposal={" << proposal.describe() << "} caps mask=" << mask
+                    << " max_rate=" << max_rate << " -> {" << accepted.describe() << "}";
+
+                // The clamp specifically: never above the cap.
+                EXPECT_LE(accepted.target_rate_bps, caps.max_target_rate_bps);
+
+                // Downgrade only: negotiation never grants a feature the
+                // initiator did not ask for (reliability may weaken, QoS
+                // may be dropped, never the reverse).
+                if (!proposal.qos_aware) {
+                    EXPECT_FALSE(accepted.qos_aware);
+                }
+                if (proposal.reliability == reliability_mode::none) {
+                    EXPECT_EQ(accepted.reliability, reliability_mode::none);
+                }
+                ++combinations;
+            }
+        }
+    }
+    // 12 proposals x 24 satisfiable capability masks x 3 rate caps.
+    EXPECT_EQ(combinations, 12 * 24 * 3);
+}
+
+TEST(negotiate_matrix_test, idempotent_on_supported_profiles) {
+    // If the responder supports the proposal outright, negotiation must
+    // not change it (except the rate clamp, tested above).
+    for (const profile& proposal : full_lattice()) {
+        capabilities caps; // all-capable defaults
+        EXPECT_EQ(negotiate(proposal, caps), proposal);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-connection renegotiation state machines
+// ---------------------------------------------------------------------------
+
+TEST(reneg_test, proposal_ack_roundtrip) {
+    reneg_initiator init;
+    reneg_responder resp((capabilities()));
+
+    const profile wanted = qtp_light_profile(reliability_mode::partial);
+    const auto proposal = init.propose(wanted);
+    EXPECT_EQ(proposal.type, vtp::packet::handshake_segment::kind::reneg);
+    EXPECT_TRUE(init.pending());
+
+    const auto answer = resp.on_segment(proposal, /*boundary*/ 321);
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_TRUE(answer->is_new);
+    EXPECT_EQ(answer->accepted, wanted);
+    EXPECT_EQ(answer->ack.boundary_seq, 321u);
+    EXPECT_EQ(answer->ack.token, proposal.token);
+
+    const auto accepted = init.on_segment(answer->ack);
+    ASSERT_TRUE(accepted.has_value());
+    EXPECT_EQ(*accepted, wanted);
+    EXPECT_FALSE(init.pending());
+}
+
+TEST(reneg_test, responder_downgrades_through_capabilities) {
+    reneg_initiator init;
+    capabilities caps;
+    caps.allow_full_reliability = false;
+    caps.max_target_rate_bps = 2e6;
+    reneg_responder resp(caps);
+
+    const auto answer = resp.on_segment(init.propose(qtp_af_profile(8e6)), 0);
+    ASSERT_TRUE(answer.has_value());
+    EXPECT_EQ(answer->accepted.reliability, reliability_mode::partial);
+    EXPECT_DOUBLE_EQ(answer->accepted.target_rate_bps, 2e6);
+}
+
+TEST(reneg_test, duplicate_proposal_gets_same_answer_marked_old) {
+    reneg_initiator init;
+    reneg_responder resp((capabilities()));
+    const auto proposal = init.propose(qtp_light_profile());
+
+    const auto first = resp.on_segment(proposal, 100);
+    const auto second = resp.on_segment(proposal, 999); // retransmission
+    ASSERT_TRUE(first && second);
+    EXPECT_TRUE(first->is_new);
+    EXPECT_FALSE(second->is_new);
+    // The stored answer — including the original boundary — is replayed.
+    EXPECT_EQ(second->ack, first->ack);
+}
+
+TEST(reneg_test, ack_is_consumed_once_and_stale_tokens_ignored) {
+    reneg_initiator init;
+    reneg_responder resp((capabilities()));
+    const auto p1 = init.propose(qtp_light_profile());
+    const auto a1 = resp.on_segment(p1, 0);
+    ASSERT_TRUE(a1);
+
+    EXPECT_TRUE(init.on_segment(a1->ack).has_value());
+    EXPECT_FALSE(init.on_segment(a1->ack).has_value()); // duplicate ack
+
+    // A newer proposal supersedes; the old ack no longer matches.
+    const auto p2 = init.propose(qtp_af_profile(1e6));
+    EXPECT_FALSE(init.on_segment(a1->ack).has_value());
+    EXPECT_TRUE(init.pending());
+    const auto a2 = resp.on_segment(p2, 0);
+    ASSERT_TRUE(a2);
+    EXPECT_TRUE(a2->is_new);
+    EXPECT_TRUE(init.on_segment(a2->ack).has_value());
+}
+
+TEST(reneg_test, delayed_duplicate_of_superseded_proposal_is_dropped) {
+    // Over UDP a retransmission of an older proposal can arrive after a
+    // newer one was already applied; re-applying it would diverge the
+    // endpoints. Tokens are monotonic: older ones must be ignored.
+    reneg_initiator init;
+    reneg_responder resp((capabilities()));
+    const auto p1 = init.propose(qtp_light_profile());
+    ASSERT_TRUE(resp.on_segment(p1, 0).has_value());
+    const auto p2 = init.propose(qtp_af_profile(1e6));
+    ASSERT_TRUE(resp.on_segment(p2, 0).has_value());
+
+    EXPECT_FALSE(resp.on_segment(p1, 0).has_value()); // stale: dropped
+    const auto again = resp.on_segment(p2, 0);        // current: replayed
+    ASSERT_TRUE(again.has_value());
+    EXPECT_FALSE(again->is_new);
+}
+
+TEST(reneg_test, late_ack_after_abandon_still_applies_once) {
+    // By the time a responder acks, it has already applied the accepted
+    // profile. If the initiator gave up (retry budget, or yielding to a
+    // crossed proposal), a late ack must still be honoured or the two
+    // endpoints diverge permanently.
+    reneg_initiator init;
+    reneg_responder resp((capabilities()));
+    const auto proposal = init.propose(qtp_light_profile());
+    const auto answer = resp.on_segment(proposal, 0);
+    ASSERT_TRUE(answer.has_value());
+
+    init.abandon();
+    EXPECT_FALSE(init.pending());
+
+    const auto late = init.on_segment(answer->ack);
+    ASSERT_TRUE(late.has_value()); // applied despite the abandon
+    EXPECT_EQ(*late, qtp_light_profile());
+    EXPECT_FALSE(init.on_segment(answer->ack).has_value()); // but only once
+}
+
+TEST(reneg_test, wrong_segment_kinds_are_ignored) {
+    reneg_initiator init;
+    reneg_responder resp((capabilities()));
+    vtp::packet::handshake_segment syn;
+    syn.type = vtp::packet::handshake_segment::kind::syn;
+    EXPECT_FALSE(init.on_segment(syn).has_value());
+    EXPECT_FALSE(resp.on_segment(syn, 0).has_value());
+    // An unsolicited ack (nothing pending) is ignored too.
+    vtp::packet::handshake_segment ack;
+    ack.type = vtp::packet::handshake_segment::kind::reneg_ack;
+    EXPECT_FALSE(init.on_segment(ack).has_value());
+}
+
+} // namespace

@@ -65,14 +65,29 @@ TEST(wire_test, sack_feedback_roundtrip_empty_blocks) {
 
 TEST(wire_test, handshake_roundtrip_all_kinds) {
     for (auto kind : {handshake_segment::kind::syn, handshake_segment::kind::syn_ack,
-                      handshake_segment::kind::fin, handshake_segment::kind::fin_ack}) {
+                      handshake_segment::kind::fin, handshake_segment::kind::fin_ack,
+                      handshake_segment::kind::reneg, handshake_segment::kind::reneg_ack}) {
         handshake_segment hs;
         hs.type = kind;
-        hs.profile_bits = 0xbeef;
+        hs.profile_bits = 0x9; // full reliability + qos-aware
         hs.target_rate_bps = 4e6;
+        hs.token = 12;
+        hs.boundary_seq = 98765;
         const segment original = hs;
         EXPECT_EQ(original, decode_segment(encode_segment(original)));
     }
+}
+
+TEST(wire_test, decode_rejects_malformed_profile_bits) {
+    handshake_segment hs;
+    hs.profile_bits = 0x1;
+    auto bytes = encode_segment(segment{hs});
+    // Patch the profile-bits field (offset: kind tag + handshake type).
+    bytes[2 + 3] = 0x3; // reliability value 3 is unassigned
+    EXPECT_THROW(decode_segment(bytes), vtp::util::decode_error);
+    bytes[2 + 3] = 0x1;
+    bytes[2] = 0xff; // bits above the defined feature lattice
+    EXPECT_THROW(decode_segment(bytes), vtp::util::decode_error);
 }
 
 TEST(wire_test, tcp_roundtrip) {
@@ -219,9 +234,16 @@ TEST(wire_test, randomized_roundtrip_sweep) {
         }
         case 3: {
             handshake_segment hs;
-            hs.type = static_cast<handshake_segment::kind>(rng.uniform_int(0, 3));
-            hs.profile_bits = static_cast<std::uint32_t>(rng.next_u64());
+            hs.type = static_cast<handshake_segment::kind>(rng.uniform_int(0, 5));
+            // The wire rejects malformed profile bits, so generate only
+            // points of the feature lattice.
+            std::uint32_t bits = static_cast<std::uint32_t>(rng.uniform_int(0, 2));
+            if (rng.bernoulli(0.5)) bits |= profile_estimation_bit;
+            if (rng.bernoulli(0.5)) bits |= profile_qos_bit;
+            hs.profile_bits = bits;
             hs.target_rate_bps = rng.uniform(0, 1e10);
+            hs.token = static_cast<std::uint32_t>(rng.next_u64());
+            hs.boundary_seq = rng.next_u64();
             s = hs;
             break;
         }

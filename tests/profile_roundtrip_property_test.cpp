@@ -1,0 +1,103 @@
+// Property test: profile::encode/decode round-trips over the *full*
+// feature lattice, and every bit pattern outside the lattice is rejected
+// by the checked decode and by the wire decoder. The reneg segment reuses
+// this encoding, so these properties guard renegotiation too.
+#include <gtest/gtest.h>
+
+#include "core/profile.hpp"
+#include "packet/wire.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vtp;
+using qtp::profile;
+
+TEST(profile_property_test, full_lattice_roundtrips) {
+    const sack::reliability_mode rels[] = {sack::reliability_mode::none,
+                                           sack::reliability_mode::full,
+                                           sack::reliability_mode::partial};
+    const tfrc::estimation_mode ests[] = {tfrc::estimation_mode::receiver_side,
+                                          tfrc::estimation_mode::sender_side};
+    const double rates[] = {0.0, 1.0, 4e6, 9.99e9};
+
+    int points = 0;
+    for (auto rel : rels)
+        for (auto est : ests)
+            for (bool qos : {false, true})
+                for (double rate : rates) {
+                    profile p;
+                    p.reliability = rel;
+                    p.estimation = est;
+                    p.qos_aware = qos;
+                    p.target_rate_bps = qos ? rate : 0.0;
+
+                    const std::uint32_t bits = p.encode();
+                    EXPECT_TRUE(packet::valid_profile_bits(bits));
+
+                    const profile lenient = profile::decode(bits, p.target_rate_bps);
+                    EXPECT_EQ(lenient, p);
+
+                    const auto strict = profile::decode_checked(bits, p.target_rate_bps);
+                    ASSERT_TRUE(strict.has_value());
+                    EXPECT_EQ(*strict, p);
+
+                    // And the encoding is canonical: decode then encode
+                    // is the identity on bits.
+                    EXPECT_EQ(lenient.encode(), bits);
+                    ++points;
+                }
+    EXPECT_EQ(points, 3 * 2 * 2 * 4);
+}
+
+TEST(profile_property_test, every_invalid_bit_pattern_is_rejected) {
+    // Exhaustive over the low byte (the lattice lives in 4 bits), then
+    // random over the full 32-bit space.
+    for (std::uint32_t bits = 0; bits < 256; ++bits) {
+        const bool valid = packet::valid_profile_bits(bits);
+        EXPECT_EQ(profile::decode_checked(bits, 0.0).has_value(), valid) << "bits=" << bits;
+    }
+
+    util::rng rng(20260730);
+    for (int i = 0; i < 10000; ++i) {
+        const auto bits = static_cast<std::uint32_t>(rng.next_u64());
+        const bool valid = packet::valid_profile_bits(bits);
+        EXPECT_EQ(profile::decode_checked(bits, 0.0).has_value(), valid) << "bits=" << bits;
+        if (valid) {
+            // Valid bits always denote a representable profile.
+            EXPECT_EQ(profile::decode_checked(bits, 0.0)->encode(), bits);
+        }
+    }
+}
+
+TEST(profile_property_test, lenient_decode_degrades_malformed_reliability) {
+    const profile p = profile::decode(0x3, 0.0); // reliability value 3 unassigned
+    EXPECT_EQ(p.reliability, sack::reliability_mode::none);
+}
+
+TEST(profile_property_test, wire_rejects_malformed_bits_in_every_handshake_kind) {
+    using packet::handshake_segment;
+    for (int kind = 0; kind <= 5; ++kind) {
+        handshake_segment hs;
+        hs.type = static_cast<handshake_segment::kind>(kind);
+        hs.profile_bits = qtp::qtp_af_profile(1e6).encode();
+        hs.target_rate_bps = 1e6;
+        auto bytes = packet::encode_segment(packet::segment{hs});
+
+        // Clean form decodes.
+        EXPECT_NO_THROW((void)packet::decode_segment(bytes));
+
+        // Patch the profile-bits field (kind tag + handshake type, then a
+        // big-endian u32) to each malformed pattern.
+        bytes[5] = 0x3; // reliability = 3
+        EXPECT_THROW((void)packet::decode_segment(bytes), util::decode_error);
+        bytes[5] = 0x10; // bit above the lattice
+        EXPECT_THROW((void)packet::decode_segment(bytes), util::decode_error);
+        bytes[2] = 0x01; // far-out-of-range high bit
+        bytes[5] = 0x00;
+        EXPECT_THROW((void)packet::decode_segment(bytes), util::decode_error);
+    }
+}
+
+} // namespace
