@@ -1,0 +1,177 @@
+// E11 — stream multiplexing: scheduler fairness and overhead.
+//
+// One connection carries several backlogged streams with configured
+// weights; the deficit-round-robin scheduler must hold each stream's
+// share of the TFRC-paced send slots within ±10% of its weight share —
+// on the simulator and over live UDP loopback. A second table measures
+// the mux's per-packet overhead by comparing simulator wall-clock per
+// sent packet at 1 vs 8 concurrent streams.
+//
+// Exit status is non-zero when fairness leaves the ±10% band, so the
+// perf trajectory picks regressions up.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "api/server.hpp"
+#include "api/session.hpp"
+#include "bench_util.hpp"
+#include "net/udp_host.hpp"
+#include "sim/topology.hpp"
+
+using namespace vtp;
+using util::milliseconds;
+using util::seconds;
+
+namespace {
+
+struct share_row {
+    std::uint32_t id;
+    std::uint32_t weight;
+    double target;
+    double achieved;
+    double error; ///< relative, |achieved-target|/target
+};
+
+bool report_shares(bench::table& tbl, const std::vector<stream::stream_info>& infos) {
+    std::uint64_t total_sent = 0;
+    std::uint32_t total_weight = 0;
+    for (const auto& i : infos) {
+        total_sent += i.bytes_sent;
+        total_weight += i.weight;
+    }
+    bool ok = true;
+    for (const auto& i : infos) {
+        share_row row;
+        row.id = i.id;
+        row.weight = i.weight;
+        row.target = static_cast<double>(i.weight) / total_weight;
+        row.achieved = total_sent > 0
+                           ? static_cast<double>(i.bytes_sent) / total_sent
+                           : 0.0;
+        row.error = std::abs(row.achieved - row.target) / row.target;
+        if (row.error > 0.10) ok = false;
+        tbl.add_row({bench::fmt_u64(row.id), bench::fmt_u64(row.weight),
+                     bench::fmt("%.3f", row.target), bench::fmt("%.3f", row.achieved),
+                     bench::fmt("%.1f", row.error * 100.0)});
+    }
+    return ok;
+}
+
+bool sim_fairness() {
+    sim::dumbbell_config cfg;
+    cfg.pairs = 1;
+    cfg.bottleneck_rate_bps = 10e6;
+    cfg.bottleneck_delay = milliseconds(20);
+    cfg.access_delay = milliseconds(1);
+    cfg.bottleneck_queue_packets = 2000;
+    sim::dumbbell net(cfg);
+
+    server srv(net.right_host(0), server_options{});
+    session tx = session::connect(net.left_host(0), net.right_addr(0),
+                                  session_options::reliable());
+    const std::vector<std::uint32_t> weights = {1, 2, 4};
+    // Stream 0 has weight 1; open two more with heavier weights.
+    for (std::size_t k = 1; k < weights.size(); ++k) {
+        stream::stream_options o;
+        o.reliability = sack::reliability_mode::full;
+        o.weight = weights[k];
+        tx.open_stream(o);
+    }
+    for (std::uint32_t id = 0; id < weights.size(); ++id) tx.send(id, 50'000'000);
+    net.sched().run_until(seconds(8));
+
+    std::printf("\n# E11a — weighted share, simulator (8 s, 10 Mb/s, 3 streams)\n");
+    bench::table tbl({"stream", "weight", "target", "achieved", "err%"});
+    const bool ok = report_shares(tbl, tx.stream_infos());
+    tbl.print();
+    std::printf("fairness within +/-10%%: %s\n", ok ? "yes" : "NO");
+    return ok;
+}
+
+double sim_overhead_us_per_packet(std::size_t streams) {
+    sim::dumbbell_config cfg;
+    cfg.pairs = 1;
+    cfg.bottleneck_rate_bps = 50e6;
+    cfg.bottleneck_delay = milliseconds(5);
+    cfg.bottleneck_queue_packets = 2000;
+    sim::dumbbell net(cfg);
+    server srv(net.right_host(0), server_options{});
+    session tx = session::connect(net.left_host(0), net.right_addr(0),
+                                  session_options::reliable());
+    for (std::size_t k = 1; k < streams; ++k) {
+        stream::stream_options o;
+        o.reliability = sack::reliability_mode::full;
+        tx.open_stream(o);
+    }
+    for (std::uint32_t id = 0; id < streams; ++id) tx.send(id, 50'000'000);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    net.sched().run_until(seconds(5));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+    const std::uint64_t pkts = tx.stats().packets_sent;
+    return pkts > 0 ? us / static_cast<double>(pkts) : 0.0;
+}
+
+bool udp_fairness() {
+    net::event_loop loop;
+    std::unique_ptr<net::udp_host> server_host;
+    std::unique_ptr<net::udp_host> client_host;
+    try {
+        server_host = std::make_unique<net::udp_host>(loop, 48301, 1);
+        client_host = std::make_unique<net::udp_host>(loop, 48302, 2);
+    } catch (const std::exception& e) {
+        std::printf("\n# E11c — UDP loopback: skipped (%s)\n", e.what());
+        return true;
+    }
+
+    server srv(*server_host, server_options{});
+    session tx = session::connect(*client_host, 48301, session_options::reliable());
+    stream::stream_options heavy;
+    heavy.reliability = sack::reliability_mode::full;
+    heavy.weight = 3;
+    tx.open_stream(heavy);
+    // Loopback moves tens of MB/s: give both streams backlogs deep
+    // enough that neither drains, and sample the shares mid-transfer.
+    tx.send(0, 1'000'000'000);
+    tx.send(1, 1'000'000'000);
+
+    const auto started = loop.now();
+    const auto total_sent = [&] {
+        std::uint64_t sum = 0;
+        for (const auto& i : tx.stream_infos()) sum += i.bytes_sent;
+        return sum;
+    };
+    while (total_sent() < 30'000'000 && loop.now() - started < seconds(10))
+        loop.run(milliseconds(50));
+
+    std::printf("\n# E11c — weighted share, UDP loopback (30 MB mid-transfer, "
+                "weights 1:3)\n");
+    bench::table tbl({"stream", "weight", "target", "achieved", "err%"});
+    const bool ok = report_shares(tbl, tx.stream_infos());
+    tbl.print();
+    std::printf("fairness within +/-10%%: %s\n", ok ? "yes" : "NO");
+    return ok;
+}
+
+} // namespace
+
+int main() {
+    const bool sim_ok = sim_fairness();
+
+    std::printf("\n# E11b — mux overhead, simulator wall-clock per sent packet\n");
+    bench::table tbl({"streams", "us/packet"});
+    const double one = sim_overhead_us_per_packet(1);
+    const double eight = sim_overhead_us_per_packet(8);
+    tbl.add_row({"1", bench::fmt("%.2f", one)});
+    tbl.add_row({"8", bench::fmt("%.2f", eight)});
+    tbl.print();
+    if (one > 0.0)
+        std::printf("overhead ratio 8/1 streams: %.2fx\n", eight / one);
+
+    const bool udp_ok = udp_fairness();
+    return sim_ok && udp_ok ? 0 : 1;
+}

@@ -43,6 +43,18 @@ struct server_options {
     util::sim_time handshake_rtx = util::milliseconds(500);
 };
 
+/// One-call snapshot of the listener's accept/stray accounting (the
+/// renegotiation-hygiene counters live here because stray renegs are a
+/// listener-level observation: segments for flows with no endpoint).
+struct server_stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t stray_packets = 0;
+    /// reneg/reneg_ack segments for unknown flows, counted and dropped —
+    /// a reneg must never spawn an endpoint.
+    std::uint64_t stray_renegs = 0;
+    std::size_t sessions = 0;
+};
+
 class server {
 public:
     /// Register on `env` as the passive endpoint. The server must
@@ -72,6 +84,10 @@ public:
     std::uint64_t accepted() const { return listener_.accepted(); }
     std::uint64_t stray_packets() const { return listener_.stray_packets(); }
     std::uint64_t stray_renegs() const { return listener_.stray_renegs(); }
+    server_stats stats() const {
+        return {listener_.accepted(), listener_.stray_packets(),
+                listener_.stray_renegs(), sessions_.size()};
+    }
 
     /// Escape hatch to the underlying acceptor.
     const qtp::listener& acceptor() const { return listener_; }

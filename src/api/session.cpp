@@ -36,8 +36,23 @@ session session::connect(qtp::environment& env, std::uint32_t peer_addr,
     return session(raw, cfg.flow_id);
 }
 
-void session::send(std::uint64_t bytes) {
-    if (sender_ != nullptr) sender_->offer(bytes);
+std::uint64_t session::send(std::uint64_t bytes) { return send(0, bytes); }
+
+std::uint64_t session::send(std::uint32_t stream_id, std::uint64_t bytes) {
+    return sender_ != nullptr ? sender_->offer(stream_id, bytes) : 0;
+}
+
+std::uint32_t session::open_stream(const stream::stream_options& opts) {
+    return sender_ != nullptr ? sender_->open_stream(opts) : stream::invalid_stream;
+}
+
+void session::finish(std::uint32_t stream_id) {
+    if (sender_ != nullptr) sender_->finish_stream(stream_id);
+}
+
+std::vector<stream::stream_info> session::stream_infos() const {
+    return sender_ != nullptr ? sender_->stream_infos()
+                              : std::vector<stream::stream_info>{};
 }
 
 void session::close() {
@@ -80,6 +95,9 @@ session_stats session::stats() const {
     s.profile = active_profile();
     if (sender_ != nullptr) {
         s.renegotiations = sender_->renegotiations();
+        s.reneg_proposals_sent = sender_->reneg_proposals_sent();
+        s.reneg_proposals_accepted = sender_->reneg_proposals_accepted();
+        s.streams = sender_->mux().stream_count();
         s.stream_bytes_queued =
             sender_->stream_length() == UINT64_MAX ? 0 : sender_->stream_length();
         s.stream_bytes_sent = sender_->new_bytes_sent();
@@ -95,10 +113,14 @@ session_stats session::stats() const {
     }
     if (receiver_ != nullptr) {
         s.renegotiations = receiver_->renegotiations();
+        s.reneg_proposals_sent = receiver_->reneg_proposals_sent();
+        s.reneg_proposals_accepted = receiver_->reneg_proposals_accepted();
         s.bytes_received = receiver_->received_bytes();
         s.packets_received = receiver_->received_packets();
-        if (receiver_->established())
-            s.bytes_delivered = receiver_->stream().delivered_bytes();
+        if (const auto* demux = receiver_->demux()) {
+            s.streams = demux->stream_count();
+            s.bytes_delivered = demux->delivered_bytes_total();
+        }
         s.feedback_sent = receiver_->feedback_sent();
     }
     return s;
@@ -111,6 +133,16 @@ void session::set_on_established(std::function<void(const qtp::profile&)> cb) {
 
 void session::set_on_delivered(std::function<void(std::uint64_t, std::uint32_t)> cb) {
     if (receiver_ != nullptr) receiver_->set_delivery(std::move(cb));
+}
+
+void session::set_on_stream_delivered(
+    std::function<void(std::uint32_t, std::uint64_t, std::uint32_t)> cb) {
+    if (receiver_ != nullptr) receiver_->set_stream_delivery(std::move(cb));
+}
+
+void session::set_on_stream_open(
+    std::function<void(std::uint32_t, sack::reliability_mode)> cb) {
+    if (receiver_ != nullptr) receiver_->set_on_stream_open(std::move(cb));
 }
 
 void session::set_on_closed(std::function<void()> cb) {

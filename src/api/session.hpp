@@ -11,6 +11,20 @@
 //   s.send(5'000'000);           // queue application bytes
 //   s.close();                   // FIN once everything is delivered
 //
+// One session multiplexes up to 256 application streams, each with its
+// own reliability mode, scheduler weight and optional delivery deadline
+// (stream/stream.hpp). Stream 0 is the session's legacy byte stream —
+// send(bytes) is send(0, bytes) — so single-stream code never changes:
+//
+//   vtp::stream::stream_options media;
+//   media.reliability = sack::reliability_mode::partial;
+//   media.weight = 3;
+//   media.message_size = 1000;
+//   media.message_deadline = util::milliseconds(150);
+//   const std::uint32_t sid = s.open_stream(media);
+//   s.send(sid, frame_bytes);    // deadline-scheduled alongside stream 0
+//   s.finish(sid);               // per-stream half-close
+//
 // The headline capability is *runtime renegotiation*: at any point either
 // endpoint may call renegotiate() with a new profile; the peer answers
 // through its capability policy and both sides atomically swap
@@ -31,10 +45,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "api/session_options.hpp"
 #include "core/connection.hpp"
 #include "core/environment.hpp"
+#include "stream/stream.hpp"
 
 namespace vtp {
 
@@ -44,6 +60,12 @@ struct session_stats {
     bool closed = false;
     qtp::profile profile{};
     std::uint32_t renegotiations = 0;
+    /// Renegotiation proposals this endpoint initiated / got answered.
+    std::uint64_t reneg_proposals_sent = 0;
+    std::uint64_t reneg_proposals_accepted = 0;
+    /// Streams multiplexed on the connection (sender: opened, including
+    /// stream 0; receiver: seen so far).
+    std::size_t streams = 0;
 
     // Sending side (zero on receiver-role sessions).
     std::uint64_t stream_bytes_queued = 0; ///< offered by the application
@@ -81,13 +103,25 @@ public:
     bool can_send() const { return sender_ != nullptr; }
     std::uint32_t flow_id() const { return flow_id_; }
 
-    /// Queue `bytes` application bytes on the outgoing stream. The
-    /// transport paces them out at the TFRC-controlled rate.
-    void send(std::uint64_t bytes);
+    /// Queue `bytes` application bytes on stream 0. The transport paces
+    /// them out at the TFRC-controlled rate. Returns how many bytes were
+    /// accepted (bounded by session_options::max_buffered_bytes).
+    std::uint64_t send(std::uint64_t bytes);
 
-    /// Half-close: no more send() calls will follow; the connection runs
-    /// the FIN handshake once every queued byte has been delivered (under
-    /// the active reliability policy).
+    /// Open an additional stream with its own service profile
+    /// (reliability, weight, message framing / deadline). Returns the
+    /// stream id, or stream::invalid_stream when out of ids (256).
+    std::uint32_t open_stream(const stream::stream_options& opts);
+    /// Queue `bytes` on stream `stream_id`; returns the accepted count.
+    std::uint64_t send(std::uint32_t stream_id, std::uint64_t bytes);
+    /// Half-close one stream; the connection stays open for the rest.
+    void finish(std::uint32_t stream_id);
+    /// Sender-side per-stream accounting (one entry per opened stream).
+    std::vector<stream::stream_info> stream_infos() const;
+
+    /// Half-close: no more send() calls will follow on any stream; the
+    /// connection runs the FIN handshake once every queued byte has been
+    /// delivered (under each stream's reliability policy).
     void close();
 
     /// Propose a new service profile mid-connection. The peer downgrades
@@ -104,8 +138,16 @@ public:
     session_stats stats() const;
 
     void set_on_established(std::function<void(const qtp::profile&)> cb);
-    /// Receiver role: (stream offset, length) handed to the application.
+    /// Receiver role: (stream-0 offset, length) handed to the
+    /// application (legacy single-stream hook).
     void set_on_delivered(std::function<void(std::uint64_t, std::uint32_t)> cb);
+    /// Receiver role: (stream id, stream offset, length) for every
+    /// stream, including stream 0.
+    void set_on_stream_delivered(
+        std::function<void(std::uint32_t, std::uint64_t, std::uint32_t)> cb);
+    /// Receiver role: a new stream appeared (id, its reliability mode).
+    void set_on_stream_open(
+        std::function<void(std::uint32_t, sack::reliability_mode)> cb);
     void set_on_closed(std::function<void()> cb);
     void set_on_profile_changed(std::function<void(const qtp::profile&)> cb);
 

@@ -36,6 +36,13 @@ struct session_options {
     /// Retransmission cap for partial reliability (0 = unlimited).
     std::uint32_t max_transmissions = 0;
 
+    /// Cap on offered-but-unsent bytes across all streams of the
+    /// session; send() returns how much was accepted. 0 = unlimited.
+    std::uint64_t max_buffered_bytes = 0;
+
+    /// Stream scheduler knobs (weights quantum, deadline promotion).
+    stream::stream_scheduler_config scheduler{};
+
     /// Handshake / renegotiation retransmission interval.
     util::sim_time handshake_rtx = util::milliseconds(500);
 
@@ -82,6 +89,8 @@ struct session_options {
         cfg.max_transmissions = max_transmissions;
         cfg.message_size = message_size;
         cfg.message_deadline = message_deadline;
+        cfg.max_buffered_bytes = max_buffered_bytes;
+        cfg.scheduler = scheduler;
         cfg.handshake_rtx = handshake_rtx;
         return cfg;
     }

@@ -12,14 +12,27 @@ namespace vtp::qtp {
 // connection_sender
 // ---------------------------------------------------------------------------
 
+namespace {
+
+stream::stream_options stream0_options(const connection_config& cfg) {
+    stream::stream_options opts;
+    opts.follow_profile = true; // stream 0 tracks the connection profile
+    opts.message_size = cfg.message_size;
+    opts.message_deadline = cfg.message_deadline;
+    opts.max_transmissions = cfg.max_transmissions;
+    return opts;
+}
+
+} // namespace
+
 connection_sender::connection_sender(connection_config cfg)
     : cfg_(cfg),
       handshake_(cfg.proposal),
       reneg_resp_(cfg.caps),
-      stream_open_(cfg.stream_open),
       rate_(cfg.rate),
       estimator_(cfg.estimator),
-      scoreboard_(cfg.scoreboard) {
+      mux_(stream0_options(cfg), cfg.total_bytes, cfg.stream_open, cfg.scoreboard,
+           cfg.scheduler) {
     if (cfg_.rate.equation.packet_size_bytes != cfg_.packet_size) {
         tfrc::rate_controller_config fixed = cfg_.rate;
         fixed.equation.packet_size_bytes = cfg_.packet_size;
@@ -49,6 +62,7 @@ void connection_sender::on_handshake(const packet::handshake_segment& seg) {
     if (!accepted || was_established) return;
 
     active_ = *accepted;
+    mux_.set_profile_mode(active_.reliability);
     if (handshake_timer_ != qtp::no_timer) {
         env_->cancel(handshake_timer_);
         handshake_timer_ = qtp::no_timer;
@@ -65,25 +79,39 @@ void connection_sender::on_handshake(const packet::handshake_segment& seg) {
     send_next();
 }
 
-void connection_sender::offer(std::uint64_t n) {
-    // Rejected once the stream end was announced (finish_stream), not
-    // just once the FIN went out: the receiver may already have seen an
+std::uint64_t connection_sender::offer(std::uint32_t stream_id, std::uint64_t n) {
+    // Rejected once the stream end was announced (finish), not just once
+    // the FIN went out: the receiver may already have seen an
     // end-of-stream marker for the current length.
-    if (!stream_open_ || fin_sent_ || closed_ || cfg_.total_bytes == UINT64_MAX) return;
-    cfg_.total_bytes += n;
-    if (env_ != nullptr && handshake_.established() && send_timer_ == qtp::no_timer)
+    if (fin_sent_ || closed_) return 0;
+    const std::uint64_t accepted = mux_.offer(stream_id, n, cfg_.max_buffered_bytes);
+    if (accepted > 0 && env_ != nullptr && handshake_.established() &&
+        send_timer_ == qtp::no_timer)
         send_next();
+    return accepted;
+}
+
+std::uint32_t connection_sender::open_stream(const stream::stream_options& opts) {
+    if (fin_sent_ || closed_) return stream::invalid_stream;
+    return mux_.open_stream(opts);
 }
 
 void connection_sender::finish_stream() {
-    if (!stream_open_) return;
-    stream_open_ = false;
+    mux_.finish_all();
+    after_finish();
+}
+
+void connection_sender::finish_stream(std::uint32_t stream_id) {
+    mux_.finish(stream_id);
+    after_finish();
+}
+
+void connection_sender::after_finish() {
     if (env_ == nullptr || !handshake_.established()) return;
     maybe_begin_close();
     // Everything already sent: announce the stream length with a
     // zero-payload end-of-stream marker so the receiver can finalise.
-    if (!fin_sent_ && next_offset_ >= cfg_.total_bytes && send_timer_ == qtp::no_timer)
-        send_next();
+    if (!fin_sent_ && send_timer_ == qtp::no_timer && work_available()) send_next();
 }
 
 void connection_sender::request_renegotiate(const profile& p) {
@@ -92,11 +120,12 @@ void connection_sender::request_renegotiate(const profile& p) {
 }
 
 void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_seq) {
-    // Any reliability-mode change restarts the coverage the scoreboard is
-    // accountable for: bytes sent under the previous mode keep its
-    // semantics (untracked under none, possibly abandoned under partial)
-    // and must not gate full-reliability completion afterwards.
-    if (p.reliability != active_.reliability) reliable_from_offset_ = next_offset_;
+    // Any reliability-mode change restarts the coverage the scoreboards
+    // of profile-following streams are accountable for: bytes sent under
+    // the previous mode keep its semantics (untracked under none,
+    // possibly abandoned under partial) and must not gate
+    // full-reliability completion afterwards.
+    mux_.set_profile_mode(p.reliability);
     active_ = p;
     ++renegotiations_;
     last_reneg_boundary_ = boundary_seq;
@@ -138,26 +167,23 @@ void connection_sender::on_reneg(const packet::handshake_segment& seg) {
     }
 }
 
-sack::reliability_policy connection_sender::policy() const {
-    sack::reliability_policy pol;
-    pol.mode = active_.reliability;
+stream::send_policy connection_sender::send_policy_now() const {
+    stream::send_policy pol;
     // A retransmission is pointless if it cannot beat the deadline:
     // allow one-way delay (RTT/2) plus scheduling slack.
     const util::sim_time rtt = rate_.has_rtt() ? rate_.rtt() : util::milliseconds(100);
     pol.partial_margin = rtt / 2 + util::milliseconds(5);
-    pol.max_transmissions = cfg_.max_transmissions;
+    pol.packet_size = cfg_.packet_size;
     return pol;
 }
 
 bool connection_sender::work_available() const {
-    if (!rtx_queue_.empty()) return true;
-    if (next_offset_ < cfg_.total_bytes) return true;
+    if (mux_.has_payload_work()) return true;
     // Tail phase: outstanding transmissions whose fate is unknown. We
     // keep sending zero-payload probes so the receiver's highest sequence
-    // advances and the scoreboard can finalise the tail (else a loss in
+    // advances and the scoreboards can finalise the tail (else a loss in
     // the last `horizon` packets would stall the transfer forever).
-    return active_.reliability != sack::reliability_mode::none &&
-           scoreboard_.outstanding() > 0 && !closed_;
+    return mux_.probe_needed() && !closed_;
 }
 
 void connection_sender::on_packet(const packet::packet& pkt) {
@@ -193,13 +219,10 @@ void connection_sender::on_packet(const packet::packet& pkt) {
 }
 
 void connection_sender::maybe_begin_close() {
-    if (fin_sent_ || stream_open_ || cfg_.total_bytes == UINT64_MAX ||
-        !handshake_.established())
-        return;
-    const bool done = active_.reliability == sack::reliability_mode::full
-                          ? transfer_complete()
-                          : (next_offset_ >= cfg_.total_bytes && rtx_queue_.empty());
-    if (!done) return;
+    if (fin_sent_ || !handshake_.established()) return;
+    // Every stream finished and complete under its own reliability mode
+    // (an unlimited synthetic source never closes, as before).
+    if (!mux_.all_done()) return;
     fin_sent_ = true;
     send_fin();
 }
@@ -242,13 +265,10 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
     rate_.on_feedback(p, fb.x_recv, sample, now);
     arm_nofeedback_timer();
 
-    // Reliability: find newly finalised losses, queue what the policy allows.
-    if (active_.reliability != sack::reliability_mode::none) {
-        std::vector<sack::transmission_record> lost;
-        scoreboard_.on_sack(fb, lost);
-        const sack::reliability_policy pol = policy();
-        for (const auto& rec : lost) rtx_queue_.push(rec, pol);
-    }
+    // Reliability: every stream's scoreboard sees the connection-wide
+    // SACK; newly finalised losses queue on their own stream under that
+    // stream's policy.
+    mux_.on_sack(fb, send_policy_now());
 
     // Re-pace: the pending send slot was computed at the old rate.
     if (send_timer_ != qtp::no_timer) {
@@ -263,97 +283,64 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
 void connection_sender::send_next() {
     send_timer_ = qtp::no_timer;
     if (!handshake_.established()) return;
+    const util::sim_time now = env_->now();
 
-    packet::data_segment seg;
-    bool have_payload = false;
-
-    // Retransmissions take priority over new data.
-    if (active_.reliability != sack::reliability_mode::none) {
-        if (auto rec = rtx_queue_.pop(env_->now(), policy())) {
-            seg.byte_offset = rec->byte_offset;
-            seg.payload_len = rec->length;
-            seg.message_id = rec->message_id;
-            seg.deadline = rec->deadline;
-            seg.is_retransmission = true;
-            have_payload = true;
-            rtx_bytes_sent_ += rec->length;
-
-            sack::transmission_record again = *rec;
-            again.seq = next_seq_;
-            again.sent_at = env_->now();
-            ++again.transmit_count;
-            scoreboard_.record(again);
-        }
-    }
-
-    if (!have_payload && next_offset_ < cfg_.total_bytes) {
-        const std::uint32_t len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-            cfg_.packet_size, cfg_.total_bytes - next_offset_));
-        seg.byte_offset = next_offset_;
-        seg.payload_len = len;
-        seg.end_of_stream = (next_offset_ + len >= cfg_.total_bytes &&
-                             cfg_.total_bytes != UINT64_MAX && !stream_open_);
-
-        if (cfg_.message_size > 0) {
-            const std::uint32_t msg =
-                static_cast<std::uint32_t>(next_offset_ / cfg_.message_size);
-            if (msg != current_message_id_ || current_message_deadline_ == util::time_never) {
-                current_message_id_ = msg;
-                current_message_deadline_ =
-                    cfg_.message_deadline == util::time_never
-                        ? util::time_never
-                        : env_->now() + cfg_.message_deadline;
-            }
-            seg.message_id = msg;
-            seg.deadline = current_message_deadline_;
-        }
-
-        next_offset_ += len;
-        have_payload = true;
-
-        if (active_.reliability != sack::reliability_mode::none) {
-            sack::transmission_record rec;
-            rec.seq = next_seq_;
-            rec.byte_offset = seg.byte_offset;
-            rec.length = seg.payload_len;
-            rec.message_id = seg.message_id;
-            rec.deadline = seg.deadline;
-            rec.sent_at = env_->now();
-            scoreboard_.record(rec);
-        }
-    }
+    // The mux fills the slot: scheduler picks the stream, the stream cuts
+    // a retransmission, new bytes, or a pending end-of-stream marker.
+    std::optional<stream::payload_pick> pick =
+        mux_.next_payload(now, send_policy_now(), next_seq_);
 
     bool is_probe = false;
-    if (!have_payload && active_.reliability != sack::reliability_mode::none &&
-        scoreboard_.outstanding() > 0 && !closed_) {
-        // Zero-payload tail probe (new sequence number, no stream bytes).
-        seg.byte_offset = next_offset_;
-        seg.payload_len = 0;
-        seg.end_of_stream = (!stream_open_ && cfg_.total_bytes != UINT64_MAX &&
-                             next_offset_ >= cfg_.total_bytes);
-        have_payload = true;
+    if (!pick && mux_.probe_needed() && !closed_) {
+        // Zero-payload tail probe (new sequence number, no stream bytes)
+        // so the receiver's highest sequence keeps advancing and the
+        // scoreboards can finalise their tails.
+        const stream::outbound_stream& s0 = mux_.stream0();
+        stream::payload_pick probe;
+        probe.stream_id = 0;
+        probe.byte_offset = s0.next_offset();
+        probe.payload_len = 0;
+        probe.end_of_stream =
+            !s0.open() && !s0.unlimited() && !s0.has_new_data();
+        pick = probe;
         is_probe = true;
     }
+    if (!pick) return; // nothing to do: pacing resumes on next feedback
+    if (pick->payload_len == 0) is_probe = true; // eos markers count as probes
 
-    // An application-driven stream that was finished after its last byte
-    // went out: emit one zero-payload end-of-stream marker so the
-    // receiver learns the final length.
-    if (!have_payload && !stream_open_ && cfg_.stream_open &&
-        cfg_.total_bytes != UINT64_MAX && next_offset_ >= cfg_.total_bytes &&
-        !eos_marker_sent_ && !fin_sent_) {
-        seg.byte_offset = next_offset_;
-        seg.payload_len = 0;
-        seg.end_of_stream = true;
-        eos_marker_sent_ = true;
-        have_payload = true;
-        is_probe = true;
+    const std::uint64_t seq = next_seq_++;
+    const util::sim_time rtt_estimate = rate_.has_rtt() ? rate_.rtt() : 0;
+
+    // Stream 0 travels as the legacy data segment (wire-compatible with
+    // pre-mux endpoints); other streams use the multiplexed kind.
+    packet::segment body;
+    if (pick->stream_id == 0) {
+        packet::data_segment seg;
+        seg.seq = seq;
+        seg.byte_offset = pick->byte_offset;
+        seg.payload_len = pick->payload_len;
+        seg.ts = now;
+        seg.rtt_estimate = rtt_estimate;
+        seg.message_id = pick->message_id;
+        seg.deadline = pick->deadline;
+        seg.is_retransmission = pick->is_retransmission;
+        seg.end_of_stream = pick->end_of_stream;
+        body = seg;
+    } else {
+        packet::data_stream_segment seg;
+        seg.seq = seq;
+        seg.stream_id = pick->stream_id;
+        seg.stream_offset = pick->byte_offset;
+        seg.payload_len = pick->payload_len;
+        seg.ts = now;
+        seg.rtt_estimate = rtt_estimate;
+        seg.message_id = pick->message_id;
+        seg.deadline = pick->deadline;
+        seg.reliability = static_cast<std::uint8_t>(pick->mode);
+        seg.is_retransmission = pick->is_retransmission;
+        seg.end_of_stream = pick->end_of_stream;
+        body = seg;
     }
-
-    if (!have_payload) return; // nothing to do: pacing resumes on next feedback
-
-    seg.seq = next_seq_++;
-    seg.ts = env_->now();
-    seg.rtt_estimate = rate_.has_rtt() ? rate_.rtt() : 0;
 
     // Record transmissions whenever sender-side estimation is active or
     // could become active through renegotiation (our capabilities allow
@@ -362,12 +349,13 @@ void connection_sender::send_next() {
     // bookkeeping (~512 KB per long-lived connection).
     if (active_.estimation == tfrc::estimation_mode::sender_side ||
         cfg_.caps.support_sender_estimation)
-        estimator_.on_send(seg.seq, env_->now());
+        estimator_.on_send(seq, now);
 
     ++packets_sent_;
-    bytes_sent_ += seg.payload_len;
+    bytes_sent_ += pick->payload_len;
     if (is_probe) ++probes_sent_;
-    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, seg));
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
+                                   std::move(body)));
 
     schedule_next_send();
     if (!work_available()) maybe_begin_close(); // unreliable finite stream
@@ -377,7 +365,7 @@ void connection_sender::schedule_next_send() {
     if (send_timer_ != qtp::no_timer || !work_available()) return;
     const double rate = std::max(rate_.allowed_rate(), 1.0);
     double spacing_s = static_cast<double>(cfg_.packet_size) / rate;
-    if (rtx_queue_.empty() && next_offset_ >= cfg_.total_bytes) {
+    if (!mux_.has_payload_work()) {
         // Only probes left: a few per RTT are plenty.
         const util::sim_time rtt =
             rate_.has_rtt() ? rate_.rtt() : util::milliseconds(100);
@@ -398,17 +386,19 @@ void connection_sender::arm_nofeedback_timer() {
 }
 
 bool connection_sender::transfer_complete() const {
-    if (cfg_.total_bytes == UINT64_MAX) return false;
+    const stream::outbound_stream& s0 = mux_.stream0();
+    if (s0.unlimited()) return false;
     if (active_.reliability == sack::reliability_mode::full) {
         // Only bytes sent while reliability was active are in the
         // scoreboard; anything before a none -> full renegotiation went
         // out untracked and must not gate completion.
-        if (reliable_from_offset_ >= cfg_.total_bytes)
-            return next_offset_ >= cfg_.total_bytes;
-        return next_offset_ >= cfg_.total_bytes &&
-               scoreboard_.delivered().contains(reliable_from_offset_, cfg_.total_bytes);
+        if (s0.reliable_from_offset() >= s0.total_bytes())
+            return s0.next_offset() >= s0.total_bytes();
+        return s0.next_offset() >= s0.total_bytes() &&
+               s0.reliability().delivered().contains(s0.reliable_from_offset(),
+                                                     s0.total_bytes());
     }
-    return next_offset_ >= cfg_.total_bytes;
+    return s0.next_offset() >= s0.total_bytes();
 }
 
 // ---------------------------------------------------------------------------
@@ -452,21 +442,32 @@ void connection_receiver::on_packet(const packet::packet& pkt) {
         if (responder_.established()) on_data(*data);
         return;
     }
+    if (const auto* sdata = std::get_if<packet::data_stream_segment>(pkt.body.get())) {
+        if (responder_.established()) on_stream_data(*sdata);
+        return;
+    }
 }
 
 void connection_receiver::on_handshake(const packet::handshake_segment& seg) {
     const auto resp = responder_.on_segment(seg);
     if (!resp) return;
 
-    if (reassembly_ == nullptr) {
+    if (demux_ == nullptr) {
         active_ = resp->accepted;
         const auto order = active_.reliability == sack::reliability_mode::full
                                ? sack::delivery_order::ordered
                                : sack::delivery_order::immediate;
-        reassembly_ = std::make_unique<sack::reassembly>(
-            order, [this](std::uint64_t offset, std::uint32_t len) {
-                if (deliver_) deliver_(offset, len);
+        demux_ = std::make_unique<stream::stream_demux>(order);
+        demux_->set_legacy_deliver([this](std::uint64_t offset, std::uint32_t len) {
+            if (deliver_) deliver_(offset, len);
+        });
+        demux_->set_deliver(
+            [this](std::uint32_t id, std::uint64_t offset, std::uint32_t len) {
+                if (stream_deliver_) stream_deliver_(id, offset, len);
             });
+        demux_->set_on_stream_open([this](std::uint32_t id, sack::reliability_mode m) {
+            if (on_stream_open_) on_stream_open_(id, m);
+        });
         util::log(util::log_level::info, "qtp-recv", "accepted: ", active_.describe());
         if (on_established_) on_established_(active_);
     }
@@ -514,20 +515,41 @@ void connection_receiver::on_reneg(const packet::handshake_segment& seg) {
 }
 
 void connection_receiver::on_data(const packet::data_segment& seg) {
+    // Legacy single-stream kind: stream 0, delivery order as negotiated.
+    ingest_data(seg.seq, seg.ts, seg.rtt_estimate, 0, active_.reliability,
+                seg.byte_offset, seg.payload_len, seg.end_of_stream);
+}
+
+void connection_receiver::on_stream_data(const packet::data_stream_segment& seg) {
+    // The wire decoder validated stream id and reliability bits; on the
+    // simulator the typed segment arrives unchecked, so clamp here too.
+    if (seg.stream_id >= stream::max_streams ||
+        (seg.reliability & packet::stream_reliability_mask) == packet::stream_reliability_mask)
+        return;
+    ingest_data(seg.seq, seg.ts, seg.rtt_estimate, seg.stream_id,
+                static_cast<sack::reliability_mode>(seg.reliability), seg.stream_offset,
+                seg.payload_len, seg.end_of_stream);
+}
+
+void connection_receiver::ingest_data(std::uint64_t seq, util::sim_time ts,
+                                      util::sim_time rtt_estimate,
+                                      std::uint32_t stream_id,
+                                      sack::reliability_mode mode, std::uint64_t offset,
+                                      std::uint32_t len, bool end_of_stream) {
     const util::sim_time now = env_->now();
     ++received_packets_;
     ++packets_since_feedback_;
-    received_bytes_ += seg.payload_len;
-    bytes_since_feedback_ += seg.payload_len;
-    if (seg.rtt_estimate > 0) last_rtt_hint_ = seg.rtt_estimate;
-    last_data_ts_ = seg.ts;
+    received_bytes_ += len;
+    bytes_since_feedback_ += len;
+    if (rtt_estimate > 0) last_rtt_hint_ = rtt_estimate;
+    last_data_ts_ = ts;
     last_data_arrival_ = now;
 
-    record_seq(seg.seq);
+    record_seq(seq);
 
     bool new_event = false;
     if (active_.estimation == tfrc::estimation_mode::receiver_side) {
-        new_event = history_.on_packet(seg.seq, now, last_rtt_hint_);
+        new_event = history_.on_packet(seq, now, last_rtt_hint_);
         if (new_event && history_.loss_events() == 1 && history_.intervals().empty()) {
             const util::sim_time elapsed =
                 now - last_feedback_at_ > 0 ? now - last_feedback_at_ : last_rtt_hint_;
@@ -542,7 +564,7 @@ void connection_receiver::on_data(const packet::data_segment& seg) {
         }
     }
 
-    reassembly_->on_data(seg.byte_offset, seg.payload_len, seg.end_of_stream);
+    demux_->on_frame(stream_id, mode, offset, len, end_of_stream);
 
     if (!seen_data_) {
         seen_data_ = true;
@@ -630,9 +652,7 @@ std::size_t connection_receiver::state_bytes() const {
     std::size_t total = sizeof(*this) + ranges_.size() * sizeof(packet::sack_block);
     if (active_.estimation == tfrc::estimation_mode::receiver_side)
         total += history_.state_bytes();
-    if (reassembly_ != nullptr)
-        total += sizeof(sack::reassembly) +
-                 reassembly_->received().range_count() * 2 * sizeof(std::uint64_t);
+    if (demux_ != nullptr) total += demux_->state_bytes();
     return total;
 }
 

@@ -13,9 +13,13 @@
 // vtp::server facade in api/session.hpp instead of these classes.
 //
 // Data flow, sender side:
-//   pacing timer (rate from TFRC) -> next payload = retransmission-queue
-//   front (policy-filtered) or new stream bytes -> data segment with a
-//   fresh sequence number -> scoreboard + (QTPlight) estimator record.
+//   pacing timer (rate from TFRC) -> stream::stream_mux picks the stream
+//   for this slot (weighted round-robin, deadline promotion) and cuts its
+//   payload = that stream's retransmission-queue front (policy-filtered)
+//   or new stream bytes -> data / data_stream segment with a fresh
+//   connection-wide sequence number -> per-stream scoreboard + (QTPlight)
+//   estimator record. Stream 0 is the legacy single stream; open_stream()
+//   adds more, each with its own reliability mode, weight and deadline.
 // Feedback path:
 //   SACK feedback -> estimator (sender-side p) or embedded p (receiver
 //   side) -> rate controller; SACK blocks -> scoreboard -> lost ranges ->
@@ -31,6 +35,7 @@
 #include "sack/reassembly.hpp"
 #include "sack/retransmit.hpp"
 #include "sack/scoreboard.hpp"
+#include "stream/stream_mux.hpp"
 #include "tfrc/loss_history.hpp"
 #include "tfrc/receiver.hpp"
 #include "tfrc/sender.hpp"
@@ -68,9 +73,17 @@ struct connection_config {
     /// Message framing for partial reliability: the stream is cut into
     /// `message_size`-byte messages; each message expires
     /// `message_deadline` after its first transmission. 0 disables
-    /// framing (plain byte stream).
+    /// framing (plain byte stream). Applies to stream 0; further streams
+    /// carry their own framing in stream::stream_options.
     std::uint32_t message_size = 0;
     util::sim_time message_deadline = util::time_never;
+
+    /// Cap on offered-but-unsent bytes across all streams; offer()
+    /// returns how much was accepted. 0 = unlimited (legacy behaviour).
+    std::uint64_t max_buffered_bytes = 0;
+
+    /// Sender stream scheduler (weights quantum, deadline promotion).
+    stream::stream_scheduler_config scheduler{};
 
     /// Handshake retransmission interval.
     util::sim_time handshake_rtx = util::milliseconds(500);
@@ -84,12 +97,23 @@ public:
     void on_packet(const packet::packet& pkt) override;
     std::string name() const override { return "qtp-send"; }
 
-    /// Append `n` bytes to the outgoing stream (application write; only
-    /// meaningful with cfg.stream_open).
-    void offer(std::uint64_t n);
-    /// No more bytes will be offered; the FIN handshake may begin once
-    /// everything offered is delivered.
+    /// Append `n` bytes to stream 0 (application write; only meaningful
+    /// with cfg.stream_open). Returns how many bytes were accepted
+    /// (bounded by cfg.max_buffered_bytes).
+    std::uint64_t offer(std::uint64_t n) { return offer(0, n); }
+    /// Append `n` bytes to stream `id`; returns the accepted count.
+    std::uint64_t offer(std::uint32_t stream_id, std::uint64_t n);
+    /// No more bytes will be offered on any stream; the FIN handshake may
+    /// begin once everything offered is delivered.
     void finish_stream();
+    /// Half-close one stream (its end-of-stream marker goes out once the
+    /// last offered byte has been transmitted).
+    void finish_stream(std::uint32_t stream_id);
+
+    /// Open an additional application stream multiplexed on this
+    /// connection. Returns the stream id, or stream::invalid_stream when
+    /// the connection is closing or out of ids (256 per connection).
+    std::uint32_t open_stream(const stream::stream_options& opts);
 
     /// Propose switching the connection to profile `p`. The proposal is
     /// retransmitted until acknowledged; on acceptance (possibly
@@ -98,6 +122,8 @@ public:
     void request_renegotiate(const profile& p);
     bool renegotiation_pending() const { return reneg_.pending(); }
     std::uint32_t renegotiations() const { return renegotiations_; }
+    std::uint64_t reneg_proposals_sent() const { return reneg_.proposals_sent(); }
+    std::uint64_t reneg_proposals_accepted() const { return reneg_.proposals_accepted(); }
     /// First sequence number governed by the latest accepted profile.
     std::uint64_t last_reneg_boundary() const { return last_reneg_boundary_; }
 
@@ -112,17 +138,25 @@ public:
     bool established() const { return handshake_.established(); }
     const profile& active_profile() const { return active_; }
     const tfrc::rate_controller& rate() const { return rate_; }
-    const sack::scoreboard& reliability() const { return scoreboard_; }
-    const sack::retransmit_queue& retransmissions() const { return rtx_queue_; }
+    /// Stream 0's scoreboard (legacy single-stream accessor).
+    const sack::scoreboard& reliability() const { return mux_.stream0().reliability(); }
+    /// Stream 0's retransmission queue (legacy single-stream accessor).
+    const sack::retransmit_queue& retransmissions() const {
+        return mux_.stream0().retransmissions();
+    }
     const tfrc::sender_estimator& estimator() const { return estimator_; }
+    /// The multiplexer: per-stream scoreboards, queues and accounting.
+    const stream::stream_mux& mux() const { return mux_; }
+    std::vector<stream::stream_info> stream_infos() const { return mux_.infos(); }
 
     std::uint64_t packets_sent() const { return packets_sent_; }
     std::uint64_t bytes_sent() const { return bytes_sent_; }
-    std::uint64_t new_bytes_sent() const { return next_offset_; }
-    /// Current stream length: total_bytes, grown by offer() when
+    std::uint64_t new_bytes_sent() const { return mux_.stream0().next_offset(); }
+    /// Current stream 0 length: total_bytes, grown by offer() when
     /// application-driven (UINT64_MAX = unlimited synthetic source).
-    std::uint64_t stream_length() const { return cfg_.total_bytes; }
-    std::uint64_t rtx_bytes_sent() const { return rtx_bytes_sent_; }
+    std::uint64_t stream_length() const { return mux_.stream0().total_bytes(); }
+    /// Retransmitted bytes across all streams.
+    std::uint64_t rtx_bytes_sent() const { return mux_.rtx_bytes_sent_total(); }
     std::uint64_t probes_sent() const { return probes_sent_; }
     /// Full-reliability completion: every stream byte acknowledged.
     bool transfer_complete() const;
@@ -140,7 +174,8 @@ private:
     void schedule_next_send();
     void arm_nofeedback_timer();
     bool work_available() const;
-    sack::reliability_policy policy() const;
+    stream::send_policy send_policy_now() const;
+    void after_finish();
     void maybe_begin_close();
     void send_fin();
 
@@ -150,23 +185,14 @@ private:
     reneg_driver reneg_;
     reneg_responder reneg_resp_;
     profile active_{};
-    bool stream_open_ = false;
-    bool eos_marker_sent_ = false;
-    /// First stream byte covered by the scoreboard: 0 when reliability
-    /// was on from the handshake, the switch offset after a runtime
-    /// renegotiation none -> full/partial (earlier bytes were sent
-    /// untracked and can never be acknowledged).
-    std::uint64_t reliable_from_offset_ = 0;
 
     tfrc::rate_controller rate_;
     tfrc::sender_estimator estimator_;
-    sack::scoreboard scoreboard_;
-    sack::retransmit_queue rtx_queue_;
+    /// All per-stream sender state: byte spaces, scoreboards,
+    /// retransmission queues, framing, and the slot scheduler.
+    stream::stream_mux mux_;
 
     std::uint64_t next_seq_ = 0;
-    std::uint64_t next_offset_ = 0; ///< next new stream byte
-    std::uint32_t current_message_id_ = 0;
-    util::sim_time current_message_deadline_ = util::time_never;
 
     qtp::timer_id send_timer_ = qtp::no_timer;
     qtp::timer_id nofeedback_timer_ = qtp::no_timer;
@@ -182,7 +208,6 @@ private:
 
     std::uint64_t packets_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
-    std::uint64_t rtx_bytes_sent_ = 0;
     std::uint64_t probes_sent_ = 0;
     std::uint32_t renegotiations_ = 0;
     std::uint64_t last_reneg_boundary_ = 0;
@@ -200,12 +225,23 @@ public:
     std::string name() const override { return "qtp-recv"; }
 
     void set_delivery(deliver_fn cb) { deliver_ = std::move(cb); }
+    /// Multi-stream delivery hook: (stream id, stream offset, length).
+    /// Fires for every stream, including stream 0.
+    void set_stream_delivery(stream::stream_demux::deliver_fn cb) {
+        stream_deliver_ = std::move(cb);
+    }
+    /// A stream beyond 0 was seen for the first time.
+    void set_on_stream_open(stream::stream_demux::stream_open_fn cb) {
+        on_stream_open_ = std::move(cb);
+    }
 
     /// Propose switching the connection to profile `p` (e.g. a mobile
     /// receiver dropping to sender-side estimation on battery pressure).
     void request_renegotiate(const profile& p);
     bool renegotiation_pending() const { return reneg_.pending(); }
     std::uint32_t renegotiations() const { return renegotiations_; }
+    std::uint64_t reneg_proposals_sent() const { return reneg_.proposals_sent(); }
+    std::uint64_t reneg_proposals_accepted() const { return reneg_.proposals_accepted(); }
 
     void set_on_established(std::function<void(const profile&)> cb) {
         on_established_ = std::move(cb);
@@ -217,7 +253,10 @@ public:
 
     bool established() const { return responder_.established(); }
     const profile& active_profile() const { return active_; }
-    const sack::reassembly& stream() const { return *reassembly_; }
+    /// Stream 0's reassembly (legacy single-stream accessor).
+    const sack::reassembly& stream() const { return demux_->stream0(); }
+    /// The demultiplexer (per-stream reassembly); null until established.
+    const stream::stream_demux* demux() const { return demux_.get(); }
     const tfrc::loss_history& history() const { return history_; }
     /// Peer announced it is done (FIN seen).
     bool remote_closed() const { return remote_closed_; }
@@ -233,6 +272,12 @@ private:
     void on_handshake(const packet::handshake_segment& seg);
     void on_reneg(const packet::handshake_segment& seg);
     void on_data(const packet::data_segment& seg);
+    void on_stream_data(const packet::data_stream_segment& seg);
+    /// Shared per-packet path of both data kinds: sequence bookkeeping,
+    /// loss estimation, reassembly (through the demux) and feedback.
+    void ingest_data(std::uint64_t seq, util::sim_time ts, util::sim_time rtt_estimate,
+                     std::uint32_t stream_id, sack::reliability_mode mode,
+                     std::uint64_t offset, std::uint32_t len, bool end_of_stream);
     void apply_profile(const profile& p);
     void record_seq(std::uint64_t seq);
     void send_feedback();
@@ -245,9 +290,11 @@ private:
     reneg_responder reneg_resp_;
     profile active_{};
 
-    std::unique_ptr<sack::reassembly> reassembly_;
+    std::unique_ptr<stream::stream_demux> demux_;
     tfrc::loss_history history_; ///< used only with receiver-side estimation
     deliver_fn deliver_;
+    stream::stream_demux::deliver_fn stream_deliver_;
+    stream::stream_demux::stream_open_fn on_stream_open_;
 
     std::deque<packet::sack_block> ranges_; ///< merged received seq ranges
     util::sim_time last_rtt_hint_ = util::milliseconds(100);

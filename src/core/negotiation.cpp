@@ -92,6 +92,7 @@ void reneg_driver::start(environment& env, std::uint32_t flow_id,
     rtx_ = rtx;
     tag_ = tag;
     attempts_ = 0;
+    ++proposals_sent_;
     (void)init_.propose(p);
     send_step(env);
 }
@@ -99,7 +100,10 @@ void reneg_driver::start(environment& env, std::uint32_t flow_id,
 std::optional<profile> reneg_driver::on_ack(environment& env,
                                             const packet::handshake_segment& seg) {
     const auto accepted = init_.on_segment(seg);
-    if (accepted) cancel_timer(env);
+    if (accepted) {
+        ++proposals_accepted_;
+        cancel_timer(env);
+    }
     return accepted;
 }
 

@@ -152,11 +152,19 @@ public:
 
     bool pending() const { return init_.pending(); }
 
+    /// Local proposals started (counts each start(), not retransmissions).
+    std::uint64_t proposals_sent() const { return proposals_sent_; }
+    /// Local proposals answered by a matching ack (including late acks
+    /// after yield / retry exhaustion).
+    std::uint64_t proposals_accepted() const { return proposals_accepted_; }
+
 private:
     void send_step(environment& env);
     void cancel_timer(environment& env);
 
     reneg_initiator init_;
+    std::uint64_t proposals_sent_ = 0;
+    std::uint64_t proposals_accepted_ = 0;
     std::uint32_t flow_id_ = 0;
     std::uint32_t peer_addr_ = 0;
     util::sim_time rtx_ = 0;

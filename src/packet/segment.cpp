@@ -20,6 +20,7 @@ namespace {
 // Header sizes equal the exact byte counts wire.cpp emits (asserted by
 // tests/packet_wire_test), so simulated sizes match the live datapath.
 constexpr std::uint32_t data_header_bytes = 50;
+constexpr std::uint32_t data_stream_header_bytes = 52;
 constexpr std::uint32_t tfrc_feedback_bytes = 41;
 constexpr std::uint32_t sack_feedback_fixed_bytes = 44;
 constexpr std::uint32_t sack_block_bytes = 16;
@@ -28,6 +29,9 @@ constexpr std::uint32_t tcp_fixed_bytes = 39;
 
 struct size_visitor {
     std::uint32_t operator()(const data_segment&) const { return data_header_bytes; }
+    std::uint32_t operator()(const data_stream_segment&) const {
+        return data_stream_header_bytes;
+    }
     std::uint32_t operator()(const tfrc_feedback_segment&) const { return tfrc_feedback_bytes; }
     std::uint32_t operator()(const sack_feedback_segment& s) const {
         return sack_feedback_fixed_bytes +
@@ -41,6 +45,7 @@ struct size_visitor {
 
 struct payload_visitor {
     std::uint32_t operator()(const data_segment& s) const { return s.payload_len; }
+    std::uint32_t operator()(const data_stream_segment& s) const { return s.payload_len; }
     std::uint32_t operator()(const tcp_segment& s) const { return s.payload_len; }
     template <typename other>
     std::uint32_t operator()(const other&) const {
@@ -52,6 +57,14 @@ struct describe_visitor {
     std::string operator()(const data_segment& s) const {
         std::ostringstream out;
         out << "DATA seq=" << s.seq << " off=" << s.byte_offset << " len=" << s.payload_len;
+        if (s.is_retransmission) out << " rtx";
+        if (s.end_of_stream) out << " eos";
+        return out.str();
+    }
+    std::string operator()(const data_stream_segment& s) const {
+        std::ostringstream out;
+        out << "DATA-STREAM sid=" << s.stream_id << " seq=" << s.seq
+            << " off=" << s.stream_offset << " len=" << s.payload_len;
         if (s.is_retransmission) out << " rtx";
         if (s.end_of_stream) out << " eos";
         return out.str();

@@ -56,6 +56,41 @@ struct data_segment {
     bool operator==(const data_segment&) const = default;
 };
 
+/// Highest stream id carried by the multiplexed `data_stream` segment
+/// kind; the wire decoder rejects anything at or above it. Defined here
+/// (like the profile bit layout below) so packet/ stays free of a
+/// dependency on stream/.
+inline constexpr std::uint32_t max_stream_id = 256;
+
+/// Per-stream reliability announced in `data_stream` frames so the
+/// receiver can pick the matching delivery order without negotiating
+/// each stream. Values mirror sack::reliability_mode; 3 is unassigned
+/// and rejected by the decoder.
+inline constexpr std::uint8_t stream_reliability_mask = 0x3;
+
+/// Multiplexed QTP data segment: one of up to `max_stream_id` concurrent
+/// application streams on the same connection. `seq` stays in the
+/// connection-wide TFRC sequence space (loss estimation and SACK
+/// feedback are per connection); `stream_offset` locates the payload in
+/// that stream's own byte space (reliability and reassembly are per
+/// stream). Stream 0 is the legacy single stream and travels as a plain
+/// `data_segment` for compatibility.
+struct data_stream_segment {
+    std::uint64_t seq = 0;           ///< connection-wide packet sequence
+    std::uint32_t stream_id = 0;     ///< [1, max_stream_id) on the wire
+    std::uint64_t stream_offset = 0; ///< byte offset within the stream
+    std::uint32_t payload_len = 0;
+    sim_time ts = 0;             ///< sender clock at transmission
+    sim_time rtt_estimate = 0;   ///< sender's current RTT (drives receiver feedback timer)
+    std::uint32_t message_id = 0;
+    sim_time deadline = util::time_never; ///< partial reliability: drop after this
+    std::uint8_t reliability = 0; ///< sack::reliability_mode of this stream
+    bool is_retransmission = false;
+    bool end_of_stream = false; ///< final byte of *this stream* (not the connection)
+
+    bool operator==(const data_stream_segment&) const = default;
+};
+
 /// Standard RFC 3448 receiver report (receiver-side loss estimation).
 struct tfrc_feedback_segment {
     sim_time ts_echo = 0;   ///< timestamp of last data packet received
@@ -141,7 +176,7 @@ struct tcp_segment {
 };
 
 using segment = std::variant<data_segment, tfrc_feedback_segment, sack_feedback_segment,
-                             handshake_segment, tcp_segment>;
+                             handshake_segment, tcp_segment, data_stream_segment>;
 
 /// Wire header size in bytes for each segment kind (payload excluded).
 /// Matches what packet/wire.hpp actually emits, so simulation sizes and

@@ -12,6 +12,9 @@ namespace {
 
 constexpr std::uint8_t data_flag_rtx = 0x01;
 constexpr std::uint8_t data_flag_eos = 0x02;
+// data_stream frames keep the rtx/eos bits and add the stream's
+// reliability mode in bits 2-3 (value 3 unassigned -> decode_error).
+constexpr int data_stream_reliability_shift = 2;
 
 constexpr std::uint8_t tcp_flag_ack = 0x01;
 constexpr std::uint8_t tcp_flag_syn = 0x02;
@@ -29,6 +32,24 @@ struct encode_visitor {
         out.put_u32(s.payload_len);
         out.put_u64(s.seq);
         out.put_u64(s.byte_offset);
+        out.put_i64(s.ts);
+        out.put_i64(s.rtt_estimate);
+        out.put_u32(s.message_id);
+        out.put_i64(s.deadline);
+    }
+
+    void operator()(const data_stream_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::data_stream));
+        std::uint8_t flags = 0;
+        if (s.is_retransmission) flags |= data_flag_rtx;
+        if (s.end_of_stream) flags |= data_flag_eos;
+        flags |= static_cast<std::uint8_t>((s.reliability & stream_reliability_mask)
+                                           << data_stream_reliability_shift);
+        out.put_u8(flags);
+        out.put_u16(static_cast<std::uint16_t>(s.stream_id));
+        out.put_u32(s.payload_len);
+        out.put_u64(s.seq);
+        out.put_u64(s.stream_offset);
         out.put_i64(s.ts);
         out.put_i64(s.rtt_estimate);
         out.put_u32(s.message_id);
@@ -100,6 +121,28 @@ data_segment decode_data(byte_reader& in) {
     s.payload_len = in.get_u32();
     s.seq = in.get_u64();
     s.byte_offset = in.get_u64();
+    s.ts = in.get_i64();
+    s.rtt_estimate = in.get_i64();
+    s.message_id = in.get_u32();
+    s.deadline = in.get_i64();
+    return s;
+}
+
+data_stream_segment decode_data_stream(byte_reader& in) {
+    data_stream_segment s;
+    const std::uint8_t flags = in.get_u8();
+    s.is_retransmission = (flags & data_flag_rtx) != 0;
+    s.end_of_stream = (flags & data_flag_eos) != 0;
+    s.reliability = (flags >> data_stream_reliability_shift) & stream_reliability_mask;
+    if (s.reliability == stream_reliability_mask)
+        throw decode_error("unassigned stream reliability mode");
+    if ((flags >> (data_stream_reliability_shift + 2)) != 0)
+        throw decode_error("undefined data_stream flag bits");
+    s.stream_id = in.get_u16();
+    if (s.stream_id >= max_stream_id) throw decode_error("stream id out of range");
+    s.payload_len = in.get_u32();
+    s.seq = in.get_u64();
+    s.stream_offset = in.get_u64();
     s.ts = in.get_i64();
     s.rtt_estimate = in.get_i64();
     s.message_id = in.get_u32();
@@ -194,6 +237,7 @@ segment decode_segment(const std::uint8_t* data, std::size_t len) {
     case wire_kind::sack_feedback: return decode_sack_feedback(in);
     case wire_kind::handshake: return decode_handshake(in);
     case wire_kind::tcp: return decode_tcp(in);
+    case wire_kind::data_stream: return decode_data_stream(in);
     }
     throw decode_error("unknown segment kind");
 }

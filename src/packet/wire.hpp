@@ -25,6 +25,7 @@ enum class wire_kind : std::uint8_t {
     sack_feedback = 3,
     handshake = 4,
     tcp = 5,
+    data_stream = 6,
 };
 
 /// Encode a segment header to bytes. Never fails.

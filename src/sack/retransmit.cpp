@@ -20,6 +20,14 @@ void retransmit_queue::push(const transmission_record& lost,
     queue_.push_back(lost);
 }
 
+util::sim_time retransmit_queue::earliest_deadline() const {
+    util::sim_time earliest = util::time_never;
+    for (const auto& rec : queue_)
+        if (rec.deadline != util::time_never && rec.deadline < earliest)
+            earliest = rec.deadline;
+    return earliest;
+}
+
 std::optional<transmission_record> retransmit_queue::pop(util::sim_time now,
                                                          const reliability_policy& policy) {
     while (!queue_.empty()) {

@@ -43,6 +43,9 @@ public:
 
     bool empty() const { return queue_.empty(); }
     std::size_t pending() const { return queue_.size(); }
+    /// Earliest deadline among queued ranges (util::time_never when none
+    /// carries one); drives deadline-first scheduler promotion.
+    util::sim_time earliest_deadline() const;
     std::uint64_t abandoned_ranges() const { return abandoned_ranges_; }
     std::uint64_t abandoned_bytes() const { return abandoned_bytes_; }
     std::uint64_t queued_ranges() const { return queued_ranges_; }

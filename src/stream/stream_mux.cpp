@@ -1,0 +1,353 @@
+#include "stream/stream_mux.hpp"
+
+#include <algorithm>
+
+namespace vtp::stream {
+
+// ---------------------------------------------------------------------------
+// outbound_stream
+// ---------------------------------------------------------------------------
+
+outbound_stream::outbound_stream(std::uint32_t id, stream_options opts,
+                                 std::uint64_t total_bytes, bool open,
+                                 sack::scoreboard_config sb_cfg)
+    : id_(id), opts_(opts), total_bytes_(total_bytes), open_(open), was_open_(open),
+      scoreboard_(sb_cfg) {
+    if (opts_.weight == 0) opts_.weight = 1;
+}
+
+void outbound_stream::offer(std::uint64_t n) {
+    if (!open_ || unlimited()) return;
+    total_bytes_ += n;
+}
+
+util::sim_time outbound_stream::earliest_deadline() const {
+    util::sim_time earliest = rtx_queue_.earliest_deadline();
+    // A message already on the wire keeps its deadline for the bytes of
+    // it still unsent; a not-yet-started message cannot be late (its
+    // clock starts at first transmission).
+    if (has_new_data() && opts_.message_size > 0 &&
+        current_message_deadline_ != util::time_never &&
+        next_offset_ % opts_.message_size != 0 &&
+        current_message_deadline_ < earliest)
+        earliest = current_message_deadline_;
+    return earliest;
+}
+
+std::optional<payload_pick> outbound_stream::next_payload(
+    util::sim_time now, const sack::reliability_policy& policy,
+    sack::reliability_mode mode, std::uint64_t seq, std::uint32_t packet_size) {
+    payload_pick pick;
+    pick.stream_id = id_;
+    pick.mode = mode;
+
+    // Retransmissions first (within this stream's turn).
+    if (mode != sack::reliability_mode::none) {
+        if (auto rec = rtx_queue_.pop(now, policy)) {
+            pick.byte_offset = rec->byte_offset;
+            pick.payload_len = rec->length;
+            pick.message_id = rec->message_id;
+            pick.deadline = rec->deadline;
+            pick.is_retransmission = true;
+            rtx_bytes_sent_ += rec->length;
+
+            sack::transmission_record again = *rec;
+            again.seq = seq;
+            again.sent_at = now;
+            ++again.transmit_count;
+            scoreboard_.record(again);
+            return pick;
+        }
+    }
+
+    if (has_new_data()) {
+        const std::uint32_t len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(packet_size, total_bytes_ - next_offset_));
+        pick.byte_offset = next_offset_;
+        pick.payload_len = len;
+        pick.end_of_stream =
+            next_offset_ + len >= total_bytes_ && !unlimited() && !open_;
+
+        if (opts_.message_size > 0) {
+            const std::uint32_t msg =
+                static_cast<std::uint32_t>(next_offset_ / opts_.message_size);
+            if (msg != current_message_id_ ||
+                current_message_deadline_ == util::time_never) {
+                current_message_id_ = msg;
+                current_message_deadline_ = opts_.message_deadline == util::time_never
+                                                ? util::time_never
+                                                : now + opts_.message_deadline;
+            }
+            pick.message_id = msg;
+            pick.deadline = current_message_deadline_;
+        }
+
+        next_offset_ += len;
+        if (pick.end_of_stream) eos_sent_ = true;
+
+        if (mode != sack::reliability_mode::none) {
+            sack::transmission_record rec;
+            rec.seq = seq;
+            rec.byte_offset = pick.byte_offset;
+            rec.length = pick.payload_len;
+            rec.message_id = pick.message_id;
+            rec.deadline = pick.deadline;
+            rec.sent_at = now;
+            scoreboard_.record(rec);
+        }
+        return pick;
+    }
+
+    if (eos_marker_pending()) {
+        // Zero-payload marker announcing the final stream length.
+        pick.byte_offset = next_offset_;
+        pick.payload_len = 0;
+        pick.end_of_stream = true;
+        eos_sent_ = true;
+        return pick;
+    }
+
+    return std::nullopt; // only expired retransmissions were pending
+}
+
+void outbound_stream::on_sack(const packet::sack_feedback_segment& fb,
+                              const sack::reliability_policy& policy) {
+    std::vector<sack::transmission_record> lost;
+    scoreboard_.on_sack(fb, lost);
+    for (const auto& rec : lost) rtx_queue_.push(rec, policy);
+}
+
+bool outbound_stream::done(sack::reliability_mode mode) const {
+    if (open_ || unlimited()) return false;
+    if (mode == sack::reliability_mode::full) {
+        if (next_offset_ < total_bytes_) return false;
+        // Only bytes sent while reliability was active gate completion.
+        if (reliable_from_offset_ >= total_bytes_) return true;
+        return scoreboard_.delivered().contains(reliable_from_offset_, total_bytes_);
+    }
+    // Under mode none the retransmission queue is dead weight — nothing
+    // pops or refills it (a full/partial -> none renegotiation may leave
+    // entries behind) — so it must not gate completion.
+    if (mode == sack::reliability_mode::none) return next_offset_ >= total_bytes_;
+    return next_offset_ >= total_bytes_ && rtx_queue_.empty();
+}
+
+stream_info outbound_stream::info(sack::reliability_mode profile_mode) const {
+    stream_info i;
+    i.id = id_;
+    i.open = open_;
+    i.reliability = effective_mode(profile_mode);
+    i.weight = opts_.weight;
+    i.bytes_offered = unlimited() ? 0 : total_bytes_;
+    i.bytes_sent = next_offset_;
+    i.bytes_acked = scoreboard_.delivered_bytes();
+    i.rtx_bytes_sent = rtx_bytes_sent_;
+    i.abandoned_bytes = rtx_queue_.abandoned_bytes();
+    return i;
+}
+
+// ---------------------------------------------------------------------------
+// stream_mux
+// ---------------------------------------------------------------------------
+
+stream_mux::stream_mux(stream_options stream0_opts, std::uint64_t total_bytes, bool open,
+                       sack::scoreboard_config sb_cfg, stream_scheduler_config sched_cfg)
+    : sb_cfg_(sb_cfg), sched_(sched_cfg) {
+    stream0_opts.follow_profile = true;
+    streams_.push_back(
+        std::make_unique<outbound_stream>(0, stream0_opts, total_bytes, open, sb_cfg_));
+}
+
+void stream_mux::set_profile_mode(sack::reliability_mode mode) {
+    if (mode == profile_mode_) return;
+    // Bytes sent under the previous mode keep its semantics; the
+    // scoreboard of every profile-following stream restarts its coverage
+    // at the switch point (see connection_sender::apply_profile).
+    for (auto& s : streams_)
+        if (s->options().follow_profile && s->effective_mode(profile_mode_) != mode)
+            s->reset_reliable_from();
+    profile_mode_ = mode;
+}
+
+std::uint32_t stream_mux::open_stream(const stream_options& opts) {
+    if (streams_.size() >= max_streams) return invalid_stream;
+    const auto id = static_cast<std::uint32_t>(streams_.size());
+    streams_.push_back(std::make_unique<outbound_stream>(
+        id, opts, /*total_bytes=*/0, /*open=*/true, sb_cfg_));
+    return id;
+}
+
+std::uint64_t stream_mux::offer(std::uint32_t id, std::uint64_t n,
+                                std::uint64_t max_buffered) {
+    outbound_stream* s = find(id);
+    if (s == nullptr || !s->open() || s->unlimited()) return 0;
+    std::uint64_t accepted = n;
+    if (max_buffered != 0) {
+        const std::uint64_t buffered = buffered_bytes();
+        accepted = buffered >= max_buffered
+                       ? 0
+                       : std::min<std::uint64_t>(n, max_buffered - buffered);
+    }
+    s->offer(accepted);
+    return accepted;
+}
+
+void stream_mux::finish(std::uint32_t id) {
+    if (outbound_stream* s = find(id)) s->finish();
+}
+
+void stream_mux::finish_all() {
+    for (auto& s : streams_) s->finish();
+}
+
+outbound_stream* stream_mux::find(std::uint32_t id) {
+    return id < streams_.size() ? streams_[id].get() : nullptr;
+}
+
+const outbound_stream* stream_mux::find(std::uint32_t id) const {
+    return id < streams_.size() ? streams_[id].get() : nullptr;
+}
+
+bool stream_mux::any_open() const {
+    return std::any_of(streams_.begin(), streams_.end(),
+                       [](const auto& s) { return s->open(); });
+}
+
+bool stream_mux::has_payload_work() const {
+    return std::any_of(streams_.begin(), streams_.end(), [this](const auto& s) {
+        return s->has_work(s->effective_mode(profile_mode_));
+    });
+}
+
+bool stream_mux::probe_needed() const {
+    return std::any_of(streams_.begin(), streams_.end(), [this](const auto& s) {
+        return s->effective_mode(profile_mode_) != sack::reliability_mode::none &&
+               s->reliability().outstanding() > 0;
+    });
+}
+
+bool stream_mux::all_done() const {
+    return std::all_of(streams_.begin(), streams_.end(), [this](const auto& s) {
+        return s->done(s->effective_mode(profile_mode_));
+    });
+}
+
+std::uint64_t stream_mux::buffered_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& s : streams_) total += s->buffered_bytes();
+    return total;
+}
+
+sack::reliability_policy stream_mux::policy_for(const outbound_stream& s,
+                                                const send_policy& pol) const {
+    sack::reliability_policy p;
+    p.mode = s.effective_mode(profile_mode_);
+    p.partial_margin = pol.partial_margin;
+    p.max_transmissions = s.options().max_transmissions;
+    return p;
+}
+
+std::optional<payload_pick> stream_mux::next_payload(util::sim_time now,
+                                                     const send_policy& pol,
+                                                     std::uint64_t seq) {
+    std::vector<stream_scheduler::candidate> cands;
+    cands.reserve(streams_.size());
+    for (const auto& s : streams_) {
+        if (s->has_work(s->effective_mode(profile_mode_))) {
+            cands.push_back({s->id(), s->options().weight, s->earliest_deadline()});
+        } else {
+            sched_.trim_idle(s->id());
+        }
+    }
+    while (!cands.empty()) {
+        const std::uint32_t id = sched_.pick(cands, now);
+        outbound_stream& s = *streams_[id];
+        if (auto pick = s.next_payload(now, policy_for(s, pol),
+                                       s.effective_mode(profile_mode_), seq,
+                                       pol.packet_size)) {
+            sched_.charge(id, pick->payload_len);
+            return pick;
+        }
+        // The stream's pending work was all expired retransmissions:
+        // drop it from this slot's candidates and re-arbitrate.
+        cands.erase(std::find_if(cands.begin(), cands.end(),
+                                 [id](const auto& c) { return c.id == id; }));
+        sched_.trim_idle(id);
+    }
+    return std::nullopt;
+}
+
+void stream_mux::on_sack(const packet::sack_feedback_segment& fb,
+                         const send_policy& pol) {
+    for (auto& s : streams_) {
+        if (s->effective_mode(profile_mode_) == sack::reliability_mode::none) continue;
+        s->on_sack(fb, policy_for(*s, pol));
+    }
+}
+
+std::uint64_t stream_mux::rtx_bytes_sent_total() const {
+    std::uint64_t total = 0;
+    for (const auto& s : streams_) total += s->rtx_bytes_sent();
+    return total;
+}
+
+std::vector<stream_info> stream_mux::infos() const {
+    std::vector<stream_info> out;
+    out.reserve(streams_.size());
+    for (const auto& s : streams_) out.push_back(s->info(profile_mode_));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// stream_demux
+// ---------------------------------------------------------------------------
+
+stream_demux::stream_demux(sack::delivery_order stream0_order) {
+    streams_.emplace(
+        0u, std::make_unique<sack::reassembly>(
+                stream0_order, [this](std::uint64_t offset, std::uint32_t len) {
+                    if (deliver_) deliver_(0, offset, len);
+                    if (legacy_deliver_) legacy_deliver_(offset, len);
+                }));
+}
+
+void stream_demux::on_frame(std::uint32_t id, sack::reliability_mode mode,
+                            std::uint64_t offset, std::uint32_t len,
+                            bool end_of_stream) {
+    if (id >= max_streams) return; // wire decoder already rejects these
+    auto it = streams_.find(id);
+    if (it == streams_.end()) {
+        const auto order = mode == sack::reliability_mode::full
+                               ? sack::delivery_order::ordered
+                               : sack::delivery_order::immediate;
+        it = streams_
+                 .emplace(id, std::make_unique<sack::reassembly>(
+                                  order, [this, id](std::uint64_t off, std::uint32_t n) {
+                                      if (deliver_) deliver_(id, off, n);
+                                  }))
+                 .first;
+        if (on_stream_open_) on_stream_open_(id, mode);
+    }
+    it->second->on_data(offset, len, end_of_stream);
+}
+
+const sack::reassembly* stream_demux::find(std::uint32_t id) const {
+    const auto it = streams_.find(id);
+    return it == streams_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t stream_demux::delivered_bytes_total() const {
+    std::uint64_t total = 0;
+    for (const auto& [id, r] : streams_) total += r->delivered_bytes();
+    return total;
+}
+
+std::size_t stream_demux::state_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [id, r] : streams_)
+        total += sizeof(sack::reassembly) +
+                 r->received().range_count() * 2 * sizeof(std::uint64_t);
+    return total;
+}
+
+} // namespace vtp::stream

@@ -1,0 +1,231 @@
+// Stream multiplexer: per-stream sender state and receive-side demux.
+//
+// `stream_mux` owns the sender half: up to stream::max_streams outbound
+// streams, each with its own byte space, SACK scoreboard, retransmission
+// queue, message framing and reliability mode. connection_sender asks it
+// to fill each TFRC-paced send slot (next_payload); the embedded
+// stream_scheduler arbitrates between streams, and all per-stream
+// reliability bookkeeping (scoreboard recording, SACK ingestion, expiry)
+// happens here. Sequence numbers stay connection-wide — every stream's
+// scoreboard sees the same SACK feedback and simply skips sequences it
+// did not send.
+//
+// `stream_demux` owns the receiver half: one sack::reassembly per stream,
+// created on first frame with the delivery order the frame's reliability
+// bits call for, delivering through a (stream id, offset, length)
+// callback. Stream 0 is created eagerly with the negotiated connection
+// profile and also feeds the legacy single-stream delivery hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sack/reassembly.hpp"
+#include "sack/retransmit.hpp"
+#include "sack/scoreboard.hpp"
+#include "stream/stream.hpp"
+#include "stream/stream_scheduler.hpp"
+
+namespace vtp::stream {
+
+/// Sender-side state of one stream (owned by stream_mux).
+class outbound_stream {
+public:
+    outbound_stream(std::uint32_t id, stream_options opts, std::uint64_t total_bytes,
+                    bool open, sack::scoreboard_config sb_cfg);
+
+    std::uint32_t id() const { return id_; }
+    const stream_options& options() const { return opts_; }
+
+    /// Reliability this stream actually runs, given the connection
+    /// profile's current mode (follow_profile streams track it).
+    sack::reliability_mode effective_mode(sack::reliability_mode profile_mode) const {
+        return opts_.follow_profile ? profile_mode : opts_.reliability;
+    }
+
+    /// Grow the stream by `n` bytes (pre-bounded by the mux). No-op on a
+    /// finished or unlimited stream.
+    void offer(std::uint64_t n);
+    /// No more bytes will be offered.
+    void finish() { open_ = false; }
+
+    bool open() const { return open_; }
+    bool unlimited() const { return total_bytes_ == UINT64_MAX; }
+    std::uint64_t total_bytes() const { return total_bytes_; }
+    std::uint64_t next_offset() const { return next_offset_; }
+    /// Offered but not yet first-transmitted.
+    std::uint64_t buffered_bytes() const {
+        return unlimited() ? 0 : total_bytes_ - next_offset_;
+    }
+
+    const sack::scoreboard& reliability() const { return scoreboard_; }
+    const sack::retransmit_queue& retransmissions() const { return rtx_queue_; }
+    std::uint64_t rtx_bytes_sent() const { return rtx_bytes_sent_; }
+
+    /// First byte the scoreboard is accountable for (reset when a
+    /// profile renegotiation flips this stream's reliability mode).
+    std::uint64_t reliable_from_offset() const { return reliable_from_offset_; }
+    void reset_reliable_from() { reliable_from_offset_ = next_offset_; }
+
+    bool has_new_data() const { return next_offset_ < total_bytes_; }
+    /// A zero-payload end-of-stream marker is owed (the stream finished
+    /// after its last byte went out, so no data segment carried the flag).
+    bool eos_marker_pending() const {
+        return !open_ && was_open_ && !unlimited() && next_offset_ >= total_bytes_ &&
+               !eos_sent_;
+    }
+    bool has_work(sack::reliability_mode mode) const {
+        if (mode != sack::reliability_mode::none && !rtx_queue_.empty()) return true;
+        return has_new_data() || eos_marker_pending();
+    }
+
+    /// Earliest delivery deadline among pending work, for scheduler
+    /// promotion (util::time_never when none is at risk).
+    util::sim_time earliest_deadline() const;
+
+    /// Fill one send slot from this stream: a policy-filtered
+    /// retransmission first, then new bytes, then a pending end-of-stream
+    /// marker. Advances offsets/framing; the scoreboard entry is recorded
+    /// here when `mode` tracks reliability. Returns nullopt when every
+    /// pending retransmission turned out expired and no new data remains.
+    std::optional<payload_pick> next_payload(util::sim_time now,
+                                             const sack::reliability_policy& policy,
+                                             sack::reliability_mode mode,
+                                             std::uint64_t seq, std::uint32_t packet_size);
+
+    /// Ingest connection-wide SACK feedback: newly finalised losses of
+    /// this stream are queued for retransmission under `policy`.
+    void on_sack(const packet::sack_feedback_segment& fb,
+                 const sack::reliability_policy& policy);
+
+    /// Everything this stream owes has been delivered under `mode`
+    /// (never true for an unlimited or still-open stream).
+    bool done(sack::reliability_mode mode) const;
+
+    stream_info info(sack::reliability_mode profile_mode) const;
+
+private:
+    std::uint32_t id_;
+    stream_options opts_;
+    std::uint64_t total_bytes_;
+    bool open_;
+    const bool was_open_; ///< application-driven stream (offer/finish)
+    bool eos_sent_ = false;
+
+    std::uint64_t next_offset_ = 0;
+    std::uint64_t reliable_from_offset_ = 0;
+    std::uint32_t current_message_id_ = 0;
+    util::sim_time current_message_deadline_ = util::time_never;
+
+    sack::scoreboard scoreboard_;
+    sack::retransmit_queue rtx_queue_;
+    std::uint64_t rtx_bytes_sent_ = 0;
+};
+
+/// Sender-side multiplexer (owned by connection_sender).
+class stream_mux {
+public:
+    /// Constructs with stream 0 in place: `total_bytes`/`open` mirror the
+    /// legacy connection_config source fields, `stream0_opts` its message
+    /// framing; stream 0 always follows the connection profile.
+    stream_mux(stream_options stream0_opts, std::uint64_t total_bytes, bool open,
+               sack::scoreboard_config sb_cfg, stream_scheduler_config sched_cfg = {});
+
+    /// The connection profile's reliability (applies to follow_profile
+    /// streams); updated on establishment and every renegotiation. A mode
+    /// change resets the affected streams' scoreboard coverage boundary.
+    void set_profile_mode(sack::reliability_mode mode);
+    sack::reliability_mode profile_mode() const { return profile_mode_; }
+
+    /// Open a new stream; returns its id or invalid_stream when the
+    /// connection is out of ids. Streams are application-driven (offer /
+    /// finish).
+    std::uint32_t open_stream(const stream_options& opts);
+
+    /// Append up to `n` bytes to stream `id`; bounded so the total
+    /// backlog (offered but unsent, across all streams) never exceeds
+    /// `max_buffered` (0 = unlimited). Returns the accepted count.
+    std::uint64_t offer(std::uint32_t id, std::uint64_t n, std::uint64_t max_buffered);
+    void finish(std::uint32_t id);
+    /// Half-close: finish every stream (legacy close()).
+    void finish_all();
+
+    outbound_stream* find(std::uint32_t id);
+    const outbound_stream* find(std::uint32_t id) const;
+    outbound_stream& stream0() { return *streams_.front(); }
+    const outbound_stream& stream0() const { return *streams_.front(); }
+    std::size_t stream_count() const { return streams_.size(); }
+
+    bool any_open() const;
+    /// Any stream holds payload work (rtx / new bytes / eos marker).
+    bool has_payload_work() const;
+    /// A reliable stream still has unfinalised transmissions in flight:
+    /// the connection must keep probing so the tail can finalise.
+    bool probe_needed() const;
+    /// Every finite stream is finished and complete under its policy.
+    bool all_done() const;
+    std::uint64_t buffered_bytes() const;
+
+    /// Pick the stream for the next send slot and cut its payload.
+    /// `seq` is the connection sequence number this transmission will use.
+    std::optional<payload_pick> next_payload(util::sim_time now, const send_policy& pol,
+                                             std::uint64_t seq);
+
+    /// Feed connection-wide SACK feedback to every stream's scoreboard.
+    void on_sack(const packet::sack_feedback_segment& fb, const send_policy& pol);
+
+    std::uint64_t rtx_bytes_sent_total() const;
+    std::vector<stream_info> infos() const;
+    const stream_scheduler& scheduler() const { return sched_; }
+
+private:
+    sack::reliability_policy policy_for(const outbound_stream& s,
+                                        const send_policy& pol) const;
+
+    std::vector<std::unique_ptr<outbound_stream>> streams_; ///< index == id
+    sack::scoreboard_config sb_cfg_;
+    stream_scheduler sched_;
+    sack::reliability_mode profile_mode_ = sack::reliability_mode::none;
+};
+
+/// Receive-side demultiplexer (owned by connection_receiver).
+class stream_demux {
+public:
+    /// (stream id, stream offset, length) handed to the application.
+    using deliver_fn = std::function<void(std::uint32_t, std::uint64_t, std::uint32_t)>;
+    /// Legacy single-stream hook (stream 0 only): (offset, length).
+    using legacy_deliver_fn = std::function<void(std::uint64_t, std::uint32_t)>;
+    /// A stream was seen for the first time (id, its reliability mode).
+    using stream_open_fn = std::function<void(std::uint32_t, sack::reliability_mode)>;
+
+    /// `stream0_order` is the delivery order negotiated for the
+    /// connection profile (ordered under full reliability).
+    explicit stream_demux(sack::delivery_order stream0_order);
+
+    void set_deliver(deliver_fn cb) { deliver_ = std::move(cb); }
+    void set_legacy_deliver(legacy_deliver_fn cb) { legacy_deliver_ = std::move(cb); }
+    void set_on_stream_open(stream_open_fn cb) { on_stream_open_ = std::move(cb); }
+
+    /// Data for stream `id`, [offset, offset+len). Unknown streams are
+    /// created with the delivery order `mode` implies (full -> ordered).
+    void on_frame(std::uint32_t id, sack::reliability_mode mode, std::uint64_t offset,
+                  std::uint32_t len, bool end_of_stream);
+
+    const sack::reassembly& stream0() const { return *streams_.at(0); }
+    const sack::reassembly* find(std::uint32_t id) const;
+    std::size_t stream_count() const { return streams_.size(); }
+    std::uint64_t delivered_bytes_total() const;
+    std::size_t state_bytes() const;
+
+private:
+    std::map<std::uint32_t, std::unique_ptr<sack::reassembly>> streams_;
+    deliver_fn deliver_;
+    legacy_deliver_fn legacy_deliver_;
+    stream_open_fn on_stream_open_;
+};
+
+} // namespace vtp::stream

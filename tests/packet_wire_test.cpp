@@ -32,6 +32,32 @@ TEST(wire_test, data_roundtrip) {
     EXPECT_EQ(original, decoded);
 }
 
+data_stream_segment sample_data_stream() {
+    data_stream_segment d;
+    d.seq = 77;
+    d.stream_id = 5;
+    d.stream_offset = 123456;
+    d.payload_len = 900;
+    d.ts = vtp::util::milliseconds(321);
+    d.rtt_estimate = vtp::util::milliseconds(60);
+    d.message_id = 3;
+    d.deadline = vtp::util::milliseconds(700);
+    d.reliability = 2; // partial
+    d.is_retransmission = false;
+    d.end_of_stream = true;
+    return d;
+}
+
+TEST(wire_test, data_stream_roundtrip) {
+    const segment original = sample_data_stream();
+    EXPECT_EQ(original, decode_segment(encode_segment(original)));
+}
+
+TEST(wire_test, header_size_matches_encoding_data_stream) {
+    const segment s = sample_data_stream();
+    EXPECT_EQ(header_size(s), encode_segment(s).size());
+}
+
 TEST(wire_test, tfrc_feedback_roundtrip) {
     tfrc_feedback_segment fb;
     fb.ts_echo = vtp::util::milliseconds(10);
@@ -189,7 +215,7 @@ TEST(wire_test, randomized_roundtrip_sweep) {
     vtp::util::rng rng(2024);
     for (int i = 0; i < 2000; ++i) {
         segment s;
-        switch (rng.uniform_int(0, 4)) {
+        switch (rng.uniform_int(0, 5)) {
         case 0: {
             data_segment d;
             d.seq = rng.next_u64();
@@ -245,6 +271,22 @@ TEST(wire_test, randomized_roundtrip_sweep) {
             hs.token = static_cast<std::uint32_t>(rng.next_u64());
             hs.boundary_seq = rng.next_u64();
             s = hs;
+            break;
+        }
+        case 4: {
+            data_stream_segment d;
+            d.seq = rng.next_u64();
+            d.stream_id = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+            d.stream_offset = rng.next_u64();
+            d.payload_len = static_cast<std::uint32_t>(rng.uniform_int(0, 65535));
+            d.ts = rng.uniform_int(0, INT64_MAX / 2);
+            d.rtt_estimate = rng.uniform_int(0, INT64_MAX / 2);
+            d.message_id = static_cast<std::uint32_t>(rng.next_u64());
+            d.deadline = rng.uniform_int(0, INT64_MAX / 2);
+            d.reliability = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+            d.is_retransmission = rng.bernoulli(0.5);
+            d.end_of_stream = rng.bernoulli(0.5);
+            s = d;
             break;
         }
         default: {

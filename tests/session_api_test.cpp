@@ -91,6 +91,13 @@ TEST(session_api_test, renegotiation_mid_transfer_on_sim) {
     EXPECT_EQ(seen_by_client, wanted);
     EXPECT_EQ(client.stats().renegotiations, 1u);
     EXPECT_EQ(accepted->stats().renegotiations, 1u);
+    // Proposal accounting: the receiver initiated, the client only
+    // answered; the listener saw no strays.
+    EXPECT_EQ(accepted->stats().reneg_proposals_sent, 1u);
+    EXPECT_EQ(accepted->stats().reneg_proposals_accepted, 1u);
+    EXPECT_EQ(client.stats().reneg_proposals_sent, 0u);
+    EXPECT_EQ(srv.stats().sessions, 1u);
+    EXPECT_EQ(srv.stats().stray_renegs, 0u);
     EXPECT_GT(client.sender()->last_reneg_boundary(), 0u);
 
     bool client_closed_cb = false;

@@ -66,6 +66,12 @@ TEST(wire_robustness_test, truncation_of_every_kind_throws) {
     tcp_segment t;
     t.sack = {{0, 5}};
     segments.emplace_back(t);
+    data_stream_segment ds;
+    ds.stream_id = 3;
+    ds.stream_offset = 1000;
+    ds.payload_len = 500;
+    ds.reliability = 2; // partial
+    segments.emplace_back(ds);
 
     for (const auto& seg : segments) {
         const auto bytes = encode_segment(seg);
@@ -76,6 +82,36 @@ TEST(wire_robustness_test, truncation_of_every_kind_throws) {
         // Full length decodes to the original.
         EXPECT_EQ(decode_segment(bytes), seg);
     }
+}
+
+TEST(wire_robustness_test, stream_frame_rejects_bad_stream_id) {
+    data_stream_segment ds;
+    ds.stream_id = 17;
+    auto bytes = encode_segment(segment{ds});
+    // Stream id travels as a u16 right after kind + flags.
+    bytes[2] = 0x01;
+    bytes[3] = 0x00; // 256: one past the last valid id
+    EXPECT_THROW((void)decode_segment(bytes), vtp::util::decode_error);
+    bytes[2] = 0xff;
+    bytes[3] = 0xff;
+    EXPECT_THROW((void)decode_segment(bytes), vtp::util::decode_error);
+    bytes[2] = 0x00;
+    bytes[3] = 0xff; // 255: last valid id
+    EXPECT_NO_THROW((void)decode_segment(bytes));
+}
+
+TEST(wire_robustness_test, stream_frame_rejects_malformed_flags) {
+    data_stream_segment ds;
+    ds.stream_id = 1;
+    auto bytes = encode_segment(segment{ds});
+    // Reliability bits 2-3: value 3 is unassigned.
+    bytes[1] = static_cast<std::uint8_t>(0x3 << 2);
+    EXPECT_THROW((void)decode_segment(bytes), vtp::util::decode_error);
+    // Flag bits above the defined set must be rejected (canonical form).
+    bytes[1] = 0x10;
+    EXPECT_THROW((void)decode_segment(bytes), vtp::util::decode_error);
+    bytes[1] = (0x2 << 2) | 0x3; // partial + rtx + eos: well-formed
+    EXPECT_NO_THROW((void)decode_segment(bytes));
 }
 
 TEST(wire_robustness_test, trailing_bytes_are_tolerated) {
