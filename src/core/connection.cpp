@@ -536,6 +536,16 @@ void connection_receiver::ingest_data(std::uint64_t seq, util::sim_time ts,
                                       std::uint32_t stream_id,
                                       sack::reliability_mode mode, std::uint64_t offset,
                                       std::uint32_t len, bool end_of_stream) {
+    // A decoder-accepted but corrupted (or hostile) segment can carry an
+    // absurd sequence jump. Tracking the implied hole costs O(gap) in the
+    // receiver-side loss history and poisons SACK feedback, so gate the
+    // jump by a window far beyond any honest in-flight amount. (Found by
+    // the conformance harness's mutant-injection corrupt mode.)
+    const std::uint64_t next_unseen = ranges_.empty() ? 0 : ranges_.back().end;
+    if (seq >= next_unseen + cfg_.max_seq_jump) {
+        ++wild_seq_rejected_;
+        return;
+    }
     const util::sim_time now = env_->now();
     ++received_packets_;
     ++packets_since_feedback_;

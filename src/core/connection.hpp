@@ -87,6 +87,13 @@ struct connection_config {
 
     /// Handshake retransmission interval.
     util::sim_time handshake_rtx = util::milliseconds(500);
+
+    /// Receiver gate: data whose sequence jumps this many packets past
+    /// the highest range seen is rejected as corruption/hostile input
+    /// (tracking the implied hole costs O(gap) in the loss history).
+    /// The default allows ~64 MB in flight at 1 kB packets; raise it for
+    /// high-BDP paths whose flight exceeds that.
+    std::uint64_t max_seq_jump = 1u << 16;
 };
 
 class connection_sender : public qtp::agent {
@@ -263,6 +270,9 @@ public:
 
     std::uint64_t received_packets() const { return received_packets_; }
     std::uint64_t received_bytes() const { return received_bytes_; }
+    /// Data segments rejected for a sequence number absurdly beyond the
+    /// receive window (decoder-accepted corruption / hostile input).
+    std::uint64_t wild_seq_rejected() const { return wild_seq_rejected_; }
     std::uint64_t feedback_sent() const { return feedback_sent_; }
     std::uint64_t feedback_bytes() const { return feedback_bytes_; }
     /// Resident per-connection state (E4 memory metric).
@@ -313,6 +323,7 @@ private:
 
     std::uint64_t received_packets_ = 0;
     std::uint64_t received_bytes_ = 0;
+    std::uint64_t wild_seq_rejected_ = 0;
     std::uint64_t feedback_sent_ = 0;
     std::uint64_t feedback_bytes_ = 0;
     std::uint32_t renegotiations_ = 0;

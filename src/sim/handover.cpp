@@ -1,0 +1,30 @@
+#include "sim/handover.hpp"
+
+namespace vtp::sim {
+
+void handover_link::start() {
+    for (const auto& p : phases_) {
+        // By value: a later add_phase() may reallocate phases_ under a
+        // captured reference.
+        sched_.at(p.at, [this, phase = p] { apply(phase); });
+    }
+}
+
+void handover_link::apply(const handover_phase& p) {
+    ++handovers_;
+    if (p.rate_bps > 0) {
+        forward_.set_rate(p.rate_bps);
+        if (reverse_ != nullptr) reverse_->set_rate(p.rate_bps);
+    }
+    if (p.delay > 0) {
+        forward_.set_propagation_delay(p.delay);
+        if (reverse_ != nullptr) reverse_->set_propagation_delay(p.delay);
+    }
+    if (p.replace_loss) {
+        forward_.set_loss_model(p.loss ? p.loss() : std::make_unique<no_loss>());
+        if (reverse_ != nullptr)
+            reverse_->set_loss_model(p.loss ? p.loss() : std::make_unique<no_loss>());
+    }
+}
+
+} // namespace vtp::sim

@@ -1,0 +1,60 @@
+// Mid-flow link handover: drive a link through rate/delay/loss regimes.
+//
+// Models a mobile endpoint switching between access links (WLAN -> 3G,
+// ethernet -> wireless): at each phase boundary the link's service rate,
+// propagation delay and loss regime all change at once, while packets in
+// flight complete under the old parameters. The transport on top is what
+// has to cope — RTT spikes, rate cliffs, sudden burst loss — without
+// tearing the connection down (the paper's versatility claim).
+//
+// A `handover_link` is a controller over existing sim::link objects (the
+// forward direction, and optionally the reverse so the ack path follows
+// the same radio), not a link itself: topology wiring stays untouched.
+// Phases are applied by scheduler events, so two runs with the same seed
+// hand over at identical instants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/link.hpp"
+#include "sim/scheduler.hpp"
+
+namespace vtp::sim {
+
+struct handover_phase {
+    sim_time at = 0;             ///< absolute switch time
+    double rate_bps = 0.0;       ///< 0 keeps the current rate
+    sim_time delay = 0;          ///< 0 keeps the current propagation delay
+    bool replace_loss = false;   ///< install (or clear) the loss model below
+    /// New loss regime for this phase; null with replace_loss clears loss.
+    /// A factory (not a model) so forward and reverse get independent
+    /// instances with their own RNG state.
+    std::function<std::unique_ptr<loss_model>()> loss;
+};
+
+class handover_link {
+public:
+    /// `reverse` may be null (impair only the data direction).
+    handover_link(scheduler& sched, link& forward, link* reverse = nullptr)
+        : sched_(sched), forward_(forward), reverse_(reverse) {}
+
+    void add_phase(handover_phase p) { phases_.push_back(std::move(p)); }
+
+    /// Schedule every phase; call once after all add_phase() calls.
+    void start();
+
+    std::uint32_t handovers() const { return handovers_; }
+
+private:
+    void apply(const handover_phase& p);
+
+    scheduler& sched_;
+    link& forward_;
+    link* reverse_;
+    std::vector<handover_phase> phases_;
+    std::uint32_t handovers_ = 0;
+};
+
+} // namespace vtp::sim

@@ -1,0 +1,95 @@
+#include "sim/impairment.hpp"
+
+#include "packet/wire.hpp"
+#include "util/bytes.hpp"
+
+namespace vtp::sim {
+
+impairment_node::impairment_node(std::uint32_t id, scheduler& sched, std::uint64_t seed)
+    : node(id), sched_(sched) {
+    util::rng root(seed);
+    reorder_rng_ = root.fork();
+    duplicate_rng_ = root.fork();
+    corrupt_rng_ = root.fork();
+}
+
+bool impairment_node::active() const {
+    const sim_time now = sched_.now();
+    return now >= window_start_ && now < window_stop_;
+}
+
+void impairment_node::receive(packet::packet pkt) {
+    if (downstream_ == nullptr) return;
+    if (!active()) {
+        ++passed_;
+        downstream_->receive(std::move(pkt));
+        return;
+    }
+
+    if (loss_ && loss_->should_drop(pkt, sched_.now())) {
+        ++dropped_;
+        return;
+    }
+
+    if (corrupt_.probability > 0 && corrupt_rng_.bernoulli(corrupt_.probability)) {
+        if (!mutate(pkt)) {
+            ++corrupted_dropped_;
+            return;
+        }
+        ++corrupted_forwarded_;
+    }
+
+    if (duplicate_.probability > 0 && duplicate_rng_.bernoulli(duplicate_.probability)) {
+        ++duplicated_;
+        packet::packet copy = pkt; // segment body is shared, the copy is cheap
+        if (duplicate_.copy_delay > 0) {
+            sched_.after(duplicate_.copy_delay,
+                         [this, copy = std::move(copy)]() mutable { forward(std::move(copy)); });
+        } else {
+            forward(std::move(copy));
+        }
+    }
+
+    if (reorder_.probability > 0 && reorder_rng_.bernoulli(reorder_.probability)) {
+        ++reordered_;
+        const sim_time extra =
+            reorder_.max_delay > reorder_.min_delay
+                ? reorder_.min_delay +
+                      reorder_rng_.uniform_int(0, reorder_.max_delay - reorder_.min_delay)
+                : reorder_.min_delay;
+        sched_.after(extra,
+                     [this, pkt = std::move(pkt)]() mutable { forward(std::move(pkt)); });
+        return;
+    }
+
+    ++passed_;
+    forward(std::move(pkt));
+}
+
+void impairment_node::forward(packet::packet pkt) { downstream_->receive(std::move(pkt)); }
+
+bool impairment_node::mutate(packet::packet& pkt) {
+    if (!pkt.body) return false;
+    // Run the packet through the *real* wire codec: corruption happens to
+    // encoded bytes, and the decoder decides what survives — exactly the
+    // path a live datagram takes through net::udp_host.
+    auto bytes = packet::encode_segment(*pkt.body);
+    if (bytes.empty()) return false;
+    const int flips = 1 + static_cast<int>(corrupt_rng_.uniform_int(
+                              0, corrupt_.max_bit_flips > 1 ? corrupt_.max_bit_flips - 1 : 0));
+    for (int f = 0; f < flips; ++f) {
+        const auto byte = static_cast<std::size_t>(
+            corrupt_rng_.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+        bytes[byte] ^= static_cast<std::uint8_t>(1u << corrupt_rng_.uniform_int(0, 7));
+    }
+    try {
+        auto decoded = std::make_shared<const packet::segment>(packet::decode_segment(bytes));
+        if (!corrupt_.deliver_mutants) return false; // checksum catches it anyway
+        pkt.body = std::move(decoded);
+    } catch (const util::decode_error&) {
+        return false; // the decoder rejects the mangled frame
+    }
+    return true;
+}
+
+} // namespace vtp::sim

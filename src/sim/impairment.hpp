@@ -1,0 +1,132 @@
+// Adversarial network impairments beyond plain loss.
+//
+// The existing datapath can only *drop* packets (bernoulli/Gilbert–
+// Elliott loss on links, RED/RIO in queues). Real paths also reorder,
+// duplicate and corrupt — the behaviours that break transports (see the
+// reordering/partial-delivery corner cases catalogued by the transport
+// survey literature). An `impairment_node` interposes between a link and
+// its destination node and applies, per packet and in this order:
+//
+//   1. loss      — any sim::loss_model (Gilbert–Elliott for burst loss)
+//   2. corrupt   — encode the segment with the *real* wire codec
+//                  (packet/wire.hpp), flip random bits, decode. The
+//                  decode exercises the codec against every mutant (it
+//                  must reject or survive, never crash or hang); whether
+//                  a decoder-accepted mutant is then forwarded into the
+//                  transport or dropped as a checksum casualty is the
+//                  `deliver_mutants` policy (see corrupt_params).
+//   3. duplicate — forward an extra copy (optionally delayed)
+//   4. reorder   — hold the packet back by a random extra delay, letting
+//                  later packets overtake it
+//
+// Determinism: every stage draws from its own forked child of the node's
+// seed RNG, so enabling one impairment never perturbs another stage's
+// random stream, and two runs with the same seed produce bit-identical
+// impairment decisions (the reproducibility contract scenario tests rely
+// on). No stage ever touches a host or global RNG.
+//
+// Wiring (see testing/scenario_runner.cpp):
+//   link.set_destination(&imp);   // imp forwards to the real next hop
+//   imp.set_downstream(&router);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/loss.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace vtp::sim {
+
+class impairment_node : public node {
+public:
+    struct reorder_params {
+        double probability = 0.0; ///< chance a packet is held back
+        sim_time min_delay = 0;   ///< extra delay, uniform in [min, max]
+        sim_time max_delay = 0;
+    };
+    struct duplicate_params {
+        double probability = 0.0; ///< chance a packet is cloned
+        sim_time copy_delay = 0;  ///< extra delay on the clone
+    };
+    struct corrupt_params {
+        double probability = 0.0; ///< chance a packet's header is mutated
+        int max_bit_flips = 4;    ///< 1..max flips per corrupted packet
+        /// Every corrupted packet is run through the real wire decoder
+        /// (crash/hang net for the codec). By default the packet is then
+        /// dropped either way — modelling the UDP/link-layer checksum
+        /// that discards corrupted datagrams before the transport sees
+        /// them. Setting `deliver_mutants` forwards decoder-*accepted*
+        /// mutants into the transport instead: the uTCP-style adversarial
+        /// mode. Without wire-level integrity protection a mutated
+        /// seq/offset can defeat full-reliability byte-exactness (phantom
+        /// acks) and poison the TFRC feedback loop, so scenarios using it
+        /// assert liveness, not byte-exactness.
+        bool deliver_mutants = false;
+    };
+
+    /// `id` must not collide with routed node ids; impairment nodes are
+    /// transparent (they forward everything to `downstream`, never
+    /// deliver locally). All randomness derives from `seed`.
+    impairment_node(std::uint32_t id, scheduler& sched, std::uint64_t seed);
+
+    /// The real next hop packets continue to after impairment.
+    void set_downstream(node* n) { downstream_ = n; }
+
+    /// Install a drop model (e.g. gilbert_elliott_loss for burst loss).
+    void set_loss_model(std::unique_ptr<loss_model> model) { loss_ = std::move(model); }
+    void set_reorder(reorder_params p) { reorder_ = p; }
+    void set_duplicate(duplicate_params p) { duplicate_ = p; }
+    void set_corrupt(corrupt_params p) { corrupt_ = p; }
+
+    /// Impair only within [start, stop); outside the window packets pass
+    /// through untouched (impairment schedules, e.g. a loss episode).
+    void set_active_window(sim_time start, sim_time stop) {
+        window_start_ = start;
+        window_stop_ = stop;
+    }
+
+    void receive(packet::packet pkt) override;
+
+    std::uint64_t passed() const { return passed_; }
+    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t reordered() const { return reordered_; }
+    std::uint64_t duplicated() const { return duplicated_; }
+    /// Mutated and still decodable: forwarded with altered header fields.
+    std::uint64_t corrupted_forwarded() const { return corrupted_forwarded_; }
+    /// Mutated into something the decoder rejects: dropped at the "NIC".
+    std::uint64_t corrupted_dropped() const { return corrupted_dropped_; }
+
+private:
+    bool active() const;
+    void forward(packet::packet pkt);
+    /// Returns false when the mutation made the packet undecodable.
+    bool mutate(packet::packet& pkt);
+
+    scheduler& sched_;
+    node* downstream_ = nullptr;
+    std::unique_ptr<loss_model> loss_;
+    reorder_params reorder_{};
+    duplicate_params duplicate_{};
+    corrupt_params corrupt_{};
+    sim_time window_start_ = 0;
+    sim_time window_stop_ = util::time_never;
+
+    // Stage-local random streams, forked once at construction so stages
+    // never perturb each other (see file comment).
+    util::rng reorder_rng_;
+    util::rng duplicate_rng_;
+    util::rng corrupt_rng_;
+
+    std::uint64_t passed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t reordered_ = 0;
+    std::uint64_t duplicated_ = 0;
+    std::uint64_t corrupted_forwarded_ = 0;
+    std::uint64_t corrupted_dropped_ = 0;
+};
+
+} // namespace vtp::sim

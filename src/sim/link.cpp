@@ -16,6 +16,11 @@ link::link(scheduler& sched, config cfg, std::unique_ptr<queue_discipline> queue
     assert(cfg_.rate_bps > 0);
 }
 
+void link::set_rate(double bps) {
+    assert(bps > 0);
+    cfg_.rate_bps = bps;
+}
+
 sim_time link::service_time(const packet::packet& pkt) const {
     const double seconds = static_cast<double>(pkt.size_bytes) * 8.0 / cfg_.rate_bps;
     return util::from_seconds(seconds);

@@ -33,6 +33,13 @@ public:
     /// Install a loss model (applied post-service, i.e. on the wire).
     void set_loss_model(std::unique_ptr<loss_model> model) { loss_ = std::move(model); }
 
+    /// Runtime reconfiguration (handover support, sim/handover.hpp): the
+    /// new rate/delay apply from the next packet serviced; a transmission
+    /// already in service completes under the old parameters, exactly as
+    /// a radio handover would leave the in-flight frame on the old link.
+    void set_rate(double bps);
+    void set_propagation_delay(sim_time delay) { cfg_.propagation_delay = delay; }
+
     /// Offer a packet for transmission (may be dropped by the queue).
     void transmit(packet::packet pkt);
 

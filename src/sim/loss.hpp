@@ -3,6 +3,13 @@
 // These model non-congestion loss (corruption, fading): the packet is
 // dropped after it has been serviced by the queue, exactly as a corrupted
 // frame would be discarded by the receiving NIC.
+//
+// RNG contract (scenario reproducibility): every model owns its own
+// explicitly seeded `util::rng` and must never draw from a host or
+// global generator — a model's decision sequence depends on its seed
+// alone, regardless of what else the simulation samples in between.
+// sim/impairment.hpp extends the same rule to per-stage forked streams;
+// tests/sim_loss_test.cpp (loss_rng_isolation_test) locks it in.
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,7 @@ class link;
 class node {
 public:
     explicit node(std::uint32_t id) : id_(id) {}
+    virtual ~node() = default;
 
     std::uint32_t id() const { return id_; }
 
@@ -33,7 +34,9 @@ public:
 
     /// A packet arriving from a link (or locally injected): deliver it
     /// here if addressed to us, otherwise forward along the route.
-    void receive(packet::packet pkt);
+    /// Virtual so impairment nodes (sim/impairment.hpp) can interpose on
+    /// the datapath between a link and its destination.
+    virtual void receive(packet::packet pkt);
 
     /// Entry point for locally originated packets.
     void inject(packet::packet pkt) { receive(std::move(pkt)); }

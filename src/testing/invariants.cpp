@@ -1,0 +1,240 @@
+#include "testing/invariants.hpp"
+
+#include <sstream>
+
+#include "tfrc/equation.hpp"
+
+namespace vtp::testing {
+
+namespace {
+
+void violate(scenario_result& result, const std::string& invariant, std::string detail) {
+    result.violations.push_back({invariant, std::move(detail)});
+}
+
+std::string stream_label(const flow_observation& f, std::uint32_t stream) {
+    std::ostringstream os;
+    os << "flow " << f.flow_id << " stream " << stream;
+    return os.str();
+}
+
+/// Decoder-accepted garbage can only reach the transport when a corrupt
+/// impairment explicitly opts into mutant delivery; the default
+/// (checksum-drop) mode gets no integrity exemptions.
+bool scenario_delivers_mutants(const scenario_spec& spec) {
+    for (const auto& imp : spec.impairments)
+        if (imp.what == impairment_spec::kind::corrupt && imp.probability > 0 &&
+            imp.deliver_mutants)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void check_delivery_integrity(const scenario_spec& spec, scenario_result& result) {
+    const std::string inv = "delivery-integrity";
+    const bool corrupting = scenario_delivers_mutants(spec);
+    for (const auto& f : result.flows) {
+        for (const auto& [id, s] : f.streams) {
+            const std::string label = stream_label(f, id);
+            if (!s.opened_by_sender) {
+                // A stream the sender never opened can only come from
+                // decoder-accepted garbage; without a corrupt impairment
+                // its existence is itself a violation.
+                if (!corrupting)
+                    violate(result, inv, label + ": delivered on a stream the sender never opened");
+                continue;
+            }
+            if (s.overlap_bytes > 0) {
+                std::ostringstream os;
+                os << label << ": " << s.overlap_bytes << " bytes delivered more than once";
+                violate(result, inv, os.str());
+            }
+            if (s.check_mode == sack::reliability_mode::full && s.ooo_deliveries > 0) {
+                std::ostringstream os;
+                os << label << ": " << s.ooo_deliveries
+                   << " out-of-order deliveries on a fully reliable stream";
+                violate(result, inv, os.str());
+            }
+            switch (s.check_mode) {
+            case sack::reliability_mode::full:
+                // With mutants delivered into the transport, byte-
+                // exactness is unachievable by design (mutated seq/offset
+                // fields forge phantom acks — the wire format carries no
+                // integrity protection); those scenarios assert liveness
+                // and the ordering/duplication checks above instead.
+                if (s.delivered != s.offered && !corrupting) {
+                    std::ostringstream os;
+                    os << label << ": fully reliable stream delivered " << s.delivered
+                       << " of " << s.offered << " offered bytes";
+                    violate(result, inv, os.str());
+                }
+                break;
+            case sack::reliability_mode::partial:
+                if (s.delivered > s.offered && !corrupting) {
+                    std::ostringstream os;
+                    os << label << ": delivered " << s.delivered << " > offered " << s.offered;
+                    violate(result, inv, os.str());
+                }
+                // Hole bound: every byte is delivered, abandoned by the
+                // partial policy, or part of the small unsettled tail —
+                // ranges whose retransmission was itself in flight (loss
+                // not yet finalised) when the sender declared completion.
+                // That tail is bounded by a few packets; anything larger
+                // is a real reliability hole.
+                if (s.delivered + s.abandoned + 8ull * f.packet_size < s.offered) {
+                    std::ostringstream os;
+                    os << label << ": hole not bounded by the partial policy — delivered "
+                       << s.delivered << " + abandoned " << s.abandoned
+                       << " + unsettled-tail allowance < offered " << s.offered;
+                    violate(result, inv, os.str());
+                }
+                break;
+            case sack::reliability_mode::none:
+                if (s.delivered > s.offered && !corrupting) {
+                    std::ostringstream os;
+                    os << label << ": delivered " << s.delivered << " > offered " << s.offered;
+                    violate(result, inv, os.str());
+                }
+                break;
+            }
+        }
+        // Total-blackhole detection: a stream that offered bytes must
+        // have delivered *something* — even no-reliability streams under
+        // heavy impairment get a nonzero fraction through. (Checked via
+        // the delivered counter, not map membership: the runner creates
+        // an accounting entry for every sender stream.)
+        for (const auto& info : f.sender_streams) {
+            if (info.bytes_offered == 0) continue;
+            const auto it = f.streams.find(info.id);
+            if (it == f.streams.end() || it->second.delivered == 0) {
+                std::ostringstream os;
+                os << "flow " << f.flow_id << " stream " << info.id << ": "
+                   << info.bytes_offered << " bytes offered but nothing ever delivered";
+                violate(result, inv, os.str());
+            }
+        }
+    }
+}
+
+void check_close_termination(const scenario_spec& spec, scenario_result& result) {
+    const std::string inv = "close-termination";
+    for (const auto& f : result.flows) {
+        if (!f.established) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": never established";
+            violate(result, inv, os.str());
+            continue;
+        }
+        if (!f.client_closed) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": client close() did not terminate within "
+               << util::to_seconds(spec.deadline()) << "s";
+            violate(result, inv, os.str());
+        }
+        if (!f.server_closed) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": server never saw the peer's FIN";
+            violate(result, inv, os.str());
+        }
+    }
+}
+
+void check_tfrc_equation_bound(const scenario_spec& spec, scenario_result& result) {
+    if (spec.tfrc_bound_factor <= 0) return;
+    const std::string inv = "tfrc-equation-bound";
+    for (const auto& f : result.flows) {
+        const auto& st = f.client_stats;
+        const double p = st.loss_event_rate;
+        const double rtt_s = util::to_seconds(st.rtt);
+        if (p <= 0 || rtt_s <= 0 || st.allowed_rate_bps <= 0) continue;
+        tfrc::equation_params eq;
+        eq.packet_size_bytes = static_cast<double>(f.packet_size);
+        const double x_bps = tfrc::throughput_bytes_per_second(eq, rtt_s, p) * 8.0;
+        const double floor_bps = f.guaranteed_rate_bps;
+        const double bound = spec.tfrc_bound_factor * std::max(x_bps, floor_bps);
+        if (st.allowed_rate_bps > bound) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": allowed rate " << st.allowed_rate_bps
+               << " b/s exceeds " << spec.tfrc_bound_factor << "x equation bound " << bound
+               << " b/s (p=" << p << ", rtt=" << rtt_s << "s, gTFRC floor=" << floor_bps
+               << ")";
+            violate(result, inv, os.str());
+        }
+    }
+}
+
+void check_stats_consistency(const scenario_spec& spec, scenario_result& result) {
+    (void)spec;
+    const std::string inv = "stats-consistency";
+    for (const auto& f : result.flows) {
+        const auto& cs = f.client_stats;
+        const auto& ss = f.server_stats;
+        if (cs.stream_bytes_acked > cs.stream_bytes_sent) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": acked " << cs.stream_bytes_acked << " > sent "
+               << cs.stream_bytes_sent;
+            violate(result, inv, os.str());
+        }
+        if (cs.stream_bytes_sent > cs.stream_bytes_queued) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": sent " << cs.stream_bytes_sent << " > queued "
+               << cs.stream_bytes_queued;
+            violate(result, inv, os.str());
+        }
+        if (f.established && cs.packets_sent == 0) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": established but no packets sent";
+            violate(result, inv, os.str());
+        }
+        for (const auto& info : f.sender_streams) {
+            std::ostringstream os;
+            if (info.bytes_acked > info.bytes_sent) {
+                os << stream_label(f, info.id) << ": acked " << info.bytes_acked << " > sent "
+                   << info.bytes_sent;
+                violate(result, inv, os.str());
+            } else if (info.bytes_sent > info.bytes_offered) {
+                os << stream_label(f, info.id) << ": sent " << info.bytes_sent << " > offered "
+                   << info.bytes_offered;
+                violate(result, inv, os.str());
+            } else if (info.abandoned_bytes > info.bytes_offered) {
+                os << stream_label(f, info.id) << ": abandoned " << info.abandoned_bytes
+                   << " > offered " << info.bytes_offered;
+                violate(result, inv, os.str());
+            }
+        }
+        if (ss.bytes_delivered > ss.bytes_received) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": delivered " << ss.bytes_delivered
+               << " > received " << ss.bytes_received;
+            violate(result, inv, os.str());
+        }
+        if (f.established && ss.packets_received == 0) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": established but server received no packets";
+            violate(result, inv, os.str());
+        }
+        // The delivery callbacks and the stats counter must agree: what
+        // the application was handed is what the endpoint accounted.
+        std::uint64_t callback_bytes = 0;
+        for (const auto& [id, s] : f.streams) callback_bytes += s.delivered;
+        if (callback_bytes != ss.bytes_delivered) {
+            std::ostringstream os;
+            os << "flow " << f.flow_id << ": delivery callbacks handed " << callback_bytes
+               << " bytes but the stats counter says " << ss.bytes_delivered;
+            violate(result, inv, os.str());
+        }
+    }
+}
+
+const std::vector<named_invariant>& default_invariants() {
+    static const std::vector<named_invariant> all = {
+        {"delivery-integrity", check_delivery_integrity},
+        {"close-termination", check_close_termination},
+        {"tfrc-equation-bound", check_tfrc_equation_bound},
+        {"stats-consistency", check_stats_consistency},
+    };
+    return all;
+}
+
+} // namespace vtp::testing

@@ -1,0 +1,301 @@
+// The canonical scenario matrix.
+//
+// Each entry is one adversarial regime the versatile transport must
+// survive with its invariants intact (delivery integrity, bounded TFRC
+// rate, terminating close, consistent counters). The matrix covers every
+// impairment type at least once, the handover/renegotiation interaction,
+// multi-stream mux under oscillating bandwidth, and a DiffServ AF
+// bottleneck under congestion. Scenarios run as individual ctest cases
+// (CMakeLists.txt registers scenario_<name>) and by name through the
+// vtpscenario CLI; keep seeds fixed — a scenario is also a determinism
+// regression.
+#include "testing/scenario.hpp"
+
+namespace vtp::testing {
+
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+flow_spec bulk_reliable(std::uint64_t bytes) {
+    flow_spec f;
+    f.options = session_options::reliable();
+    f.bytes = bytes;
+    return f;
+}
+
+scenario_spec wired_baseline_reliable() {
+    scenario_spec s;
+    s.name = "wired_baseline_reliable";
+    s.summary = "clean 20 Mb/s path, one fully reliable bulk flow (sanity anchor)";
+    s.bottleneck_rate_bps = 20e6;
+    s.flows = {bulk_reliable(4'000'000)};
+    return s;
+}
+
+scenario_spec wireless_burst_loss() {
+    scenario_spec s;
+    s.name = "wireless_burst_loss";
+    s.summary = "Gilbert-Elliott burst loss on the data path, full reliability";
+    impairment_spec ge;
+    ge.what = impairment_spec::kind::burst;
+    ge.burst = {0.02, 0.25, 0.0, 0.4};
+    s.impairments = {ge};
+    s.flows = {bulk_reliable(3'000'000)};
+    s.duration = seconds(60);
+    return s;
+}
+
+scenario_spec burst_loss_partial_media() {
+    scenario_spec s;
+    s.name = "burst_loss_partial_media";
+    s.summary = "burst loss vs a deadline-framed partially reliable media flow";
+    impairment_spec ge;
+    ge.what = impairment_spec::kind::burst;
+    ge.burst = {0.03, 0.3, 0.0, 0.5};
+    s.impairments = {ge};
+    flow_spec f;
+    f.options = session_options::light(sack::reliability_mode::partial);
+    f.options.message_size = 1000;
+    f.options.message_deadline = milliseconds(120);
+    f.bytes = 2'000'000;
+    s.flows = {f};
+    s.duration = seconds(60);
+    return s;
+}
+
+scenario_spec reorder_heavy_path() {
+    scenario_spec s;
+    s.name = "reorder_heavy_path";
+    s.summary = "25% of packets held back 2-25 ms (multi-path/wireless reordering)";
+    s.bottleneck_rate_bps = 20e6;
+    impairment_spec ro;
+    ro.what = impairment_spec::kind::reorder;
+    ro.probability = 0.25;
+    ro.min_delay = milliseconds(2);
+    ro.max_delay = milliseconds(25);
+    s.impairments = {ro};
+    s.flows = {bulk_reliable(3'000'000)};
+    return s;
+}
+
+scenario_spec reorder_streaming_none() {
+    scenario_spec s;
+    s.name = "reorder_streaming_none";
+    s.summary = "no-reliability streaming flow under heavy reordering";
+    impairment_spec ro;
+    ro.what = impairment_spec::kind::reorder;
+    ro.probability = 0.3;
+    ro.min_delay = milliseconds(5);
+    ro.max_delay = milliseconds(40);
+    s.impairments = {ro};
+    flow_spec f;
+    f.options = session_options::light(sack::reliability_mode::none);
+    f.bytes = 2'000'000;
+    s.flows = {f};
+    return s;
+}
+
+scenario_spec duplicate_path() {
+    scenario_spec s;
+    s.name = "duplicate_path";
+    s.summary = "15% packet duplication; the app must never see a byte twice";
+    impairment_spec dup;
+    dup.what = impairment_spec::kind::duplicate;
+    dup.probability = 0.15;
+    s.impairments = {dup};
+    s.flows = {bulk_reliable(3'000'000)};
+    return s;
+}
+
+scenario_spec corruption_at_decoder() {
+    scenario_spec s;
+    s.name = "corruption_at_decoder";
+    s.summary = "bit flips pushed through the real wire decoder on every corrupted frame";
+    impairment_spec cr;
+    cr.what = impairment_spec::kind::corrupt;
+    cr.probability = 0.04;
+    cr.max_bit_flips = 4;
+    s.impairments = {cr};
+    s.flows = {bulk_reliable(3'000'000)};
+    s.duration = seconds(60);
+    return s;
+}
+
+scenario_spec ack_path_loss() {
+    scenario_spec s;
+    s.name = "ack_path_loss";
+    s.summary = "8% loss on the feedback direction only (SACK/report robustness)";
+    impairment_spec bl;
+    bl.what = impairment_spec::kind::bernoulli;
+    bl.probability = 0.08;
+    bl.on_ack_path = true;
+    s.impairments = {bl};
+    s.flows = {bulk_reliable(3'000'000)};
+    s.duration = seconds(60);
+    return s;
+}
+
+scenario_spec loss_episode_window() {
+    scenario_spec s;
+    s.name = "loss_episode_window";
+    s.summary = "30% loss episode limited to t in [3s,6s) (outage-and-recover)";
+    impairment_spec ep;
+    ep.what = impairment_spec::kind::bernoulli;
+    ep.probability = 0.3;
+    ep.start = seconds(3);
+    ep.stop = seconds(6);
+    s.impairments = {ep};
+    s.flows = {bulk_reliable(3'000'000)};
+    s.duration = seconds(60);
+    return s;
+}
+
+scenario_spec handover_rate_cliff() {
+    scenario_spec s;
+    s.name = "handover_rate_cliff";
+    s.summary = "WLAN->3G->WLAN handovers: rate cliff, RTT jump, new loss regime";
+    s.bottleneck_rate_bps = 20e6;
+    s.bottleneck_delay = milliseconds(10);
+    s.handovers = {
+        {seconds(1), 3e6, milliseconds(40), true, 0.01},
+        {seconds(5), 15e6, milliseconds(15), true, 0.0},
+    };
+    s.flows = {bulk_reliable(6'000'000)};
+    s.duration = seconds(60);
+    s.tfrc_bound_factor = 0.0; // p/rtt are stale across regime switches
+    return s;
+}
+
+scenario_spec handover_during_renegotiation() {
+    scenario_spec s;
+    s.name = "handover_during_renegotiation";
+    s.summary = "link hands over while a profile renegotiation is in flight";
+    s.bottleneck_rate_bps = 16e6;
+    s.handovers = {{milliseconds(5200), 4e6, milliseconds(35), true, 0.005}};
+    flow_spec f = bulk_reliable(12'000'000);
+    // The receiver sheds its loss-history state mid-transfer (estimation
+    // locus moves to the sender); reliability stays full so the transfer
+    // must remain byte-exact across both transitions.
+    qtp::profile light_full;
+    light_full.reliability = sack::reliability_mode::full;
+    light_full.estimation = tfrc::estimation_mode::sender_side;
+    f.renegs = {{seconds(5), light_full, true}};
+    f.close_at = seconds(6);
+    s.flows = {f};
+    s.duration = seconds(90);
+    s.tfrc_bound_factor = 0.0;
+    return s;
+}
+
+scenario_spec mux_bulk_deadline_oscillation() {
+    scenario_spec s;
+    s.name = "mux_bulk_deadline_oscillation";
+    s.summary = "bulk + deadline mux streams on one connection, oscillating bandwidth";
+    s.bottleneck_rate_bps = 12e6;
+    s.handovers = {
+        {milliseconds(1500), 2.5e6, 0, false, 0.0},
+        {seconds(3), 12e6, 0, false, 0.0},
+        {milliseconds(4500), 2.5e6, 0, false, 0.0},
+        {seconds(6), 12e6, 0, false, 0.0},
+    };
+    flow_spec f = bulk_reliable(4'000'000);
+    stream_spec media;
+    media.options.reliability = sack::reliability_mode::partial;
+    media.options.weight = 3;
+    media.options.message_size = 1000;
+    media.options.message_deadline = milliseconds(150);
+    media.bytes = 3'000'000;
+    f.extra_streams = {media};
+    s.flows = {f};
+    s.duration = seconds(90);
+    s.tfrc_bound_factor = 0.0;
+    return s;
+}
+
+scenario_spec diffserv_af_congestion() {
+    scenario_spec s;
+    s.name = "diffserv_af_congestion";
+    s.summary = "AF-marked gTFRC flow holds its commit on a congested RIO bottleneck";
+    s.rio_queue = true;
+    s.af_commit_bps = 4e6;
+    flow_spec af;
+    af.options = session_options::af(4e6);
+    af.bytes = 4'000'000;
+    s.flows = {af, bulk_reliable(4'000'000)};
+    s.duration = seconds(60);
+    return s;
+}
+
+scenario_spec kitchen_sink_adversarial() {
+    scenario_spec s;
+    s.name = "kitchen_sink_adversarial";
+    s.summary = "burst loss + reorder + duplicate + corrupt + ack loss, all at once";
+    impairment_spec ge;
+    ge.what = impairment_spec::kind::burst;
+    ge.burst = {0.01, 0.3, 0.0, 0.3};
+    impairment_spec ro;
+    ro.what = impairment_spec::kind::reorder;
+    ro.probability = 0.1;
+    ro.min_delay = milliseconds(2);
+    ro.max_delay = milliseconds(15);
+    impairment_spec dup;
+    dup.what = impairment_spec::kind::duplicate;
+    dup.probability = 0.05;
+    impairment_spec cr;
+    cr.what = impairment_spec::kind::corrupt;
+    cr.probability = 0.02;
+    cr.max_bit_flips = 4;
+    impairment_spec ack;
+    ack.what = impairment_spec::kind::bernoulli;
+    ack.probability = 0.03;
+    ack.on_ack_path = true;
+    s.impairments = {ge, ro, dup, cr, ack};
+    s.flows = {bulk_reliable(2'000'000)};
+    s.duration = seconds(90);
+    s.tfrc_bound_factor = 0.0;
+    return s;
+}
+
+} // namespace
+
+const std::vector<scenario_spec>& scenario_matrix() {
+    static const std::vector<scenario_spec> all = {
+        wired_baseline_reliable(),
+        wireless_burst_loss(),
+        burst_loss_partial_media(),
+        reorder_heavy_path(),
+        reorder_streaming_none(),
+        duplicate_path(),
+        corruption_at_decoder(),
+        ack_path_loss(),
+        loss_episode_window(),
+        handover_rate_cliff(),
+        handover_during_renegotiation(),
+        mux_bulk_deadline_oscillation(),
+        diffserv_af_congestion(),
+        kitchen_sink_adversarial(),
+    };
+    return all;
+}
+
+const scenario_spec* find_scenario(const std::string& name) {
+    for (const auto& s : scenario_matrix())
+        if (s.name == name) return &s;
+    return nullptr;
+}
+
+std::vector<std::string> scenario_names() {
+    std::vector<std::string> names;
+    names.reserve(scenario_matrix().size());
+    for (const auto& s : scenario_matrix()) names.push_back(s.name);
+    return names;
+}
+
+std::vector<std::string> reduced_matrix_names() {
+    return {"wireless_burst_loss", "reorder_heavy_path",   "duplicate_path",
+            "corruption_at_decoder", "handover_rate_cliff", "mux_bulk_deadline_oscillation"};
+}
+
+} // namespace vtp::testing

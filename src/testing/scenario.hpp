@@ -1,0 +1,130 @@
+// Declarative protocol scenarios for the conformance harness.
+//
+// A `scenario_spec` is everything needed to reproduce one adversarial
+// end-to-end run: the path (rate/delay/queue, optionally a DiffServ RIO
+// bottleneck with an edge conditioner), an impairment schedule (burst
+// loss, reordering, duplication, corruption, handovers — sim/impairment
+// and sim/handover), and per-flow setup (profile, extra mux streams,
+// renegotiation timeline, close time). `scenario_runner.hpp` executes a
+// spec on sim::host sessions and evaluates the invariant checkers in
+// `invariants.hpp`; every run is fully determined by (spec, seed).
+//
+// The canonical matrix below (`scenario_matrix()`) is the regression net
+// every PR runs through: each entry is registered as its own ctest case
+// (CMakeLists.txt) and can be replayed by name with `vtpscenario`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/session_options.hpp"
+#include "sim/impairment.hpp"
+#include "sim/loss.hpp"
+#include "stream/stream.hpp"
+#include "util/time.hpp"
+
+namespace vtp::testing {
+
+/// One impairment installed on the bottleneck datapath.
+struct impairment_spec {
+    enum class kind {
+        bernoulli, ///< independent loss (probability)
+        burst,     ///< Gilbert–Elliott burst loss (burst params)
+        reorder,   ///< random extra holding delay (probability, delays)
+        duplicate, ///< packet cloning (probability)
+        corrupt,   ///< wire-codec bit flips (probability, max_bit_flips)
+    };
+    kind what = kind::bernoulli;
+    double probability = 0.0;
+    sim::gilbert_elliott_loss::params burst{};
+    util::sim_time min_delay = 0; ///< reorder: extra delay window
+    util::sim_time max_delay = 0;
+    int max_bit_flips = 4;
+    /// corrupt: forward decoder-accepted mutants into the transport
+    /// (adversarial mode — relaxes the phantom/over-delivery integrity
+    /// checks) instead of dropping every corrupted packet post-decode.
+    bool deliver_mutants = false;
+    bool on_ack_path = false; ///< install on the reverse (feedback) direction
+    util::sim_time start = 0; ///< active window [start, stop)
+    util::sim_time stop = util::time_never;
+};
+
+/// One handover phase applied to the bottleneck (both directions).
+struct handover_spec {
+    util::sim_time at = 0;
+    double rate_bps = 0.0;        ///< 0 keeps current
+    util::sim_time delay = 0;     ///< 0 keeps current
+    bool replace_loss = false;    ///< switch loss regime at the boundary
+    double loss_probability = 0.0; ///< bernoulli loss of the new regime (0 = clean)
+};
+
+/// An additional mux stream opened on a flow at establishment.
+struct stream_spec {
+    stream::stream_options options{};
+    std::uint64_t bytes = 0;
+};
+
+/// A mid-flow profile renegotiation event.
+struct reneg_spec {
+    util::sim_time at = 0;
+    qtp::profile profile{};
+    bool from_receiver = false; ///< the accepted (server-side) session proposes
+};
+
+/// One client->server flow on its own dumbbell pair.
+struct flow_spec {
+    session_options options{};
+    std::uint64_t bytes = 1'000'000; ///< queued on stream 0 at connect
+    std::vector<stream_spec> extra_streams;
+    std::vector<reneg_spec> renegs;
+    /// When the client calls close() (0 = right after queuing the sends;
+    /// the FIN still waits for delivery under each stream's policy).
+    util::sim_time close_at = 0;
+};
+
+struct scenario_spec {
+    std::string name;    ///< ctest / CLI identifier (kebab-free, [a-z0-9_])
+    std::string summary; ///< one line for --list output
+
+    // Path (a dumbbell with one pair per flow).
+    double bottleneck_rate_bps = 10e6;
+    util::sim_time bottleneck_delay = util::milliseconds(20);
+    std::size_t queue_packets = 50;
+    bool rio_queue = false;    ///< DiffServ RIO bottleneck queue
+    double af_commit_bps = 0.0; ///< edge-conditioner commit for flow 0 (AF marking)
+
+    std::vector<impairment_spec> impairments;
+    std::vector<handover_spec> handovers;
+    std::vector<flow_spec> flows;
+
+    /// Wall of the simulation: every flow must be closed by
+    /// `deadline()`; the runner stops early once all flows close.
+    util::sim_time duration = util::seconds(30);
+    util::sim_time close_grace = util::seconds(120);
+
+    /// TFRC equation bound: at the end of the run every sender's allowed
+    /// rate must be within `tfrc_bound_factor` x the RFC 3448 equation
+    /// rate for its measured (p, rtt). 0 disables the check (regimes
+    /// where p/rtt are stale by construction, e.g. right after handover).
+    double tfrc_bound_factor = 3.0;
+
+    std::uint64_t seed = 1;
+
+    util::sim_time deadline() const { return duration + close_grace; }
+};
+
+/// The canonical scenario matrix (>= 12 entries, at least one per
+/// impairment type). Stable order; names are unique.
+const std::vector<scenario_spec>& scenario_matrix();
+
+/// nullptr when no scenario has that name.
+const scenario_spec* find_scenario(const std::string& name);
+
+std::vector<std::string> scenario_names();
+
+/// The reduced matrix run under ASan/UBSan in CI (one scenario per
+/// impairment family, shortest durations).
+std::vector<std::string> reduced_matrix_names();
+
+} // namespace vtp::testing

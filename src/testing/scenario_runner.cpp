@@ -1,0 +1,324 @@
+#include "testing/scenario_runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "api/server.hpp"
+#include "api/session.hpp"
+#include "diffserv/conditioner.hpp"
+#include "diffserv/rio.hpp"
+#include "sim/handover.hpp"
+#include "sim/impairment.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+#include "util/trace.hpp"
+
+namespace vtp::testing {
+
+namespace {
+
+constexpr std::size_t max_trace_events = 500'000;
+
+/// Weakest-reliability ordering: none < partial < full.
+int mode_rank(sack::reliability_mode m) {
+    switch (m) {
+    case sack::reliability_mode::none: return 0;
+    case sack::reliability_mode::partial: return 1;
+    case sack::reliability_mode::full: return 2;
+    }
+    return 0;
+}
+
+sack::reliability_mode weakest(sack::reliability_mode a, sack::reliability_mode b) {
+    return mode_rank(a) <= mode_rank(b) ? a : b;
+}
+
+/// The weakest reliability a profile-following stream ran under at any
+/// point of the flow's life: initial profile, every proposed profile,
+/// and whatever was finally active (proposals may be downgraded).
+sack::reliability_mode weakest_profile_mode(const flow_spec& flow,
+                                            const qtp::profile& final_active) {
+    sack::reliability_mode m = flow.options.profile.reliability;
+    for (const auto& r : flow.renegs) m = weakest(m, r.profile.reliability);
+    return weakest(m, final_active.reliability);
+}
+
+std::unique_ptr<sim::loss_model> make_loss(const impairment_spec& imp, std::uint64_t seed) {
+    if (imp.what == impairment_spec::kind::burst)
+        return std::make_unique<sim::gilbert_elliott_loss>(imp.burst, seed);
+    return std::make_unique<sim::bernoulli_loss>(imp.probability, seed);
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xFF;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ULL;
+
+} // namespace
+
+scenario_result run_scenario(const scenario_spec& spec, std::uint64_t seed,
+                             bool collect_trace) {
+    scenario_result result;
+    result.name = spec.name;
+    result.seed = seed == 0 ? spec.seed : seed;
+    const std::uint64_t run_seed = result.seed;
+
+    // Deterministic seed derivation chain: every random element gets its
+    // own splitmix64-derived stream, so adding an impairment never
+    // perturbs the seeds of the others.
+    std::uint64_t mix = run_seed * 0x9e3779b97f4a7c15ULL + 0x1234567;
+    auto next_seed = [&mix] { return util::splitmix64(mix); };
+
+    sim::dumbbell_config cfg;
+    cfg.pairs = spec.flows.size();
+    cfg.access_rate_bps = 100e6;
+    cfg.access_delay = util::milliseconds(1);
+    cfg.bottleneck_rate_bps = spec.bottleneck_rate_bps;
+    cfg.bottleneck_delay = spec.bottleneck_delay;
+    cfg.bottleneck_queue_packets = spec.queue_packets;
+    cfg.seed = run_seed;
+    if (spec.rio_queue) {
+        const std::uint64_t rio_seed = next_seed();
+        cfg.bottleneck_queue = [rio_seed] {
+            return std::make_unique<diffserv::rio_queue>(diffserv::default_rio_params(60, 1050),
+                                                         rio_seed);
+        };
+    }
+    sim::dumbbell net(cfg);
+
+    // --- impairment chains, one per direction ---------------------------
+    std::vector<std::unique_ptr<sim::impairment_node>> impairments;
+    auto build_chain = [&](bool ack_path) {
+        sim::impairment_node* head = nullptr;
+        sim::impairment_node* tail = nullptr;
+        for (const auto& imp : spec.impairments) {
+            if (imp.on_ack_path != ack_path) continue;
+            auto node = std::make_unique<sim::impairment_node>(
+                static_cast<std::uint32_t>((ack_path ? 20000 : 10000) + impairments.size()),
+                net.sched(), next_seed());
+            switch (imp.what) {
+            case impairment_spec::kind::bernoulli:
+            case impairment_spec::kind::burst:
+                node->set_loss_model(make_loss(imp, next_seed()));
+                break;
+            case impairment_spec::kind::reorder:
+                node->set_reorder({imp.probability, imp.min_delay, imp.max_delay});
+                break;
+            case impairment_spec::kind::duplicate:
+                node->set_duplicate({imp.probability, 0});
+                break;
+            case impairment_spec::kind::corrupt:
+                node->set_corrupt({imp.probability, imp.max_bit_flips, imp.deliver_mutants});
+                break;
+            }
+            node->set_active_window(imp.start, imp.stop);
+            if (tail != nullptr) tail->set_downstream(node.get());
+            if (head == nullptr) head = node.get();
+            tail = node.get();
+            impairments.push_back(std::move(node));
+        }
+        if (head == nullptr) return;
+        if (!ack_path) {
+            tail->set_downstream(&net.right_router());
+            net.forward_bottleneck().set_destination(head);
+        } else {
+            tail->set_downstream(&net.left_router());
+            net.reverse_bottleneck().set_destination(head);
+        }
+    };
+    build_chain(false);
+    build_chain(true);
+
+    // --- handover schedule ---------------------------------------------
+    sim::handover_link handover(net.sched(), net.forward_bottleneck(),
+                                &net.reverse_bottleneck());
+    for (const auto& h : spec.handovers) {
+        sim::handover_phase phase;
+        phase.at = h.at;
+        phase.rate_bps = h.rate_bps;
+        phase.delay = h.delay;
+        phase.replace_loss = h.replace_loss;
+        if (h.replace_loss && h.loss_probability > 0) {
+            const double p = h.loss_probability;
+            // Stateful factory: forward and reverse instances get
+            // distinct (but seed-determined) streams.
+            auto calls = std::make_shared<std::uint64_t>(0);
+            const std::uint64_t base = next_seed();
+            phase.loss = [p, base, calls]() -> std::unique_ptr<sim::loss_model> {
+                return std::make_unique<sim::bernoulli_loss>(p, base + (*calls)++);
+            };
+        }
+        handover.add_phase(std::move(phase));
+    }
+    handover.start();
+
+    // --- DiffServ edge (AF marking for flow 0) -------------------------
+    diffserv::conditioner edge(net.sched());
+    if (spec.af_commit_bps > 0) {
+        edge.set_profile(1, spec.af_commit_bps,
+                         static_cast<std::size_t>(spec.af_commit_bps / 8.0 * 0.03));
+        edge.install_egress(net.left_node(0));
+    }
+
+    // --- flows ----------------------------------------------------------
+    const std::size_t n = spec.flows.size();
+    std::vector<std::unique_ptr<vtp::server>> servers;
+    std::vector<vtp::session> clients(n);
+    std::vector<vtp::session*> accepted(n, nullptr);
+    result.flows.resize(n);
+
+    std::uint64_t hash = fnv_offset;
+    auto record = [&](std::size_t i, std::uint32_t stream, std::uint64_t offset,
+                      std::uint32_t len) {
+        if (len == 0) return;
+        auto& obs = result.flows[i];
+        auto& s = obs.streams[stream];
+        s.overlap_bytes += s.ranges.covered_in(offset, offset + len);
+        s.ranges.add(offset, offset + len);
+        if (offset != s.next_expected) ++s.ooo_deliveries;
+        s.next_expected = std::max(s.next_expected, offset + len);
+        s.delivered += len;
+        const util::sim_time now = net.sched().now();
+        hash = fnv1a(hash, obs.flow_id);
+        hash = fnv1a(hash, stream);
+        hash = fnv1a(hash, offset);
+        hash = fnv1a(hash, len);
+        hash = fnv1a(hash, static_cast<std::uint64_t>(now));
+        if (collect_trace && result.trace.size() < max_trace_events)
+            result.trace.push_back({obs.flow_id, stream, offset, len, now});
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        servers.push_back(std::make_unique<vtp::server>(net.right_host(i), server_options{}));
+        servers.back()->set_on_session([&, i](vtp::session& s) {
+            accepted[i] = &s;
+            s.set_on_stream_delivered(
+                [&, i](std::uint32_t id, std::uint64_t off, std::uint32_t len) {
+                    record(i, id, off, len);
+                });
+        });
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const flow_spec& flow = spec.flows[i];
+        session_options opts = flow.options;
+        opts.flow_id = static_cast<std::uint32_t>(i + 1);
+        result.flows[i].flow_id = opts.flow_id;
+        result.flows[i].packet_size = opts.packet_size;
+
+        clients[i] = vtp::session::connect(net.left_host(i), net.right_addr(i), opts);
+        clients[i].send(flow.bytes);
+        for (const auto& extra : flow.extra_streams) {
+            const std::uint32_t sid = clients[i].open_stream(extra.options);
+            if (sid != stream::invalid_stream) clients[i].send(sid, extra.bytes);
+        }
+        for (const auto& reneg : flow.renegs) {
+            net.sched().at(reneg.at, [&, i, reneg] {
+                if (reneg.from_receiver) {
+                    if (accepted[i] != nullptr) accepted[i]->renegotiate(reneg.profile);
+                } else {
+                    clients[i].renegotiate(reneg.profile);
+                }
+            });
+        }
+        if (flow.close_at > 0) {
+            net.sched().at(flow.close_at, [&, i] { clients[i].close(); });
+        } else {
+            clients[i].close();
+        }
+    }
+
+    // --- drive ----------------------------------------------------------
+    auto all_closed = [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!clients[i].closed()) return false;
+            if (accepted[i] == nullptr || !accepted[i]->closed()) return false;
+        }
+        return true;
+    };
+    const util::sim_time step = util::milliseconds(250);
+    util::sim_time t = 0;
+    while (t < spec.deadline() && !all_closed()) {
+        t += step;
+        net.sched().run_until(t);
+    }
+    result.hit_deadline = !all_closed();
+    result.finished_at = net.sched().now();
+    result.events = net.sched().executed();
+
+    // --- gather ---------------------------------------------------------
+    for (std::size_t i = 0; i < n; ++i) {
+        const flow_spec& flow = spec.flows[i];
+        flow_observation& obs = result.flows[i];
+        obs.established = clients[i].established();
+        obs.client_closed = clients[i].closed();
+        obs.server_closed = accepted[i] != nullptr && accepted[i]->closed();
+        obs.client_stats = clients[i].stats();
+        if (accepted[i] != nullptr) obs.server_stats = accepted[i]->stats();
+        obs.sender_streams = clients[i].stream_infos();
+        const qtp::profile active = clients[i].valid() ? clients[i].active_profile()
+                                                       : qtp::profile{};
+        if (active.qos_aware) obs.guaranteed_rate_bps = active.target_rate_bps;
+
+        const sack::reliability_mode profile_mode = weakest_profile_mode(flow, active);
+        // Which extra-stream ids follow the profile (by open order: the
+        // runner opens them in spec order right after stream 0).
+        for (const auto& info : obs.sender_streams) {
+            auto& s = obs.streams[info.id]; // creates entries for silent streams too
+            s.opened_by_sender = true;
+            s.offered = info.bytes_offered;
+            s.abandoned = info.abandoned_bytes;
+            bool follows = info.id == 0;
+            if (info.id != 0) {
+                const std::size_t idx = static_cast<std::size_t>(info.id) - 1;
+                if (idx < flow.extra_streams.size())
+                    follows = flow.extra_streams[idx].options.follow_profile;
+            }
+            s.check_mode = follows ? profile_mode : info.reliability;
+        }
+        // Fold the endgame counters into the hash so "identical trace"
+        // really means identical protocol behaviour, not just identical
+        // delivery order.
+        hash = fnv1a(hash, obs.client_stats.packets_sent);
+        hash = fnv1a(hash, obs.client_stats.rtx_bytes_sent);
+        hash = fnv1a(hash, obs.server_stats.packets_received);
+        hash = fnv1a(hash, obs.server_stats.bytes_delivered);
+        hash = fnv1a(hash, obs.client_stats.renegotiations);
+    }
+    hash = fnv1a(hash, result.events);
+    result.trace_hash = hash;
+
+    for (const auto& inv : default_invariants()) inv.check(spec, result);
+    result.passed = result.violations.empty();
+    return result;
+}
+
+bool write_trace_csv(const scenario_result& result, const std::string& path) {
+    util::csv_trace trace(path, {"t_s", "flow", "stream", "offset", "len"});
+    if (!trace.ok()) return false;
+    for (const auto& v : result.violations)
+        trace.row_text({"violation", v.invariant, v.detail, "", ""});
+    for (const auto& e : result.trace)
+        trace.row({util::to_seconds(e.at), static_cast<double>(e.flow),
+                   static_cast<double>(e.stream), static_cast<double>(e.offset),
+                   static_cast<double>(e.len)});
+    trace.flush();
+    return trace.ok();
+}
+
+std::string summarize(const scenario_result& result) {
+    std::ostringstream os;
+    os << (result.passed ? "PASS " : "FAIL ") << result.name << " seed=" << result.seed
+       << " events=" << result.events << " t=" << util::to_seconds(result.finished_at)
+       << "s hash=" << std::hex << result.trace_hash << std::dec;
+    if (!result.passed) os << " (" << result.violations.size() << " violations)";
+    return os.str();
+}
+
+} // namespace vtp::testing

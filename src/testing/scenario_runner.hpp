@@ -1,0 +1,33 @@
+// Execute a scenario_spec on sim::host sessions and judge it.
+//
+// The runner builds a dumbbell (one pair per flow), threads the spec's
+// impairment chain into the bottleneck datapath (sim/impairment.hpp),
+// schedules handover phases and per-flow renegotiation/close events,
+// records every delivery callback, and — once every flow closed or the
+// deadline hit — evaluates the invariant checkers. Everything is driven
+// by the discrete-event scheduler, so a (spec, seed) pair reproduces the
+// identical run bit-for-bit, including the trace hash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "testing/invariants.hpp"
+#include "testing/scenario.hpp"
+
+namespace vtp::testing {
+
+/// Run `spec` with `seed` (0 = the spec's own seed). `collect_trace`
+/// keeps the per-delivery event list (the failure dump); counters and
+/// the trace hash are always computed.
+scenario_result run_scenario(const scenario_spec& spec, std::uint64_t seed = 0,
+                             bool collect_trace = true);
+
+/// Write the delivery trace and violations as CSV (the artifact CI
+/// uploads on failure). Returns false when the file cannot be written.
+bool write_trace_csv(const scenario_result& result, const std::string& path);
+
+/// One-line verdict ("PASS name seed=… hash=…" / "FAIL name … 3 violations").
+std::string summarize(const scenario_result& result);
+
+} // namespace vtp::testing

@@ -5,6 +5,8 @@
 #include "diffserv/conditioner.hpp"
 #include "diffserv/rio.hpp"
 #include "sim_fixtures.hpp"
+#include "testing/scenario.hpp"
+#include "testing/scenario_runner.hpp"
 
 namespace {
 
@@ -84,6 +86,59 @@ TEST(determinism_test, lossy_qtp_connection_is_reproducible) {
                                flow.receiver->received_bytes(), net.sched().executed());
     };
     EXPECT_EQ(run(7), run(7));
+}
+
+TEST(determinism_test, scenario_runs_are_reproducible_per_seed) {
+    // The full conformance stack — multi-stream mux session, handover
+    // schedule, deadline-framed partial stream — must reproduce its
+    // delivery trace and stats bit-for-bit under the same seed. The
+    // trace hash folds every delivery callback (flow, stream, offset,
+    // len, time) and the endgame counters.
+    const auto* spec = vtp::testing::find_scenario("mux_bulk_deadline_oscillation");
+    ASSERT_NE(spec, nullptr);
+    ASSERT_FALSE(spec->flows[0].extra_streams.empty()); // really multi-stream
+
+    const auto a = vtp::testing::run_scenario(*spec, 4242);
+    const auto b = vtp::testing::run_scenario(*spec, 4242);
+    EXPECT_EQ(a.trace_hash, b.trace_hash);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.finished_at, b.finished_at);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        ASSERT_EQ(a.trace[i].flow, b.trace[i].flow);
+        ASSERT_EQ(a.trace[i].stream, b.trace[i].stream);
+        ASSERT_EQ(a.trace[i].offset, b.trace[i].offset);
+        ASSERT_EQ(a.trace[i].len, b.trace[i].len);
+        ASSERT_EQ(a.trace[i].at, b.trace[i].at);
+    }
+    ASSERT_EQ(a.flows.size(), b.flows.size());
+    for (std::size_t i = 0; i < a.flows.size(); ++i) {
+        EXPECT_EQ(a.flows[i].client_stats.packets_sent, b.flows[i].client_stats.packets_sent);
+        EXPECT_EQ(a.flows[i].client_stats.rtx_bytes_sent,
+                  b.flows[i].client_stats.rtx_bytes_sent);
+        EXPECT_EQ(a.flows[i].server_stats.bytes_delivered,
+                  b.flows[i].server_stats.bytes_delivered);
+        EXPECT_EQ(a.flows[i].server_stats.packets_received,
+                  b.flows[i].server_stats.packets_received);
+    }
+
+    // (This scenario is impairment-free, so a different seed legitimately
+    // reproduces the same trace; seed sensitivity is asserted on the
+    // stochastic scenario below.)
+}
+
+TEST(determinism_test, adversarial_impairment_scenario_is_reproducible) {
+    // Reorder + duplication + corruption all draw from node-local forked
+    // RNGs; two same-seed runs must agree even with every stage active.
+    const auto* spec = vtp::testing::find_scenario("kitchen_sink_adversarial");
+    ASSERT_NE(spec, nullptr);
+    const auto a = vtp::testing::run_scenario(*spec, 9);
+    const auto b = vtp::testing::run_scenario(*spec, 9);
+    EXPECT_EQ(a.trace_hash, b.trace_hash);
+    EXPECT_EQ(a.events, b.events);
+
+    const auto c = vtp::testing::run_scenario(*spec, 10);
+    EXPECT_NE(a.trace_hash, c.trace_hash); // the seed is actually load-bearing
 }
 
 } // namespace

@@ -2,6 +2,8 @@
 // and burstiness.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/loss.hpp"
 
 namespace {
@@ -98,6 +100,39 @@ TEST(gilbert_elliott_test, degenerate_all_good) {
     p.loss_bad = 1.0;
     gilbert_elliott_loss m(p, 17);
     for (int i = 0; i < 10000; ++i) EXPECT_FALSE(m.should_drop(dummy(), i));
+}
+
+// RNG-isolation audit (scenario reproducibility contract): every loss
+// model owns its explicitly seeded node-local RNG, so its decision
+// sequence depends on its seed alone — never on how its draws interleave
+// with other models or a host/global generator. Locked in here so a
+// future "convenience" refactor to a shared RNG cannot slip through.
+TEST(loss_rng_isolation_test, decision_sequence_is_independent_of_interleaving) {
+    bernoulli_loss alone(0.3, 99);
+    std::vector<bool> expected;
+    for (int i = 0; i < 5000; ++i) expected.push_back(alone.should_drop(dummy(), i));
+
+    // Same seed, but another model (and a raw RNG) drawing in between.
+    bernoulli_loss interleaved(0.3, 99);
+    gilbert_elliott_loss noise({0.1, 0.2, 0.1, 0.9}, 7);
+    vtp::util::rng unrelated(1234);
+    for (int i = 0; i < 5000; ++i) {
+        (void)noise.should_drop(dummy(), i);
+        (void)unrelated.uniform();
+        EXPECT_EQ(interleaved.should_drop(dummy(), i), expected[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(loss_rng_isolation_test, same_seed_models_are_clones_even_across_instances) {
+    gilbert_elliott_loss::params p;
+    p.p_good_to_bad = 0.05;
+    p.p_bad_to_good = 0.3;
+    p.loss_bad = 0.5;
+    gilbert_elliott_loss a(p, 4242);
+    gilbert_elliott_loss b(p, 4242);
+    for (int i = 0; i < 20000; ++i)
+        ASSERT_EQ(a.should_drop(dummy(), i), b.should_drop(dummy(), i)) << "diverged at " << i;
+    EXPECT_EQ(a.in_bad_state(), b.in_bad_state());
 }
 
 } // namespace

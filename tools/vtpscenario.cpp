@@ -1,0 +1,164 @@
+// vtpscenario — run conformance scenarios from the canonical matrix.
+//
+// The scenario subsystem (src/testing) runs declarative adversarial
+// network scenarios on simulated vtp::session endpoints and judges them
+// with machine-checked invariants. This CLI runs any scenario by name —
+// which is also how the per-scenario ctest cases execute — and dumps the
+// delivery trace on failure so a red run is reproducible offline:
+//
+//   vtpscenario --list
+//   vtpscenario --run wireless_burst_loss --seed 7
+//   vtpscenario --all --trace-dir scenario-traces
+//   vtpscenario --matrix reduced            # the ASan/UBSan CI subset
+//
+// Exit code: 0 when every selected scenario passed, 1 on any invariant
+// violation (the violations and the trace path are printed), 2 on usage
+// errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "testing/scenario.hpp"
+#include "testing/scenario_runner.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+struct options {
+    bool list = false;
+    bool all = false;
+    std::string run_name;
+    std::string matrix; // "full" | "reduced"
+    std::uint64_t seed = 0; // 0 = each scenario's own fixed seed
+    std::string trace_dir = "scenario-traces";
+    bool quiet = false;
+    bool verbose = false;
+};
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: vtpscenario [--list] [--run <name>] [--all] [--matrix full|reduced]\n"
+                 "                   [--seed <n>] [--trace-dir <dir>] [--quiet]\n");
+}
+
+bool parse(int argc, char** argv, options& opt) {
+    auto need_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) return nullptr;
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* v = nullptr;
+        if (arg == "--list") opt.list = true;
+        else if (arg == "--all") opt.all = true;
+        else if (arg == "--quiet") opt.quiet = true;
+        else if (arg == "--verbose") opt.verbose = true;
+        else if (arg == "--run" && (v = need_value(i))) opt.run_name = v;
+        else if (arg == "--matrix" && (v = need_value(i))) opt.matrix = v;
+        else if (arg == "--seed" && (v = need_value(i))) opt.seed = std::strtoull(v, nullptr, 10);
+        else if (arg == "--trace-dir" && (v = need_value(i))) opt.trace_dir = v;
+        else {
+            std::fprintf(stderr, "unknown or incomplete option: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+void dump_flows(const vtp::testing::scenario_result& result) {
+    for (const auto& f : result.flows) {
+        const auto& cs = f.client_stats;
+        const auto& ss = f.server_stats;
+        std::printf("  flow %u: est=%d client_closed=%d server_closed=%d\n", f.flow_id,
+                    f.established, f.client_closed, f.server_closed);
+        std::printf("    sender: queued=%llu sent=%llu acked=%llu rtx=%llu pkts=%llu "
+                    "rate=%.0fb/s p=%.4f rtt=%.1fms renegs=%u\n",
+                    (unsigned long long)cs.stream_bytes_queued,
+                    (unsigned long long)cs.stream_bytes_sent,
+                    (unsigned long long)cs.stream_bytes_acked,
+                    (unsigned long long)cs.rtx_bytes_sent,
+                    (unsigned long long)cs.packets_sent, cs.allowed_rate_bps,
+                    cs.loss_event_rate, vtp::util::to_seconds(cs.rtt) * 1e3, cs.renegotiations);
+        std::printf("    server: rcvd_pkts=%llu rcvd=%llu delivered=%llu feedback=%llu\n",
+                    (unsigned long long)ss.packets_received,
+                    (unsigned long long)ss.bytes_received,
+                    (unsigned long long)ss.bytes_delivered,
+                    (unsigned long long)ss.feedback_sent);
+        for (const auto& info : f.sender_streams)
+            std::printf("    stream %u: offered=%llu sent=%llu acked=%llu abandoned=%llu "
+                        "open=%d\n",
+                        info.id, (unsigned long long)info.bytes_offered,
+                        (unsigned long long)info.bytes_sent,
+                        (unsigned long long)info.bytes_acked,
+                        (unsigned long long)info.abandoned_bytes, info.open);
+    }
+}
+
+int run_one(const vtp::testing::scenario_spec& spec, const options& opt) {
+    const auto result = vtp::testing::run_scenario(spec, opt.seed);
+    std::printf("%s\n", vtp::testing::summarize(result).c_str());
+    if (result.passed && !opt.verbose) return 0;
+    for (const auto& v : result.violations)
+        std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
+    if (opt.verbose || !result.passed) dump_flows(result);
+    if (result.passed) return 0;
+    std::error_code ec;
+    std::filesystem::create_directories(opt.trace_dir, ec);
+    const std::string path =
+        opt.trace_dir + "/" + result.name + "-seed" + std::to_string(result.seed) + ".csv";
+    if (vtp::testing::write_trace_csv(result, path)) {
+        std::printf("  trace dump: %s (%zu deliveries)\n", path.c_str(),
+                    result.trace.size());
+        std::printf("  reproduce:  vtpscenario --run %s --seed %llu\n", result.name.c_str(),
+                    static_cast<unsigned long long>(result.seed));
+    } else {
+        std::printf("  (could not write trace dump under %s — does the directory exist?)\n",
+                    opt.trace_dir.c_str());
+    }
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    options opt;
+    if (!parse(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+
+    if (opt.list) {
+        for (const auto& s : vtp::testing::scenario_matrix())
+            std::printf("%-32s %s (seed %llu)\n", s.name.c_str(), s.summary.c_str(),
+                        static_cast<unsigned long long>(s.seed));
+        return 0;
+    }
+
+    std::vector<std::string> names;
+    if (!opt.run_name.empty()) {
+        names.push_back(opt.run_name);
+    } else if (opt.all || opt.matrix == "full") {
+        names = vtp::testing::scenario_names();
+    } else if (opt.matrix == "reduced") {
+        names = vtp::testing::reduced_matrix_names();
+    } else {
+        usage();
+        return 2;
+    }
+
+    int failures = 0;
+    for (const auto& name : names) {
+        const auto* spec = vtp::testing::find_scenario(name);
+        if (spec == nullptr) {
+            std::fprintf(stderr, "unknown scenario: %s (try --list)\n", name.c_str());
+            return 2;
+        }
+        failures += run_one(*spec, opt);
+    }
+    if (names.size() > 1)
+        std::printf("%zu scenarios, %d failed\n", names.size(), failures);
+    return failures == 0 ? 0 : 1;
+}
