@@ -16,6 +16,7 @@
 
 #include "api/server.hpp"
 #include "api/session.hpp"
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "net/udp_host.hpp"
 #include "sim/topology.hpp"
@@ -34,7 +35,8 @@ struct share_row {
     double error; ///< relative, |achieved-target|/target
 };
 
-bool report_shares(bench::table& tbl, const std::vector<stream::stream_info>& infos) {
+bool report_shares(bench::table& tbl, const std::vector<stream::stream_info>& infos,
+                   double& max_err) {
     std::uint64_t total_sent = 0;
     std::uint32_t total_weight = 0;
     for (const auto& i : infos) {
@@ -51,6 +53,7 @@ bool report_shares(bench::table& tbl, const std::vector<stream::stream_info>& in
                            ? static_cast<double>(i.bytes_sent) / total_sent
                            : 0.0;
         row.error = std::abs(row.achieved - row.target) / row.target;
+        max_err = std::max(max_err, row.error);
         if (row.error > 0.10) ok = false;
         tbl.add_row({bench::fmt_u64(row.id), bench::fmt_u64(row.weight),
                      bench::fmt("%.3f", row.target), bench::fmt("%.3f", row.achieved),
@@ -59,7 +62,7 @@ bool report_shares(bench::table& tbl, const std::vector<stream::stream_info>& in
     return ok;
 }
 
-bool sim_fairness() {
+bool sim_fairness(double& max_err) {
     sim::dumbbell_config cfg;
     cfg.pairs = 1;
     cfg.bottleneck_rate_bps = 10e6;
@@ -84,7 +87,7 @@ bool sim_fairness() {
 
     std::printf("\n# E11a — weighted share, simulator (8 s, 10 Mb/s, 3 streams)\n");
     bench::table tbl({"stream", "weight", "target", "achieved", "err%"});
-    const bool ok = report_shares(tbl, tx.stream_infos());
+    const bool ok = report_shares(tbl, tx.stream_infos(), max_err);
     tbl.print();
     std::printf("fairness within +/-10%%: %s\n", ok ? "yes" : "NO");
     return ok;
@@ -116,7 +119,7 @@ double sim_overhead_us_per_packet(std::size_t streams) {
     return pkts > 0 ? us / static_cast<double>(pkts) : 0.0;
 }
 
-bool udp_fairness() {
+bool udp_fairness(double& max_err) {
     net::event_loop loop;
     std::unique_ptr<net::udp_host> server_host;
     std::unique_ptr<net::udp_host> client_host;
@@ -151,7 +154,7 @@ bool udp_fairness() {
     std::printf("\n# E11c — weighted share, UDP loopback (30 MB mid-transfer, "
                 "weights 1:3)\n");
     bench::table tbl({"stream", "weight", "target", "achieved", "err%"});
-    const bool ok = report_shares(tbl, tx.stream_infos());
+    const bool ok = report_shares(tbl, tx.stream_infos(), max_err);
     tbl.print();
     std::printf("fairness within +/-10%%: %s\n", ok ? "yes" : "NO");
     return ok;
@@ -159,8 +162,10 @@ bool udp_fairness() {
 
 } // namespace
 
-int main() {
-    const bool sim_ok = sim_fairness();
+int main(int argc, char** argv) {
+    double sim_max_err = 0.0;
+    double udp_max_err = 0.0;
+    const bool sim_ok = sim_fairness(sim_max_err);
 
     std::printf("\n# E11b — mux overhead, simulator wall-clock per sent packet\n");
     bench::table tbl({"streams", "us/packet"});
@@ -172,6 +177,18 @@ int main() {
     if (one > 0.0)
         std::printf("overhead ratio 8/1 streams: %.2fx\n", eight / one);
 
-    const bool udp_ok = udp_fairness();
+    const bool udp_ok = udp_fairness(udp_max_err);
+
+    const std::string json = bench::json_path_arg(argc, argv);
+    if (!json.empty()) {
+        bench::json_report rep;
+        rep.add("sim_fairness_max_err", sim_max_err);
+        rep.add("udp_fairness_max_err", udp_max_err);
+        rep.add("overhead_us_per_packet_1stream", one);
+        rep.add("overhead_us_per_packet_8streams", eight);
+        rep.add("overhead_ratio_8_vs_1", one > 0.0 ? eight / one : 0.0);
+        rep.add("pass", sim_ok && udp_ok);
+        if (!rep.write(json)) std::printf("could not write %s\n", json.c_str());
+    }
     return sim_ok && udp_ok ? 0 : 1;
 }

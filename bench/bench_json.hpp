@@ -1,0 +1,57 @@
+// Machine-readable bench output: a flat, insertion-ordered JSON object
+// written next to the human tables so CI can upload BENCH_*.json
+// artifacts and the perf trajectory accumulates across commits.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vtp::bench {
+
+class json_report {
+public:
+    void add(const std::string& key, double value) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        fields_.emplace_back(key, buf);
+    }
+
+    void add(const std::string& key, std::uint64_t value) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+        fields_.emplace_back(key, buf);
+    }
+
+    void add(const std::string& key, bool value) {
+        fields_.emplace_back(key, value ? "true" : "false");
+    }
+
+    /// Write `{ "k": v, ... }` to `path`. Returns false on I/O failure.
+    bool write(const std::string& path) const {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) return false;
+        std::fprintf(f, "{\n");
+        for (std::size_t i = 0; i < fields_.size(); ++i)
+            std::fprintf(f, "  \"%s\": %s%s\n", fields_[i].first.c_str(),
+                         fields_[i].second.c_str(),
+                         i + 1 < fields_.size() ? "," : "");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        return true;
+    }
+
+private:
+    std::vector<std::pair<std::string, std::string>> fields_; ///< key -> raw literal
+};
+
+/// `--json <path>` from argv, or "" when absent.
+inline std::string json_path_arg(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--json") return argv[i + 1];
+    return {};
+}
+
+} // namespace vtp::bench

@@ -27,6 +27,10 @@ server::server(qtp::environment& env, server_options opts)
     env.set_default_agent(&listener_);
 }
 
+void server::for_each_session(const std::function<void(std::uint32_t, session&)>& fn) {
+    for (auto& [flow, s] : sessions_) fn(flow, *s);
+}
+
 session* server::find(std::uint32_t flow_id) {
     const auto it = sessions_.find(flow_id);
     return it == sessions_.end() ? nullptr : it->second.get();

@@ -71,6 +71,12 @@ public:
     std::size_t session_count() const { return sessions_.size(); }
     session* find(std::uint32_t flow_id);
 
+    /// Visit every live session (flow id, session). Same threading rule
+    /// as everything else here: call from the substrate's own thread —
+    /// on an engine shard, through engine::server::with_server(). Do not
+    /// reap from inside the visitor.
+    void for_each_session(const std::function<void(std::uint32_t, session&)>& fn);
+
     /// Reclaim sessions whose peer has closed (FIN seen): destroys their
     /// endpoints and handles, returns how many were reaped. Call from
     /// application context (an event-loop turn or a scheduler callback),

@@ -283,6 +283,23 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
 void connection_sender::send_next() {
     send_timer_ = qtp::no_timer;
     if (!handshake_.established()) return;
+    // Batching substrates (engine shards) let a slot carry several
+    // segments back-to-back — one timer wake-up, one sendmmsg flush — and
+    // the next sleep stretches by the burst so the paced rate holds.
+    // Probes and eos markers never burst (one per slot is plenty).
+    const std::uint32_t burst = std::max<std::uint32_t>(1, env_->send_burst());
+    std::uint32_t sent = 0;
+    while (sent < burst) {
+        const int kind = send_one();
+        if (kind == 0) break;
+        ++sent;
+        if (kind == 2) break;
+    }
+    if (sent > 0) schedule_next_send(sent);
+    if (!work_available()) maybe_begin_close(); // unreliable finite stream
+}
+
+int connection_sender::send_one() {
     const util::sim_time now = env_->now();
 
     // The mux fills the slot: scheduler picks the stream, the stream cuts
@@ -305,7 +322,7 @@ void connection_sender::send_next() {
         pick = probe;
         is_probe = true;
     }
-    if (!pick) return; // nothing to do: pacing resumes on next feedback
+    if (!pick) return 0; // nothing to do: pacing resumes on next feedback
     if (pick->payload_len == 0) is_probe = true; // eos markers count as probes
 
     const std::uint64_t seq = next_seq_++;
@@ -357,14 +374,17 @@ void connection_sender::send_next() {
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
                                    std::move(body)));
 
-    schedule_next_send();
-    if (!work_available()) maybe_begin_close(); // unreliable finite stream
+    return is_probe ? 2 : 1;
 }
 
-void connection_sender::schedule_next_send() {
+void connection_sender::schedule_next_send(std::uint32_t just_sent) {
     if (send_timer_ != qtp::no_timer || !work_available()) return;
     const double rate = std::max(rate_.allowed_rate(), 1.0);
-    double spacing_s = static_cast<double>(cfg_.packet_size) / rate;
+    // A burst of n segments consumes n slots of rate budget, so the
+    // following sleep is n packet-spacings long.
+    double spacing_s =
+        static_cast<double>(cfg_.packet_size) * std::max<std::uint32_t>(just_sent, 1) /
+        rate;
     if (!mux_.has_payload_work()) {
         // Only probes left: a few per RTT are plenty.
         const util::sim_time rtt =

@@ -178,7 +178,10 @@ private:
     void on_sack_feedback(const packet::sack_feedback_segment& fb);
     void apply_profile(const profile& p, std::uint64_t boundary_seq);
     void send_next();
-    void schedule_next_send();
+    /// One slot's transmission: 0 = nothing to send, 1 = stream payload,
+    /// 2 = probe/eos marker (pace these at RTT/4, never in a burst).
+    int send_one();
+    void schedule_next_send(std::uint32_t just_sent = 1);
     void arm_nofeedback_timer();
     bool work_available() const;
     stream::send_policy send_policy_now() const;

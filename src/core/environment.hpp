@@ -67,6 +67,15 @@ public:
     /// Destroy a dynamically attached agent (connection teardown). Must
     /// not be called from within that agent's own callbacks.
     virtual void detach_dynamic(std::uint32_t) {}
+
+    /// Batched-transmission hint: how many segments a sender may emit
+    /// back-to-back per pacing slot. Substrates that batch syscalls
+    /// (engine shards flushing through sendmmsg) return >1 so each timer
+    /// wake-up amortizes across a burst; the long-run rate is unchanged
+    /// because the sender stretches the following sleep by the burst
+    /// size. The default of 1 preserves exact per-packet pacing (and
+    /// bit-identical simulator runs).
+    virtual std::uint32_t send_burst() const { return 1; }
 };
 
 /// A transport endpoint hosted by a substrate. One agent terminates one

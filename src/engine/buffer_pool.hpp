@@ -1,0 +1,46 @@
+// Fixed-size datagram buffer pool: one contiguous slab carved into
+// equal buffers with a freelist, so the per-packet transmit path of a
+// shard (encode → sendmmsg → release) performs zero heap allocation
+// after construction. Single-threaded — each shard owns its own pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vtp::engine {
+
+class buffer_pool {
+public:
+    buffer_pool(std::size_t count, std::size_t buf_size)
+        : buf_size_(buf_size), slab_(count * buf_size) {
+        free_.reserve(count);
+        for (std::size_t i = count; i > 0; --i)
+            free_.push_back(slab_.data() + (i - 1) * buf_size);
+    }
+
+    buffer_pool(const buffer_pool&) = delete;
+    buffer_pool& operator=(const buffer_pool&) = delete;
+
+    /// nullptr when exhausted (caller flushes in-flight buffers and
+    /// retries, or drops).
+    std::uint8_t* acquire() {
+        if (free_.empty()) return nullptr;
+        std::uint8_t* buf = free_.back();
+        free_.pop_back();
+        return buf;
+    }
+
+    void release(std::uint8_t* buf) { free_.push_back(buf); }
+
+    std::size_t buf_size() const { return buf_size_; }
+    std::size_t available() const { return free_.size(); }
+    std::size_t capacity() const { return slab_.size() / buf_size_; }
+
+private:
+    std::size_t buf_size_;
+    std::vector<std::uint8_t> slab_;
+    std::vector<std::uint8_t*> free_;
+};
+
+} // namespace vtp::engine

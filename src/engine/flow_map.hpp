@@ -1,0 +1,36 @@
+// Flow-id → shard mapping. Every shard (and every forwarding decision)
+// must agree on which shard owns a flow, so the mapping is a pure
+// function of the flow id: a splitmix64 finalizer to decorrelate
+// adjacent ids (auto-assigned session ids are sequential), then a
+// modulo. Agents for a flow are only ever attached on its owner shard,
+// which is what keeps the per-shard runtime lock-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vtp::engine {
+
+class flow_shard_map {
+public:
+    explicit flow_shard_map(std::size_t shards) : shards_(shards ? shards : 1) {}
+
+    std::size_t owner(std::uint32_t flow_id) const {
+        return static_cast<std::size_t>(mix(flow_id) % shards_);
+    }
+
+    std::size_t shards() const { return shards_; }
+
+    /// splitmix64 finalizer (public domain constants).
+    static std::uint64_t mix(std::uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+private:
+    std::size_t shards_;
+};
+
+} // namespace vtp::engine

@@ -1,0 +1,97 @@
+#include "engine/reactor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <unistd.h>
+#else
+#include <poll.h>
+#endif
+
+namespace vtp::engine {
+
+namespace {
+
+int timeout_ms(util::sim_time timeout) {
+    if (timeout == util::time_never) return -1;
+    if (timeout <= 0) return 0;
+    // Round up so we never spin-wake before a deadline.
+    const util::sim_time ms = (timeout + 999'999) / 1'000'000;
+    return static_cast<int>(std::min<util::sim_time>(ms, 60'000));
+}
+
+} // namespace
+
+#ifdef __linux__
+
+reactor::reactor() {
+    epfd_ = ::epoll_create1(0);
+    if (epfd_ < 0) throw std::runtime_error("reactor: epoll_create1() failed");
+}
+
+reactor::~reactor() {
+    if (epfd_ >= 0) ::close(epfd_);
+}
+
+void reactor::add_fd(int fd, std::function<void()> on_readable) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+        throw std::runtime_error("reactor: epoll_ctl(ADD) failed");
+    handlers_[fd] = std::move(on_readable);
+}
+
+void reactor::remove_fd(int fd) {
+    if (handlers_.erase(fd) > 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int reactor::poll_once(util::sim_time timeout) {
+    epoll_event events[32];
+    const int n = ::epoll_wait(epfd_, events, 32, timeout_ms(timeout));
+    int dispatched = 0;
+    for (int i = 0; i < n; ++i) {
+        // Re-look-up per event: a callback may remove another fd.
+        const auto it = handlers_.find(events[i].data.fd);
+        if (it == handlers_.end()) continue;
+        it->second();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+#else // poll(2) fallback
+
+reactor::reactor() = default;
+reactor::~reactor() = default;
+
+void reactor::add_fd(int fd, std::function<void()> on_readable) {
+    handlers_[fd] = std::move(on_readable);
+}
+
+void reactor::remove_fd(int fd) { handlers_.erase(fd); }
+
+int reactor::poll_once(util::sim_time timeout) {
+    std::vector<pollfd> pfds;
+    pfds.reserve(handlers_.size());
+    for (const auto& [fd, cb] : handlers_) pfds.push_back(pollfd{fd, POLLIN, 0});
+    const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                             timeout_ms(timeout));
+    int dispatched = 0;
+    if (ready > 0) {
+        for (const auto& p : pfds) {
+            if ((p.revents & POLLIN) == 0) continue;
+            const auto it = handlers_.find(p.fd);
+            if (it == handlers_.end()) continue;
+            it->second();
+            ++dispatched;
+        }
+    }
+    return dispatched;
+}
+
+#endif
+
+} // namespace vtp::engine

@@ -1,0 +1,124 @@
+#include "engine/server.hpp"
+
+#include <stdexcept>
+
+namespace vtp::engine {
+
+server::server(engine_config cfg) : cfg_(cfg) {
+    if (cfg_.shards == 0) cfg_.shards = 1;
+    shards_.reserve(cfg_.shards);
+    for (std::size_t i = 0; i < cfg_.shards; ++i) {
+        shard_config sc;
+        sc.port = cfg_.port;
+        sc.index = i;
+        sc.shard_count = cfg_.shards;
+        sc.rx_batch = cfg_.rx_batch;
+        sc.tx_batch = cfg_.tx_batch;
+        sc.pool_buffers = cfg_.pool_buffers;
+        sc.handoff_capacity = cfg_.handoff_capacity;
+        sc.send_burst = cfg_.send_burst;
+        sc.rng_seed = cfg_.rng_seed;
+        shards_.push_back(std::make_unique<shard>(sc));
+    }
+    std::vector<shard*> raw;
+    for (auto& s : shards_) raw.push_back(s.get());
+    shard::interconnect(raw);
+}
+
+server::~server() { stop(); }
+
+void server::start() {
+    if (started_) {
+        // One-shot by design: shards' sockets and session tables are not
+        // rebuilt after a stop(). Loud beats a silently dead server.
+        if (stopped_)
+            throw std::logic_error("engine::server: cannot restart after stop()");
+        return;
+    }
+    started_ = true;
+    // Build each shard's vtp::server before its thread exists: the
+    // listener registers as the shard's default agent, and from the first
+    // loop turn on, everything runs on the shard thread.
+    servers_.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        shard& sh = *shards_[i];
+        auto srv = std::make_unique<vtp::server>(sh, cfg_.accept);
+        srv->set_on_session([this, i, &sh](vtp::session& s) {
+            auto& c = sh.counters();
+            c.accepted.fetch_add(1, std::memory_order_relaxed);
+            c.sessions.store(c.sessions.load(std::memory_order_relaxed) + 1,
+                             std::memory_order_relaxed);
+            if (on_session_) on_session_(i, s);
+        });
+        vtp::server* raw = srv.get();
+        servers_.push_back(std::move(srv));
+        // Periodic reaper: reclaims sessions whose peer closed, keeping
+        // the gauge honest. Scheduling before start() is safe (the wheel
+        // is still untouched by any thread).
+        arm_reaper(raw, sh);
+    }
+    for (auto& s : shards_) s->start();
+}
+
+void server::stop() {
+    if (started_) stopped_ = true;
+    for (auto& s : shards_) s->stop();
+}
+
+void server::arm_reaper(vtp::server* srv, shard& sh) {
+    sh.schedule(cfg_.reap_interval, [this, srv, &sh] {
+        const std::size_t reaped = srv->reap_closed();
+        if (reaped > 0) {
+            auto& c = sh.counters();
+            const std::uint64_t cur = c.sessions.load(std::memory_order_relaxed);
+            c.sessions.store(cur >= reaped ? cur - reaped : 0,
+                             std::memory_order_relaxed);
+        }
+        arm_reaper(srv, sh);
+    });
+}
+
+void server::connect(std::uint32_t peer_addr, vtp::session_options opts,
+                     std::function<void(std::size_t, vtp::session)> on_ready) {
+    if (opts.flow_id == 0)
+        opts.flow_id = next_flow_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t owner = owner_of(opts.flow_id);
+    shard& sh = *shards_[owner];
+    sh.post([&sh, owner, peer_addr, opts, cb = std::move(on_ready)]() mutable {
+        vtp::session s = vtp::session::connect(sh, peer_addr, opts);
+        if (cb) cb(owner, std::move(s));
+    });
+}
+
+void server::with_server(std::size_t i, std::function<void(vtp::server&)> fn) {
+    vtp::server* raw = servers_.at(i).get();
+    shards_[i]->post([raw, fn = std::move(fn)] { fn(*raw); });
+}
+
+engine_stats server::stats() const {
+    engine_stats agg;
+    for (const auto& s : shards_) {
+        const shard_stats st = s->stats();
+        agg.datagrams_rx += st.datagrams_rx;
+        agg.datagrams_tx += st.datagrams_tx;
+        agg.rx_batches += st.rx_batches;
+        agg.tx_batches += st.tx_batches;
+        agg.tx_dropped += st.tx_dropped;
+        agg.handoff_out += st.handoff_out;
+        agg.handoff_dropped += st.handoff_dropped;
+        agg.decode_errors += st.decode_errors;
+        agg.pool_exhausted += st.pool_exhausted;
+        agg.accepted += st.accepted;
+        agg.sessions += st.sessions;
+    }
+    return agg;
+}
+
+std::vector<shard_stats> server::per_shard_stats() const {
+    std::vector<shard_stats> out;
+    out.reserve(shards_.size());
+    for (const auto& s : shards_) out.push_back(s->stats());
+    return out;
+}
+
+} // namespace vtp::engine

@@ -1,0 +1,128 @@
+// engine::server — the production-shaped host runtime for vtp servers.
+//
+// Wraps N engine::shards behind one UDP port and gives each shard its
+// own vtp::server (listener + session table), so thousands of QTP
+// connections are served with batched syscalls, O(1) timers and
+// lock-free per-shard state:
+//
+//   engine::engine_config cfg;
+//   cfg.port = 9000;
+//   cfg.shards = 4;
+//   engine::server srv(cfg);
+//   srv.set_on_session([](std::size_t shard, vtp::session& s) {
+//       s.set_on_stream_delivered(...);   // runs on that shard's thread
+//   });
+//   srv.start();
+//
+// Accept policy, capability downgrades and renegotiation behave exactly
+// as on vtp::server (engine_config::accept is a vtp::server_options);
+// closed sessions are reaped on a per-shard timer. Outgoing sessions are
+// hosted the same way: connect() picks a flow id, routes to the owner
+// shard (the flow-id hash every shard agrees on) and builds the
+// vtp::session there.
+//
+// Thread model: everything an application registers runs on a shard
+// thread. Session handles must only be used from their own shard —
+// post() to it (or capture state guarded by your own synchronization)
+// from elsewhere. stats() may be read from any thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/server.hpp"
+#include "api/session.hpp"
+#include "engine/shard.hpp"
+
+namespace vtp::engine {
+
+struct engine_config {
+    std::uint16_t port = 0;
+    std::size_t shards = 2;
+
+    /// Accept-side behaviour of every shard's vtp::server (capabilities,
+    /// per-accept capability policy, packet size, handshake timers).
+    vtp::server_options accept{};
+
+    /// How often each shard reaps sessions whose peer closed.
+    util::sim_time reap_interval = util::seconds(1);
+
+    // Datapath knobs, applied to every shard.
+    std::size_t rx_batch = 64;
+    std::size_t tx_batch = 64;
+    std::size_t pool_buffers = 4096;
+    std::size_t handoff_capacity = 512;
+    std::uint32_t send_burst = 8;
+    std::uint64_t rng_seed = 1;
+};
+
+/// Aggregate of all shards (plus accept accounting).
+struct engine_stats {
+    std::uint64_t datagrams_rx = 0;
+    std::uint64_t datagrams_tx = 0;
+    std::uint64_t rx_batches = 0;
+    std::uint64_t tx_batches = 0;
+    std::uint64_t tx_dropped = 0;
+    std::uint64_t handoff_out = 0;
+    std::uint64_t handoff_dropped = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t pool_exhausted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t sessions = 0; ///< live session gauge across shards
+};
+
+class server {
+public:
+    explicit server(engine_config cfg);
+    ~server(); ///< stops and joins all shards
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// Called on the owning shard's thread with every freshly accepted
+    /// session (shard index, session). Set before start().
+    void set_on_session(std::function<void(std::size_t, vtp::session&)> cb) {
+        on_session_ = std::move(cb);
+    }
+
+    /// Spawn the shard threads. One-shot: calling start() again after
+    /// stop() throws std::logic_error (build a fresh server instead).
+    void start();
+    void stop();
+
+    std::size_t shard_count() const { return shards_.size(); }
+    shard& shard_at(std::size_t i) { return *shards_[i]; }
+    /// Which shard owns `flow_id` (same mapping every shard uses).
+    std::size_t owner_of(std::uint32_t flow_id) const {
+        return shards_[0]->flow_map().owner(flow_id);
+    }
+
+    /// Open an outgoing session from this engine to `peer_addr`. The
+    /// session is built on the shard owning its flow id; `on_ready` runs
+    /// there with the fresh handle. Safe from any thread.
+    void connect(std::uint32_t peer_addr, vtp::session_options opts,
+                 std::function<void(std::size_t, vtp::session)> on_ready);
+
+    /// Run `fn` on shard `i`'s thread with that shard's vtp::server
+    /// (control-plane escape hatch: iterate sessions, read listener
+    /// counters). Safe from any thread.
+    void with_server(std::size_t i, std::function<void(vtp::server&)> fn);
+
+    engine_stats stats() const;
+    std::vector<shard_stats> per_shard_stats() const;
+
+private:
+    void arm_reaper(vtp::server* srv, shard& sh);
+
+    engine_config cfg_;
+    std::vector<std::unique_ptr<shard>> shards_;
+    std::vector<std::unique_ptr<vtp::server>> servers_; ///< one per shard
+    std::function<void(std::size_t, vtp::session&)> on_session_;
+    std::atomic<std::uint32_t> next_flow_{0x50000000}; ///< outgoing-session ids
+    bool started_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace vtp::engine

@@ -1,0 +1,64 @@
+// Bounded single-producer/single-consumer ring for cross-shard packet
+// handoff. One producer thread push()es, one consumer thread pop()s; no
+// locks, no allocation after construction. A full ring rejects the push
+// (the engine counts the drop and lets the transport's loss recovery
+// deal with it — exactly what a NIC queue would do).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vtp::engine {
+
+template <typename T>
+class spsc_queue {
+public:
+    /// Capacity is rounded up to a power of two (minimum 2).
+    explicit spsc_queue(std::size_t capacity) {
+        std::size_t cap = 2;
+        while (cap < capacity) cap <<= 1;
+        ring_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    spsc_queue(const spsc_queue&) = delete;
+    spsc_queue& operator=(const spsc_queue&) = delete;
+
+    /// Producer side. Returns false when the ring is full.
+    bool push(T&& v) {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+        ring_[t & mask_] = std::move(v);
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side. Returns false when the ring is empty.
+    bool pop(T& out) {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        if (tail_.load(std::memory_order_acquire) == h) return false;
+        out = std::move(ring_[h & mask_]);
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Approximate (either side may be mid-update).
+    std::size_t size() const {
+        const std::uint64_t t = tail_.load(std::memory_order_acquire);
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        return t >= h ? static_cast<std::size_t>(t - h) : 0;
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+private:
+    std::vector<T> ring_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::uint64_t> head_{0}; ///< consumer cursor
+    alignas(64) std::atomic<std::uint64_t> tail_{0}; ///< producer cursor
+};
+
+} // namespace vtp::engine

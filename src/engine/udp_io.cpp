@@ -1,0 +1,153 @@
+#include "engine/udp_io.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+// recvmmsg/sendmmsg are Linux syscalls (glibc >= 2.12); elsewhere the
+// batch functions degrade to one recvfrom/sendto per datagram.
+#if defined(__linux__)
+#define VTP_HAVE_MMSG 1
+#else
+#define VTP_HAVE_MMSG 0
+#endif
+
+namespace vtp::engine {
+
+int open_udp_socket(std::uint16_t port, bool reuse_port, int rcvbuf_bytes,
+                    int sndbuf_bytes) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) throw std::runtime_error("engine: socket() failed");
+
+    if (reuse_port) {
+        const int one = 1;
+        if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+            ::close(fd);
+            throw std::runtime_error("engine: setsockopt(SO_REUSEPORT) failed");
+        }
+    }
+    if (rcvbuf_bytes > 0)
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes, sizeof rcvbuf_bytes);
+    if (sndbuf_bytes > 0)
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf_bytes, sizeof sndbuf_bytes);
+
+    sockaddr_in addr = loopback_addr(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        throw std::runtime_error("engine: bind() failed");
+    }
+
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+        ::close(fd);
+        throw std::runtime_error("engine: fcntl(O_NONBLOCK) failed");
+    }
+    return fd;
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+    sockaddr_in a{};
+    a.sin_family = AF_INET;
+    a.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    a.sin_port = htons(port);
+    return a;
+}
+
+rx_batch::rx_batch(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1),
+      storage_(capacity_ * max_datagram),
+      len_(capacity_, 0),
+      from_(capacity_) {}
+
+// Syscall scaffolding lives on the stack, bounded by a fixed chunk; the
+// per-call setup is a few stores per datagram, noise next to a syscall.
+inline constexpr std::size_t mmsg_chunk = 64;
+
+#if VTP_HAVE_MMSG
+
+std::size_t recv_batch(int fd, rx_batch& b) {
+    mmsghdr msgs[mmsg_chunk];
+    iovec iovs[mmsg_chunk];
+    std::size_t total = 0;
+    while (total < b.capacity_) {
+        const std::size_t k = std::min(mmsg_chunk, b.capacity_ - total);
+        for (std::size_t i = 0; i < k; ++i) {
+            iovs[i].iov_base = b.storage_.data() + (total + i) * max_datagram;
+            iovs[i].iov_len = max_datagram;
+            ::memset(&msgs[i], 0, sizeof msgs[i]);
+            msgs[i].msg_hdr.msg_iov = &iovs[i];
+            msgs[i].msg_hdr.msg_iovlen = 1;
+            msgs[i].msg_hdr.msg_name = &b.from_[total + i];
+            msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        }
+        const int n =
+            ::recvmmsg(fd, msgs, static_cast<unsigned>(k), MSG_DONTWAIT, nullptr);
+        if (n <= 0) break;
+        for (int i = 0; i < n; ++i)
+            b.len_[total + static_cast<std::size_t>(i)] = msgs[i].msg_len;
+        total += static_cast<std::size_t>(n);
+        if (static_cast<std::size_t>(n) < k) break; // drained
+    }
+    return total;
+}
+
+std::size_t send_batch(int fd, const tx_item* items, std::size_t n) {
+    mmsghdr msgs[mmsg_chunk];
+    iovec iovs[mmsg_chunk];
+    std::size_t sent = 0;
+    while (sent < n) {
+        const std::size_t k = std::min(mmsg_chunk, n - sent);
+        for (std::size_t i = 0; i < k; ++i) {
+            const tx_item& it = items[sent + i];
+            iovs[i].iov_base = const_cast<std::uint8_t*>(it.data);
+            iovs[i].iov_len = it.len;
+            ::memset(&msgs[i], 0, sizeof msgs[i]);
+            msgs[i].msg_hdr.msg_iov = &iovs[i];
+            msgs[i].msg_hdr.msg_iovlen = 1;
+            msgs[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(&it.to);
+            msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        }
+        const int r = ::sendmmsg(fd, msgs, static_cast<unsigned>(k), MSG_DONTWAIT);
+        if (r <= 0) break;
+        sent += static_cast<std::size_t>(r);
+        if (static_cast<std::size_t>(r) < k) break; // send buffer full
+    }
+    return sent;
+}
+
+#else // portable one-datagram-per-syscall fallback
+
+std::size_t recv_batch(int fd, rx_batch& b) {
+    std::size_t n = 0;
+    while (n < b.capacity_) {
+        socklen_t addrlen = sizeof(sockaddr_in);
+        const ssize_t r =
+            ::recvfrom(fd, b.storage_.data() + n * max_datagram, max_datagram,
+                       MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&b.from_[n]), &addrlen);
+        if (r < 0) break;
+        b.len_[n] = static_cast<std::size_t>(r);
+        ++n;
+    }
+    return n;
+}
+
+std::size_t send_batch(int fd, const tx_item* items, std::size_t n) {
+    std::size_t sent = 0;
+    for (; sent < n; ++sent) {
+        const tx_item& it = items[sent];
+        const ssize_t r =
+            ::sendto(fd, it.data, it.len, MSG_DONTWAIT,
+                     reinterpret_cast<const sockaddr*>(&it.to), sizeof it.to);
+        if (r < 0) break;
+    }
+    return sent;
+}
+
+#endif
+
+} // namespace vtp::engine

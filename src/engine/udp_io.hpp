@@ -1,0 +1,77 @@
+// Batched UDP datagram I/O for the server engine.
+//
+// recv_batch()/send_batch() move up to a whole batch of datagrams per
+// syscall through recvmmsg(2)/sendmmsg(2) on Linux, degrading gracefully
+// to a loop of recvfrom/sendto where the batched calls are unavailable.
+// The mmsghdr/iovec scaffolding lives inside rx_batch and is reused
+// across calls, so steady-state receive does one syscall per batch and
+// zero allocation. Compare net::udp_host, which deliberately stays on
+// the one-datagram-per-syscall path as the legacy baseline
+// (bench_e12_engine_throughput measures the gap).
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vtp::engine {
+
+/// Largest datagram the engine sends or receives: 8-byte datapath header
+/// ([flow_id:u32][src_addr:u32]) plus the largest wire segment, with
+/// generous headroom. Anything bigger is truncated by the kernel and
+/// rejected by the decoder.
+inline constexpr std::size_t max_datagram = 2048;
+
+/// Open a non-blocking UDP socket bound to 127.0.0.1:`port`.
+/// `reuse_port` joins an SO_REUSEPORT group (one member socket per
+/// shard; the kernel spreads inbound datagrams across members). Buffer
+/// sizes of 0 keep the system default. Throws std::runtime_error.
+int open_udp_socket(std::uint16_t port, bool reuse_port = false,
+                    int rcvbuf_bytes = 0, int sndbuf_bytes = 0);
+
+/// 127.0.0.1:`port` destination.
+sockaddr_in loopback_addr(std::uint16_t port);
+
+/// Reusable receive batch: caller-owned storage for up to `capacity`
+/// datagrams plus the persistent mmsghdr/iovec arrays recvmmsg fills.
+class rx_batch {
+public:
+    explicit rx_batch(std::size_t capacity);
+
+    std::size_t capacity() const { return capacity_; }
+    const std::uint8_t* data(std::size_t i) const {
+        return storage_.data() + i * max_datagram;
+    }
+    std::size_t len(std::size_t i) const { return len_[i]; }
+    const sockaddr_in& from(std::size_t i) const { return from_[i]; }
+
+private:
+    friend std::size_t recv_batch(int fd, rx_batch& b);
+
+    std::size_t capacity_;
+    std::vector<std::uint8_t> storage_; ///< capacity * max_datagram bytes
+    std::vector<std::size_t> len_;
+    std::vector<sockaddr_in> from_;
+};
+
+/// Fill `b` with up to its capacity of datagrams in (at most) one
+/// syscall. Returns the number received; 0 means the socket would block.
+std::size_t recv_batch(int fd, rx_batch& b);
+
+/// One outbound datagram; `data` stays owned by the caller (typically an
+/// engine::buffer_pool buffer) until send_batch returns.
+struct tx_item {
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+    sockaddr_in to{};
+};
+
+/// Transmit `n` datagrams in (at most) one syscall. Returns how many the
+/// kernel accepted; the remainder hit a full send buffer and are dropped
+/// by the caller (the transport's loss recovery handles it, exactly as
+/// it would a NIC queue overflow).
+std::size_t send_batch(int fd, const tx_item* items, std::size_t n);
+
+} // namespace vtp::engine

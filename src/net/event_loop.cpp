@@ -1,6 +1,5 @@
 #include "net/event_loop.hpp"
 
-#include <poll.h>
 #include <time.h>
 
 #include <algorithm>
@@ -20,39 +19,45 @@ event_loop::event_loop() : epoch_(monotonic_ns()) {}
 util::sim_time event_loop::now() const { return monotonic_ns() - epoch_; }
 
 void event_loop::add_fd(int fd, std::function<void()> on_readable) {
-    fds_.emplace_back(fd, std::move(on_readable));
+    reactor_.add_fd(fd, std::move(on_readable));
 }
 
-void event_loop::remove_fd(int fd) {
-    fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
-                              [fd](const auto& e) { return e.first == fd; }),
-               fds_.end());
-}
+void event_loop::remove_fd(int fd) { reactor_.remove_fd(fd); }
 
 std::uint64_t event_loop::schedule_after(util::sim_time delay, std::function<void()> fn) {
     const std::uint64_t id = next_timer_id_++;
-    timers_[id] = timer_entry{now() + std::max<util::sim_time>(delay, 0), std::move(fn)};
+    const util::sim_time deadline = now() + std::max<util::sim_time>(delay, 0);
+    timers_.emplace(id, timer_entry{deadline, std::move(fn)});
+    heap_.emplace(deadline, id);
     return id;
 }
 
 void event_loop::cancel(std::uint64_t id) { timers_.erase(id); }
 
-util::sim_time event_loop::next_timer_delay() const {
-    if (timers_.empty()) return util::milliseconds(100);
-    util::sim_time earliest = util::time_never;
-    for (const auto& [id, t] : timers_) earliest = std::min(earliest, t.deadline);
-    return std::max<util::sim_time>(earliest - now(), 0);
+void event_loop::pop_stale() {
+    // Heap entries whose timer was cancelled (no longer in timers_).
+    while (!heap_.empty() && timers_.find(heap_.top().second) == timers_.end())
+        heap_.pop();
+}
+
+util::sim_time event_loop::next_timer_delay() {
+    pop_stale();
+    if (heap_.empty()) return util::milliseconds(100);
+    return std::max<util::sim_time>(heap_.top().first - now(), 0);
 }
 
 void event_loop::fire_due_timers() {
+    // Snapshot `t` once: a callback scheduling an immediate follow-up
+    // fires it next iteration, never in this pass (same as the old
+    // collect-then-run behaviour).
     const util::sim_time t = now();
-    // Collect due ids first: callbacks may add/cancel timers.
-    std::vector<std::uint64_t> due;
-    for (const auto& [id, entry] : timers_)
-        if (entry.deadline <= t) due.push_back(id);
-    for (std::uint64_t id : due) {
-        auto it = timers_.find(id);
-        if (it == timers_.end()) continue;
+    for (;;) {
+        pop_stale();
+        if (heap_.empty() || heap_.top().first > t) break;
+        const std::uint64_t id = heap_.top().second;
+        heap_.pop();
+        const auto it = timers_.find(id);
+        if (it == timers_.end()) continue; // cancelled after pop_stale
         auto fn = std::move(it->second.fn);
         timers_.erase(it);
         fn();
@@ -69,19 +74,9 @@ void event_loop::run(util::sim_time for_duration) {
 
         util::sim_time wait = next_timer_delay();
         if (deadline != util::time_never) wait = std::min(wait, deadline - now());
-        const int timeout_ms =
-            static_cast<int>(std::clamp<util::sim_time>(wait / 1'000'000, 0, 1000));
+        wait = std::clamp<util::sim_time>(wait, 0, util::seconds(1));
 
-        std::vector<pollfd> pfds;
-        pfds.reserve(fds_.size());
-        for (const auto& [fd, cb] : fds_) pfds.push_back(pollfd{fd, POLLIN, 0});
-
-        const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
-        if (ready > 0) {
-            for (std::size_t i = 0; i < pfds.size() && i < fds_.size(); ++i) {
-                if (pfds[i].revents & POLLIN) fds_[i].second();
-            }
-        }
+        reactor_.poll_once(wait);
         fire_due_timers();
     }
     running_ = false;

@@ -1,13 +1,25 @@
-// Minimal real-time event loop (poll(2) + monotonic timers) for the live
-// UDP datapath. Single-threaded by design: transport agents are not
-// thread-safe and do not need to be — exactly like the simulator.
+// Minimal real-time event loop for the live UDP datapath. Single-
+// threaded by design: transport agents are not thread-safe and do not
+// need to be — exactly like the simulator.
+//
+// I/O readiness comes from engine::reactor (epoll on Linux, poll(2)
+// elsewhere), so watching many fds costs O(1) per wait instead of a
+// per-iteration fd-set rebuild. Timers sit in a deadline-ordered binary
+// heap with lazy cancellation: schedule and cancel are O(log n) /
+// O(1), and each loop iteration pops only what is due — the old
+// std::map store scanned every timer per iteration. For thousands of
+// connections on one thread, use an engine::shard instead (timer wheel,
+// batched I/O); this loop stays the simple substrate for clients,
+// examples and tests.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
+#include "engine/reactor.hpp"
 #include "util/time.hpp"
 
 namespace vtp::net {
@@ -32,17 +44,25 @@ public:
 
 private:
     void fire_due_timers();
-    util::sim_time next_timer_delay() const;
+    util::sim_time next_timer_delay();
+    void pop_stale();
 
     util::sim_time epoch_;
     bool running_ = false;
     std::uint64_t next_timer_id_ = 1;
+
     struct timer_entry {
         util::sim_time deadline;
         std::function<void()> fn;
     };
-    std::map<std::uint64_t, timer_entry> timers_; ///< id -> entry
-    std::vector<std::pair<int, std::function<void()>>> fds_;
+    /// Live timers by id; cancel() simply erases here and the heap entry
+    /// goes stale (skipped when it surfaces).
+    std::unordered_map<std::uint64_t, timer_entry> timers_;
+    using heap_item = std::pair<util::sim_time, std::uint64_t>; ///< (deadline, id)
+    std::priority_queue<heap_item, std::vector<heap_item>, std::greater<heap_item>>
+        heap_;
+
+    engine::reactor reactor_;
 };
 
 } // namespace vtp::net

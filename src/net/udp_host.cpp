@@ -8,6 +8,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "engine/udp_io.hpp"
 #include "packet/wire.hpp"
 #include "util/logging.hpp"
 
@@ -15,18 +16,11 @@ namespace vtp::net {
 
 udp_host::udp_host(event_loop& loop, std::uint16_t port, std::uint64_t rng_seed)
     : loop_(loop), port_(port), rng_(rng_seed) {
-    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
-    if (fd_ < 0) throw std::runtime_error("udp_host: socket() failed");
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-        ::close(fd_);
-        fd_ = -1;
-        throw std::runtime_error("udp_host: bind() failed");
-    }
+    // Shares the engine's socket setup but deliberately keeps the
+    // one-datagram-per-syscall receive/transmit path below: this host is
+    // the legacy baseline the engine is measured against
+    // (bench_e12_engine_throughput) and the simple client substrate.
+    fd_ = engine::open_udp_socket(port);
     loop_.add_fd(fd_, [this] { on_readable(); });
 }
 
@@ -60,10 +54,7 @@ void udp_host::send(packet::packet pkt) {
     const std::vector<std::uint8_t> body = packet::encode_segment(*pkt.body);
     dgram.insert(dgram.end(), body.begin(), body.end());
 
-    sockaddr_in to{};
-    to.sin_family = AF_INET;
-    to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    to.sin_port = htons(static_cast<std::uint16_t>(pkt.dst));
+    sockaddr_in to = engine::loopback_addr(static_cast<std::uint16_t>(pkt.dst));
     if (::sendto(fd_, dgram.data(), dgram.size(), 0, reinterpret_cast<sockaddr*>(&to),
                  sizeof to) >= 0) {
         ++sent_;

@@ -20,8 +20,9 @@ constexpr std::uint8_t tcp_flag_ack = 0x01;
 constexpr std::uint8_t tcp_flag_syn = 0x02;
 constexpr std::uint8_t tcp_flag_fin = 0x04;
 
+template <typename writer>
 struct encode_visitor {
-    byte_writer& out;
+    writer& out;
 
     void operator()(const data_segment& s) const {
         out.put_u8(static_cast<std::uint8_t>(wire_kind::data));
@@ -224,8 +225,14 @@ tcp_segment decode_tcp(byte_reader& in) {
 
 std::vector<std::uint8_t> encode_segment(const segment& s) {
     byte_writer out;
-    std::visit(encode_visitor{out}, s);
+    std::visit(encode_visitor<byte_writer>{out}, s);
     return out.take();
+}
+
+std::size_t encode_segment_into(const segment& s, std::uint8_t* out, std::size_t cap) {
+    util::fixed_writer w(out, cap);
+    std::visit(encode_visitor<util::fixed_writer>{w}, s);
+    return w.size();
 }
 
 segment decode_segment(const std::uint8_t* data, std::size_t len) {

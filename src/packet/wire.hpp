@@ -31,6 +31,12 @@ enum class wire_kind : std::uint8_t {
 /// Encode a segment header to bytes. Never fails.
 std::vector<std::uint8_t> encode_segment(const segment& s);
 
+/// Encode a segment header into a caller-provided buffer, returning the
+/// encoded size. Allocation-free — this is the server engine's hot
+/// transmit path (buffers come from an engine::buffer_pool). Throws
+/// std::length_error when `cap` is too small for the segment.
+std::size_t encode_segment_into(const segment& s, std::uint8_t* out, std::size_t cap);
+
 /// Decode a segment header. Throws util::decode_error on truncated or
 /// malformed input (unknown kind tag, absurd block counts).
 segment decode_segment(const std::uint8_t* data, std::size_t len);

@@ -54,6 +54,58 @@ private:
     std::vector<std::uint8_t> buf_;
 };
 
+/// Append-only big-endian writer over a caller-provided fixed buffer.
+/// Overflow throws std::length_error — size the buffer for the largest
+/// segment (engine::max_datagram is ample). Same interface as
+/// byte_writer so encoders can be written once against either.
+class fixed_writer {
+public:
+    fixed_writer(std::uint8_t* buf, std::size_t cap) : buf_(buf), cap_(cap) {}
+
+    void put_u8(std::uint8_t v) {
+        if (pos_ >= cap_) throw std::length_error("fixed_writer overflow");
+        buf_[pos_++] = v;
+    }
+
+    void put_u16(std::uint16_t v) {
+        put_u8(static_cast<std::uint8_t>(v >> 8));
+        put_u8(static_cast<std::uint8_t>(v));
+    }
+
+    void put_u32(std::uint32_t v) {
+        put_u16(static_cast<std::uint16_t>(v >> 16));
+        put_u16(static_cast<std::uint16_t>(v));
+    }
+
+    void put_u64(std::uint64_t v) {
+        put_u32(static_cast<std::uint32_t>(v >> 32));
+        put_u32(static_cast<std::uint32_t>(v));
+    }
+
+    void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+    /// IEEE-754 binary64 bits, big-endian.
+    void put_f64(double v) {
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&bits, &v, sizeof bits);
+        put_u64(bits);
+    }
+
+    void put_bytes(const std::uint8_t* data, std::size_t len) {
+        if (cap_ - pos_ < len) throw std::length_error("fixed_writer overflow");
+        std::memcpy(buf_ + pos_, data, len);
+        pos_ += len;
+    }
+
+    std::size_t size() const { return pos_; }
+
+private:
+    std::uint8_t* buf_;
+    std::size_t cap_;
+    std::size_t pos_ = 0;
+};
+
 /// Thrown by byte_reader on truncated input.
 class decode_error : public std::runtime_error {
 public:

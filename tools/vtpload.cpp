@@ -1,0 +1,249 @@
+// vtpload — load generator for engine::server.
+//
+// Spins up an in-process N-shard engine server, then drives K client
+// vtp::sessions (spread over legacy udp_hosts on one event loop) at it,
+// each carrying M streams of --bytes bytes. Reports aggregate
+// throughput, engine datapath counters (packets/sec, batching, handoff)
+// and the p50/p99 of per-session completion latency (connect to
+// FIN-acked). Exit status gates CI smoke runs: non-zero when
+// --min-pps is not met, any engine decode error is counted, or any
+// session fails to complete.
+//
+//   vtpload --clients 200 --streams 2 --bytes 40000 --shards 4
+//   vtpload --clients 100 --min-pps 2000 --json vtpload.json   # CI smoke
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "bench_json.hpp"
+#include "engine/server.hpp"
+#include "net/udp_host.hpp"
+
+using namespace vtp;
+using util::milliseconds;
+
+namespace {
+
+struct options {
+    std::uint16_t port = 49100;
+    std::size_t shards = 4;
+    int clients = 200;
+    int streams = 1;           ///< streams per session (>=1; stream 0 + extras)
+    std::uint64_t bytes = 20'000; ///< per stream
+    std::uint32_t packet_size = 600;
+    int timeout_s = 60;
+    double min_pps = 0.0; ///< 0 = report only, no gate
+    std::string json;
+};
+
+bool parse(int argc, char** argv, options& o) {
+    bool missing_value = false;
+    for (int i = 1; i < argc && !missing_value; ++i) {
+        const std::string a = argv[i];
+        // A flag as the last token has no value: empty string keeps the
+        // ato* calls defined and trips the usage error below.
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                missing_value = true;
+                return "";
+            }
+            return argv[++i];
+        };
+        if (a == "--port") {
+            o.port = static_cast<std::uint16_t>(std::atoi(next()));
+        } else if (a == "--shards") {
+            o.shards = static_cast<std::size_t>(std::atoi(next()));
+        } else if (a == "--clients") {
+            o.clients = std::atoi(next());
+        } else if (a == "--streams") {
+            o.streams = std::max(1, std::atoi(next()));
+        } else if (a == "--bytes") {
+            o.bytes = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (a == "--packet-size") {
+            o.packet_size = static_cast<std::uint32_t>(std::atoi(next()));
+        } else if (a == "--timeout") {
+            o.timeout_s = std::atoi(next());
+        } else if (a == "--min-pps") {
+            o.min_pps = std::atof(next());
+        } else if (a == "--json") {
+            o.json = next();
+        } else {
+            missing_value = true;
+        }
+    }
+    if (missing_value) {
+        std::fprintf(stderr,
+                     "usage: vtpload [--port P] [--shards N] [--clients K] "
+                     "[--streams M] [--bytes B] [--packet-size S] "
+                     "[--timeout SEC] [--min-pps FLOOR] [--json PATH]\n");
+        return false;
+    }
+    return true;
+}
+
+double percentile(std::vector<double> v, double p) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    options opt;
+    if (!parse(argc, argv, opt)) return 2;
+
+    // Server side: delivered-byte accounting shared across shard threads.
+    static std::atomic<std::uint64_t> delivered{0};
+
+    engine::engine_config cfg;
+    cfg.port = opt.port;
+    cfg.shards = opt.shards;
+    cfg.reap_interval = milliseconds(250);
+    engine::server srv(cfg);
+    srv.set_on_session([](std::size_t, vtp::session& s) {
+        s.set_on_stream_delivered(
+            [](std::uint32_t, std::uint64_t, std::uint32_t len) {
+                delivered.fetch_add(len, std::memory_order_relaxed);
+            });
+    });
+
+    try {
+        srv.start();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "vtpload: cannot start engine (%s)\n", e.what());
+        return 2;
+    }
+
+    // Client side: 50 sessions per udp_host keeps each host's flow table
+    // and the shared event loop comfortable.
+    constexpr int sessions_per_host = 50;
+    net::event_loop loop;
+    std::vector<std::unique_ptr<net::udp_host>> hosts;
+    const int n_hosts = (opt.clients + sessions_per_host - 1) / sessions_per_host;
+    for (int h = 0; h < n_hosts; ++h) {
+        try {
+            hosts.push_back(std::make_unique<net::udp_host>(
+                loop, static_cast<std::uint16_t>(opt.port + 1 + h),
+                static_cast<std::uint64_t>(100 + h)));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "vtpload: cannot bind client host (%s)\n", e.what());
+            return 2;
+        }
+    }
+
+    std::vector<vtp::session> sessions;
+    sessions.reserve(static_cast<std::size_t>(opt.clients));
+    const util::sim_time t0 = loop.now();
+    for (int i = 1; i <= opt.clients; ++i) {
+        net::udp_host& host = *hosts[static_cast<std::size_t>(i - 1) / sessions_per_host];
+        session_options so = session_options::reliable();
+        so.flow_id = static_cast<std::uint32_t>(i);
+        so.packet_size = opt.packet_size;
+        vtp::session s = vtp::session::connect(host, opt.port, so);
+        s.send(opt.bytes); // stream 0
+        for (int k = 1; k < opt.streams; ++k) {
+            stream::stream_options stro;
+            stro.reliability = sack::reliability_mode::full;
+            const std::uint32_t sid = s.open_stream(stro);
+            s.send(sid, opt.bytes);
+            s.finish(sid);
+        }
+        s.close();
+        sessions.push_back(std::move(s));
+    }
+
+    // Drive until every FIN is acknowledged, recording each session's
+    // completion time as it happens.
+    std::vector<double> done_ms(sessions.size(), -1.0);
+    std::size_t remaining = sessions.size();
+    const util::sim_time deadline = t0 + util::seconds(opt.timeout_s);
+    while (remaining > 0 && loop.now() < deadline) {
+        loop.run(milliseconds(5));
+        const double now_ms = util::to_milliseconds(loop.now() - t0);
+        for (std::size_t i = 0; i < sessions.size(); ++i) {
+            if (done_ms[i] >= 0.0 || !sessions[i].closed()) continue;
+            done_ms[i] = now_ms;
+            --remaining;
+        }
+    }
+    const double elapsed_s = util::to_seconds(loop.now() - t0);
+
+    const engine::engine_stats st = srv.stats();
+    const std::uint64_t total_bytes = delivered.load();
+    const double goodput_mbps = static_cast<double>(total_bytes) * 8.0 / elapsed_s / 1e6;
+    const double pps =
+        static_cast<double>(st.datagrams_rx + st.datagrams_tx) / elapsed_s;
+
+    std::vector<double> completed;
+    for (double d : done_ms)
+        if (d >= 0.0) completed.push_back(d);
+    const double p50 = percentile(completed, 0.50);
+    const double p99 = percentile(completed, 0.99);
+
+    std::printf("# vtpload — %d clients x %d streams x %llu bytes -> "
+                "engine (%zu shards) on :%u\n",
+                opt.clients, opt.streams,
+                static_cast<unsigned long long>(opt.bytes), opt.shards, opt.port);
+    std::printf("completed sessions   %zu / %zu\n", completed.size(), sessions.size());
+    std::printf("elapsed              %.2f s\n", elapsed_s);
+    std::printf("delivered            %.2f MB (%.2f Mb/s)\n",
+                static_cast<double>(total_bytes) / 1e6, goodput_mbps);
+    std::printf("engine datagrams     rx %llu  tx %llu  (%.0f pkts/s)\n",
+                static_cast<unsigned long long>(st.datagrams_rx),
+                static_cast<unsigned long long>(st.datagrams_tx), pps);
+    std::printf("rx batching          %.1f dgrams/recvmmsg\n",
+                st.rx_batches > 0
+                    ? static_cast<double>(st.datagrams_rx) /
+                          static_cast<double>(st.rx_batches)
+                    : 0.0);
+    std::printf("session latency      p50 %.1f ms  p99 %.1f ms\n", p50, p99);
+    std::printf("accepted %llu  handoff %llu (dropped %llu)  decode errors %llu  "
+                "pool exhausted %llu\n",
+                static_cast<unsigned long long>(st.accepted),
+                static_cast<unsigned long long>(st.handoff_out),
+                static_cast<unsigned long long>(st.handoff_dropped),
+                static_cast<unsigned long long>(st.decode_errors),
+                static_cast<unsigned long long>(st.pool_exhausted));
+
+    const bool all_done = completed.size() == sessions.size();
+    const bool pps_ok = opt.min_pps <= 0.0 || pps >= opt.min_pps;
+    const bool clean = st.decode_errors == 0;
+    const bool ok = all_done && pps_ok && clean;
+    if (!ok)
+        std::printf("FAIL:%s%s%s\n", all_done ? "" : " sessions-incomplete",
+                    pps_ok ? "" : " pps-below-floor", clean ? "" : " decode-errors");
+
+    if (!opt.json.empty()) {
+        bench::json_report rep;
+        rep.add("clients", static_cast<std::uint64_t>(opt.clients));
+        rep.add("streams", static_cast<std::uint64_t>(opt.streams));
+        rep.add("bytes_per_stream", opt.bytes);
+        rep.add("shards", static_cast<std::uint64_t>(opt.shards));
+        rep.add("completed", static_cast<std::uint64_t>(completed.size()));
+        rep.add("elapsed_s", elapsed_s);
+        rep.add("goodput_mbps", goodput_mbps);
+        rep.add("packets_per_sec", pps);
+        rep.add("latency_p50_ms", p50);
+        rep.add("latency_p99_ms", p99);
+        rep.add("datagrams_rx", st.datagrams_rx);
+        rep.add("datagrams_tx", st.datagrams_tx);
+        rep.add("decode_errors", st.decode_errors);
+        rep.add("handoff_dropped", st.handoff_dropped);
+        rep.add("pass", ok);
+        if (!rep.write(opt.json))
+            std::fprintf(stderr, "vtpload: could not write %s\n", opt.json.c_str());
+    }
+
+    srv.stop();
+    return ok ? 0 : 1;
+}
