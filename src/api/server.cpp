@@ -10,6 +10,8 @@ qtp::listener_config make_listener_config(const server_options& opts) {
     cfg.capability_policy = opts.capability_policy;
     cfg.endpoint.packet_size = opts.packet_size;
     cfg.endpoint.handshake_rtx = opts.handshake_rtx;
+    cfg.endpoint.event_queue_capacity = opts.event_queue_capacity;
+    cfg.endpoint.recv_buffer_bytes = opts.recv_buffer_bytes;
     return cfg;
 }
 

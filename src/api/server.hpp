@@ -41,6 +41,11 @@ struct server_options {
     /// Handshake / renegotiation retransmission interval for accepted
     /// endpoints.
     util::sim_time handshake_rtx = util::milliseconds(500);
+
+    /// Event ring capacity / recv payload buffer cap of accepted
+    /// sessions (see session_options for semantics).
+    std::size_t event_queue_capacity = 256;
+    std::uint64_t recv_buffer_bytes = 16u << 20;
 };
 
 /// One-call snapshot of the listener's accept/stray accounting (the

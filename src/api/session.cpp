@@ -42,6 +42,50 @@ std::uint64_t session::send(std::uint32_t stream_id, std::uint64_t bytes) {
     return sender_ != nullptr ? sender_->offer(stream_id, bytes) : 0;
 }
 
+std::uint64_t session::send(std::uint32_t stream_id,
+                            std::span<const std::uint8_t> data) {
+    return sender_ != nullptr
+               ? sender_->offer_bytes(stream_id, data.data(), data.size())
+               : 0;
+}
+
+std::uint64_t session::sendv(std::uint32_t stream_id,
+                             std::span<const std::span<const std::uint8_t>> bufs) {
+    if (sender_ == nullptr) return 0;
+    std::uint64_t total = 0;
+    for (const auto& buf : bufs) {
+        const std::uint64_t accepted =
+            sender_->offer_bytes(stream_id, buf.data(), buf.size());
+        total += accepted;
+        if (accepted < buf.size()) break; // clamped: wait for writable
+    }
+    return total;
+}
+
+bool session::writable() const {
+    return sender_ != nullptr && sender_->writable();
+}
+
+std::size_t session::poll(event* out, std::size_t max) {
+    if (sender_ != nullptr) return sender_->poll(out, max);
+    if (receiver_ != nullptr) return receiver_->poll(out, max);
+    return 0;
+}
+
+std::size_t session::recv(std::uint32_t stream_id, std::span<std::uint8_t> out) {
+    return receiver_ != nullptr ? receiver_->recv(stream_id, out.data(), out.size())
+                                : 0;
+}
+
+bool session::recv_chunk(std::uint32_t& stream_id_out, stream::ready_chunk& out) {
+    return receiver_ != nullptr && receiver_->recv_chunk(stream_id_out, out);
+}
+
+void session::set_event_sink(event_sink* sink) {
+    if (sender_ != nullptr) sender_->set_event_sink(sink);
+    if (receiver_ != nullptr) receiver_->set_event_sink(sink);
+}
+
 std::uint32_t session::open_stream(const stream::stream_options& opts) {
     return sender_ != nullptr ? sender_->open_stream(opts) : stream::invalid_stream;
 }
@@ -111,6 +155,15 @@ session_stats session::stats() const {
                 : sender_->rate().current_loss_rate();
         s.rtt = sender_->rate().has_rtt() ? sender_->rate().rtt() : 0;
     }
+    if (sender_ != nullptr) {
+        s.events_dropped = sender_->events_dropped();
+        std::uint64_t tx_buffered = 0;
+        for (std::size_t i = 0; i < sender_->mux().stream_count(); ++i)
+            if (const auto* st = sender_->mux().find(static_cast<std::uint32_t>(i)))
+                tx_buffered += st->tx_payload_bytes();
+        s.tx_payload_buffered = tx_buffered;
+        s.tx_payload_miss_bytes = sender_->mux().payload_miss_bytes_total();
+    }
     if (receiver_ != nullptr) {
         s.renegotiations = receiver_->renegotiations();
         s.reneg_proposals_sent = receiver_->reneg_proposals_sent();
@@ -122,6 +175,9 @@ session_stats session::stats() const {
             s.bytes_delivered = demux->delivered_bytes_total();
         }
         s.feedback_sent = receiver_->feedback_sent();
+        s.events_dropped = receiver_->events_dropped();
+        s.recv_buffered_bytes = receiver_->recv_buffered_bytes();
+        s.recv_dropped_bytes = receiver_->recv_dropped_bytes();
     }
     return s;
 }

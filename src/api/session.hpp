@@ -2,14 +2,27 @@
 //
 // A session is one endpoint of one QTP connection, hosted on any
 // substrate implementing qtp::environment (the discrete-event simulator's
-// sim::host or the live UDP datapath's net::udp_host — the code is
-// identical on both):
+// sim::host, the live UDP datapath's net::udp_host, or a server-engine
+// shard — the code is identical on all of them). The API is
+// non-blocking with a polled event queue and a real data plane:
 //
 //   vtp::session s = vtp::session::connect(host, peer_addr,
 //                                          vtp::session_options::af(4e6));
-//   s.set_on_established([](const qtp::profile& p) { ... });
-//   s.send(5'000'000);           // queue application bytes
-//   s.close();                   // FIN once everything is delivered
+//   std::uint64_t n = s.send(0, bytes);   // real payload; short return =
+//                                         // backpressure, wait for writable
+//   s.close();                            // FIN once everything is delivered
+//
+//   vtp::event evs[16];                   // receiver (or sender) side
+//   for (std::size_t i = 0, k = s.poll(evs, 16); i < k; ++i)
+//       if (evs[i].type == vtp::event_type::readable)
+//           while (std::size_t got = s.recv(evs[i].stream_id, buf))
+//               consume(buf, got);        // delivered bytes, stream order
+//
+// Events (core/events.hpp): established, stream_opened, readable,
+// writable, profile_changed, fin, closed. readable/writable are
+// edge-triggered; every queue is bounded with counted overflow. The
+// set_on_* callbacks below are a deprecated compatibility shim over the
+// same event stream.
 //
 // One session multiplexes up to 256 application streams, each with its
 // own reliability mode, scheduler weight and optional delivery deadline
@@ -45,14 +58,21 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "api/session_options.hpp"
 #include "core/connection.hpp"
 #include "core/environment.hpp"
+#include "core/events.hpp"
 #include "stream/stream.hpp"
 
 namespace vtp {
+
+/// Poll-based session events (see core/events.hpp for semantics).
+using event = qtp::event;
+using event_type = qtp::event_type;
+using event_sink = qtp::event_sink;
 
 /// One-call snapshot of everything an application usually polls.
 struct session_stats {
@@ -82,6 +102,20 @@ struct session_stats {
     std::uint64_t packets_received = 0;
     std::uint64_t bytes_delivered = 0;
     std::uint64_t feedback_sent = 0;
+
+    // Event/backpressure observability (both roles).
+    /// Events lost to a full event queue (poll ring or engine export).
+    std::uint64_t events_dropped = 0;
+    /// Receiver: payload bytes buffered for recv() / dropped because the
+    /// recv buffer cap was hit.
+    std::uint64_t recv_buffered_bytes = 0;
+    std::uint64_t recv_dropped_bytes = 0;
+    /// Sender: payload bytes retained for retransmission, and bytes a
+    /// (re)transmission needed but the retention buffer no longer held
+    /// (sent as zeroes — nonzero only when length-only and payload
+    /// sends were mixed on one stream; see session::send).
+    std::uint64_t tx_payload_buffered = 0;
+    std::uint64_t tx_payload_miss_bytes = 0;
 };
 
 class session {
@@ -114,10 +148,44 @@ public:
     std::uint32_t open_stream(const stream::stream_options& opts);
     /// Queue `bytes` on stream `stream_id`; returns the accepted count.
     std::uint64_t send(std::uint32_t stream_id, std::uint64_t bytes);
+
+    /// Queue real application bytes on stream `stream_id`: the accepted
+    /// prefix is carried end-to-end and handed to the peer through
+    /// recv(). Returns the accepted byte count — when it is short, wait
+    /// for the `writable` event (or poll writable()) before retrying the
+    /// rest. Avoid mixing with the length-only send(id, n) on the same
+    /// stream: the synthetic bytes read back as zeroes at the receiver
+    /// (session_stats::tx_payload_miss_bytes counts any fallout).
+    std::uint64_t send(std::uint32_t stream_id, std::span<const std::uint8_t> data);
+    /// Gather-list variant: queues the spans back-to-back, stopping at
+    /// the first clamped one. Returns total bytes accepted.
+    std::uint64_t sendv(std::uint32_t stream_id,
+                        std::span<const std::span<const std::uint8_t>> bufs);
+    /// send() would accept at least one byte right now.
+    bool writable() const;
+
     /// Half-close one stream; the connection stays open for the rest.
     void finish(std::uint32_t stream_id);
     /// Sender-side per-stream accounting (one entry per opened stream).
     std::vector<stream::stream_info> stream_infos() const;
+
+    // --- poll-based events & payload receive -----------------------------
+    /// Drain up to `max` queued events. Returns how many were written to
+    /// `out`. Sessions that registered any set_on_* callback dispatch
+    /// through those instead (the compatibility shim) and poll() stays
+    /// empty; don't mix the two styles on one session.
+    std::size_t poll(event* out, std::size_t max);
+    /// Receiver role: read up to `out.size()` delivered payload bytes of
+    /// `stream_id` in delivery order. `readable` is edge-triggered —
+    /// drain until 0.
+    std::size_t recv(std::uint32_t stream_id, std::span<std::uint8_t> out);
+    /// Receiver role: pop one delivered chunk of any stream with its
+    /// delivery metadata (offset, substrate timestamp). The
+    /// trace-faithful consumption the conformance harness uses.
+    bool recv_chunk(std::uint32_t& stream_id_out, stream::ready_chunk& out);
+    /// Export events (readable ones carrying their payload) to `sink`
+    /// instead of the poll queue — the engine's cross-thread binding.
+    void set_event_sink(event_sink* sink);
 
     /// Half-close: no more send() calls will follow on any stream; the
     /// connection runs the FIN handshake once every queued byte has been
@@ -137,9 +205,15 @@ public:
     const qtp::profile& active_profile() const;
     session_stats stats() const;
 
+    // --- legacy callbacks (deprecated) -----------------------------------
+    // A compatibility shim over the event queue: registering any of these
+    // puts the session in callback mode — its events dispatch through the
+    // callbacks at emit time and poll() stays empty. New code should use
+    // poll()/recv(); these remain for pre-v2 callers and are slated for
+    // removal together with the make_qtp_* factories.
     void set_on_established(std::function<void(const qtp::profile&)> cb);
     /// Receiver role: (stream-0 offset, length) handed to the
-    /// application (legacy single-stream hook).
+    /// application (legacy single-stream hook; payload is not retained).
     void set_on_delivered(std::function<void(std::uint64_t, std::uint32_t)> cb);
     /// Receiver role: (stream id, stream offset, length) for every
     /// stream, including stream 0.

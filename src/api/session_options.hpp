@@ -37,8 +37,19 @@ struct session_options {
     std::uint32_t max_transmissions = 0;
 
     /// Cap on offered-but-unsent bytes across all streams of the
-    /// session; send() returns how much was accepted. 0 = unlimited.
+    /// session; send() returns how much was accepted, and a clamped
+    /// send() arms the edge-triggered `writable` event. 0 = unlimited.
     std::uint64_t max_buffered_bytes = 0;
+
+    /// Capacity of the per-session event ring drained by poll(). A full
+    /// ring drops the new event and counts it in
+    /// session_stats::events_dropped.
+    std::size_t event_queue_capacity = 256;
+
+    /// Receiver side: cap on payload bytes buffered for recv(); chunks
+    /// beyond it are dropped and counted (recv_dropped_bytes). 0 =
+    /// unlimited.
+    std::uint64_t recv_buffer_bytes = 16u << 20;
 
     /// Stream scheduler knobs (weights quantum, deadline promotion).
     stream::stream_scheduler_config scheduler{};
@@ -90,6 +101,8 @@ struct session_options {
         cfg.message_size = message_size;
         cfg.message_deadline = message_deadline;
         cfg.max_buffered_bytes = max_buffered_bytes;
+        cfg.event_queue_capacity = event_queue_capacity;
+        cfg.recv_buffer_bytes = recv_buffer_bytes;
         cfg.scheduler = scheduler;
         cfg.handshake_rtx = handshake_rtx;
         return cfg;

@@ -32,7 +32,8 @@ connection_sender::connection_sender(connection_config cfg)
       rate_(cfg.rate),
       estimator_(cfg.estimator),
       mux_(stream0_options(cfg), cfg.total_bytes, cfg.stream_open, cfg.scoreboard,
-           cfg.scheduler) {
+           cfg.scheduler),
+      events_(cfg.event_queue_capacity) {
     if (cfg_.rate.equation.packet_size_bytes != cfg_.packet_size) {
         tfrc::rate_controller_config fixed = cfg_.rate;
         fixed.equation.packet_size_bytes = cfg_.packet_size;
@@ -74,9 +75,76 @@ void connection_sender::on_handshake(const packet::handshake_segment& seg) {
     rate_ = tfrc::rate_controller(rc);
 
     util::log(util::log_level::info, "qtp-send", "established: ", active_.describe());
-    if (on_established_) on_established_(active_);
+    event ev;
+    ev.type = event_type::established;
+    ev.prof = active_;
+    emit(ev);
     arm_nofeedback_timer();
     send_next();
+}
+
+bool connection_sender::emit(const event& ev) {
+    switch (ev.type) {
+    case event_type::established:
+        if (on_established_) {
+            on_established_(ev.prof);
+            return true;
+        }
+        break;
+    case event_type::profile_changed:
+        if (on_profile_changed_) {
+            on_profile_changed_(ev.prof);
+            return true;
+        }
+        break;
+    case event_type::closed:
+        if (on_closed_) {
+            on_closed_();
+            return true;
+        }
+        break;
+    default: break;
+    }
+    if (sink_ != nullptr) {
+        std::vector<std::uint8_t> none;
+        if (sink_->on_session_event(cfg_.flow_id, ev, none)) return true;
+        events_.count_external_drop();
+        return false;
+    }
+    // Callback-mode sessions never poll: discard (the legacy surface).
+    if (legacy_mode_) return true;
+    return events_.push(ev);
+}
+
+void connection_sender::set_event_sink(event_sink* sink) {
+    sink_ = sink;
+    if (sink_ == nullptr) return;
+    // Events queued before the sink existed (established fires while the
+    // accept path is still installing it) drain through now.
+    event ev;
+    std::vector<std::uint8_t> none;
+    while (events_.poll(&ev, 1) == 1)
+        if (!sink_->on_session_event(cfg_.flow_id, ev, none))
+            events_.count_external_drop();
+}
+
+bool connection_sender::writable() const {
+    return cfg_.max_buffered_bytes == 0 ||
+           mux_.buffered_bytes() < cfg_.max_buffered_bytes;
+}
+
+void connection_sender::maybe_emit_writable() {
+    if (!tx_blocked_ || cfg_.max_buffered_bytes == 0) return;
+    const std::uint64_t buffered = mux_.buffered_bytes();
+    // Low-watermark hysteresis: one writable per blocked -> half-drained
+    // transition, so a fast producer is not woken per packet.
+    if (buffered > cfg_.max_buffered_bytes / 2) return;
+    event ev;
+    ev.type = event_type::writable;
+    ev.bytes = cfg_.max_buffered_bytes - buffered;
+    // Re-arm the edge if the event was lost to a full queue — otherwise
+    // a blocked producer would wait for a writable that never comes.
+    tx_blocked_ = !emit(ev);
 }
 
 std::uint64_t connection_sender::offer(std::uint32_t stream_id, std::uint64_t n) {
@@ -85,6 +153,19 @@ std::uint64_t connection_sender::offer(std::uint32_t stream_id, std::uint64_t n)
     // end-of-stream marker for the current length.
     if (fin_sent_ || closed_) return 0;
     const std::uint64_t accepted = mux_.offer(stream_id, n, cfg_.max_buffered_bytes);
+    if (accepted < n) tx_blocked_ = true; // arm the writable edge
+    if (accepted > 0 && env_ != nullptr && handshake_.established() &&
+        send_timer_ == qtp::no_timer)
+        send_next();
+    return accepted;
+}
+
+std::uint64_t connection_sender::offer_bytes(std::uint32_t stream_id,
+                                             const std::uint8_t* data, std::uint64_t n) {
+    if (fin_sent_ || closed_) return 0;
+    const std::uint64_t accepted =
+        mux_.offer_bytes(stream_id, data, n, cfg_.max_buffered_bytes);
+    if (accepted < n) tx_blocked_ = true;
     if (accepted > 0 && env_ != nullptr && handshake_.established() &&
         send_timer_ == qtp::no_timer)
         send_next();
@@ -137,7 +218,10 @@ void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_s
     rate_.set_guaranteed_rate(active_.qos_aware ? active_.target_rate_bps : 0.0);
     util::log(util::log_level::info, "qtp-send", "renegotiated: ", active_.describe(),
               " from seq ", boundary_seq);
-    if (on_profile_changed_) on_profile_changed_(active_);
+    event ev;
+    ev.type = event_type::profile_changed;
+    ev.prof = active_;
+    emit(ev);
     // A reliability switch changes what counts as pending work (tail
     // probes appear or disappear), so re-evaluate the pacing loop.
     if (send_timer_ == qtp::no_timer && work_available()) send_next();
@@ -197,7 +281,9 @@ void connection_sender::on_packet(const packet::packet& pkt) {
                 nofeedback_timer_ = qtp::no_timer;
                 reneg_.cancel(*env_);
                 util::log(util::log_level::info, "qtp-send", "closed");
-                if (on_closed_) on_closed_();
+                event ev;
+                ev.type = event_type::closed;
+                emit(ev);
             }
             return;
         }
@@ -269,6 +355,7 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
     // SACK; newly finalised losses queue on their own stream under that
     // stream's policy.
     mux_.on_sack(fb, send_policy_now());
+    maybe_emit_writable();
 
     // Re-pace: the pending send slot was computed at the old rate.
     if (send_timer_ != qtp::no_timer) {
@@ -295,7 +382,10 @@ void connection_sender::send_next() {
         ++sent;
         if (kind == 2) break;
     }
-    if (sent > 0) schedule_next_send(sent);
+    if (sent > 0) {
+        schedule_next_send(sent);
+        maybe_emit_writable(); // transmissions drained the offer backlog
+    }
     if (!work_available()) maybe_begin_close(); // unreliable finite stream
 }
 
@@ -328,6 +418,17 @@ int connection_sender::send_one() {
     const std::uint64_t seq = next_seq_++;
     const util::sim_time rtt_estimate = rate_.has_rtt() ? rate_.rtt() : 0;
 
+    // Real application bytes ride in the segment; length-only streams
+    // (synthetic sources) skip the copy and the allocation entirely.
+    std::vector<std::uint8_t> payload;
+    if (pick->payload_len > 0) {
+        if (const stream::outbound_stream* s = mux_.find(pick->stream_id);
+            s != nullptr && s->carries_payload()) {
+            payload.assign(pick->payload_len, 0);
+            mux_.fetch_payload(*pick, payload.data());
+        }
+    }
+
     // Stream 0 travels as the legacy data segment (wire-compatible with
     // pre-mux endpoints); other streams use the multiplexed kind.
     packet::segment body;
@@ -342,7 +443,8 @@ int connection_sender::send_one() {
         seg.deadline = pick->deadline;
         seg.is_retransmission = pick->is_retransmission;
         seg.end_of_stream = pick->end_of_stream;
-        body = seg;
+        seg.payload = std::move(payload);
+        body = std::move(seg);
     } else {
         packet::data_stream_segment seg;
         seg.seq = seq;
@@ -356,7 +458,8 @@ int connection_sender::send_one() {
         seg.reliability = static_cast<std::uint8_t>(pick->mode);
         seg.is_retransmission = pick->is_retransmission;
         seg.end_of_stream = pick->end_of_stream;
-        body = seg;
+        seg.payload = std::move(payload);
+        body = std::move(seg);
     }
 
     // Record transmissions whenever sender-side estimation is active or
@@ -373,6 +476,11 @@ int connection_sender::send_one() {
     if (is_probe) ++probes_sent_;
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
                                    std::move(body)));
+
+    // Mode-none streams get no SACKs, so their payload buffer releases
+    // on transmission (other modes release on feedback in mux_.on_sack).
+    if (pick->mode == sack::reliability_mode::none && pick->payload_len > 0)
+        mux_.trim_after_send(pick->stream_id);
 
     return is_probe ? 2 : 1;
 }
@@ -429,9 +537,107 @@ connection_receiver::connection_receiver(connection_config cfg)
     : cfg_(cfg),
       responder_(cfg.caps),
       reneg_resp_(cfg.caps),
-      history_(tfrc::loss_history_config{}) {}
+      history_(tfrc::loss_history_config{}),
+      events_(cfg.event_queue_capacity) {}
 
 void connection_receiver::start(environment& env) { env_ = &env; }
+
+bool connection_receiver::emit(const event& ev) {
+    switch (ev.type) {
+    case event_type::established:
+        if (on_established_) {
+            on_established_(ev.prof);
+            return true;
+        }
+        break;
+    case event_type::profile_changed:
+        if (on_profile_changed_) {
+            on_profile_changed_(ev.prof);
+            return true;
+        }
+        break;
+    case event_type::closed:
+        if (on_closed_) {
+            on_closed_();
+            return true;
+        }
+        break;
+    case event_type::stream_opened:
+        // The demux already fired the legacy hook when one is registered.
+        if (on_stream_open_) return true;
+        break;
+    default: break;
+    }
+    if (sink_ != nullptr) {
+        std::vector<std::uint8_t> none;
+        if (sink_->on_session_event(cfg_.flow_id, ev, none)) return true;
+        events_.count_external_drop();
+        return false;
+    }
+    if (legacy_mode_) return true;
+    return events_.push(ev);
+}
+
+void connection_receiver::set_event_sink(event_sink* sink) {
+    sink_ = sink;
+    if (sink_ == nullptr) return;
+    // The accept path installs the sink after the SYN was processed:
+    // drain whatever queued meanwhile (established, possibly more).
+    event ev;
+    std::vector<std::uint8_t> none;
+    while (events_.poll(&ev, 1) == 1)
+        if (!sink_->on_session_event(cfg_.flow_id, ev, none))
+            events_.count_external_drop();
+    export_chunks();
+}
+
+void connection_receiver::wire_demux_hooks() {
+    if (demux_ == nullptr) return;
+    // Hooks are installed only when the application registered the
+    // corresponding callback: an unhooked demux runs the poll path with
+    // no std::function dispatch per packet.
+    if (deliver_) demux_->set_legacy_deliver(deliver_);
+    if (stream_deliver_) demux_->set_deliver(stream_deliver_);
+    if (on_stream_open_) demux_->set_on_stream_open(on_stream_open_);
+}
+
+void connection_receiver::export_chunks() {
+    if (sink_ == nullptr || demux_ == nullptr) return;
+    std::uint32_t id = 0;
+    stream::ready_chunk chunk;
+    while (demux_->pop_chunk_any(id, chunk)) {
+        event rd;
+        rd.type = event_type::readable;
+        rd.stream_id = id;
+        rd.offset = chunk.offset;
+        rd.bytes = chunk.bytes.size();
+        if (!sink_->on_session_event(cfg_.flow_id, rd, chunk.bytes)) {
+            // Export ring full: the bytes were handed back — park the
+            // chunk again and retry on the next delivery or feedback
+            // tick. Fully-acked payload must never be destroyed.
+            demux_->unpop_chunk(id, std::move(chunk));
+            return;
+        }
+    }
+}
+
+std::size_t connection_receiver::recv(std::uint32_t stream_id, std::uint8_t* out,
+                                      std::size_t cap) {
+    return demux_ != nullptr ? demux_->read(stream_id, out, cap) : 0;
+}
+
+bool connection_receiver::recv_chunk(std::uint32_t& stream_id_out,
+                                     stream::ready_chunk& out) {
+    return demux_ != nullptr && demux_->pop_chunk_any(stream_id_out, out);
+}
+
+std::uint64_t connection_receiver::recv_buffered_bytes() const {
+    return demux_ != nullptr ? demux_->buffered_payload_bytes() : 0;
+}
+
+std::uint64_t connection_receiver::recv_dropped_bytes() const {
+    return demux_ != nullptr ? demux_->payload_dropped_bytes() : 0;
+}
 
 void connection_receiver::on_packet(const packet::packet& pkt) {
     if (const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get())) {
@@ -447,7 +653,14 @@ void connection_receiver::on_packet(const packet::packet& pkt) {
             ack.type = packet::handshake_segment::kind::fin_ack;
             env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(),
                                            cfg_.peer_addr, ack));
-            if (first_fin && on_closed_) on_closed_();
+            // Retry stranded exports on every FIN (the feedback timer is
+            // gone; FIN retransmissions are the last periodic trigger).
+            export_chunks();
+            if (first_fin) {
+                event ev;
+                ev.type = event_type::closed;
+                emit(ev);
+            }
             return;
         }
         if (hs->type == packet::handshake_segment::kind::reneg ||
@@ -478,18 +691,13 @@ void connection_receiver::on_handshake(const packet::handshake_segment& seg) {
                                ? sack::delivery_order::ordered
                                : sack::delivery_order::immediate;
         demux_ = std::make_unique<stream::stream_demux>(order);
-        demux_->set_legacy_deliver([this](std::uint64_t offset, std::uint32_t len) {
-            if (deliver_) deliver_(offset, len);
-        });
-        demux_->set_deliver(
-            [this](std::uint32_t id, std::uint64_t offset, std::uint32_t len) {
-                if (stream_deliver_) stream_deliver_(id, offset, len);
-            });
-        demux_->set_on_stream_open([this](std::uint32_t id, sack::reliability_mode m) {
-            if (on_stream_open_) on_stream_open_(id, m);
-        });
+        demux_->set_store_limit(cfg_.recv_buffer_bytes);
+        wire_demux_hooks();
         util::log(util::log_level::info, "qtp-recv", "accepted: ", active_.describe());
-        if (on_established_) on_established_(active_);
+        event ev;
+        ev.type = event_type::established;
+        ev.prof = active_;
+        emit(ev);
     }
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
                                    resp->syn_ack));
@@ -509,7 +717,10 @@ void connection_receiver::apply_profile(const profile& p) {
     // accept time: switching ordered->immediate mid-stream would hand the
     // application bytes past an open gap.
     util::log(util::log_level::info, "qtp-recv", "renegotiated: ", active_.describe());
-    if (on_profile_changed_) on_profile_changed_(active_);
+    event ev;
+    ev.type = event_type::profile_changed;
+    ev.prof = active_;
+    emit(ev);
 }
 
 void connection_receiver::on_reneg(const packet::handshake_segment& seg) {
@@ -536,8 +747,14 @@ void connection_receiver::on_reneg(const packet::handshake_segment& seg) {
 
 void connection_receiver::on_data(const packet::data_segment& seg) {
     // Legacy single-stream kind: stream 0, delivery order as negotiated.
+    // The payload pointer is only trusted when it matches payload_len
+    // (the decoder guarantees it; typed sim injection might not).
+    const std::uint8_t* payload =
+        seg.payload.size() == seg.payload_len && !seg.payload.empty()
+            ? seg.payload.data()
+            : nullptr;
     ingest_data(seg.seq, seg.ts, seg.rtt_estimate, 0, active_.reliability,
-                seg.byte_offset, seg.payload_len, seg.end_of_stream);
+                seg.byte_offset, seg.payload_len, seg.end_of_stream, payload);
 }
 
 void connection_receiver::on_stream_data(const packet::data_stream_segment& seg) {
@@ -546,16 +763,21 @@ void connection_receiver::on_stream_data(const packet::data_stream_segment& seg)
     if (seg.stream_id >= stream::max_streams ||
         (seg.reliability & packet::stream_reliability_mask) == packet::stream_reliability_mask)
         return;
+    const std::uint8_t* payload =
+        seg.payload.size() == seg.payload_len && !seg.payload.empty()
+            ? seg.payload.data()
+            : nullptr;
     ingest_data(seg.seq, seg.ts, seg.rtt_estimate, seg.stream_id,
                 static_cast<sack::reliability_mode>(seg.reliability), seg.stream_offset,
-                seg.payload_len, seg.end_of_stream);
+                seg.payload_len, seg.end_of_stream, payload);
 }
 
 void connection_receiver::ingest_data(std::uint64_t seq, util::sim_time ts,
                                       util::sim_time rtt_estimate,
                                       std::uint32_t stream_id,
                                       sack::reliability_mode mode, std::uint64_t offset,
-                                      std::uint32_t len, bool end_of_stream) {
+                                      std::uint32_t len, bool end_of_stream,
+                                      const std::uint8_t* payload) {
     // A decoder-accepted but corrupted (or hostile) segment can carry an
     // absurd sequence jump. Tracking the implied hole costs O(gap) in the
     // receiver-side loss history and poisons SACK feedback, so gate the
@@ -594,7 +816,34 @@ void connection_receiver::ingest_data(std::uint64_t seq, util::sim_time ts,
         }
     }
 
-    demux_->on_frame(stream_id, mode, offset, len, end_of_stream);
+    const stream::stream_demux::frame_result fr =
+        demux_->on_frame(stream_id, mode, offset, len, end_of_stream, payload, now);
+    if (fr.opened) {
+        event ev;
+        ev.type = event_type::stream_opened;
+        ev.stream_id = stream_id;
+        ev.reliability = mode;
+        emit(ev);
+    }
+    if (sink_ != nullptr) {
+        if (fr.delivered.any()) export_chunks();
+    } else if (fr.became_readable) {
+        event ev;
+        ev.type = event_type::readable;
+        ev.stream_id = stream_id;
+        ev.bytes = demux_->readable_bytes(stream_id);
+        // A lost edge must re-arm, or the consumer never learns about
+        // the buffered data (readable is its only wake-up).
+        if (!emit(ev)) demux_->clear_readable_signal(stream_id);
+    }
+    if (fr.finished) {
+        event ev;
+        ev.type = event_type::fin;
+        ev.stream_id = stream_id;
+        if (const sack::reassembly* ra = demux_->find(stream_id))
+            ev.bytes = ra->stream_length();
+        emit(ev);
+    }
 
     if (!seen_data_) {
         seen_data_ = true;
@@ -641,6 +890,9 @@ void connection_receiver::arm_feedback_timer() {
     if (feedback_timer_ != qtp::no_timer) env_->cancel(feedback_timer_);
     feedback_timer_ = env_->schedule(last_rtt_hint_, [this] {
         feedback_timer_ = qtp::no_timer;
+        // Chunks stranded by a momentarily full export ring retry here
+        // (the ring drains as the application polls).
+        export_chunks();
         // Zero-payload tail probes count as packets: they must be
         // acknowledged or the sender could never finalise its tail.
         if (bytes_since_feedback_ > 0 || packets_since_feedback_ > 0) send_feedback();

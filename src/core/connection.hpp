@@ -30,6 +30,7 @@
 #include <functional>
 
 #include "core/environment.hpp"
+#include "core/events.hpp"
 #include "core/negotiation.hpp"
 #include "core/profile.hpp"
 #include "sack/reassembly.hpp"
@@ -82,6 +83,14 @@ struct connection_config {
     /// returns how much was accepted. 0 = unlimited (legacy behaviour).
     std::uint64_t max_buffered_bytes = 0;
 
+    /// Per-session event ring capacity (poll-based API).
+    std::size_t event_queue_capacity = 256;
+
+    /// Receiver: cap on payload bytes buffered for recv(); chunks beyond
+    /// it are dropped and counted (session_stats::recv_dropped_bytes).
+    /// 0 = unlimited.
+    std::uint64_t recv_buffer_bytes = 16u << 20;
+
     /// Sender stream scheduler (weights quantum, deadline promotion).
     stream::stream_scheduler_config scheduler{};
 
@@ -110,6 +119,14 @@ public:
     std::uint64_t offer(std::uint64_t n) { return offer(0, n); }
     /// Append `n` bytes to stream `id`; returns the accepted count.
     std::uint64_t offer(std::uint32_t stream_id, std::uint64_t n);
+    /// Append real application bytes to stream `id`: the accepted prefix
+    /// is carried end-to-end in data segments and retained until no
+    /// retransmission can need it. A clamped return arms the writable
+    /// event for when buffer space frees up.
+    std::uint64_t offer_bytes(std::uint32_t stream_id, const std::uint8_t* data,
+                              std::uint64_t n);
+    /// Buffer space available without clamping (true when unlimited).
+    bool writable() const;
     /// No more bytes will be offered on any stream; the FIN handshake may
     /// begin once everything offered is delivered.
     void finish_stream();
@@ -136,11 +153,23 @@ public:
 
     void set_on_established(std::function<void(const profile&)> cb) {
         on_established_ = std::move(cb);
+        legacy_mode_ = true;
     }
-    void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+    void set_on_closed(std::function<void()> cb) {
+        on_closed_ = std::move(cb);
+        legacy_mode_ = true;
+    }
     void set_on_profile_changed(std::function<void(const profile&)> cb) {
         on_profile_changed_ = std::move(cb);
+        legacy_mode_ = true;
     }
+
+    /// Drain queued session events (the poll-based API).
+    std::size_t poll(event* out, std::size_t max) { return events_.poll(out, max); }
+    /// Export events to `sink` instead of the ring (the engine's
+    /// cross-thread binding); already queued events are drained into it.
+    void set_event_sink(event_sink* sink);
+    std::uint64_t events_dropped() const { return events_.dropped(); }
 
     bool established() const { return handshake_.established(); }
     const profile& active_profile() const { return active_; }
@@ -188,6 +217,12 @@ private:
     void after_finish();
     void maybe_begin_close();
     void send_fin();
+    /// Route an event: legacy callback for its type, else sink, else ring
+    /// (discarded on callback-mode sessions — the legacy API surface).
+    /// Returns false only when a poll/sink consumer exists and the event
+    /// was dropped — edge-triggered emitters must then re-arm their edge.
+    bool emit(const event& ev);
+    void maybe_emit_writable();
 
     connection_config cfg_;
     environment* env_ = nullptr;
@@ -216,6 +251,11 @@ private:
     std::function<void()> on_closed_;
     std::function<void(const profile&)> on_profile_changed_;
 
+    event_ring events_;
+    event_sink* sink_ = nullptr;
+    bool legacy_mode_ = false; ///< any set_on_* registered
+    bool tx_blocked_ = false;  ///< an offer was clamped; writable pending
+
     std::uint64_t packets_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
     std::uint64_t probes_sent_ = 0;
@@ -234,16 +274,43 @@ public:
     void on_packet(const packet::packet& pkt) override;
     std::string name() const override { return "qtp-recv"; }
 
-    void set_delivery(deliver_fn cb) { deliver_ = std::move(cb); }
+    void set_delivery(deliver_fn cb) {
+        deliver_ = std::move(cb);
+        legacy_mode_ = true;
+        wire_demux_hooks();
+    }
     /// Multi-stream delivery hook: (stream id, stream offset, length).
     /// Fires for every stream, including stream 0.
     void set_stream_delivery(stream::stream_demux::deliver_fn cb) {
         stream_deliver_ = std::move(cb);
+        legacy_mode_ = true;
+        wire_demux_hooks();
     }
     /// A stream beyond 0 was seen for the first time.
     void set_on_stream_open(stream::stream_demux::stream_open_fn cb) {
         on_stream_open_ = std::move(cb);
+        legacy_mode_ = true;
+        wire_demux_hooks();
     }
+
+    // --- poll-based API --------------------------------------------------
+    /// Drain queued session events.
+    std::size_t poll(event* out, std::size_t max) { return events_.poll(out, max); }
+    /// Export events (readable ones carrying their payload chunk) to
+    /// `sink` instead of the ring; queued events drain into it first.
+    void set_event_sink(event_sink* sink);
+    /// Read up to `cap` delivered payload bytes of stream `stream_id` in
+    /// delivery order; 0 when nothing is buffered (drain until 0 after a
+    /// readable event — it is edge-triggered).
+    std::size_t recv(std::uint32_t stream_id, std::uint8_t* out, std::size_t cap);
+    /// Pop one delivered chunk with its delivery metadata (offset and
+    /// substrate timestamp) — the trace-faithful consumption the
+    /// conformance harness uses.
+    bool recv_chunk(std::uint32_t& stream_id_out, stream::ready_chunk& out);
+    std::uint64_t events_dropped() const { return events_.dropped(); }
+    /// Payload bytes buffered for recv() / dropped on a full buffer.
+    std::uint64_t recv_buffered_bytes() const;
+    std::uint64_t recv_dropped_bytes() const;
 
     /// Propose switching the connection to profile `p` (e.g. a mobile
     /// receiver dropping to sender-side estimation on battery pressure).
@@ -255,10 +322,15 @@ public:
 
     void set_on_established(std::function<void(const profile&)> cb) {
         on_established_ = std::move(cb);
+        legacy_mode_ = true;
     }
-    void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+    void set_on_closed(std::function<void()> cb) {
+        on_closed_ = std::move(cb);
+        legacy_mode_ = true;
+    }
     void set_on_profile_changed(std::function<void(const profile&)> cb) {
         on_profile_changed_ = std::move(cb);
+        legacy_mode_ = true;
     }
 
     bool established() const { return responder_.established(); }
@@ -290,8 +362,16 @@ private:
     /// loss estimation, reassembly (through the demux) and feedback.
     void ingest_data(std::uint64_t seq, util::sim_time ts, util::sim_time rtt_estimate,
                      std::uint32_t stream_id, sack::reliability_mode mode,
-                     std::uint64_t offset, std::uint32_t len, bool end_of_stream);
+                     std::uint64_t offset, std::uint32_t len, bool end_of_stream,
+                     const std::uint8_t* payload);
     void apply_profile(const profile& p);
+    /// See connection_sender::emit — false means a consumer lost the
+    /// event to a full queue (edge emitters must re-arm).
+    bool emit(const event& ev);
+    void wire_demux_hooks();
+    /// Sink mode: hand buffered chunks to the sink; a full export ring
+    /// leaves the remainder parked for the next delivery/feedback tick.
+    void export_chunks();
     void record_seq(std::uint64_t seq);
     void send_feedback();
     void arm_feedback_timer();
@@ -323,6 +403,10 @@ private:
     std::function<void(const profile&)> on_established_;
     std::function<void()> on_closed_;
     std::function<void(const profile&)> on_profile_changed_;
+
+    event_ring events_;
+    event_sink* sink_ = nullptr;
+    bool legacy_mode_ = false;
 
     std::uint64_t received_packets_ = 0;
     std::uint64_t received_bytes_ = 0;

@@ -1,0 +1,19 @@
+#include "core/events.hpp"
+
+namespace vtp::qtp {
+
+const char* to_string(event_type t) {
+    switch (t) {
+    case event_type::none: return "none";
+    case event_type::established: return "established";
+    case event_type::stream_opened: return "stream_opened";
+    case event_type::readable: return "readable";
+    case event_type::writable: return "writable";
+    case event_type::profile_changed: return "profile_changed";
+    case event_type::fin: return "fin";
+    case event_type::closed: return "closed";
+    }
+    return "event?";
+}
+
+} // namespace vtp::qtp

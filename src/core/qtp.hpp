@@ -10,11 +10,16 @@
 //   tx.send(bytes); tx.close();
 //
 // The session API adds what these factories cannot express: an
-// application-driven stream (send()/close()), per-accept capability
+// application-driven stream with real payload I/O (send(span)/recv()),
+// a polled event queue, explicit backpressure, per-accept capability
 // policies, and mid-connection profile renegotiation. The make_qtp_*
 // factories below remain as thin shims over the same connection_config
 // lowering for code that wires both endpoints by hand; they run
 // unchanged on the simulator and the live UDP datapath.
+//
+// REMOVAL SCHEDULED: these shims (together with the vtp::session
+// set_on_* callback shim) are slated for deletion in PR 7 — see the
+// README migration tables.
 #pragma once
 
 #include <memory>

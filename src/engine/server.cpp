@@ -2,11 +2,14 @@
 
 #include <stdexcept>
 
+#include "core/connection.hpp"
+
 namespace vtp::engine {
 
 server::server(engine_config cfg) : cfg_(cfg) {
     if (cfg_.shards == 0) cfg_.shards = 1;
     shards_.reserve(cfg_.shards);
+    sinks_.resize(cfg_.shards); // fixed size: sink addresses stay stable
     for (std::size_t i = 0; i < cfg_.shards; ++i) {
         shard_config sc;
         sc.port = cfg_.port;
@@ -19,10 +22,141 @@ server::server(engine_config cfg) : cfg_(cfg) {
         sc.send_burst = cfg_.send_burst;
         sc.rng_seed = cfg_.rng_seed;
         shards_.push_back(std::make_unique<shard>(sc));
+        sinks_[i].owner = this;
+        sinks_[i].index = i;
+        events_.push_back(
+            std::make_unique<spsc_queue<engine_event>>(cfg_.event_queue_capacity));
+        commands_.push_back(
+            std::make_unique<spsc_queue<command>>(cfg_.command_queue_capacity));
+        // Command mailbox drain: runs on the shard thread each turn.
+        shards_.back()->set_turn_hook([this, i] {
+            command cmd;
+            while (commands_[i]->pop(cmd)) execute(i, cmd);
+        });
     }
     std::vector<shard*> raw;
     for (auto& s : shards_) raw.push_back(s.get());
     shard::interconnect(raw);
+}
+
+bool server::shard_sink::on_session_event(std::uint32_t flow, const qtp::event& ev,
+                                          std::vector<std::uint8_t>& payload) {
+    engine_event e;
+    e.shard = index;
+    e.flow = flow;
+    e.ev = ev;
+    e.payload = std::move(payload); // no copy on the shard delivery path
+    if (!owner->events_[index]->push(std::move(e))) {
+        payload = std::move(e.payload); // full ring: hand the bytes back
+        auto& c = owner->shards_[index]->counters().events_dropped;
+        c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+std::size_t server::poll_events(engine_event* out, std::size_t max) {
+    std::size_t n = 0;
+    std::size_t idle = 0;
+    while (n < max && idle < events_.size()) {
+        if (events_[poll_cursor_]->pop(out[n])) {
+            ++n;
+            idle = 0;
+        } else {
+            ++idle;
+        }
+        poll_cursor_ = (poll_cursor_ + 1) % events_.size();
+    }
+    return n;
+}
+
+bool server::enqueue(std::size_t shard_idx, command&& cmd) {
+    if (shard_idx >= shards_.size() ||
+        !commands_[shard_idx]->push(std::move(cmd))) {
+        commands_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    shards_[shard_idx]->wake();
+    return true;
+}
+
+void server::execute(std::size_t shard_idx, command& cmd) {
+    qtp::agent* a = shards_[shard_idx]->find_agent(cmd.flow);
+    auto* tx = dynamic_cast<qtp::connection_sender*>(a);
+    auto* rx = dynamic_cast<qtp::connection_receiver*>(a);
+    if (tx == nullptr && rx == nullptr) {
+        // Session already reaped (or never existed): observable, not silent.
+        commands_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    bool handled = false;
+    switch (cmd.what) {
+    case command::kind::send:
+        if (tx != nullptr) {
+            const std::uint64_t accepted =
+                tx->offer_bytes(cmd.stream_id, cmd.bytes.data(), cmd.bytes.size());
+            // A max_buffered_bytes clamp truncates the command: the
+            // suffix is gone (the mailbox cannot hold residue), so make
+            // it observable instead of silent. Engine-hosted senders
+            // default to unlimited buffering, where this cannot happen.
+            handled = accepted == cmd.bytes.size();
+        }
+        break;
+    case command::kind::finish:
+        if (tx != nullptr) {
+            tx->finish_stream(cmd.stream_id);
+            handled = true;
+        }
+        break;
+    case command::kind::close:
+        if (tx != nullptr) {
+            tx->finish_stream();
+            handled = true;
+        }
+        break;
+    case command::kind::renegotiate:
+        if (tx != nullptr) tx->request_renegotiate(cmd.prof);
+        if (rx != nullptr) rx->request_renegotiate(cmd.prof);
+        handled = tx != nullptr || rx != nullptr;
+        break;
+    }
+    // A data-plane command aimed at a receiver-role session (or any other
+    // mismatch) is observable, not silent.
+    if (!handled) commands_dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool server::send(std::size_t shard_idx, std::uint32_t flow, std::uint32_t stream_id,
+                  const std::uint8_t* data, std::size_t len) {
+    command cmd;
+    cmd.what = command::kind::send;
+    cmd.flow = flow;
+    cmd.stream_id = stream_id;
+    cmd.bytes.assign(data, data + len);
+    return enqueue(shard_idx, std::move(cmd));
+}
+
+bool server::finish(std::size_t shard_idx, std::uint32_t flow, std::uint32_t stream_id) {
+    command cmd;
+    cmd.what = command::kind::finish;
+    cmd.flow = flow;
+    cmd.stream_id = stream_id;
+    return enqueue(shard_idx, std::move(cmd));
+}
+
+bool server::close(std::size_t shard_idx, std::uint32_t flow) {
+    command cmd;
+    cmd.what = command::kind::close;
+    cmd.flow = flow;
+    return enqueue(shard_idx, std::move(cmd));
+}
+
+bool server::renegotiate(std::size_t shard_idx, std::uint32_t flow,
+                         const qtp::profile& p) {
+    command cmd;
+    cmd.what = command::kind::renegotiate;
+    cmd.flow = flow;
+    cmd.prof = p;
+    return enqueue(shard_idx, std::move(cmd));
 }
 
 server::~server() { stop(); }
@@ -48,6 +182,10 @@ void server::start() {
             c.accepted.fetch_add(1, std::memory_order_relaxed);
             c.sessions.store(c.sessions.load(std::memory_order_relaxed) + 1,
                              std::memory_order_relaxed);
+            // Bind the session to the v2 export path (drains anything it
+            // queued while being accepted), then let the application
+            // override per event type with its own callbacks.
+            s.set_event_sink(&sinks_[i]);
             if (on_session_) on_session_(i, s);
         });
         vtp::server* raw = srv.get();
@@ -84,8 +222,9 @@ void server::connect(std::uint32_t peer_addr, vtp::session_options opts,
         opts.flow_id = next_flow_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t owner = owner_of(opts.flow_id);
     shard& sh = *shards_[owner];
-    sh.post([&sh, owner, peer_addr, opts, cb = std::move(on_ready)]() mutable {
+    sh.post([this, &sh, owner, peer_addr, opts, cb = std::move(on_ready)]() mutable {
         vtp::session s = vtp::session::connect(sh, peer_addr, opts);
+        s.set_event_sink(&sinks_[owner]);
         if (cb) cb(owner, std::move(s));
     });
 }
@@ -110,7 +249,9 @@ engine_stats server::stats() const {
         agg.pool_exhausted += st.pool_exhausted;
         agg.accepted += st.accepted;
         agg.sessions += st.sessions;
+        agg.events_dropped += st.events_dropped;
     }
+    agg.commands_dropped = commands_dropped_.load(std::memory_order_relaxed);
     return agg;
 }
 

@@ -21,12 +21,25 @@
 // shard (the flow-id hash every shard agrees on) and builds the
 // vtp::session there.
 //
-// Thread model: everything an application registers runs on a shard
-// thread. Session handles must only be used from their own shard —
-// post() to it (or capture state guarded by your own synchronization)
-// from elsewhere. stats() may be read from any thread.
+// Thread model (API v2): the application talks to engine-hosted
+// sessions without ever touching shard state.
+//  - Downstream: poll_events() merges the per-shard event rings —
+//    established / readable (carrying the payload chunk) / writable /
+//    fin / closed — filled by the shards as sessions progress.
+//  - Upstream: send()/finish()/close()/renegotiate() enqueue commands
+//    on the owner shard's lock-free mailbox (engine::spsc_queue) and
+//    ring its self-pipe; the shard executes them at its next turn.
+// Both rings are bounded: overflow drops and counts
+// (events_dropped / commands_dropped), never blocks a shard.
+// One application thread may drive poll_events() and the command
+// mailboxes at a time (they are SPSC rings).
+//
+// The pre-v2 escape hatches remain: set_on_session callbacks run on the
+// shard thread, with_server() posts control-plane closures, stats() may
+// be read from any thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,6 +47,7 @@
 
 #include "api/server.hpp"
 #include "api/session.hpp"
+#include "core/events.hpp"
 #include "engine/shard.hpp"
 
 namespace vtp::engine {
@@ -56,6 +70,12 @@ struct engine_config {
     std::size_t handoff_capacity = 512;
     std::uint32_t send_burst = 8;
     std::uint64_t rng_seed = 1;
+
+    /// Per-shard bounded rings of the v2 API: events exported to
+    /// poll_events() and commands from the application thread. Overflow
+    /// drops and counts — size for the application's polling cadence.
+    std::size_t event_queue_capacity = 4096;
+    std::size_t command_queue_capacity = 1024;
 };
 
 /// Aggregate of all shards (plus accept accounting).
@@ -71,6 +91,20 @@ struct engine_stats {
     std::uint64_t pool_exhausted = 0;
     std::uint64_t accepted = 0;
     std::uint64_t sessions = 0; ///< live session gauge across shards
+    /// v2 API backpressure: events lost to a full export ring, commands
+    /// rejected by a full mailbox (or targeting unknown flows).
+    std::uint64_t events_dropped = 0;
+    std::uint64_t commands_dropped = 0;
+};
+
+/// One event of an engine-hosted session, as merged by poll_events().
+/// `payload` carries the delivered chunk of a readable event (its stream
+/// offset is ev.offset); other kinds leave it empty.
+struct engine_event {
+    std::size_t shard = 0;
+    std::uint32_t flow = 0;
+    qtp::event ev{};
+    std::vector<std::uint8_t> payload;
 };
 
 class server {
@@ -110,17 +144,63 @@ public:
     /// counters). Safe from any thread.
     void with_server(std::size_t i, std::function<void(vtp::server&)> fn);
 
+    // --- v2 poll/command API (one application thread) -------------------
+    /// Drain up to `max` events across all shards (round-robin). Returns
+    /// how many were written. Non-blocking.
+    std::size_t poll_events(engine_event* out, std::size_t max);
+    /// Queue `data` on stream `stream_id` of the session terminating
+    /// `flow` (hosted on shard `shard_idx` — the value every event of
+    /// that session reports). Copies the bytes into the mailbox; false
+    /// when the mailbox is full (counted, retry after draining events).
+    /// If the session was created with a max_buffered_bytes cap, a send
+    /// exceeding the remaining space is truncated at execution time and
+    /// counted in commands_dropped — keep engine sends within the cap
+    /// (engine-hosted senders default to unlimited buffering).
+    bool send(std::size_t shard_idx, std::uint32_t flow, std::uint32_t stream_id,
+              const std::uint8_t* data, std::size_t len);
+    /// Half-close one stream of the session.
+    bool finish(std::size_t shard_idx, std::uint32_t flow, std::uint32_t stream_id);
+    /// Half-close the whole session (FIN once everything delivered).
+    bool close(std::size_t shard_idx, std::uint32_t flow);
+    /// Propose a profile renegotiation from the engine side.
+    bool renegotiate(std::size_t shard_idx, std::uint32_t flow, const qtp::profile& p);
+
     engine_stats stats() const;
     std::vector<shard_stats> per_shard_stats() const;
 
 private:
+    struct command {
+        enum class kind : std::uint8_t { send, finish, close, renegotiate };
+        kind what = kind::send;
+        std::uint32_t flow = 0;
+        std::uint32_t stream_id = 0;
+        std::vector<std::uint8_t> bytes;
+        qtp::profile prof{};
+    };
+
+    /// Pushes a shard's session events into its export ring (installed
+    /// as the qtp::event_sink of every session the shard hosts).
+    struct shard_sink final : qtp::event_sink {
+        server* owner = nullptr;
+        std::size_t index = 0;
+        bool on_session_event(std::uint32_t flow, const qtp::event& ev,
+                              std::vector<std::uint8_t>& payload) override;
+    };
+
     void arm_reaper(vtp::server* srv, shard& sh);
+    bool enqueue(std::size_t shard_idx, command&& cmd);
+    void execute(std::size_t shard_idx, command& cmd);
 
     engine_config cfg_;
     std::vector<std::unique_ptr<shard>> shards_;
     std::vector<std::unique_ptr<vtp::server>> servers_; ///< one per shard
+    std::vector<std::unique_ptr<spsc_queue<engine_event>>> events_; ///< shard -> app
+    std::vector<std::unique_ptr<spsc_queue<command>>> commands_;    ///< app -> shard
+    std::vector<shard_sink> sinks_;
     std::function<void(std::size_t, vtp::session&)> on_session_;
     std::atomic<std::uint32_t> next_flow_{0x50000000}; ///< outgoing-session ids
+    std::atomic<std::uint64_t> commands_dropped_{0};
+    std::size_t poll_cursor_ = 0; ///< round-robin fairness across shards
     bool started_ = false;
     bool stopped_ = false;
 };

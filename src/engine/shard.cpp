@@ -142,8 +142,19 @@ void shard::send(packet::packet pkt) {
     for (int i = 0; i < 4; ++i) buf[i] = static_cast<std::uint8_t>(flow >> (24 - 8 * i));
     for (int i = 0; i < 4; ++i)
         buf[4 + i] = static_cast<std::uint8_t>(src >> (24 - 8 * i));
-    const std::size_t body_len =
-        packet::encode_segment_into(*pkt.body, buf + 8, max_datagram - 8);
+    std::size_t body_len = 0;
+    try {
+        body_len = packet::encode_segment_into(*pkt.body, buf + 8, max_datagram - 8);
+    } catch (const std::length_error&) {
+        // Segment larger than a datagram buffer (a payload frame built
+        // with packet_size near/above max_datagram): drop it like a
+        // too-long frame, never let the throw cross a timer callback.
+        pool_.release(buf);
+        bump(stats_.tx_dropped);
+        util::log(util::log_level::warn, "engine",
+                  "oversized segment dropped (packet_size vs max_datagram)");
+        return;
+    }
     tx_pending_.push_back(tx_item{
         buf, 8 + body_len, loopback_addr(static_cast<std::uint16_t>(pkt.dst))});
     if (tx_pending_.size() >= cfg_.tx_batch) flush_tx();
@@ -239,6 +250,7 @@ void shard::drain_handoffs() {
 
 void shard::turn() {
     drain_posted();
+    if (turn_hook_) turn_hook_();
     drain_handoffs();
     wheel_.advance(now());
     flush_tx();
@@ -257,6 +269,7 @@ void shard::run() {
     while (running_.load(std::memory_order_relaxed)) turn();
     // Final sweep so nothing sits half-processed at shutdown.
     drain_posted();
+    if (turn_hook_) turn_hook_();
     drain_handoffs();
     flush_tx();
 }
@@ -275,6 +288,7 @@ shard_stats shard::stats() const {
     s.pool_exhausted = stats_.pool_exhausted.load(std::memory_order_relaxed);
     s.sessions = stats_.sessions.load(std::memory_order_relaxed);
     s.accepted = stats_.accepted.load(std::memory_order_relaxed);
+    s.events_dropped = stats_.events_dropped.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -66,7 +66,7 @@ struct shard_counters {
     std::atomic<std::uint64_t> datagrams_tx{0};
     std::atomic<std::uint64_t> rx_batches{0}; ///< recv_batch calls that returned >0
     std::atomic<std::uint64_t> tx_batches{0}; ///< flushes that sent >0
-    std::atomic<std::uint64_t> tx_dropped{0}; ///< kernel send buffer full
+    std::atomic<std::uint64_t> tx_dropped{0}; ///< kernel send buffer full / oversized segment
     std::atomic<std::uint64_t> handoff_out{0}; ///< forwarded to owner shards
     std::atomic<std::uint64_t> handoff_in{0};  ///< received from peer shards
     std::atomic<std::uint64_t> handoff_dropped{0}; ///< ring full
@@ -74,6 +74,7 @@ struct shard_counters {
     std::atomic<std::uint64_t> pool_exhausted{0};
     std::atomic<std::uint64_t> sessions{0}; ///< gauge, maintained by engine::server
     std::atomic<std::uint64_t> accepted{0}; ///< engine::server accept count
+    std::atomic<std::uint64_t> events_dropped{0}; ///< full event-export ring
 };
 
 /// Plain-value snapshot of shard_counters.
@@ -90,6 +91,7 @@ struct shard_stats {
     std::uint64_t pool_exhausted = 0;
     std::uint64_t sessions = 0;
     std::uint64_t accepted = 0;
+    std::uint64_t events_dropped = 0;
 };
 
 class shard final : public qtp::environment {
@@ -115,6 +117,23 @@ public:
     /// cross-thread control-plane entry point; safe from any thread, and
     /// before start(), where it runs at the first turn).
     void post(std::function<void()> fn);
+
+    /// Interrupt the reactor sleep so the next turn runs promptly. Safe
+    /// from any thread — this is how lock-free mailboxes (the engine's
+    /// command rings) get their producer-side doorbell.
+    void wake();
+
+    /// Install a hook run once per loop turn on the shard thread, before
+    /// timers fire (the engine drains its command mailbox here). Set
+    /// before start().
+    void set_turn_hook(std::function<void()> fn) { turn_hook_ = std::move(fn); }
+
+    /// Look up the agent terminating `flow_id` (shard thread only;
+    /// nullptr when unknown).
+    qtp::agent* find_agent(std::uint32_t flow_id) {
+        const auto it = agents_.find(flow_id);
+        return it == agents_.end() ? nullptr : it->second.get();
+    }
 
     /// Attach an agent terminating `flow_id` on this shard; the shard
     /// owns it. Only before start() or from the shard thread — use
@@ -162,7 +181,6 @@ private:
     void drain_handoffs();
     void dispatch(const std::uint8_t* dgram, std::size_t len);
     void flush_tx();
-    void wake();
 
     shard_config cfg_;
     flow_shard_map map_;
@@ -189,6 +207,7 @@ private:
 
     std::mutex posted_mu_;
     std::vector<std::function<void()>> posted_;
+    std::function<void()> turn_hook_;
 
     std::thread thread_;
     std::atomic<bool> running_{false};

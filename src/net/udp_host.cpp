@@ -54,6 +54,17 @@ void udp_host::send(packet::packet pkt) {
     const std::vector<std::uint8_t> body = packet::encode_segment(*pkt.body);
     dgram.insert(dgram.end(), body.begin(), body.end());
 
+    // Payload frames can exceed the receive buffers (both sides use
+    // engine::max_datagram) when packet_size is set near/above it; a
+    // truncated datagram would fail decode on every arrival, so drop and
+    // count here where the cause is visible.
+    if (dgram.size() > engine::max_datagram) {
+        ++oversized_dropped_;
+        util::log(util::log_level::warn, "udp_host",
+                  "oversized datagram dropped (packet_size vs max_datagram)");
+        return;
+    }
+
     sockaddr_in to = engine::loopback_addr(static_cast<std::uint16_t>(pkt.dst));
     if (::sendto(fd_, dgram.data(), dgram.size(), 0, reinterpret_cast<sockaddr*>(&to),
                  sizeof to) >= 0) {
@@ -62,7 +73,7 @@ void udp_host::send(packet::packet pkt) {
 }
 
 void udp_host::on_readable() {
-    std::uint8_t buf[2048];
+    std::uint8_t buf[engine::max_datagram];
     for (;;) {
         const ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
         if (n < 0) break;

@@ -55,6 +55,9 @@ public:
     std::uint64_t sent_datagrams() const { return sent_; }
     std::uint64_t received_datagrams() const { return received_; }
     std::uint64_t decode_errors() const { return decode_errors_; }
+    /// Datagrams too large for the host's buffers (a payload frame built
+    /// with packet_size near/above engine::max_datagram), dropped at send.
+    std::uint64_t oversized_dropped() const { return oversized_dropped_; }
 
 private:
     void attach_erased(std::uint32_t flow_id, std::unique_ptr<qtp::agent> a);
@@ -69,6 +72,7 @@ private:
     std::uint64_t sent_ = 0;
     std::uint64_t received_ = 0;
     std::uint64_t decode_errors_ = 0;
+    std::uint64_t oversized_dropped_ = 0;
 };
 
 } // namespace vtp::net

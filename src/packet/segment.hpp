@@ -52,6 +52,12 @@ struct data_segment {
     sim_time deadline = util::time_never; ///< partial reliability: drop after this
     bool is_retransmission = false;
     bool end_of_stream = false;
+    /// Application bytes carried by this segment. Either empty (the
+    /// length-only fast path: `payload_len` synthetic bytes, nothing
+    /// allocated or copied — what the discrete-event benches run) or
+    /// exactly `payload_len` bytes of real payload, which the wire
+    /// encoding appends after the header.
+    std::vector<std::uint8_t> payload;
 
     bool operator==(const data_segment&) const = default;
 };
@@ -87,6 +93,8 @@ struct data_stream_segment {
     std::uint8_t reliability = 0; ///< sack::reliability_mode of this stream
     bool is_retransmission = false;
     bool end_of_stream = false; ///< final byte of *this stream* (not the connection)
+    /// Application bytes (empty = length-only; see data_segment::payload).
+    std::vector<std::uint8_t> payload;
 
     bool operator==(const data_stream_segment&) const = default;
 };

@@ -12,9 +12,15 @@ namespace {
 
 constexpr std::uint8_t data_flag_rtx = 0x01;
 constexpr std::uint8_t data_flag_eos = 0x02;
+// Payload-present: `payload_len` application bytes follow the header.
+// Absent on length-only frames (simulated synthetic sources), so the
+// pre-payload wire format is a strict subset of this one.
+constexpr std::uint8_t data_flag_payload = 0x04;
 // data_stream frames keep the rtx/eos bits and add the stream's
-// reliability mode in bits 2-3 (value 3 unassigned -> decode_error).
+// reliability mode in bits 2-3 (value 3 unassigned -> decode_error);
+// their payload-present flag lives above the reliability bits.
 constexpr int data_stream_reliability_shift = 2;
+constexpr std::uint8_t data_stream_flag_payload = 0x10;
 
 constexpr std::uint8_t tcp_flag_ack = 0x01;
 constexpr std::uint8_t tcp_flag_syn = 0x02;
@@ -29,6 +35,7 @@ struct encode_visitor {
         std::uint8_t flags = 0;
         if (s.is_retransmission) flags |= data_flag_rtx;
         if (s.end_of_stream) flags |= data_flag_eos;
+        if (!s.payload.empty()) flags |= data_flag_payload;
         out.put_u8(flags);
         out.put_u32(s.payload_len);
         out.put_u64(s.seq);
@@ -37,6 +44,7 @@ struct encode_visitor {
         out.put_i64(s.rtt_estimate);
         out.put_u32(s.message_id);
         out.put_i64(s.deadline);
+        if (!s.payload.empty()) out.put_bytes(s.payload.data(), s.payload.size());
     }
 
     void operator()(const data_stream_segment& s) const {
@@ -46,6 +54,7 @@ struct encode_visitor {
         if (s.end_of_stream) flags |= data_flag_eos;
         flags |= static_cast<std::uint8_t>((s.reliability & stream_reliability_mask)
                                            << data_stream_reliability_shift);
+        if (!s.payload.empty()) flags |= data_stream_flag_payload;
         out.put_u8(flags);
         out.put_u16(static_cast<std::uint16_t>(s.stream_id));
         out.put_u32(s.payload_len);
@@ -55,6 +64,7 @@ struct encode_visitor {
         out.put_i64(s.rtt_estimate);
         out.put_u32(s.message_id);
         out.put_i64(s.deadline);
+        if (!s.payload.empty()) out.put_bytes(s.payload.data(), s.payload.size());
     }
 
     void operator()(const tfrc_feedback_segment& s) const {
@@ -114,18 +124,31 @@ struct encode_visitor {
     }
 };
 
+// Payload bytes follow the header when the payload flag is set; a
+// payload_len exceeding what the datagram actually carries is truncation
+// (or a corrupted length field) and throws through byte_reader::need.
+void decode_payload(byte_reader& in, std::uint32_t payload_len,
+                    std::vector<std::uint8_t>& out) {
+    if (payload_len > in.remaining()) throw decode_error("truncated payload");
+    out.resize(payload_len);
+    if (payload_len > 0) in.get_bytes(out.data(), payload_len);
+}
+
 data_segment decode_data(byte_reader& in) {
     data_segment s;
     const std::uint8_t flags = in.get_u8();
     s.is_retransmission = (flags & data_flag_rtx) != 0;
     s.end_of_stream = (flags & data_flag_eos) != 0;
     s.payload_len = in.get_u32();
+    if ((flags & data_flag_payload) != 0 && s.payload_len == 0)
+        throw decode_error("payload flag on empty frame"); // non-canonical
     s.seq = in.get_u64();
     s.byte_offset = in.get_u64();
     s.ts = in.get_i64();
     s.rtt_estimate = in.get_i64();
     s.message_id = in.get_u32();
     s.deadline = in.get_i64();
+    if ((flags & data_flag_payload) != 0) decode_payload(in, s.payload_len, s.payload);
     return s;
 }
 
@@ -137,17 +160,22 @@ data_stream_segment decode_data_stream(byte_reader& in) {
     s.reliability = (flags >> data_stream_reliability_shift) & stream_reliability_mask;
     if (s.reliability == stream_reliability_mask)
         throw decode_error("unassigned stream reliability mode");
-    if ((flags >> (data_stream_reliability_shift + 2)) != 0)
+    if ((flags & ~(data_flag_rtx | data_flag_eos | data_stream_flag_payload |
+                   (stream_reliability_mask << data_stream_reliability_shift))) != 0)
         throw decode_error("undefined data_stream flag bits");
     s.stream_id = in.get_u16();
     if (s.stream_id >= max_stream_id) throw decode_error("stream id out of range");
     s.payload_len = in.get_u32();
+    if ((flags & data_stream_flag_payload) != 0 && s.payload_len == 0)
+        throw decode_error("payload flag on empty frame"); // non-canonical
     s.seq = in.get_u64();
     s.stream_offset = in.get_u64();
     s.ts = in.get_i64();
     s.rtt_estimate = in.get_i64();
     s.message_id = in.get_u32();
     s.deadline = in.get_i64();
+    if ((flags & data_stream_flag_payload) != 0)
+        decode_payload(in, s.payload_len, s.payload);
     return s;
 }
 

@@ -97,23 +97,24 @@ std::uint64_t interval_set::first_gap(std::uint64_t from) const {
 reassembly::reassembly(delivery_order order, deliver_fn deliver)
     : order_(order), deliver_(std::move(deliver)) {}
 
-void reassembly::on_data(std::uint64_t offset, std::uint32_t len, bool end_of_stream) {
+delivered_range reassembly::on_data(std::uint64_t offset, std::uint32_t len,
+                                    bool end_of_stream) {
     if (end_of_stream) {
         stream_length_known_ = true;
         stream_length_ = offset + len;
     }
-    if (len == 0) return;
+    if (len == 0) return {};
 
     if (received_.contains(offset, offset + len)) {
         duplicate_bytes_ += len;
-        return;
+        return {};
     }
     received_.add(offset, offset + len);
 
     if (order_ == delivery_order::immediate) {
         delivered_bytes_ += len;
         if (deliver_) deliver_(offset, len);
-        return;
+        return {offset, len};
     }
 
     // Ordered: release the newly contiguous prefix.
@@ -123,9 +124,12 @@ void reassembly::on_data(std::uint64_t offset, std::uint32_t len, bool end_of_st
         if (deliver_)
             deliver_(ordered_delivered_to_, static_cast<std::uint32_t>(
                                                 std::min<std::uint64_t>(newly, UINT32_MAX)));
+        const delivered_range out{ordered_delivered_to_, newly};
         ordered_delivered_to_ = point;
         delivered_bytes_ += newly;
+        return out;
     }
+    return {};
 }
 
 bool reassembly::complete() const {

@@ -56,6 +56,17 @@ enum class delivery_order {
     immediate, ///< deliver on arrival (streaming / partial reliability)
 };
 
+/// What one reassembly::on_data call released to the application:
+/// nothing (duplicate / gap stall), or one contiguous range. In
+/// immediate mode the range is the arriving frame itself; in ordered
+/// mode it is the newly contiguous prefix (which may span several
+/// previously buffered frames).
+struct delivered_range {
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    bool any() const { return length > 0; }
+};
+
 class reassembly {
 public:
     /// (offset, length) of bytes handed to the application.
@@ -64,8 +75,11 @@ public:
     explicit reassembly(delivery_order order, deliver_fn deliver = {});
 
     /// Data for [offset, offset+len) arrived; `end_of_stream` marks the
-    /// final segment (stream length = offset + len).
-    void on_data(std::uint64_t offset, std::uint32_t len, bool end_of_stream);
+    /// final segment (stream length = offset + len). Returns what became
+    /// deliverable (also reported through the deliver hook when set —
+    /// the poll-based API uses the return value instead, keeping the
+    /// per-packet path free of std::function dispatch).
+    delivered_range on_data(std::uint64_t offset, std::uint32_t len, bool end_of_stream);
 
     std::uint64_t received_bytes() const { return received_.total(); }
     std::uint64_t delivered_bytes() const { return delivered_bytes_; }
@@ -73,6 +87,7 @@ public:
     /// In-order delivery point (ordered mode).
     std::uint64_t in_order_point() const { return received_.prefix_end(); }
 
+    delivery_order order() const { return order_; }
     bool stream_length_known() const { return stream_length_known_; }
     std::uint64_t stream_length() const { return stream_length_; }
     /// All bytes of a finished stream received.

@@ -28,6 +28,12 @@ util::sim_time retransmit_queue::earliest_deadline() const {
     return earliest;
 }
 
+std::uint64_t retransmit_queue::min_pending_offset() const {
+    std::uint64_t lowest = UINT64_MAX;
+    for (const auto& rec : queue_) lowest = std::min(lowest, rec.byte_offset);
+    return lowest;
+}
+
 std::optional<transmission_record> retransmit_queue::pop(util::sim_time now,
                                                          const reliability_policy& policy) {
     while (!queue_.empty()) {

@@ -46,6 +46,9 @@ public:
     /// Earliest deadline among queued ranges (util::time_never when none
     /// carries one); drives deadline-first scheduler promotion.
     util::sim_time earliest_deadline() const;
+    /// Lowest byte offset among queued ranges (UINT64_MAX when empty);
+    /// bounds how far the payload send buffer may be released.
+    std::uint64_t min_pending_offset() const;
     std::uint64_t abandoned_ranges() const { return abandoned_ranges_; }
     std::uint64_t abandoned_bytes() const { return abandoned_bytes_; }
     std::uint64_t queued_ranges() const { return queued_ranges_; }

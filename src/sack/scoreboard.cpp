@@ -43,4 +43,11 @@ void scoreboard::on_sack(const packet::sack_feedback_segment& fb,
     }
 }
 
+std::uint64_t scoreboard::min_outstanding_offset() const {
+    std::uint64_t lowest = UINT64_MAX;
+    for (const auto& [seq, rec] : outstanding_)
+        lowest = std::min(lowest, rec.byte_offset);
+    return lowest;
+}
+
 } // namespace vtp::sack

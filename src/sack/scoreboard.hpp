@@ -57,6 +57,12 @@ public:
     std::uint64_t acked_sequences() const { return acked_sequences_; }
     std::uint64_t lost_sequences() const { return lost_sequences_; }
 
+    /// Lowest byte offset still referenced by an unfinalised
+    /// transmission (UINT64_MAX when nothing is outstanding). Bytes below
+    /// both this and every queued retransmission can never be sent again,
+    /// so the payload send buffer may release them.
+    std::uint64_t min_outstanding_offset() const;
+
 private:
     scoreboard_config cfg_;
     std::map<std::uint64_t, transmission_record> outstanding_; ///< seq -> record

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "packet/segment.hpp"
 #include "sack/retransmit.hpp"
@@ -71,6 +72,18 @@ struct payload_pick {
 struct send_policy {
     util::sim_time partial_margin = util::milliseconds(0);
     std::uint32_t packet_size = 1000;
+};
+
+/// One delivered-and-buffered payload chunk awaiting recv() on the
+/// receive side. Chunk boundaries are exactly the reassembly's delivery
+/// boundaries (one frame in immediate mode, the newly contiguous prefix
+/// in ordered mode), and `at` is the substrate clock at delivery — so a
+/// poll-mode consumer observes the identical delivery trace a callback
+/// consumer would.
+struct ready_chunk {
+    std::uint64_t offset = 0;
+    util::sim_time at = 0;
+    std::vector<std::uint8_t> bytes;
 };
 
 /// One-call snapshot of one stream's sender-side accounting.

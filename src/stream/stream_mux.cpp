@@ -21,6 +21,82 @@ void outbound_stream::offer(std::uint64_t n) {
     total_bytes_ += n;
 }
 
+void outbound_stream::append_payload(const std::uint8_t* data, std::uint64_t n) {
+    if (n == 0) return;
+    const std::uint64_t start = total_bytes_ - n; // offer() already grew the stream
+    if (tx_payload_bytes() == 0) {
+        // Empty buffer: re-anchor at the new range.
+        tx_buf_.clear();
+        tx_head_ = 0;
+        tx_base_ = start;
+    } else if (start != tx_base_ + tx_payload_bytes()) {
+        // A synthetic offer() interleaved with payload offers left a
+        // hole whose bytes were never provided. Zero-pad small holes so
+        // pending real bytes stay transmittable; a large hole (bulk
+        // synthetic interleave) restarts the buffer — the discarded
+        // pending bytes and the hole both read back as zeroes and are
+        // counted (payload_miss_bytes).
+        constexpr std::uint64_t max_pad = 64 * 1024;
+        const std::uint64_t tx_end = tx_base_ + tx_payload_bytes();
+        const std::uint64_t gap = start > tx_end ? start - tx_end : UINT64_MAX;
+        if (gap <= max_pad) {
+            // The padded hole transmits as zeroes: count it like any
+            // other byte the buffer could not truly provide.
+            payload_miss_bytes_ += gap;
+            tx_buf_.insert(tx_buf_.end(), static_cast<std::size_t>(gap), 0);
+        } else {
+            payload_miss_bytes_ += tx_payload_bytes();
+            tx_buf_.clear();
+            tx_head_ = 0;
+            tx_base_ = start;
+        }
+    }
+    carries_payload_ = true;
+    tx_buf_.insert(tx_buf_.end(), data, data + n);
+}
+
+std::uint32_t outbound_stream::fetch_payload(std::uint64_t offset, std::uint32_t len,
+                                             std::uint8_t* out) {
+    if (!carries_payload_ || len == 0) return 0;
+    const std::uint64_t avail_begin = tx_base_;
+    const std::uint64_t avail_end = tx_base_ + tx_payload_bytes();
+    const std::uint64_t want_end = offset + len;
+    const std::uint64_t lo = std::max<std::uint64_t>(offset, avail_begin);
+    const std::uint64_t hi = std::min<std::uint64_t>(want_end, avail_end);
+    std::uint32_t copied = 0;
+    if (hi > lo) {
+        copied = static_cast<std::uint32_t>(hi - lo);
+        const std::size_t src = tx_head_ + static_cast<std::size_t>(lo - tx_base_);
+        std::copy_n(tx_buf_.data() + src, copied, out + (lo - offset));
+    }
+    if (copied < len) payload_miss_bytes_ += len - copied;
+    return copied;
+}
+
+void outbound_stream::trim_tx_buffer(sack::reliability_mode mode) {
+    if (!carries_payload_ || tx_payload_bytes() == 0) return;
+    // Safe release point: nothing below it can ever be (re)transmitted —
+    // it is behind the next unsent byte, every unfinalised transmission
+    // and every queued retransmission. Under mode none nothing is
+    // tracked, so only unsent bytes are retained.
+    std::uint64_t safe = next_offset_;
+    if (mode != sack::reliability_mode::none) {
+        safe = std::min(safe, scoreboard_.min_outstanding_offset());
+        safe = std::min(safe, rtx_queue_.min_pending_offset());
+    }
+    if (safe <= tx_base_) return;
+    const std::uint64_t drop =
+        std::min<std::uint64_t>(safe - tx_base_, tx_payload_bytes());
+    tx_head_ += static_cast<std::size_t>(drop);
+    tx_base_ += drop;
+    // Compact once the dead prefix dominates, keeping the copy amortized.
+    if (tx_head_ > 4096 && tx_head_ * 2 >= tx_buf_.size()) {
+        tx_buf_.erase(tx_buf_.begin(),
+                      tx_buf_.begin() + static_cast<std::ptrdiff_t>(tx_head_));
+        tx_head_ = 0;
+    }
+}
+
 util::sim_time outbound_stream::earliest_deadline() const {
     util::sim_time earliest = rtx_queue_.earliest_deadline();
     // A message already on the wire keeps its deadline for the bytes of
@@ -192,6 +268,29 @@ std::uint64_t stream_mux::offer(std::uint32_t id, std::uint64_t n,
     return accepted;
 }
 
+std::uint64_t stream_mux::offer_bytes(std::uint32_t id, const std::uint8_t* data,
+                                      std::uint64_t n, std::uint64_t max_buffered) {
+    const std::uint64_t accepted = offer(id, n, max_buffered);
+    if (accepted > 0) streams_[id]->append_payload(data, accepted);
+    return accepted;
+}
+
+std::uint32_t stream_mux::fetch_payload(const payload_pick& pick, std::uint8_t* out) {
+    outbound_stream* s = find(pick.stream_id);
+    return s != nullptr ? s->fetch_payload(pick.byte_offset, pick.payload_len, out) : 0;
+}
+
+bool stream_mux::any_payload() const {
+    return std::any_of(streams_.begin(), streams_.end(),
+                       [](const auto& s) { return s->carries_payload(); });
+}
+
+std::uint64_t stream_mux::payload_miss_bytes_total() const {
+    std::uint64_t total = 0;
+    for (const auto& s : streams_) total += s->payload_miss_bytes();
+    return total;
+}
+
 void stream_mux::finish(std::uint32_t id) {
     if (outbound_stream* s = find(id)) s->finish();
 }
@@ -280,9 +379,15 @@ std::optional<payload_pick> stream_mux::next_payload(util::sim_time now,
 void stream_mux::on_sack(const packet::sack_feedback_segment& fb,
                          const send_policy& pol) {
     for (auto& s : streams_) {
-        if (s->effective_mode(profile_mode_) == sack::reliability_mode::none) continue;
+        const sack::reliability_mode mode = s->effective_mode(profile_mode_);
+        if (mode == sack::reliability_mode::none) continue;
         s->on_sack(fb, policy_for(*s, pol));
+        s->trim_tx_buffer(mode);
     }
+}
+
+void stream_mux::trim_after_send(std::uint32_t id) {
+    if (outbound_stream* s = find(id)) s->trim_tx_buffer(s->effective_mode(profile_mode_));
 }
 
 std::uint64_t stream_mux::rtx_bytes_sent_total() const {
@@ -303,50 +408,246 @@ std::vector<stream_info> stream_mux::infos() const {
 // ---------------------------------------------------------------------------
 
 stream_demux::stream_demux(sack::delivery_order stream0_order) {
-    streams_.emplace(
-        0u, std::make_unique<sack::reassembly>(
-                stream0_order, [this](std::uint64_t offset, std::uint32_t len) {
-                    if (deliver_) deliver_(0, offset, len);
-                    if (legacy_deliver_) legacy_deliver_(offset, len);
-                }));
+    streams_.emplace(0u, std::make_unique<inbound_stream>(stream0_order));
 }
 
-void stream_demux::on_frame(std::uint32_t id, sack::reliability_mode mode,
-                            std::uint64_t offset, std::uint32_t len,
-                            bool end_of_stream) {
-    if (id >= max_streams) return; // wire decoder already rejects these
+stream_demux::inbound_stream& stream_demux::entry_at(std::uint32_t id,
+                                                     sack::delivery_order order,
+                                                     bool& created) {
     auto it = streams_.find(id);
-    if (it == streams_.end()) {
-        const auto order = mode == sack::reliability_mode::full
-                               ? sack::delivery_order::ordered
-                               : sack::delivery_order::immediate;
-        it = streams_
-                 .emplace(id, std::make_unique<sack::reassembly>(
-                                  order, [this, id](std::uint64_t off, std::uint32_t n) {
-                                      if (deliver_) deliver_(id, off, n);
-                                  }))
-                 .first;
+    created = it == streams_.end();
+    if (created) it = streams_.emplace(id, std::make_unique<inbound_stream>(order)).first;
+    return *it->second;
+}
+
+void stream_demux::release_staged_prefix(inbound_stream& s, std::uint64_t upto) {
+    auto it = s.staged.begin();
+    while (it != s.staged.end() && it->first + it->second.size() <= upto) {
+        buffered_payload_ -= it->second.size();
+        it = s.staged.erase(it);
+    }
+}
+
+bool stream_demux::stage_payload(inbound_stream& s, std::uint64_t offset,
+                                 const std::uint8_t* payload, std::uint32_t len) {
+    // Staged bytes count against the same cap as ready chunks: a
+    // head-of-line gap must not let out-of-order payload grow receiver
+    // memory without bound.
+    auto it = s.staged.find(offset);
+    const std::uint64_t replaced = it != s.staged.end() ? it->second.size() : 0;
+    if (store_limit_ != 0 && buffered_payload_ - replaced + len > store_limit_) {
+        payload_dropped_ += len;
+        return false;
+    }
+    buffered_payload_ -= replaced;
+    buffered_payload_ += len;
+    if (it != s.staged.end())
+        it->second.assign(payload, payload + len);
+    else
+        s.staged.emplace(offset, std::vector<std::uint8_t>(payload, payload + len));
+    return true;
+}
+
+std::vector<std::uint8_t> stream_demux::extract_staged(inbound_stream& s,
+                                                       std::uint64_t offset,
+                                                       std::uint64_t len) {
+    // Gaps that were never staged (length-only frames mixed into a
+    // payload stream) read as zeroes — payload_len and delivery
+    // accounting stay authoritative either way.
+    std::vector<std::uint8_t> out(static_cast<std::size_t>(len), 0);
+    auto it = s.staged.upper_bound(offset);
+    if (it != s.staged.begin()) --it;
+    const std::uint64_t end = offset + len;
+    while (it != s.staged.end() && it->first < end) {
+        const std::uint64_t c_begin = it->first;
+        const std::uint64_t c_end = c_begin + it->second.size();
+        const std::uint64_t lo = std::max(c_begin, offset);
+        const std::uint64_t hi = std::min(c_end, end);
+        if (hi > lo)
+            std::copy_n(it->second.data() + (lo - c_begin), hi - lo,
+                        out.data() + (lo - offset));
+        ++it;
+    }
+    release_staged_prefix(s, end);
+    return out;
+}
+
+bool stream_demux::store_chunk(inbound_stream& s, std::uint64_t offset,
+                               std::vector<std::uint8_t>&& bytes, util::sim_time now) {
+    if (store_limit_ != 0 && buffered_payload_ + bytes.size() > store_limit_) {
+        payload_dropped_ += bytes.size();
+        return false;
+    }
+    buffered_payload_ += bytes.size();
+    s.ready.push_back(ready_chunk{offset, now, std::move(bytes)});
+    return true;
+}
+
+stream_demux::frame_result stream_demux::on_frame(std::uint32_t id,
+                                                  sack::reliability_mode mode,
+                                                  std::uint64_t offset, std::uint32_t len,
+                                                  bool end_of_stream,
+                                                  const std::uint8_t* payload,
+                                                  util::sim_time now) {
+    frame_result res;
+    if (id >= max_streams) return res; // wire decoder already rejects these
+    const auto order = mode == sack::reliability_mode::full
+                           ? sack::delivery_order::ordered
+                           : sack::delivery_order::immediate;
+    bool created = false;
+    inbound_stream& s = entry_at(id, order, created);
+    if (created) {
+        res.opened = true;
         if (on_stream_open_) on_stream_open_(id, mode);
     }
-    it->second->on_data(offset, len, end_of_stream);
+
+    // Stage real payload of not-yet-deliverable ordered data before the
+    // reassembly decides; immediate-mode frames deliver right away and
+    // skip the detour, as does the common in-order case — a frame
+    // landing exactly at the delivery point with nothing received beyond
+    // it delivers itself verbatim, no staging round-trip.
+    const bool ordered = s.ra.order() == sack::delivery_order::ordered;
+    const bool consume_at_callback = deliver_ || (id == 0 && legacy_deliver_);
+    const bool in_order_fast =
+        ordered && payload != nullptr && s.staged.empty() &&
+        offset == s.ra.in_order_point() &&
+        s.ra.received().range_count() == (offset > 0 ? 1u : 0u);
+    if (payload != nullptr && len > 0 && ordered && !consume_at_callback &&
+        !in_order_fast && !s.ra.received().contains(offset, offset + len))
+        stage_payload(s, offset, payload, len);
+
+    res.delivered = s.ra.on_data(offset, len, end_of_stream);
+    if (res.delivered.any()) {
+        if (deliver_)
+            deliver_(id, res.delivered.offset,
+                     static_cast<std::uint32_t>(
+                         std::min<std::uint64_t>(res.delivered.length, UINT32_MAX)));
+        if (id == 0 && legacy_deliver_)
+            legacy_deliver_(res.delivered.offset,
+                            static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                                res.delivered.length, UINT32_MAX)));
+        if (consume_at_callback) {
+            // Legacy delivery: payload is consumed at the callback, so
+            // anything staged before the callback was registered is dead.
+            release_staged_prefix(s, res.delivered.offset + res.delivered.length);
+        } else if (payload != nullptr || (ordered && !s.staged.empty())) {
+            // Park the delivered bytes for recv(): the frame itself in
+            // immediate mode, the assembled prefix in ordered mode. The
+            // staged check covers a length-only frame releasing a prefix
+            // that contains earlier *payload* frames — those bytes must
+            // reach recv() even though this frame carried none.
+            std::vector<std::uint8_t> bytes =
+                ordered && !in_order_fast
+                    ? extract_staged(s, res.delivered.offset, res.delivered.length)
+                    : std::vector<std::uint8_t>(payload, payload + len);
+            const bool was_empty = s.ready.empty();
+            if (store_chunk(s, res.delivered.offset, std::move(bytes), now) &&
+                was_empty && !s.readable_signalled) {
+                s.readable_signalled = true;
+                res.became_readable = true;
+            }
+        }
+    }
+    if (!s.fin_reported && s.ra.complete()) {
+        s.fin_reported = true;
+        res.finished = true;
+    }
+    return res;
+}
+
+std::size_t stream_demux::read(std::uint32_t id, std::uint8_t* out, std::size_t cap) {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) return 0;
+    inbound_stream& s = *it->second;
+    std::size_t copied = 0;
+    while (copied < cap && !s.ready.empty()) {
+        ready_chunk& front = s.ready.front();
+        const std::size_t avail = front.bytes.size() - s.front_consumed;
+        const std::size_t take = std::min(avail, cap - copied);
+        std::copy_n(front.bytes.data() + s.front_consumed, take, out + copied);
+        copied += take;
+        s.front_consumed += take;
+        buffered_payload_ -= take;
+        if (s.front_consumed == front.bytes.size()) {
+            s.ready.pop_front();
+            s.front_consumed = 0;
+        }
+    }
+    if (s.ready.empty()) s.readable_signalled = false;
+    return copied;
+}
+
+bool stream_demux::pop_chunk(std::uint32_t id, ready_chunk& out) {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) return false;
+    inbound_stream& s = *it->second;
+    if (s.ready.empty()) return false;
+    out = std::move(s.ready.front());
+    s.ready.pop_front();
+    if (s.front_consumed > 0) {
+        // A partial read() consumed the chunk's head: hand back the rest.
+        out.bytes.erase(out.bytes.begin(),
+                        out.bytes.begin() + static_cast<std::ptrdiff_t>(s.front_consumed));
+        out.offset += s.front_consumed;
+        s.front_consumed = 0;
+    }
+    buffered_payload_ -= out.bytes.size();
+    if (s.ready.empty()) s.readable_signalled = false;
+    return true;
+}
+
+bool stream_demux::pop_chunk_any(std::uint32_t& id_out, ready_chunk& out) {
+    for (auto& [id, s] : streams_) {
+        if (s->ready.empty()) continue;
+        id_out = id;
+        return pop_chunk(id, out);
+    }
+    return false;
+}
+
+void stream_demux::unpop_chunk(std::uint32_t id, ready_chunk&& chunk) {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) return;
+    inbound_stream& s = *it->second;
+    // pop_chunk folded any partially-read prefix away, so the chunk goes
+    // back whole at the front; no front_consumed adjustment needed.
+    buffered_payload_ += chunk.bytes.size();
+    s.ready.push_front(std::move(chunk));
+    s.readable_signalled = true; // still buffered; no new edge owed
+}
+
+void stream_demux::clear_readable_signal(std::uint32_t id) {
+    const auto it = streams_.find(id);
+    if (it != streams_.end()) it->second->readable_signalled = false;
+}
+
+std::uint64_t stream_demux::readable_bytes(std::uint32_t id) const {
+    const auto it = streams_.find(id);
+    if (it == streams_.end()) return 0;
+    std::uint64_t total = 0;
+    for (const auto& c : it->second->ready) total += c.bytes.size();
+    return total - it->second->front_consumed;
 }
 
 const sack::reassembly* stream_demux::find(std::uint32_t id) const {
     const auto it = streams_.find(id);
-    return it == streams_.end() ? nullptr : it->second.get();
+    return it == streams_.end() ? nullptr : &it->second->ra;
 }
 
 std::uint64_t stream_demux::delivered_bytes_total() const {
     std::uint64_t total = 0;
-    for (const auto& [id, r] : streams_) total += r->delivered_bytes();
+    for (const auto& [id, s] : streams_) total += s->ra.delivered_bytes();
     return total;
 }
 
 std::size_t stream_demux::state_bytes() const {
     std::size_t total = 0;
-    for (const auto& [id, r] : streams_)
-        total += sizeof(sack::reassembly) +
-                 r->received().range_count() * 2 * sizeof(std::uint64_t);
+    for (const auto& [id, s] : streams_) {
+        total += sizeof(inbound_stream) +
+                 s->ra.received().range_count() * 2 * sizeof(std::uint64_t);
+        for (const auto& [off, bytes] : s->staged) total += bytes.size();
+        for (const auto& c : s->ready) total += c.bytes.size();
+    }
     return total;
 }
 

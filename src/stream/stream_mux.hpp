@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -50,6 +51,26 @@ public:
     /// Grow the stream by `n` bytes (pre-bounded by the mux). No-op on a
     /// finished or unlimited stream.
     void offer(std::uint64_t n);
+    /// Stash the real payload backing the `n` bytes just offered (they
+    /// start at stream offset total_bytes() - n). The buffer retains
+    /// bytes until no retransmission can ever need them again
+    /// (trim_tx_buffer); a stream that only ever offers lengths never
+    /// allocates here — the length-only fast path.
+    void append_payload(const std::uint8_t* data, std::uint64_t n);
+    /// Copy [offset, offset+len) of buffered payload into `out`
+    /// (pre-zeroed by the caller); returns bytes actually copied. 0 on
+    /// length-only streams. Shortfalls on a payload stream are counted
+    /// (payload_miss_bytes) — they mean the buffer was released early.
+    std::uint32_t fetch_payload(std::uint64_t offset, std::uint32_t len,
+                                std::uint8_t* out);
+    /// Release buffered payload no future (re)transmission can reference:
+    /// everything below min(next unsent offset, lowest outstanding
+    /// transmission, lowest queued retransmission).
+    void trim_tx_buffer(sack::reliability_mode mode);
+    bool carries_payload() const { return carries_payload_; }
+    /// Payload bytes currently held for (re)transmission.
+    std::uint64_t tx_payload_bytes() const { return tx_buf_.size() - tx_head_; }
+    std::uint64_t payload_miss_bytes() const { return payload_miss_bytes_; }
     /// No more bytes will be offered.
     void finish() { open_ = false; }
 
@@ -124,6 +145,14 @@ private:
     sack::scoreboard scoreboard_;
     sack::retransmit_queue rtx_queue_;
     std::uint64_t rtx_bytes_sent_ = 0;
+
+    /// Payload retention window: tx_buf_[tx_head_..] holds stream bytes
+    /// [tx_base_, tx_base_ + tx_payload_bytes()). Compacted lazily.
+    std::vector<std::uint8_t> tx_buf_;
+    std::size_t tx_head_ = 0;
+    std::uint64_t tx_base_ = 0;
+    bool carries_payload_ = false;
+    std::uint64_t payload_miss_bytes_ = 0;
 };
 
 /// Sender-side multiplexer (owned by connection_sender).
@@ -150,6 +179,16 @@ public:
     /// backlog (offered but unsent, across all streams) never exceeds
     /// `max_buffered` (0 = unlimited). Returns the accepted count.
     std::uint64_t offer(std::uint32_t id, std::uint64_t n, std::uint64_t max_buffered);
+    /// Same bound, but carrying real application bytes: the accepted
+    /// prefix of `data` is retained for (re)transmission.
+    std::uint64_t offer_bytes(std::uint32_t id, const std::uint8_t* data,
+                              std::uint64_t n, std::uint64_t max_buffered);
+    /// Copy the payload backing `pick` into `out` (length pick.payload_len,
+    /// pre-zeroed); returns bytes copied (0 = length-only stream).
+    std::uint32_t fetch_payload(const payload_pick& pick, std::uint8_t* out);
+    /// Any stream holds real payload (i.e. segments should carry bytes).
+    bool any_payload() const;
+    std::uint64_t payload_miss_bytes_total() const;
     void finish(std::uint32_t id);
     /// Half-close: finish every stream (legacy close()).
     void finish_all();
@@ -175,8 +214,13 @@ public:
     std::optional<payload_pick> next_payload(util::sim_time now, const send_policy& pol,
                                              std::uint64_t seq);
 
-    /// Feed connection-wide SACK feedback to every stream's scoreboard.
+    /// Feed connection-wide SACK feedback to every stream's scoreboard
+    /// (also releases payload-buffer prefixes no longer reachable).
     void on_sack(const packet::sack_feedback_segment& fb, const send_policy& pol);
+
+    /// Release stream `id`'s payload buffer after a transmission (the
+    /// mode-none path, where no SACK will ever arrive to trigger it).
+    void trim_after_send(std::uint32_t id);
 
     std::uint64_t rtx_bytes_sent_total() const;
     std::vector<stream_info> infos() const;
@@ -193,6 +237,13 @@ private:
 };
 
 /// Receive-side demultiplexer (owned by connection_receiver).
+///
+/// Payload-carrying frames are staged until the stream's reassembly
+/// releases them, then parked as ready_chunks for recv() — unless a
+/// legacy delivery callback is registered, in which case payload is
+/// consumed at the callback (the pre-payload semantics) and nothing is
+/// buffered. The per-packet poll path is plain code: callbacks are only
+/// invoked when the application registered one.
 class stream_demux {
 public:
     /// (stream id, stream offset, length) handed to the application.
@@ -201,6 +252,15 @@ public:
     using legacy_deliver_fn = std::function<void(std::uint64_t, std::uint32_t)>;
     /// A stream was seen for the first time (id, its reliability mode).
     using stream_open_fn = std::function<void(std::uint32_t, sack::reliability_mode)>;
+
+    /// What one frame did (drives the receiver's event emission without
+    /// any callback indirection).
+    struct frame_result {
+        bool opened = false;          ///< first frame of a new stream
+        bool became_readable = false; ///< ready store went empty -> non-empty
+        bool finished = false;        ///< stream is now complete (fin)
+        sack::delivered_range delivered{};
+    };
 
     /// `stream0_order` is the delivery order negotiated for the
     /// connection profile (ordered under full reliability).
@@ -212,20 +272,77 @@ public:
 
     /// Data for stream `id`, [offset, offset+len). Unknown streams are
     /// created with the delivery order `mode` implies (full -> ordered).
-    void on_frame(std::uint32_t id, sack::reliability_mode mode, std::uint64_t offset,
-                  std::uint32_t len, bool end_of_stream);
+    /// `payload` is the frame's application bytes (null on length-only
+    /// frames); `now` stamps delivered chunks.
+    frame_result on_frame(std::uint32_t id, sack::reliability_mode mode,
+                          std::uint64_t offset, std::uint32_t len, bool end_of_stream,
+                          const std::uint8_t* payload, util::sim_time now);
 
-    const sack::reassembly& stream0() const { return *streams_.at(0); }
+    // --- recv() side -----------------------------------------------------
+    /// Drain up to `cap` buffered payload bytes of stream `id` in
+    /// delivery order. Returns 0 when nothing is buffered.
+    std::size_t read(std::uint32_t id, std::uint8_t* out, std::size_t cap);
+    /// Pop one whole delivered chunk (delivery metadata + bytes); the
+    /// unconsumed remainder of a partially read() chunk counts as the
+    /// front chunk. Returns false when the stream has nothing buffered.
+    bool pop_chunk(std::uint32_t id, ready_chunk& out);
+    /// Pop the next chunk of the lowest-id stream holding one. Drain to
+    /// empty per call site (a bounded-pops-per-tick consumer would
+    /// starve higher stream ids).
+    bool pop_chunk_any(std::uint32_t& id_out, ready_chunk& out);
+    /// Return a just-popped chunk to the front of its stream's queue
+    /// (the export path could not hand it off; it must not be lost).
+    void unpop_chunk(std::uint32_t id, ready_chunk&& chunk);
+    /// Payload bytes buffered for recv() on stream `id` / in total.
+    std::uint64_t readable_bytes(std::uint32_t id) const;
+    /// Re-arm the readable edge after the emitted event was lost to a
+    /// full queue (the next delivered chunk raises it again).
+    void clear_readable_signal(std::uint32_t id);
+    std::uint64_t buffered_payload_bytes() const { return buffered_payload_; }
+    /// Cap on buffered_payload_bytes() — ready chunks *and* staged
+    /// out-of-order payload combined: bytes arriving beyond it are
+    /// dropped and counted, never silently absorbed (0 = unlimited).
+    void set_store_limit(std::uint64_t bytes) { store_limit_ = bytes; }
+    std::uint64_t payload_dropped_bytes() const { return payload_dropped_; }
+
+    const sack::reassembly& stream0() const { return streams_.at(0)->ra; }
     const sack::reassembly* find(std::uint32_t id) const;
     std::size_t stream_count() const { return streams_.size(); }
     std::uint64_t delivered_bytes_total() const;
     std::size_t state_bytes() const;
 
 private:
-    std::map<std::uint32_t, std::unique_ptr<sack::reassembly>> streams_;
+    struct inbound_stream {
+        explicit inbound_stream(sack::delivery_order order) : ra(order) {}
+        sack::reassembly ra;
+        /// Ordered mode: payload of frames not yet contiguous, keyed by
+        /// stream offset.
+        std::map<std::uint64_t, std::vector<std::uint8_t>> staged;
+        std::deque<ready_chunk> ready;
+        std::size_t front_consumed = 0; ///< bytes read() off ready.front()
+        bool readable_signalled = false;
+        bool fin_reported = false;
+    };
+
+    inbound_stream& entry_at(std::uint32_t id, sack::delivery_order order, bool& created);
+    void release_staged_prefix(inbound_stream& s, std::uint64_t upto);
+    /// Stage one out-of-order payload frame under the store cap; false =
+    /// dropped (counted).
+    bool stage_payload(inbound_stream& s, std::uint64_t offset,
+                       const std::uint8_t* payload, std::uint32_t len);
+    /// Assemble [offset, offset+len) from staged payload, consuming it.
+    std::vector<std::uint8_t> extract_staged(inbound_stream& s, std::uint64_t offset,
+                                             std::uint64_t len);
+    bool store_chunk(inbound_stream& s, std::uint64_t offset,
+                     std::vector<std::uint8_t>&& bytes, util::sim_time now);
+
+    std::map<std::uint32_t, std::unique_ptr<inbound_stream>> streams_;
     deliver_fn deliver_;
     legacy_deliver_fn legacy_deliver_;
     stream_open_fn on_stream_open_;
+    std::uint64_t buffered_payload_ = 0;
+    std::uint64_t store_limit_ = 0;
+    std::uint64_t payload_dropped_ = 0;
 };
 
 } // namespace vtp::stream

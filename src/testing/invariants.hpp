@@ -93,6 +93,11 @@ struct scenario_result {
     util::sim_time finished_at = 0;
     bool hit_deadline = false; ///< the run was cut off before every flow closed
     std::vector<flow_observation> flows;
+
+    /// Poll-API runs (scenario_run_options::poll_api): received payload
+    /// bytes checked against the deterministic send pattern.
+    std::uint64_t payload_bytes_verified = 0;
+    std::uint64_t payload_bytes_mismatched = 0;
 };
 
 /// A checker appends violations to `result.violations`.

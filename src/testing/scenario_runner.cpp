@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "sim/handover.hpp"
 #include "sim/impairment.hpp"
 #include "sim/topology.hpp"
+#include "util/pattern.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
 
@@ -62,11 +64,22 @@ constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ULL;
 
 } // namespace
 
+using util::pattern_buffer;
+using util::pattern_byte;
+
 scenario_result run_scenario(const scenario_spec& spec, std::uint64_t seed,
                              bool collect_trace) {
+    scenario_run_options opts;
+    opts.seed = seed;
+    opts.collect_trace = collect_trace;
+    return run_scenario(spec, opts);
+}
+
+scenario_result run_scenario(const scenario_spec& spec, const scenario_run_options& opts) {
     scenario_result result;
     result.name = spec.name;
-    result.seed = seed == 0 ? spec.seed : seed;
+    result.seed = opts.seed == 0 ? spec.seed : opts.seed;
+    const bool collect_trace = opts.collect_trace;
     const std::uint64_t run_seed = result.seed;
 
     // Deterministic seed derivation chain: every random element gets its
@@ -175,7 +188,7 @@ scenario_result run_scenario(const scenario_spec& spec, std::uint64_t seed,
 
     std::uint64_t hash = fnv_offset;
     auto record = [&](std::size_t i, std::uint32_t stream, std::uint64_t offset,
-                      std::uint32_t len) {
+                      std::uint32_t len, util::sim_time at) {
         if (len == 0) return;
         auto& obs = result.flows[i];
         auto& s = obs.streams[stream];
@@ -184,39 +197,78 @@ scenario_result run_scenario(const scenario_spec& spec, std::uint64_t seed,
         if (offset != s.next_expected) ++s.ooo_deliveries;
         s.next_expected = std::max(s.next_expected, offset + len);
         s.delivered += len;
-        const util::sim_time now = net.sched().now();
         hash = fnv1a(hash, obs.flow_id);
         hash = fnv1a(hash, stream);
         hash = fnv1a(hash, offset);
         hash = fnv1a(hash, len);
-        hash = fnv1a(hash, static_cast<std::uint64_t>(now));
+        hash = fnv1a(hash, static_cast<std::uint64_t>(at));
         if (collect_trace && result.trace.size() < max_trace_events)
-            result.trace.push_back({obs.flow_id, stream, offset, len, now});
+            result.trace.push_back({obs.flow_id, stream, offset, len, at});
     };
 
     for (std::size_t i = 0; i < n; ++i) {
         servers.push_back(std::make_unique<vtp::server>(net.right_host(i), server_options{}));
         servers.back()->set_on_session([&, i](vtp::session& s) {
             accepted[i] = &s;
-            s.set_on_stream_delivered(
-                [&, i](std::uint32_t id, std::uint64_t off, std::uint32_t len) {
-                    record(i, id, off, len);
-                });
+            // Poll-API runs leave the session callback-free: deliveries
+            // are drained below through recv_chunk(), whose metadata is
+            // stamped at delivery time — same trace, no callbacks.
+            if (!opts.poll_api)
+                s.set_on_stream_delivered(
+                    [&, i](std::uint32_t id, std::uint64_t off, std::uint32_t len) {
+                        record(i, id, off, len, net.sched().now());
+                    });
         });
     }
 
+    // Poll-API runs: drain delivered chunks of every accepted session,
+    // record them trace-faithfully and verify the payload pattern.
+    auto drain_polled = [&] {
+        if (!opts.poll_api) return;
+        stream::ready_chunk chunk;
+        std::uint32_t sid = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (accepted[i] == nullptr) continue;
+            while (accepted[i]->recv_chunk(sid, chunk)) {
+                record(i, sid,
+                       chunk.offset, static_cast<std::uint32_t>(chunk.bytes.size()),
+                       chunk.at);
+                const std::uint32_t flow_id = result.flows[i].flow_id;
+                for (std::size_t k = 0; k < chunk.bytes.size(); ++k) {
+                    if (chunk.bytes[k] == pattern_byte(flow_id, sid, chunk.offset + k))
+                        ++result.payload_bytes_verified;
+                    else
+                        ++result.payload_bytes_mismatched;
+                }
+            }
+        }
+    };
+
     for (std::size_t i = 0; i < n; ++i) {
         const flow_spec& flow = spec.flows[i];
-        session_options opts = flow.options;
-        opts.flow_id = static_cast<std::uint32_t>(i + 1);
-        result.flows[i].flow_id = opts.flow_id;
-        result.flows[i].packet_size = opts.packet_size;
+        session_options sopts = flow.options;
+        sopts.flow_id = static_cast<std::uint32_t>(i + 1);
+        result.flows[i].flow_id = sopts.flow_id;
+        result.flows[i].packet_size = sopts.packet_size;
 
-        clients[i] = vtp::session::connect(net.left_host(i), net.right_addr(i), opts);
-        clients[i].send(flow.bytes);
+        clients[i] = vtp::session::connect(net.left_host(i), net.right_addr(i), sopts);
+        if (opts.poll_api) {
+            const std::vector<std::uint8_t> buf =
+                pattern_buffer(sopts.flow_id, 0, flow.bytes);
+            clients[i].send(0, std::span<const std::uint8_t>(buf));
+        } else {
+            clients[i].send(flow.bytes);
+        }
         for (const auto& extra : flow.extra_streams) {
             const std::uint32_t sid = clients[i].open_stream(extra.options);
-            if (sid != stream::invalid_stream) clients[i].send(sid, extra.bytes);
+            if (sid == stream::invalid_stream) continue;
+            if (opts.poll_api) {
+                const std::vector<std::uint8_t> buf =
+                    pattern_buffer(sopts.flow_id, sid, extra.bytes);
+                clients[i].send(sid, std::span<const std::uint8_t>(buf));
+            } else {
+                clients[i].send(sid, extra.bytes);
+            }
         }
         for (const auto& reneg : flow.renegs) {
             net.sched().at(reneg.at, [&, i, reneg] {
@@ -247,7 +299,9 @@ scenario_result run_scenario(const scenario_spec& spec, std::uint64_t seed,
     while (t < spec.deadline() && !all_closed()) {
         t += step;
         net.sched().run_until(t);
+        drain_polled();
     }
+    drain_polled(); // tail chunks delivered on the final step
     result.hit_deadline = !all_closed();
     result.finished_at = net.sched().now();
     result.events = net.sched().executed();

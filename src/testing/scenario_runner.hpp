@@ -17,11 +17,28 @@
 
 namespace vtp::testing {
 
+struct scenario_run_options {
+    /// 0 = the spec's own seed.
+    std::uint64_t seed = 0;
+    /// Keep the per-delivery event list (the failure dump); counters and
+    /// the trace hash are always computed.
+    bool collect_trace = true;
+    /// Drive every flow through the poll/event API with real payload
+    /// (deterministic pattern bytes, verified chunk-by-chunk at the
+    /// receiver) instead of legacy callbacks over synthetic lengths.
+    /// Deliveries are recorded from recv_chunk() metadata — stamped at
+    /// delivery time — so the trace hash of a poll run must equal the
+    /// callback run's for the same (spec, seed).
+    bool poll_api = false;
+};
+
 /// Run `spec` with `seed` (0 = the spec's own seed). `collect_trace`
 /// keeps the per-delivery event list (the failure dump); counters and
 /// the trace hash are always computed.
 scenario_result run_scenario(const scenario_spec& spec, std::uint64_t seed = 0,
                              bool collect_trace = true);
+scenario_result run_scenario(const scenario_spec& spec,
+                             const scenario_run_options& opts);
 
 /// Write the delivery trace and violations as CSV (the artifact CI
 /// uploads on failure). Returns false when the file cannot be written.

@@ -1,0 +1,59 @@
+// Satellite: the poll/event API is trace-equivalent to the callback API.
+//
+// Two canonical scenarios — Gilbert-Elliott burst loss and the
+// WLAN->3G->WLAN handover cliff — run twice each: once through the
+// legacy delivery callbacks over synthetic lengths (the pre-v2 path) and
+// once through poll()/recv_chunk() with real pattern payload. The
+// deterministic FNV trace hash (every delivery's flow/stream/offset/
+// length/timestamp plus the endgame counters) must be bit-identical, and
+// every received payload byte must match the sender's pattern.
+#include <gtest/gtest.h>
+
+#include "testing/scenario.hpp"
+#include "testing/scenario_runner.hpp"
+
+using namespace vtp::testing;
+
+namespace {
+
+void expect_equivalent(const char* name) {
+    const scenario_spec* spec = find_scenario(name);
+    ASSERT_NE(spec, nullptr) << name << " missing from the canonical matrix";
+
+    scenario_run_options callback_run;
+    const scenario_result cb = run_scenario(*spec, callback_run);
+
+    scenario_run_options poll_run;
+    poll_run.poll_api = true;
+    const scenario_result polled = run_scenario(*spec, poll_run);
+
+    EXPECT_TRUE(cb.passed) << summarize(cb);
+    EXPECT_TRUE(polled.passed) << summarize(polled);
+    EXPECT_FALSE(cb.hit_deadline);
+    EXPECT_FALSE(polled.hit_deadline);
+
+    // Identical protocol behaviour: the payload bytes ride along without
+    // perturbing a single delivery or timer.
+    EXPECT_EQ(polled.trace_hash, cb.trace_hash)
+        << name << ": poll-API run diverged from the callback run";
+    EXPECT_EQ(polled.events, cb.events);
+    EXPECT_EQ(polled.trace.size(), cb.trace.size());
+
+    // Payload integrity: every received byte matches the pattern, and
+    // everything the callbacks observed arrived as real bytes too.
+    EXPECT_EQ(polled.payload_bytes_mismatched, 0u);
+    ASSERT_EQ(polled.flows.size(), cb.flows.size());
+    std::uint64_t cb_delivered = 0;
+    for (const auto& f : cb.flows) cb_delivered += f.server_stats.bytes_delivered;
+    EXPECT_EQ(polled.payload_bytes_verified, cb_delivered);
+}
+
+} // namespace
+
+TEST(ScenarioEventApi, BurstLossPollEqualsCallbacks) {
+    expect_equivalent("wireless_burst_loss");
+}
+
+TEST(ScenarioEventApi, HandoverPollEqualsCallbacks) {
+    expect_equivalent("handover_rate_cliff");
+}

@@ -108,6 +108,10 @@ TEST(wire_robustness_test, stream_frame_rejects_malformed_flags) {
     bytes[1] = static_cast<std::uint8_t>(0x3 << 2);
     EXPECT_THROW((void)decode_segment(bytes), vtp::util::decode_error);
     // Flag bits above the defined set must be rejected (canonical form).
+    bytes[1] = 0x20;
+    EXPECT_THROW((void)decode_segment(bytes), vtp::util::decode_error);
+    // Bit 4 is the payload-present flag; it is only well-formed when the
+    // frame actually carries payload bytes (payload_len > 0 here is 0).
     bytes[1] = 0x10;
     EXPECT_THROW((void)decode_segment(bytes), vtp::util::decode_error);
     bytes[1] = (0x2 << 2) | 0x3; // partial + rtx + eos: well-formed

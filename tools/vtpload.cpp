@@ -2,22 +2,30 @@
 //
 // Spins up an in-process N-shard engine server, then drives K client
 // vtp::sessions (spread over legacy udp_hosts on one event loop) at it,
-// each carrying M streams of --bytes bytes. Reports aggregate
-// throughput, engine datapath counters (packets/sec, batching, handoff)
-// and the p50/p99 of per-session completion latency (connect to
-// FIN-acked). Exit status gates CI smoke runs: non-zero when
-// --min-pps is not met, any engine decode error is counted, or any
-// session fails to complete.
+// each carrying M streams of --bytes bytes. The server side runs the v2
+// event API: delivery accounting comes from engine::server::poll_events()
+// (fin events carry each completed stream's length; readable events
+// carry payload chunks). With --payload every stream sends real pattern
+// bytes, verified chunk-by-chunk on the application thread — a checksum
+// of the full engine datapath (encode_segment_into + buffer_pool +
+// sendmmsg on one side, recvmmsg + decode + demux + event export on the
+// other). Reports aggregate throughput, engine datapath counters
+// (packets/sec, batching, handoff, event drops) and the p50/p99 of
+// per-session completion latency (connect to FIN-acked). Exit status
+// gates CI smoke runs: non-zero when --min-pps is not met, any engine
+// decode error is counted, any session fails to complete, or any
+// --payload byte mismatches.
 //
 //   vtpload --clients 200 --streams 2 --bytes 40000 --shards 4
 //   vtpload --clients 100 --min-pps 2000 --json vtpload.json   # CI smoke
+//   vtpload --clients 40 --payload --json vtpload_payload.json # checksum
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +33,7 @@
 #include "bench_json.hpp"
 #include "engine/server.hpp"
 #include "net/udp_host.hpp"
+#include "util/pattern.hpp"
 
 using namespace vtp;
 using util::milliseconds;
@@ -40,8 +49,11 @@ struct options {
     std::uint32_t packet_size = 600;
     int timeout_s = 60;
     double min_pps = 0.0; ///< 0 = report only, no gate
+    bool payload = false; ///< real pattern bytes, verified at the server
     std::string json;
 };
+
+using util::pattern_byte;
 
 bool parse(int argc, char** argv, options& o) {
     bool missing_value = false;
@@ -72,6 +84,8 @@ bool parse(int argc, char** argv, options& o) {
             o.timeout_s = std::atoi(next());
         } else if (a == "--min-pps") {
             o.min_pps = std::atof(next());
+        } else if (a == "--payload") {
+            o.payload = true;
         } else if (a == "--json") {
             o.json = next();
         } else {
@@ -82,7 +96,7 @@ bool parse(int argc, char** argv, options& o) {
         std::fprintf(stderr,
                      "usage: vtpload [--port P] [--shards N] [--clients K] "
                      "[--streams M] [--bytes B] [--packet-size S] "
-                     "[--timeout SEC] [--min-pps FLOOR] [--json PATH]\n");
+                     "[--timeout SEC] [--min-pps FLOOR] [--payload] [--json PATH]\n");
         return false;
     }
     return true;
@@ -102,20 +116,17 @@ int main(int argc, char** argv) {
     options opt;
     if (!parse(argc, argv, opt)) return 2;
 
-    // Server side: delivered-byte accounting shared across shard threads.
-    static std::atomic<std::uint64_t> delivered{0};
-
     engine::engine_config cfg;
     cfg.port = opt.port;
     cfg.shards = opt.shards;
     cfg.reap_interval = milliseconds(250);
+    // The application thread polls every few milliseconds; size the
+    // export ring for a full polling gap at peak delivery rate.
+    cfg.event_queue_capacity = 1 << 15;
     engine::server srv(cfg);
-    srv.set_on_session([](std::size_t, vtp::session& s) {
-        s.set_on_stream_delivered(
-            [](std::uint32_t, std::uint64_t, std::uint32_t len) {
-                delivered.fetch_add(len, std::memory_order_relaxed);
-            });
-    });
+    // v2 API: no per-session callbacks — every accepted session exports
+    // its events (fin with the stream length; readable with the payload
+    // chunk) into the rings poll_events() drains below.
 
     try {
         srv.start();
@@ -143,6 +154,7 @@ int main(int argc, char** argv) {
 
     std::vector<vtp::session> sessions;
     sessions.reserve(static_cast<std::size_t>(opt.clients));
+    std::vector<std::uint8_t> pattern;
     const util::sim_time t0 = loop.now();
     for (int i = 1; i <= opt.clients; ++i) {
         net::udp_host& host = *hosts[static_cast<std::size_t>(i - 1) / sessions_per_host];
@@ -150,25 +162,61 @@ int main(int argc, char** argv) {
         so.flow_id = static_cast<std::uint32_t>(i);
         so.packet_size = opt.packet_size;
         vtp::session s = vtp::session::connect(host, opt.port, so);
-        s.send(opt.bytes); // stream 0
+        auto queue_stream = [&](std::uint32_t sid) {
+            if (!opt.payload) {
+                s.send(sid, opt.bytes);
+                return;
+            }
+            pattern.resize(static_cast<std::size_t>(opt.bytes));
+            for (std::uint64_t off = 0; off < opt.bytes; ++off)
+                pattern[static_cast<std::size_t>(off)] =
+                    pattern_byte(so.flow_id, sid, off);
+            s.send(sid, std::span<const std::uint8_t>(pattern));
+        };
+        queue_stream(0);
         for (int k = 1; k < opt.streams; ++k) {
             stream::stream_options stro;
             stro.reliability = sack::reliability_mode::full;
             const std::uint32_t sid = s.open_stream(stro);
-            s.send(sid, opt.bytes);
+            queue_stream(sid);
             s.finish(sid);
         }
         s.close();
         sessions.push_back(std::move(s));
     }
 
-    // Drive until every FIN is acknowledged, recording each session's
-    // completion time as it happens.
+    // Drive until every FIN is acknowledged, draining the engine's event
+    // queue (delivery accounting + payload verification) as we go and
+    // recording each session's completion time as it happens.
+    std::uint64_t delivered = 0;         ///< summed fin stream lengths
+    std::uint64_t payload_bytes = 0;     ///< readable chunk bytes seen
+    std::uint64_t payload_mismatch = 0;  ///< bytes failing the pattern
+    std::vector<engine::engine_event> evs(256);
+    auto drain_events = [&] {
+        for (;;) {
+            const std::size_t n = srv.poll_events(evs.data(), evs.size());
+            if (n == 0) return;
+            for (std::size_t i = 0; i < n; ++i) {
+                const engine::engine_event& e = evs[i];
+                if (e.ev.type == vtp::event_type::fin) {
+                    delivered += e.ev.bytes;
+                } else if (e.ev.type == vtp::event_type::readable) {
+                    payload_bytes += e.payload.size();
+                    for (std::size_t k = 0; k < e.payload.size(); ++k)
+                        if (e.payload[k] !=
+                            pattern_byte(e.flow, e.ev.stream_id, e.ev.offset + k))
+                            ++payload_mismatch;
+                }
+            }
+        }
+    };
+
     std::vector<double> done_ms(sessions.size(), -1.0);
     std::size_t remaining = sessions.size();
     const util::sim_time deadline = t0 + util::seconds(opt.timeout_s);
     while (remaining > 0 && loop.now() < deadline) {
         loop.run(milliseconds(5));
+        drain_events();
         const double now_ms = util::to_milliseconds(loop.now() - t0);
         for (std::size_t i = 0; i < sessions.size(); ++i) {
             if (done_ms[i] >= 0.0 || !sessions[i].closed()) continue;
@@ -176,10 +224,11 @@ int main(int argc, char** argv) {
             --remaining;
         }
     }
+    drain_events();
     const double elapsed_s = util::to_seconds(loop.now() - t0);
 
     const engine::engine_stats st = srv.stats();
-    const std::uint64_t total_bytes = delivered.load();
+    const std::uint64_t total_bytes = delivered;
     const double goodput_mbps = static_cast<double>(total_bytes) * 8.0 / elapsed_s / 1e6;
     const double pps =
         static_cast<double>(st.datagrams_rx + st.datagrams_tx) / elapsed_s;
@@ -208,20 +257,34 @@ int main(int argc, char** argv) {
                     : 0.0);
     std::printf("session latency      p50 %.1f ms  p99 %.1f ms\n", p50, p99);
     std::printf("accepted %llu  handoff %llu (dropped %llu)  decode errors %llu  "
-                "pool exhausted %llu\n",
+                "pool exhausted %llu  events dropped %llu\n",
                 static_cast<unsigned long long>(st.accepted),
                 static_cast<unsigned long long>(st.handoff_out),
                 static_cast<unsigned long long>(st.handoff_dropped),
                 static_cast<unsigned long long>(st.decode_errors),
-                static_cast<unsigned long long>(st.pool_exhausted));
+                static_cast<unsigned long long>(st.pool_exhausted),
+                static_cast<unsigned long long>(st.events_dropped));
+    if (opt.payload)
+        std::printf("payload checksum     %llu bytes verified, %llu mismatched\n",
+                    static_cast<unsigned long long>(payload_bytes - payload_mismatch),
+                    static_cast<unsigned long long>(payload_mismatch));
 
     const bool all_done = completed.size() == sessions.size();
     const bool pps_ok = opt.min_pps <= 0.0 || pps >= opt.min_pps;
     const bool clean = st.decode_errors == 0;
-    const bool ok = all_done && pps_ok && clean;
+    // The checksum gate requires *coverage*, not just zero mismatches:
+    // every byte of every stream must have arrived as a verified chunk
+    // (readable events dropped by a full export ring shrink coverage and
+    // must fail the gate, not silently pass it).
+    const std::uint64_t expected_payload =
+        static_cast<std::uint64_t>(opt.clients) * opt.streams * opt.bytes;
+    const bool payload_ok =
+        !opt.payload || (payload_mismatch == 0 && payload_bytes == expected_payload);
+    const bool ok = all_done && pps_ok && clean && payload_ok;
     if (!ok)
-        std::printf("FAIL:%s%s%s\n", all_done ? "" : " sessions-incomplete",
-                    pps_ok ? "" : " pps-below-floor", clean ? "" : " decode-errors");
+        std::printf("FAIL:%s%s%s%s\n", all_done ? "" : " sessions-incomplete",
+                    pps_ok ? "" : " pps-below-floor", clean ? "" : " decode-errors",
+                    payload_ok ? "" : " payload-mismatch-or-incomplete");
 
     if (!opt.json.empty()) {
         bench::json_report rep;
@@ -239,6 +302,10 @@ int main(int argc, char** argv) {
         rep.add("datagrams_tx", st.datagrams_tx);
         rep.add("decode_errors", st.decode_errors);
         rep.add("handoff_dropped", st.handoff_dropped);
+        rep.add("events_dropped", st.events_dropped);
+        rep.add("payload_mode", opt.payload);
+        rep.add("payload_bytes_verified", payload_bytes - payload_mismatch);
+        rep.add("payload_mismatch_bytes", payload_mismatch);
         rep.add("pass", ok);
         if (!rep.write(opt.json))
             std::fprintf(stderr, "vtpload: could not write %s\n", opt.json.c_str());
