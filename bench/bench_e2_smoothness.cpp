@@ -11,9 +11,17 @@
 // the measured flow is sampled every 200 ms. Reported: the time series
 // (2 s buckets) and the coefficient of variation of the per-interval rate
 // after slow start. Expected shape: CoV(TFRC) well below CoV(TCP).
+//
+// Per-algorithm section (pluggable cc): the measured flow re-run through
+// vtp::session with each negotiable send algorithm. Expected shape:
+// TFRC-via-interface stays smooth (CoV near the raw-agent figure),
+// NewReno/Westwood saw like the window-based senders they are. The TFRC
+// row gates at 5% of its frozen baseline; --json emits the series
+// (BENCH_e2_cc.json in CI).
 #include <cstdio>
 #include <functional>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "util/stats.hpp"
 
@@ -83,9 +91,67 @@ trace run(bool measured_is_tfrc) {
     return tr;
 }
 
+/// Same contest, measured flow driven through vtp::session with `alg`
+/// negotiated at the handshake.
+trace run_cc(cc::algorithm_id alg) {
+    sim::dumbbell_config cfg;
+    cfg.pairs = 5;
+    cfg.access_rate_bps = 100e6;
+    cfg.access_delay = milliseconds(1);
+    cfg.bottleneck_rate_bps = 15e6;
+    cfg.bottleneck_delay = milliseconds(28);
+    cfg.bottleneck_queue = [] {
+        return std::make_unique<sim::red_queue>(sim::default_red_params(60, 1050),
+                                                60 * 1050, 770);
+    };
+    cfg.seed = 77;
+    sim::dumbbell net(cfg);
+
+    auto flow = add_session_flow(net, 0, 1, alg);
+    for (std::size_t i = 1; i < 5; ++i) // background load
+        add_tcp_flow(net, i, static_cast<std::uint32_t>(10 + i));
+
+    trace tr;
+    const util::sim_time warmup = seconds(10);
+    const util::sim_time duration = seconds(70);
+    std::uint64_t last = 0;
+    double bucket_acc = 0.0;
+    int bucket_count = 0;
+    std::function<void()> sampler = [&] {
+        const std::uint64_t bytes = flow->sent_bytes();
+        const double delta = static_cast<double>(bytes - last);
+        last = bytes;
+        if (net.sched().now() > warmup) {
+            tr.steady_samples.add(delta);
+            bucket_acc += delta;
+            if (++bucket_count == 10) {
+                tr.series_mbps.push_back(bucket_acc * 8.0 / 2.0 / 1e6);
+                bucket_acc = 0.0;
+                bucket_count = 0;
+            }
+        }
+        net.sched().after(milliseconds(200), sampler);
+    };
+    net.sched().after(milliseconds(200), sampler);
+    net.sched().run_until(duration);
+    return tr;
+}
+
+/// Frozen TFRC-via-interface baseline (measured when the pluggable-cc
+/// subsystem landed; the simulator is deterministic, so a healthy tree
+/// reproduces these exactly).
+constexpr double frozen_tfrc_cc_mean_mbps = 2.78;
+constexpr double frozen_tfrc_cc_cov = 0.140;
+constexpr double gate_tolerance = 0.05;
+
+bool within(double measured, double frozen) {
+    return measured >= frozen * (1.0 - gate_tolerance) &&
+           measured <= frozen * (1.0 + gate_tolerance);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
     std::printf("E2: rate smoothness — measured flow vs 4 TCP background flows\n");
     std::printf("(15 Mb/s RED bottleneck; sending rate sampled per 200 ms after 10 s warmup)\n\n");
 
@@ -112,5 +178,45 @@ int main() {
                          fmt("%.2f", tcp.steady_samples.max() * 8 / 0.2 / 1e6)});
     summary.print();
     std::printf("\nExpected shape: CoV(TFRC) << CoV(TCP).\n");
-    return 0;
+
+    // --- per-algorithm session-API measurement ---------------------------
+    std::printf("\nPer-algorithm (vtp::session, negotiated cc) vs 4 TCP background:\n");
+    const cc::algorithm_id algs[] = {cc::algorithm_id::tfrc, cc::algorithm_id::newreno,
+                                     cc::algorithm_id::westwood};
+    trace by_alg[3];
+    table cc_summary({"algorithm", "mean rate [Mb/s]", "rate CoV", "min/max [Mb/s]"});
+    for (std::size_t a = 0; a < 3; ++a) {
+        by_alg[a] = run_cc(algs[a]);
+        const auto& s = by_alg[a].steady_samples;
+        cc_summary.add_row({cc::to_string(algs[a]), fmt("%.2f", s.mean() * 8 / 0.2 / 1e6),
+                            fmt("%.3f", s.cov()),
+                            fmt("%.2f", s.min() * 8 / 0.2 / 1e6) + " / " +
+                                fmt("%.2f", s.max() * 8 / 0.2 / 1e6)});
+    }
+    cc_summary.print();
+
+    const double tfrc_cc_mean = by_alg[0].steady_samples.mean() * 8 / 0.2 / 1e6;
+    const double tfrc_cc_cov = by_alg[0].steady_samples.cov();
+    const bool gate_ok = within(tfrc_cc_mean, frozen_tfrc_cc_mean_mbps) &&
+                         within(tfrc_cc_cov, frozen_tfrc_cc_cov);
+    std::printf("\nTFRC-via-interface gate: mean %.2f Mb/s CoV %.3f vs frozen %.2f/%.3f "
+                "(+/-5%%) — %s\n",
+                tfrc_cc_mean, tfrc_cc_cov, frozen_tfrc_cc_mean_mbps, frozen_tfrc_cc_cov,
+                gate_ok ? "PASS" : "FAIL");
+
+    const std::string json = bench::json_path_arg(argc, argv);
+    if (!json.empty()) {
+        bench::json_report rep;
+        for (std::size_t a = 0; a < 3; ++a) {
+            const std::string key = cc::to_string(algs[a]);
+            rep.add(key + "_mean_mbps", by_alg[a].steady_samples.mean() * 8 / 0.2 / 1e6);
+            rep.add(key + "_cov", by_alg[a].steady_samples.cov());
+        }
+        rep.add("frozen_tfrc_mean_mbps", frozen_tfrc_cc_mean_mbps);
+        rep.add("frozen_tfrc_cov", frozen_tfrc_cc_cov);
+        rep.add("gate_tolerance", gate_tolerance);
+        rep.add("pass", gate_ok);
+        if (!rep.write(json)) std::printf("could not write %s\n", json.c_str());
+    }
+    return gate_ok ? 0 : 1;
 }

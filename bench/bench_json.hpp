@@ -29,6 +29,11 @@ public:
         fields_.emplace_back(key, value ? "true" : "false");
     }
 
+    /// Quoted string value (no escaping — keys/values are identifiers).
+    void add_string(const std::string& key, const std::string& value) {
+        fields_.emplace_back(key, "\"" + value + "\"");
+    }
+
     /// Write `{ "k": v, ... }` to `path`. Returns false on I/O failure.
     bool write(const std::string& path) const {
         std::FILE* f = std::fopen(path.c_str(), "w");

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "api/server.hpp"
+#include "api/session.hpp"
 #include "core/qtp.hpp"
 #include "diffserv/conditioner.hpp"
 #include "diffserv/rio.hpp"
@@ -93,6 +95,41 @@ inline tcp_flow add_tcp_flow(sim::dumbbell& net, std::size_t i, std::uint32_t fl
         net.right_host(i).attach(flow_id, std::make_unique<tcp::tcp_receiver_agent>(rcfg));
     flow.sender =
         net.left_host(i).attach(flow_id, std::make_unique<tcp::tcp_sender_agent>(scfg));
+    return flow;
+}
+
+/// A vtp::session flow — the full public-API QTP stack, congestion
+/// control selected through the negotiated profile — on dumbbell pair
+/// `i`. Owns the accept-side vtp::server; the transfer is open-ended (a
+/// large stream-0 backlog), so the flow is long-lived like the raw
+/// agents above and per-algorithm benches compare like with like.
+struct session_flow {
+    std::unique_ptr<vtp::server> server;
+    vtp::session client;
+    vtp::session* accepted = nullptr;
+
+    std::uint64_t delivered_bytes() const {
+        return accepted != nullptr ? accepted->stats().bytes_delivered : 0;
+    }
+    /// All bytes the sender pushed to the wire (first transmissions +
+    /// retransmissions) — the send-rate signal a codec would see.
+    std::uint64_t sent_bytes() const {
+        const session_stats st = client.stats();
+        return st.stream_bytes_sent + st.rtx_bytes_sent;
+    }
+};
+
+inline std::unique_ptr<session_flow> add_session_flow(
+    sim::dumbbell& net, std::size_t i, std::uint32_t flow_id, cc::algorithm_id alg,
+    std::uint64_t backlog = 1'000'000'000) {
+    auto flow = std::make_unique<session_flow>();
+    session_flow* raw = flow.get();
+    flow->server = std::make_unique<vtp::server>(net.right_host(i), vtp::server_options{});
+    flow->server->set_on_session([raw](vtp::session& s) { raw->accepted = &s; });
+    vtp::session_options opts = vtp::session_options::reliable().with_cc(alg);
+    opts.flow_id = flow_id;
+    flow->client = vtp::session::connect(net.left_host(i), net.right_addr(i), opts);
+    flow->client.send(backlog);
     return flow;
 }
 

@@ -137,6 +137,9 @@ session_stats session::stats() const {
     s.established = established();
     s.closed = closed();
     s.profile = active_profile();
+    // Receiver-role sessions report the negotiated id (the controller
+    // itself runs at the sender); the sender branch refines this below.
+    s.cc_algorithm = s.profile.congestion;
     if (sender_ != nullptr) {
         s.renegotiations = sender_->renegotiations();
         s.reneg_proposals_sent = sender_->reneg_proposals_sent();
@@ -148,12 +151,16 @@ session_stats session::stats() const {
         s.stream_bytes_acked = sender_->reliability().delivered_bytes();
         s.rtx_bytes_sent = sender_->rtx_bytes_sent();
         s.packets_sent = sender_->packets_sent();
-        s.allowed_rate_bps = sender_->rate().allowed_rate() * 8.0;
+        const cc::send_algorithm& cc = sender_->cc();
+        s.allowed_rate_bps = cc.pacing_rate() * 8.0;
         s.loss_event_rate =
             s.profile.estimation == tfrc::estimation_mode::sender_side
                 ? sender_->estimator().loss_event_rate()
-                : sender_->rate().current_loss_rate();
-        s.rtt = sender_->rate().has_rtt() ? sender_->rate().rtt() : 0;
+                : cc.loss_rate();
+        s.rtt = cc.has_rtt() ? cc.smoothed_rtt() : 0;
+        s.cc_algorithm = cc.id();
+        s.cc_swaps_applied = sender_->cc_swaps();
+        s.bandwidth_estimate_bps = cc.bandwidth_estimate_bps();
     }
     if (sender_ != nullptr) {
         s.events_dropped = sender_->events_dropped();

@@ -96,6 +96,12 @@ struct session_stats {
     double allowed_rate_bps = 0.0;
     double loss_event_rate = 0.0;
     util::sim_time rtt = 0;
+    /// Congestion control (sender role): the algorithm currently pacing
+    /// the flow, how many mid-flow swaps renegotiation has applied, and
+    /// the algorithm's own path-bandwidth estimate.
+    cc::algorithm_id cc_algorithm = cc::algorithm_id::tfrc;
+    std::uint32_t cc_swaps_applied = 0;
+    double bandwidth_estimate_bps = 0.0;
 
     // Receiving side (zero on sender-role sessions).
     std::uint64_t bytes_received = 0;

@@ -87,6 +87,13 @@ struct session_options {
         return o;
     }
 
+    /// Pin the proposed congestion-control algorithm (chainable on any
+    /// preset): session_options::reliable().with_cc(cc::algorithm_id::westwood).
+    session_options& with_cc(cc::algorithm_id alg) {
+        profile.congestion = alg;
+        return *this;
+    }
+
     /// Lower the options into a core connection_config (the facade's
     /// glue; applications should not need this).
     qtp::connection_config to_connection_config() const {

@@ -1,0 +1,43 @@
+// Congestion-control algorithm identifiers.
+//
+// The id is a negotiated profile feature: it travels in the handshake's
+// profile bits (packet/segment.hpp, bits 4-5) and may be renegotiated
+// mid-flow like any other profile dimension. Kept in its own header so
+// core/profile.hpp can name the enum without pulling in the full
+// send-algorithm interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace vtp::cc {
+
+/// Wire values of the cc profile bits. `tfrc` is 0 so every pre-cc
+/// profile encoding decodes unchanged (and encodes byte-identically).
+/// Value 3 is unassigned and rejected by the wire decoder.
+enum class algorithm_id : std::uint8_t {
+    tfrc = 0,     ///< RFC 3448 equation-based rate control (+ gTFRC floor)
+    newreno = 1,  ///< RFC 5681/6582 window arithmetic, paced
+    westwood = 2, ///< bandwidth-sampling sender (windowed max-BW / min-RTT)
+};
+
+inline constexpr std::uint8_t algorithm_id_count = 3;
+
+constexpr const char* to_string(algorithm_id id) {
+    switch (id) {
+    case algorithm_id::tfrc: return "tfrc";
+    case algorithm_id::newreno: return "newreno";
+    case algorithm_id::westwood: return "westwood";
+    }
+    return "?";
+}
+
+constexpr std::optional<algorithm_id> algorithm_from_string(std::string_view name) {
+    if (name == "tfrc") return algorithm_id::tfrc;
+    if (name == "newreno") return algorithm_id::newreno;
+    if (name == "westwood") return algorithm_id::westwood;
+    return std::nullopt;
+}
+
+} // namespace vtp::cc

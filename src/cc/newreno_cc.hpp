@@ -1,0 +1,146 @@
+// NewReno re-homed behind the send-algorithm interface.
+//
+// Wraps the byte-counted RFC 5681/6582 cwnd arithmetic from src/tcp/ with
+// the sequence-space bookkeeping that class deliberately leaves to its
+// owner: recovery entry/exit at the highest-sent boundary, an EWMA srtt,
+// and pacing at cwnd/srtt. The window gate (can_send) is the primary
+// regulator; pacing merely spreads the window across the RTT so the
+// simulated queues see a stream, not a burst.
+//
+// A mid-flow import seeds cwnd = ssthresh = bandwidth × srtt (the
+// predecessor's measured BDP), so the flow resumes in congestion
+// avoidance at the established operating point instead of slow-start.
+#pragma once
+
+#include <algorithm>
+
+#include "cc/send_algorithm.hpp"
+#include "tcp/newreno.hpp"
+
+namespace vtp::cc {
+
+class newreno_sender final : public send_algorithm {
+public:
+    explicit newreno_sender(const algorithm_config& cfg)
+        : send_algorithm(cfg), cwnd_(make_cwnd_config(cfg.packet_size)) {}
+
+    algorithm_id id() const override { return algorithm_id::newreno; }
+
+    void on_packet_sent(std::uint64_t seq, std::uint32_t, std::uint64_t,
+                        util::sim_time) override {
+        highest_sent_ = std::max(highest_sent_, seq);
+    }
+
+    void on_congestion_event(const congestion_event& ev) override {
+        if (ev.rtt_sample > 0) update_rtt(ev.rtt_sample);
+        loss_rate_ = ev.loss_event_rate;
+
+        std::uint64_t acked_bytes = 0;
+        std::uint64_t highest_acked = 0;
+        for (const auto& s : ev.acked) {
+            acked_bytes += s.bytes;
+            highest_acked = std::max(highest_acked, s.seq);
+        }
+
+        // Recovery ends once a packet sent after the loss was detected is
+        // acknowledged (the RFC 6582 recovery point, here in connection
+        // sequence space — retransmissions travel under fresh numbers).
+        if (in_recovery_ && !ev.acked.empty() && highest_acked >= recovery_end_) {
+            cwnd_.exit_recovery();
+            in_recovery_ = false;
+        }
+
+        if (!ev.lost.empty() && !in_recovery_) {
+            cwnd_.enter_recovery(ev.prior_bytes_in_flight);
+            in_recovery_ = true;
+            recovery_end_ = highest_sent_;
+        } else if (!in_recovery_ && acked_bytes > 0) {
+            cwnd_.on_new_ack(acked_bytes);
+        }
+    }
+
+    void on_rto(std::uint64_t bytes_in_flight, util::sim_time) override {
+        cwnd_.on_timeout(bytes_in_flight);
+        in_recovery_ = false;
+    }
+
+    bool can_send(std::uint64_t bytes_in_flight) const override {
+        return bytes_in_flight < cwnd_.cwnd();
+    }
+
+    double bandwidth_estimate_bps() const override { return raw_pacing_rate() * 8.0; }
+
+    util::sim_time nofeedback_interval() const override {
+        if (!has_rtt_) return util::seconds(2);
+        return std::max<util::sim_time>(4 * srtt_, util::milliseconds(500));
+    }
+
+    bool has_rtt() const override { return has_rtt_; }
+    util::sim_time smoothed_rtt() const override { return srtt_; }
+    double loss_rate() const override { return loss_rate_; }
+    bool in_slow_start() const override { return cwnd_.in_slow_start(); }
+
+    cc_state export_state() const override {
+        cc_state st;
+        st.bandwidth_bytes_per_s = raw_pacing_rate();
+        st.loss_event_rate = loss_rate_;
+        st.smoothed_rtt = srtt_;
+        st.min_rtt = min_rtt_;
+        st.has_rtt = has_rtt_;
+        return st;
+    }
+
+    void import_state(const cc_state& st) override {
+        if (!st.has_rtt) return;
+        update_rtt(st.smoothed_rtt);
+        if (st.min_rtt > 0) min_rtt_ = std::min(min_rtt_, st.min_rtt);
+        const std::uint64_t bdp = static_cast<std::uint64_t>(
+            st.bandwidth_bytes_per_s * util::to_seconds(std::max<util::sim_time>(srtt_, 1)));
+        tcp::newreno_config cfg;
+        cfg.mss = packet_size_;
+        cfg.initial_cwnd = std::max<std::uint64_t>(bdp, 2ull * packet_size_);
+        cfg.initial_ssthresh = cfg.initial_cwnd; // cwnd == ssthresh: resume in CA
+        cwnd_ = tcp::newreno(cfg);
+        in_recovery_ = false;
+    }
+
+    const tcp::newreno& window() const { return cwnd_; }
+
+protected:
+    double raw_pacing_rate() const override {
+        if (!has_rtt_) return static_cast<double>(packet_size_); // 1 pkt/s cold
+        return static_cast<double>(cwnd_.cwnd()) /
+               util::to_seconds(std::max<util::sim_time>(srtt_, 1));
+    }
+
+private:
+    static tcp::newreno_config make_cwnd_config(std::uint32_t packet_size) {
+        tcp::newreno_config cfg;
+        cfg.mss = packet_size;
+        return cfg;
+    }
+
+    void update_rtt(util::sim_time sample) {
+        if (!has_rtt_) {
+            srtt_ = sample;
+            min_rtt_ = sample;
+            has_rtt_ = true;
+            return;
+        }
+        // RFC 6298 smoothing without the variance term (the nofeedback
+        // interval's 4x multiplier absorbs jitter).
+        srtt_ = (7 * srtt_ + sample) / 8;
+        min_rtt_ = std::min(min_rtt_, sample);
+    }
+
+    tcp::newreno cwnd_;
+    util::sim_time srtt_ = 0;
+    util::sim_time min_rtt_ = 0;
+    bool has_rtt_ = false;
+    double loss_rate_ = 0.0;
+    std::uint64_t highest_sent_ = 0;
+    std::uint64_t recovery_end_ = 0;
+    bool in_recovery_ = false;
+};
+
+} // namespace vtp::cc

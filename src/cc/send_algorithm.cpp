@@ -1,0 +1,19 @@
+#include "cc/send_algorithm.hpp"
+
+#include "cc/newreno_cc.hpp"
+#include "cc/tfrc_cc.hpp"
+#include "cc/westwood.hpp"
+
+namespace vtp::cc {
+
+std::unique_ptr<send_algorithm> make_algorithm(algorithm_id id,
+                                               const algorithm_config& cfg) {
+    switch (id) {
+    case algorithm_id::newreno: return std::make_unique<newreno_sender>(cfg);
+    case algorithm_id::westwood: return std::make_unique<westwood_sender>(cfg);
+    case algorithm_id::tfrc: break;
+    }
+    return std::make_unique<tfrc_sender>(cfg);
+}
+
+} // namespace vtp::cc

@@ -1,0 +1,198 @@
+// Westwood-style bandwidth-sampling sender.
+//
+// TCP Westwood+'s insight: on loss, instead of blindly halving, set the
+// window to the measured path capacity — max-filtered delivery rate times
+// min-filtered RTT (the BDP). Random wireless losses then cost one
+// in-flight correction rather than a multiplicative collapse, while real
+// congestion (which inflates the RTT and deflates the delivery rate)
+// still shrinks the window. The windowed max/min filters are exact
+// monotonic-deque sliding windows (cc/windowed_filter.hpp).
+//
+// Two bandwidth signals feed the max filter: the receiver-reported
+// receive rate x_recv (the same signal TFRC caps its doubling with) and
+// the sender-side delivery rate acked-bytes/elapsed between feedback
+// events. Either alone is noisy on this feedback cadence; the max filter
+// over both tracks the true capacity from below.
+#pragma once
+
+#include <algorithm>
+
+#include "cc/send_algorithm.hpp"
+#include "cc/windowed_filter.hpp"
+
+namespace vtp::cc {
+
+class westwood_sender final : public send_algorithm {
+public:
+    explicit westwood_sender(const algorithm_config& cfg)
+        : send_algorithm(cfg),
+          bw_filter_(bw_window),
+          rtt_filter_(rtt_window),
+          cwnd_(initial_window(cfg.packet_size)),
+          ssthresh_(UINT64_MAX) {}
+
+    algorithm_id id() const override { return algorithm_id::westwood; }
+
+    void on_packet_sent(std::uint64_t seq, std::uint32_t, std::uint64_t,
+                        util::sim_time) override {
+        highest_sent_ = std::max(highest_sent_, seq);
+    }
+
+    void on_congestion_event(const congestion_event& ev) override {
+        if (ev.rtt_sample > 0) {
+            update_rtt(ev.rtt_sample);
+            rtt_filter_.update(ev.rtt_sample, ev.now);
+        }
+        loss_rate_ = ev.loss_event_rate;
+
+        std::uint64_t acked_bytes = 0;
+        std::uint64_t highest_acked = 0;
+        for (const auto& s : ev.acked) {
+            acked_bytes += s.bytes;
+            highest_acked = std::max(highest_acked, s.seq);
+        }
+
+        // Bandwidth samples into the max filter.
+        if (ev.x_recv_bytes > 0.0) bw_filter_.update(ev.x_recv_bytes, ev.now);
+        if (acked_bytes > 0 && last_event_at_ > 0 && ev.now > last_event_at_) {
+            const double rate = static_cast<double>(acked_bytes) /
+                                util::to_seconds(ev.now - last_event_at_);
+            bw_filter_.update(rate, ev.now);
+        }
+        if (acked_bytes > 0) last_event_at_ = ev.now;
+
+        if (in_recovery_ && !ev.acked.empty() && highest_acked >= recovery_end_)
+            in_recovery_ = false;
+
+        if (!ev.lost.empty() && !in_recovery_) {
+            // The Westwood response: window to the measured BDP, not half.
+            ssthresh_ = std::max<std::uint64_t>(bdp_estimate(ev.now), 2ull * packet_size_);
+            cwnd_ = std::min(cwnd_, ssthresh_);
+            ca_accumulator_ = 0;
+            in_recovery_ = true;
+            recovery_end_ = highest_sent_;
+            return;
+        }
+        if (acked_bytes == 0 || in_recovery_) return;
+
+        if (cwnd_ < ssthresh_) {
+            cwnd_ += acked_bytes; // slow start
+        } else {
+            // Byte-counted congestion avoidance: +1 MSS per cwnd acked.
+            ca_accumulator_ += acked_bytes;
+            if (ca_accumulator_ >= cwnd_) {
+                ca_accumulator_ -= cwnd_;
+                cwnd_ += packet_size_;
+            }
+        }
+    }
+
+    void on_rto(std::uint64_t, util::sim_time now) override {
+        ssthresh_ = std::max<std::uint64_t>(bdp_estimate(now), 2ull * packet_size_);
+        cwnd_ = packet_size_;
+        ca_accumulator_ = 0;
+        in_recovery_ = false;
+    }
+
+    bool can_send(std::uint64_t bytes_in_flight) const override {
+        return bytes_in_flight < cwnd_;
+    }
+
+    double bandwidth_estimate_bps() const override {
+        const double bw = bw_filter_.peek(0.0);
+        return (bw > 0.0 ? bw : raw_pacing_rate()) * 8.0;
+    }
+
+    util::sim_time nofeedback_interval() const override {
+        if (!has_rtt_) return util::seconds(2);
+        return std::max<util::sim_time>(4 * srtt_, util::milliseconds(500));
+    }
+
+    bool has_rtt() const override { return has_rtt_; }
+    util::sim_time smoothed_rtt() const override { return srtt_; }
+    double loss_rate() const override { return loss_rate_; }
+    bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+
+    cc_state export_state() const override {
+        cc_state st;
+        const double bw = bw_filter_.peek(0.0);
+        st.bandwidth_bytes_per_s = bw > 0.0 ? bw : raw_pacing_rate();
+        st.loss_event_rate = loss_rate_;
+        st.smoothed_rtt = srtt_;
+        st.min_rtt = rtt_filter_.peek(srtt_);
+        st.has_rtt = has_rtt_;
+        return st;
+    }
+
+    void import_state(const cc_state& st) override {
+        if (!st.has_rtt) return;
+        update_rtt(st.smoothed_rtt);
+        if (st.bandwidth_bytes_per_s > 0.0) {
+            // Seed the filter at time 0 relative to the (re)start; real
+            // samples will refresh or dominate it within one window.
+            bw_filter_.update(st.bandwidth_bytes_per_s, 0);
+            const util::sim_time rtt = st.min_rtt > 0 ? st.min_rtt : st.smoothed_rtt;
+            rtt_filter_.update(rtt, 0);
+            const std::uint64_t bdp = static_cast<std::uint64_t>(
+                st.bandwidth_bytes_per_s * util::to_seconds(rtt));
+            cwnd_ = std::max<std::uint64_t>(bdp, 2ull * packet_size_);
+            ssthresh_ = cwnd_; // resume in congestion avoidance
+        }
+        in_recovery_ = false;
+    }
+
+    std::uint64_t cwnd() const { return cwnd_; }
+    std::uint64_t ssthresh() const { return ssthresh_; }
+
+protected:
+    double raw_pacing_rate() const override {
+        if (!has_rtt_) return static_cast<double>(packet_size_); // 1 pkt/s cold
+        return static_cast<double>(cwnd_) /
+               util::to_seconds(std::max<util::sim_time>(srtt_, 1));
+    }
+
+private:
+    static constexpr util::sim_time bw_window = util::seconds(10);
+    static constexpr util::sim_time rtt_window = util::seconds(10);
+
+    static std::uint64_t initial_window(std::uint32_t mss) {
+        // RFC 3390, same sizing as the TFRC initial window.
+        return std::min<std::uint64_t>(4ull * mss,
+                                       std::max<std::uint64_t>(2ull * mss, 4380));
+    }
+
+    std::uint64_t bdp_estimate(util::sim_time now) {
+        const double bw = bw_filter_.best(now, 0.0);
+        const util::sim_time rtt = rtt_filter_.best(now, min_rtt_ > 0 ? min_rtt_ : srtt_);
+        if (bw <= 0.0 || rtt <= 0) return cwnd_ / 2; // no estimate yet: Reno-like
+        return static_cast<std::uint64_t>(bw * util::to_seconds(rtt));
+    }
+
+    void update_rtt(util::sim_time sample) {
+        if (!has_rtt_) {
+            srtt_ = sample;
+            min_rtt_ = sample;
+            has_rtt_ = true;
+            return;
+        }
+        srtt_ = (7 * srtt_ + sample) / 8;
+        min_rtt_ = std::min(min_rtt_, sample);
+    }
+
+    windowed_max_filter<double, util::sim_time> bw_filter_;
+    windowed_min_filter<util::sim_time, util::sim_time> rtt_filter_;
+
+    std::uint64_t cwnd_;
+    std::uint64_t ssthresh_;
+    std::uint64_t ca_accumulator_ = 0;
+    util::sim_time srtt_ = 0;
+    util::sim_time min_rtt_ = 0;
+    bool has_rtt_ = false;
+    double loss_rate_ = 0.0;
+    util::sim_time last_event_at_ = 0;
+    std::uint64_t highest_sent_ = 0;
+    std::uint64_t recovery_end_ = 0;
+    bool in_recovery_ = false;
+};
+
+} // namespace vtp::cc

@@ -1,0 +1,69 @@
+// Sliding-window extremum filter (the Westwood/BBR building block).
+//
+// Tracks the best (maximum or minimum, by Compare) of all samples whose
+// timestamp lies within the trailing window. Implemented as a monotonic
+// deque: a new sample evicts every older sample it dominates, so the
+// front is always the in-window best and update/best are O(1) amortised
+// — and, unlike the 3-estimate approximation some stacks use, the answer
+// is *exact*, which is what the randomized-vs-reference unit suite
+// asserts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+namespace vtp::cc {
+
+/// Compare(a, b) == true means `a` dominates (replaces) `b`. Use
+/// std::greater for a max filter, std::less for a min filter.
+template <typename ValueT, typename TimeT, typename Compare>
+class windowed_filter {
+public:
+    explicit windowed_filter(TimeT window) : window_(window) {}
+
+    /// Insert a sample taken at `now` (timestamps must be non-decreasing)
+    /// and expire everything older than `now - window`.
+    void update(ValueT value, TimeT now) {
+        while (!samples_.empty() && samples_.front().at + window_ < now)
+            samples_.pop_front();
+        // Equal samples are kept dominated too: the newer timestamp keeps
+        // the estimate alive longer at no accuracy cost.
+        while (!samples_.empty() && !Compare()(samples_.back().value, value))
+            samples_.pop_back();
+        samples_.push_back({now, value});
+    }
+
+    /// Best in-window sample as of `now` (expires stale entries first).
+    /// Returns `fallback` when no sample is in the window.
+    ValueT best(TimeT now, ValueT fallback = ValueT{}) {
+        while (!samples_.empty() && samples_.front().at + window_ < now)
+            samples_.pop_front();
+        return samples_.empty() ? fallback : samples_.front().value;
+    }
+
+    /// Best as last computed, without advancing time (const peek).
+    ValueT peek(ValueT fallback = ValueT{}) const {
+        return samples_.empty() ? fallback : samples_.front().value;
+    }
+
+    bool empty() const { return samples_.empty(); }
+    void reset() { samples_.clear(); }
+    TimeT window() const { return window_; }
+    void set_window(TimeT w) { window_ = w; }
+
+private:
+    struct entry {
+        TimeT at;
+        ValueT value;
+    };
+    std::deque<entry> samples_; ///< front = in-window best
+    TimeT window_;
+};
+
+template <typename ValueT, typename TimeT>
+using windowed_max_filter = windowed_filter<ValueT, TimeT, std::greater<ValueT>>;
+template <typename ValueT, typename TimeT>
+using windowed_min_filter = windowed_filter<ValueT, TimeT, std::less<ValueT>>;
+
+} // namespace vtp::cc

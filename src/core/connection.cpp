@@ -25,21 +25,27 @@ stream::stream_options stream0_options(const connection_config& cfg) {
 
 } // namespace
 
+cc::algorithm_config connection_sender::cc_config(double floor_bps) const {
+    cc::algorithm_config acfg;
+    acfg.packet_size = cfg_.packet_size;
+    acfg.guaranteed_rate_bps = floor_bps;
+    acfg.tfrc_rate = cfg_.rate;
+    return acfg;
+}
+
 connection_sender::connection_sender(connection_config cfg)
     : cfg_(cfg),
       handshake_(cfg.proposal),
       reneg_resp_(cfg.caps),
-      rate_(cfg.rate),
       estimator_(cfg.estimator),
       mux_(stream0_options(cfg), cfg.total_bytes, cfg.stream_open, cfg.scoreboard,
            cfg.scheduler),
       events_(cfg.event_queue_capacity) {
-    if (cfg_.rate.equation.packet_size_bytes != cfg_.packet_size) {
-        tfrc::rate_controller_config fixed = cfg_.rate;
-        fixed.equation.packet_size_bytes = cfg_.packet_size;
-        cfg_.rate = fixed;
-        rate_ = tfrc::rate_controller(fixed);
-    }
+    cfg_.rate.equation.packet_size_bytes = cfg_.packet_size;
+    // Pre-handshake placeholder controller (nothing paces until
+    // established); the negotiated profile rebuilds it in on_handshake.
+    cc_ = cc::make_algorithm(cfg_.proposal.congestion,
+                             cc_config(cfg_.rate.guaranteed_rate_bps));
 }
 
 void connection_sender::start(environment& env) {
@@ -69,10 +75,10 @@ void connection_sender::on_handshake(const packet::handshake_segment& seg) {
         handshake_timer_ = qtp::no_timer;
     }
 
-    // The negotiated profile decides the rate floor (gTFRC).
-    tfrc::rate_controller_config rc = cfg_.rate;
-    rc.guaranteed_rate_bps = active_.qos_aware ? active_.target_rate_bps : 0.0;
-    rate_ = tfrc::rate_controller(rc);
+    // The negotiated profile decides the algorithm and rate floor (gTFRC).
+    cc_ = cc::make_algorithm(
+        active_.congestion,
+        cc_config(active_.qos_aware ? active_.target_rate_bps : 0.0));
 
     util::log(util::log_level::info, "qtp-send", "established: ", active_.describe());
     event ev;
@@ -206,6 +212,7 @@ void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_s
     // the previous mode keep its semantics (untracked under none,
     // possibly abandoned under partial) and must not gate
     // full-reliability completion afterwards.
+    const cc::algorithm_id prev_cc = active_.congestion;
     mux_.set_profile_mode(p.reliability);
     active_ = p;
     ++renegotiations_;
@@ -215,7 +222,24 @@ void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_s
     // The estimator has recorded every transmission since the start, so
     // flipping to sender-side estimation mid-flight has send times for
     // packets already in the air.
-    rate_.set_guaranteed_rate(active_.qos_aware ? active_.target_rate_bps : 0.0);
+    const double floor_bps = active_.qos_aware ? active_.target_rate_bps : 0.0;
+    if (active_.congestion != prev_cc) {
+        // Congestion-controller swap: the successor imports the
+        // incumbent's measured bandwidth/RTT so the flow resumes at its
+        // operating point instead of restarting from slow-start.
+        const cc::cc_state st = cc_->export_state();
+        cc_ = cc::make_algorithm(active_.congestion, cc_config(floor_bps));
+        cc_->import_state(st);
+        ++cc_swaps_;
+        // The pending send slot was paced at the old algorithm's rate.
+        if (send_timer_ != qtp::no_timer) {
+            env_->cancel(send_timer_);
+            send_timer_ = qtp::no_timer;
+            schedule_next_send();
+        }
+    } else {
+        cc_->set_guaranteed_rate(floor_bps);
+    }
     util::log(util::log_level::info, "qtp-send", "renegotiated: ", active_.describe(),
               " from seq ", boundary_seq);
     event ev;
@@ -255,7 +279,8 @@ stream::send_policy connection_sender::send_policy_now() const {
     stream::send_policy pol;
     // A retransmission is pointless if it cannot beat the deadline:
     // allow one-way delay (RTT/2) plus scheduling slack.
-    const util::sim_time rtt = rate_.has_rtt() ? rate_.rtt() : util::milliseconds(100);
+    const util::sim_time rtt =
+        cc_->has_rtt() ? cc_->smoothed_rtt() : util::milliseconds(100);
     pol.partial_margin = rtt / 2 + util::milliseconds(5);
     pol.packet_size = cfg_.packet_size;
     return pol;
@@ -321,7 +346,7 @@ void connection_sender::send_fin() {
     fin.type = packet::handshake_segment::kind::fin;
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, fin));
     const util::sim_time retry =
-        std::max<util::sim_time>(rate_.has_rtt() ? 2 * rate_.rtt() : 0,
+        std::max<util::sim_time>(cc_->has_rtt() ? 2 * cc_->smoothed_rtt() : 0,
                                  util::milliseconds(200));
     fin_timer_ = env_->schedule(retry, [this] { send_fin(); });
 }
@@ -334,7 +359,8 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
     // Loss estimation: locally (QTPlight) or trusted from the receiver.
     double p = 0.0;
     if (active_.estimation == tfrc::estimation_mode::sender_side) {
-        const util::sim_time rtt_for_grouping = rate_.has_rtt() ? rate_.rtt() : sample;
+        const util::sim_time rtt_for_grouping =
+            cc_->has_rtt() ? cc_->smoothed_rtt() : sample;
         const bool new_event = estimator_.on_feedback(fb, now, rtt_for_grouping);
         if (new_event && estimator_.history().loss_events() == 1 &&
             estimator_.history().intervals().empty()) {
@@ -348,7 +374,18 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
         p = fb.has_p ? fb.p : 0.0;
     }
 
-    rate_.on_feedback(p, fb.x_recv, sample, now);
+    // The ack tracker digests the SACK into newly-acked/lost vectors for
+    // the congestion controller (pure bookkeeping: no timers, no sends).
+    cc::ack_tracker::feedback_delta delta = tracker_.on_feedback(fb);
+    cc::congestion_event cev;
+    cev.now = now;
+    cev.rtt_sample = sample;
+    cev.x_recv_bytes = fb.x_recv;
+    cev.loss_event_rate = p;
+    cev.prior_bytes_in_flight = delta.prior_bytes_in_flight;
+    cev.acked = std::move(delta.acked);
+    cev.lost = std::move(delta.lost);
+    cc_->on_congestion_event(cev);
     arm_nofeedback_timer();
 
     // Reliability: every stream's scoreboard sees the connection-wide
@@ -377,6 +414,9 @@ void connection_sender::send_next() {
     const std::uint32_t burst = std::max<std::uint32_t>(1, env_->send_burst());
     std::uint32_t sent = 0;
     while (sent < burst) {
+        // Window gate (NewReno/Westwood); TFRC is rate-paced and always
+        // passes. A window-blocked sender resumes on the next feedback.
+        if (!cc_->can_send(tracker_.bytes_in_flight())) break;
         const int kind = send_one();
         if (kind == 0) break;
         ++sent;
@@ -416,7 +456,7 @@ int connection_sender::send_one() {
     if (pick->payload_len == 0) is_probe = true; // eos markers count as probes
 
     const std::uint64_t seq = next_seq_++;
-    const util::sim_time rtt_estimate = rate_.has_rtt() ? rate_.rtt() : 0;
+    const util::sim_time rtt_estimate = cc_->has_rtt() ? cc_->smoothed_rtt() : 0;
 
     // Real application bytes ride in the segment; length-only streams
     // (synthetic sources) skip the copy and the allocation entirely.
@@ -474,6 +514,8 @@ int connection_sender::send_one() {
     ++packets_sent_;
     bytes_sent_ += pick->payload_len;
     if (is_probe) ++probes_sent_;
+    tracker_.on_packet_sent(seq, pick->payload_len, now);
+    cc_->on_packet_sent(seq, pick->payload_len, tracker_.bytes_in_flight(), now);
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
                                    std::move(body)));
 
@@ -487,7 +529,7 @@ int connection_sender::send_one() {
 
 void connection_sender::schedule_next_send(std::uint32_t just_sent) {
     if (send_timer_ != qtp::no_timer || !work_available()) return;
-    const double rate = std::max(rate_.allowed_rate(), 1.0);
+    const double rate = std::max(cc_->pacing_rate(), 1.0);
     // A burst of n segments consumes n slots of rate budget, so the
     // following sleep is n packet-spacings long.
     double spacing_s =
@@ -496,7 +538,7 @@ void connection_sender::schedule_next_send(std::uint32_t just_sent) {
     if (!mux_.has_payload_work()) {
         // Only probes left: a few per RTT are plenty.
         const util::sim_time rtt =
-            rate_.has_rtt() ? rate_.rtt() : util::milliseconds(100);
+            cc_->has_rtt() ? cc_->smoothed_rtt() : util::milliseconds(100);
         spacing_s = std::max(spacing_s, util::to_seconds(rtt) / 4.0);
     }
     const util::sim_time spacing = std::clamp<util::sim_time>(
@@ -506,10 +548,21 @@ void connection_sender::schedule_next_send(std::uint32_t just_sent) {
 
 void connection_sender::arm_nofeedback_timer() {
     if (nofeedback_timer_ != qtp::no_timer) env_->cancel(nofeedback_timer_);
-    nofeedback_timer_ = env_->schedule(rate_.nofeedback_interval(), [this] {
+    nofeedback_timer_ = env_->schedule(cc_->nofeedback_interval(), [this] {
         nofeedback_timer_ = qtp::no_timer;
-        rate_.on_nofeedback_timeout(env_->now());
+        // The whole flight is presumed lost (pure bookkeeping — for TFRC
+        // this only keeps the tracker warm for a later algorithm swap).
+        const std::uint64_t prior_flight = tracker_.bytes_in_flight();
+        tracker_.on_rto();
+        cc_->on_rto(prior_flight, env_->now());
         arm_nofeedback_timer();
+        // Window algorithms: the RTO emptied the flight and reset cwnd,
+        // so sending can resume even though no feedback will arrive to
+        // kick the pacing loop. TFRC is excluded to keep its event
+        // sequence byte-identical to the pre-subsystem sender.
+        if (cc_->id() != cc::algorithm_id::tfrc && send_timer_ == qtp::no_timer &&
+            work_available())
+            send_next();
     });
 }
 

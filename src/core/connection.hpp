@@ -1,10 +1,12 @@
 // Composed QTP connection endpoints.
 //
 // `connection_sender` and `connection_receiver` assemble the
-// micro-mechanisms — TFRC rate control (tfrc::rate_controller), loss
-// estimation at either end (tfrc::loss_history / tfrc::sender_estimator),
-// and SACK reliability (sack::scoreboard + sack::retransmit_queue /
-// sack::reassembly) — according to the profile negotiated at handshake.
+// micro-mechanisms — congestion control behind the pluggable
+// send-algorithm interface (cc::send_algorithm: TFRC, NewReno or
+// Westwood), loss estimation at either end (tfrc::loss_history /
+// tfrc::sender_estimator), and SACK reliability (sack::scoreboard +
+// sack::retransmit_queue / sack::reassembly) — according to the profile
+// negotiated at handshake.
 // The profile is not frozen there: either endpoint may call
 // request_renegotiate() mid-connection; the reneg/reneg_ack exchange
 // (core/negotiation.hpp) runs the proposal through the peer's
@@ -13,7 +15,7 @@
 // vtp::server facade in api/session.hpp instead of these classes.
 //
 // Data flow, sender side:
-//   pacing timer (rate from TFRC) -> stream::stream_mux picks the stream
+//   pacing timer (rate from the cc algorithm) -> stream::stream_mux picks the stream
 //   for this slot (weighted round-robin, deadline promotion) and cuts its
 //   payload = that stream's retransmission-queue front (policy-filtered)
 //   or new stream bytes -> data / data_stream segment with a fresh
@@ -29,6 +31,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "cc/ack_tracker.hpp"
+#include "cc/send_algorithm.hpp"
 #include "core/environment.hpp"
 #include "core/events.hpp"
 #include "core/negotiation.hpp"
@@ -173,7 +177,11 @@ public:
 
     bool established() const { return handshake_.established(); }
     const profile& active_profile() const { return active_; }
-    const tfrc::rate_controller& rate() const { return rate_; }
+    /// The active congestion controller (selected at handshake, swapped
+    /// by renegotiation).
+    const cc::send_algorithm& cc() const { return *cc_; }
+    /// Mid-flow congestion-controller swaps applied so far.
+    std::uint32_t cc_swaps() const { return cc_swaps_; }
     /// Stream 0's scoreboard (legacy single-stream accessor).
     const sack::scoreboard& reliability() const { return mux_.stream0().reliability(); }
     /// Stream 0's retransmission queue (legacy single-stream accessor).
@@ -223,6 +231,9 @@ private:
     /// was dropped — edge-triggered emitters must then re-arm their edge.
     bool emit(const event& ev);
     void maybe_emit_writable();
+    /// Build the cc::algorithm_config for the current connection config
+    /// with gTFRC floor `floor_bps`.
+    cc::algorithm_config cc_config(double floor_bps) const;
 
     connection_config cfg_;
     environment* env_ = nullptr;
@@ -231,7 +242,13 @@ private:
     reneg_responder reneg_resp_;
     profile active_{};
 
-    tfrc::rate_controller rate_;
+    /// The pluggable congestion controller (cc/send_algorithm.hpp); the
+    /// pacing loop reads only this interface. TFRC's adapter is
+    /// byte-identical to the rate_controller it wraps.
+    std::unique_ptr<cc::send_algorithm> cc_;
+    /// Flight/ack bookkeeping feeding acked/lost vectors to cc_. Passive
+    /// (no timers), so it is invisible to the deterministic scheduler.
+    cc::ack_tracker tracker_;
     tfrc::sender_estimator estimator_;
     /// All per-stream sender state: byte spaces, scoreboards,
     /// retransmission queues, framing, and the slot scheduler.
@@ -261,6 +278,7 @@ private:
     std::uint64_t probes_sent_ = 0;
     std::uint32_t renegotiations_ = 0;
     std::uint64_t last_reneg_boundary_ = 0;
+    std::uint32_t cc_swaps_ = 0;
 };
 
 class connection_receiver : public qtp::agent {

@@ -11,6 +11,7 @@ std::uint32_t profile::encode() const {
     if (estimation == tfrc::estimation_mode::sender_side)
         bits |= packet::profile_estimation_bit;
     if (qos_aware) bits |= packet::profile_qos_bit;
+    bits |= (static_cast<std::uint32_t>(congestion) & 0x3u) << packet::profile_cc_shift;
     return bits;
 }
 
@@ -24,6 +25,9 @@ profile profile::decode(std::uint32_t bits, double target_rate_bps) {
                        : tfrc::estimation_mode::receiver_side;
     p.qos_aware = (bits & packet::profile_qos_bit) != 0;
     p.target_rate_bps = p.qos_aware ? std::max(0.0, target_rate_bps) : 0.0;
+    const std::uint32_t ccv = (bits & packet::profile_cc_mask) >> packet::profile_cc_shift;
+    p.congestion = ccv >= cc::algorithm_id_count ? cc::algorithm_id::tfrc
+                                                 : static_cast<cc::algorithm_id>(ccv);
     return p;
 }
 
@@ -45,6 +49,7 @@ std::string profile::describe() const {
         << (estimation == tfrc::estimation_mode::sender_side ? "sender" : "receiver");
     out << " qos=" << (qos_aware ? "on" : "off");
     if (qos_aware) out << " target=" << target_rate_bps / 1e6 << "Mbps";
+    out << " cc=" << cc::to_string(congestion);
     return out.str();
 }
 
@@ -88,6 +93,11 @@ profile negotiate(const profile& proposed, const capabilities& local) {
     if (accepted.estimation == tfrc::estimation_mode::sender_side &&
         !local.support_sender_estimation) {
         accepted.estimation = tfrc::estimation_mode::receiver_side;
+    }
+
+    if ((accepted.congestion == cc::algorithm_id::newreno && !local.allow_cc_newreno) ||
+        (accepted.congestion == cc::algorithm_id::westwood && !local.allow_cc_westwood)) {
+        accepted.congestion = cc::algorithm_id::tfrc;
     }
 
     if (accepted.qos_aware && !local.qos_aware) {

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "cc/algorithm_id.hpp"
 #include "packet/segment.hpp"
 #include "sack/retransmit.hpp"
 #include "tfrc/sender.hpp"
@@ -26,6 +27,11 @@ struct profile {
     tfrc::estimation_mode estimation = tfrc::estimation_mode::receiver_side;
     bool qos_aware = false;
     double target_rate_bps = 0.0; ///< negotiated AF committed rate (gTFRC g)
+    /// Congestion-control algorithm (fourth profile axis): which
+    /// send-algorithm the sender paces with (src/cc/). Negotiated like
+    /// every other feature; a reneg swap preserves congestion state via
+    /// export/import (see cc/send_algorithm.hpp).
+    cc::algorithm_id congestion = cc::algorithm_id::tfrc;
 
     bool operator==(const profile&) const = default;
 
@@ -64,6 +70,11 @@ struct capabilities {
     bool support_sender_estimation = true;
     bool qos_aware = true;
     double max_target_rate_bps = 1e12;
+    /// Congestion controllers this endpoint can run; a proposal for an
+    /// unsupported algorithm downgrades to TFRC (always available — it is
+    /// the protocol's native controller).
+    bool allow_cc_newreno = true;
+    bool allow_cc_westwood = true;
 };
 
 /// Responder-side negotiation: the accepted profile is the proposal,

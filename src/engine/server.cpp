@@ -41,6 +41,20 @@ server::server(engine_config cfg) : cfg_(cfg) {
 
 bool server::shard_sink::on_session_event(std::uint32_t flow, const qtp::event& ev,
                                           std::vector<std::uint8_t>& payload) {
+    // Swap accounting happens even when the export ring is full: the
+    // transport applied the swap whether or not the application saw the
+    // profile_changed event.
+    if (ev.type == qtp::event_type::established) {
+        last_cc[flow] = ev.prof.congestion;
+    } else if (ev.type == qtp::event_type::profile_changed) {
+        auto [it, fresh] = last_cc.try_emplace(flow, ev.prof.congestion);
+        if (!fresh && it->second != ev.prof.congestion) {
+            it->second = ev.prof.congestion;
+            owner->cc_swaps_.fetch_add(1, std::memory_order_relaxed);
+        }
+    } else if (ev.type == qtp::event_type::closed) {
+        last_cc.erase(flow);
+    }
     engine_event e;
     e.shard = index;
     e.flow = flow;
@@ -252,6 +266,7 @@ engine_stats server::stats() const {
         agg.events_dropped += st.events_dropped;
     }
     agg.commands_dropped = commands_dropped_.load(std::memory_order_relaxed);
+    agg.cc_swaps_applied = cc_swaps_.load(std::memory_order_relaxed);
     return agg;
 }
 

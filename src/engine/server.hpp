@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "api/server.hpp"
@@ -95,6 +96,10 @@ struct engine_stats {
     /// rejected by a full mailbox (or targeting unknown flows).
     std::uint64_t events_dropped = 0;
     std::uint64_t commands_dropped = 0;
+    /// Mid-flow congestion-control swaps applied across all hosted
+    /// sessions (profile_changed events whose cc id differs from the
+    /// flow's previous one).
+    std::uint64_t cc_swaps_applied = 0;
 };
 
 /// One event of an engine-hosted session, as merged by poll_events().
@@ -183,6 +188,10 @@ private:
     struct shard_sink final : qtp::event_sink {
         server* owner = nullptr;
         std::size_t index = 0;
+        /// Last cc algorithm seen per flow — written only on this shard's
+        /// thread (the sink is called from the agent), read nowhere else,
+        /// so no lock. Swap detection feeds the server-wide atomic.
+        std::unordered_map<std::uint32_t, cc::algorithm_id> last_cc;
         bool on_session_event(std::uint32_t flow, const qtp::event& ev,
                               std::vector<std::uint8_t>& payload) override;
     };
@@ -200,6 +209,7 @@ private:
     std::function<void(std::size_t, vtp::session&)> on_session_;
     std::atomic<std::uint32_t> next_flow_{0x50000000}; ///< outgoing-session ids
     std::atomic<std::uint64_t> commands_dropped_{0};
+    std::atomic<std::uint64_t> cc_swaps_{0}; ///< see engine_stats::cc_swaps_applied
     std::size_t poll_cursor_ = 0; ///< round-robin fairness across shards
     bool started_ = false;
     bool stopped_ = false;

@@ -136,11 +136,17 @@ struct sack_feedback_segment {
 inline constexpr std::uint32_t profile_reliability_mask = 0x3; ///< bits 0-1 (value 3 invalid)
 inline constexpr std::uint32_t profile_estimation_bit = 1u << 2; ///< 0 = receiver, 1 = sender
 inline constexpr std::uint32_t profile_qos_bit = 1u << 3;
-inline constexpr std::uint32_t profile_bits_mask = 0xF;
+/// Congestion-control algorithm, bits 4-5 (0 = tfrc, 1 = newreno,
+/// 2 = westwood, value 3 unassigned/invalid). Zero means TFRC so every
+/// pre-cc encoding decodes — and re-encodes — unchanged.
+inline constexpr std::uint32_t profile_cc_shift = 4;
+inline constexpr std::uint32_t profile_cc_mask = 0x3u << profile_cc_shift;
+inline constexpr std::uint32_t profile_bits_mask = 0x3F;
 
 constexpr bool valid_profile_bits(std::uint32_t bits) {
     return (bits & ~profile_bits_mask) == 0 &&
-           (bits & profile_reliability_mask) != profile_reliability_mask;
+           (bits & profile_reliability_mask) != profile_reliability_mask &&
+           (bits & profile_cc_mask) != profile_cc_mask;
 }
 
 /// Connection management segments; carry the proposed/accepted profile in

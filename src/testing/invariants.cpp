@@ -145,6 +145,9 @@ void check_tfrc_equation_bound(const scenario_spec& spec, scenario_result& resul
     const std::string inv = "tfrc-equation-bound";
     for (const auto& f : result.flows) {
         const auto& st = f.client_stats;
+        // Window-based senders (NewReno/Westwood) are not bound by the
+        // TFRC equation; the check only judges equation-controlled flows.
+        if (st.cc_algorithm != cc::algorithm_id::tfrc) continue;
         const double p = st.loss_event_rate;
         const double rtt_s = util::to_seconds(st.rtt);
         if (p <= 0 || rtt_s <= 0 || st.allowed_rate_bps <= 0) continue;

@@ -247,6 +247,7 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
     for (std::size_t i = 0; i < n; ++i) {
         const flow_spec& flow = spec.flows[i];
         session_options sopts = flow.options;
+        if (opts.cc_override) sopts.profile.congestion = *opts.cc_override;
         sopts.flow_id = static_cast<std::uint32_t>(i + 1);
         result.flows[i].flow_id = sopts.flow_id;
         result.flows[i].packet_size = sopts.packet_size;
@@ -270,7 +271,10 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
                 clients[i].send(sid, extra.bytes);
             }
         }
-        for (const auto& reneg : flow.renegs) {
+        for (reneg_spec reneg : flow.renegs) {
+            // A forced-algorithm run must stay on that algorithm across
+            // renegotiations, or the override would silently revert.
+            if (opts.cc_override) reneg.profile.congestion = *opts.cc_override;
             net.sched().at(reneg.at, [&, i, reneg] {
                 if (reneg.from_receiver) {
                     if (accepted[i] != nullptr) accepted[i]->renegotiate(reneg.profile);

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "cc/algorithm_id.hpp"
 #include "testing/invariants.hpp"
 #include "testing/scenario.hpp"
 
@@ -30,6 +32,12 @@ struct scenario_run_options {
     /// delivery time — so the trace hash of a poll run must equal the
     /// callback run's for the same (spec, seed).
     bool poll_api = false;
+    /// Force every flow (and every scheduled renegotiation profile) onto
+    /// this congestion-control algorithm. nullopt runs the spec as
+    /// written — the default TFRC path whose trace hashes are the frozen
+    /// regression oracle. Overridden runs are judged by the same
+    /// invariants but carry their own (non-frozen) hashes.
+    std::optional<cc::algorithm_id> cc_override;
 };
 
 /// Run `spec` with `seed` (0 = the spec's own seed). `collect_trace`

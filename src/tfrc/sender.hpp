@@ -62,6 +62,21 @@ public:
     void set_guaranteed_rate(double bps) { cfg_.guaranteed_rate_bps = bps; }
     double guaranteed_rate() const { return cfg_.guaranteed_rate_bps; }
 
+    /// Adopt another congestion controller's operating point (mid-flow cc
+    /// swap): start at its measured rate/RTT/loss instead of one packet
+    /// per second. Feedback-driven evolution proceeds normally from here.
+    void seed(double x_bytes_per_s, util::sim_time rtt, double p) {
+        if (x_bytes_per_s > 0.0) x_ = x_bytes_per_s;
+        if (rtt > 0) {
+            rtt_ = rtt;
+            has_rtt_ = true;
+        }
+        if (p > 0.0) p_ = p;
+    }
+
+    /// Last receiver-reported receive rate (bytes/s).
+    double x_recv() const { return last_x_recv_; }
+
     /// Equation-tracking rate without the gTFRC floor (ablation A1).
     double x_tfrc() const { return x_; }
 

@@ -1,0 +1,81 @@
+// Frozen trace-hash oracle for the TFRC wire behaviour.
+//
+// The pluggable-cc refactor re-homed TFRC behind the send_algorithm
+// interface with the explicit contract that its wire behaviour stays
+// byte-identical. These hashes were captured from the pre-refactor tree
+// (each scenario's canonical seed) and cover every delivery event, the
+// endgame counters AND the scheduler's executed-event count — a single
+// extra timer, one reordered send, or a one-byte pacing difference
+// changes them. Any legitimate protocol change must re-freeze them in
+// the same commit, with a line in CHANGES.md saying why.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "testing/scenario.hpp"
+#include "testing/scenario_runner.hpp"
+
+namespace {
+
+struct frozen_run {
+    const char* name;
+    std::uint64_t events;     ///< scheduler events executed
+    std::uint64_t trace_hash; ///< FNV-1a over deliveries + endgame counters
+};
+
+// Captured at the growth seed (seed=1 for every scenario) and reproduced
+// bit-for-bit by the post-refactor tree.
+constexpr frozen_run frozen[] = {
+    {"wired_baseline_reliable", 29774, 0x336246b048e275e0ULL},
+    {"wireless_burst_loss", 24030, 0x6e77cbbfc27b73baULL},
+    {"burst_loss_partial_media", 15599, 0x082965148ab2d382ULL},
+    {"reorder_heavy_path", 25138, 0xd8417fe467c682e1ULL},
+    {"reorder_streaming_none", 15214, 0xdb694daf66288303ULL},
+    {"duplicate_path", 23368, 0x193117e809377b96ULL},
+    {"corruption_at_decoder", 27738, 0x5f13abfb1b5e1e03ULL},
+    {"ack_path_loss", 22216, 0x2fe1c7d2f74d1e71ULL},
+    {"loss_episode_window", 23966, 0x7fab5e301e1992e7ULL},
+    {"handover_rate_cliff", 44846, 0x8a5f0f9348533c9fULL},
+    {"handover_during_renegotiation", 90075, 0xdaf8315b61ff1478ULL},
+    {"mux_bulk_deadline_oscillation", 50317, 0xae233ecebd3c0fb1ULL},
+    {"diffserv_af_congestion", 59055, 0x60403d27048db3a3ULL},
+    {"kitchen_sink_adversarial", 16720, 0x6eb66dab3910c39cULL},
+};
+
+TEST(cc_trace_regression_test, tfrc_scenarios_reproduce_frozen_hashes) {
+    // Every matrix entry must be frozen: a new scenario without a frozen
+    // hash silently escapes the oracle.
+    EXPECT_EQ(vtp::testing::scenario_matrix().size(), std::size(frozen));
+
+    for (const frozen_run& f : frozen) {
+        const auto* spec = vtp::testing::find_scenario(f.name);
+        ASSERT_NE(spec, nullptr) << f.name;
+
+        vtp::testing::scenario_run_options opts;
+        opts.collect_trace = false; // counters + hash only: fastest path
+        const auto result = vtp::testing::run_scenario(*spec, opts);
+
+        EXPECT_TRUE(result.passed) << f.name;
+        EXPECT_EQ(result.events, f.events) << f.name << ": scheduler event count drifted";
+        EXPECT_EQ(result.trace_hash, f.trace_hash)
+            << f.name << ": trace hash drifted — the TFRC wire behaviour changed";
+    }
+}
+
+TEST(cc_trace_regression_test, forced_tfrc_override_is_identity) {
+    // `--cc tfrc` must be a no-op on an all-TFRC spec: the override path
+    // (profile rewrite at flow setup + reneg schedule) may not perturb
+    // the run. One representative scenario with renegotiations keeps
+    // this cheap.
+    const auto* spec = vtp::testing::find_scenario("handover_during_renegotiation");
+    ASSERT_NE(spec, nullptr);
+
+    vtp::testing::scenario_run_options opts;
+    opts.collect_trace = false;
+    opts.cc_override = vtp::cc::algorithm_id::tfrc;
+    const auto result = vtp::testing::run_scenario(*spec, opts);
+    EXPECT_EQ(result.events, 90075u);
+    EXPECT_EQ(result.trace_hash, 0xdaf8315b61ff1478ULL);
+}
+
+} // namespace

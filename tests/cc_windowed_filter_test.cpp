@@ -1,0 +1,137 @@
+// Unit suite for the sliding-window extremum filter (cc/windowed_filter).
+//
+// The filter claims to be *exact* — unlike the 3-estimate approximation —
+// so the randomized suites check it sample-for-sample against a brute-
+// force reference over the in-window set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "cc/windowed_filter.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+using namespace vtp;
+using cc::windowed_max_filter;
+using cc::windowed_min_filter;
+using util::sim_time;
+
+TEST(cc_windowed_filter_test, tracks_running_max_and_expires) {
+    windowed_max_filter<double, sim_time> f(util::seconds(10));
+
+    f.update(100.0, util::seconds(0));
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(0)), 100.0);
+
+    // Smaller samples never displace the max while it is in window.
+    f.update(50.0, util::seconds(2));
+    f.update(80.0, util::seconds(4));
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(4)), 100.0);
+
+    // A sample exactly `window` old is still valid...
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(10)), 100.0);
+    // ...one tick past, it expires and the best in-window survivor wins.
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(10) + 1), 80.0);
+
+    // Everything expires -> fallback.
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(60), -1.0), -1.0);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(cc_windowed_filter_test, new_dominator_evicts_older_samples) {
+    windowed_max_filter<double, sim_time> f(util::seconds(10));
+    f.update(10.0, util::seconds(0));
+    f.update(20.0, util::seconds(1));
+    f.update(30.0, util::seconds(2)); // dominates both predecessors
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(2)), 30.0);
+    // The dominator carries the newest timestamp: it outlives the window
+    // positions of the samples it evicted.
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(12)), 30.0);
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(12) + 1, 0.0), 0.0);
+}
+
+TEST(cc_windowed_filter_test, min_filter_mirrors_max) {
+    windowed_min_filter<sim_time, sim_time> f(util::seconds(5));
+    f.update(util::milliseconds(40), util::seconds(0));
+    f.update(util::milliseconds(60), util::seconds(1));
+    EXPECT_EQ(f.best(util::seconds(1)), util::milliseconds(40));
+    f.update(util::milliseconds(20), util::seconds(2));
+    EXPECT_EQ(f.best(util::seconds(2)), util::milliseconds(20));
+    // The 40 ms sample was evicted by the 20 ms dominator; after the
+    // dominator expires only the 60 ms survivor could remain — but it
+    // was evicted too, so the filter goes empty.
+    EXPECT_EQ(f.best(util::seconds(8), util::milliseconds(999)), util::milliseconds(999));
+}
+
+TEST(cc_windowed_filter_test, peek_is_const_and_does_not_expire) {
+    windowed_max_filter<double, sim_time> f(util::seconds(1));
+    f.update(7.0, util::seconds(0));
+    // peek() reports the front without advancing time, even when that
+    // sample would be stale under a later `now`.
+    EXPECT_DOUBLE_EQ(f.peek(), 7.0);
+    EXPECT_DOUBLE_EQ(f.best(util::seconds(5), 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(f.peek(3.0), 3.0);
+}
+
+/// Brute-force reference: the extremum over every sample still in window.
+template <typename Cmp>
+double reference_best(const std::vector<std::pair<sim_time, double>>& samples,
+                      sim_time now, sim_time window, double fallback) {
+    double best = fallback;
+    bool any = false;
+    for (const auto& [at, v] : samples) {
+        if (at + window < now) continue;
+        if (!any || Cmp()(v, best)) best = v;
+        any = true;
+    }
+    return best;
+}
+
+TEST(cc_windowed_filter_test, randomized_max_matches_reference) {
+    util::rng rng(20260808);
+    for (int trial = 0; trial < 20; ++trial) {
+        const sim_time window = util::milliseconds(1 + rng.next_u64() % 5000);
+        windowed_max_filter<double, sim_time> f(window);
+        std::vector<std::pair<sim_time, double>> samples;
+        sim_time now = 0;
+        for (int step = 0; step < 400; ++step) {
+            now += static_cast<sim_time>(rng.next_u64() % util::milliseconds(200));
+            const double v = static_cast<double>(rng.next_u64() % 1000);
+            f.update(v, now);
+            samples.emplace_back(now, v);
+            ASSERT_DOUBLE_EQ(f.best(now, -1.0),
+                             reference_best<std::greater<double>>(samples, now, window, -1.0))
+                << "trial " << trial << " step " << step;
+        }
+        // Query-only advance (no new samples): expiry alone must agree too.
+        for (int q = 0; q < 10; ++q) {
+            now += static_cast<sim_time>(rng.next_u64() % util::seconds(2));
+            ASSERT_DOUBLE_EQ(f.best(now, -1.0),
+                             reference_best<std::greater<double>>(samples, now, window, -1.0));
+        }
+    }
+}
+
+TEST(cc_windowed_filter_test, randomized_min_matches_reference) {
+    util::rng rng(424242);
+    for (int trial = 0; trial < 20; ++trial) {
+        const sim_time window = util::milliseconds(1 + rng.next_u64() % 3000);
+        windowed_min_filter<double, sim_time> f(window);
+        std::vector<std::pair<sim_time, double>> samples;
+        sim_time now = 0;
+        for (int step = 0; step < 400; ++step) {
+            now += static_cast<sim_time>(rng.next_u64() % util::milliseconds(150));
+            const double v = static_cast<double>(rng.next_u64() % 1000);
+            f.update(v, now);
+            samples.emplace_back(now, v);
+            ASSERT_DOUBLE_EQ(f.best(now, -1.0),
+                             reference_best<std::less<double>>(samples, now, window, -1.0))
+                << "trial " << trial << " step " << step;
+        }
+    }
+}
+
+} // namespace

@@ -20,16 +20,20 @@ TEST(profile_property_test, full_lattice_roundtrips) {
                                            sack::reliability_mode::partial};
     const tfrc::estimation_mode ests[] = {tfrc::estimation_mode::receiver_side,
                                           tfrc::estimation_mode::sender_side};
+    const cc::algorithm_id ccs[] = {cc::algorithm_id::tfrc, cc::algorithm_id::newreno,
+                                    cc::algorithm_id::westwood};
     const double rates[] = {0.0, 1.0, 4e6, 9.99e9};
 
     int points = 0;
     for (auto rel : rels)
         for (auto est : ests)
+          for (auto ccalg : ccs)
             for (bool qos : {false, true})
                 for (double rate : rates) {
                     profile p;
                     p.reliability = rel;
                     p.estimation = est;
+                    p.congestion = ccalg;
                     p.qos_aware = qos;
                     p.target_rate_bps = qos ? rate : 0.0;
 
@@ -48,11 +52,11 @@ TEST(profile_property_test, full_lattice_roundtrips) {
                     EXPECT_EQ(lenient.encode(), bits);
                     ++points;
                 }
-    EXPECT_EQ(points, 3 * 2 * 2 * 4);
+    EXPECT_EQ(points, 3 * 2 * 3 * 2 * 4);
 }
 
 TEST(profile_property_test, every_invalid_bit_pattern_is_rejected) {
-    // Exhaustive over the low byte (the lattice lives in 4 bits), then
+    // Exhaustive over the low byte (the lattice lives in 6 bits), then
     // random over the full 32-bit space.
     for (std::uint32_t bits = 0; bits < 256; ++bits) {
         const bool valid = packet::valid_profile_bits(bits);
@@ -92,7 +96,9 @@ TEST(profile_property_test, wire_rejects_malformed_bits_in_every_handshake_kind)
         // big-endian u32) to each malformed pattern.
         bytes[5] = 0x3; // reliability = 3
         EXPECT_THROW((void)packet::decode_segment(bytes), util::decode_error);
-        bytes[5] = 0x10; // bit above the lattice
+        bytes[5] = 0x30; // cc algorithm = 3 (unassigned)
+        EXPECT_THROW((void)packet::decode_segment(bytes), util::decode_error);
+        bytes[5] = 0x40; // bit above the lattice
         EXPECT_THROW((void)packet::decode_segment(bytes), util::decode_error);
         bytes[2] = 0x01; // far-out-of-range high bit
         bytes[5] = 0x00;

@@ -31,6 +31,7 @@
 
 #include "api/session.hpp"
 #include "bench_json.hpp"
+#include "cc/algorithm_id.hpp"
 #include "engine/server.hpp"
 #include "net/udp_host.hpp"
 #include "util/pattern.hpp"
@@ -50,6 +51,7 @@ struct options {
     int timeout_s = 60;
     double min_pps = 0.0; ///< 0 = report only, no gate
     bool payload = false; ///< real pattern bytes, verified at the server
+    vtp::cc::algorithm_id cc = vtp::cc::algorithm_id::tfrc; ///< client cc algorithm
     std::string json;
 };
 
@@ -86,6 +88,14 @@ bool parse(int argc, char** argv, options& o) {
             o.min_pps = std::atof(next());
         } else if (a == "--payload") {
             o.payload = true;
+        } else if (a == "--cc") {
+            const auto alg = vtp::cc::algorithm_from_string(next());
+            if (!alg) {
+                std::fprintf(stderr, "vtpload: unknown --cc (tfrc|newreno|westwood)\n");
+                missing_value = true;
+            } else {
+                o.cc = *alg;
+            }
         } else if (a == "--json") {
             o.json = next();
         } else {
@@ -96,7 +106,8 @@ bool parse(int argc, char** argv, options& o) {
         std::fprintf(stderr,
                      "usage: vtpload [--port P] [--shards N] [--clients K] "
                      "[--streams M] [--bytes B] [--packet-size S] "
-                     "[--timeout SEC] [--min-pps FLOOR] [--payload] [--json PATH]\n");
+                     "[--timeout SEC] [--min-pps FLOOR] [--payload] "
+                     "[--cc tfrc|newreno|westwood] [--json PATH]\n");
         return false;
     }
     return true;
@@ -161,6 +172,7 @@ int main(int argc, char** argv) {
         session_options so = session_options::reliable();
         so.flow_id = static_cast<std::uint32_t>(i);
         so.packet_size = opt.packet_size;
+        so.profile.congestion = opt.cc;
         vtp::session s = vtp::session::connect(host, opt.port, so);
         auto queue_stream = [&](std::uint32_t sid) {
             if (!opt.payload) {
@@ -227,6 +239,21 @@ int main(int argc, char** argv) {
     drain_events();
     const double elapsed_s = util::to_seconds(loop.now() - t0);
 
+    // Client-side congestion-control accounting (the loop is stopped, so
+    // session stats are safe to read from this thread).
+    std::uint64_t cc_swaps = 0;
+    double bw_est_sum = 0.0;
+    std::size_t bw_est_n = 0;
+    for (const auto& s : sessions) {
+        const session_stats ss = s.stats();
+        cc_swaps += ss.cc_swaps_applied;
+        if (ss.bandwidth_estimate_bps > 0.0) {
+            bw_est_sum += ss.bandwidth_estimate_bps;
+            ++bw_est_n;
+        }
+    }
+    const double bw_est_mean_bps = bw_est_n > 0 ? bw_est_sum / static_cast<double>(bw_est_n) : 0.0;
+
     const engine::engine_stats st = srv.stats();
     const std::uint64_t total_bytes = delivered;
     const double goodput_mbps = static_cast<double>(total_bytes) * 8.0 / elapsed_s / 1e6;
@@ -256,6 +283,11 @@ int main(int argc, char** argv) {
                           static_cast<double>(st.rx_batches)
                     : 0.0);
     std::printf("session latency      p50 %.1f ms  p99 %.1f ms\n", p50, p99);
+    std::printf("congestion control   %s  swaps=%llu (engine saw %llu)  "
+                "bw_est mean %.2f Mb/s\n",
+                vtp::cc::to_string(opt.cc), static_cast<unsigned long long>(cc_swaps),
+                static_cast<unsigned long long>(st.cc_swaps_applied),
+                bw_est_mean_bps / 1e6);
     std::printf("accepted %llu  handoff %llu (dropped %llu)  decode errors %llu  "
                 "pool exhausted %llu  events dropped %llu\n",
                 static_cast<unsigned long long>(st.accepted),
@@ -303,6 +335,10 @@ int main(int argc, char** argv) {
         rep.add("decode_errors", st.decode_errors);
         rep.add("handoff_dropped", st.handoff_dropped);
         rep.add("events_dropped", st.events_dropped);
+        rep.add_string("cc_algorithm", vtp::cc::to_string(opt.cc));
+        rep.add("cc_swaps_applied", cc_swaps);
+        rep.add("engine_cc_swaps_applied", st.cc_swaps_applied);
+        rep.add("bandwidth_estimate_mean_bps", bw_est_mean_bps);
         rep.add("payload_mode", opt.payload);
         rep.add("payload_bytes_verified", payload_bytes - payload_mismatch);
         rep.add("payload_mismatch_bytes", payload_mismatch);

@@ -10,6 +10,14 @@
 //   vtpscenario --run wireless_burst_loss --seed 7
 //   vtpscenario --all --trace-dir scenario-traces
 //   vtpscenario --matrix reduced            # the ASan/UBSan CI subset
+//   vtpscenario --run wireless_burst_loss --cc westwood
+//   vtpscenario --matrix reduced --cc all   # per-algorithm dimension
+//
+// --cc forces every flow (and every scheduled renegotiation) onto one
+// congestion-control algorithm; `--cc all` expands the selection into a
+// per-algorithm matrix (tfrc, newreno, westwood). The default — no
+// --cc — runs each spec as written, which is the frozen trace-hash
+// oracle path.
 //
 // Exit code: 0 when every selected scenario passed, 1 on any invariant
 // violation (the violations and the trace path are printed), 2 on usage
@@ -21,6 +29,9 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
+#include "cc/algorithm_id.hpp"
 #include "testing/scenario.hpp"
 #include "testing/scenario_runner.hpp"
 #include "util/time.hpp"
@@ -34,6 +45,7 @@ struct options {
     std::string matrix; // "full" | "reduced"
     std::uint64_t seed = 0; // 0 = each scenario's own fixed seed
     std::string trace_dir = "scenario-traces";
+    std::string cc; // "" = spec default | algorithm name | "all"
     bool quiet = false;
     bool verbose = false;
 };
@@ -41,7 +53,8 @@ struct options {
 void usage() {
     std::fprintf(stderr,
                  "usage: vtpscenario [--list] [--run <name>] [--all] [--matrix full|reduced]\n"
-                 "                   [--seed <n>] [--trace-dir <dir>] [--quiet]\n");
+                 "                   [--seed <n>] [--trace-dir <dir>] [--quiet]\n"
+                 "                   [--cc tfrc|newreno|westwood|all]\n");
 }
 
 bool parse(int argc, char** argv, options& opt) {
@@ -60,6 +73,7 @@ bool parse(int argc, char** argv, options& opt) {
         else if (arg == "--matrix" && (v = need_value(i))) opt.matrix = v;
         else if (arg == "--seed" && (v = need_value(i))) opt.seed = std::strtoull(v, nullptr, 10);
         else if (arg == "--trace-dir" && (v = need_value(i))) opt.trace_dir = v;
+        else if (arg == "--cc" && (v = need_value(i))) opt.cc = v;
         else {
             std::fprintf(stderr, "unknown or incomplete option: %s\n", arg.c_str());
             return false;
@@ -97,9 +111,14 @@ void dump_flows(const vtp::testing::scenario_result& result) {
     }
 }
 
-int run_one(const vtp::testing::scenario_spec& spec, const options& opt) {
-    const auto result = vtp::testing::run_scenario(spec, opt.seed);
-    std::printf("%s\n", vtp::testing::summarize(result).c_str());
+int run_one(const vtp::testing::scenario_spec& spec, const options& opt,
+            std::optional<vtp::cc::algorithm_id> cc) {
+    vtp::testing::scenario_run_options ropts;
+    ropts.seed = opt.seed;
+    ropts.cc_override = cc;
+    const auto result = vtp::testing::run_scenario(spec, ropts);
+    const std::string cc_tag = cc ? std::string("[cc=") + vtp::cc::to_string(*cc) + "] " : "";
+    std::printf("%s%s\n", cc_tag.c_str(), vtp::testing::summarize(result).c_str());
     if (result.passed && !opt.verbose) return 0;
     for (const auto& v : result.violations)
         std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
@@ -107,13 +126,16 @@ int run_one(const vtp::testing::scenario_spec& spec, const options& opt) {
     if (result.passed) return 0;
     std::error_code ec;
     std::filesystem::create_directories(opt.trace_dir, ec);
-    const std::string path =
-        opt.trace_dir + "/" + result.name + "-seed" + std::to_string(result.seed) + ".csv";
+    const std::string alg_suffix = cc ? std::string("-") + vtp::cc::to_string(*cc) : "";
+    const std::string path = opt.trace_dir + "/" + result.name + alg_suffix + "-seed" +
+                             std::to_string(result.seed) + ".csv";
     if (vtp::testing::write_trace_csv(result, path)) {
         std::printf("  trace dump: %s (%zu deliveries)\n", path.c_str(),
                     result.trace.size());
-        std::printf("  reproduce:  vtpscenario --run %s --seed %llu\n", result.name.c_str(),
-                    static_cast<unsigned long long>(result.seed));
+        std::printf("  reproduce:  vtpscenario --run %s --seed %llu%s%s\n",
+                    result.name.c_str(),
+                    static_cast<unsigned long long>(result.seed),
+                    cc ? " --cc " : "", cc ? vtp::cc::to_string(*cc) : "");
     } else {
         std::printf("  (could not write trace dump under %s — does the directory exist?)\n",
                     opt.trace_dir.c_str());
@@ -149,16 +171,33 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    std::vector<std::optional<vtp::cc::algorithm_id>> algs;
+    if (opt.cc.empty()) {
+        algs.push_back(std::nullopt);
+    } else if (opt.cc == "all") {
+        algs = {vtp::cc::algorithm_id::tfrc, vtp::cc::algorithm_id::newreno,
+                vtp::cc::algorithm_id::westwood};
+    } else if (const auto alg = vtp::cc::algorithm_from_string(opt.cc)) {
+        algs.push_back(*alg);
+    } else {
+        std::fprintf(stderr, "unknown cc algorithm: %s (tfrc|newreno|westwood|all)\n",
+                     opt.cc.c_str());
+        return 2;
+    }
+
     int failures = 0;
+    std::size_t runs = 0;
     for (const auto& name : names) {
         const auto* spec = vtp::testing::find_scenario(name);
         if (spec == nullptr) {
             std::fprintf(stderr, "unknown scenario: %s (try --list)\n", name.c_str());
             return 2;
         }
-        failures += run_one(*spec, opt);
+        for (const auto& alg : algs) {
+            failures += run_one(*spec, opt, alg);
+            ++runs;
+        }
     }
-    if (names.size() > 1)
-        std::printf("%zu scenarios, %d failed\n", names.size(), failures);
+    if (runs > 1) std::printf("%zu runs, %d failed\n", runs, failures);
     return failures == 0 ? 0 : 1;
 }
