@@ -181,7 +181,7 @@ int main(int argc, char** argv) {
 
     const std::string json = bench::json_path_arg(argc, argv);
     if (!json.empty()) {
-        bench::json_report rep;
+        bench::json_report rep("bench_e11_mux_fairness");
         rep.add("sim_fairness_max_err", sim_max_err);
         rep.add("udp_fairness_max_err", udp_max_err);
         rep.add("overhead_us_per_packet_1stream", one);

@@ -366,7 +366,7 @@ int main(int argc, char** argv) {
 
     const std::string json = bench::json_path_arg(argc, argv);
     if (!json.empty()) {
-        bench::json_report rep;
+        bench::json_report rep("bench_e12_engine_throughput");
         rep.add("seed_pps", seed);
         rep.add("legacy_pps", legacy);
         rep.add("engine_pps", batched);

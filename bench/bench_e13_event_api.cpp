@@ -177,7 +177,7 @@ int main(int argc, char** argv) {
     }
 
     if (!json.empty()) {
-        bench::json_report rep;
+        bench::json_report rep("bench_e13_event_api");
         rep.add("transfer_bytes", transfer_bytes);
         rep.add("callback_wall_s", cb.wall_s);
         rep.add("poll_wall_s", polled.wall_s);

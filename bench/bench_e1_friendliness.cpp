@@ -200,7 +200,7 @@ int main(int argc, char** argv) {
 
     const std::string json = bench::json_path_arg(argc, argv);
     if (!json.empty()) {
-        bench::json_report rep;
+        bench::json_report rep("bench_e1_friendliness");
         for (std::size_t a = 0; a < 3; ++a) {
             const std::string key = cc::to_string(algs[a]);
             rep.add(key + "_mean_mbps", by_alg[a].tfrc_mean_mbps);

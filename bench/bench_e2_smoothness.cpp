@@ -32,12 +32,12 @@ using namespace vtp::bench;
 using util::milliseconds;
 using util::seconds;
 
-struct trace {
+struct rate_trace {
     util::sample_series steady_samples; ///< per-500ms bytes after warmup
     std::vector<double> series_mbps;    ///< 2 s buckets for the figure
 };
 
-trace run(bool measured_is_tfrc) {
+rate_trace run(bool measured_is_tfrc) {
     sim::dumbbell_config cfg;
     cfg.pairs = 5;
     cfg.access_rate_bps = 100e6;
@@ -65,7 +65,7 @@ trace run(bool measured_is_tfrc) {
     for (std::size_t i = 1; i < 5; ++i) // background load
         add_tcp_flow(net, i, static_cast<std::uint32_t>(10 + i));
 
-    trace tr;
+    rate_trace tr;
     const util::sim_time warmup = seconds(10);
     const util::sim_time duration = seconds(70);
     std::uint64_t last = 0;
@@ -93,7 +93,7 @@ trace run(bool measured_is_tfrc) {
 
 /// Same contest, measured flow driven through vtp::session with `alg`
 /// negotiated at the handshake.
-trace run_cc(cc::algorithm_id alg) {
+rate_trace run_cc(cc::algorithm_id alg) {
     sim::dumbbell_config cfg;
     cfg.pairs = 5;
     cfg.access_rate_bps = 100e6;
@@ -111,7 +111,7 @@ trace run_cc(cc::algorithm_id alg) {
     for (std::size_t i = 1; i < 5; ++i) // background load
         add_tcp_flow(net, i, static_cast<std::uint32_t>(10 + i));
 
-    trace tr;
+    rate_trace tr;
     const util::sim_time warmup = seconds(10);
     const util::sim_time duration = seconds(70);
     std::uint64_t last = 0;
@@ -155,8 +155,8 @@ int main(int argc, char** argv) {
     std::printf("E2: rate smoothness — measured flow vs 4 TCP background flows\n");
     std::printf("(15 Mb/s RED bottleneck; sending rate sampled per 200 ms after 10 s warmup)\n\n");
 
-    const trace tfrc = run(true);
-    const trace tcp = run(false);
+    const rate_trace tfrc = run(true);
+    const rate_trace tcp = run(false);
 
     table series({"t [s]", "TFRC [Mb/s]", "TCP [Mb/s]"});
     const std::size_t buckets = std::min(tfrc.series_mbps.size(), tcp.series_mbps.size());
@@ -183,7 +183,7 @@ int main(int argc, char** argv) {
     std::printf("\nPer-algorithm (vtp::session, negotiated cc) vs 4 TCP background:\n");
     const cc::algorithm_id algs[] = {cc::algorithm_id::tfrc, cc::algorithm_id::newreno,
                                      cc::algorithm_id::westwood};
-    trace by_alg[3];
+    rate_trace by_alg[3];
     table cc_summary({"algorithm", "mean rate [Mb/s]", "rate CoV", "min/max [Mb/s]"});
     for (std::size_t a = 0; a < 3; ++a) {
         by_alg[a] = run_cc(algs[a]);
@@ -206,7 +206,7 @@ int main(int argc, char** argv) {
 
     const std::string json = bench::json_path_arg(argc, argv);
     if (!json.empty()) {
-        bench::json_report rep;
+        bench::json_report rep("bench_e2_smoothness");
         for (std::size_t a = 0; a < 3; ++a) {
             const std::string key = cc::to_string(algs[a]);
             rep.add(key + "_mean_mbps", by_alg[a].steady_samples.mean() * 8 / 0.2 / 1e6);

@@ -11,8 +11,20 @@
 
 namespace vtp::bench {
 
+/// Version of the BENCH_*.json field layout. Bump when a report's field
+/// set changes incompatibly so trajectory tooling can dispatch on it.
+/// 2: reports carry schema_version + bench name (2026-08).
+inline constexpr std::uint64_t report_schema_version = 2;
+
 class json_report {
 public:
+    /// Stamps the schema header every report shares. `name` identifies
+    /// the producing bench/tool ("bench_e11_engine", "vtpload", ...).
+    explicit json_report(const std::string& name = "") {
+        add("schema_version", report_schema_version);
+        if (!name.empty()) add_string("bench", name);
+    }
+
     void add(const std::string& key, double value) {
         char buf[64];
         std::snprintf(buf, sizeof buf, "%.6g", value);

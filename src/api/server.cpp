@@ -12,6 +12,8 @@ qtp::listener_config make_listener_config(const server_options& opts) {
     cfg.endpoint.handshake_rtx = opts.handshake_rtx;
     cfg.endpoint.event_queue_capacity = opts.event_queue_capacity;
     cfg.endpoint.recv_buffer_bytes = opts.recv_buffer_bytes;
+    cfg.endpoint.trace_ring_records = opts.trace_ring_records;
+    cfg.endpoint.trace_sink = opts.trace_sink;
     return cfg;
 }
 

@@ -46,6 +46,11 @@ struct server_options {
     /// sessions (see session_options for semantics).
     std::size_t event_queue_capacity = 256;
     std::uint64_t recv_buffer_bytes = 16u << 20;
+
+    /// Flight-recorder tracing for accepted sessions (see
+    /// session_options::trace_ring_records / trace_sink).
+    std::size_t trace_ring_records = 0;
+    trace::sink* trace_sink = nullptr;
 };
 
 /// One-call snapshot of the listener's accept/stray accounting (the

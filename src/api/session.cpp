@@ -170,6 +170,8 @@ session_stats session::stats() const {
                 tx_buffered += st->tx_payload_bytes();
         s.tx_payload_buffered = tx_buffered;
         s.tx_payload_miss_bytes = sender_->mux().payload_miss_bytes_total();
+        s.trace_events_recorded = sender_->trace_recorded();
+        s.trace_events_dropped = sender_->trace_dropped();
     }
     if (receiver_ != nullptr) {
         s.renegotiations = receiver_->renegotiations();
@@ -185,6 +187,8 @@ session_stats session::stats() const {
         s.events_dropped = receiver_->events_dropped();
         s.recv_buffered_bytes = receiver_->recv_buffered_bytes();
         s.recv_dropped_bytes = receiver_->recv_dropped_bytes();
+        s.trace_events_recorded = receiver_->trace_recorded();
+        s.trace_events_dropped = receiver_->trace_dropped();
     }
     return s;
 }

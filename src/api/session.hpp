@@ -122,6 +122,12 @@ struct session_stats {
     /// sends were mixed on one stream; see session::send).
     std::uint64_t tx_payload_buffered = 0;
     std::uint64_t tx_payload_miss_bytes = 0;
+
+    /// Flight recorder (zero when tracing is disabled): events recorded,
+    /// and events lost to ring overwrite (flight-recorder mode without a
+    /// sink — a spill sink makes the ring lossless).
+    std::uint64_t trace_events_recorded = 0;
+    std::uint64_t trace_events_dropped = 0;
 };
 
 class session {

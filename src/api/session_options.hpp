@@ -62,6 +62,15 @@ struct session_options {
     tfrc::sender_estimator_config estimator{};
     sack::scoreboard_config scoreboard{};
 
+    /// Flight-recorder tracing (trace/record.hpp): per-connection ring
+    /// capacity in 32-byte records, 0 disables every hook. Without a
+    /// sink the ring keeps the most recent events (overwrites counted in
+    /// session_stats::trace_events_dropped); with `trace_sink` set
+    /// (trace/writer.hpp) full rings spill losslessly and flush at
+    /// close. The sink must outlive the session.
+    std::size_t trace_ring_records = 0;
+    trace::sink* trace_sink = nullptr;
+
     /// QTPAF: full reliability + receiver-side estimation + a gTFRC
     /// committed rate (the QoS-network instance).
     static session_options af(double target_rate_bps) {
@@ -112,6 +121,8 @@ struct session_options {
         cfg.recv_buffer_bytes = recv_buffer_bytes;
         cfg.scheduler = scheduler;
         cfg.handshake_rtx = handshake_rtx;
+        cfg.trace_ring_records = trace_ring_records;
+        cfg.trace_sink = trace_sink;
         return cfg;
     }
 };

@@ -79,6 +79,7 @@ public:
     util::sim_time smoothed_rtt() const override { return srtt_; }
     double loss_rate() const override { return loss_rate_; }
     bool in_slow_start() const override { return cwnd_.in_slow_start(); }
+    std::uint64_t cwnd_bytes() const override { return cwnd_.cwnd(); }
 
     cc_state export_state() const override {
         cc_state st;

@@ -109,6 +109,11 @@ public:
     virtual double loss_rate() const = 0;
     virtual bool in_slow_start() const = 0;
 
+    /// Congestion window in bytes for window-based algorithms; 0 for
+    /// purely rate-paced ones (TFRC). Observability surface: the flight
+    /// recorder samples it into cc_window trace records.
+    virtual std::uint64_t cwnd_bytes() const { return 0; }
+
     /// Swap support: snapshot the measured operating point / adopt the
     /// predecessor's so a mid-flow algorithm change does not restart from
     /// slow-start.

@@ -112,6 +112,7 @@ public:
     util::sim_time smoothed_rtt() const override { return srtt_; }
     double loss_rate() const override { return loss_rate_; }
     bool in_slow_start() const override { return cwnd_ < ssthresh_; }
+    std::uint64_t cwnd_bytes() const override { return cwnd_; }
 
     cc_state export_state() const override {
         cc_state st;

@@ -46,6 +46,11 @@ connection_sender::connection_sender(connection_config cfg)
     // established); the negotiated profile rebuilds it in on_handshake.
     cc_ = cc::make_algorithm(cfg_.proposal.congestion,
                              cc_config(cfg_.rate.guaranteed_rate_bps));
+    if (cfg_.trace_ring_records > 0) {
+        tracer_ = std::make_unique<trace::tracer>(cfg_.flow_id, cfg_.trace_ring_records,
+                                                  cfg_.trace_sink);
+        mux_.set_tracer(tracer_.get());
+    }
 }
 
 void connection_sender::start(environment& env) {
@@ -59,6 +64,10 @@ void connection_sender::send_syn() {
                                    handshake_.make_syn()));
     handshake_timer_ = env_->schedule(cfg_.handshake_rtx, [this] {
         handshake_timer_ = qtp::no_timer;
+        if (tracer_)
+            tracer_->push(env_->now(), trace::record_type::timer_fire,
+                          static_cast<std::uint8_t>(trace::timer_kind::handshake), 0,
+                          0, 0);
         send_syn();
     });
 }
@@ -81,6 +90,10 @@ void connection_sender::on_handshake(const packet::handshake_segment& seg) {
         cc_config(active_.qos_aware ? active_.target_rate_bps : 0.0));
 
     util::log(util::log_level::info, "qtp-send", "established: ", active_.describe());
+    if (tracer_)
+        tracer_->push(env_->now(), trace::record_type::established,
+                      static_cast<std::uint8_t>(active_.congestion), 0,
+                      active_.encode(), 0);
     event ev;
     ev.type = event_type::established;
     ev.prof = active_;
@@ -204,6 +217,9 @@ void connection_sender::after_finish() {
 void connection_sender::request_renegotiate(const profile& p) {
     if (!handshake_.established() || closed_ || env_ == nullptr) return;
     reneg_.start(*env_, cfg_.flow_id, cfg_.peer_addr, cfg_.handshake_rtx, "qtp-send", p);
+    if (tracer_)
+        tracer_->push(env_->now(), trace::record_type::reneg_proposed, 0, 0,
+                      p.encode(), static_cast<std::uint64_t>(p.target_rate_bps));
 }
 
 void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_seq) {
@@ -242,6 +258,10 @@ void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_s
     }
     util::log(util::log_level::info, "qtp-send", "renegotiated: ", active_.describe(),
               " from seq ", boundary_seq);
+    if (tracer_)
+        tracer_->push(env_->now(), trace::record_type::reneg_applied,
+                      static_cast<std::uint8_t>(active_.congestion), 0,
+                      active_.encode(), boundary_seq);
     event ev;
     ev.type = event_type::profile_changed;
     ev.prof = active_;
@@ -306,6 +326,10 @@ void connection_sender::on_packet(const packet::packet& pkt) {
                 nofeedback_timer_ = qtp::no_timer;
                 reneg_.cancel(*env_);
                 util::log(util::log_level::info, "qtp-send", "closed");
+                if (tracer_) {
+                    tracer_->push(env_->now(), trace::record_type::closed, 0, 0, 0, 0);
+                    tracer_->flush();
+                }
                 event ev;
                 ev.type = event_type::closed;
                 emit(ev);
@@ -342,6 +366,10 @@ void connection_sender::send_fin() {
     fin_timer_ = qtp::no_timer;
     if (closed_ || fin_attempts_ >= 10) return;
     ++fin_attempts_;
+    if (tracer_ && fin_attempts_ > 1)
+        tracer_->push(env_->now(), trace::record_type::timer_fire,
+                      static_cast<std::uint8_t>(trace::timer_kind::fin), 0,
+                      static_cast<std::uint64_t>(fin_attempts_), 0);
     packet::handshake_segment fin;
     fin.type = packet::handshake_segment::kind::fin;
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, fin));
@@ -386,6 +414,22 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
     cev.acked = std::move(delta.acked);
     cev.lost = std::move(delta.lost);
     cc_->on_congestion_event(cev);
+    if (tracer_) {
+        tracer_->push(now, trace::record_type::ack_rx, 0, 0,
+                      static_cast<std::uint64_t>(sample),
+                      static_cast<std::uint64_t>(fb.x_recv));
+        if (!cev.lost.empty())
+            tracer_->push(now, trace::record_type::loss_event, 0, 0,
+                          cev.lost.size(), static_cast<std::uint64_t>(p * 1e9));
+        tracer_->push(now, trace::record_type::cc_sample,
+                      static_cast<std::uint8_t>(cc_->id()), 0,
+                      static_cast<std::uint64_t>(cc_->pacing_rate()),
+                      static_cast<std::uint64_t>(cc_->bandwidth_estimate_bps()));
+        if (const std::uint64_t cwnd = cc_->cwnd_bytes(); cwnd > 0)
+            tracer_->push(now, trace::record_type::cc_window,
+                          cc_->in_slow_start() ? 1 : 0, 0, cwnd,
+                          cev.prior_bytes_in_flight);
+    }
     arm_nofeedback_timer();
 
     // Reliability: every stream's scoreboard sees the connection-wide
@@ -514,6 +558,12 @@ int connection_sender::send_one() {
     ++packets_sent_;
     bytes_sent_ += pick->payload_len;
     if (is_probe) ++probes_sent_;
+    if (tracer_)
+        tracer_->push(now, trace::record_type::packet_tx,
+                      static_cast<std::uint8_t>((pick->is_retransmission ? 1u : 0u) |
+                                                (is_probe ? 2u : 0u)),
+                      static_cast<std::uint16_t>(pick->stream_id), seq,
+                      pick->payload_len);
     tracker_.on_packet_sent(seq, pick->payload_len, now);
     cc_->on_packet_sent(seq, pick->payload_len, tracker_.bytes_in_flight(), now);
     env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
@@ -550,6 +600,10 @@ void connection_sender::arm_nofeedback_timer() {
     if (nofeedback_timer_ != qtp::no_timer) env_->cancel(nofeedback_timer_);
     nofeedback_timer_ = env_->schedule(cc_->nofeedback_interval(), [this] {
         nofeedback_timer_ = qtp::no_timer;
+        if (tracer_)
+            tracer_->push(env_->now(), trace::record_type::timer_fire,
+                          static_cast<std::uint8_t>(trace::timer_kind::nofeedback),
+                          0, 0, 0);
         // The whole flight is presumed lost (pure bookkeeping — for TFRC
         // this only keeps the tracker warm for a later algorithm swap).
         const std::uint64_t prior_flight = tracker_.bytes_in_flight();
@@ -591,7 +645,11 @@ connection_receiver::connection_receiver(connection_config cfg)
       responder_(cfg.caps),
       reneg_resp_(cfg.caps),
       history_(tfrc::loss_history_config{}),
-      events_(cfg.event_queue_capacity) {}
+      events_(cfg.event_queue_capacity) {
+    if (cfg_.trace_ring_records > 0)
+        tracer_ = std::make_unique<trace::tracer>(cfg_.flow_id, cfg_.trace_ring_records,
+                                                  cfg_.trace_sink);
+}
 
 void connection_receiver::start(environment& env) { env_ = &env; }
 
@@ -710,6 +768,11 @@ void connection_receiver::on_packet(const packet::packet& pkt) {
             // gone; FIN retransmissions are the last periodic trigger).
             export_chunks();
             if (first_fin) {
+                if (tracer_) {
+                    tracer_->push(env_->now(), trace::record_type::closed, 0, 0, 0,
+                                  0);
+                    tracer_->flush();
+                }
                 event ev;
                 ev.type = event_type::closed;
                 emit(ev);
@@ -747,6 +810,10 @@ void connection_receiver::on_handshake(const packet::handshake_segment& seg) {
         demux_->set_store_limit(cfg_.recv_buffer_bytes);
         wire_demux_hooks();
         util::log(util::log_level::info, "qtp-recv", "accepted: ", active_.describe());
+        if (tracer_)
+            tracer_->push(env_->now(), trace::record_type::established,
+                          static_cast<std::uint8_t>(active_.congestion), 0,
+                          active_.encode(), 0);
         event ev;
         ev.type = event_type::established;
         ev.prof = active_;
@@ -759,6 +826,9 @@ void connection_receiver::on_handshake(const packet::handshake_segment& seg) {
 void connection_receiver::request_renegotiate(const profile& p) {
     if (!responder_.established() || remote_closed_ || env_ == nullptr) return;
     reneg_.start(*env_, cfg_.flow_id, cfg_.peer_addr, cfg_.handshake_rtx, "qtp-recv", p);
+    if (tracer_)
+        tracer_->push(env_->now(), trace::record_type::reneg_proposed, 0, 0,
+                      p.encode(), static_cast<std::uint64_t>(p.target_rate_bps));
 }
 
 void connection_receiver::apply_profile(const profile& p) {
@@ -770,6 +840,10 @@ void connection_receiver::apply_profile(const profile& p) {
     // accept time: switching ordered->immediate mid-stream would hand the
     // application bytes past an open gap.
     util::log(util::log_level::info, "qtp-recv", "renegotiated: ", active_.describe());
+    if (tracer_)
+        tracer_->push(env_->now(), trace::record_type::reneg_applied,
+                      static_cast<std::uint8_t>(active_.congestion), 0,
+                      active_.encode(), 0);
     event ev;
     ev.type = event_type::profile_changed;
     ev.prof = active_;
@@ -846,6 +920,9 @@ void connection_receiver::ingest_data(std::uint64_t seq, util::sim_time ts,
     ++packets_since_feedback_;
     received_bytes_ += len;
     bytes_since_feedback_ += len;
+    if (tracer_)
+        tracer_->push(now, trace::record_type::packet_rx, 0,
+                      static_cast<std::uint16_t>(stream_id), seq, len);
     if (rtt_estimate > 0) last_rtt_hint_ = rtt_estimate;
     last_data_ts_ = ts;
     last_data_arrival_ = now;
@@ -975,6 +1052,10 @@ void connection_receiver::send_feedback() {
                                              cfg_.peer_addr, std::move(fb));
     feedback_bytes_ += out.size_bytes;
     ++feedback_sent_;
+    if (tracer_)
+        tracer_->push(now, trace::record_type::feedback_tx, 0, 0,
+                      ranges_.empty() ? 0 : ranges_.back().end,
+                      packets_since_feedback_);
     env_->send(std::move(out));
 
     bytes_since_feedback_ = 0;

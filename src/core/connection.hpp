@@ -45,6 +45,7 @@
 #include "tfrc/receiver.hpp"
 #include "tfrc/sender.hpp"
 #include "tfrc/sender_estimator.hpp"
+#include "trace/tracer.hpp"
 
 namespace vtp::qtp {
 
@@ -107,6 +108,15 @@ struct connection_config {
     /// The default allows ~64 MB in flight at 1 kB packets; raise it for
     /// high-BDP paths whose flight exceeds that.
     std::uint64_t max_seq_jump = 1u << 16;
+
+    /// Flight-recorder tracing (trace/record.hpp): ring capacity in
+    /// records, 0 disables every hook (the default — hooks then cost one
+    /// null test). Without a sink the ring keeps the most recent events
+    /// and counts overwrites (session_stats::trace_events_dropped); with
+    /// `trace_sink` set, full rings spill to it as lossless frames
+    /// (trace/writer.hpp) and flush at close.
+    std::size_t trace_ring_records = 0;
+    trace::sink* trace_sink = nullptr;
 };
 
 class connection_sender : public qtp::agent {
@@ -174,6 +184,13 @@ public:
     /// cross-thread binding); already queued events are drained into it.
     void set_event_sink(event_sink* sink);
     std::uint64_t events_dropped() const { return events_.dropped(); }
+
+    /// Flight recorder (null when cfg.trace_ring_records == 0).
+    const trace::tracer* tracer() const { return tracer_.get(); }
+    std::uint64_t trace_recorded() const {
+        return tracer_ ? tracer_->recorded() : 0;
+    }
+    std::uint64_t trace_dropped() const { return tracer_ ? tracer_->dropped() : 0; }
 
     bool established() const { return handshake_.established(); }
     const profile& active_profile() const { return active_; }
@@ -273,6 +290,8 @@ private:
     bool legacy_mode_ = false; ///< any set_on_* registered
     bool tx_blocked_ = false;  ///< an offer was clamped; writable pending
 
+    std::unique_ptr<trace::tracer> tracer_; ///< null = tracing disabled
+
     std::uint64_t packets_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
     std::uint64_t probes_sent_ = 0;
@@ -330,6 +349,13 @@ public:
     std::uint64_t recv_buffered_bytes() const;
     std::uint64_t recv_dropped_bytes() const;
 
+    /// Flight recorder (null when cfg.trace_ring_records == 0).
+    const trace::tracer* tracer() const { return tracer_.get(); }
+    std::uint64_t trace_recorded() const {
+        return tracer_ ? tracer_->recorded() : 0;
+    }
+    std::uint64_t trace_dropped() const { return tracer_ ? tracer_->dropped() : 0; }
+
     /// Propose switching the connection to profile `p` (e.g. a mobile
     /// receiver dropping to sender-side estimation on battery pressure).
     void request_renegotiate(const profile& p);
@@ -363,6 +389,9 @@ public:
 
     std::uint64_t received_packets() const { return received_packets_; }
     std::uint64_t received_bytes() const { return received_bytes_; }
+    /// Most recent RTT estimate announced by the sender in its data
+    /// segments (the feedback-interval clock; 100 ms until data arrives).
+    util::sim_time rtt_hint() const { return last_rtt_hint_; }
     /// Data segments rejected for a sequence number absurdly beyond the
     /// receive window (decoder-accepted corruption / hostile input).
     std::uint64_t wild_seq_rejected() const { return wild_seq_rejected_; }
@@ -425,6 +454,8 @@ private:
     event_ring events_;
     event_sink* sink_ = nullptr;
     bool legacy_mode_ = false;
+
+    std::unique_ptr<trace::tracer> tracer_; ///< null = tracing disabled
 
     std::uint64_t received_packets_ = 0;
     std::uint64_t received_bytes_ = 0;

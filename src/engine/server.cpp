@@ -1,5 +1,6 @@
 #include "engine/server.hpp"
 
+#include <filesystem>
 #include <stdexcept>
 
 #include "core/connection.hpp"
@@ -28,10 +29,18 @@ server::server(engine_config cfg) : cfg_(cfg) {
             std::make_unique<spsc_queue<engine_event>>(cfg_.event_queue_capacity));
         commands_.push_back(
             std::make_unique<spsc_queue<command>>(cfg_.command_queue_capacity));
-        // Command mailbox drain: runs on the shard thread each turn.
+        ring_occupancy_.push_back(&shards_.back()->metrics().get_histogram(
+            "vtp_event_ring_occupancy",
+            "Depth of the v2 event export ring, sampled once per shard turn."));
+        rtt_ns_.push_back(&shards_.back()->metrics().get_histogram(
+            "vtp_rtt_ns",
+            "Smoothed RTT in ns, sampled per live session at each reap tick."));
+        // Command mailbox drain + ring-depth sample: runs on the shard
+        // thread each turn.
         shards_.back()->set_turn_hook([this, i] {
             command cmd;
             while (commands_[i]->pop(cmd)) execute(i, cmd);
+            ring_occupancy_[i]->observe(events_[i]->size());
         });
     }
     std::vector<shard*> raw;
@@ -184,13 +193,28 @@ void server::start() {
         return;
     }
     started_ = true;
+    // Flight-recorder spool: one writer thread per shard so sessions of
+    // one shard share a sink without any cross-shard contention.
+    if (!cfg_.trace_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.trace_dir, ec);
+        writers_.reserve(shards_.size());
+        for (std::size_t i = 0; i < shards_.size(); ++i)
+            writers_.push_back(std::make_unique<trace::async_writer>(
+                cfg_.trace_dir + "/trace-shard" + std::to_string(i) + ".vtpt"));
+        if (cfg_.accept.trace_ring_records == 0)
+            cfg_.accept.trace_ring_records = 4096;
+    }
     // Build each shard's vtp::server before its thread exists: the
     // listener registers as the shard's default agent, and from the first
     // loop turn on, everything runs on the shard thread.
     servers_.reserve(shards_.size());
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         shard& sh = *shards_[i];
-        auto srv = std::make_unique<vtp::server>(sh, cfg_.accept);
+        vtp::server_options accept = cfg_.accept;
+        if (i < writers_.size() && writers_[i]->ok())
+            accept.trace_sink = writers_[i].get();
+        auto srv = std::make_unique<vtp::server>(sh, accept);
         srv->set_on_session([this, i, &sh](vtp::session& s) {
             auto& c = sh.counters();
             c.accepted.fetch_add(1, std::memory_order_relaxed);
@@ -219,6 +243,23 @@ void server::stop() {
 
 void server::arm_reaper(vtp::server* srv, shard& sh) {
     sh.schedule(cfg_.reap_interval, [this, srv, &sh] {
+        // Sample every hosted connection's RTT into the shard's histogram
+        // before reaping — a once-per-reap-tick cost that gives the
+        // engine an RTT distribution without touching the datapath.
+        // Senders report the cc's smoothed RTT; receivers the estimate
+        // the sender announces in its data segments.
+        trace::histogram* rtt = rtt_ns_[sh.index()];
+        sh.for_each_agent([rtt](std::uint32_t, qtp::agent& a) {
+            if (const auto* tx = dynamic_cast<const qtp::connection_sender*>(&a)) {
+                if (tx->established() && tx->cc().has_rtt())
+                    rtt->observe(
+                        static_cast<std::uint64_t>(tx->cc().smoothed_rtt()));
+            } else if (const auto* rx =
+                           dynamic_cast<const qtp::connection_receiver*>(&a)) {
+                if (rx->received_packets() > 0)
+                    rtt->observe(static_cast<std::uint64_t>(rx->rtt_hint()));
+            }
+        });
         const std::size_t reaped = srv->reap_closed();
         if (reaped > 0) {
             auto& c = sh.counters();
@@ -235,6 +276,14 @@ void server::connect(std::uint32_t peer_addr, vtp::session_options opts,
     if (opts.flow_id == 0)
         opts.flow_id = next_flow_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t owner = owner_of(opts.flow_id);
+    // Outgoing sessions inherit the engine's flight recorder: the owner
+    // shard's spool, same default ring as accepted sessions.
+    if (owner < writers_.size() && writers_[owner]->ok() &&
+        opts.trace_sink == nullptr) {
+        opts.trace_sink = writers_[owner].get();
+        if (opts.trace_ring_records == 0)
+            opts.trace_ring_records = cfg_.accept.trace_ring_records;
+    }
     shard& sh = *shards_[owner];
     sh.post([this, &sh, owner, peer_addr, opts, cb = std::move(on_ready)]() mutable {
         vtp::session s = vtp::session::connect(sh, peer_addr, opts);
@@ -275,6 +324,61 @@ std::vector<shard_stats> server::per_shard_stats() const {
     out.reserve(shards_.size());
     for (const auto& s : shards_) out.push_back(s->stats());
     return out;
+}
+
+void server::collect_metrics(trace::registry& out) const {
+    const engine_stats st = stats();
+    out.get_counter("vtp_datagrams_rx_total",
+                    "Datagrams received across all shard sockets.")
+        .add(st.datagrams_rx);
+    out.get_counter("vtp_datagrams_tx_total",
+                    "Datagrams transmitted across all shard sockets.")
+        .add(st.datagrams_tx);
+    out.get_counter("vtp_tx_dropped_total",
+                    "Transmissions dropped (kernel buffer full / oversized).")
+        .add(st.tx_dropped);
+    out.get_counter("vtp_handoff_out_total",
+                    "Datagrams forwarded to their owner shard.")
+        .add(st.handoff_out);
+    out.get_counter("vtp_handoff_dropped_total",
+                    "Cross-shard handoffs dropped on a full ring.")
+        .add(st.handoff_dropped);
+    out.get_counter("vtp_decode_errors_total",
+                    "Inbound datagrams that failed segment decoding.")
+        .add(st.decode_errors);
+    out.get_counter("vtp_pool_exhausted_total",
+                    "Sends dropped because the transmit buffer pool was empty.")
+        .add(st.pool_exhausted);
+    out.get_counter("vtp_accepted_total", "Connections accepted by the listeners.")
+        .add(st.accepted);
+    out.get_counter("vtp_events_dropped_total",
+                    "Session events lost to a full v2 export ring.")
+        .add(st.events_dropped);
+    out.get_counter("vtp_commands_dropped_total",
+                    "v2 commands rejected (full mailbox or unknown flow).")
+        .add(st.commands_dropped);
+    out.get_counter("vtp_cc_swaps_total",
+                    "Mid-flow congestion-control swaps applied by renegotiation.")
+        .add(st.cc_swaps_applied);
+    out.get_gauge("vtp_sessions", "Live sessions across all shards.")
+        .set(static_cast<std::int64_t>(st.sessions));
+    if (!writers_.empty()) {
+        std::uint64_t records = 0;
+        std::uint64_t frames_dropped = 0;
+        for (const auto& w : writers_) {
+            records += w->records();
+            frames_dropped += w->frames_dropped();
+        }
+        out.get_counter("vtp_trace_records_total",
+                        "Flight-recorder records accepted by the shard spools.")
+            .add(records);
+        out.get_counter("vtp_trace_frames_dropped_total",
+                        "Trace frames dropped by a backlogged spool queue.")
+            .add(frames_dropped);
+    }
+    // Shard-local series (turn duration, timer fire latency, RTT samples,
+    // event-ring occupancy) merge in by name.
+    for (const auto& s : shards_) out.merge(s->metrics());
 }
 
 } // namespace vtp::engine

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -50,6 +51,8 @@
 #include "api/session.hpp"
 #include "core/events.hpp"
 #include "engine/shard.hpp"
+#include "trace/metrics.hpp"
+#include "trace/writer.hpp"
 
 namespace vtp::engine {
 
@@ -77,6 +80,15 @@ struct engine_config {
     /// drops and counts — size for the application's polling cadence.
     std::size_t event_queue_capacity = 4096;
     std::size_t command_queue_capacity = 1024;
+
+    /// Flight-recorder spill directory. When non-empty, each shard spools
+    /// its sessions' trace rings to `<trace_dir>/trace-shard<i>.vtpt`
+    /// through a per-shard writer thread (trace::async_writer), and every
+    /// accepted or connected session gets a trace ring of
+    /// `accept.trace_ring_records` records (defaulted to 4096 when left
+    /// 0). Empty (the default) compiles the hooks out of the hot path —
+    /// sessions run untraced.
+    std::string trace_dir{};
 };
 
 /// Aggregate of all shards (plus accept accounting).
@@ -173,6 +185,29 @@ public:
     engine_stats stats() const;
     std::vector<shard_stats> per_shard_stats() const;
 
+    // --- metrics (any thread) -------------------------------------------
+    /// Merge the engine's counters/gauges plus every shard's registry
+    /// (turn durations, timer fire latency, RTT samples, event-ring
+    /// occupancy) into `out` by series name. Counters are emitted as
+    /// absolute values into the fresh registry, so call it on an empty
+    /// one — which is what metrics()/metrics_text() do.
+    void collect_metrics(trace::registry& out) const;
+    /// Snapshot of every engine metric series (>= 12 named series once
+    /// traffic has flowed).
+    std::unique_ptr<trace::registry> metrics() const {
+        auto out = std::make_unique<trace::registry>();
+        collect_metrics(*out);
+        return out;
+    }
+    /// The snapshot rendered in Prometheus text exposition format.
+    std::string metrics_text() const { return metrics()->prometheus_text(); }
+
+    /// The per-shard trace spool (nullptr when engine_config::trace_dir
+    /// is empty or the file could not be opened).
+    trace::async_writer* trace_writer(std::size_t shard_idx) {
+        return shard_idx < writers_.size() ? writers_[shard_idx].get() : nullptr;
+    }
+
 private:
     struct command {
         enum class kind : std::uint8_t { send, finish, close, renegotiate };
@@ -201,11 +236,20 @@ private:
     void execute(std::size_t shard_idx, command& cmd);
 
     engine_config cfg_;
+    /// Declared before shards_ on purpose: shard destruction tears down
+    /// the hosted connections, whose tracers flush their final frames
+    /// into these sinks — the writers must outlive the shards.
+    std::vector<std::unique_ptr<trace::async_writer>> writers_;
     std::vector<std::unique_ptr<shard>> shards_;
     std::vector<std::unique_ptr<vtp::server>> servers_; ///< one per shard
     std::vector<std::unique_ptr<spsc_queue<engine_event>>> events_; ///< shard -> app
     std::vector<std::unique_ptr<spsc_queue<command>>> commands_;    ///< app -> shard
     std::vector<shard_sink> sinks_;
+    /// Cached per-shard series (pointers into each shard's registry —
+    /// stable for the shard's lifetime): v2 export-ring depth sampled
+    /// once per turn, and smoothed RTT sampled per session at reap ticks.
+    std::vector<trace::histogram*> ring_occupancy_;
+    std::vector<trace::histogram*> rtt_ns_;
     std::function<void(std::size_t, vtp::session&)> on_session_;
     std::atomic<std::uint32_t> next_flow_{0x50000000}; ///< outgoing-session ids
     std::atomic<std::uint64_t> commands_dropped_{0};

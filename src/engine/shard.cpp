@@ -40,6 +40,13 @@ shard::shard(shard_config cfg)
                           cfg_.sndbuf_bytes);
     tx_pending_.reserve(cfg_.tx_batch);
 
+    turn_ns_ = &metrics_.get_histogram(
+        "vtp_shard_turn_ns",
+        "Busy time of one shard loop turn in ns (excludes the reactor sleep).");
+    wheel_.set_fire_latency_histogram(&metrics_.get_histogram(
+        "vtp_timer_fire_latency_ns",
+        "Timer-wheel fire lateness vs the timer's deadline, ns."));
+
     int pipefd[2];
     if (::pipe(pipefd) != 0) {
         ::close(fd_);
@@ -249,16 +256,19 @@ void shard::drain_handoffs() {
 }
 
 void shard::turn() {
+    const util::sim_time t0 = now();
     drain_posted();
     if (turn_hook_) turn_hook_();
     drain_handoffs();
     wheel_.advance(now());
     flush_tx();
 
+    const util::sim_time t1 = now();
+    turn_ns_->observe(static_cast<std::uint64_t>(t1 - t0));
     const util::sim_time hint = wheel_.next_deadline_hint();
     const util::sim_time timeout =
         hint == util::time_never ? util::milliseconds(100)
-                                 : std::max<util::sim_time>(hint - now(), 0);
+                                 : std::max<util::sim_time>(hint - t1, 0);
     // Readable fds (socket batches, wake pipe) dispatch inside; their
     // products — handoffs, posted work, tx batches — are picked up at
     // the top of the next turn, always before the next sleep.

@@ -36,6 +36,7 @@
 
 #include "core/environment.hpp"
 #include "engine/buffer_pool.hpp"
+#include "trace/metrics.hpp"
 #include "engine/flow_map.hpp"
 #include "engine/reactor.hpp"
 #include "engine/spsc_queue.hpp"
@@ -129,10 +130,17 @@ public:
     void set_turn_hook(std::function<void()> fn) { turn_hook_ = std::move(fn); }
 
     /// Look up the agent terminating `flow_id` (shard thread only;
-    /// nullptr when unknown).
+    /// nullptr for unknown).
     qtp::agent* find_agent(std::uint32_t flow_id) {
         const auto it = agents_.find(flow_id);
         return it == agents_.end() ? nullptr : it->second.get();
+    }
+
+    /// Visit every attached agent (shard thread only; do not attach or
+    /// detach from inside the visitor). The engine's metrics reaper uses
+    /// this to sample per-connection state across both session roles.
+    void for_each_agent(const std::function<void(std::uint32_t, qtp::agent&)>& fn) {
+        for (auto& [flow, a] : agents_) fn(flow, *a);
     }
 
     /// Attach an agent terminating `flow_id` on this shard; the shard
@@ -165,6 +173,15 @@ public:
     shard_counters& counters() { return stats_; }
     shard_stats stats() const;
     const flow_shard_map& flow_map() const { return map_; }
+
+    /// This shard's metrics registry (wait-free updates on the shard
+    /// thread; any thread may read/merge it). Built-in series:
+    /// vtp_shard_turn_ns (busy time of each loop turn, excluding the
+    /// reactor sleep) and vtp_timer_fire_latency_ns (wheel lateness vs
+    /// true deadline). engine::server adds its own series here and
+    /// aggregates the registries in metrics().
+    trace::registry& metrics() { return metrics_; }
+    const trace::registry& metrics() const { return metrics_; }
 
 private:
     /// A datagram crossing shards: copied whole into the ring slot so no
@@ -213,6 +230,8 @@ private:
     std::atomic<bool> running_{false};
 
     shard_counters stats_;
+    trace::registry metrics_;
+    trace::histogram* turn_ns_ = nullptr; ///< cached vtp_shard_turn_ns
 };
 
 } // namespace vtp::engine

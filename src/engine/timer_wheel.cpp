@@ -148,6 +148,12 @@ void timer_wheel::expire_current_tick() {
         }
         by_id_.erase(e->id);
         --pending_;
+        if (fire_latency_ != nullptr) {
+            const util::sim_time deadline =
+                static_cast<util::sim_time>(e->tick) << tick_shift;
+            fire_latency_->observe(static_cast<std::uint64_t>(
+                std::max<util::sim_time>(advance_now_ - deadline, 0)));
+        }
         std::function<void()> fn = std::move(e->fn);
         recycle(e);
         fn();
@@ -155,6 +161,7 @@ void timer_wheel::expire_current_tick() {
 }
 
 void timer_wheel::advance(util::sim_time now) {
+    advance_now_ = now;
     const std::uint64_t target =
         static_cast<std::uint64_t>(std::max<util::sim_time>(now, 0)) >> tick_shift;
     while (current_tick_ < target) {

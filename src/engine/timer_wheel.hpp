@@ -17,6 +17,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "trace/metrics.hpp"
 #include "util/time.hpp"
 
 namespace vtp::engine {
@@ -56,6 +57,12 @@ public:
 
     std::size_t pending() const { return pending_; }
 
+    /// Observe each fired timer's lateness — advance()'s `now` minus the
+    /// timer's rounded-up deadline — into `h` (metrics hook; nullptr
+    /// disables, the default). Entries store their true deadline tick, so
+    /// this costs one subtraction per fire.
+    void set_fire_latency_histogram(trace::histogram* h) { fire_latency_ = h; }
+
 private:
     struct entry {
         entry* next = nullptr;
@@ -85,6 +92,8 @@ private:
     std::uint64_t current_tick_;
     std::uint64_t next_id_ = 1;
     std::size_t pending_ = 0;
+    trace::histogram* fire_latency_ = nullptr;
+    util::sim_time advance_now_ = 0; ///< `now` of the advance() in progress
 };
 
 } // namespace vtp::engine

@@ -225,6 +225,9 @@ public:
     std::uint64_t rtx_bytes_sent_total() const;
     std::vector<stream_info> infos() const;
     const stream_scheduler& scheduler() const { return sched_; }
+    /// Wire the connection's flight recorder into the scheduler's
+    /// promotion decisions (null disables).
+    void set_tracer(trace::tracer* t) { sched_.set_tracer(t); }
 
 private:
     sack::reliability_policy policy_for(const outbound_stream& s,

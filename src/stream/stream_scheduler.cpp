@@ -14,6 +14,13 @@ std::uint32_t stream_scheduler::pick(const std::vector<candidate>& cands,
     }
     if (urgent != nullptr) {
         ++promotions_;
+        if (tracer_ != nullptr)
+            tracer_->push(now, trace::record_type::stream_sched, 0,
+                          static_cast<std::uint16_t>(urgent->id),
+                          urgent->deadline > now
+                              ? static_cast<std::uint64_t>(urgent->deadline - now)
+                              : 0,
+                          0);
         cursor_ = urgent->id;
         return urgent->id;
     }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "trace/tracer.hpp"
 #include "util/time.hpp"
 
 namespace vtp::stream {
@@ -58,11 +59,16 @@ public:
 
     std::uint64_t promotions() const { return promotions_; }
 
+    /// Flight-recorder hook: promotion decisions are recorded as
+    /// stream_sched events (null disables, the default).
+    void set_tracer(trace::tracer* t) { tracer_ = t; }
+
 private:
     stream_scheduler_config cfg_;
     std::unordered_map<std::uint32_t, std::int64_t> deficit_;
     std::uint32_t cursor_ = UINT32_MAX; ///< last served id
     std::uint64_t promotions_ = 0;
+    trace::tracer* tracer_ = nullptr;
 };
 
 } // namespace vtp::stream

@@ -206,8 +206,18 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
             result.trace.push_back({obs.flow_id, stream, offset, len, at});
     };
 
+    // Flight recorder: both endpoints of every flow share one sink (the
+    // simulator is single-threaded, so the interleaving — and therefore
+    // the spilled byte stream — is seed-deterministic).
+    std::size_t trace_ring = opts.trace_ring_records;
+    if (opts.trace_sink != nullptr && trace_ring == 0) trace_ring = 4096;
+
     for (std::size_t i = 0; i < n; ++i) {
-        servers.push_back(std::make_unique<vtp::server>(net.right_host(i), server_options{}));
+        server_options server_opts{};
+        server_opts.trace_ring_records = trace_ring;
+        server_opts.trace_sink = opts.trace_sink;
+        servers.push_back(
+            std::make_unique<vtp::server>(net.right_host(i), server_opts));
         servers.back()->set_on_session([&, i](vtp::session& s) {
             accepted[i] = &s;
             // Poll-API runs leave the session callback-free: deliveries
@@ -248,6 +258,8 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
         const flow_spec& flow = spec.flows[i];
         session_options sopts = flow.options;
         if (opts.cc_override) sopts.profile.congestion = *opts.cc_override;
+        sopts.trace_ring_records = trace_ring;
+        sopts.trace_sink = opts.trace_sink;
         sopts.flow_id = static_cast<std::uint32_t>(i + 1);
         result.flows[i].flow_id = sopts.flow_id;
         result.flows[i].packet_size = sopts.packet_size;

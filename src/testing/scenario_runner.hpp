@@ -16,6 +16,7 @@
 #include "cc/algorithm_id.hpp"
 #include "testing/invariants.hpp"
 #include "testing/scenario.hpp"
+#include "trace/tracer.hpp"
 
 namespace vtp::testing {
 
@@ -38,6 +39,16 @@ struct scenario_run_options {
     /// regression oracle. Overridden runs are judged by the same
     /// invariants but carry their own (non-frozen) hashes.
     std::optional<cc::algorithm_id> cc_override;
+    /// Flight recorder (trace/record.hpp): every endpoint of the run —
+    /// clients and accepted sessions — records into a per-connection
+    /// ring spilling to this shared sink. The simulator is
+    /// single-threaded, so a (spec, seed) pair reproduces the
+    /// byte-identical record stream; nullptr (the default) leaves every
+    /// hook off, which is the frozen-trace-hash oracle configuration.
+    trace::sink* trace_sink = nullptr;
+    /// Ring capacity per connection; 0 picks a spill-friendly default
+    /// when `trace_sink` is set and keeps tracing off otherwise.
+    std::size_t trace_ring_records = 0;
 };
 
 /// Run `spec` with `seed` (0 = the spec's own seed). `collect_trace`

@@ -1,0 +1,140 @@
+#include "trace/qlog.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "cc/algorithm_id.hpp"
+
+namespace vtp::trace {
+
+namespace {
+
+const char* qlog_name(record_type t) {
+    switch (t) {
+    case record_type::packet_tx: return "transport:packet_sent";
+    case record_type::packet_rx: return "transport:packet_received";
+    case record_type::feedback_tx: return "transport:feedback_sent";
+    case record_type::ack_rx: return "transport:feedback_received";
+    case record_type::loss_event: return "recovery:loss_event";
+    case record_type::cc_sample: return "recovery:metrics_updated";
+    case record_type::cc_window: return "recovery:congestion_window_updated";
+    case record_type::reneg_proposed: return "negotiation:profile_proposed";
+    case record_type::reneg_applied: return "negotiation:profile_applied";
+    case record_type::established: return "connectivity:connection_started";
+    case record_type::closed: return "connectivity:connection_closed";
+    case record_type::timer_fire: return "recovery:timer_fired";
+    case record_type::stream_sched: return "transport:stream_promoted";
+    default: return "unknown";
+    }
+}
+
+void write_data(std::ostream& os, const record& r) {
+    const auto t = static_cast<record_type>(r.type);
+    os << '{';
+    switch (t) {
+    case record_type::packet_tx:
+        os << "\"seq\":" << r.a << ",\"stream_id\":" << r.stream
+           << ",\"payload_length\":" << r.b
+           << ",\"is_retransmission\":" << ((r.aux & 1) != 0 ? "true" : "false")
+           << ",\"is_probe\":" << ((r.aux & 2) != 0 ? "true" : "false");
+        break;
+    case record_type::packet_rx:
+        os << "\"seq\":" << r.a << ",\"stream_id\":" << r.stream
+           << ",\"payload_length\":" << r.b;
+        break;
+    case record_type::feedback_tx:
+        os << "\"highest_seq\":" << r.a << ",\"packets_covered\":" << r.b;
+        break;
+    case record_type::ack_rx:
+        os << "\"rtt_ns\":" << r.a << ",\"x_recv_bytes_per_s\":" << r.b;
+        break;
+    case record_type::loss_event:
+        os << "\"packets_lost\":" << r.a << ",\"loss_event_rate\":" << (r.b / 1e9);
+        break;
+    case record_type::cc_sample:
+        os << "\"pacing_rate_bytes_per_s\":" << r.a
+           << ",\"bandwidth_estimate_bps\":" << r.b << ",\"algorithm\":\""
+           << cc::to_string(static_cast<cc::algorithm_id>(r.aux)) << '"';
+        break;
+    case record_type::cc_window:
+        os << "\"cwnd_bytes\":" << r.a << ",\"bytes_in_flight\":" << r.b
+           << ",\"in_slow_start\":" << ((r.aux & 1) != 0 ? "true" : "false");
+        break;
+    case record_type::reneg_proposed:
+        os << "\"profile_bits\":" << r.a << ",\"target_rate_bps\":" << r.b;
+        break;
+    case record_type::reneg_applied:
+        os << "\"profile_bits\":" << r.a << ",\"boundary_seq\":" << r.b
+           << ",\"algorithm\":\""
+           << cc::to_string(static_cast<cc::algorithm_id>(r.aux)) << '"';
+        break;
+    case record_type::established:
+        os << "\"profile_bits\":" << r.a << ",\"algorithm\":\""
+           << cc::to_string(static_cast<cc::algorithm_id>(r.aux)) << '"';
+        break;
+    case record_type::timer_fire:
+        os << "\"kind\":" << static_cast<unsigned>(r.aux)
+           << ",\"attempt\":" << r.a;
+        break;
+    case record_type::stream_sched:
+        os << "\"stream_id\":" << r.stream << ",\"deadline_in_ns\":" << r.a;
+        break;
+    default:
+        os << "\"a\":" << r.a << ",\"b\":" << r.b;
+        break;
+    }
+    os << '}';
+}
+
+} // namespace
+
+std::size_t write_qlog_json(const std::vector<record>& records, std::ostream& os,
+                            std::optional<std::uint32_t> flow_filter) {
+    // Group per flow, preserving record order within each flow.
+    std::map<std::uint32_t, std::vector<const record*>> flows;
+    for (const record& r : records) {
+        if (flow_filter && r.flow != *flow_filter) continue;
+        flows[r.flow].push_back(&r);
+    }
+    os << "{\"qlog_format\":\"JSON\",\"qlog_version\":\"0.4\","
+          "\"title\":\"vtp flight recorder\",\"traces\":[";
+    bool first_trace = true;
+    for (const auto& [flow, recs] : flows) {
+        if (!first_trace) os << ',';
+        first_trace = false;
+        os << "{\"common_fields\":{\"flow_id\":" << flow
+           << ",\"time_format\":\"relative_ns\"},"
+              "\"vantage_point\":{\"type\":\"endpoint\"},\"events\":[";
+        bool first_ev = true;
+        for (const record* r : recs) {
+            if (!first_ev) os << ',';
+            first_ev = false;
+            os << "{\"time\":" << r->at << ",\"name\":\""
+               << qlog_name(static_cast<record_type>(r->type)) << "\",\"data\":";
+            write_data(os, *r);
+            os << '}';
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+    return flows.size();
+}
+
+record_type type_from_string(const char* name) {
+    static constexpr record_type all[] = {
+        record_type::packet_tx,      record_type::packet_rx,
+        record_type::feedback_tx,    record_type::ack_rx,
+        record_type::loss_event,     record_type::cc_sample,
+        record_type::cc_window,      record_type::reneg_proposed,
+        record_type::reneg_applied,  record_type::established,
+        record_type::closed,         record_type::timer_fire,
+        record_type::stream_sched,
+    };
+    const std::string want(name);
+    for (record_type t : all)
+        if (want == type_name(t)) return t;
+    return record_type::none;
+}
+
+} // namespace vtp::trace

@@ -1,0 +1,27 @@
+// qlog-inspired JSON export of flight-recorder traces.
+//
+// qlog (draft-ietf-quic-qlog) is the structured endpoint-tracing format
+// the QUIC ecosystem settled on once in-network visibility disappeared —
+// the same motivation this flight recorder has. We emit the same overall
+// shape (one trace per flow with named, timestamped events and a data
+// object per event) without claiming schema conformance: VTP's event
+// vocabulary (profile renegotiation, gTFRC floors, estimation locus) has
+// no QUIC equivalent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace vtp::trace {
+
+/// Write the records as qlog-inspired JSON: one trace per flow (or only
+/// `flow_filter`), events in record order. Returns the number of flows
+/// exported.
+std::size_t write_qlog_json(const std::vector<record>& records, std::ostream& os,
+                            std::optional<std::uint32_t> flow_filter = std::nullopt);
+
+} // namespace vtp::trace

@@ -1,0 +1,109 @@
+// Flight-recorder trace records: the compact binary event stream of one
+// connection.
+//
+// A `record` is a fixed 32-byte POD: substrate timestamp, flow id, event
+// type, and three type-specific arguments. Connections append records to
+// a bounded per-connection ring (trace/tracer.hpp); with a sink attached
+// the ring spills as length-prefixed frames to a trace file
+// (trace/writer.hpp), otherwise it keeps the last `capacity` events in
+// memory like an aircraft flight recorder. `vtptrace` decodes the file
+// into a summary, per-flow timeline CSV or qlog-inspired JSON
+// (trace/qlog.hpp).
+//
+// Records carry only integers (timestamps are substrate nanoseconds,
+// rates are rounded bytes/s or bits/s, probabilities are scaled by 1e9)
+// so that a same-seed simulator run reproduces the byte-identical trace
+// stream — the determinism property the conformance harness asserts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/time.hpp"
+
+namespace vtp::trace {
+
+enum class record_type : std::uint8_t {
+    none = 0,
+    /// Data packet left the sender. a=sequence, b=payload bytes,
+    /// stream=stream id, aux: bit0 retransmission, bit1 probe/eos marker.
+    packet_tx = 1,
+    /// Data packet ingested by the receiver. a=sequence, b=payload bytes,
+    /// stream=stream id.
+    packet_rx = 2,
+    /// Receiver emitted a SACK feedback report. a=highest sequence seen,
+    /// b=packets covered since the previous report.
+    feedback_tx = 3,
+    /// Sender processed a feedback report. a=RTT sample (ns, 0 = none),
+    /// b=receiver rate x_recv (bytes/s).
+    ack_rx = 4,
+    /// Feedback reported fresh losses. a=newly lost packets,
+    /// b=loss event rate p scaled by 1e9.
+    loss_event = 5,
+    /// Congestion-controller operating point after a feedback/RTO event.
+    /// a=pacing rate (bytes/s), b=bandwidth estimate (bits/s),
+    /// aux=cc::algorithm_id.
+    cc_sample = 6,
+    /// Window-based controller detail. a=cwnd bytes, b=bytes in flight
+    /// before the event, aux: bit0 in slow start.
+    cc_window = 7,
+    /// This endpoint proposed a renegotiation. a=profile::encode() bits,
+    /// b=target rate (bits/s).
+    reneg_proposed = 8,
+    /// A renegotiated profile took effect. a=profile::encode() bits,
+    /// b=sequence boundary, aux=new cc::algorithm_id.
+    reneg_applied = 9,
+    /// Handshake completed. a=profile::encode() bits of the agreed
+    /// profile, aux=cc::algorithm_id.
+    established = 10,
+    /// Connection fully closed (FIN acknowledged / peer FIN seen).
+    closed = 11,
+    /// A protocol timer fired. aux=timer_kind, a=attempt count.
+    timer_fire = 12,
+    /// Stream scheduler promoted a stream ahead of round-robin order.
+    /// stream=promoted stream id, a=nanoseconds until its deadline.
+    stream_sched = 13,
+};
+
+/// timer_fire aux values.
+enum class timer_kind : std::uint8_t {
+    nofeedback = 1, ///< TFRC nofeedback / RTO
+    handshake = 2,  ///< SYN / reneg retransmission
+    fin = 3,        ///< FIN retransmission
+};
+
+struct record {
+    std::uint64_t at = 0; ///< substrate time (ns)
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t flow = 0;
+    std::uint16_t stream = 0;
+    std::uint8_t type = 0; ///< record_type
+    std::uint8_t aux = 0;
+};
+
+static_assert(sizeof(record) == 32, "trace records are fixed 32-byte PODs");
+
+inline const char* type_name(record_type t) {
+    switch (t) {
+    case record_type::packet_tx: return "packet_tx";
+    case record_type::packet_rx: return "packet_rx";
+    case record_type::feedback_tx: return "feedback_tx";
+    case record_type::ack_rx: return "ack_rx";
+    case record_type::loss_event: return "loss_event";
+    case record_type::cc_sample: return "cc_sample";
+    case record_type::cc_window: return "cc_window";
+    case record_type::reneg_proposed: return "reneg_proposed";
+    case record_type::reneg_applied: return "reneg_applied";
+    case record_type::established: return "established";
+    case record_type::closed: return "closed";
+    case record_type::timer_fire: return "timer_fire";
+    case record_type::stream_sched: return "stream_sched";
+    default: return "unknown";
+    }
+}
+
+/// nullopt-free lookup for the CLI: record_type::none when unknown.
+record_type type_from_string(const char* name);
+
+} // namespace vtp::trace

@@ -1,0 +1,133 @@
+// Per-connection flight recorder.
+//
+// A `tracer` owns a bounded ring of trace records. Two operating modes:
+//
+//  - flight recorder (no sink): the ring holds the most recent
+//    `capacity` records, overwriting the oldest; overwrites are counted
+//    as dropped (session_stats::trace_events_dropped). snapshot() reads
+//    the surviving window in chronological order.
+//
+//  - spill (sink attached): a full ring is flushed to the sink as one
+//    frame and cleared, so nothing is lost; flush() pushes the partial
+//    tail (call at connection close). The sink is typically a
+//    trace::file_writer or the engine's per-shard writer thread.
+//
+// The push path is branch-light on purpose: the connection hooks guard
+// with `if (tracer_)`, so a connection without tracing configured pays
+// one predictable null test per hook and nothing else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace vtp::trace {
+
+/// Consumer of spilled record frames. Implementations: file_writer /
+/// async_writer (trace/writer.hpp), memory_sink (tests).
+class sink {
+public:
+    virtual ~sink() = default;
+    /// One frame of chronologically ordered records. Called from the
+    /// connection's thread; implementations decide their own threading.
+    virtual void on_records(const record* r, std::size_t n) = 0;
+};
+
+/// Collects frames in memory — the determinism tests' sink.
+class memory_sink final : public sink {
+public:
+    void on_records(const record* r, std::size_t n) override {
+        records_.insert(records_.end(), r, r + n);
+    }
+    const std::vector<record>& records() const { return records_; }
+    /// The raw byte stream a file writer would have produced (frame
+    /// payloads concatenated) — what bit-identical means.
+    std::vector<std::uint8_t> bytes() const {
+        std::vector<std::uint8_t> out(records_.size() * sizeof(record));
+        if (!records_.empty())
+            std::memcpy(out.data(), records_.data(), out.size());
+        return out;
+    }
+
+private:
+    std::vector<record> records_;
+};
+
+class tracer {
+public:
+    tracer(std::uint32_t flow, std::size_t capacity, sink* out = nullptr)
+        : flow_(flow), out_(out) {
+        ring_.resize(capacity == 0 ? 1 : capacity);
+    }
+
+    tracer(const tracer&) = delete;
+    tracer& operator=(const tracer&) = delete;
+
+    ~tracer() { flush(); }
+
+    void push(util::sim_time at, record_type type, std::uint8_t aux,
+              std::uint16_t stream, std::uint64_t a, std::uint64_t b) {
+        record& r = ring_[head_];
+        r.at = static_cast<std::uint64_t>(at);
+        r.a = a;
+        r.b = b;
+        r.flow = flow_;
+        r.stream = stream;
+        r.type = static_cast<std::uint8_t>(type);
+        r.aux = aux;
+        ++recorded_;
+        if (++head_ == ring_.size()) {
+            if (out_ != nullptr) {
+                out_->on_records(ring_.data(), ring_.size());
+            } else {
+                wrapped_ = true;
+            }
+            head_ = 0;
+        }
+    }
+
+    /// Spill the buffered tail to the sink (no-op in flight-recorder
+    /// mode). Safe to call repeatedly; the destructor calls it too.
+    void flush() {
+        if (out_ == nullptr || head_ == 0) return;
+        out_->on_records(ring_.data(), head_);
+        head_ = 0;
+    }
+
+    /// Flight-recorder window, oldest first.
+    std::vector<record> snapshot() const {
+        std::vector<record> out;
+        if (wrapped_) {
+            out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+                       ring_.end());
+            out.insert(out.end(), ring_.begin(),
+                       ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+        } else {
+            out.insert(out.end(), ring_.begin(),
+                       ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+        }
+        return out;
+    }
+
+    std::uint32_t flow() const { return flow_; }
+    std::uint64_t recorded() const { return recorded_; }
+    /// Records lost to ring overwrite (flight-recorder mode only; a sink
+    /// makes the ring lossless).
+    std::uint64_t dropped() const {
+        if (out_ != nullptr) return 0;
+        const std::uint64_t kept = wrapped_ ? ring_.size() : head_;
+        return recorded_ - kept;
+    }
+
+private:
+    std::uint32_t flow_;
+    sink* out_;
+    std::vector<record> ring_;
+    std::size_t head_ = 0;
+    bool wrapped_ = false;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace vtp::trace

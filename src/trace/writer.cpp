@@ -1,0 +1,139 @@
+#include "trace/writer.hpp"
+
+#include <cstring>
+
+namespace vtp::trace {
+
+namespace {
+
+void put_u16(std::FILE* f, std::uint16_t v) {
+    const std::uint8_t b[2] = {static_cast<std::uint8_t>(v & 0xff),
+                               static_cast<std::uint8_t>(v >> 8)};
+    std::fwrite(b, 1, 2, f);
+}
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    std::fwrite(b, 1, 4, f);
+}
+
+} // namespace
+
+file_writer::file_writer(const std::string& path) {
+    f_ = std::fopen(path.c_str(), "wb");
+    if (f_ == nullptr) return;
+    std::fwrite(file_magic, 1, sizeof(file_magic), f_);
+    put_u16(f_, file_version);
+    put_u16(f_, static_cast<std::uint16_t>(sizeof(record)));
+}
+
+file_writer::~file_writer() { close(); }
+
+void file_writer::on_records(const record* r, std::size_t n) {
+    if (f_ == nullptr || n == 0) return;
+    put_u32(f_, static_cast<std::uint32_t>(n));
+    std::fwrite(r, sizeof(record), n, f_);
+    ++frames_;
+    records_ += n;
+}
+
+void file_writer::close() {
+    if (f_ != nullptr) {
+        std::fclose(f_);
+        f_ = nullptr;
+    }
+}
+
+async_writer::async_writer(const std::string& path, std::size_t max_queued_frames)
+    : out_(path), max_queued_(max_queued_frames == 0 ? 1 : max_queued_frames) {
+    if (out_.ok()) thread_ = std::thread([this] { run(); });
+}
+
+async_writer::~async_writer() { close(); }
+
+void async_writer::on_records(const record* r, std::size_t n) {
+    if (!out_.ok() || n == 0) return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closing_ || queue_.size() >= max_queued_) {
+            ++dropped_;
+            return;
+        }
+        queue_.emplace_back(r, r + n);
+        accepted_records_ += n;
+    }
+    cv_.notify_one();
+}
+
+void async_writer::close() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closing_) return;
+        closing_ = true;
+    }
+    cv_.notify_one();
+    if (thread_.joinable()) thread_.join();
+    out_.close();
+}
+
+std::uint64_t async_writer::frames_dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+std::uint64_t async_writer::records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return accepted_records_;
+}
+
+void async_writer::run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cv_.wait(lock, [this] { return closing_ || !queue_.empty(); });
+        while (!queue_.empty()) {
+            std::vector<record> frame = std::move(queue_.front());
+            queue_.pop_front();
+            lock.unlock();
+            out_.on_records(frame.data(), frame.size());
+            lock.lock();
+        }
+        if (closing_) return;
+    }
+}
+
+bool read_trace_file(const std::string& path, std::vector<record>& out) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::uint8_t header[8];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header) ||
+        std::memcmp(header, file_magic, sizeof(file_magic)) != 0) {
+        std::fclose(f);
+        return false;
+    }
+    const std::uint16_t version =
+        static_cast<std::uint16_t>(header[4] | (header[5] << 8));
+    const std::uint16_t rec_size =
+        static_cast<std::uint16_t>(header[6] | (header[7] << 8));
+    if (version != file_version || rec_size != sizeof(record)) {
+        std::fclose(f);
+        return false;
+    }
+    std::uint8_t lenb[4];
+    while (std::fread(lenb, 1, 4, f) == 4) {
+        std::uint32_t n = 0;
+        for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(lenb[i]) << (8 * i);
+        const std::size_t base = out.size();
+        out.resize(base + n);
+        if (std::fread(out.data() + base, sizeof(record), n, f) != n) {
+            // Truncated tail frame (e.g. a crash mid-write): keep the
+            // prefix that did land — that is the flight-recorder promise.
+            out.resize(base);
+            break;
+        }
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace vtp::trace

@@ -1,0 +1,100 @@
+// Trace file I/O: length-prefixed frames of flight-recorder records.
+//
+// File layout (all little-endian):
+//   header : magic "VTPT" | u16 version (1) | u16 record size (32)
+//   frame* : u32 record count | count * record
+//
+// Frames are whatever the tracers spilled — the reader flattens them
+// back into one chronologically interleaved record stream (a shared
+// writer serializes multiple flows; per-flow order is always preserved,
+// and on the single-threaded simulator the global order is the event
+// order, which is what makes same-seed traces bit-identical).
+//
+// `file_writer` writes synchronously on the caller's thread (simulator,
+// tools). `async_writer` is the engine's per-shard spool: the shard
+// thread enqueues frames on a mutex-guarded queue and a dedicated writer
+// thread drains them to disk, so trace I/O never blocks the datapath
+// turn. A bounded queue drops whole frames under backpressure (counted,
+// like every other overflow in the engine).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace vtp::trace {
+
+inline constexpr char file_magic[4] = {'V', 'T', 'P', 'T'};
+inline constexpr std::uint16_t file_version = 1;
+
+/// Synchronous writer; flows sharing it interleave in call order.
+class file_writer final : public sink {
+public:
+    explicit file_writer(const std::string& path);
+    ~file_writer() override;
+
+    file_writer(const file_writer&) = delete;
+    file_writer& operator=(const file_writer&) = delete;
+
+    bool ok() const { return f_ != nullptr; }
+    void on_records(const record* r, std::size_t n) override;
+    /// Frames and records written so far.
+    std::uint64_t frames() const { return frames_; }
+    std::uint64_t records() const { return records_; }
+    void close();
+
+private:
+    std::FILE* f_ = nullptr;
+    std::uint64_t frames_ = 0;
+    std::uint64_t records_ = 0;
+};
+
+/// Per-shard writer thread: on_records() copies the frame into a bounded
+/// queue and returns; the spool thread owns the file.
+class async_writer final : public sink {
+public:
+    /// `max_queued_frames` bounds datapath-side memory; overflow drops
+    /// the frame and counts it (frames_dropped).
+    explicit async_writer(const std::string& path,
+                          std::size_t max_queued_frames = 1024);
+    ~async_writer() override;
+
+    async_writer(const async_writer&) = delete;
+    async_writer& operator=(const async_writer&) = delete;
+
+    bool ok() const { return out_.ok(); }
+    void on_records(const record* r, std::size_t n) override;
+    /// Drain the queue and close the file (idempotent; the destructor
+    /// calls it). After close() further frames are dropped.
+    void close();
+    std::uint64_t frames_dropped() const;
+    /// Records accepted into the queue so far (whether or not the spool
+    /// thread has flushed them yet).
+    std::uint64_t records() const;
+
+private:
+    void run();
+
+    file_writer out_;
+    std::size_t max_queued_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::vector<record>> queue_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t accepted_records_ = 0;
+    bool closing_ = false;
+    std::thread thread_;
+};
+
+/// Whole-file load; returns false on missing/corrupt header. Frames are
+/// flattened into `out` in file order.
+bool read_trace_file(const std::string& path, std::vector<record>& out);
+
+} // namespace vtp::trace

@@ -1,0 +1,197 @@
+// Metrics registry tests: log-linear histogram percentiles checked
+// against a brute-force sorted reference, bucket-geometry invariants,
+// merge semantics, a multi-threaded registry hammer (totals must be
+// exact — updates are wait-free, never lossy), Prometheus text
+// rendering, and the engine-level aggregation surface.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "engine/server.hpp"
+#include "net/udp_host.hpp"
+#include "trace/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vtp;
+using trace::counter;
+using trace::gauge;
+using trace::histogram;
+using trace::registry;
+
+TEST(histogram_test, bucket_geometry_invariants) {
+    // Every value lands in a bucket whose bounds bracket it, and the
+    // relative bucket width stays within the advertised 1/2^sub_bits.
+    std::uint64_t probes[] = {0,    1,     15,        16,        17,
+                              100,  1023,  1024,      99'999,    1'000'000,
+                              1u << 30,    (1ull << 40) + 12345, ~0ull >> 2};
+    for (std::uint64_t v : probes) {
+        const std::size_t i = histogram::bucket_index(v);
+        ASSERT_LT(i, histogram::bucket_count) << v;
+        EXPECT_GE(histogram::bucket_upper(i), v) << v;
+        if (i > 0) EXPECT_LT(histogram::bucket_upper(i - 1), v) << v;
+        if (v >= histogram::sub_count) {
+            const double width = static_cast<double>(histogram::bucket_upper(i)) -
+                                 static_cast<double>(histogram::bucket_upper(i - 1));
+            EXPECT_LE(width / static_cast<double>(v), 1.0 / histogram::sub_count + 1e-9)
+                << v;
+        }
+    }
+    // Exact below 2^sub_bits.
+    for (std::uint64_t v = 0; v < histogram::sub_count; ++v)
+        EXPECT_EQ(histogram::bucket_upper(histogram::bucket_index(v)), v);
+}
+
+TEST(histogram_test, percentiles_match_brute_force_within_bucket_error) {
+    util::rng rng(42);
+    histogram h;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 20'000; ++i) {
+        // Heavy-tailed: uniform exponent, uniform mantissa — exercises
+        // the log-linear range, like latency distributions do.
+        const unsigned exp = static_cast<unsigned>(rng.next_u64() % 24);
+        const std::uint64_t v = rng.next_u64() % ((1ull << exp) + 1);
+        values.push_back(v);
+        h.observe(v);
+    }
+    std::sort(values.begin(), values.end());
+    ASSERT_EQ(h.count(), values.size());
+    EXPECT_EQ(h.max(), values.back());
+
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        // Same rank rule percentile() uses: 1-based floor, clamped.
+        std::size_t rank =
+            static_cast<std::size_t>(q * static_cast<double>(values.size()));
+        rank = std::clamp<std::size_t>(rank, 1, values.size());
+        const std::uint64_t exact = values[rank - 1];
+        const std::uint64_t approx = h.percentile(q);
+        // percentile() reports the bucket's inclusive upper bound: never
+        // below the true quantile, above by at most one bucket width.
+        EXPECT_GE(approx, exact) << "q=" << q;
+        EXPECT_LE(approx, exact + exact / histogram::sub_count + 1) << "q=" << q;
+    }
+    EXPECT_EQ(histogram{}.percentile(0.5), 0u);
+}
+
+TEST(histogram_test, merge_accumulates_counts_sums_and_max) {
+    histogram a;
+    histogram b;
+    for (std::uint64_t v = 0; v < 100; ++v) a.observe(v);
+    for (std::uint64_t v = 1000; v < 1100; ++v) b.observe(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.sum(), 99u * 100 / 2 + (1000u + 1099u) * 100 / 2);
+    EXPECT_EQ(a.max(), 1099u);
+    EXPECT_GE(a.percentile(0.9), 1000u);
+}
+
+TEST(registry_test, concurrent_observers_never_lose_updates) {
+    registry reg;
+    counter& hits = reg.get_counter("hits");
+    gauge& depth = reg.get_gauge("depth");
+    histogram& lat = reg.get_histogram("lat");
+
+    constexpr int n_threads = 8;
+    constexpr int per_thread = 50'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                hits.add();
+                depth.add(1);
+                lat.observe(static_cast<std::uint64_t>(t * per_thread + i));
+            }
+        });
+    // Concurrent find-or-create of the same names from another thread
+    // must return the same series objects.
+    std::thread racer([&] {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_EQ(&reg.get_counter("hits"), &hits);
+    });
+    for (auto& th : threads) th.join();
+    racer.join();
+
+    constexpr std::uint64_t total = n_threads * per_thread;
+    EXPECT_EQ(hits.value(), total);
+    EXPECT_EQ(depth.value(), static_cast<std::int64_t>(total));
+    EXPECT_EQ(lat.count(), total);
+    EXPECT_EQ(lat.sum(), total * (total - 1) / 2);
+    EXPECT_EQ(lat.max(), total - 1);
+}
+
+TEST(registry_test, merge_by_name_creates_and_accumulates) {
+    registry a;
+    registry b;
+    a.get_counter("shared").add(3);
+    b.get_counter("shared").add(4);
+    b.get_counter("only_b").add(1);
+    a.get_gauge("sessions").set(10);
+    b.get_gauge("sessions").set(5);
+    b.get_histogram("h").observe(7);
+    a.merge(b);
+    EXPECT_EQ(a.get_counter("shared").value(), 7u);
+    EXPECT_EQ(a.get_counter("only_b").value(), 1u);
+    EXPECT_EQ(a.get_gauge("sessions").value(), 15); // shards partition the total
+    EXPECT_EQ(a.get_histogram("h").count(), 1u);
+    EXPECT_EQ(a.series_count(), 4u);
+}
+
+TEST(registry_test, prometheus_text_renders_all_series_kinds) {
+    registry reg;
+    reg.get_counter("vtp_rx_total", "Datagrams received").add(42);
+    reg.get_gauge("vtp_sessions", "Live sessions").set(3);
+    histogram& h = reg.get_histogram("vtp_turn_ns", "Shard turn duration");
+    h.observe(5);
+    h.observe(5000);
+
+    const std::string text = reg.prometheus_text();
+    EXPECT_NE(text.find("# HELP vtp_rx_total Datagrams received"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE vtp_rx_total counter"), std::string::npos);
+    EXPECT_NE(text.find("vtp_rx_total 42"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE vtp_sessions gauge"), std::string::npos);
+    EXPECT_NE(text.find("vtp_sessions 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE vtp_turn_ns histogram"), std::string::npos);
+    EXPECT_NE(text.find("vtp_turn_ns_bucket{le=\"+Inf\"} 2"), std::string::npos);
+    EXPECT_NE(text.find("vtp_turn_ns_sum 5005"), std::string::npos);
+    EXPECT_NE(text.find("vtp_turn_ns_count 2"), std::string::npos);
+    // Cumulative buckets: the +Inf count equals the total, and every
+    // rendered bucket count is non-decreasing in le order.
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+bool sockets_available() {
+    try {
+        net::event_loop probe_loop;
+        net::udp_host probe(probe_loop, 39997);
+        return true;
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+TEST(engine_metrics_test, server_aggregates_at_least_twelve_series) {
+    if (!sockets_available()) GTEST_SKIP() << "no socket support in sandbox";
+
+    engine::engine_config cfg;
+    cfg.port = 42070;
+    cfg.shards = 2;
+    cfg.rng_seed = 11;
+    engine::server srv(cfg);
+    srv.start();
+
+    const auto reg = srv.metrics();
+    EXPECT_GE(reg->series_count(), 12u);
+    const std::string text = srv.metrics_text();
+    for (const char* name :
+         {"vtp_datagrams_rx_total", "vtp_datagrams_tx_total", "vtp_sessions",
+          "vtp_accepted_total", "vtp_events_dropped_total", "vtp_shard_turn_ns",
+          "vtp_timer_fire_latency_ns", "vtp_event_ring_occupancy", "vtp_rtt_ns"})
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+    srv.stop();
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+// Flight-recorder tests: same-seed determinism of the binary record
+// stream, ring-overflow accounting in flight-recorder mode, the
+// length-prefixed file format round trip (including truncated tails),
+// the async spool writer, and the qlog JSON export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/scenario.hpp"
+#include "testing/scenario_runner.hpp"
+#include "trace/qlog.hpp"
+#include "trace/record.hpp"
+#include "trace/tracer.hpp"
+#include "trace/writer.hpp"
+
+namespace {
+
+using namespace vtp;
+using namespace vtp::trace;
+namespace st = vtp::testing; // gtest owns the unqualified `testing`
+
+std::vector<record> record_scenario(const char* name, std::uint64_t seed,
+                                    memory_sink& sink) {
+    const auto* spec = st::find_scenario(name);
+    EXPECT_NE(spec, nullptr) << name;
+    st::scenario_run_options opts;
+    opts.seed = seed;
+    opts.collect_trace = false;
+    opts.trace_sink = &sink;
+    const auto result = st::run_scenario(*spec, opts);
+    EXPECT_TRUE(result.passed) << st::summarize(result);
+    return sink.records();
+}
+
+TEST(trace_determinism_test, same_seed_streams_are_bit_identical) {
+    memory_sink a;
+    memory_sink b;
+    const auto ra = record_scenario("wireless_burst_loss", 0, a);
+    const auto rb = record_scenario("wireless_burst_loss", 0, b);
+    ASSERT_FALSE(ra.empty());
+    ASSERT_EQ(a.bytes().size(), b.bytes().size());
+    EXPECT_EQ(a.bytes(), b.bytes());
+
+    // A different seed must perturb the stream (loss pattern differs).
+    memory_sink c;
+    const auto rc = record_scenario("wireless_burst_loss", 99, c);
+    EXPECT_NE(a.bytes(), c.bytes());
+}
+
+TEST(trace_determinism_test, stream_covers_both_endpoints_and_lifecycle) {
+    memory_sink sink;
+    const auto recs = record_scenario("wired_baseline_reliable", 0, sink);
+    ASSERT_FALSE(recs.empty());
+    std::set<std::uint8_t> types;
+    std::set<std::uint32_t> flows;
+    for (const auto& r : recs) {
+        types.insert(r.type);
+        flows.insert(r.flow);
+        EXPECT_NE(r.type, static_cast<std::uint8_t>(record_type::none));
+    }
+    // Sender and receiver of flow 1 share the flow id; both vantage
+    // points feed one stream.
+    EXPECT_TRUE(flows.count(1u));
+    EXPECT_TRUE(types.count(static_cast<std::uint8_t>(record_type::packet_tx)));
+    EXPECT_TRUE(types.count(static_cast<std::uint8_t>(record_type::packet_rx)));
+    EXPECT_TRUE(types.count(static_cast<std::uint8_t>(record_type::feedback_tx)));
+    EXPECT_TRUE(types.count(static_cast<std::uint8_t>(record_type::ack_rx)));
+    EXPECT_TRUE(types.count(static_cast<std::uint8_t>(record_type::established)));
+    EXPECT_TRUE(types.count(static_cast<std::uint8_t>(record_type::closed)));
+}
+
+TEST(trace_ring_test, flight_recorder_overwrites_and_counts_drops) {
+    tracer t(7, 16);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        t.push(static_cast<util::sim_time>(i), record_type::packet_tx, 0, 0, i, 0);
+    EXPECT_EQ(t.recorded(), 100u);
+    EXPECT_EQ(t.dropped(), 100u - 16u);
+    const auto window = t.snapshot();
+    ASSERT_EQ(window.size(), 16u);
+    // Oldest-first chronological window: the last 16 pushes survive.
+    for (std::size_t i = 0; i < window.size(); ++i)
+        EXPECT_EQ(window[i].a, 100u - 16u + i);
+}
+
+TEST(trace_ring_test, sink_makes_the_ring_lossless) {
+    memory_sink sink;
+    {
+        tracer t(7, 16, &sink);
+        for (std::uint64_t i = 0; i < 100; ++i)
+            t.push(static_cast<util::sim_time>(i), record_type::packet_tx, 0, 0, i, 0);
+        EXPECT_EQ(t.dropped(), 0u);
+        // 6 full frames spilled; the 4-record tail flushes at destruction.
+        EXPECT_EQ(sink.records().size(), 96u);
+    }
+    ASSERT_EQ(sink.records().size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(sink.records()[i].a, i);
+}
+
+TEST(trace_ring_test, scenario_stats_report_ring_overflow) {
+    const auto* spec = st::find_scenario("wired_baseline_reliable");
+    ASSERT_NE(spec, nullptr);
+    st::scenario_run_options opts;
+    opts.trace_ring_records = 32; // tiny ring, no sink: overwrites expected
+    const auto result = st::run_scenario(*spec, opts);
+    ASSERT_TRUE(result.passed) << st::summarize(result);
+    ASSERT_FALSE(result.flows.empty());
+    const auto& cs = result.flows[0].client_stats;
+    EXPECT_GT(cs.trace_events_recorded, 32u);
+    EXPECT_EQ(cs.trace_events_dropped, cs.trace_events_recorded - 32u);
+}
+
+TEST(trace_writer_test, file_round_trip_preserves_frames) {
+    const std::string path = ::testing::TempDir() + "trace_rt.vtpt";
+    std::vector<record> written;
+    {
+        file_writer w(path);
+        ASSERT_TRUE(w.ok());
+        tracer t(3, 8, &w);
+        for (std::uint64_t i = 0; i < 21; ++i)
+            t.push(static_cast<util::sim_time>(i * 10), record_type::packet_rx, 0,
+                   static_cast<std::uint16_t>(i % 3), i, i * 2);
+        t.flush();
+        EXPECT_EQ(w.records(), 21u);
+        EXPECT_EQ(w.frames(), 3u); // 8 + 8 + 5
+        w.close();
+    }
+    std::vector<record> got;
+    ASSERT_TRUE(read_trace_file(path, got));
+    ASSERT_EQ(got.size(), 21u);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].at, i * 10);
+        EXPECT_EQ(got[i].a, i);
+        EXPECT_EQ(got[i].b, i * 2);
+        EXPECT_EQ(got[i].flow, 3u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(trace_writer_test, truncated_tail_frame_keeps_prefix) {
+    const std::string path = ::testing::TempDir() + "trace_trunc.vtpt";
+    {
+        file_writer w(path);
+        record r{};
+        r.type = static_cast<std::uint8_t>(record_type::packet_tx);
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            r.a = i;
+            w.on_records(&r, 1);
+        }
+        w.close();
+    }
+    {
+        // Append a frame header promising 100 records it never delivers.
+        std::ofstream app(path, std::ios::binary | std::ios::app);
+        const std::uint32_t bogus = 100;
+        app.write(reinterpret_cast<const char*>(&bogus), sizeof bogus);
+    }
+    std::vector<record> got;
+    ASSERT_TRUE(read_trace_file(path, got));
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[3].a, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(trace_writer_test, reader_rejects_bad_magic) {
+    const std::string path = ::testing::TempDir() + "trace_bad.vtpt";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "NOPE garbage";
+    }
+    std::vector<record> got;
+    EXPECT_FALSE(read_trace_file(path, got));
+    EXPECT_FALSE(read_trace_file(::testing::TempDir() + "no_such.vtpt", got));
+    std::remove(path.c_str());
+}
+
+TEST(trace_writer_test, async_writer_spools_to_disk) {
+    const std::string path = ::testing::TempDir() + "trace_async.vtpt";
+    {
+        async_writer w(path);
+        ASSERT_TRUE(w.ok());
+        record r{};
+        r.type = static_cast<std::uint8_t>(record_type::cc_sample);
+        for (std::uint64_t i = 0; i < 50; ++i) {
+            r.at = i;
+            r.a = i;
+            w.on_records(&r, 1);
+        }
+        EXPECT_EQ(w.records(), 50u);
+        EXPECT_EQ(w.frames_dropped(), 0u);
+        w.close();
+    }
+    std::vector<record> got;
+    ASSERT_TRUE(read_trace_file(path, got));
+    ASSERT_EQ(got.size(), 50u);
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i].a, i);
+    std::remove(path.c_str());
+}
+
+TEST(trace_qlog_test, export_groups_per_flow_and_names_events) {
+    memory_sink sink;
+    record_scenario("wired_baseline_reliable", 0, sink);
+    std::ostringstream os;
+    const std::size_t flows = write_qlog_json(sink.records(), os);
+    EXPECT_GE(flows, 1u);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"qlog_version\":\"0.4\""), std::string::npos);
+    EXPECT_NE(out.find("transport:packet_sent"), std::string::npos);
+    EXPECT_NE(out.find("connectivity:connection_closed"), std::string::npos);
+    EXPECT_NE(out.find("\"flow_id\":1"), std::string::npos);
+
+    // Flow filter keeps exactly one trace group.
+    std::ostringstream one;
+    EXPECT_EQ(write_qlog_json(sink.records(), one, 1u), 1u);
+    EXPECT_EQ(write_qlog_json(sink.records(), one, 0xdeadu), 0u);
+}
+
+TEST(trace_record_test, type_names_round_trip) {
+    for (int t = 1; t <= 13; ++t) {
+        const auto rt = static_cast<record_type>(t);
+        EXPECT_EQ(type_from_string(type_name(rt)), rt);
+    }
+    EXPECT_EQ(type_from_string("definitely_not_a_type"), record_type::none);
+}
+
+} // namespace

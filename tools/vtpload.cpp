@@ -10,15 +10,19 @@
 // of the full engine datapath (encode_segment_into + buffer_pool +
 // sendmmsg on one side, recvmmsg + decode + demux + event export on the
 // other). Reports aggregate throughput, engine datapath counters
-// (packets/sec, batching, handoff, event drops) and the p50/p99 of
-// per-session completion latency (connect to FIN-acked). Exit status
-// gates CI smoke runs: non-zero when --min-pps is not met, any engine
-// decode error is counted, any session fails to complete, or any
-// --payload byte mismatches.
+// (packets/sec, batching, handoff, event drops) and the
+// p50/p90/p99/p99.9/max of per-session completion latency (connect to
+// FIN-acked; a log-linear trace::histogram, <=6.25%% quantile error).
+// --metrics-out dumps the engine's full metrics registry as Prometheus
+// text; --json embeds a digest of the same snapshot. Exit status gates
+// CI smoke runs: non-zero when --min-pps is not met, any engine decode
+// error is counted, any session fails to complete, or any --payload
+// byte mismatches.
 //
 //   vtpload --clients 200 --streams 2 --bytes 40000 --shards 4
 //   vtpload --clients 100 --min-pps 2000 --json vtpload.json   # CI smoke
 //   vtpload --clients 40 --payload --json vtpload_payload.json # checksum
+//   vtpload --clients 50 --metrics-out metrics.prom            # Prometheus
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +38,7 @@
 #include "cc/algorithm_id.hpp"
 #include "engine/server.hpp"
 #include "net/udp_host.hpp"
+#include "trace/metrics.hpp"
 #include "util/pattern.hpp"
 
 using namespace vtp;
@@ -53,6 +58,8 @@ struct options {
     bool payload = false; ///< real pattern bytes, verified at the server
     vtp::cc::algorithm_id cc = vtp::cc::algorithm_id::tfrc; ///< client cc algorithm
     std::string json;
+    std::string metrics_out; ///< Prometheus text dump ("-" = stdout)
+    std::string trace_dir;   ///< engine flight-recorder spool directory
 };
 
 using util::pattern_byte;
@@ -98,6 +105,10 @@ bool parse(int argc, char** argv, options& o) {
             }
         } else if (a == "--json") {
             o.json = next();
+        } else if (a == "--metrics-out") {
+            o.metrics_out = next();
+        } else if (a == "--trace-dir") {
+            o.trace_dir = next();
         } else {
             missing_value = true;
         }
@@ -107,18 +118,11 @@ bool parse(int argc, char** argv, options& o) {
                      "usage: vtpload [--port P] [--shards N] [--clients K] "
                      "[--streams M] [--bytes B] [--packet-size S] "
                      "[--timeout SEC] [--min-pps FLOOR] [--payload] "
-                     "[--cc tfrc|newreno|westwood] [--json PATH]\n");
+                     "[--cc tfrc|newreno|westwood] [--json PATH] "
+                     "[--metrics-out PATH|-] [--trace-dir DIR]\n");
         return false;
     }
     return true;
-}
-
-double percentile(std::vector<double> v, double p) {
-    if (v.empty()) return 0.0;
-    std::sort(v.begin(), v.end());
-    const std::size_t idx = static_cast<std::size_t>(
-        p * static_cast<double>(v.size() - 1) + 0.5);
-    return v[std::min(idx, v.size() - 1)];
 }
 
 } // namespace
@@ -134,6 +138,9 @@ int main(int argc, char** argv) {
     // The application thread polls every few milliseconds; size the
     // export ring for a full polling gap at peak delivery rate.
     cfg.event_queue_capacity = 1 << 15;
+    // Flight-recorder spool: every accepted session records into
+    // <trace_dir>/trace-shard<i>.vtpt through the per-shard writer thread.
+    cfg.trace_dir = opt.trace_dir;
     engine::server srv(cfg);
     // v2 API: no per-session callbacks — every accepted session exports
     // its events (fin with the stream length; readable with the payload
@@ -223,16 +230,18 @@ int main(int argc, char** argv) {
         }
     };
 
-    std::vector<double> done_ms(sessions.size(), -1.0);
+    std::vector<bool> done(sessions.size(), false);
+    trace::histogram latency_ns; ///< completion latency distribution
     std::size_t remaining = sessions.size();
     const util::sim_time deadline = t0 + util::seconds(opt.timeout_s);
     while (remaining > 0 && loop.now() < deadline) {
         loop.run(milliseconds(5));
         drain_events();
-        const double now_ms = util::to_milliseconds(loop.now() - t0);
+        const util::sim_time now = loop.now();
         for (std::size_t i = 0; i < sessions.size(); ++i) {
-            if (done_ms[i] >= 0.0 || !sessions[i].closed()) continue;
-            done_ms[i] = now_ms;
+            if (done[i] || !sessions[i].closed()) continue;
+            done[i] = true;
+            latency_ns.observe(static_cast<std::uint64_t>(now - t0));
             --remaining;
         }
     }
@@ -260,17 +269,19 @@ int main(int argc, char** argv) {
     const double pps =
         static_cast<double>(st.datagrams_rx + st.datagrams_tx) / elapsed_s;
 
-    std::vector<double> completed;
-    for (double d : done_ms)
-        if (d >= 0.0) completed.push_back(d);
-    const double p50 = percentile(completed, 0.50);
-    const double p99 = percentile(completed, 0.99);
+    const std::size_t completed =
+        static_cast<std::size_t>(latency_ns.count());
+    const double p50 = static_cast<double>(latency_ns.percentile(0.50)) / 1e6;
+    const double p90 = static_cast<double>(latency_ns.percentile(0.90)) / 1e6;
+    const double p99 = static_cast<double>(latency_ns.percentile(0.99)) / 1e6;
+    const double p999 = static_cast<double>(latency_ns.percentile(0.999)) / 1e6;
+    const double lat_max = static_cast<double>(latency_ns.max()) / 1e6;
 
     std::printf("# vtpload — %d clients x %d streams x %llu bytes -> "
                 "engine (%zu shards) on :%u\n",
                 opt.clients, opt.streams,
                 static_cast<unsigned long long>(opt.bytes), opt.shards, opt.port);
-    std::printf("completed sessions   %zu / %zu\n", completed.size(), sessions.size());
+    std::printf("completed sessions   %zu / %zu\n", completed, sessions.size());
     std::printf("elapsed              %.2f s\n", elapsed_s);
     std::printf("delivered            %.2f MB (%.2f Mb/s)\n",
                 static_cast<double>(total_bytes) / 1e6, goodput_mbps);
@@ -282,7 +293,9 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(st.datagrams_rx) /
                           static_cast<double>(st.rx_batches)
                     : 0.0);
-    std::printf("session latency      p50 %.1f ms  p99 %.1f ms\n", p50, p99);
+    std::printf("session latency      p50 %.1f  p90 %.1f  p99 %.1f  p99.9 %.1f  "
+                "max %.1f ms\n",
+                p50, p90, p99, p999, lat_max);
     std::printf("congestion control   %s  swaps=%llu (engine saw %llu)  "
                 "bw_est mean %.2f Mb/s\n",
                 vtp::cc::to_string(opt.cc), static_cast<unsigned long long>(cc_swaps),
@@ -301,7 +314,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(payload_bytes - payload_mismatch),
                     static_cast<unsigned long long>(payload_mismatch));
 
-    const bool all_done = completed.size() == sessions.size();
+    const bool all_done = completed == sessions.size();
     const bool pps_ok = opt.min_pps <= 0.0 || pps >= opt.min_pps;
     const bool clean = st.decode_errors == 0;
     // The checksum gate requires *coverage*, not just zero mismatches:
@@ -318,18 +331,39 @@ int main(int argc, char** argv) {
                     pps_ok ? "" : " pps-below-floor", clean ? "" : " decode-errors",
                     payload_ok ? "" : " payload-mismatch-or-incomplete");
 
+    // Engine metrics snapshot: the Prometheus dump and the digest the
+    // JSON report embeds come from the same registry merge.
+    const std::unique_ptr<trace::registry> metrics = srv.metrics();
+    if (!opt.metrics_out.empty()) {
+        const std::string text = metrics->prometheus_text();
+        if (opt.metrics_out == "-") {
+            std::fputs(text.c_str(), stdout);
+        } else if (std::FILE* f = std::fopen(opt.metrics_out.c_str(), "w")) {
+            std::fputs(text.c_str(), f);
+            std::fclose(f);
+            std::printf("metrics              %zu series -> %s\n",
+                        metrics->series_count(), opt.metrics_out.c_str());
+        } else {
+            std::fprintf(stderr, "vtpload: could not write %s\n",
+                         opt.metrics_out.c_str());
+        }
+    }
+
     if (!opt.json.empty()) {
-        bench::json_report rep;
+        bench::json_report rep("vtpload");
         rep.add("clients", static_cast<std::uint64_t>(opt.clients));
         rep.add("streams", static_cast<std::uint64_t>(opt.streams));
         rep.add("bytes_per_stream", opt.bytes);
         rep.add("shards", static_cast<std::uint64_t>(opt.shards));
-        rep.add("completed", static_cast<std::uint64_t>(completed.size()));
+        rep.add("completed", static_cast<std::uint64_t>(completed));
         rep.add("elapsed_s", elapsed_s);
         rep.add("goodput_mbps", goodput_mbps);
         rep.add("packets_per_sec", pps);
         rep.add("latency_p50_ms", p50);
+        rep.add("latency_p90_ms", p90);
         rep.add("latency_p99_ms", p99);
+        rep.add("latency_p999_ms", p999);
+        rep.add("latency_max_ms", lat_max);
         rep.add("datagrams_rx", st.datagrams_rx);
         rep.add("datagrams_tx", st.datagrams_tx);
         rep.add("decode_errors", st.decode_errors);
@@ -342,6 +376,22 @@ int main(int argc, char** argv) {
         rep.add("payload_mode", opt.payload);
         rep.add("payload_bytes_verified", payload_bytes - payload_mismatch);
         rep.add("payload_mismatch_bytes", payload_mismatch);
+        rep.add("metrics_series", static_cast<std::uint64_t>(metrics->series_count()));
+        rep.add("shard_turn_p99_us",
+                static_cast<double>(
+                    metrics->get_histogram("vtp_shard_turn_ns").percentile(0.99)) /
+                    1e3);
+        rep.add("timer_fire_latency_p99_us",
+                static_cast<double>(
+                    metrics->get_histogram("vtp_timer_fire_latency_ns")
+                        .percentile(0.99)) /
+                    1e3);
+        rep.add("rtt_p50_us",
+                static_cast<double>(
+                    metrics->get_histogram("vtp_rtt_ns").percentile(0.50)) /
+                    1e3);
+        rep.add("event_ring_occupancy_max",
+                metrics->get_histogram("vtp_event_ring_occupancy").max());
         rep.add("pass", ok);
         if (!rep.write(opt.json))
             std::fprintf(stderr, "vtpload: could not write %s\n", opt.json.c_str());

@@ -12,6 +12,14 @@
 //   vtpscenario --matrix reduced            # the ASan/UBSan CI subset
 //   vtpscenario --run wireless_burst_loss --cc westwood
 //   vtpscenario --matrix reduced --cc all   # per-algorithm dimension
+//   vtpscenario --all --trace flight-traces # .vtpt flight recording per run
+//
+// --trace <dir> records every run's flight-recorder stream (both
+// endpoints of every flow) to <dir>/<scenario>[-cc]-seed<seed>.vtpt,
+// decodable with vtptrace. Without --trace, a failing scenario is
+// deterministically re-run with the recorder on and its .vtpt lands
+// next to the CSV dump in --trace-dir — a red run always leaves a
+// packet-level trace behind.
 //
 // --cc forces every flow (and every scheduled renegotiation) onto one
 // congestion-control algorithm; `--cc all` expands the selection into a
@@ -34,6 +42,7 @@
 #include "cc/algorithm_id.hpp"
 #include "testing/scenario.hpp"
 #include "testing/scenario_runner.hpp"
+#include "trace/writer.hpp"
 #include "util/time.hpp"
 
 namespace {
@@ -45,6 +54,7 @@ struct options {
     std::string matrix; // "full" | "reduced"
     std::uint64_t seed = 0; // 0 = each scenario's own fixed seed
     std::string trace_dir = "scenario-traces";
+    std::string trace; // flight-recorder output dir ("" = only on failure)
     std::string cc; // "" = spec default | algorithm name | "all"
     bool quiet = false;
     bool verbose = false;
@@ -53,8 +63,8 @@ struct options {
 void usage() {
     std::fprintf(stderr,
                  "usage: vtpscenario [--list] [--run <name>] [--all] [--matrix full|reduced]\n"
-                 "                   [--seed <n>] [--trace-dir <dir>] [--quiet]\n"
-                 "                   [--cc tfrc|newreno|westwood|all]\n");
+                 "                   [--seed <n>] [--trace-dir <dir>] [--trace <dir>]\n"
+                 "                   [--quiet] [--cc tfrc|newreno|westwood|all]\n");
 }
 
 bool parse(int argc, char** argv, options& opt) {
@@ -73,6 +83,7 @@ bool parse(int argc, char** argv, options& opt) {
         else if (arg == "--matrix" && (v = need_value(i))) opt.matrix = v;
         else if (arg == "--seed" && (v = need_value(i))) opt.seed = std::strtoull(v, nullptr, 10);
         else if (arg == "--trace-dir" && (v = need_value(i))) opt.trace_dir = v;
+        else if (arg == "--trace" && (v = need_value(i))) opt.trace = v;
         else if (arg == "--cc" && (v = need_value(i))) opt.cc = v;
         else {
             std::fprintf(stderr, "unknown or incomplete option: %s\n", arg.c_str());
@@ -111,6 +122,30 @@ void dump_flows(const vtp::testing::scenario_result& result) {
     }
 }
 
+/// Record `spec` (same seed / cc override) into `<dir>/<stem>.vtpt`.
+/// Separate run: the oracle run above executed without trace hooks, so
+/// the recorded rerun doubles as the determinism check — its summarize()
+/// hash must match, and vtpscenario warns when it does not.
+std::uint64_t record_flight_trace(const vtp::testing::scenario_spec& spec,
+                                  vtp::testing::scenario_run_options ropts,
+                                  const std::string& dir, const std::string& stem,
+                                  std::string& path_out) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    path_out = dir + "/" + stem + ".vtpt";
+    vtp::trace::file_writer writer(path_out);
+    if (!writer.ok()) {
+        std::printf("  (could not open flight recorder at %s)\n", path_out.c_str());
+        path_out.clear();
+        return 0;
+    }
+    ropts.trace_sink = &writer;
+    ropts.collect_trace = false; // the CSV dump came from the oracle run
+    vtp::testing::run_scenario(spec, ropts);
+    writer.close();
+    return writer.records();
+}
+
 int run_one(const vtp::testing::scenario_spec& spec, const options& opt,
             std::optional<vtp::cc::algorithm_id> cc) {
     vtp::testing::scenario_run_options ropts;
@@ -119,6 +154,20 @@ int run_one(const vtp::testing::scenario_spec& spec, const options& opt,
     const auto result = vtp::testing::run_scenario(spec, ropts);
     const std::string cc_tag = cc ? std::string("[cc=") + vtp::cc::to_string(*cc) + "] " : "";
     std::printf("%s%s\n", cc_tag.c_str(), vtp::testing::summarize(result).c_str());
+
+    const std::string alg_suffix = cc ? std::string("-") + vtp::cc::to_string(*cc) : "";
+    const std::string stem =
+        result.name + alg_suffix + "-seed" + std::to_string(result.seed);
+    if (!opt.trace.empty()) {
+        std::string vtpt;
+        const std::uint64_t recs =
+            record_flight_trace(spec, ropts, opt.trace, stem, vtpt);
+        if (!vtpt.empty())
+            std::printf("  flight recorder: %s (%llu records) — vtptrace summary %s\n",
+                        vtpt.c_str(), static_cast<unsigned long long>(recs),
+                        vtpt.c_str());
+    }
+
     if (result.passed && !opt.verbose) return 0;
     for (const auto& v : result.violations)
         std::printf("  [%s] %s\n", v.invariant.c_str(), v.detail.c_str());
@@ -126,9 +175,7 @@ int run_one(const vtp::testing::scenario_spec& spec, const options& opt,
     if (result.passed) return 0;
     std::error_code ec;
     std::filesystem::create_directories(opt.trace_dir, ec);
-    const std::string alg_suffix = cc ? std::string("-") + vtp::cc::to_string(*cc) : "";
-    const std::string path = opt.trace_dir + "/" + result.name + alg_suffix + "-seed" +
-                             std::to_string(result.seed) + ".csv";
+    const std::string path = opt.trace_dir + "/" + stem + ".csv";
     if (vtp::testing::write_trace_csv(result, path)) {
         std::printf("  trace dump: %s (%zu deliveries)\n", path.c_str(),
                     result.trace.size());
@@ -139,6 +186,18 @@ int run_one(const vtp::testing::scenario_spec& spec, const options& opt,
     } else {
         std::printf("  (could not write trace dump under %s — does the directory exist?)\n",
                     opt.trace_dir.c_str());
+    }
+    // Failure without --trace: re-run deterministically with the flight
+    // recorder on so the artifact set always includes the packet-level
+    // view, not just the delivery CSV.
+    if (opt.trace.empty()) {
+        std::string vtpt;
+        const std::uint64_t recs =
+            record_flight_trace(spec, ropts, opt.trace_dir, stem, vtpt);
+        if (!vtpt.empty())
+            std::printf("  flight recorder: %s (%llu records) — vtptrace summary %s\n",
+                        vtpt.c_str(), static_cast<unsigned long long>(recs),
+                        vtpt.c_str());
     }
     return 1;
 }
