@@ -4,12 +4,18 @@ namespace vtp {
 
 namespace {
 
-qtp::listener_config make_listener_config(const server_options& opts) {
+qtp::listener_config make_listener_config(const server_options& opts,
+                                          trace::tracer* guard_tracer) {
     qtp::listener_config cfg;
     cfg.caps = opts.capabilities;
     cfg.capability_policy = opts.capability_policy;
+    cfg.guard = opts.guard;
+    cfg.tracer = guard_tracer;
     cfg.endpoint.packet_size = opts.packet_size;
     cfg.endpoint.handshake_rtx = opts.handshake_rtx;
+    cfg.endpoint.handshake_deadline = opts.handshake_deadline;
+    cfg.endpoint.reneg_rate_bps = opts.reneg_rate_bps;
+    cfg.endpoint.reneg_burst_bytes = opts.reneg_burst_bytes;
     cfg.endpoint.event_queue_capacity = opts.event_queue_capacity;
     cfg.endpoint.recv_buffer_bytes = opts.recv_buffer_bytes;
     cfg.endpoint.trace_ring_records = opts.trace_ring_records;
@@ -20,13 +26,31 @@ qtp::listener_config make_listener_config(const server_options& opts) {
 } // namespace
 
 server::server(qtp::environment& env, server_options opts)
-    : env_(env), listener_(make_listener_config(opts)) {
+    : env_(env),
+      opts_(std::move(opts)),
+      guard_tracer_(opts_.trace_ring_records > 0 && opts_.guard.tracking_enabled()
+                        ? std::make_unique<trace::tracer>(0, opts_.trace_ring_records,
+                                                          opts_.trace_sink)
+                        : nullptr),
+      listener_(make_listener_config(opts_, guard_tracer_.get())) {
     listener_.set_on_accept([this](std::uint32_t flow, qtp::connection_receiver& rx) {
         auto handle = std::unique_ptr<session>(new session(&rx, flow));
         session& ref = *handle;
         sessions_[flow] = std::move(handle);
         if (on_session_) on_session_(ref);
     });
+    if (opts_.max_sessions > 0 || opts_.max_half_open > 0) {
+        listener_.set_admission([this](std::uint32_t, std::uint32_t) {
+            // A refusal is a counted shed of a validated client — the
+            // caps bound the memory a flood that clears the cookie gate
+            // (or a legitimate stampede) can pin.
+            if (opts_.max_sessions > 0 && sessions_.size() >= opts_.max_sessions)
+                return false;
+            if (opts_.max_half_open > 0 && half_open() >= opts_.max_half_open)
+                return false;
+            return true;
+        });
+    }
     listener_.start(env);
     env.set_default_agent(&listener_);
 }
@@ -40,10 +64,39 @@ session* server::find(std::uint32_t flow_id) {
     return it == sessions_.end() ? nullptr : it->second.get();
 }
 
+std::size_t server::half_open() const {
+    std::size_t n = 0;
+    for (const auto& [flow, s] : sessions_)
+        if (s->half_open()) ++n;
+    return n;
+}
+
+server_stats server::stats() const {
+    const qtp::listener_guard_stats& g = listener_.guard_stats();
+    server_stats s;
+    s.accepted = listener_.accepted();
+    s.stray_packets = listener_.stray_packets();
+    s.stray_renegs = listener_.stray_renegs();
+    s.sessions = sessions_.size();
+    s.half_open = half_open();
+    s.retries_sent = g.retries_sent;
+    s.cookies_validated = g.cookies_validated;
+    s.cookies_rejected = g.cookies_rejected;
+    s.syn_rate_limited = g.syn_rate_limited;
+    s.stray_rate_limited = g.stray_rate_limited;
+    s.amplification_limited = g.amplification_limited;
+    s.shed = g.shed;
+    s.reneg_rate_limited = reneg_rate_limited_reaped_;
+    for (const auto& [flow, sess] : sessions_)
+        s.reneg_rate_limited += sess->stats().reneg_rate_limited;
+    return s;
+}
+
 std::size_t server::reap_closed() {
     std::size_t reaped = 0;
     for (auto it = sessions_.begin(); it != sessions_.end();) {
         if (it->second->closed()) {
+            reneg_rate_limited_reaped_ += it->second->stats().reneg_rate_limited;
             env_.detach_dynamic(it->first);
             it = sessions_.erase(it);
             ++reaped;

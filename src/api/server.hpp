@@ -48,9 +48,29 @@ struct server_options {
     std::uint64_t recv_buffer_bytes = 16u << 20;
 
     /// Flight-recorder tracing for accepted sessions (see
-    /// session_options::trace_ring_records / trace_sink).
+    /// session_options::trace_ring_records / trace_sink). When set, the
+    /// listener's accept-path guard decisions are traced too (flow 0,
+    /// record_type::guard).
     std::size_t trace_ring_records = 0;
     trace::sink* trace_sink = nullptr;
+
+    // --- DoS hardening ---------------------------------------------------
+    /// Accept-path guard: stateless retry cookies, per-source token
+    /// buckets, anti-amplification (qtp::listener_guard_config; all off
+    /// by default).
+    qtp::listener_guard_config guard{};
+    /// Hard cap on live sessions; a SYN past it is shed (0 = unlimited).
+    std::size_t max_sessions = 0;
+    /// Cap on accepted-but-unproven (half-open) sessions (0 = unlimited).
+    std::size_t max_half_open = 0;
+    /// Liveness deadline for accepted endpoints: no data / reneg / FIN
+    /// within the window closes the endpoint so reap_closed() collects
+    /// it (connection_config::handshake_deadline; 0 disables).
+    util::sim_time handshake_deadline = util::seconds(30);
+    /// Per-session budget for incoming reneg-proposal processing
+    /// (0 = unbounded; see session_stats::reneg_rate_limited).
+    double reneg_rate_bps = 0.0;
+    std::size_t reneg_burst_bytes = 0;
 };
 
 /// One-call snapshot of the listener's accept/stray accounting (the
@@ -63,6 +83,19 @@ struct server_stats {
     /// a reneg must never spawn an endpoint.
     std::uint64_t stray_renegs = 0;
     std::size_t sessions = 0;
+    /// Accepted sessions whose peer has not yet proven liveness.
+    std::size_t half_open = 0;
+    // Accept-path guard counters (qtp::listener_guard_stats).
+    std::uint64_t retries_sent = 0;
+    std::uint64_t cookies_validated = 0;
+    std::uint64_t cookies_rejected = 0;
+    std::uint64_t syn_rate_limited = 0;
+    std::uint64_t stray_rate_limited = 0;
+    std::uint64_t amplification_limited = 0;
+    std::uint64_t shed = 0;
+    /// Inbound reneg proposals dropped by the per-connection token bucket,
+    /// summed over live and reaped sessions (monotonic).
+    std::uint64_t reneg_rate_limited = 0;
 };
 
 class server {
@@ -100,19 +133,24 @@ public:
     std::uint64_t accepted() const { return listener_.accepted(); }
     std::uint64_t stray_packets() const { return listener_.stray_packets(); }
     std::uint64_t stray_renegs() const { return listener_.stray_renegs(); }
-    server_stats stats() const {
-        return {listener_.accepted(), listener_.stray_packets(),
-                listener_.stray_renegs(), sessions_.size()};
-    }
+    /// Accepted sessions whose peer has not yet proven liveness with
+    /// data (what max_half_open caps). O(sessions).
+    std::size_t half_open() const;
+    server_stats stats() const;
 
     /// Escape hatch to the underlying acceptor.
     const qtp::listener& acceptor() const { return listener_; }
 
 private:
     qtp::environment& env_;
+    server_options opts_;
+    std::unique_ptr<trace::tracer> guard_tracer_; ///< listener guard trace (flow 0)
     qtp::listener listener_;
     std::function<void(session&)> on_session_;
     std::unordered_map<std::uint32_t, std::unique_ptr<session>> sessions_;
+    /// Reneg-bucket denials carried over from reaped sessions, so the
+    /// aggregate in stats() stays monotonic across reaps.
+    std::uint64_t reneg_rate_limited_reaped_ = 0;
 };
 
 } // namespace vtp

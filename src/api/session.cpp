@@ -132,6 +132,10 @@ const qtp::profile& session::active_profile() const {
     return empty_profile();
 }
 
+bool session::half_open() const {
+    return receiver_ != nullptr && !closed() && receiver_->received_packets() == 0;
+}
+
 session_stats session::stats() const {
     session_stats s;
     s.established = established();
@@ -144,6 +148,7 @@ session_stats session::stats() const {
         s.renegotiations = sender_->renegotiations();
         s.reneg_proposals_sent = sender_->reneg_proposals_sent();
         s.reneg_proposals_accepted = sender_->reneg_proposals_accepted();
+        s.reneg_rate_limited = sender_->reneg_rate_limited();
         s.streams = sender_->mux().stream_count();
         s.stream_bytes_queued =
             sender_->stream_length() == UINT64_MAX ? 0 : sender_->stream_length();
@@ -177,6 +182,7 @@ session_stats session::stats() const {
         s.renegotiations = receiver_->renegotiations();
         s.reneg_proposals_sent = receiver_->reneg_proposals_sent();
         s.reneg_proposals_accepted = receiver_->reneg_proposals_accepted();
+        s.reneg_rate_limited = receiver_->reneg_rate_limited();
         s.bytes_received = receiver_->received_bytes();
         s.packets_received = receiver_->received_packets();
         if (const auto* demux = receiver_->demux()) {

@@ -83,6 +83,9 @@ struct session_stats {
     /// Renegotiation proposals this endpoint initiated / got answered.
     std::uint64_t reneg_proposals_sent = 0;
     std::uint64_t reneg_proposals_accepted = 0;
+    /// Incoming reneg proposals dropped by the per-connection processing
+    /// budget (server_options::reneg_rate_bps / session reneg knobs).
+    std::uint64_t reneg_rate_limited = 0;
     /// Streams multiplexed on the connection (sender: opened, including
     /// stream 0; receiver: seen so far).
     std::size_t streams = 0;
@@ -214,6 +217,11 @@ public:
     bool established() const;
     /// Sender role: FIN acknowledged. Receiver role: peer's FIN seen.
     bool closed() const;
+    /// Receiver role: accepted, but the peer has not yet proven liveness
+    /// with data — the state a SYN flood inflates. A half-open session
+    /// either graduates (first data) or self-closes at the handshake
+    /// deadline for reaping.
+    bool half_open() const;
     const qtp::profile& active_profile() const;
     session_stats stats() const;
 

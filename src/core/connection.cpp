@@ -51,6 +51,8 @@ connection_sender::connection_sender(connection_config cfg)
                                                   cfg_.trace_sink);
         mux_.set_tracer(tracer_.get());
     }
+    if (cfg_.reneg_rate_bps > 0.0)
+        reneg_bucket_.emplace(cfg_.reneg_rate_bps, cfg_.reneg_burst_bytes);
 }
 
 void connection_sender::start(environment& env) {
@@ -60,8 +62,11 @@ void connection_sender::start(environment& env) {
 
 void connection_sender::send_syn() {
     if (handshake_.established()) return;
-    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
-                                   handshake_.make_syn()));
+    packet::handshake_segment syn = handshake_.make_syn();
+    // Echo the listener's address-validation cookie once we hold one;
+    // the first SYN carries 0 and draws a retry from a guarded listener.
+    syn.boundary_seq = retry_cookie_;
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr, syn));
     handshake_timer_ = env_->schedule(cfg_.handshake_rtx, [this] {
         handshake_timer_ = qtp::no_timer;
         if (tracer_)
@@ -73,6 +78,20 @@ void connection_sender::send_syn() {
 }
 
 void connection_sender::on_handshake(const packet::handshake_segment& seg) {
+    if (seg.type == packet::handshake_segment::kind::retry) {
+        // Stateless address validation: the listener answered our SYN
+        // with a cookie instead of spawning state. Echo it immediately
+        // in a fresh SYN (no need to wait for the retransmit timer).
+        if (handshake_.established()) return;
+        retry_cookie_ = seg.boundary_seq;
+        ++syn_retries_received_;
+        if (handshake_timer_ != qtp::no_timer) {
+            env_->cancel(handshake_timer_);
+            handshake_timer_ = qtp::no_timer;
+        }
+        send_syn();
+        return;
+    }
     const bool was_established = handshake_.established();
     const auto accepted = handshake_.on_segment(seg);
     if (!accepted || was_established) return;
@@ -274,6 +293,14 @@ void connection_sender::apply_profile(const profile& p, std::uint64_t boundary_s
 void connection_sender::on_reneg(const packet::handshake_segment& seg) {
     if (!handshake_.established()) return;
     if (seg.type == packet::handshake_segment::kind::reneg) {
+        // A peer can retransmit proposals arbitrarily fast and each one
+        // costs responder work; the budget drops the excess up front.
+        if (reneg_bucket_ &&
+            !reneg_bucket_->consume(packet::wire_size(packet::segment{seg}),
+                                    env_->now())) {
+            ++reneg_rate_limited_;
+            return;
+        }
         // Simultaneous proposals tie-break by role: the sender's wins.
         // While our own proposal is outstanding we defer answering; the
         // receiver yields (see connection_receiver::on_reneg), so its
@@ -649,9 +676,48 @@ connection_receiver::connection_receiver(connection_config cfg)
     if (cfg_.trace_ring_records > 0)
         tracer_ = std::make_unique<trace::tracer>(cfg_.flow_id, cfg_.trace_ring_records,
                                                   cfg_.trace_sink);
+    if (cfg_.reneg_rate_bps > 0.0)
+        reneg_bucket_.emplace(cfg_.reneg_rate_bps, cfg_.reneg_burst_bytes);
 }
 
-void connection_receiver::start(environment& env) { env_ = &env; }
+void connection_receiver::start(environment& env) {
+    env_ = &env;
+    // Liveness deadline: an endpoint spawned by a (possibly spoofed) SYN
+    // must hear something only a reachable peer sends — data, a reneg,
+    // a FIN — before the deadline, or it closes itself for reaping.
+    if (cfg_.handshake_deadline > 0)
+        handshake_deadline_timer_ = env_->schedule(cfg_.handshake_deadline, [this] {
+            handshake_deadline_timer_ = qtp::no_timer;
+            on_handshake_deadline();
+        });
+}
+
+void connection_receiver::on_handshake_deadline() {
+    if (remote_closed_) return;
+    handshake_timed_out_ = true;
+    remote_closed_ = true;
+    if (feedback_timer_ != qtp::no_timer) {
+        env_->cancel(feedback_timer_);
+        feedback_timer_ = qtp::no_timer;
+    }
+    reneg_.cancel(*env_);
+    util::log(util::log_level::debug, "qtp-recv", "handshake deadline: half-open, closing");
+    if (tracer_) {
+        tracer_->push(env_->now(), trace::record_type::timer_fire,
+                      static_cast<std::uint8_t>(trace::timer_kind::handshake), 0, 0, 0);
+        tracer_->push(env_->now(), trace::record_type::closed, 0, 0, 0, 0);
+        tracer_->flush();
+    }
+    event ev;
+    ev.type = event_type::closed;
+    emit(ev);
+}
+
+void connection_receiver::cancel_handshake_deadline() {
+    if (handshake_deadline_timer_ == qtp::no_timer) return;
+    env_->cancel(handshake_deadline_timer_);
+    handshake_deadline_timer_ = qtp::no_timer;
+}
 
 bool connection_receiver::emit(const event& ev) {
     switch (ev.type) {
@@ -755,6 +821,7 @@ void connection_receiver::on_packet(const packet::packet& pkt) {
         if (hs->type == packet::handshake_segment::kind::fin) {
             const bool first_fin = !remote_closed_;
             remote_closed_ = true;
+            cancel_handshake_deadline();
             if (feedback_timer_ != qtp::no_timer) {
                 env_->cancel(feedback_timer_);
                 feedback_timer_ = qtp::no_timer;
@@ -853,6 +920,15 @@ void connection_receiver::apply_profile(const profile& p) {
 void connection_receiver::on_reneg(const packet::handshake_segment& seg) {
     if (!responder_.established()) return;
     if (seg.type == packet::handshake_segment::kind::reneg) {
+        // A peer can retransmit proposals arbitrarily fast and each one
+        // costs responder work; the budget drops the excess up front.
+        if (reneg_bucket_ &&
+            !reneg_bucket_->consume(packet::wire_size(packet::segment{seg}),
+                                    env_->now())) {
+            ++reneg_rate_limited_;
+            return;
+        }
+        cancel_handshake_deadline(); // a reneg proposal is proof of liveness
         // Simultaneous proposals tie-break by role: the sender's wins.
         // Yield our own outstanding proposal (a late ack for it is still
         // honoured — the sender applies when it answers) and respond.
@@ -905,6 +981,7 @@ void connection_receiver::ingest_data(std::uint64_t seq, util::sim_time ts,
                                       sack::reliability_mode mode, std::uint64_t offset,
                                       std::uint32_t len, bool end_of_stream,
                                       const std::uint8_t* payload) {
+    cancel_handshake_deadline(); // data proves the peer is live and reachable
     // A decoder-accepted but corrupted (or hostile) segment can carry an
     // absurd sequence jump. Tracking the implied hole costs O(gap) in the
     // receiver-side loss history and poisons SACK feedback, so gate the

@@ -31,9 +31,12 @@
 #include <cstdint>
 #include <functional>
 
+#include <optional>
+
 #include "cc/ack_tracker.hpp"
 #include "cc/send_algorithm.hpp"
 #include "core/environment.hpp"
+#include "diffserv/token_bucket.hpp"
 #include "core/events.hpp"
 #include "core/negotiation.hpp"
 #include "core/profile.hpp"
@@ -101,6 +104,19 @@ struct connection_config {
 
     /// Handshake retransmission interval.
     util::sim_time handshake_rtx = util::milliseconds(500);
+
+    /// Receiver liveness deadline: a spawned endpoint whose peer shows no
+    /// sign of life (no data, renegotiation, or FIN) within this window
+    /// transitions to closed so the owner's reap path collects it — the
+    /// half-open flood fix. 0 disables.
+    util::sim_time handshake_deadline = util::seconds(30);
+
+    /// Bound on incoming renegotiation-proposal processing (token bucket
+    /// over wire bytes; 0 = unbounded). A peer retransmitting proposals
+    /// beyond the budget sees them dropped and counted
+    /// (session_stats::reneg_rate_limited).
+    double reneg_rate_bps = 0.0;
+    std::size_t reneg_burst_bytes = 0;
 
     /// Receiver gate: data whose sequence jumps this many packets past
     /// the highest range seen is rejected as corruption/hostile input
@@ -224,6 +240,10 @@ public:
     /// FIN sent and FIN-ACK received: the connection is fully closed.
     bool closed() const { return closed_; }
     bool fin_sent() const { return fin_sent_; }
+    /// Stateless-retry rounds answered (listener address validation).
+    std::uint64_t syn_retries_received() const { return syn_retries_received_; }
+    /// Reneg proposals dropped by the processing budget (cfg.reneg_rate_bps).
+    std::uint64_t reneg_rate_limited() const { return reneg_rate_limited_; }
 
 private:
     void send_syn();
@@ -280,6 +300,13 @@ private:
     bool fin_sent_ = false;
     bool closed_ = false;
     int fin_attempts_ = 0;
+
+    /// Address-validation cookie from the listener's retry; echoed in
+    /// every subsequent SYN (0 = none yet).
+    std::uint64_t retry_cookie_ = 0;
+    std::uint64_t syn_retries_received_ = 0;
+    std::optional<diffserv::token_bucket> reneg_bucket_;
+    std::uint64_t reneg_rate_limited_ = 0;
 
     std::function<void(const profile&)> on_established_;
     std::function<void()> on_closed_;
@@ -384,8 +411,14 @@ public:
     /// The demultiplexer (per-stream reassembly); null until established.
     const stream::stream_demux* demux() const { return demux_.get(); }
     const tfrc::loss_history& history() const { return history_; }
-    /// Peer announced it is done (FIN seen).
+    /// Peer announced it is done (FIN seen) — or the handshake deadline
+    /// declared it dead (handshake_timed_out()).
     bool remote_closed() const { return remote_closed_; }
+    /// The handshake deadline fired: the peer never proved liveness and
+    /// this endpoint closed itself for reaping (half-open flood fix).
+    bool handshake_timed_out() const { return handshake_timed_out_; }
+    /// Reneg proposals dropped by the processing budget (cfg.reneg_rate_bps).
+    std::uint64_t reneg_rate_limited() const { return reneg_rate_limited_; }
 
     std::uint64_t received_packets() const { return received_packets_; }
     std::uint64_t received_bytes() const { return received_bytes_; }
@@ -422,6 +455,8 @@ private:
     void record_seq(std::uint64_t seq);
     void send_feedback();
     void arm_feedback_timer();
+    void on_handshake_deadline();
+    void cancel_handshake_deadline();
 
     connection_config cfg_;
     environment* env_ = nullptr;
@@ -444,8 +479,12 @@ private:
     std::uint64_t packets_since_feedback_ = 0;
     util::sim_time last_feedback_at_ = 0;
     qtp::timer_id feedback_timer_ = qtp::no_timer;
+    qtp::timer_id handshake_deadline_timer_ = qtp::no_timer;
     bool seen_data_ = false;
     bool remote_closed_ = false;
+    bool handshake_timed_out_ = false;
+    std::optional<diffserv::token_bucket> reneg_bucket_;
+    std::uint64_t reneg_rate_limited_ = 0;
 
     std::function<void(const profile&)> on_established_;
     std::function<void()> on_closed_;

@@ -7,14 +7,81 @@
 // to the substrate, and reports it through the accept callback. This is
 // how a streaming server serves many QTP clients from one socket — on
 // the simulator and the UDP datapath alike.
+//
+// The accept path is the natural flood target — a spoofed SYN used to
+// cost a full connection_receiver allocation. The optional guard layer
+// (listener_guard_config, off by default) hardens it with three
+// mechanisms, enforced in order:
+//
+//  1. per-source token buckets on SYN and stray traffic, so one source
+//     cannot monopolize the accept path;
+//  2. stateless retry cookies (core/syn_cookie.hpp): an unvalidated SYN
+//     is answered with a `retry` segment carrying a keyed-hash cookie
+//     and spawns nothing; only a SYN echoing a valid cookie — proof the
+//     client receives at its claimed address — reaches the spawn path;
+//  3. an anti-amplification budget: bytes sent to a not-yet-validated
+//     address never exceed `amplification_factor` times the bytes
+//     received from it, so the listener is useless as a reflector.
+//
+// Above the guard sits the admission hook (vtp::server wires its
+// max_sessions / max_half_open caps into it); a refusal is a counted
+// shed, not an allocation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <unordered_map>
 
 #include "core/connection.hpp"
+#include "core/syn_cookie.hpp"
+#include "diffserv/token_bucket.hpp"
+#include "trace/tracer.hpp"
 
 namespace vtp::qtp {
+
+/// Accept-path hardening knobs. Default-constructed = everything off:
+/// the listener behaves exactly as before (spawn on any SYN, no
+/// per-source state).
+struct listener_guard_config {
+    /// Require address validation via stateless retry cookies before a
+    /// SYN may spawn an endpoint.
+    bool retry_cookies = false;
+    /// Cookie key/lifetime; key 0 = draw from the host rng at start().
+    syn_cookie_config cookie{};
+    /// Per-source SYN budget (token bucket over wire bytes; 0 = off).
+    double syn_rate_bps = 0.0;
+    std::size_t syn_burst_bytes = 0;
+    /// Per-source stray-traffic budget (0 = off). Strays are dropped
+    /// either way; the bucket only bounds how much per-stray accounting
+    /// one source can trigger and feeds the rate-limited counter.
+    double stray_rate_bps = 0.0;
+    std::size_t stray_burst_bytes = 0;
+    /// Max bytes sent to an unvalidated source per byte received from it
+    /// (QUIC uses 3x). Only enforced on the retry path — a validated
+    /// source has proven its address.
+    double amplification_factor = 3.0;
+    /// Bound on the per-source tracking table. When exceeded the table
+    /// is cleared (counted in `source_table_resets`) — a trade of
+    /// momentary budget amnesia for strictly bounded memory under a
+    /// many-source flood.
+    std::size_t max_tracked_sources = 4096;
+
+    bool tracking_enabled() const {
+        return retry_cookies || syn_rate_bps > 0.0 || stray_rate_bps > 0.0;
+    }
+};
+
+struct listener_guard_stats {
+    std::uint64_t retries_sent = 0;
+    std::uint64_t cookies_validated = 0;
+    std::uint64_t cookies_rejected = 0;
+    std::uint64_t syn_rate_limited = 0;
+    std::uint64_t stray_rate_limited = 0;
+    std::uint64_t amplification_limited = 0;
+    std::uint64_t shed = 0; ///< admission hook refusals
+    std::uint64_t source_table_resets = 0;
+};
 
 struct listener_config {
     capabilities caps{};
@@ -24,6 +91,10 @@ struct listener_config {
     /// (flow id, peer address), e.g. rate-tier by address or load-shed
     /// receiver-side estimation under pressure. Overrides `caps` when set.
     std::function<capabilities(std::uint32_t, std::uint32_t)> capability_policy;
+    /// Accept-path flood hardening (off by default).
+    listener_guard_config guard{};
+    /// Guard-event flight recorder (optional; owned by the caller).
+    trace::tracer* tracer = nullptr;
 };
 
 class listener : public agent {
@@ -32,9 +103,15 @@ public:
     /// the substrate and lives until detached.
     using accept_callback = std::function<void(std::uint32_t, connection_receiver&)>;
 
-    explicit listener(listener_config cfg) : cfg_(std::move(cfg)) {}
+    /// (flow id, source address) -> may this SYN spawn an endpoint?
+    /// Consulted after cookie validation, so a refusal sheds a proven
+    /// client, never an unvalidated spoof.
+    using admission_callback = std::function<bool(std::uint32_t, std::uint32_t)>;
+
+    explicit listener(listener_config cfg) : cfg_(std::move(cfg)), jar_(cfg_.guard.cookie) {}
 
     void set_on_accept(accept_callback cb) { on_accept_ = std::move(cb); }
+    void set_admission(admission_callback cb) { admission_ = std::move(cb); }
 
     void on_packet(const packet::packet& pkt) override {
         // Only a SYN may spawn an endpoint. Anything else for an unknown
@@ -42,12 +119,102 @@ public:
         // endpoint is already gone — is a stray, not a connection attempt.
         const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get());
         if (hs == nullptr || hs->type != packet::handshake_segment::kind::syn) {
-            ++stray_packets_;
-            if (hs != nullptr && (hs->type == packet::handshake_segment::kind::reneg ||
-                                  hs->type == packet::handshake_segment::kind::reneg_ack))
-                ++stray_renegs_;
+            on_stray(pkt, hs);
             return;
         }
+        if (cfg_.guard.tracking_enabled() && !on_guarded_syn(pkt, *hs)) return;
+        if (admission_ && !admission_(pkt.flow_id, pkt.src)) {
+            ++guard_stats_.shed;
+            trace_guard(pkt, trace::guard_event::shed, 0);
+            return;
+        }
+        spawn(pkt);
+    }
+
+    void start(environment& env) override {
+        env_ = &env;
+        if (cfg_.guard.retry_cookies && jar_.key() == 0)
+            jar_.set_key(env.random().next_u64());
+    }
+
+    std::string name() const override { return "qtp-listener"; }
+
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t stray_packets() const { return stray_packets_; }
+    std::uint64_t stray_renegs() const { return stray_renegs_; }
+    const listener_guard_stats& guard_stats() const { return guard_stats_; }
+    std::size_t tracked_sources() const { return sources_.size(); }
+
+private:
+    /// Per-source accounting; exists only while a guard feature is on.
+    struct source_state {
+        std::uint64_t bytes_rx = 0;
+        std::uint64_t bytes_tx = 0; ///< to this address while unvalidated
+        std::optional<diffserv::token_bucket> syn_bucket;
+        std::optional<diffserv::token_bucket> stray_bucket;
+    };
+
+    void on_stray(const packet::packet& pkt, const packet::handshake_segment* hs) {
+        if (cfg_.guard.stray_rate_bps > 0.0) {
+            source_state& src = source(pkt.src);
+            src.bytes_rx += pkt.size_bytes;
+            if (!src.stray_bucket->consume(pkt.size_bytes, env_->now())) {
+                ++guard_stats_.stray_rate_limited;
+                trace_guard(pkt, trace::guard_event::stray_rate_limited, pkt.size_bytes);
+                return; // over budget: drop without further accounting
+            }
+        }
+        ++stray_packets_;
+        if (hs != nullptr && (hs->type == packet::handshake_segment::kind::reneg ||
+                              hs->type == packet::handshake_segment::kind::reneg_ack))
+            ++stray_renegs_;
+    }
+
+    /// Guard checks for a SYN. Returns true when the SYN is cleared to
+    /// proceed to admission + spawn.
+    bool on_guarded_syn(const packet::packet& pkt, const packet::handshake_segment& syn) {
+        source_state& src = source(pkt.src);
+        src.bytes_rx += pkt.size_bytes;
+        if (src.syn_bucket && !src.syn_bucket->consume(pkt.size_bytes, env_->now())) {
+            ++guard_stats_.syn_rate_limited;
+            trace_guard(pkt, trace::guard_event::syn_rate_limited, pkt.size_bytes);
+            return false;
+        }
+        if (!cfg_.guard.retry_cookies) return true;
+        if (jar_.validate(syn.boundary_seq, pkt.flow_id, pkt.src, env_->now())) {
+            ++guard_stats_.cookies_validated;
+            trace_guard(pkt, trace::guard_event::cookie_validated, syn.boundary_seq);
+            return true;
+        }
+        if (syn.boundary_seq != 0) {
+            ++guard_stats_.cookies_rejected;
+            trace_guard(pkt, trace::guard_event::cookie_rejected, syn.boundary_seq);
+        }
+        send_retry(pkt, src);
+        return false;
+    }
+
+    /// Answer an unvalidated SYN with a stateless retry cookie, within
+    /// the anti-amplification budget.
+    void send_retry(const packet::packet& pkt, source_state& src) {
+        packet::handshake_segment retry;
+        retry.type = packet::handshake_segment::kind::retry;
+        retry.boundary_seq = jar_.mint(pkt.flow_id, pkt.src, env_->now());
+        const std::uint32_t size = packet::wire_size(packet::segment{retry});
+        const double budget = cfg_.guard.amplification_factor *
+                              static_cast<double>(src.bytes_rx);
+        if (static_cast<double>(src.bytes_tx + size) > budget) {
+            ++guard_stats_.amplification_limited;
+            trace_guard(pkt, trace::guard_event::amplification_limited, size);
+            return;
+        }
+        src.bytes_tx += size;
+        env_->send(packet::make_packet(pkt.flow_id, env_->local_addr(), pkt.src, retry));
+        ++guard_stats_.retries_sent;
+        trace_guard(pkt, trace::guard_event::retry_sent, retry.boundary_seq);
+    }
+
+    void spawn(const packet::packet& pkt) {
         connection_config cfg = cfg_.endpoint;
         cfg.flow_id = pkt.flow_id;
         cfg.peer_addr = pkt.src;
@@ -61,21 +228,40 @@ public:
         if (on_accept_) on_accept_(pkt.flow_id, *raw);
     }
 
-    void start(environment& env) override { env_ = &env; }
+    source_state& source(std::uint32_t addr) {
+        if (sources_.size() >= cfg_.guard.max_tracked_sources &&
+            sources_.find(addr) == sources_.end()) {
+            sources_.clear();
+            ++guard_stats_.source_table_resets;
+        }
+        auto [it, fresh] = sources_.try_emplace(addr);
+        if (fresh) {
+            if (cfg_.guard.syn_rate_bps > 0.0)
+                it->second.syn_bucket.emplace(cfg_.guard.syn_rate_bps,
+                                              cfg_.guard.syn_burst_bytes);
+            if (cfg_.guard.stray_rate_bps > 0.0)
+                it->second.stray_bucket.emplace(cfg_.guard.stray_rate_bps,
+                                                cfg_.guard.stray_burst_bytes);
+        }
+        return it->second;
+    }
 
-    std::string name() const override { return "qtp-listener"; }
+    void trace_guard(const packet::packet& pkt, trace::guard_event ev, std::uint64_t detail) {
+        if (cfg_.tracer == nullptr) return;
+        cfg_.tracer->push(env_->now(), trace::record_type::guard,
+                          static_cast<std::uint8_t>(ev), 0, pkt.src, detail);
+    }
 
-    std::uint64_t accepted() const { return accepted_; }
-    std::uint64_t stray_packets() const { return stray_packets_; }
-    std::uint64_t stray_renegs() const { return stray_renegs_; }
-
-private:
     listener_config cfg_;
+    syn_cookie_jar jar_;
     environment* env_ = nullptr;
     accept_callback on_accept_;
+    admission_callback admission_;
     std::uint64_t accepted_ = 0;
     std::uint64_t stray_packets_ = 0;
     std::uint64_t stray_renegs_ = 0;
+    listener_guard_stats guard_stats_;
+    std::unordered_map<std::uint32_t, source_state> sources_;
 };
 
 } // namespace vtp::qtp

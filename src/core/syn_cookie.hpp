@@ -1,0 +1,75 @@
+// Stateless address-validation cookies for the accept path.
+//
+// A listener under a spoofed-SYN flood must not pay per-SYN state. The
+// QUIC-style fix: answer an unvalidated SYN with a `retry` segment whose
+// cookie is a keyed hash of (flow id, source address, coarse time
+// bucket). A genuine client echoes the cookie in a retried SYN — proof
+// it can receive at the claimed address — and only then does the
+// listener spawn an endpoint. The cookie is recomputable from the
+// packet alone, so validation needs no lookup table and minting needs
+// no allocation.
+//
+// Cookies expire with the time bucket: `validate` accepts the current
+// and the immediately previous bucket, giving each cookie a lifetime of
+// [lifetime, 2*lifetime) depending on where in the bucket it was
+// minted. The key is per listener (drawn from the host rng at start),
+// so cookies are not portable across listeners or restarts.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace vtp::qtp {
+
+struct syn_cookie_config {
+    /// Keyed-hash secret. 0 = draw one from the environment rng at
+    /// listener start (the common case); fixed keys are for tests.
+    std::uint64_t key = 0;
+    /// Time-bucket width; a cookie validates for 1-2 lifetimes.
+    util::sim_time lifetime = util::seconds(3);
+};
+
+class syn_cookie_jar {
+public:
+    explicit syn_cookie_jar(syn_cookie_config cfg) : cfg_(cfg) {
+        if (cfg_.lifetime <= 0) cfg_.lifetime = util::seconds(3);
+    }
+
+    std::uint64_t key() const { return cfg_.key; }
+    void set_key(std::uint64_t key) { cfg_.key = key; }
+
+    /// Cookie for (flow, src) in the bucket containing `now`. Never 0 —
+    /// 0 on the wire means "no cookie".
+    std::uint64_t mint(std::uint32_t flow, std::uint32_t src, util::sim_time now) const {
+        return mix(flow, src, bucket(now));
+    }
+
+    /// True iff `cookie` was minted for (flow, src) in the current or
+    /// the previous bucket.
+    bool validate(std::uint64_t cookie, std::uint32_t flow, std::uint32_t src,
+                  util::sim_time now) const {
+        if (cookie == 0) return false;
+        const std::uint64_t b = bucket(now);
+        if (cookie == mix(flow, src, b)) return true;
+        return b > 0 && cookie == mix(flow, src, b - 1);
+    }
+
+private:
+    std::uint64_t bucket(util::sim_time now) const {
+        if (now < 0) now = 0;
+        return static_cast<std::uint64_t>(now) / static_cast<std::uint64_t>(cfg_.lifetime);
+    }
+
+    std::uint64_t mix(std::uint32_t flow, std::uint32_t src, std::uint64_t b) const {
+        std::uint64_t state = cfg_.key ^ (static_cast<std::uint64_t>(src) << 32) ^ flow;
+        state ^= util::splitmix64(state) + b;
+        std::uint64_t out = util::splitmix64(state);
+        return out == 0 ? 1 : out; // reserve 0 for "no cookie"
+    }
+
+    syn_cookie_config cfg_;
+};
+
+} // namespace vtp::qtp

@@ -261,12 +261,25 @@ void server::arm_reaper(vtp::server* srv, shard& sh) {
             }
         });
         const std::size_t reaped = srv->reap_closed();
+        auto& c = sh.counters();
         if (reaped > 0) {
-            auto& c = sh.counters();
             const std::uint64_t cur = c.sessions.load(std::memory_order_relaxed);
             c.sessions.store(cur >= reaped ? cur - reaped : 0,
                              std::memory_order_relaxed);
         }
+        // Mirror the accept-path guard counters into the shard's atomics
+        // so any thread can read them. Absolute stores: the vtp::server
+        // counters are the source of truth.
+        const vtp::server_stats ss = srv->stats();
+        c.syn_retries_sent.store(ss.retries_sent, std::memory_order_relaxed);
+        c.syn_cookies_validated.store(ss.cookies_validated, std::memory_order_relaxed);
+        c.syn_cookies_rejected.store(ss.cookies_rejected, std::memory_order_relaxed);
+        c.syn_rate_limited.store(ss.syn_rate_limited + ss.stray_rate_limited,
+                                 std::memory_order_relaxed);
+        c.syn_sheds.store(ss.shed, std::memory_order_relaxed);
+        c.amp_limited.store(ss.amplification_limited, std::memory_order_relaxed);
+        c.reneg_rate_limited.store(ss.reneg_rate_limited, std::memory_order_relaxed);
+        c.half_open.store(ss.half_open, std::memory_order_relaxed);
         arm_reaper(srv, sh);
     });
 }
@@ -309,10 +322,19 @@ engine_stats server::stats() const {
         agg.handoff_out += st.handoff_out;
         agg.handoff_dropped += st.handoff_dropped;
         agg.decode_errors += st.decode_errors;
+        agg.truncated_dropped += st.truncated_dropped;
         agg.pool_exhausted += st.pool_exhausted;
         agg.accepted += st.accepted;
         agg.sessions += st.sessions;
         agg.events_dropped += st.events_dropped;
+        agg.syn_retries_sent += st.syn_retries_sent;
+        agg.syn_cookies_validated += st.syn_cookies_validated;
+        agg.syn_cookies_rejected += st.syn_cookies_rejected;
+        agg.syn_rate_limited += st.syn_rate_limited;
+        agg.syn_sheds += st.syn_sheds;
+        agg.amp_limited += st.amp_limited;
+        agg.reneg_rate_limited += st.reneg_rate_limited;
+        agg.half_open += st.half_open;
     }
     agg.commands_dropped = commands_dropped_.load(std::memory_order_relaxed);
     agg.cc_swaps_applied = cc_swaps_.load(std::memory_order_relaxed);
@@ -346,6 +368,9 @@ void server::collect_metrics(trace::registry& out) const {
     out.get_counter("vtp_decode_errors_total",
                     "Inbound datagrams that failed segment decoding.")
         .add(st.decode_errors);
+    out.get_counter("vtp_truncated_dropped_total",
+                    "Oversized datagrams truncated by the kernel and dropped.")
+        .add(st.truncated_dropped);
     out.get_counter("vtp_pool_exhausted_total",
                     "Sends dropped because the transmit buffer pool was empty.")
         .add(st.pool_exhausted);
@@ -362,6 +387,30 @@ void server::collect_metrics(trace::registry& out) const {
         .add(st.cc_swaps_applied);
     out.get_gauge("vtp_sessions", "Live sessions across all shards.")
         .set(static_cast<std::int64_t>(st.sessions));
+    out.get_counter("vtp_synflood_retries_sent_total",
+                    "Stateless retry cookies sent to unvalidated SYN sources.")
+        .add(st.syn_retries_sent);
+    out.get_counter("vtp_synflood_cookies_validated_total",
+                    "SYNs whose echoed retry cookie verified (session spawned).")
+        .add(st.syn_cookies_validated);
+    out.get_counter("vtp_synflood_cookies_rejected_total",
+                    "SYNs carrying a stale or forged retry cookie.")
+        .add(st.syn_cookies_rejected);
+    out.get_counter("vtp_synflood_rate_limited_total",
+                    "Packets dropped by the per-source SYN/stray token buckets.")
+        .add(st.syn_rate_limited);
+    out.get_counter("vtp_synflood_sheds_total",
+                    "Validated SYNs refused by the session/half-open caps.")
+        .add(st.syn_sheds);
+    out.get_counter("vtp_synflood_amp_limited_total",
+                    "Retries withheld by the anti-amplification byte budget.")
+        .add(st.amp_limited);
+    out.get_counter("vtp_reneg_rate_limited_total",
+                    "Inbound reneg proposals dropped by the per-connection bucket.")
+        .add(st.reneg_rate_limited);
+    out.get_gauge("vtp_half_open_sessions",
+                  "Accepted sessions that have not yet received data.")
+        .set(static_cast<std::int64_t>(st.half_open));
     if (!writers_.empty()) {
         std::uint64_t records = 0;
         std::uint64_t frames_dropped = 0;

@@ -101,6 +101,7 @@ struct engine_stats {
     std::uint64_t handoff_out = 0;
     std::uint64_t handoff_dropped = 0;
     std::uint64_t decode_errors = 0;
+    std::uint64_t truncated_dropped = 0; ///< MSG_TRUNC'd datagrams dropped
     std::uint64_t pool_exhausted = 0;
     std::uint64_t accepted = 0;
     std::uint64_t sessions = 0; ///< live session gauge across shards
@@ -112,6 +113,16 @@ struct engine_stats {
     /// sessions (profile_changed events whose cc id differs from the
     /// flow's previous one).
     std::uint64_t cc_swaps_applied = 0;
+    /// Accept-path guard accounting, mirrored from each shard's
+    /// vtp::server at its reap ticks (see listener_guard_stats).
+    std::uint64_t syn_retries_sent = 0;
+    std::uint64_t syn_cookies_validated = 0;
+    std::uint64_t syn_cookies_rejected = 0;
+    std::uint64_t syn_rate_limited = 0; ///< SYN + stray bucket denials
+    std::uint64_t syn_sheds = 0;        ///< admission refusals (session caps)
+    std::uint64_t amp_limited = 0;      ///< retries withheld by the 3x budget
+    std::uint64_t reneg_rate_limited = 0; ///< reneg-bucket denials (all sessions)
+    std::uint64_t half_open = 0;        ///< gauge: accepted but no data yet
 };
 
 /// One event of an engine-hosted session, as merged by poll_events().

@@ -209,7 +209,11 @@ void shard::on_socket_readable() {
     bump(stats_.datagrams_rx, n);
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t len = rx_.len(i);
-        if (len < 8 || len > max_datagram) continue; // runt / truncated
+        if (rx_.truncated(i)) { // kernel cut an oversized datagram: garbage
+            bump(stats_.truncated_dropped);
+            continue;
+        }
+        if (len < 8 || len > max_datagram) continue; // runt / oversized claim
         const std::uint8_t* data = rx_.data(i);
         std::uint32_t flow_id = 0;
         for (int b = 0; b < 4; ++b) flow_id = (flow_id << 8) | data[b];
@@ -295,10 +299,21 @@ shard_stats shard::stats() const {
     s.handoff_in = stats_.handoff_in.load(std::memory_order_relaxed);
     s.handoff_dropped = stats_.handoff_dropped.load(std::memory_order_relaxed);
     s.decode_errors = stats_.decode_errors.load(std::memory_order_relaxed);
+    s.truncated_dropped = stats_.truncated_dropped.load(std::memory_order_relaxed);
     s.pool_exhausted = stats_.pool_exhausted.load(std::memory_order_relaxed);
     s.sessions = stats_.sessions.load(std::memory_order_relaxed);
     s.accepted = stats_.accepted.load(std::memory_order_relaxed);
     s.events_dropped = stats_.events_dropped.load(std::memory_order_relaxed);
+    s.syn_retries_sent = stats_.syn_retries_sent.load(std::memory_order_relaxed);
+    s.syn_cookies_validated =
+        stats_.syn_cookies_validated.load(std::memory_order_relaxed);
+    s.syn_cookies_rejected =
+        stats_.syn_cookies_rejected.load(std::memory_order_relaxed);
+    s.syn_rate_limited = stats_.syn_rate_limited.load(std::memory_order_relaxed);
+    s.syn_sheds = stats_.syn_sheds.load(std::memory_order_relaxed);
+    s.amp_limited = stats_.amp_limited.load(std::memory_order_relaxed);
+    s.reneg_rate_limited = stats_.reneg_rate_limited.load(std::memory_order_relaxed);
+    s.half_open = stats_.half_open.load(std::memory_order_relaxed);
     return s;
 }
 

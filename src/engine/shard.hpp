@@ -72,10 +72,24 @@ struct shard_counters {
     std::atomic<std::uint64_t> handoff_in{0};  ///< received from peer shards
     std::atomic<std::uint64_t> handoff_dropped{0}; ///< ring full
     std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> truncated_dropped{0}; ///< MSG_TRUNC'd datagrams dropped
     std::atomic<std::uint64_t> pool_exhausted{0};
     std::atomic<std::uint64_t> sessions{0}; ///< gauge, maintained by engine::server
     std::atomic<std::uint64_t> accepted{0}; ///< engine::server accept count
     std::atomic<std::uint64_t> events_dropped{0}; ///< full event-export ring
+
+    // Accept-path guard mirrors: engine::server copies the shard's
+    // vtp::server guard stats here on each reap tick (absolute values,
+    // stored not added — the vtp::server counters are the source of
+    // truth and these just make them readable cross-thread).
+    std::atomic<std::uint64_t> syn_retries_sent{0};
+    std::atomic<std::uint64_t> syn_cookies_validated{0};
+    std::atomic<std::uint64_t> syn_cookies_rejected{0};
+    std::atomic<std::uint64_t> syn_rate_limited{0}; ///< SYN + stray bucket denials
+    std::atomic<std::uint64_t> syn_sheds{0};
+    std::atomic<std::uint64_t> amp_limited{0};
+    std::atomic<std::uint64_t> reneg_rate_limited{0}; ///< reneg bucket denials
+    std::atomic<std::uint64_t> half_open{0}; ///< gauge
 };
 
 /// Plain-value snapshot of shard_counters.
@@ -89,10 +103,19 @@ struct shard_stats {
     std::uint64_t handoff_in = 0;
     std::uint64_t handoff_dropped = 0;
     std::uint64_t decode_errors = 0;
+    std::uint64_t truncated_dropped = 0;
     std::uint64_t pool_exhausted = 0;
     std::uint64_t sessions = 0;
     std::uint64_t accepted = 0;
     std::uint64_t events_dropped = 0;
+    std::uint64_t syn_retries_sent = 0;
+    std::uint64_t syn_cookies_validated = 0;
+    std::uint64_t syn_cookies_rejected = 0;
+    std::uint64_t syn_rate_limited = 0;
+    std::uint64_t syn_sheds = 0;
+    std::uint64_t amp_limited = 0;
+    std::uint64_t reneg_rate_limited = 0;
+    std::uint64_t half_open = 0;
 };
 
 class shard final : public qtp::environment {

@@ -62,6 +62,7 @@ rx_batch::rx_batch(std::size_t capacity)
     : capacity_(capacity ? capacity : 1),
       storage_(capacity_ * max_datagram),
       len_(capacity_, 0),
+      trunc_(capacity_, 0),
       from_(capacity_) {}
 
 // Syscall scaffolding lives on the stack, bounded by a fixed chunk; the
@@ -88,8 +89,14 @@ std::size_t recv_batch(int fd, rx_batch& b) {
         const int n =
             ::recvmmsg(fd, msgs, static_cast<unsigned>(k), MSG_DONTWAIT, nullptr);
         if (n <= 0) break;
-        for (int i = 0; i < n; ++i)
+        for (int i = 0; i < n; ++i) {
             b.len_[total + static_cast<std::size_t>(i)] = msgs[i].msg_len;
+            // An oversized datagram is silently cut to the iov size; the
+            // kernel flags it per-message. Surface it so the shard drops
+            // the fragment instead of feeding garbage to the decoder.
+            b.trunc_[total + static_cast<std::size_t>(i)] =
+                (msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0 ? 1 : 0;
+        }
         total += static_cast<std::size_t>(n);
         if (static_cast<std::size_t>(n) < k) break; // drained
     }
@@ -131,6 +138,10 @@ std::size_t recv_batch(int fd, rx_batch& b) {
                        MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&b.from_[n]), &addrlen);
         if (r < 0) break;
         b.len_[n] = static_cast<std::size_t>(r);
+        // No portable per-message MSG_TRUNC without the mmsg path: a
+        // read that exactly fills the slot is (conservatively) treated
+        // as truncated — real engine datagrams are always smaller.
+        b.trunc_[n] = static_cast<std::size_t>(r) >= max_datagram ? 1 : 0;
         ++n;
     }
     return n;

@@ -46,6 +46,10 @@ public:
     }
     std::size_t len(std::size_t i) const { return len_[i]; }
     const sockaddr_in& from(std::size_t i) const { return from_[i]; }
+    /// The kernel truncated datagram `i` to fit the max_datagram slot
+    /// (MSG_TRUNC): its tail is gone and what remains would decode as
+    /// garbage — the caller must drop it, not parse it.
+    bool truncated(std::size_t i) const { return trunc_[i] != 0; }
 
 private:
     friend std::size_t recv_batch(int fd, rx_batch& b);
@@ -53,6 +57,7 @@ private:
     std::size_t capacity_;
     std::vector<std::uint8_t> storage_; ///< capacity * max_datagram bytes
     std::vector<std::size_t> len_;
+    std::vector<std::uint8_t> trunc_; ///< MSG_TRUNC flags (bool per slot)
     std::vector<sockaddr_in> from_;
 };
 

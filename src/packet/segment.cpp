@@ -85,7 +85,8 @@ struct describe_visitor {
         return out.str();
     }
     std::string operator()(const handshake_segment& s) const {
-        static const char* names[] = {"SYN", "SYN-ACK", "FIN", "FIN-ACK", "RENEG", "RENEG-ACK"};
+        static const char* names[] = {"SYN",   "SYN-ACK", "FIN",  "FIN-ACK",
+                                      "RENEG", "RENEG-ACK", "RETRY"};
         std::ostringstream out;
         out << names[static_cast<int>(s.type)] << " profile=0x" << std::hex << s.profile_bits;
         if (s.type == handshake_segment::kind::reneg ||
@@ -94,6 +95,8 @@ struct describe_visitor {
             if (s.type == handshake_segment::kind::reneg_ack)
                 out << " boundary=" << s.boundary_seq;
         }
+        if (s.type == handshake_segment::kind::retry)
+            out << std::dec << " cookie=0x" << std::hex << s.boundary_seq;
         return out.str();
     }
     std::string operator()(const tcp_segment& s) const {

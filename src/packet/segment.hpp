@@ -156,6 +156,15 @@ constexpr bool valid_profile_bits(std::uint32_t bits) {
 /// proposes a new profile (`reneg`, identified by `token`); the peer
 /// answers with the accepted — possibly downgraded — profile and the data
 /// sequence number from which it applies (`reneg_ack`).
+///
+/// `retry` is the listener's stateless address-validation round (QUIC
+/// style): it carries a cookie in `boundary_seq` (a keyed hash of flow
+/// id, source address and a coarse time bucket — see
+/// core/syn_cookie.hpp) and costs the listener zero per-connection
+/// state. The client echoes the cookie in a retried SYN (also in
+/// `boundary_seq`, which a plain SYN leaves 0); only a SYN with a valid
+/// cookie spawns an endpoint. The wire layout is unchanged — both fields
+/// already travel in every handshake segment.
 struct handshake_segment {
     enum class kind : std::uint8_t {
         syn = 0,
@@ -164,12 +173,15 @@ struct handshake_segment {
         fin_ack = 3,
         reneg = 4,
         reneg_ack = 5,
+        retry = 6,
     };
     kind type = kind::syn;
     std::uint32_t profile_bits = 0;
     double target_rate_bps = 0.0; ///< QoS reservation advertised to peer
     std::uint32_t token = 0;      ///< reneg exchange id (matches ack to proposal)
-    std::uint64_t boundary_seq = 0; ///< reneg_ack: first seq under the new profile
+    /// reneg_ack: first seq under the new profile. retry: the stateless
+    /// cookie; syn: the echoed cookie (0 = none).
+    std::uint64_t boundary_seq = 0;
 
     bool operator==(const handshake_segment&) const = default;
 };

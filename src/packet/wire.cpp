@@ -213,7 +213,7 @@ sack_feedback_segment decode_sack_feedback(byte_reader& in) {
 handshake_segment decode_handshake(byte_reader& in) {
     handshake_segment s;
     const std::uint8_t type = in.get_u8();
-    if (type > static_cast<std::uint8_t>(handshake_segment::kind::reneg_ack))
+    if (type > static_cast<std::uint8_t>(handshake_segment::kind::retry))
         throw decode_error("unknown handshake type");
     s.type = static_cast<handshake_segment::kind>(type);
     s.profile_bits = in.get_u32();

@@ -230,12 +230,47 @@ void check_stats_consistency(const scenario_spec& spec, scenario_result& result)
     }
 }
 
+void check_flood_containment(const scenario_spec& spec, scenario_result& result) {
+    if (!spec.synflood.enabled() || !result.flood.enabled) return;
+    const std::string inv = "flood-containment";
+    const flood_observation& fl = result.flood;
+    // Zero unvalidated-source sessions: every spoofed SYN must die at the
+    // cookie gate, so the only sessions ever spawned are the legitimate
+    // flows (each of which cleared a retry round-trip).
+    if (fl.total_accepted != result.flows.size()) {
+        std::ostringstream os;
+        os << "servers accepted " << fl.total_accepted << " sessions but only "
+           << result.flows.size() << " legitimate flows exist (" << fl.syns_injected
+           << " spoofed SYNs injected)";
+        violate(result, inv, os.str());
+    }
+    if (fl.retries_sent == 0) {
+        std::ostringstream os;
+        os << "no retry cookies were ever sent despite " << fl.syns_injected
+           << " injected SYNs — the guard never engaged";
+        violate(result, inv, os.str());
+    }
+    if (fl.cookies_validated < result.flows.size()) {
+        std::ostringstream os;
+        os << "only " << fl.cookies_validated << " cookies validated for "
+           << result.flows.size() << " legitimate flows";
+        violate(result, inv, os.str());
+    }
+    if (fl.half_open_cap > 0 && fl.max_half_open_seen > fl.half_open_cap) {
+        std::ostringstream os;
+        os << "half-open gauge peaked at " << fl.max_half_open_seen
+           << " above the configured cap " << fl.half_open_cap;
+        violate(result, inv, os.str());
+    }
+}
+
 const std::vector<named_invariant>& default_invariants() {
     static const std::vector<named_invariant> all = {
         {"delivery-integrity", check_delivery_integrity},
         {"close-termination", check_close_termination},
         {"tfrc-equation-bound", check_tfrc_equation_bound},
         {"stats-consistency", check_stats_consistency},
+        {"flood-containment", check_flood_containment},
     };
     return all;
 }

@@ -80,6 +80,22 @@ struct flow_observation {
     double guaranteed_rate_bps = 0.0; ///< active gTFRC floor at run end
 };
 
+/// Accept-path guard accounting observed during a SYN-flooded run
+/// (scenario_spec::synflood). Deliberately outside the trace hash.
+struct flood_observation {
+    bool enabled = false;
+    std::uint64_t syns_injected = 0;   ///< spoofed SYNs the runner injected
+    std::uint64_t retries_sent = 0;    ///< stateless cookies minted
+    std::uint64_t cookies_validated = 0;
+    std::uint64_t cookies_rejected = 0;
+    std::uint64_t rate_limited = 0;    ///< SYN + stray bucket denials
+    std::uint64_t amp_limited = 0;     ///< retries withheld by the 3x budget
+    std::uint64_t shed = 0;            ///< admission refusals (caps)
+    std::uint64_t total_accepted = 0;  ///< sessions spawned across all servers
+    std::size_t max_half_open_seen = 0; ///< peak of the sampled gauge
+    std::size_t half_open_cap = 0;      ///< configured max_half_open
+};
+
 struct scenario_result {
     std::string name;
     std::uint64_t seed = 0;
@@ -98,6 +114,9 @@ struct scenario_result {
     /// bytes checked against the deterministic send pattern.
     std::uint64_t payload_bytes_verified = 0;
     std::uint64_t payload_bytes_mismatched = 0;
+
+    /// SYN-flood accounting (all zeros unless the spec enables a flood).
+    flood_observation flood{};
 };
 
 /// A checker appends violations to `result.violations`.
@@ -116,5 +135,6 @@ void check_delivery_integrity(const scenario_spec& spec, scenario_result& result
 void check_close_termination(const scenario_spec& spec, scenario_result& result);
 void check_tfrc_equation_bound(const scenario_spec& spec, scenario_result& result);
 void check_stats_consistency(const scenario_spec& spec, scenario_result& result);
+void check_flood_containment(const scenario_spec& spec, scenario_result& result);
 
 } // namespace vtp::testing

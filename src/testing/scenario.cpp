@@ -258,6 +258,21 @@ scenario_spec kitchen_sink_adversarial() {
     return s;
 }
 
+scenario_spec syn_flood_during_transfer() {
+    scenario_spec s;
+    s.name = "syn_flood_during_transfer";
+    s.summary = "spoofed SYN flood vs the accept guard while two bulk flows transfer";
+    s.bottleneck_rate_bps = 20e6;
+    s.flows = {bulk_reliable(6'000'000), bulk_reliable(6'000'000)};
+    s.synflood.syn_rate_hz = 200;
+    s.synflood.sources = 64;
+    s.synflood.start = milliseconds(500);
+    s.synflood.stop = seconds(8);
+    s.synflood.max_half_open = 32;
+    s.duration = seconds(30);
+    return s;
+}
+
 } // namespace
 
 const std::vector<scenario_spec>& scenario_matrix() {
@@ -276,6 +291,7 @@ const std::vector<scenario_spec>& scenario_matrix() {
         mux_bulk_deadline_oscillation(),
         diffserv_af_congestion(),
         kitchen_sink_adversarial(),
+        syn_flood_during_transfer(),
     };
     return all;
 }

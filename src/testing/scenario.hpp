@@ -72,6 +72,24 @@ struct reneg_spec {
     bool from_receiver = false; ///< the accepted (server-side) session proposes
 };
 
+/// A spoofed-source SYN flood aimed at the servers while the legitimate
+/// flows run. The runner injects raw SYN packets (random unroutable
+/// source addresses, fresh flow ids) past flow 0's client node, turns on
+/// the accept-path guard (stateless retry cookies, half-open cap, short
+/// handshake deadline) and samples the servers' half-open gauge every
+/// drive step. Flood accounting is reported in
+/// scenario_result::flood and judged by check_flood_containment — it is
+/// NOT folded into the trace hash (guard counters are allowed to evolve
+/// without invalidating the frozen delivery oracle).
+struct synflood_spec {
+    double syn_rate_hz = 0;       ///< injected SYNs per second (0 disables)
+    std::uint32_t sources = 64;   ///< spoofed source address pool
+    util::sim_time start = 0;     ///< active window [start, stop)
+    util::sim_time stop = 0;
+    std::size_t max_half_open = 32; ///< server cap under attack
+    bool enabled() const { return syn_rate_hz > 0 && stop > start; }
+};
+
 /// One client->server flow on its own dumbbell pair.
 struct flow_spec {
     session_options options{};
@@ -97,6 +115,7 @@ struct scenario_spec {
     std::vector<impairment_spec> impairments;
     std::vector<handover_spec> handovers;
     std::vector<flow_spec> flows;
+    synflood_spec synflood{};
 
     /// Wall of the simulation: every flow must be closed by
     /// `deadline()`; the runner stops early once all flows close.

@@ -216,9 +216,22 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
         server_options server_opts{};
         server_opts.trace_ring_records = trace_ring;
         server_opts.trace_sink = opts.trace_sink;
+        if (spec.synflood.enabled()) {
+            // Flooded runs arm the full accept-path guard: stateless
+            // retry cookies (legitimate clients pay one extra RTT), a
+            // half-open cap, and a short handshake deadline so any
+            // half-open that does form is reaped quickly.
+            server_opts.guard.retry_cookies = true;
+            server_opts.max_half_open = spec.synflood.max_half_open;
+            server_opts.handshake_deadline = util::seconds(2);
+        }
         servers.push_back(
             std::make_unique<vtp::server>(net.right_host(i), server_opts));
         servers.back()->set_on_session([&, i](vtp::session& s) {
+            // First accept wins: under a flood a rogue session slipping
+            // the gate must not clobber the legitimate flow's handle
+            // (check_flood_containment counts it separately).
+            if (accepted[i] != nullptr) return;
             accepted[i] = &s;
             // Poll-API runs leave the session callback-free: deliveries
             // are drained below through recv_chunk(), whose metadata is
@@ -302,6 +315,36 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
         }
     }
 
+    // --- SYN flood ------------------------------------------------------
+    // Spoofed SYNs are injected at flow 0's client-side node (past the
+    // host, so no sender state exists for them) with fresh flow ids and
+    // unroutable source addresses: the servers' retry replies vanish,
+    // exactly as they would toward a spoofed Internet source.
+    std::uint64_t flood_injected = 0;
+    if (spec.synflood.enabled()) {
+        const auto interval = static_cast<util::sim_time>(
+            1e9 / spec.synflood.syn_rate_hz);
+        // The function object holds only a weak self-reference; each
+        // pending scheduler event carries the strong one, so the chain
+        // dies with its last event instead of leaking a ref cycle.
+        auto tick = std::make_shared<std::function<void()>>();
+        *tick = [&spec, &net, &flood_injected,
+                 weak = std::weak_ptr(tick), interval] {
+            if (net.sched().now() >= spec.synflood.stop) return;
+            packet::handshake_segment syn;
+            syn.type = packet::handshake_segment::kind::syn;
+            const std::uint32_t k = static_cast<std::uint32_t>(flood_injected++);
+            const std::uint32_t src = 0xA0000000u + k % spec.synflood.sources;
+            const std::uint32_t flow = 0x7F000000u + k;
+            net.left_node(0).inject(packet::make_packet(
+                flow, src, net.right_addr(0), packet::segment{syn}));
+            if (auto self = weak.lock())
+                net.sched().at(net.sched().now() + interval,
+                               [self] { (*self)(); });
+        };
+        net.sched().at(spec.synflood.start, [tick] { (*tick)(); });
+    }
+
     // --- drive ----------------------------------------------------------
     auto all_closed = [&] {
         for (std::size_t i = 0; i < n; ++i) {
@@ -310,12 +353,20 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
         }
         return true;
     };
+    auto sample_flood = [&] {
+        if (!spec.synflood.enabled()) return;
+        std::size_t ho = 0;
+        for (const auto& srv : servers) ho += srv->half_open();
+        result.flood.max_half_open_seen =
+            std::max(result.flood.max_half_open_seen, ho);
+    };
     const util::sim_time step = util::milliseconds(250);
     util::sim_time t = 0;
     while (t < spec.deadline() && !all_closed()) {
         t += step;
         net.sched().run_until(t);
         drain_polled();
+        sample_flood();
     }
     drain_polled(); // tail chunks delivered on the final step
     result.hit_deadline = !all_closed();
@@ -363,6 +414,27 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
     }
     hash = fnv1a(hash, result.events);
     result.trace_hash = hash;
+
+    // Flood accounting stays OUT of the trace hash: guard counters may
+    // evolve (new shed reasons, different retry pacing) without
+    // invalidating the frozen delivery oracle. check_flood_containment
+    // judges them instead.
+    if (spec.synflood.enabled()) {
+        flood_observation& fl = result.flood;
+        fl.enabled = true;
+        fl.syns_injected = flood_injected;
+        fl.half_open_cap = spec.synflood.max_half_open;
+        for (const auto& srv : servers) {
+            const server_stats ss = srv->stats();
+            fl.retries_sent += ss.retries_sent;
+            fl.cookies_validated += ss.cookies_validated;
+            fl.cookies_rejected += ss.cookies_rejected;
+            fl.rate_limited += ss.syn_rate_limited + ss.stray_rate_limited;
+            fl.amp_limited += ss.amplification_limited;
+            fl.shed += ss.shed;
+            fl.total_accepted += ss.accepted;
+        }
+    }
 
     for (const auto& inv : default_invariants()) inv.check(spec, result);
     result.passed = result.violations.empty();

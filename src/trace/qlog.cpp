@@ -25,6 +25,7 @@ const char* qlog_name(record_type t) {
     case record_type::closed: return "connectivity:connection_closed";
     case record_type::timer_fire: return "recovery:timer_fired";
     case record_type::stream_sched: return "transport:stream_promoted";
+    case record_type::guard: return "security:accept_guard";
     default: return "unknown";
     }
 }
@@ -80,6 +81,10 @@ void write_data(std::ostream& os, const record& r) {
     case record_type::stream_sched:
         os << "\"stream_id\":" << r.stream << ",\"deadline_in_ns\":" << r.a;
         break;
+    case record_type::guard:
+        os << "\"event\":" << static_cast<unsigned>(r.aux) << ",\"src\":" << r.a
+           << ",\"detail\":" << r.b;
+        break;
     default:
         os << "\"a\":" << r.a << ",\"b\":" << r.b;
         break;
@@ -129,7 +134,7 @@ record_type type_from_string(const char* name) {
         record_type::cc_window,      record_type::reneg_proposed,
         record_type::reneg_applied,  record_type::established,
         record_type::closed,         record_type::timer_fire,
-        record_type::stream_sched,
+        record_type::stream_sched,   record_type::guard,
     };
     const std::string want(name);
     for (record_type t : all)

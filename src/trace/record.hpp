@@ -63,6 +63,22 @@ enum class record_type : std::uint8_t {
     /// Stream scheduler promoted a stream ahead of round-robin order.
     /// stream=promoted stream id, a=nanoseconds until its deadline.
     stream_sched = 13,
+    /// Listener accept-path guard decision (DoS hardening). Emitted by
+    /// the listener's tracer (flow = packet's flow id). aux=guard_event,
+    /// a=source address, b=detail (cookie value for the cookie events,
+    /// denied bytes for the rate/amplification events).
+    guard = 14,
+};
+
+/// guard aux values.
+enum class guard_event : std::uint8_t {
+    retry_sent = 1,            ///< answered an unvalidated SYN with a cookie
+    cookie_validated = 2,      ///< retried SYN echoed a valid cookie
+    cookie_rejected = 3,       ///< SYN carried a stale/forged cookie
+    syn_rate_limited = 4,      ///< per-source SYN token bucket denial
+    stray_rate_limited = 5,    ///< per-source stray-traffic bucket denial
+    amplification_limited = 6, ///< retry withheld: would exceed tx budget
+    shed = 7,                  ///< admission refused (session / half-open cap)
 };
 
 /// timer_fire aux values.
@@ -99,6 +115,7 @@ inline const char* type_name(record_type t) {
     case record_type::closed: return "closed";
     case record_type::timer_fire: return "timer_fire";
     case record_type::stream_sched: return "stream_sched";
+    case record_type::guard: return "guard";
     default: return "unknown";
     }
 }

@@ -40,6 +40,12 @@ constexpr frozen_run frozen[] = {
     {"mux_bulk_deadline_oscillation", 50317, 0xae233ecebd3c0fb1ULL},
     {"diffserv_af_congestion", 59055, 0x60403d27048db3a3ULL},
     {"kitchen_sink_adversarial", 16720, 0x6eb66dab3910c39cULL},
+    // Frozen at introduction (this scenario post-dates the cc refactor):
+    // two legitimate transfers establishing through the retry-cookie gate
+    // while a spoofed flood hammers the listeners. The guard counters are
+    // deliberately outside the hash; the deliveries, endgame counters and
+    // event count still pin the legitimate flows' wire behaviour.
+    {"syn_flood_during_transfer", 478109, 0x21687dadbf0e9eacULL},
 };
 
 TEST(cc_trace_regression_test, tfrc_scenarios_reproduce_frozen_hashes) {

@@ -1,0 +1,115 @@
+// Half-open reclamation: an accepted session whose peer never sends
+// data is half-open; the handshake deadline forces it closed so the
+// server's ordinary reap path collects it. Data (or a FIN, or a reneg)
+// before the deadline is proof of liveness and disarms it.
+#include <gtest/gtest.h>
+
+#include "api/server.hpp"
+#include "api/session.hpp"
+#include "mock_env.hpp"
+
+namespace {
+
+using namespace vtp;
+using namespace vtp::testing;
+using util::seconds;
+
+packet::packet syn_for(std::uint32_t flow) {
+    packet::handshake_segment syn;
+    syn.type = packet::handshake_segment::kind::syn;
+    syn.profile_bits = qtp::qtp_default_profile().encode();
+    return packet::make_packet(flow, /*src*/ 9, /*dst*/ 0, syn);
+}
+
+packet::packet data_for(std::uint32_t flow) {
+    packet::data_segment data;
+    data.seq = 0;
+    data.payload_len = 100;
+    return packet::make_packet(flow, 9, 0, data);
+}
+
+TEST(half_open_reap_test, silent_half_open_is_reaped_after_the_deadline) {
+    mock_env env;
+    server_options opts;
+    opts.handshake_deadline = seconds(5);
+    vtp::server srv(env, opts);
+
+    env.default_agent->on_packet(syn_for(42));
+
+    ASSERT_NE(srv.find(42), nullptr);
+    EXPECT_TRUE(srv.find(42)->half_open());
+    EXPECT_EQ(srv.half_open(), 1u);
+    EXPECT_EQ(srv.reap_closed(), 0u); // not closed yet
+
+    env.advance(seconds(6)); // deadline fires
+
+    EXPECT_TRUE(srv.find(42)->closed());
+    EXPECT_EQ(srv.reap_closed(), 1u);
+    EXPECT_EQ(srv.find(42), nullptr);
+    EXPECT_TRUE(env.attached.empty()); // endpoint detached from the substrate
+    EXPECT_EQ(srv.half_open(), 0u);
+}
+
+TEST(half_open_reap_test, data_before_the_deadline_disarms_it) {
+    mock_env env;
+    server_options opts;
+    opts.handshake_deadline = seconds(5);
+    vtp::server srv(env, opts);
+
+    env.default_agent->on_packet(syn_for(42));
+    env.attached.at(42)->on_packet(data_for(42));
+
+    EXPECT_FALSE(srv.find(42)->half_open());
+    env.advance(seconds(60));
+    EXPECT_FALSE(srv.find(42)->closed());
+    EXPECT_EQ(srv.reap_closed(), 0u);
+}
+
+TEST(half_open_reap_test, zero_deadline_disables_the_sweeper) {
+    mock_env env;
+    server_options opts;
+    opts.handshake_deadline = 0;
+    vtp::server srv(env, opts);
+
+    env.default_agent->on_packet(syn_for(42));
+    env.advance(seconds(600));
+
+    EXPECT_FALSE(srv.find(42)->closed());
+    EXPECT_EQ(srv.half_open(), 1u);
+}
+
+TEST(half_open_reap_test, max_half_open_cap_sheds_excess_syns) {
+    mock_env env;
+    server_options opts;
+    opts.handshake_deadline = seconds(5);
+    opts.max_half_open = 2;
+    vtp::server srv(env, opts);
+
+    for (std::uint32_t flow = 1; flow <= 6; ++flow)
+        env.default_agent->on_packet(syn_for(flow));
+
+    EXPECT_EQ(srv.half_open(), 2u);
+    EXPECT_EQ(srv.stats().shed, 4u);
+
+    // The deadline reaps the two half-opens, freeing capacity for new
+    // arrivals — the cap bounds concurrency, not total admissions.
+    env.advance(seconds(6));
+    EXPECT_EQ(srv.reap_closed(), 2u);
+    env.default_agent->on_packet(syn_for(100));
+    EXPECT_EQ(srv.half_open(), 1u);
+}
+
+TEST(half_open_reap_test, max_sessions_cap_sheds_everything_above_it) {
+    mock_env env;
+    server_options opts;
+    opts.max_sessions = 3;
+    vtp::server srv(env, opts);
+
+    for (std::uint32_t flow = 1; flow <= 10; ++flow)
+        env.default_agent->on_packet(syn_for(flow));
+
+    EXPECT_EQ(srv.stats().sessions, 3u);
+    EXPECT_EQ(srv.stats().shed, 7u);
+}
+
+} // namespace

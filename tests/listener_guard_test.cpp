@@ -1,0 +1,245 @@
+// Accept-path guard (core/listener.hpp): retry cookies gate the spawn
+// path, the anti-amplification budget bounds bytes to unvalidated
+// sources, per-source token buckets bound SYN/stray rates, admission
+// refusals shed without allocating — and the guard defaults to off,
+// where the listener behaves exactly as before.
+#include <gtest/gtest.h>
+
+#include "core/connection.hpp"
+#include "core/listener.hpp"
+#include "mock_env.hpp"
+
+namespace {
+
+using namespace vtp;
+using namespace vtp::testing;
+using util::seconds;
+
+packet::packet syn_from(std::uint32_t flow, std::uint32_t src,
+                        std::uint64_t cookie = 0) {
+    packet::handshake_segment syn;
+    syn.type = packet::handshake_segment::kind::syn;
+    syn.profile_bits = qtp::qtp_default_profile().encode();
+    syn.boundary_seq = cookie;
+    return packet::make_packet(flow, src, /*dst*/ 0, syn);
+}
+
+const packet::handshake_segment* handshake_of(const packet::packet& pkt) {
+    return std::get_if<packet::handshake_segment>(pkt.body.get());
+}
+
+qtp::listener_config guarded_config() {
+    qtp::listener_config cfg;
+    cfg.guard.retry_cookies = true;
+    cfg.guard.cookie.key = 0xDEADBEEF; // fixed: no rng draw at start
+    return cfg;
+}
+
+TEST(listener_guard_test, unvalidated_syn_gets_retry_and_spawns_nothing) {
+    mock_env env;
+    qtp::listener listen(guarded_config());
+    listen.start(env);
+
+    listen.on_packet(syn_from(42, 9));
+
+    EXPECT_EQ(listen.accepted(), 0u);
+    EXPECT_TRUE(env.attached.empty());
+    ASSERT_EQ(env.sent.size(), 1u);
+    const auto* hs = handshake_of(env.sent[0]);
+    ASSERT_NE(hs, nullptr);
+    EXPECT_EQ(hs->type, packet::handshake_segment::kind::retry);
+    EXPECT_NE(hs->boundary_seq, 0u);
+    EXPECT_EQ(env.sent[0].dst, 9u);
+    EXPECT_EQ(listen.guard_stats().retries_sent, 1u);
+}
+
+TEST(listener_guard_test, echoed_cookie_clears_the_gate_and_spawns) {
+    mock_env env;
+    qtp::listener listen(guarded_config());
+    listen.start(env);
+
+    listen.on_packet(syn_from(42, 9));
+    ASSERT_EQ(env.sent.size(), 1u);
+    const std::uint64_t cookie = handshake_of(env.sent[0])->boundary_seq;
+
+    listen.on_packet(syn_from(42, 9, cookie));
+
+    EXPECT_EQ(listen.accepted(), 1u);
+    EXPECT_EQ(listen.guard_stats().cookies_validated, 1u);
+    ASSERT_EQ(env.attached.count(42), 1u);
+    // The spawned endpoint answered the validated SYN with a SYN-ACK.
+    ASSERT_EQ(env.sent.size(), 2u);
+    EXPECT_EQ(handshake_of(env.sent[1])->type,
+              packet::handshake_segment::kind::syn_ack);
+}
+
+TEST(listener_guard_test, forged_cookie_is_rejected_and_reanswered) {
+    mock_env env;
+    qtp::listener listen(guarded_config());
+    listen.start(env);
+
+    listen.on_packet(syn_from(42, 9, 0x12345678));
+
+    EXPECT_EQ(listen.accepted(), 0u);
+    EXPECT_EQ(listen.guard_stats().cookies_rejected, 1u);
+    // A fresh retry went out (within budget) so a client whose cookie
+    // expired can recover.
+    EXPECT_EQ(listen.guard_stats().retries_sent, 1u);
+    EXPECT_TRUE(env.attached.empty());
+}
+
+TEST(listener_guard_test, cookie_is_not_portable_across_sources) {
+    mock_env env;
+    qtp::listener listen(guarded_config());
+    listen.start(env);
+
+    listen.on_packet(syn_from(42, 9));
+    const std::uint64_t cookie = handshake_of(env.sent[0])->boundary_seq;
+
+    listen.on_packet(syn_from(42, 10, cookie)); // replay from another address
+
+    EXPECT_EQ(listen.accepted(), 0u);
+    EXPECT_EQ(listen.guard_stats().cookies_rejected, 1u);
+}
+
+TEST(listener_guard_test, amplification_budget_clamps_reply_bytes_to_the_factor) {
+    // A retry is the same size as the SYN that provoked it, so a 0.5x
+    // factor can answer at most every other SYN: the cumulative budget
+    // (tx <= 0.5 * rx) withholds the rest and counts each refusal.
+    mock_env env;
+    qtp::listener_config cfg = guarded_config();
+    cfg.guard.amplification_factor = 0.5;
+    qtp::listener listen(cfg);
+    listen.start(env);
+
+    for (int i = 0; i < 10; ++i) listen.on_packet(syn_from(42, 9));
+
+    const auto& g = listen.guard_stats();
+    EXPECT_EQ(g.retries_sent + g.amplification_limited, 10u);
+    EXPECT_GT(g.amplification_limited, 0u);
+    EXPECT_LE(g.retries_sent, 5u); // reply bytes never exceed half the rx bytes
+    EXPECT_EQ(env.sent.size(), g.retries_sent);
+}
+
+TEST(listener_guard_test, default_amplification_factor_never_blocks_retries) {
+    // Symmetric exchange under the QUIC-style 3x budget: one same-size
+    // retry per SYN always fits (tx tracks rx at parity), so a flood is
+    // answered 1:1, never amplified.
+    mock_env env;
+    qtp::listener listen(guarded_config());
+    listen.start(env);
+
+    for (int i = 0; i < 50; ++i) listen.on_packet(syn_from(42, 9));
+
+    const auto& g = listen.guard_stats();
+    EXPECT_EQ(g.retries_sent, 50u);
+    EXPECT_EQ(g.amplification_limited, 0u);
+    EXPECT_EQ(env.sent.size(), 50u);
+}
+
+TEST(listener_guard_test, per_source_syn_bucket_rate_limits) {
+    mock_env env;
+    qtp::listener_config cfg;
+    cfg.guard.syn_rate_bps = 8.0;        // ~1 byte/s: no refill in-test
+    cfg.guard.syn_burst_bytes = 100;     // fits ~3 SYN segments
+    qtp::listener listen(cfg);
+    listen.start(env);
+
+    for (int i = 0; i < 20; ++i) listen.on_packet(syn_from(100 + i, 9));
+    const std::uint64_t limited_one_source = listen.guard_stats().syn_rate_limited;
+    EXPECT_GT(limited_one_source, 0u);
+    // Another source gets its own bucket: its first SYN still spawns.
+    listen.on_packet(syn_from(500, 77));
+    EXPECT_EQ(listen.guard_stats().syn_rate_limited, limited_one_source);
+    EXPECT_GE(listen.accepted(), 1u);
+}
+
+TEST(listener_guard_test, stray_bucket_bounds_stray_accounting) {
+    mock_env env;
+    qtp::listener_config cfg;
+    cfg.guard.stray_rate_bps = 8.0;
+    cfg.guard.stray_burst_bytes = 300; // fits ~2 of the 130-byte strays
+    qtp::listener listen(cfg);
+    listen.start(env);
+
+    packet::data_segment data;
+    data.payload_len = 100;
+    for (int i = 0; i < 20; ++i)
+        listen.on_packet(packet::make_packet(7, 9, 0, data));
+
+    EXPECT_GT(listen.guard_stats().stray_rate_limited, 0u);
+    EXPECT_LT(listen.stray_packets(), 20u);
+    EXPECT_GT(listen.stray_packets(), 0u);
+}
+
+TEST(listener_guard_test, admission_refusal_is_a_counted_shed) {
+    mock_env env;
+    qtp::listener listen(qtp::listener_config{});
+    listen.set_admission([](std::uint32_t, std::uint32_t) { return false; });
+    listen.start(env);
+
+    listen.on_packet(syn_from(42, 9));
+
+    EXPECT_EQ(listen.accepted(), 0u);
+    EXPECT_EQ(listen.guard_stats().shed, 1u);
+    EXPECT_TRUE(env.attached.empty());
+    EXPECT_TRUE(env.sent.empty());
+}
+
+TEST(listener_guard_test, source_table_is_bounded) {
+    mock_env env;
+    qtp::listener_config cfg = guarded_config();
+    cfg.guard.max_tracked_sources = 16;
+    qtp::listener listen(cfg);
+    listen.start(env);
+
+    for (std::uint32_t s = 0; s < 100; ++s)
+        listen.on_packet(syn_from(1000 + s, s));
+
+    EXPECT_LE(listen.tracked_sources(), 16u);
+    EXPECT_GT(listen.guard_stats().source_table_resets, 0u);
+}
+
+TEST(listener_guard_test, default_config_spawns_exactly_as_before) {
+    mock_env env;
+    qtp::listener listen(qtp::listener_config{});
+    listen.start(env);
+
+    listen.on_packet(syn_from(42, 9));
+
+    EXPECT_EQ(listen.accepted(), 1u);
+    EXPECT_EQ(listen.guard_stats().retries_sent, 0u);
+    EXPECT_EQ(listen.tracked_sources(), 0u); // no per-source state at all
+    ASSERT_EQ(env.sent.size(), 1u);
+    EXPECT_EQ(handshake_of(env.sent[0])->type,
+              packet::handshake_segment::kind::syn_ack);
+}
+
+TEST(listener_guard_test, sender_echoes_retry_cookie_in_fresh_syn) {
+    // Client half of the round-trip: a retry makes the sender re-SYN
+    // immediately with the cookie echoed in boundary_seq.
+    mock_env env;
+    qtp::connection_config cfg;
+    cfg.flow_id = 42;
+    cfg.peer_addr = 9;
+    auto sender = std::make_unique<qtp::connection_sender>(cfg);
+    qtp::connection_sender* tx = sender.get();
+    env.attach_dynamic(42, std::move(sender));
+
+    ASSERT_EQ(env.sent.size(), 1u); // initial SYN
+    EXPECT_EQ(handshake_of(env.sent[0])->boundary_seq, 0u);
+
+    packet::handshake_segment retry;
+    retry.type = packet::handshake_segment::kind::retry;
+    retry.boundary_seq = 0xABCDEF;
+    tx->on_packet(packet::make_packet(42, 9, 0, retry));
+
+    EXPECT_EQ(tx->syn_retries_received(), 1u);
+    ASSERT_EQ(env.sent.size(), 2u);
+    const auto* syn2 = handshake_of(env.sent[1]);
+    ASSERT_NE(syn2, nullptr);
+    EXPECT_EQ(syn2->type, packet::handshake_segment::kind::syn);
+    EXPECT_EQ(syn2->boundary_seq, 0xABCDEFu);
+}
+
+} // namespace

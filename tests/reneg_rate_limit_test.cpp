@@ -1,0 +1,83 @@
+// Renegotiation storm bound: a per-connection token bucket gates how
+// fast inbound reneg proposals are even looked at; denials are counted
+// in session_stats::reneg_rate_limited. Off by default.
+#include <gtest/gtest.h>
+
+#include "api/server.hpp"
+#include "api/session.hpp"
+#include "mock_env.hpp"
+
+namespace {
+
+using namespace vtp;
+using namespace vtp::testing;
+using util::seconds;
+
+packet::packet syn_for(std::uint32_t flow) {
+    packet::handshake_segment syn;
+    syn.type = packet::handshake_segment::kind::syn;
+    syn.profile_bits = qtp::qtp_default_profile().encode();
+    return packet::make_packet(flow, 9, 0, syn);
+}
+
+packet::packet reneg_for(std::uint32_t flow, std::uint32_t token) {
+    packet::handshake_segment rn;
+    rn.type = packet::handshake_segment::kind::reneg;
+    rn.profile_bits = qtp::qtp_default_profile().encode();
+    rn.token = token;
+    return packet::make_packet(flow, 9, 0, rn);
+}
+
+TEST(reneg_rate_limit_test, reneg_storm_is_bounded_and_counted) {
+    mock_env env;
+    server_options opts;
+    opts.reneg_rate_bps = 8.0;     // ~1 byte/s: no refill within the test
+    opts.reneg_burst_bytes = 60;   // fits ~2 reneg segments
+    vtp::server srv(env, opts);
+
+    env.default_agent->on_packet(syn_for(42));
+    ASSERT_NE(srv.find(42), nullptr);
+    const std::size_t replies_before_storm = env.sent.size();
+
+    for (std::uint32_t i = 0; i < 50; ++i)
+        env.attached.at(42)->on_packet(reneg_for(42, 100 + i));
+
+    const session_stats st = srv.find(42)->stats();
+    EXPECT_GT(st.reneg_rate_limited, 0u);
+    EXPECT_LT(st.reneg_rate_limited, 50u); // the burst allowance got through
+    // Denied proposals are dropped before any processing: no reneg-ack
+    // (or any other reply) is generated for them.
+    EXPECT_LE(env.sent.size() - replies_before_storm,
+              50u - st.reneg_rate_limited);
+}
+
+TEST(reneg_rate_limit_test, bucket_refills_with_time) {
+    mock_env env;
+    server_options opts;
+    opts.reneg_rate_bps = 8.0 * 30; // 30 bytes/s: one reneg per second
+    opts.reneg_burst_bytes = 30;
+    vtp::server srv(env, opts);
+
+    env.default_agent->on_packet(syn_for(42));
+    for (std::uint32_t i = 0; i < 5; ++i)
+        env.attached.at(42)->on_packet(reneg_for(42, 100 + i));
+    const std::uint64_t limited = srv.find(42)->stats().reneg_rate_limited;
+    EXPECT_GT(limited, 0u);
+
+    env.advance(seconds(2)); // refill
+    env.attached.at(42)->on_packet(reneg_for(42, 999));
+    EXPECT_EQ(srv.find(42)->stats().reneg_rate_limited, limited);
+}
+
+TEST(reneg_rate_limit_test, disabled_by_default) {
+    mock_env env;
+    vtp::server srv(env, server_options{});
+
+    env.default_agent->on_packet(syn_for(42));
+    for (std::uint32_t i = 0; i < 50; ++i)
+        env.attached.at(42)->on_packet(reneg_for(42, 100 + i));
+
+    EXPECT_EQ(srv.find(42)->stats().reneg_rate_limited, 0u);
+}
+
+} // namespace

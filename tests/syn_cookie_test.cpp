@@ -1,0 +1,71 @@
+// Stateless retry cookie jar (core/syn_cookie.hpp): a cookie minted for
+// (flow, src, time bucket) validates in its own and the following
+// bucket, never validates for a different flow/source, and 0 is
+// reserved as "no cookie" on the wire.
+#include <gtest/gtest.h>
+
+#include "core/syn_cookie.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+using vtp::qtp::syn_cookie_config;
+using vtp::qtp::syn_cookie_jar;
+using vtp::util::seconds;
+
+syn_cookie_jar keyed_jar() {
+    syn_cookie_config cfg;
+    cfg.key = 0x1122334455667788ULL;
+    cfg.lifetime = seconds(3);
+    return syn_cookie_jar(cfg);
+}
+
+TEST(syn_cookie_test, minted_cookie_round_trips) {
+    const syn_cookie_jar jar = keyed_jar();
+    const std::uint64_t c = jar.mint(42, 0xC0A80001, seconds(1));
+    EXPECT_TRUE(jar.validate(c, 42, 0xC0A80001, seconds(1)));
+    // Still valid later within the same bucket.
+    EXPECT_TRUE(jar.validate(c, 42, 0xC0A80001, seconds(2)));
+}
+
+TEST(syn_cookie_test, cookie_survives_one_bucket_boundary_then_expires) {
+    const syn_cookie_jar jar = keyed_jar();
+    const std::uint64_t c = jar.mint(42, 7, seconds(1)); // bucket 0
+    EXPECT_TRUE(jar.validate(c, 42, 7, seconds(4)));     // bucket 1: previous accepted
+    EXPECT_FALSE(jar.validate(c, 42, 7, seconds(7)));    // bucket 2: expired
+    EXPECT_FALSE(jar.validate(c, 42, 7, seconds(300)));
+}
+
+TEST(syn_cookie_test, cookie_is_bound_to_flow_and_source) {
+    const syn_cookie_jar jar = keyed_jar();
+    const std::uint64_t c = jar.mint(42, 7, seconds(1));
+    EXPECT_FALSE(jar.validate(c, 43, 7, seconds(1))); // other flow
+    EXPECT_FALSE(jar.validate(c, 42, 8, seconds(1))); // other source
+}
+
+TEST(syn_cookie_test, cookie_is_bound_to_the_key) {
+    const syn_cookie_jar a = keyed_jar();
+    syn_cookie_config other;
+    other.key = 0x99;
+    other.lifetime = seconds(3);
+    const syn_cookie_jar b{other};
+    EXPECT_FALSE(b.validate(a.mint(42, 7, seconds(1)), 42, 7, seconds(1)));
+}
+
+TEST(syn_cookie_test, zero_is_never_minted_and_never_validates) {
+    const syn_cookie_jar jar = keyed_jar();
+    for (std::uint32_t flow = 0; flow < 2000; ++flow)
+        ASSERT_NE(jar.mint(flow, flow * 7919, seconds(1)), 0u);
+    EXPECT_FALSE(jar.validate(0, 42, 7, seconds(1)));
+}
+
+TEST(syn_cookie_test, nonpositive_lifetime_falls_back_to_default) {
+    syn_cookie_config cfg;
+    cfg.key = 5;
+    cfg.lifetime = 0;
+    const syn_cookie_jar jar(cfg);
+    const std::uint64_t c = jar.mint(1, 2, seconds(1));
+    EXPECT_TRUE(jar.validate(c, 1, 2, seconds(2)));
+}
+
+} // namespace

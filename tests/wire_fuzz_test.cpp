@@ -71,7 +71,7 @@ void assert_decoded_invariants(const segment& seg) {
         ASSERT_EQ(ds->reliability & ~stream_reliability_mask, 0u);
     } else if (const auto* hs = std::get_if<handshake_segment>(&seg)) {
         ASSERT_LE(static_cast<std::uint8_t>(hs->type),
-                  static_cast<std::uint8_t>(handshake_segment::kind::reneg_ack));
+                  static_cast<std::uint8_t>(handshake_segment::kind::retry));
         ASSERT_TRUE(valid_profile_bits(hs->profile_bits));
     }
 }
@@ -134,6 +134,32 @@ TEST(wire_fuzz_test, mutated_reneg_segments_never_crash_or_accept_bad_profiles) 
     int accepted = 0, rejected = 0;
     for (int i = 0; i < 30000; ++i) {
         const auto clean = encode_segment(segment{valid_reneg_segment(rng)});
+        const auto mutated = mutate(clean, rng);
+        try {
+            const segment seg = decode_segment(mutated);
+            assert_decoded_invariants(seg);
+            ASSERT_EQ(decode_segment(encode_segment(seg)), seg);
+            ++accepted;
+        } catch (const vtp::util::decode_error&) {
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(accepted + rejected, 30000);
+    EXPECT_GT(accepted, 1000);
+    EXPECT_GT(rejected, 1000);
+}
+
+TEST(wire_fuzz_test, mutated_retry_segments_never_crash_or_lose_the_cookie) {
+    // Retry carries the stateless cookie in boundary_seq; a decoded
+    // mutant must still be canonical (the cookie survives re-encoding
+    // bit-exactly) and in-range like every other handshake kind.
+    vtp::util::rng rng(424242);
+    int accepted = 0, rejected = 0;
+    for (int i = 0; i < 30000; ++i) {
+        handshake_segment hs;
+        hs.type = handshake_segment::kind::retry;
+        hs.boundary_seq = rng.next_u64();
+        const auto clean = encode_segment(segment{hs});
         const auto mutated = mutate(clean, rng);
         try {
             const segment seg = decode_segment(mutated);

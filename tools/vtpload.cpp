@@ -23,6 +23,9 @@
 //   vtpload --clients 100 --min-pps 2000 --json vtpload.json   # CI smoke
 //   vtpload --clients 40 --payload --json vtpload_payload.json # checksum
 //   vtpload --clients 50 --metrics-out metrics.prom            # Prometheus
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -36,8 +39,11 @@
 #include "api/session.hpp"
 #include "bench_json.hpp"
 #include "cc/algorithm_id.hpp"
+#include "core/profile.hpp"
 #include "engine/server.hpp"
+#include "engine/udp_io.hpp"
 #include "net/udp_host.hpp"
+#include "packet/wire.hpp"
 #include "trace/metrics.hpp"
 #include "util/pattern.hpp"
 
@@ -60,6 +66,9 @@ struct options {
     std::string json;
     std::string metrics_out; ///< Prometheus text dump ("-" = stdout)
     std::string trace_dir;   ///< engine flight-recorder spool directory
+    std::string attack;      ///< "" | "syn-flood" | "reneg-storm"
+    double attack_pps = 2000.0; ///< attack datagrams per second
+    int attack_sources = 256;   ///< spoofed source addresses to cycle
 };
 
 using util::pattern_byte;
@@ -109,6 +118,17 @@ bool parse(int argc, char** argv, options& o) {
             o.metrics_out = next();
         } else if (a == "--trace-dir") {
             o.trace_dir = next();
+        } else if (a == "--attack") {
+            o.attack = next();
+            if (o.attack != "syn-flood" && o.attack != "reneg-storm") {
+                std::fprintf(stderr,
+                             "vtpload: unknown --attack (syn-flood|reneg-storm)\n");
+                missing_value = true;
+            }
+        } else if (a == "--attack-pps") {
+            o.attack_pps = std::atof(next());
+        } else if (a == "--attack-sources") {
+            o.attack_sources = std::max(1, std::atoi(next()));
         } else {
             missing_value = true;
         }
@@ -119,11 +139,67 @@ bool parse(int argc, char** argv, options& o) {
                      "[--streams M] [--bytes B] [--packet-size S] "
                      "[--timeout SEC] [--min-pps FLOOR] [--payload] "
                      "[--cc tfrc|newreno|westwood] [--json PATH] "
-                     "[--metrics-out PATH|-] [--trace-dir DIR]\n");
+                     "[--metrics-out PATH|-] [--trace-dir DIR] "
+                     "[--attack syn-flood|reneg-storm] [--attack-pps N] "
+                     "[--attack-sources N]\n");
         return false;
     }
     return true;
 }
+
+/// Raw-socket attacker: writes engine datagrams (8-byte flow/src header +
+/// wire segment) straight at the engine port with forged source fields.
+/// The forged addresses decode to high loopback ports nothing listens on,
+/// so replies vanish exactly as they would toward a spoofed Internet host.
+struct attacker {
+    int fd = -1;
+    sockaddr_in target{};
+    std::uint64_t sent = 0;
+
+    bool open(std::uint16_t port) {
+        fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+        if (fd < 0) return false;
+        target = engine::loopback_addr(port);
+        return true;
+    }
+
+    void send(std::uint32_t flow, std::uint32_t src, const packet::segment& seg) {
+        std::uint8_t header[8];
+        for (int i = 0; i < 4; ++i)
+            header[i] = static_cast<std::uint8_t>(flow >> (8 * (3 - i)));
+        for (int i = 0; i < 4; ++i)
+            header[4 + i] = static_cast<std::uint8_t>(src >> (8 * (3 - i)));
+        std::vector<std::uint8_t> d(header, header + 8);
+        const std::vector<std::uint8_t> body = packet::encode_segment(seg);
+        d.insert(d.end(), body.begin(), body.end());
+        ::sendto(fd, d.data(), d.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&target), sizeof target);
+        ++sent;
+    }
+
+    /// One spoofed datagram: a fresh-flow SYN (syn-flood) or a stray
+    /// reneg proposal (reneg-storm), source cycled over the forged pool.
+    void fire(const options& o) {
+        const std::uint32_t k = static_cast<std::uint32_t>(sent);
+        const std::uint32_t src =
+            0xB000u + k % static_cast<std::uint32_t>(o.attack_sources);
+        packet::handshake_segment hs;
+        hs.profile_bits = qtp::qtp_default_profile().encode();
+        if (o.attack == "syn-flood") {
+            hs.type = packet::handshake_segment::kind::syn;
+            send(0x60000000u + k, src, packet::segment{hs});
+        } else { // reneg-storm: hammer the live client flows with proposals
+            hs.type = packet::handshake_segment::kind::reneg;
+            hs.token = 0x70000000u + k;
+            send(1 + k % static_cast<std::uint32_t>(std::max(1, o.clients)), src,
+                 packet::segment{hs});
+        }
+    }
+
+    ~attacker() {
+        if (fd >= 0) ::close(fd);
+    }
+};
 
 } // namespace
 
@@ -141,6 +217,18 @@ int main(int argc, char** argv) {
     // Flight-recorder spool: every accepted session records into
     // <trace_dir>/trace-shard<i>.vtpt through the per-shard writer thread.
     cfg.trace_dir = opt.trace_dir;
+    if (!opt.attack.empty()) {
+        // Attack runs exercise the accept-path guard: stateless retry
+        // cookies, half-open caps + deadline sweeper, and (for the reneg
+        // storm) the per-connection renegotiation bucket.
+        cfg.accept.guard.retry_cookies = true;
+        cfg.accept.max_half_open = 1024;
+        cfg.accept.handshake_deadline = util::seconds(2);
+        if (opt.attack == "reneg-storm") {
+            cfg.accept.reneg_rate_bps = 8.0 * 26 * 20; // ~20 proposals/s
+            cfg.accept.reneg_burst_bytes = 260;        // ~10 proposal burst
+        }
+    }
     engine::server srv(cfg);
     // v2 API: no per-session callbacks — every accepted session exports
     // its events (fin with the stream length; readable with the payload
@@ -230,12 +318,26 @@ int main(int argc, char** argv) {
         }
     };
 
+    attacker atk;
+    if (!opt.attack.empty() && !atk.open(opt.port)) {
+        std::fprintf(stderr, "vtpload: cannot open attack socket\n");
+        return 2;
+    }
+
     std::vector<bool> done(sessions.size(), false);
     trace::histogram latency_ns; ///< completion latency distribution
     std::size_t remaining = sessions.size();
     const util::sim_time deadline = t0 + util::seconds(opt.timeout_s);
     while (remaining > 0 && loop.now() < deadline) {
         loop.run(milliseconds(5));
+        if (!opt.attack.empty()) {
+            // Pace the flood against wall-clock: catch sent up to
+            // attack_pps * elapsed, bounded per turn to keep the loop live.
+            const double elapsed = util::to_seconds(loop.now() - t0);
+            const auto want = static_cast<std::uint64_t>(opt.attack_pps * elapsed);
+            for (int burst = 0; atk.sent < want && burst < 512; ++burst)
+                atk.fire(opt);
+        }
         drain_events();
         const util::sim_time now = loop.now();
         for (std::size_t i = 0; i < sessions.size(); ++i) {
@@ -262,6 +364,11 @@ int main(int argc, char** argv) {
         }
     }
     const double bw_est_mean_bps = bw_est_n > 0 ? bw_est_sum / static_cast<double>(bw_est_n) : 0.0;
+
+    // Guard counters are mirrored from each shard's vtp::server at reap
+    // ticks; give the reaper an interval or two before snapshotting
+    // (elapsed_s is already fixed, so goodput is not diluted).
+    if (!opt.attack.empty()) loop.run(milliseconds(600));
 
     const engine::engine_stats st = srv.stats();
     const std::uint64_t total_bytes = delivered;
@@ -301,6 +408,21 @@ int main(int argc, char** argv) {
                 vtp::cc::to_string(opt.cc), static_cast<unsigned long long>(cc_swaps),
                 static_cast<unsigned long long>(st.cc_swaps_applied),
                 bw_est_mean_bps / 1e6);
+    if (!opt.attack.empty())
+        std::printf("attack               %s  %llu dgrams @ %.0f/s from %d sources — "
+                    "retries %llu  validated %llu  rejected %llu  rate-limited %llu  "
+                    "shed %llu  amp-limited %llu  reneg-limited %llu  "
+                    "half-open %llu\n",
+                    opt.attack.c_str(), static_cast<unsigned long long>(atk.sent),
+                    opt.attack_pps, opt.attack_sources,
+                    static_cast<unsigned long long>(st.syn_retries_sent),
+                    static_cast<unsigned long long>(st.syn_cookies_validated),
+                    static_cast<unsigned long long>(st.syn_cookies_rejected),
+                    static_cast<unsigned long long>(st.syn_rate_limited),
+                    static_cast<unsigned long long>(st.syn_sheds),
+                    static_cast<unsigned long long>(st.amp_limited),
+                    static_cast<unsigned long long>(st.reneg_rate_limited),
+                    static_cast<unsigned long long>(st.half_open));
     std::printf("accepted %llu  handoff %llu (dropped %llu)  decode errors %llu  "
                 "pool exhausted %llu  events dropped %llu\n",
                 static_cast<unsigned long long>(st.accepted),
@@ -325,11 +447,16 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(opt.clients) * opt.streams * opt.bytes;
     const bool payload_ok =
         !opt.payload || (payload_mismatch == 0 && payload_bytes == expected_payload);
-    const bool ok = all_done && pps_ok && clean && payload_ok;
+    // Under attack the guard must contain the flood: no spoofed source may
+    // reach full session state, so accepted == the legitimate client count.
+    const bool contained =
+        opt.attack.empty() || st.accepted == static_cast<std::uint64_t>(opt.clients);
+    const bool ok = all_done && pps_ok && clean && payload_ok && contained;
     if (!ok)
-        std::printf("FAIL:%s%s%s%s\n", all_done ? "" : " sessions-incomplete",
+        std::printf("FAIL:%s%s%s%s%s\n", all_done ? "" : " sessions-incomplete",
                     pps_ok ? "" : " pps-below-floor", clean ? "" : " decode-errors",
-                    payload_ok ? "" : " payload-mismatch-or-incomplete");
+                    payload_ok ? "" : " payload-mismatch-or-incomplete",
+                    contained ? "" : " attack-not-contained");
 
     // Engine metrics snapshot: the Prometheus dump and the digest the
     // JSON report embeds come from the same registry merge.
@@ -373,6 +500,14 @@ int main(int argc, char** argv) {
         rep.add("cc_swaps_applied", cc_swaps);
         rep.add("engine_cc_swaps_applied", st.cc_swaps_applied);
         rep.add("bandwidth_estimate_mean_bps", bw_est_mean_bps);
+        rep.add_string("attack", opt.attack.empty() ? "none" : opt.attack);
+        rep.add("attack_datagrams", atk.sent);
+        rep.add("synflood_retries_sent", st.syn_retries_sent);
+        rep.add("synflood_cookies_validated", st.syn_cookies_validated);
+        rep.add("synflood_rate_limited", st.syn_rate_limited);
+        rep.add("synflood_sheds", st.syn_sheds);
+        rep.add("reneg_rate_limited", st.reneg_rate_limited);
+        rep.add("half_open_sessions", st.half_open);
         rep.add("payload_mode", opt.payload);
         rep.add("payload_bytes_verified", payload_bytes - payload_mismatch);
         rep.add("payload_mismatch_bytes", payload_mismatch);
