@@ -199,6 +199,25 @@ session_stats session::stats() const {
     return s;
 }
 
+session_snapshot session::snapshot() const {
+    session_snapshot sn;
+    sn.flow = flow_id_;
+    sn.sender_role = sender_ != nullptr;
+    sn.half_open = half_open();
+    sn.stats = stats();
+    return sn;
+}
+
+void session::trace_start(std::size_t ring_records, trace::sink* sink) {
+    if (sender_ != nullptr) sender_->attach_tracer(ring_records, sink);
+    else if (receiver_ != nullptr) receiver_->attach_tracer(ring_records, sink);
+}
+
+void session::trace_stop() {
+    if (sender_ != nullptr) sender_->detach_tracer();
+    else if (receiver_ != nullptr) receiver_->detach_tracer();
+}
+
 void session::set_on_established(std::function<void(const qtp::profile&)> cb) {
     if (sender_ != nullptr) sender_->set_on_established(std::move(cb));
     else if (receiver_ != nullptr) receiver_->set_on_established(std::move(cb));

@@ -133,6 +133,18 @@ struct session_stats {
     std::uint64_t trace_events_dropped = 0;
 };
 
+/// Cross-thread snapshot of one hosted session, as served by the admin
+/// plane's /sessions endpoint. Collected on the owning shard thread
+/// (engine::server::snapshot_sessions), so every field is a consistent
+/// point-in-time read.
+struct session_snapshot {
+    std::uint32_t flow = 0;
+    std::size_t shard = 0;
+    bool sender_role = false;
+    bool half_open = false;
+    session_stats stats{};
+};
+
 class session {
 public:
     session() = default;
@@ -224,6 +236,18 @@ public:
     bool half_open() const;
     const qtp::profile& active_profile() const;
     session_stats stats() const;
+    /// stats() plus role/half-open identity, for admin-plane snapshots
+    /// (the caller fills in `shard`).
+    session_snapshot snapshot() const;
+
+    /// Attach a flight-recorder tap at runtime: subsequent transport
+    /// events spill to `sink` through a fresh `ring_records`-record ring
+    /// (0 = default 4096). Replaces any tracer configured at session
+    /// creation; `sink` must outlive the tap. Call on the owning thread.
+    void trace_start(std::size_t ring_records, trace::sink* sink);
+    /// Flush and drop the active tracer (the creation-time tracer is not
+    /// restored — the tap is a one-way override).
+    void trace_stop();
 
     // --- legacy callbacks (deprecated) -----------------------------------
     // A compatibility shim over the event queue: registering any of these

@@ -55,6 +55,19 @@ connection_sender::connection_sender(connection_config cfg)
         reneg_bucket_.emplace(cfg_.reneg_rate_bps, cfg_.reneg_burst_bytes);
 }
 
+void connection_sender::attach_tracer(std::size_t ring_records,
+                                      trace::sink* sink) {
+    mux_.set_tracer(nullptr);
+    tracer_ = std::make_unique<trace::tracer>(
+        cfg_.flow_id, ring_records != 0 ? ring_records : 4096, sink);
+    mux_.set_tracer(tracer_.get());
+}
+
+void connection_sender::detach_tracer() {
+    mux_.set_tracer(nullptr);
+    tracer_.reset();
+}
+
 void connection_sender::start(environment& env) {
     env_ = &env;
     send_syn();
@@ -692,10 +705,32 @@ void connection_receiver::start(environment& env) {
         });
 }
 
+void connection_receiver::attach_tracer(std::size_t ring_records,
+                                        trace::sink* sink) {
+    tracer_ = std::make_unique<trace::tracer>(
+        cfg_.flow_id, ring_records != 0 ? ring_records : 4096, sink);
+}
+
+void connection_receiver::detach_tracer() { tracer_.reset(); }
+
+void connection_receiver::set_half_open_gauge(std::atomic<std::uint64_t>* g) {
+    leave_half_open();
+    if (g == nullptr || remote_closed_ || received_packets_ > 0) return;
+    half_open_gauge_ = g;
+    g->fetch_add(1, std::memory_order_relaxed);
+}
+
+void connection_receiver::leave_half_open() {
+    if (half_open_gauge_ == nullptr) return;
+    half_open_gauge_->fetch_sub(1, std::memory_order_relaxed);
+    half_open_gauge_ = nullptr;
+}
+
 void connection_receiver::on_handshake_deadline() {
     if (remote_closed_) return;
     handshake_timed_out_ = true;
     remote_closed_ = true;
+    leave_half_open();
     if (feedback_timer_ != qtp::no_timer) {
         env_->cancel(feedback_timer_);
         feedback_timer_ = qtp::no_timer;
@@ -821,6 +856,7 @@ void connection_receiver::on_packet(const packet::packet& pkt) {
         if (hs->type == packet::handshake_segment::kind::fin) {
             const bool first_fin = !remote_closed_;
             remote_closed_ = true;
+            leave_half_open();
             cancel_handshake_deadline();
             if (feedback_timer_ != qtp::no_timer) {
                 env_->cancel(feedback_timer_);
@@ -994,6 +1030,7 @@ void connection_receiver::ingest_data(std::uint64_t seq, util::sim_time ts,
     }
     const util::sim_time now = env_->now();
     ++received_packets_;
+    if (received_packets_ == 1) leave_half_open();
     ++packets_since_feedback_;
     received_bytes_ += len;
     bytes_since_feedback_ += len;

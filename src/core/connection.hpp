@@ -28,6 +28,7 @@
 //   retransmission queue.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -207,6 +208,12 @@ public:
         return tracer_ ? tracer_->recorded() : 0;
     }
     std::uint64_t trace_dropped() const { return tracer_ ? tracer_->dropped() : 0; }
+    /// Attach a flight-recorder tap at runtime (admin plane). Replaces
+    /// any existing tracer, flushing it first; `sink` must outlive the
+    /// tap (detach_tracer or connection destruction flushes into it).
+    void attach_tracer(std::size_t ring_records, trace::sink* sink);
+    /// Flush and drop the active tracer (no-op when none).
+    void detach_tracer();
 
     bool established() const { return handshake_.established(); }
     const profile& active_profile() const { return active_; }
@@ -333,6 +340,7 @@ public:
     using deliver_fn = std::function<void(std::uint64_t, std::uint32_t)>;
 
     explicit connection_receiver(connection_config cfg);
+    ~connection_receiver() override { leave_half_open(); }
 
     void start(environment& env) override;
     void on_packet(const packet::packet& pkt) override;
@@ -382,6 +390,12 @@ public:
         return tracer_ ? tracer_->recorded() : 0;
     }
     std::uint64_t trace_dropped() const { return tracer_ ? tracer_->dropped() : 0; }
+    /// Attach a flight-recorder tap at runtime (admin plane). Replaces
+    /// any existing tracer, flushing it first; `sink` must outlive the
+    /// tap (detach_tracer or connection destruction flushes into it).
+    void attach_tracer(std::size_t ring_records, trace::sink* sink);
+    /// Flush and drop the active tracer (no-op when none).
+    void detach_tracer();
 
     /// Propose switching the connection to profile `p` (e.g. a mobile
     /// receiver dropping to sender-side estimation on battery pressure).
@@ -419,6 +433,16 @@ public:
     bool handshake_timed_out() const { return handshake_timed_out_; }
     /// Reneg proposals dropped by the processing budget (cfg.reneg_rate_bps).
     std::uint64_t reneg_rate_limited() const { return reneg_rate_limited_; }
+
+    /// Bind an owner-maintained half-open gauge (the engine's per-shard
+    /// counter). Increments it if this receiver is currently half-open
+    /// (no data yet, not closed) and decrements exactly once when it
+    /// leaves that state — first payload packet, FIN, handshake
+    /// deadline, or destruction — so the gauge tracks half-open
+    /// population incrementally instead of by O(sessions) recount.
+    /// Updates happen only on the owning shard thread; the atomic
+    /// exists for cross-thread readers.
+    void set_half_open_gauge(std::atomic<std::uint64_t>* g);
 
     std::uint64_t received_packets() const { return received_packets_; }
     std::uint64_t received_bytes() const { return received_bytes_; }
@@ -483,6 +507,9 @@ private:
     bool seen_data_ = false;
     bool remote_closed_ = false;
     bool handshake_timed_out_ = false;
+    /// Decrement the bound half-open gauge once (idempotent).
+    void leave_half_open();
+    std::atomic<std::uint64_t>* half_open_gauge_ = nullptr;
     std::optional<diffserv::token_bucket> reneg_bucket_;
     std::uint64_t reneg_rate_limited_ = 0;
 

@@ -1,9 +1,15 @@
 #include "engine/server.hpp"
 
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
 #include <stdexcept>
+#include <string_view>
 
 #include "core/connection.hpp"
+#include "ops/admin.hpp"
+#include "util/logging.hpp"
 
 namespace vtp::engine {
 
@@ -35,12 +41,20 @@ server::server(engine_config cfg) : cfg_(cfg) {
         rtt_ns_.push_back(&shards_.back()->metrics().get_histogram(
             "vtp_rtt_ns",
             "Smoothed RTT in ns, sampled per live session at each reap tick."));
-        // Command mailbox drain + ring-depth sample: runs on the shard
-        // thread each turn.
+        half_open_turns_.push_back(&shards_.back()->metrics().get_histogram(
+            "vtp_half_open_sessions_turns",
+            "Half-open sessions, sampled once per shard turn (catches "
+            "spikes between reap ticks)."));
+        windows_.push_back(std::make_unique<trace::window_ring>(
+            static_cast<std::uint64_t>(cfg_.telemetry_window)));
+        // Command mailbox drain + per-turn samples (export-ring depth,
+        // half-open population): runs on the shard thread each turn.
         shards_.back()->set_turn_hook([this, i] {
             command cmd;
             while (commands_[i]->pop(cmd)) execute(i, cmd);
             ring_occupancy_[i]->observe(events_[i]->size());
+            half_open_turns_[i]->observe(
+                shards_[i]->counters().half_open.load(std::memory_order_relaxed));
         });
     }
     std::vector<shard*> raw;
@@ -220,6 +234,11 @@ void server::start() {
             c.accepted.fetch_add(1, std::memory_order_relaxed);
             c.sessions.store(c.sessions.load(std::memory_order_relaxed) + 1,
                              std::memory_order_relaxed);
+            // Fresh accepts are half-open until first data: the receiver
+            // maintains the shard gauge incrementally so per-turn
+            // sampling sees flood spikes, not just reap-tick recounts.
+            if (s.receiver() != nullptr)
+                s.receiver()->set_half_open_gauge(&c.half_open);
             // Bind the session to the v2 export path (drains anything it
             // queued while being accepted), then let the application
             // override per event type with its own callbacks.
@@ -234,9 +253,25 @@ void server::start() {
         arm_reaper(raw, sh);
     }
     for (auto& s : shards_) s->start();
+    if (cfg_.admin_port != 0) {
+        ops::admin_config ac;
+        ac.port = cfg_.admin_port;
+        ac.trace_tap_dir = cfg_.trace_dir.empty() ? std::string(".") : cfg_.trace_dir;
+        ac.health_window_ns = static_cast<std::uint64_t>(cfg_.telemetry_window);
+        try {
+            admin_ = std::make_unique<ops::admin_server>(*this, ac);
+        } catch (const std::exception& e) {
+            // An unbindable admin port must not take the datapath down.
+            util::log(util::log_level::warn, "engine",
+                      std::string("admin plane disabled: ") + e.what());
+        }
+    }
 }
 
 void server::stop() {
+    // Admin plane first: its destructor detaches live trace taps by
+    // posting to shard threads, which must still be running to flush.
+    admin_.reset();
     if (started_) stopped_ = true;
     for (auto& s : shards_) s->stop();
 }
@@ -279,7 +314,32 @@ void server::arm_reaper(vtp::server* srv, shard& sh) {
         c.syn_sheds.store(ss.shed, std::memory_order_relaxed);
         c.amp_limited.store(ss.amplification_limited, std::memory_order_relaxed);
         c.reneg_rate_limited.store(ss.reneg_rate_limited, std::memory_order_relaxed);
-        c.half_open.store(ss.half_open, std::memory_order_relaxed);
+        // (half_open is NOT mirrored here: the receivers maintain the
+        // shard gauge incrementally — see set_half_open_gauge.)
+        // Sliding-window telemetry snapshot: shard counters + every
+        // histogram in the shard registry, captured on the shard thread
+        // at reap cadence so /metrics can derive rates and windowed
+        // percentiles and /healthz can judge recent behaviour.
+        std::vector<std::pair<std::string, std::uint64_t>> vals;
+        vals.reserve(12);
+        const auto rd = [](const std::atomic<std::uint64_t>& a) {
+            return a.load(std::memory_order_relaxed);
+        };
+        vals.emplace_back("vtp_datagrams_rx_total", rd(c.datagrams_rx));
+        vals.emplace_back("vtp_datagrams_tx_total", rd(c.datagrams_tx));
+        vals.emplace_back("vtp_tx_dropped_total", rd(c.tx_dropped));
+        vals.emplace_back("vtp_handoff_dropped_total", rd(c.handoff_dropped));
+        vals.emplace_back("vtp_decode_errors_total", rd(c.decode_errors));
+        vals.emplace_back("vtp_events_dropped_total", rd(c.events_dropped));
+        vals.emplace_back("vtp_accepted_total", rd(c.accepted));
+        vals.emplace_back("vtp_synflood_retries_sent_total", ss.retries_sent);
+        vals.emplace_back("vtp_synflood_sheds_total", ss.shed);
+        vals.emplace_back("vtp_reneg_rate_limited_total", ss.reneg_rate_limited);
+        if (sh.index() == 0)
+            vals.emplace_back("vtp_commands_dropped_total",
+                              commands_dropped_.load(std::memory_order_relaxed));
+        windows_[sh.index()]->capture(static_cast<std::uint64_t>(sh.now()),
+                                      sh.metrics(), std::move(vals));
         arm_reaper(srv, sh);
     });
 }
@@ -308,6 +368,52 @@ void server::connect(std::uint32_t peer_addr, vtp::session_options opts,
 void server::with_server(std::size_t i, std::function<void(vtp::server&)> fn) {
     vtp::server* raw = servers_.at(i).get();
     shards_[i]->post([raw, fn = std::move(fn)] { fn(*raw); });
+}
+
+std::vector<vtp::session_snapshot> server::snapshot_sessions(std::uint32_t only_flow) {
+    if (servers_.empty()) return {};
+    // Collectors run on the shard threads (posted closures), so every
+    // snapshot is a consistent same-thread read; the caller blocks on a
+    // counted rendezvous. The context outlives a timeout via shared_ptr
+    // so a straggling shard writes into live memory, never freed stack.
+    struct rendezvous {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t pending = 0;
+        bool done = false;
+        std::vector<vtp::session_snapshot> out;
+    };
+    auto ctx = std::make_shared<rendezvous>();
+    ctx->pending = shards_.size();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        with_server(i, [ctx, i, only_flow](vtp::server& srv) {
+            std::vector<vtp::session_snapshot> local;
+            srv.for_each_session([&](std::uint32_t flow, vtp::session& s) {
+                if (only_flow != 0 && flow != only_flow) return;
+                vtp::session_snapshot sn = s.snapshot();
+                sn.shard = i;
+                local.push_back(std::move(sn));
+            });
+            std::lock_guard<std::mutex> lock(ctx->mu);
+            if (!ctx->done)
+                ctx->out.insert(ctx->out.end(),
+                                std::make_move_iterator(local.begin()),
+                                std::make_move_iterator(local.end()));
+            if (--ctx->pending == 0) ctx->cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    ctx->cv.wait_for(lock, std::chrono::seconds(1),
+                     [&] { return ctx->pending == 0; });
+    ctx->done = true; // stragglers (stopped engine) stop appending
+    return std::move(ctx->out);
+}
+
+trace::window_delta server::merged_window(std::uint64_t window_ns) const {
+    std::vector<trace::window_delta> parts;
+    parts.reserve(windows_.size());
+    for (const auto& w : windows_) parts.push_back(w->window(window_ns));
+    return trace::merge_window_deltas(parts);
 }
 
 engine_stats server::stats() const {
@@ -426,8 +532,34 @@ void server::collect_metrics(trace::registry& out) const {
             .add(frames_dropped);
     }
     // Shard-local series (turn duration, timer fire latency, RTT samples,
-    // event-ring occupancy) merge in by name.
+    // event-ring occupancy, per-turn half-open population) merge in by
+    // name, then the windowed derivations go on top.
     for (const auto& s : shards_) out.merge(s->metrics());
+    collect_windowed(out);
+}
+
+void server::collect_windowed(trace::registry& out) const {
+    const trace::window_delta d = merged_window();
+    if (d.span_ns == 0) return;
+    const double span_s = static_cast<double>(d.span_ns) / 1e9;
+    for (const auto& [name, delta] : d.counters) {
+        // vtp_foo_total -> vtp_foo_rate; non-_total names just append.
+        std::string base = name;
+        constexpr std::string_view suffix = "_total";
+        if (base.size() > suffix.size() && base.ends_with(suffix))
+            base.resize(base.size() - suffix.size());
+        out.get_fgauge(base + "_rate",
+                       "Per-second rate over the sliding telemetry window.")
+            .set(static_cast<double>(delta) / span_s);
+    }
+    for (const auto& h : d.hists) {
+        out.get_gauge(h.name + "_p50_60s",
+                      "Median of observations inside the telemetry window.")
+            .set(static_cast<std::int64_t>(h.percentile(0.50)));
+        out.get_gauge(h.name + "_p99_60s",
+                      "99th percentile of observations inside the telemetry window.")
+            .set(static_cast<std::int64_t>(h.percentile(0.99)));
+    }
 }
 
 } // namespace vtp::engine

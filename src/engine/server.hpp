@@ -52,7 +52,12 @@
 #include "core/events.hpp"
 #include "engine/shard.hpp"
 #include "trace/metrics.hpp"
+#include "trace/window.hpp"
 #include "trace/writer.hpp"
+
+namespace vtp::ops {
+class admin_server;
+}
 
 namespace vtp::engine {
 
@@ -89,6 +94,19 @@ struct engine_config {
     /// 0). Empty (the default) compiles the hooks out of the hot path —
     /// sessions run untraced.
     std::string trace_dir{};
+
+    /// Live operations plane (src/ops/): when non-zero, start() binds a
+    /// loopback HTTP admin endpoint on this port serving /metrics,
+    /// /sessions, /shards, /healthz and POST /trace/<flow>/start|stop.
+    /// 0 (the default) leaves the plane off. Bind failure logs a
+    /// warning and leaves the engine running without it.
+    std::uint16_t admin_port = 0;
+
+    /// Span of the per-shard sliding telemetry window: counters become
+    /// vtp_*_rate and histograms vtp_*_p99_60s over roughly this long.
+    /// Snapshots are taken at reap ticks, so the effective resolution
+    /// is reap_interval.
+    util::sim_time telemetry_window = util::seconds(60);
 };
 
 /// Aggregate of all shards (plus accept accounting).
@@ -195,6 +213,24 @@ public:
 
     engine_stats stats() const;
     std::vector<shard_stats> per_shard_stats() const;
+    const engine_config& config() const { return cfg_; }
+
+    /// Consistent snapshots of every hosted session (`only_flow` != 0
+    /// restricts to one flow), collected on the owner shard threads via
+    /// posted closures — no cross-thread reads of session state. Blocks
+    /// until every shard answered or ~1s passed (a stopped or
+    /// never-started engine returns what it has, possibly nothing).
+    std::vector<vtp::session_snapshot> snapshot_sessions(std::uint32_t only_flow = 0);
+
+    /// Per-shard sliding-window telemetry ring (snapshots at reap ticks).
+    const trace::window_ring& window(std::size_t i) const { return *windows_[i]; }
+    /// Engine-wide telemetry delta over the last `window_ns`
+    /// (0 = the configured telemetry_window span).
+    trace::window_delta merged_window(std::uint64_t window_ns = 0) const;
+
+    /// The live admin plane (null when engine_config::admin_port is 0,
+    /// start() has not run, or the bind failed).
+    ops::admin_server* admin() { return admin_.get(); }
 
     // --- metrics (any thread) -------------------------------------------
     /// Merge the engine's counters/gauges plus every shard's registry
@@ -245,6 +281,9 @@ private:
     void arm_reaper(vtp::server* srv, shard& sh);
     bool enqueue(std::size_t shard_idx, command&& cmd);
     void execute(std::size_t shard_idx, command& cmd);
+    /// Append vtp_*_rate / vtp_*_p99_60s derived series to `out` from
+    /// the merged telemetry window (no-op until 2+ snapshots exist).
+    void collect_windowed(trace::registry& out) const;
 
     engine_config cfg_;
     /// Declared before shards_ on purpose: shard destruction tears down
@@ -261,6 +300,14 @@ private:
     /// once per turn, and smoothed RTT sampled per session at reap ticks.
     std::vector<trace::histogram*> ring_occupancy_;
     std::vector<trace::histogram*> rtt_ns_;
+    /// Half-open population sampled once per shard turn (spike-visible,
+    /// unlike the reap-tick guard mirror).
+    std::vector<trace::histogram*> half_open_turns_;
+    /// Per-shard sliding-window snapshot rings (reap-tick cadence).
+    std::vector<std::unique_ptr<trace::window_ring>> windows_;
+    /// Admin plane; reset by stop() before the shards stop so live trace
+    /// taps detach while their owner threads still run.
+    std::unique_ptr<ops::admin_server> admin_;
     std::function<void(std::size_t, vtp::session&)> on_session_;
     std::atomic<std::uint32_t> next_flow_{0x50000000}; ///< outgoing-session ids
     std::atomic<std::uint64_t> commands_dropped_{0};

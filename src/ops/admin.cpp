@@ -1,0 +1,383 @@
+#include "ops/admin.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "cc/algorithm_id.hpp"
+
+namespace vtp::ops {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string fmt_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+http_response json_response(int status, const std::string& body) {
+    http_response r;
+    r.status = status;
+    r.content_type = "application/json";
+    r.body = body;
+    return r;
+}
+
+http_response json_error(int status, const std::string& message) {
+    return json_response(status,
+                         "{\"error\":\"" + json_escape(message) + "\"}\n");
+}
+
+/// Parse "<flow>" as decimal or 0x-prefixed hex; 0/failure -> false.
+bool parse_flow(const std::string& s, std::uint32_t& out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0' || v == 0 || v > 0xfffffffful)
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+void append_session_json(std::ostringstream& os, const vtp::session_snapshot& sn) {
+    const vtp::session_stats& st = sn.stats;
+    os << "{\"flow\":" << sn.flow << ",\"shard\":" << sn.shard
+       << ",\"role\":\"" << (sn.sender_role ? "sender" : "receiver")
+       << "\",\"established\":" << (st.established ? "true" : "false")
+       << ",\"closed\":" << (st.closed ? "true" : "false")
+       << ",\"half_open\":" << (sn.half_open ? "true" : "false")
+       << ",\"cc\":\"" << cc::to_string(st.cc_algorithm)
+       << "\",\"cc_swaps\":" << st.cc_swaps_applied
+       << ",\"streams\":" << st.streams
+       << ",\"renegotiations\":" << st.renegotiations
+       << ",\"reneg_rate_limited\":" << st.reneg_rate_limited
+       << ",\"bytes_queued\":" << st.stream_bytes_queued
+       << ",\"bytes_sent\":" << st.stream_bytes_sent
+       << ",\"bytes_acked\":" << st.stream_bytes_acked
+       << ",\"rtx_bytes\":" << st.rtx_bytes_sent
+       << ",\"packets_sent\":" << st.packets_sent
+       << ",\"allowed_rate_bps\":" << fmt_double(st.allowed_rate_bps)
+       << ",\"loss_event_rate\":" << fmt_double(st.loss_event_rate)
+       << ",\"rtt_ms\":" << fmt_double(static_cast<double>(st.rtt) / 1e6)
+       << ",\"bandwidth_estimate_bps\":" << fmt_double(st.bandwidth_estimate_bps)
+       << ",\"bytes_received\":" << st.bytes_received
+       << ",\"packets_received\":" << st.packets_received
+       << ",\"bytes_delivered\":" << st.bytes_delivered
+       << ",\"feedback_sent\":" << st.feedback_sent
+       << ",\"events_dropped\":" << st.events_dropped
+       << ",\"trace_recorded\":" << st.trace_events_recorded
+       << ",\"trace_dropped\":" << st.trace_events_dropped << '}';
+}
+
+} // namespace
+
+admin_server::admin_server(engine::server& eng, admin_config cfg)
+    : eng_(eng), cfg_(std::move(cfg)) {
+    http_ = std::make_unique<http_server>(
+        cfg_.port, [this](const http_request& req) { return route(req); });
+}
+
+admin_server::~admin_server() {
+    // Detach every live tap on its owner shard before the writers die:
+    // a reaped or torn-down connection flushes its tracer into the tap
+    // sink, so the writer must not be destroyed while a session still
+    // points at it.
+    std::map<std::uint32_t, std::unique_ptr<trace::async_writer>> taps;
+    {
+        std::lock_guard<std::mutex> lock(taps_mu_);
+        taps.swap(taps_);
+    }
+    for (auto& [flow, writer] : taps) {
+        run_on_shard(eng_.owner_of(flow), [flow = flow](vtp::server& srv) {
+            if (vtp::session* s = srv.find(flow)) s->trace_stop();
+        });
+    }
+    http_.reset(); // join the HTTP thread before the writers destruct
+}
+
+http_response admin_server::route(const http_request& req) {
+    const std::string& p = req.path;
+    if (req.method == "GET") {
+        if (p == "/" || p.empty()) return index();
+        if (p == "/metrics") return metrics();
+        if (p == "/sessions") return sessions(0, false);
+        if (p.rfind("/sessions/", 0) == 0) {
+            std::uint32_t flow = 0;
+            if (!parse_flow(p.substr(10), flow))
+                return json_error(400, "bad flow id");
+            return sessions(flow, true);
+        }
+        if (p == "/shards") return shards();
+        if (p == "/healthz") return healthz();
+        if (p.rfind("/trace/", 0) == 0)
+            return json_error(405, "trace control is POST-only");
+        return json_error(404, "unknown endpoint (GET / lists them)");
+    }
+    if (req.method == "POST") {
+        if (p.rfind("/trace/", 0) == 0) {
+            const std::string rest = p.substr(7); // "<flow>/start|stop"
+            const std::size_t slash = rest.find('/');
+            if (slash == std::string::npos)
+                return json_error(400, "use /trace/<flow>/start|stop");
+            std::uint32_t flow = 0;
+            if (!parse_flow(rest.substr(0, slash), flow))
+                return json_error(400, "bad flow id");
+            const std::string verb = rest.substr(slash + 1);
+            if (verb == "start") return trace_cmd(flow, true);
+            if (verb == "stop") return trace_cmd(flow, false);
+            return json_error(400, "use /trace/<flow>/start|stop");
+        }
+        return json_error(404, "unknown endpoint");
+    }
+    return json_error(405, "unsupported method");
+}
+
+http_response admin_server::index() const {
+    http_response r;
+    r.body =
+        "vtp admin plane\n"
+        "  GET  /metrics              Prometheus exposition\n"
+        "  GET  /sessions             all hosted sessions (JSON)\n"
+        "  GET  /sessions/<flow>      one session (JSON)\n"
+        "  GET  /shards               per-shard datapath counters (JSON)\n"
+        "  GET  /healthz              ok|degraded|failing + reasons (JSON)\n"
+        "  POST /trace/<flow>/start   attach a flight-recorder tap\n"
+        "  POST /trace/<flow>/stop    flush and close the tap\n";
+    return r;
+}
+
+http_response admin_server::metrics() const {
+    http_response r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = eng_.metrics_text();
+    return r;
+}
+
+http_response admin_server::sessions(std::uint32_t only_flow, bool single) {
+    std::vector<vtp::session_snapshot> snaps = eng_.snapshot_sessions(only_flow);
+    std::ostringstream os;
+    if (single) {
+        if (snaps.empty()) return json_error(404, "no such flow");
+        append_session_json(os, snaps.front());
+        os << '\n';
+        return json_response(200, os.str());
+    }
+    os << "{\"count\":" << snaps.size() << ",\"sessions\":[";
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+        if (i != 0) os << ',';
+        append_session_json(os, snaps[i]);
+    }
+    os << "]}\n";
+    return json_response(200, os.str());
+}
+
+http_response admin_server::shards() const {
+    const std::vector<engine::shard_stats> per = eng_.per_shard_stats();
+    std::ostringstream os;
+    os << "{\"shards\":[";
+    for (std::size_t i = 0; i < per.size(); ++i) {
+        const engine::shard_stats& s = per[i];
+        if (i != 0) os << ',';
+        os << "{\"index\":" << i << ",\"datagrams_rx\":" << s.datagrams_rx
+           << ",\"datagrams_tx\":" << s.datagrams_tx
+           << ",\"sessions\":" << s.sessions << ",\"accepted\":" << s.accepted
+           << ",\"half_open\":" << s.half_open
+           << ",\"events_dropped\":" << s.events_dropped
+           << ",\"handoff_dropped\":" << s.handoff_dropped
+           << ",\"tx_dropped\":" << s.tx_dropped
+           << ",\"decode_errors\":" << s.decode_errors << '}';
+    }
+    os << "]}\n";
+    return json_response(200, os.str());
+}
+
+admin_server::health admin_server::evaluate_health() const {
+    health h;
+    h.status = "ok";
+    const trace::window_delta d = eng_.merged_window(cfg_.health_window_ns);
+    const engine::engine_stats st = eng_.stats();
+    h.half_open = st.half_open;
+    if (d.span_ns == 0) {
+        h.reasons.push_back("warming: telemetry window has <2 snapshots");
+        return h;
+    }
+    h.window_s = static_cast<double>(d.span_ns) / 1e9;
+    h.events_dropped_rate = d.rate_per_s("vtp_events_dropped_total");
+    h.handoff_dropped_rate = d.rate_per_s("vtp_handoff_dropped_total");
+    h.commands_dropped_rate = d.rate_per_s("vtp_commands_dropped_total");
+    if (const trace::window_hist_delta* t = d.hist("vtp_timer_fire_latency_ns"))
+        h.timer_fire_p99_ns = t->percentile(0.99);
+    if (const trace::window_hist_delta* ho = d.hist("vtp_half_open_sessions_turns"))
+        h.half_open_peak = ho->max_upper();
+
+    int level = 0; // 0 ok, 1 degraded, 2 failing
+    const auto raise = [&](int to, const std::string& why) {
+        if (to > level) level = to;
+        h.reasons.push_back(why);
+    };
+    const auto judge_drops = [&](double rate, const char* what) {
+        if (rate >= cfg_.failing_drop_rate_per_s)
+            raise(2, std::string(what) + " dropping at " + fmt_double(rate) + "/s");
+        else if (rate >= cfg_.degraded_drop_rate_per_s)
+            raise(1, std::string(what) + " dropping at " + fmt_double(rate) + "/s");
+    };
+    judge_drops(h.events_dropped_rate, "session events");
+    judge_drops(h.handoff_dropped_rate, "cross-shard handoffs");
+    judge_drops(h.commands_dropped_rate, "app commands");
+    if (h.timer_fire_p99_ns >= cfg_.failing_timer_p99_ns)
+        raise(2, "timer fire p99 " +
+                     std::to_string(h.timer_fire_p99_ns / 1000000) + "ms");
+    else if (h.timer_fire_p99_ns >= cfg_.degraded_timer_p99_ns)
+        raise(1, "timer fire p99 " +
+                     std::to_string(h.timer_fire_p99_ns / 1000000) + "ms");
+    const std::size_t cap = eng_.config().accept.max_half_open;
+    if (cap > 0) {
+        const double frac =
+            static_cast<double>(std::max(h.half_open, h.half_open_peak)) /
+            static_cast<double>(cap);
+        if (frac >= cfg_.failing_half_open_frac)
+            raise(2, "half-open at " + fmt_double(frac * 100) + "% of cap");
+        else if (frac >= cfg_.degraded_half_open_frac)
+            raise(1, "half-open at " + fmt_double(frac * 100) + "% of cap");
+    }
+    h.status = level == 0 ? "ok" : level == 1 ? "degraded" : "failing";
+    return h;
+}
+
+http_response admin_server::healthz() const {
+    const health h = evaluate_health();
+    std::ostringstream os;
+    os << "{\"status\":\"" << h.status << "\",\"reasons\":[";
+    for (std::size_t i = 0; i < h.reasons.size(); ++i) {
+        if (i != 0) os << ',';
+        os << '"' << json_escape(h.reasons[i]) << '"';
+    }
+    os << "],\"signals\":{\"events_dropped_rate\":"
+       << fmt_double(h.events_dropped_rate)
+       << ",\"handoff_dropped_rate\":" << fmt_double(h.handoff_dropped_rate)
+       << ",\"commands_dropped_rate\":" << fmt_double(h.commands_dropped_rate)
+       << ",\"timer_fire_p99_ns\":" << h.timer_fire_p99_ns
+       << ",\"half_open\":" << h.half_open
+       << ",\"half_open_peak\":" << h.half_open_peak
+       << ",\"window_s\":" << fmt_double(h.window_s) << "}}\n";
+    return json_response(h.status == "failing" ? 503 : 200, os.str());
+}
+
+bool admin_server::run_on_shard(std::size_t idx,
+                                std::function<void(vtp::server&)> fn) {
+    struct rendezvous {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+    };
+    auto ctx = std::make_shared<rendezvous>();
+    eng_.with_server(idx, [ctx, fn = std::move(fn)](vtp::server& srv) {
+        fn(srv);
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->done = true;
+        ctx->cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    return ctx->cv.wait_for(lock, std::chrono::seconds(2),
+                            [&] { return ctx->done; });
+}
+
+http_response admin_server::trace_cmd(std::uint32_t flow, bool start) {
+    const std::size_t owner = eng_.owner_of(flow);
+    if (!start) {
+        std::unique_ptr<trace::async_writer> writer;
+        {
+            std::lock_guard<std::mutex> lock(taps_mu_);
+            const auto it = taps_.find(flow);
+            if (it == taps_.end()) return json_error(404, "no tap on this flow");
+            writer = std::move(it->second);
+            taps_.erase(it);
+        }
+        // Detach on the owner shard first (flushes the ring into the
+        // writer), then let the writer destruct (drains its queue). On a
+        // timeout the detach may still run later, so the writer goes
+        // back into taps_ to stay alive for it.
+        if (!run_on_shard(owner, [flow](vtp::server& srv) {
+                if (vtp::session* s = srv.find(flow)) s->trace_stop();
+            })) {
+            std::lock_guard<std::mutex> lock(taps_mu_);
+            taps_[flow] = std::move(writer);
+            return json_error(503, "shard did not answer (engine stopped?)");
+        }
+        const std::uint64_t records = writer->records();
+        writer.reset();
+        return json_response(
+            200, "{\"tracing\":\"stopped\",\"flow\":" + std::to_string(flow) +
+                     ",\"records\":" + std::to_string(records) + "}\n");
+    }
+    {
+        std::lock_guard<std::mutex> lock(taps_mu_);
+        if (taps_.count(flow) != 0)
+            return json_error(400, "tap already active on this flow");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.trace_tap_dir, ec);
+    const std::string path =
+        cfg_.trace_tap_dir + "/tap-" + std::to_string(flow) + ".vtpt";
+    auto writer = std::make_unique<trace::async_writer>(path);
+    if (!writer->ok()) return json_error(500, "cannot open " + path);
+    trace::sink* sink = writer.get();
+    // Shared flag: on a rendezvous timeout the closure may still run
+    // later, after this frame is gone.
+    auto attached_flag = std::make_shared<std::atomic<bool>>(false);
+    const std::size_t ring = cfg_.tap_ring_records;
+    if (!run_on_shard(owner, [flow, sink, ring, attached_flag](vtp::server& srv) {
+            if (vtp::session* s = srv.find(flow)) {
+                s->trace_start(ring, sink);
+                attached_flag->store(true, std::memory_order_relaxed);
+            }
+        })) {
+        // The closure may still attach later; keep the writer alive in
+        // taps_ so the sink pointer stays valid either way.
+        std::lock_guard<std::mutex> lock(taps_mu_);
+        taps_[flow] = std::move(writer);
+        return json_error(503, "shard did not answer (engine stopped?)");
+    }
+    if (!attached_flag->load(std::memory_order_relaxed)) {
+        writer.reset();
+        std::filesystem::remove(path, ec);
+        return json_error(404, "no such flow");
+    }
+    {
+        std::lock_guard<std::mutex> lock(taps_mu_);
+        taps_[flow] = std::move(writer);
+    }
+    return json_response(200, "{\"tracing\":\"started\",\"flow\":" +
+                                  std::to_string(flow) + ",\"path\":\"" +
+                                  json_escape(path) + "\"}\n");
+}
+
+} // namespace vtp::ops

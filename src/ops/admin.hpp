@@ -1,0 +1,115 @@
+// ops::admin_server — the engine's live operations plane.
+//
+// One loopback HTTP endpoint per engine::server, serving pull-based
+// introspection while traffic flows:
+//
+//   GET  /                      endpoint catalogue (human aid)
+//   GET  /metrics               Prometheus text exposition (HELP/TYPE,
+//                               plus windowed vtp_*_rate / vtp_*_p99_60s)
+//   GET  /sessions              JSON snapshot of every hosted session
+//   GET  /sessions/<flow>       one session (decimal or 0x hex flow id)
+//   GET  /shards                JSON per-shard datapath counters
+//   GET  /healthz               SLO verdict: ok | degraded | failing,
+//                               with reasons (HTTP 503 when failing)
+//   POST /trace/<flow>/start    attach a flight-recorder tap: the live
+//                               session's transport events spill to
+//                               <trace_tap_dir>/tap-<flow>.vtpt
+//   POST /trace/<flow>/stop     flush and close the tap
+//
+// Session state is never read across threads: /sessions and the trace
+// endpoints post closures to the owner shard (engine::server's
+// with_server mailbox) and rendezvous with a timeout. Everything else
+// reads atomics or the sliding telemetry window.
+//
+// Health model (/healthz), judged over the telemetry window:
+//   - drop pressure: events/handoff/commands dropped per second.
+//     Above `degraded_drop_rate_per_s` -> degraded; above
+//     `failing_drop_rate_per_s` -> failing. Losing exported events or
+//     datagrams is the first thing an overloaded engine does.
+//   - timer health: windowed p99 of vtp_timer_fire_latency_ns. A late
+//     wheel means pacing and feedback clocks are slipping.
+//   - half-open pressure: current + windowed-peak half-open population
+//     against the accept cap (engine_config::accept.max_half_open) —
+//     the SYN-flood early-warning. Unlimited caps skip this probe.
+// Fewer than two window snapshots -> "ok" with a "warming" reason.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/server.hpp"
+#include "ops/http.hpp"
+#include "trace/writer.hpp"
+#include "util/time.hpp"
+
+namespace vtp::ops {
+
+struct admin_config {
+    std::uint16_t port = 0; ///< 0 = kernel-assigned (see admin_server::port)
+    /// Where POST /trace/<flow>/start writes tap-<flow>.vtpt.
+    std::string trace_tap_dir = ".";
+    /// Health judgements look this far back (engine telemetry window).
+    std::uint64_t health_window_ns = 60ull * 1000 * 1000 * 1000;
+    /// Tap ring size (records) for runtime-attached tracers.
+    std::size_t tap_ring_records = 4096;
+
+    // SLO thresholds (see the health model above).
+    double degraded_drop_rate_per_s = 1.0;
+    double failing_drop_rate_per_s = 1000.0;
+    std::uint64_t degraded_timer_p99_ns = util::milliseconds(10);
+    std::uint64_t failing_timer_p99_ns = util::milliseconds(100);
+    double degraded_half_open_frac = 0.5;
+    double failing_half_open_frac = 0.9;
+};
+
+class admin_server {
+public:
+    /// Binds immediately (throws std::runtime_error on failure); the
+    /// engine must outlive this object. Destroy before engine shutdown
+    /// completes — engine::server::stop() does this for the plane it
+    /// owns — so live taps can detach on still-running shard threads.
+    admin_server(engine::server& eng, admin_config cfg);
+    ~admin_server();
+
+    admin_server(const admin_server&) = delete;
+    admin_server& operator=(const admin_server&) = delete;
+
+    std::uint16_t port() const { return http_->port(); }
+
+    /// The verdict /healthz serves (exposed for tests and vtptop).
+    struct health {
+        std::string status; ///< "ok" | "degraded" | "failing"
+        std::vector<std::string> reasons;
+        double events_dropped_rate = 0.0;
+        double handoff_dropped_rate = 0.0;
+        double commands_dropped_rate = 0.0;
+        std::uint64_t timer_fire_p99_ns = 0;
+        std::uint64_t half_open = 0;
+        std::uint64_t half_open_peak = 0;
+        double window_s = 0.0;
+    };
+    health evaluate_health() const;
+
+private:
+    http_response route(const http_request& req);
+    http_response index() const;
+    http_response metrics() const;
+    http_response sessions(std::uint32_t only_flow, bool single);
+    http_response shards() const;
+    http_response healthz() const;
+    http_response trace_cmd(std::uint32_t flow, bool start);
+    /// Run `fn` on shard `idx` and wait (bounded); false on timeout.
+    bool run_on_shard(std::size_t idx, std::function<void(vtp::server&)> fn);
+
+    engine::server& eng_;
+    admin_config cfg_;
+    std::mutex taps_mu_;
+    std::map<std::uint32_t, std::unique_ptr<trace::async_writer>> taps_;
+    std::unique_ptr<http_server> http_; ///< last: handler uses the above
+};
+
+} // namespace vtp::ops

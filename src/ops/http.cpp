@@ -1,0 +1,193 @@
+#include "ops/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace vtp::ops {
+
+namespace {
+
+constexpr std::size_t max_request_bytes = 64 * 1024;
+
+const char* status_text(int status) {
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+    }
+}
+
+void set_io_timeout(int fd) {
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+http_server::http_server(std::uint16_t port, handler_fn handler)
+    : handler_(std::move(handler)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("ops: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("ops: cannot bind 127.0.0.1:" +
+                                 std::to_string(port));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { loop(); });
+}
+
+http_server::~http_server() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void http_server::loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, 200); // bounded: re-check stop_
+        if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        set_io_timeout(fd);
+        serve(fd);
+        ::close(fd);
+    }
+}
+
+void http_server::serve(int fd) {
+    std::string buf;
+    char chunk[4096];
+    std::size_t header_end = std::string::npos;
+    while (buf.size() < max_request_bytes) {
+        header_end = buf.find("\r\n\r\n");
+        if (header_end != std::string::npos) break;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) return;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (header_end == std::string::npos) return;
+
+    http_request req;
+    {
+        const std::size_t line_end = buf.find("\r\n");
+        std::istringstream line(buf.substr(0, line_end));
+        std::string version;
+        line >> req.method >> req.path >> version;
+    }
+    // Content-Length (case-insensitive scan of the header block).
+    std::size_t body_len = 0;
+    {
+        std::string headers = buf.substr(0, header_end);
+        for (char& c : headers) c = static_cast<char>(std::tolower(c));
+        const std::size_t pos = headers.find("content-length:");
+        if (pos != std::string::npos)
+            body_len = std::strtoul(headers.c_str() + pos + 15, nullptr, 10);
+    }
+    if (body_len > max_request_bytes) return;
+    std::size_t body_start = header_end + 4;
+    while (buf.size() < body_start + body_len) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) return;
+        buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    req.body = buf.substr(body_start, body_len);
+
+    http_response resp;
+    if (req.method.empty() || req.path.empty()) {
+        resp.status = 400;
+        resp.body = "malformed request\n";
+    } else {
+        resp = handler_(req);
+    }
+
+    std::ostringstream os;
+    os << "HTTP/1.0 " << resp.status << ' ' << status_text(resp.status)
+       << "\r\nContent-Type: " << resp.content_type
+       << "\r\nContent-Length: " << resp.body.size()
+       << "\r\nConnection: close\r\n\r\n";
+    const std::string head = os.str();
+    if (write_all(fd, head.data(), head.size()))
+        write_all(fd, resp.body.data(), resp.body.size());
+}
+
+bool http_fetch(std::uint16_t port, const std::string& method,
+                const std::string& path, int& status_out,
+                std::string& body_out) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    set_io_timeout(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        return false;
+    }
+    std::ostringstream os;
+    os << method << ' ' << path
+       << " HTTP/1.0\r\nHost: 127.0.0.1\r\nContent-Length: 0\r\n\r\n";
+    const std::string req = os.str();
+    if (!write_all(fd, req.data(), req.size())) {
+        ::close(fd);
+        return false;
+    }
+    std::string buf;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0)
+        buf.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+    // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+    if (buf.rfind("HTTP/", 0) != 0) return false;
+    const std::size_t sp = buf.find(' ');
+    if (sp == std::string::npos) return false;
+    status_out = std::atoi(buf.c_str() + sp + 1);
+    const std::size_t hdr_end = buf.find("\r\n\r\n");
+    if (hdr_end == std::string::npos) return false;
+    body_out = buf.substr(hdr_end + 4);
+    return true;
+}
+
+} // namespace vtp::ops

@@ -1,0 +1,63 @@
+// Minimal loopback HTTP/1.0 server for the in-process admin plane.
+//
+// Deliberately primitive: plain blocking sockets, one dedicated thread,
+// serial request handling, Connection: close on every response. The
+// admin plane serves a handful of operator scrapes per second, not
+// traffic — simplicity and zero dependencies beat throughput here. The
+// listener binds 127.0.0.1 only; exposing it beyond the host is the
+// operator's job (and problem).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace vtp::ops {
+
+struct http_request {
+    std::string method; ///< "GET", "POST", ...
+    std::string path;   ///< request target, e.g. "/metrics"
+    std::string body;
+};
+
+struct http_response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+class http_server {
+public:
+    using handler_fn = std::function<http_response(const http_request&)>;
+
+    /// Bind 127.0.0.1:`port` (0 = kernel-assigned, see port()) and serve
+    /// requests on a dedicated thread until destruction. Throws
+    /// std::runtime_error when the socket cannot be bound.
+    http_server(std::uint16_t port, handler_fn handler);
+    ~http_server();
+
+    http_server(const http_server&) = delete;
+    http_server& operator=(const http_server&) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+private:
+    void loop();
+    void serve(int fd);
+
+    handler_fn handler_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/// One-shot loopback HTTP request (the client side vtptop and the tests
+/// use). Returns false on connect/IO/parse failure; on success fills
+/// `status_out` and `body_out`.
+bool http_fetch(std::uint16_t port, const std::string& method,
+                const std::string& path, int& status_out, std::string& body_out);
+
+} // namespace vtp::ops

@@ -1,5 +1,6 @@
 #include "trace/metrics.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace vtp::trace {
@@ -65,6 +66,16 @@ gauge& registry::get_gauge(const std::string& name, const std::string& help) {
     return *s.g;
 }
 
+fgauge& registry::get_fgauge(const std::string& name, const std::string& help) {
+    std::lock_guard<std::mutex> lock(mu_);
+    series& s = series_[name];
+    if (!s.f) {
+        s.f = std::make_unique<fgauge>();
+        if (s.help.empty()) s.help = help;
+    }
+    return *s.f;
+}
+
 histogram& registry::get_histogram(const std::string& name,
                                    const std::string& help) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -86,6 +97,7 @@ void registry::merge(const registry& other) {
     for (const auto& [name, s] : theirs) {
         if (s->c) get_counter(name, s->help).add(s->c->value());
         if (s->g) get_gauge(name, s->help).add(s->g->value());
+        if (s->f) get_fgauge(name, s->help).add(s->f->value());
         if (s->h) get_histogram(name, s->help).merge(*s->h);
     }
 }
@@ -95,11 +107,36 @@ std::size_t registry::series_count() const {
     return series_.size();
 }
 
+std::string prometheus_escape_help(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        if (ch == '\\') out += "\\\\";
+        else if (ch == '\n') out += "\\n";
+        else out += ch;
+    }
+    return out;
+}
+
+std::string prometheus_escape_label(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        if (ch == '\\') out += "\\\\";
+        else if (ch == '"') out += "\\\"";
+        else if (ch == '\n') out += "\\n";
+        else out += ch;
+    }
+    return out;
+}
+
 std::string registry::prometheus_text() const {
     std::ostringstream os;
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, s] : series_) {
-        if (!s.help.empty()) os << "# HELP " << name << ' ' << s.help << '\n';
+        if (!s.help.empty())
+            os << "# HELP " << name << ' ' << prometheus_escape_help(s.help)
+               << '\n';
         if (s.c) {
             os << "# TYPE " << name << " counter\n";
             os << name << ' ' << s.c->value() << '\n';
@@ -107,6 +144,12 @@ std::string registry::prometheus_text() const {
         if (s.g) {
             os << "# TYPE " << name << " gauge\n";
             os << name << ' ' << s.g->value() << '\n';
+        }
+        if (s.f) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.6g", s.f->value());
+            os << "# TYPE " << name << " gauge\n";
+            os << name << ' ' << buf << '\n';
         }
         if (s.h) {
             os << "# TYPE " << name << " histogram\n";

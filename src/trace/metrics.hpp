@@ -47,6 +47,24 @@ private:
     std::atomic<std::int64_t> v_{0};
 };
 
+/// Floating-point gauge for derived series (rates, ratios). Stored as
+/// an atomic double; merge sums, matching the per-shard-partition
+/// convention of `gauge`.
+class fgauge {
+public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    void add(double n) {
+        double prev = v_.load(std::memory_order_relaxed);
+        while (!v_.compare_exchange_weak(prev, prev + n,
+                                         std::memory_order_relaxed)) {
+        }
+    }
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> v_{0.0};
+};
+
 class histogram {
 public:
     static constexpr int sub_bits = 4;
@@ -112,7 +130,31 @@ public:
     /// A `help` string is attached on first creation (Prometheus # HELP).
     counter& get_counter(const std::string& name, const std::string& help = "");
     gauge& get_gauge(const std::string& name, const std::string& help = "");
+    fgauge& get_fgauge(const std::string& name, const std::string& help = "");
     histogram& get_histogram(const std::string& name, const std::string& help = "");
+
+    /// Read-only view of one series during enumeration. At most one of
+    /// the pointers per kind is non-null.
+    struct series_view {
+        const std::string& name;
+        const std::string& help;
+        const counter* c;
+        const gauge* g;
+        const fgauge* f;
+        const histogram* h;
+    };
+
+    /// Visit every series under the shape lock (values are still live
+    /// atomics — reads are relaxed snapshots, like any aggregation).
+    /// `fn` must not call back into this registry.
+    template <typename Fn>
+    void for_each_series(Fn&& fn) const {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& [name, s] : series_) {
+            fn(series_view{name, s.help, s.c.get(), s.g.get(), s.f.get(),
+                           s.h.get()});
+        }
+    }
 
     /// Merge every series of `other` into this registry by name (missing
     /// series are created). Counters/histograms accumulate; gauges sum —
@@ -130,11 +172,20 @@ private:
         std::string help;
         std::unique_ptr<counter> c;
         std::unique_ptr<gauge> g;
+        std::unique_ptr<fgauge> f;
         std::unique_ptr<histogram> h;
     };
 
     mutable std::mutex mu_; ///< guards map shape only, never updates
     std::map<std::string, series> series_;
 };
+
+/// Escape a string for use after `# HELP name ` in the exposition
+/// format: backslash and newline are escaped.
+std::string prometheus_escape_help(const std::string& s);
+
+/// Escape a string for use inside a double-quoted label value:
+/// backslash, double-quote and newline are escaped.
+std::string prometheus_escape_label(const std::string& s);
 
 } // namespace vtp::trace

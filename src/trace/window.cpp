@@ -1,0 +1,176 @@
+#include "trace/window.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace vtp::trace {
+
+std::uint64_t window_hist_delta::percentile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+    if (rank == 0) rank = 1;
+    if (rank > count) rank = count;
+    std::uint64_t seen = 0;
+    for (const auto& [upper, n] : buckets) {
+        seen += n;
+        if (seen >= rank) return upper;
+    }
+    return max_upper();
+}
+
+std::uint64_t window_delta::counter_delta(const std::string& name) const {
+    for (const auto& [n, v] : counters)
+        if (n == name) return v;
+    return 0;
+}
+
+double window_delta::rate_per_s(const std::string& name) const {
+    if (span_ns == 0) return 0.0;
+    return static_cast<double>(counter_delta(name)) * 1e9 /
+           static_cast<double>(span_ns);
+}
+
+const window_hist_delta* window_delta::hist(const std::string& name) const {
+    for (const auto& h : hists)
+        if (h.name == name) return &h;
+    return nullptr;
+}
+
+window_delta merge_window_deltas(const std::vector<window_delta>& parts) {
+    window_delta out;
+    std::map<std::string, std::uint64_t> counters;
+    struct hist_acc {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::map<std::uint64_t, std::uint64_t> buckets;
+    };
+    std::map<std::string, hist_acc> hists;
+    for (const window_delta& d : parts) {
+        if (d.span_ns == 0) continue;
+        out.span_ns = std::max(out.span_ns, d.span_ns);
+        for (const auto& [name, v] : d.counters) counters[name] += v;
+        for (const auto& h : d.hists) {
+            hist_acc& a = hists[h.name];
+            a.count += h.count;
+            a.sum += h.sum;
+            for (const auto& [upper, n] : h.buckets) a.buckets[upper] += n;
+        }
+    }
+    out.counters.assign(counters.begin(), counters.end());
+    for (auto& [name, a] : hists) {
+        window_hist_delta h;
+        h.name = name;
+        h.count = a.count;
+        h.sum = a.sum;
+        h.buckets.assign(a.buckets.begin(), a.buckets.end());
+        out.hists.push_back(std::move(h));
+    }
+    return out;
+}
+
+window_ring::window_ring(std::uint64_t span_ns, std::size_t max_snapshots)
+    : span_ns_(span_ns), max_(max_snapshots == 0 ? 1 : max_snapshots) {}
+
+void window_ring::capture(
+    std::uint64_t at_ns, const registry& reg,
+    std::vector<std::pair<std::string, std::uint64_t>> counters) {
+    window_snapshot snap;
+    snap.at_ns = at_ns;
+    snap.counters = std::move(counters);
+    reg.for_each_series([&](const registry::series_view& v) {
+        if (v.c) snap.counters.emplace_back(v.name, v.c->value());
+        if (v.h) {
+            window_hist wh;
+            wh.buckets = v.h->nonzero_buckets();
+            wh.count = v.h->count();
+            wh.sum = v.h->sum();
+            snap.hists.emplace_back(v.name, std::move(wh));
+        }
+    });
+    std::lock_guard<std::mutex> lock(mu_);
+    snaps_.push_back(std::move(snap));
+    while (snaps_.size() > max_ ||
+           (snaps_.size() > 2 &&
+            at_ns - snaps_.front().at_ns > 2 * span_ns_)) {
+        snaps_.pop_front();
+    }
+}
+
+namespace {
+
+// Cumulative-at-snapshot minus cumulative-at-base, matched by bucket
+// upper bound (strictly monotonic in bucket index, so a plain merge
+// walk is exact). Buckets absent from the base contribute in full.
+window_hist_delta hist_delta(const std::string& name, const window_hist& now,
+                             const window_hist* base) {
+    window_hist_delta d;
+    d.name = name;
+    d.count = now.count - (base != nullptr ? base->count : 0);
+    d.sum = now.sum - (base != nullptr ? base->sum : 0);
+    std::size_t bi = 0;
+    for (const auto& [upper, n] : now.buckets) {
+        std::uint64_t prev = 0;
+        if (base != nullptr) {
+            while (bi < base->buckets.size() && base->buckets[bi].first < upper)
+                ++bi;
+            if (bi < base->buckets.size() && base->buckets[bi].first == upper)
+                prev = base->buckets[bi].second;
+        }
+        if (n > prev) d.buckets.emplace_back(upper, n - prev);
+    }
+    return d;
+}
+
+} // namespace
+
+window_delta window_ring::window(std::uint64_t window_ns) const {
+    if (window_ns == 0) window_ns = span_ns_;
+    window_delta out;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (snaps_.size() < 2) return out;
+    const window_snapshot& now = snaps_.back();
+    // Oldest snapshot still inside the requested window; if none is,
+    // fall back to the one just before the boundary so short rings
+    // still produce a (wider) window instead of nothing.
+    const window_snapshot* base = &snaps_.front();
+    for (const window_snapshot& s : snaps_) {
+        if (&s == &now) break;
+        if (now.at_ns - s.at_ns <= window_ns) {
+            base = &s;
+            break;
+        }
+        base = &s;
+    }
+    if (base == &now || now.at_ns == base->at_ns) return out;
+    out.span_ns = now.at_ns - base->at_ns;
+    for (const auto& [name, v] : now.counters) {
+        std::uint64_t prev = 0;
+        for (const auto& [bn, bv] : base->counters) {
+            if (bn == name) {
+                prev = bv;
+                break;
+            }
+        }
+        out.counters.emplace_back(name, v >= prev ? v - prev : 0);
+    }
+    for (const auto& [name, wh] : now.hists) {
+        const window_hist* bh = nullptr;
+        for (const auto& [bn, b] : base->hists) {
+            if (bn == name) {
+                bh = &b;
+                break;
+            }
+        }
+        out.hists.push_back(hist_delta(name, wh, bh));
+    }
+    return out;
+}
+
+std::size_t window_ring::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snaps_.size();
+}
+
+} // namespace vtp::trace

@@ -1,0 +1,103 @@
+// Sliding-window telemetry: a bounded ring of periodic registry
+// snapshots so cumulative counters become rates and histograms become
+// windowed percentiles.
+//
+// The owning shard calls capture() from its own thread on the reap
+// tick; readers (the admin plane, metrics aggregation) call window()
+// from any thread. A snapshot stores counter values plus each
+// histogram's sparse non-zero buckets — bucket upper bounds are
+// strictly monotonic in bucket index, so subtracting two snapshots'
+// counts keyed by upper bound yields the exact per-bucket delta, and
+// percentiles over that delta are percentiles of only the
+// observations made inside the window.
+//
+// Everything here is off the datapath: capture() runs at reap-tick
+// frequency (default 500 ms) and window() at scrape frequency, so a
+// plain mutex is the right tool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/metrics.hpp"
+
+namespace vtp::trace {
+
+/// One histogram's state at snapshot time: sparse per-bucket counts
+/// keyed by the bucket's inclusive upper bound, ascending.
+struct window_hist {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+};
+
+/// Point-in-time capture of a registry plus caller-supplied counters.
+struct window_snapshot {
+    std::uint64_t at_ns = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, window_hist>> hists;
+};
+
+/// One histogram's delta over a window.
+struct window_hist_delta {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// (upper bound, observations in window), ascending, non-zero only.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+    /// Quantile over the windowed observations (0 when empty).
+    std::uint64_t percentile(double q) const;
+    /// Largest bucket upper bound with a windowed observation (peak).
+    std::uint64_t max_upper() const {
+        return buckets.empty() ? 0 : buckets.back().first;
+    }
+};
+
+/// Difference between the newest snapshot and the snapshot closest to
+/// `window_ns` ago. span_ns == 0 means "not enough snapshots yet".
+struct window_delta {
+    std::uint64_t span_ns = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<window_hist_delta> hists;
+
+    std::uint64_t counter_delta(const std::string& name) const;
+    double rate_per_s(const std::string& name) const;
+    const window_hist_delta* hist(const std::string& name) const;
+};
+
+/// Merge per-shard deltas into one engine-wide delta: counters sum by
+/// name, histogram buckets sum by (name, upper), span is the max.
+window_delta merge_window_deltas(const std::vector<window_delta>& parts);
+
+class window_ring {
+public:
+    /// `span_ns` bounds how far back window() can reach; snapshots
+    /// older than ~2x span are evicted, as are any beyond
+    /// `max_snapshots` (whichever trips first).
+    explicit window_ring(std::uint64_t span_ns = 60ull * 1000 * 1000 * 1000,
+                         std::size_t max_snapshots = 128);
+
+    /// Snapshot `reg` (histograms) plus the caller's counter values.
+    /// Called from the owning shard thread.
+    void capture(std::uint64_t at_ns, const registry& reg,
+                 std::vector<std::pair<std::string, std::uint64_t>> counters);
+
+    /// Delta over the last `window_ns` (0 = the ring's full span).
+    window_delta window(std::uint64_t window_ns = 0) const;
+
+    std::size_t size() const;
+    std::uint64_t span_ns() const { return span_ns_; }
+
+private:
+    std::uint64_t span_ns_;
+    std::size_t max_;
+    mutable std::mutex mu_;
+    std::deque<window_snapshot> snaps_;
+};
+
+} // namespace vtp::trace

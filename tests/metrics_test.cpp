@@ -2,17 +2,23 @@
 // against a brute-force sorted reference, bucket-geometry invariants,
 // merge semantics, a multi-threaded registry hammer (totals must be
 // exact — updates are wait-free, never lossy), Prometheus text
-// rendering, and the engine-level aggregation surface.
+// rendering (including an exposition-format lint), the sliding
+// telemetry window, and the engine-level aggregation surface.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "engine/server.hpp"
 #include "net/udp_host.hpp"
 #include "trace/metrics.hpp"
+#include "trace/window.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -161,6 +167,185 @@ TEST(registry_test, prometheus_text_renders_all_series_kinds) {
     // Cumulative buckets: the +Inf count equals the total, and every
     // rendered bucket count is non-decreasing in le order.
     EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(registry_test, fgauge_accumulates_and_merges) {
+    registry a;
+    registry b;
+    trace::fgauge& fa = a.get_fgauge("vtp_rx_rate", "Windowed rx rate");
+    fa.set(1.5);
+    fa.add(0.25);
+    EXPECT_DOUBLE_EQ(fa.value(), 1.75);
+    b.get_fgauge("vtp_rx_rate").set(0.25);
+    a.merge(b); // shards partition the total, so merge sums
+    EXPECT_DOUBLE_EQ(a.get_fgauge("vtp_rx_rate").value(), 2.0);
+
+    const std::string text = a.prometheus_text();
+    EXPECT_NE(text.find("# TYPE vtp_rx_rate gauge"), std::string::npos);
+    EXPECT_NE(text.find("vtp_rx_rate 2"), std::string::npos);
+}
+
+TEST(registry_test, prometheus_escapes_help_and_labels) {
+    EXPECT_EQ(trace::prometheus_escape_help("a\\b\nc"), "a\\\\b\\nc");
+    EXPECT_EQ(trace::prometheus_escape_label("say \"hi\"\\\n"),
+              "say \\\"hi\\\"\\\\\\n");
+    registry reg;
+    reg.get_counter("vtp_x_total", "line1\nline2 \\ end").add(1);
+    const std::string text = reg.prometheus_text();
+    // HELP must stay on one physical line with the newline escaped.
+    EXPECT_NE(text.find("# HELP vtp_x_total line1\\nline2 \\\\ end\n"),
+              std::string::npos);
+}
+
+// Exposition-format lint: every line of the rendered text must be a
+// well-formed comment or sample, TYPE must precede its family's
+// samples, histogram buckets must be cumulative, and the +Inf bucket
+// must equal the family count. This is what external scrapers parse —
+// a malformed line breaks every dashboard downstream.
+void lint_prometheus_text(const std::string& text) {
+    const auto valid_name = [](const std::string& n) {
+        if (n.empty()) return false;
+        if (!std::isalpha(static_cast<unsigned char>(n[0])) && n[0] != '_' &&
+            n[0] != ':')
+            return false;
+        for (char c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+                c != ':')
+                return false;
+        return true;
+    };
+    const auto base_family = [](std::string n) {
+        for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+            const std::string s = suffix;
+            if (n.size() > s.size() && n.compare(n.size() - s.size(), s.size(), s) == 0)
+                return n.substr(0, n.size() - s.size());
+        }
+        return n;
+    };
+    std::map<std::string, std::string> typed; // family -> type
+    std::map<std::string, std::uint64_t> inf_count, hist_count;
+    std::map<std::string, std::uint64_t> last_bucket; // cumulative check
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            std::istringstream ls(line);
+            std::string hash, kind, name;
+            ls >> hash >> kind >> name;
+            ASSERT_TRUE(kind == "HELP" || kind == "TYPE") << line;
+            ASSERT_TRUE(valid_name(name)) << line;
+            if (kind == "TYPE") {
+                std::string type;
+                ls >> type;
+                ASSERT_TRUE(type == "counter" || type == "gauge" ||
+                            type == "histogram")
+                    << line;
+                typed[name] = type;
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value
+        const std::size_t brace = line.find('{');
+        const std::size_t sp = line.find(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        std::string name, labels;
+        if (brace != std::string::npos && brace < sp) {
+            name = line.substr(0, brace);
+            const std::size_t close = line.find('}', brace);
+            ASSERT_NE(close, std::string::npos) << line;
+            labels = line.substr(brace + 1, close - brace - 1);
+        } else {
+            name = line.substr(0, sp);
+        }
+        ASSERT_TRUE(valid_name(name)) << line;
+        const std::string family = base_family(name);
+        ASSERT_TRUE(typed.count(family)) << "sample before TYPE: " << line;
+        const char* vstr = line.c_str() + line.rfind(' ') + 1;
+        char* end = nullptr;
+        const double v = std::strtod(vstr, &end);
+        ASSERT_TRUE(end != vstr && *end == '\0') << line;
+        if (name == family + "_bucket") {
+            ASSERT_EQ(typed[family], "histogram") << line;
+            const std::size_t le = labels.find("le=\"");
+            ASSERT_NE(le, std::string::npos) << line;
+            const std::string bound = labels.substr(le + 4, labels.find('"', le + 4) - le - 4);
+            const auto c = static_cast<std::uint64_t>(v);
+            EXPECT_GE(c, last_bucket[family]) << "non-cumulative: " << line;
+            last_bucket[family] = c;
+            if (bound == "+Inf") inf_count[family] = c;
+        } else if (name == family + "_count") {
+            hist_count[family] = static_cast<std::uint64_t>(v);
+        }
+    }
+    for (const auto& [family, c] : hist_count) {
+        ASSERT_TRUE(inf_count.count(family)) << family << " has no +Inf bucket";
+        EXPECT_EQ(inf_count[family], c) << family;
+    }
+}
+
+TEST(registry_test, exposition_format_lints_clean) {
+    registry reg;
+    reg.get_counter("vtp_rx_total", "Datagrams received").add(7);
+    reg.get_gauge("vtp_sessions", "Live sessions").set(-2);
+    reg.get_fgauge("vtp_rx_rate", "Windowed rate").set(1234.5678);
+    histogram& h = reg.get_histogram("vtp_turn_ns", "Turn duration");
+    for (std::uint64_t v : {0ull, 5ull, 5000ull, 1ull << 40}) h.observe(v);
+    lint_prometheus_text(reg.prometheus_text());
+}
+
+TEST(window_test, counters_become_rates_and_hists_become_windowed) {
+    registry reg;
+    histogram& h = reg.get_histogram("lat");
+    trace::window_ring ring(/*span_ns=*/10ull * 1000 * 1000 * 1000);
+
+    // t=0: 100 observations around 1000, counter at 50.
+    for (int i = 0; i < 100; ++i) h.observe(1000);
+    ring.capture(0, reg, {{"rx", 50}});
+    EXPECT_EQ(ring.window().span_ns, 0u); // one snapshot: not enough
+
+    // t=2s: 10 new observations at 1'000'000, counter at 90.
+    for (int i = 0; i < 10; ++i) h.observe(1'000'000);
+    ring.capture(2'000'000'000, reg, {{"rx", 90}});
+
+    const trace::window_delta d = ring.window();
+    EXPECT_EQ(d.span_ns, 2'000'000'000u);
+    EXPECT_EQ(d.counter_delta("rx"), 40u);
+    EXPECT_DOUBLE_EQ(d.rate_per_s("rx"), 20.0);
+    const trace::window_hist_delta* hd = d.hist("lat");
+    ASSERT_NE(hd, nullptr);
+    // Only the in-window observations: the 100 older ones at 1000 are
+    // subtracted away, so even p01 sits at the high mode.
+    EXPECT_EQ(hd->count, 10u);
+    EXPECT_GE(hd->percentile(0.01), 1'000'000u * 15 / 16);
+    EXPECT_GE(hd->max_upper(), 1'000'000u);
+}
+
+TEST(window_test, window_ns_picks_base_snapshot_and_merge_sums) {
+    registry reg;
+    trace::window_ring ring(60ull * 1000 * 1000 * 1000);
+    for (std::uint64_t t = 0; t <= 10; ++t)
+        ring.capture(t * 1'000'000'000, reg, {{"rx", t * 100}});
+    // Ask for a 3 s window: base = snapshot at t=7, newest at t=10.
+    const trace::window_delta d = ring.window(3'000'000'000);
+    EXPECT_EQ(d.span_ns, 3'000'000'000u);
+    EXPECT_EQ(d.counter_delta("rx"), 300u);
+
+    trace::window_delta other;
+    other.span_ns = 2'000'000'000;
+    other.counters = {{"rx", 5}, {"tx", 7}};
+    const trace::window_delta m = trace::merge_window_deltas({d, other});
+    EXPECT_EQ(m.span_ns, 3'000'000'000u); // max of parts
+    EXPECT_EQ(m.counter_delta("rx"), 305u);
+    EXPECT_EQ(m.counter_delta("tx"), 7u);
+}
+
+TEST(window_test, eviction_keeps_ring_bounded) {
+    registry reg;
+    trace::window_ring ring(/*span_ns=*/1'000'000'000, /*max_snapshots=*/8);
+    for (std::uint64_t t = 0; t < 100; ++t)
+        ring.capture(t * 100'000'000, reg, {});
+    EXPECT_LE(ring.size(), 8u);
 }
 
 bool sockets_available() {

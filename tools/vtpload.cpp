@@ -42,6 +42,7 @@
 #include "core/profile.hpp"
 #include "engine/server.hpp"
 #include "engine/udp_io.hpp"
+#include "ops/admin.hpp"
 #include "net/udp_host.hpp"
 #include "packet/wire.hpp"
 #include "trace/metrics.hpp"
@@ -69,6 +70,25 @@ struct options {
     std::string attack;      ///< "" | "syn-flood" | "reneg-storm"
     double attack_pps = 2000.0; ///< attack datagrams per second
     int attack_sources = 256;   ///< spoofed source addresses to cycle
+    int metrics_interval_ms = 0; ///< 0 = no periodic sampling
+    std::string metrics_series;  ///< time-series JSON path (default derived)
+    std::uint16_t admin_port = 0; ///< 0 = admin plane off
+};
+
+/// One periodic engine snapshot taken every --metrics-interval ms while
+/// the load is in flight (satellite of the live-ops plane: the same
+/// registry the admin endpoint scrapes, sampled in-process).
+struct metrics_sample {
+    double t_s = 0.0;
+    std::uint64_t datagrams_rx = 0;
+    std::uint64_t datagrams_tx = 0;
+    std::uint64_t events_dropped = 0;
+    std::uint64_t handoff_dropped = 0;
+    std::uint64_t half_open = 0;
+    std::uint64_t sessions = 0;
+    double shard_turn_p99_us = 0.0;
+    double rtt_p50_us = 0.0;
+    std::uint64_t event_ring_occupancy_max = 0;
 };
 
 using util::pattern_byte;
@@ -129,6 +149,12 @@ bool parse(int argc, char** argv, options& o) {
             o.attack_pps = std::atof(next());
         } else if (a == "--attack-sources") {
             o.attack_sources = std::max(1, std::atoi(next()));
+        } else if (a == "--metrics-interval") {
+            o.metrics_interval_ms = std::max(1, std::atoi(next()));
+        } else if (a == "--metrics-series") {
+            o.metrics_series = next();
+        } else if (a == "--admin-port") {
+            o.admin_port = static_cast<std::uint16_t>(std::atoi(next()));
         } else {
             missing_value = true;
         }
@@ -141,7 +167,8 @@ bool parse(int argc, char** argv, options& o) {
                      "[--cc tfrc|newreno|westwood] [--json PATH] "
                      "[--metrics-out PATH|-] [--trace-dir DIR] "
                      "[--attack syn-flood|reneg-storm] [--attack-pps N] "
-                     "[--attack-sources N]\n");
+                     "[--attack-sources N] [--metrics-interval MS] "
+                     "[--metrics-series PATH] [--admin-port P]\n");
         return false;
     }
     return true;
@@ -217,6 +244,9 @@ int main(int argc, char** argv) {
     // Flight-recorder spool: every accepted session records into
     // <trace_dir>/trace-shard<i>.vtpt through the per-shard writer thread.
     cfg.trace_dir = opt.trace_dir;
+    // Live operations plane: loopback HTTP scrape target while the load
+    // runs (GET /metrics, /sessions, /healthz — see src/ops/admin.hpp).
+    cfg.admin_port = opt.admin_port;
     if (!opt.attack.empty()) {
         // Attack runs exercise the accept-path guard: stateless retry
         // cookies, half-open caps + deadline sweeper, and (for the reneg
@@ -239,6 +269,15 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
         std::fprintf(stderr, "vtpload: cannot start engine (%s)\n", e.what());
         return 2;
+    }
+    if (opt.admin_port != 0) {
+        if (srv.admin() != nullptr) {
+            std::printf("admin plane          http://127.0.0.1:%u/\n",
+                        srv.admin()->port());
+            std::fflush(stdout); // CI polls this line before scraping
+        } else {
+            std::fprintf(stderr, "vtpload: admin plane failed to start\n");
+        }
     }
 
     // Client side: 50 sessions per udp_host keeps each host's flow table
@@ -328,8 +367,39 @@ int main(int argc, char** argv) {
     trace::histogram latency_ns; ///< completion latency distribution
     std::size_t remaining = sessions.size();
     const util::sim_time deadline = t0 + util::seconds(opt.timeout_s);
+    std::vector<metrics_sample> series;
+    util::sim_time next_sample =
+        opt.metrics_interval_ms > 0
+            ? t0 + milliseconds(opt.metrics_interval_ms)
+            : deadline + util::seconds(1); // never fires
+    const auto take_sample = [&] {
+        metrics_sample ms;
+        ms.t_s = util::to_seconds(loop.now() - t0);
+        const engine::engine_stats es = srv.stats();
+        ms.datagrams_rx = es.datagrams_rx;
+        ms.datagrams_tx = es.datagrams_tx;
+        ms.events_dropped = es.events_dropped;
+        ms.handoff_dropped = es.handoff_dropped;
+        ms.half_open = es.half_open;
+        ms.sessions = es.sessions;
+        const std::unique_ptr<trace::registry> reg = srv.metrics();
+        ms.shard_turn_p99_us =
+            static_cast<double>(
+                reg->get_histogram("vtp_shard_turn_ns").percentile(0.99)) /
+            1e3;
+        ms.rtt_p50_us =
+            static_cast<double>(reg->get_histogram("vtp_rtt_ns").percentile(0.50)) /
+            1e3;
+        ms.event_ring_occupancy_max =
+            reg->get_histogram("vtp_event_ring_occupancy").max();
+        series.push_back(ms);
+    };
     while (remaining > 0 && loop.now() < deadline) {
         loop.run(milliseconds(5));
+        if (loop.now() >= next_sample) {
+            take_sample();
+            next_sample = loop.now() + milliseconds(opt.metrics_interval_ms);
+        }
         if (!opt.attack.empty()) {
             // Pace the flood against wall-clock: catch sent up to
             // attack_pps * elapsed, bounded per turn to keep the loop live.
@@ -473,6 +543,45 @@ int main(int argc, char** argv) {
         } else {
             std::fprintf(stderr, "vtpload: could not write %s\n",
                          opt.metrics_out.c_str());
+        }
+    }
+
+    // Periodic sampling time series: one JSON document alongside the
+    // final report, one object per --metrics-interval tick.
+    if (opt.metrics_interval_ms > 0) {
+        take_sample(); // closing sample at the final elapsed time
+        const std::string path = !opt.metrics_series.empty()
+                                     ? opt.metrics_series
+                                     : std::string("vtpload-series.json");
+        if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+            std::fprintf(f, "{\n  \"name\": \"vtpload_metrics_series\",\n");
+            std::fprintf(f, "  \"interval_ms\": %d,\n  \"samples\": [\n",
+                         opt.metrics_interval_ms);
+            for (std::size_t i = 0; i < series.size(); ++i) {
+                const metrics_sample& m = series[i];
+                std::fprintf(
+                    f,
+                    "    {\"t_s\": %.3f, \"datagrams_rx\": %llu, "
+                    "\"datagrams_tx\": %llu, \"events_dropped\": %llu, "
+                    "\"handoff_dropped\": %llu, \"half_open\": %llu, "
+                    "\"sessions\": %llu, \"shard_turn_p99_us\": %.3f, "
+                    "\"rtt_p50_us\": %.3f, \"event_ring_occupancy_max\": %llu}%s\n",
+                    m.t_s, static_cast<unsigned long long>(m.datagrams_rx),
+                    static_cast<unsigned long long>(m.datagrams_tx),
+                    static_cast<unsigned long long>(m.events_dropped),
+                    static_cast<unsigned long long>(m.handoff_dropped),
+                    static_cast<unsigned long long>(m.half_open),
+                    static_cast<unsigned long long>(m.sessions),
+                    m.shard_turn_p99_us, m.rtt_p50_us,
+                    static_cast<unsigned long long>(m.event_ring_occupancy_max),
+                    i + 1 < series.size() ? "," : "");
+            }
+            std::fprintf(f, "  ]\n}\n");
+            std::fclose(f);
+            std::printf("metrics series       %zu samples -> %s\n",
+                        series.size(), path.c_str());
+        } else {
+            std::fprintf(stderr, "vtpload: could not write %s\n", path.c_str());
         }
     }
 

@@ -1,0 +1,306 @@
+// vtptop — curses-free terminal dashboard for a live engine::server.
+//
+// Polls the admin plane (GET /healthz, /metrics, /shards, /sessions)
+// and redraws in place with plain ANSI escapes: per-shard pps and ring
+// pressure, engine-wide rates/percentiles from the sliding telemetry
+// window, and the top-N sessions by transferred bytes. Per-shard pps
+// comes from diffing successive /shards polls; the windowed series
+// (vtp_*_rate, vtp_*_p99_60s) come straight from /metrics.
+//
+//   vtptop --port 9900 [--interval 1000] [--top 10] [--once]
+//
+// --once prints a single frame without clearing the screen (CI use) and
+// exits non-zero when the endpoint is unreachable.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ops/http.hpp"
+
+namespace {
+
+struct options {
+    std::uint16_t port = 9900;
+    int interval_ms = 1000;
+    std::size_t top = 10;
+    bool once = false;
+};
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: vtptop --port N [--interval ms] [--top N] [--once]\n");
+}
+
+bool parse(int argc, char** argv, options& o) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--port") {
+            const char* v = next();
+            if (!v) return false;
+            o.port = static_cast<std::uint16_t>(std::atoi(v));
+        } else if (a == "--interval") {
+            const char* v = next();
+            if (!v) return false;
+            o.interval_ms = std::atoi(v);
+        } else if (a == "--top") {
+            const char* v = next();
+            if (!v) return false;
+            o.top = static_cast<std::size_t>(std::atoi(v));
+        } else if (a == "--once") {
+            o.once = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            return false;
+        }
+    }
+    return o.port != 0;
+}
+
+/// name -> value for every plain sample line (histogram buckets and
+/// labeled samples are skipped — the dashboard wants scalars).
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+    std::map<std::string, double> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#') continue;
+        const std::size_t sp = line.find(' ');
+        if (sp == std::string::npos) continue;
+        const std::string name = line.substr(0, sp);
+        if (name.find('{') != std::string::npos) continue;
+        out[name] = std::strtod(line.c_str() + sp + 1, nullptr);
+    }
+    return out;
+}
+
+/// Minimal scanner for the admin plane's flat JSON: splits `body` into
+/// the top-level objects of array `key` and extracts numeric/string
+/// fields per object. Good enough for machine-shaped, known-schema
+/// output; not a general JSON parser.
+std::vector<std::map<std::string, std::string>>
+parse_object_array(const std::string& body, const std::string& key) {
+    std::vector<std::map<std::string, std::string>> out;
+    const std::size_t arr = body.find("\"" + key + "\":[");
+    if (arr == std::string::npos) return out;
+    std::size_t pos = body.find('[', arr);
+    int depth = 0;
+    std::size_t obj_start = 0;
+    for (std::size_t i = pos; i < body.size(); ++i) {
+        const char c = body[i];
+        if (c == '{') {
+            if (depth == 0) obj_start = i;
+            ++depth;
+        } else if (c == '}') {
+            --depth;
+            if (depth == 0) {
+                const std::string obj = body.substr(obj_start, i - obj_start + 1);
+                std::map<std::string, std::string> fields;
+                std::size_t p = 1;
+                while (p < obj.size()) {
+                    const std::size_t k0 = obj.find('"', p);
+                    if (k0 == std::string::npos) break;
+                    const std::size_t k1 = obj.find('"', k0 + 1);
+                    if (k1 == std::string::npos) break;
+                    const std::string name = obj.substr(k0 + 1, k1 - k0 - 1);
+                    std::size_t v0 = obj.find(':', k1);
+                    if (v0 == std::string::npos) break;
+                    ++v0;
+                    std::string value;
+                    if (obj[v0] == '"') {
+                        const std::size_t v1 = obj.find('"', v0 + 1);
+                        if (v1 == std::string::npos) break;
+                        value = obj.substr(v0 + 1, v1 - v0 - 1);
+                        p = v1 + 1;
+                    } else {
+                        std::size_t v1 = v0;
+                        while (v1 < obj.size() && obj[v1] != ',' && obj[v1] != '}')
+                            ++v1;
+                        value = obj.substr(v0, v1 - v0);
+                        p = v1;
+                    }
+                    fields[name] = value;
+                }
+                out.push_back(std::move(fields));
+            }
+        } else if (c == ']' && depth == 0) {
+            break;
+        }
+    }
+    return out;
+}
+
+double field_num(const std::map<std::string, std::string>& f,
+                 const std::string& k) {
+    const auto it = f.find(k);
+    return it == f.end() ? 0.0 : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string field_str(const std::map<std::string, std::string>& f,
+                      const std::string& k) {
+    const auto it = f.find(k);
+    return it == f.end() ? std::string() : it->second;
+}
+
+std::string human_rate(double v) {
+    char buf[32];
+    if (v >= 1e9) std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+    else if (v >= 1e6) std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3) std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+    else std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+}
+
+struct shard_prev {
+    double rx = 0, tx = 0;
+};
+
+int render(const options& opt, std::map<int, shard_prev>& prev,
+           std::map<std::string, double>& prev_sessions_bytes, bool first) {
+    int status = 0;
+    std::string healthz, metrics, shards, sessions;
+    if (!vtp::ops::http_fetch(opt.port, "GET", "/healthz", status, healthz) ||
+        !vtp::ops::http_fetch(opt.port, "GET", "/metrics", status, metrics) ||
+        !vtp::ops::http_fetch(opt.port, "GET", "/shards", status, shards) ||
+        !vtp::ops::http_fetch(opt.port, "GET", "/sessions", status, sessions)) {
+        std::fprintf(stderr, "vtptop: cannot reach 127.0.0.1:%u\n", opt.port);
+        return 1;
+    }
+
+    const auto series = parse_prometheus(metrics);
+    const auto shard_rows = parse_object_array(shards, "shards");
+    auto session_rows = parse_object_array(sessions, "sessions");
+
+    std::string health = "?";
+    {
+        const std::size_t s0 = healthz.find("\"status\":\"");
+        if (s0 != std::string::npos) {
+            const std::size_t v0 = s0 + 10;
+            health = healthz.substr(v0, healthz.find('"', v0) - v0);
+        }
+    }
+
+    const double dt = static_cast<double>(opt.interval_ms) / 1000.0;
+    std::string out;
+    out.reserve(4096);
+    char line[256];
+    const auto emit = [&](const char* fmt, auto... args) {
+        std::snprintf(line, sizeof(line), fmt, args...);
+        out += line;
+        out += opt.once ? "\n" : "\x1b[K\n";
+    };
+
+    const auto g = [&](const char* name) {
+        const auto it = series.find(name);
+        return it == series.end() ? 0.0 : it->second;
+    };
+    emit("vtp engine @127.0.0.1:%u        health: %s", opt.port, health.c_str());
+    emit("sessions %-6.0f half-open %-5.0f accepted %-8.0f cc-swaps %.0f",
+         g("vtp_sessions"), g("vtp_half_open_sessions"), g("vtp_accepted_total"),
+         g("vtp_cc_swaps_total"));
+    emit("window: rx %s/s tx %s/s  drops(ev/hand/cmd) %.1f/%.1f/%.1f per s",
+         human_rate(g("vtp_datagrams_rx_rate")).c_str(),
+         human_rate(g("vtp_datagrams_tx_rate")).c_str(),
+         g("vtp_events_dropped_rate"), g("vtp_handoff_dropped_rate"),
+         g("vtp_commands_dropped_rate"));
+    emit("p99/60s: turn %sns  timer %sns  rtt %sns  ring-occ %.0f",
+         human_rate(g("vtp_shard_turn_ns_p99_60s")).c_str(),
+         human_rate(g("vtp_timer_fire_latency_ns_p99_60s")).c_str(),
+         human_rate(g("vtp_rtt_ns_p99_60s")).c_str(),
+         g("vtp_event_ring_occupancy_p99_60s"));
+    emit("%s", "");
+    emit("%-6s %10s %10s %9s %9s %9s %8s", "shard", "rx pps", "tx pps",
+         "sessions", "half-open", "ev-drop", "decode");
+    for (const auto& row : shard_rows) {
+        const int idx = static_cast<int>(field_num(row, "index"));
+        const double rx = field_num(row, "datagrams_rx");
+        const double tx = field_num(row, "datagrams_tx");
+        shard_prev& pv = prev[idx];
+        const double rx_pps = first || dt <= 0 ? 0 : (rx - pv.rx) / dt;
+        const double tx_pps = first || dt <= 0 ? 0 : (tx - pv.tx) / dt;
+        pv.rx = rx;
+        pv.tx = tx;
+        emit("%-6d %10s %10s %9.0f %9.0f %9.0f %8.0f", idx,
+             human_rate(rx_pps).c_str(), human_rate(tx_pps).c_str(),
+             field_num(row, "sessions"), field_num(row, "half_open"),
+             field_num(row, "events_dropped"), field_num(row, "decode_errors"));
+    }
+    emit("%s", "");
+    emit("top %zu sessions (by bytes moved)", opt.top);
+    emit("%-10s %5s %-8s %6s %11s %11s %10s %9s", "flow", "shard", "role",
+         "strms", "bytes", "rate B/s", "rtt ms", "cc");
+
+    // Rank by total bytes moved; per-session byte rate from poll deltas.
+    std::sort(session_rows.begin(), session_rows.end(),
+              [](const auto& a, const auto& b) {
+                  const double ba = field_num(a, "bytes_acked") +
+                                    field_num(a, "bytes_delivered");
+                  const double bb = field_num(b, "bytes_acked") +
+                                    field_num(b, "bytes_delivered");
+                  return ba > bb;
+              });
+    std::map<std::string, double> cur_bytes;
+    std::size_t shown = 0;
+    for (const auto& row : session_rows) {
+        const std::string flow = field_str(row, "flow");
+        const double bytes =
+            field_num(row, "bytes_acked") + field_num(row, "bytes_delivered");
+        cur_bytes[flow] = bytes;
+        if (shown >= opt.top) continue;
+        ++shown;
+        double rate = 0;
+        const auto pit = prev_sessions_bytes.find(flow);
+        if (pit != prev_sessions_bytes.end() && dt > 0)
+            rate = (bytes - pit->second) / dt;
+        emit("%-10s %5.0f %-8s %6.0f %11s %11s %10.2f %9s", flow.c_str(),
+             field_num(row, "shard"), field_str(row, "role").c_str(),
+             field_num(row, "streams"), human_rate(bytes).c_str(),
+             human_rate(rate).c_str(), field_num(row, "rtt_ms"),
+             field_str(row, "cc").c_str());
+    }
+    prev_sessions_bytes = std::move(cur_bytes);
+
+    if (opt.once) {
+        std::fputs(out.c_str(), stdout);
+    } else {
+        // Home the cursor and overwrite; \x1b[K per line clears residue,
+        // \x1b[J clears anything below the new frame.
+        std::fputs("\x1b[H", stdout);
+        std::fputs(out.c_str(), stdout);
+        std::fputs("\x1b[J", stdout);
+    }
+    std::fflush(stdout);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    options opt;
+    if (!parse(argc, argv, opt)) return 2;
+    std::map<int, shard_prev> prev;
+    std::map<std::string, double> prev_sessions_bytes;
+    if (opt.once) return render(opt, prev, prev_sessions_bytes, true);
+    std::fputs("\x1b[2J", stdout); // initial clear only
+    bool first = true;
+    for (;;) {
+        if (render(opt, prev, prev_sessions_bytes, first) != 0) return 1;
+        first = false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    }
+}
