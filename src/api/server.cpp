@@ -20,6 +20,7 @@ qtp::listener_config make_listener_config(const server_options& opts,
     cfg.endpoint.recv_buffer_bytes = opts.recv_buffer_bytes;
     cfg.endpoint.trace_ring_records = opts.trace_ring_records;
     cfg.endpoint.trace_sink = opts.trace_sink;
+    cfg.endpoint.path = opts.path;
     return cfg;
 }
 
@@ -87,8 +88,18 @@ server_stats server::stats() const {
     s.amplification_limited = g.amplification_limited;
     s.shed = g.shed;
     s.reneg_rate_limited = reneg_rate_limited_reaped_;
-    for (const auto& [flow, sess] : sessions_)
-        s.reneg_rate_limited += sess->stats().reneg_rate_limited;
+    s.path_migrations = path_reaped_.migrations;
+    s.path_validations = path_reaped_.validations;
+    s.path_validation_failures = path_reaped_.validation_failures;
+    s.path_responses_rejected = path_reaped_.responses_rejected;
+    for (const auto& [flow, sess] : sessions_) {
+        const session_stats st = sess->stats();
+        s.reneg_rate_limited += st.reneg_rate_limited;
+        s.path_migrations += st.path.migrations;
+        s.path_validations += st.path.validations;
+        s.path_validation_failures += st.path.validation_failures;
+        s.path_responses_rejected += st.path.responses_rejected;
+    }
     return s;
 }
 
@@ -96,7 +107,12 @@ std::size_t server::reap_closed() {
     std::size_t reaped = 0;
     for (auto it = sessions_.begin(); it != sessions_.end();) {
         if (it->second->closed()) {
-            reneg_rate_limited_reaped_ += it->second->stats().reneg_rate_limited;
+            const session_stats st = it->second->stats();
+            reneg_rate_limited_reaped_ += st.reneg_rate_limited;
+            path_reaped_.migrations += st.path.migrations;
+            path_reaped_.validations += st.path.validations;
+            path_reaped_.validation_failures += st.path.validation_failures;
+            path_reaped_.responses_rejected += st.path.responses_rejected;
             env_.detach_dynamic(it->first);
             it = sessions_.erase(it);
             ++reaped;

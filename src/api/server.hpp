@@ -71,6 +71,13 @@ struct server_options {
     /// (0 = unbounded; see session_stats::reneg_rate_limited).
     double reneg_rate_bps = 0.0;
     std::size_t reneg_burst_bytes = 0;
+
+    /// Connection migration for accepted sessions (path/path.hpp): with
+    /// `path.enabled` the server validates a client that reappears from
+    /// a new source address (NAT rebind / handover) and re-points its
+    /// feedback there, under the anti-amplification budget. Off by
+    /// default.
+    path::manager_config path{};
 };
 
 /// One-call snapshot of the listener's accept/stray accounting (the
@@ -96,6 +103,12 @@ struct server_stats {
     /// Inbound reneg proposals dropped by the per-connection token bucket,
     /// summed over live and reaped sessions (monotonic).
     std::uint64_t reneg_rate_limited = 0;
+    /// Path migration accounting, summed over live and reaped sessions
+    /// (monotonic; all zero while server_options::path.enabled is off).
+    std::uint64_t path_migrations = 0;
+    std::uint64_t path_validations = 0;
+    std::uint64_t path_validation_failures = 0;
+    std::uint64_t path_responses_rejected = 0; ///< forged/stale tokens
 };
 
 class server {
@@ -151,6 +164,8 @@ private:
     /// Reneg-bucket denials carried over from reaped sessions, so the
     /// aggregate in stats() stays monotonic across reaps.
     std::uint64_t reneg_rate_limited_reaped_ = 0;
+    /// Same carry-over for the path counters of reaped sessions.
+    path::manager_stats path_reaped_{};
 };
 
 } // namespace vtp

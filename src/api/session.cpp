@@ -108,6 +108,14 @@ void session::renegotiate(const qtp::profile& p) {
     if (receiver_ != nullptr) receiver_->request_renegotiate(p);
 }
 
+void session::migrate(std::uint32_t new_peer) {
+    if (sender_ != nullptr) sender_->migrate(new_peer);
+}
+
+void session::add_path(std::uint32_t remote) {
+    if (sender_ != nullptr) sender_->add_path(remote);
+}
+
 bool session::renegotiation_pending() const {
     if (sender_ != nullptr) return sender_->renegotiation_pending();
     if (receiver_ != nullptr) return receiver_->renegotiation_pending();
@@ -196,6 +204,14 @@ session_stats session::stats() const {
         s.trace_events_recorded = receiver_->trace_recorded();
         s.trace_events_dropped = receiver_->trace_dropped();
     }
+    if (const path::manager* pm = sender_ != nullptr    ? &sender_->paths()
+                                  : receiver_ != nullptr ? &receiver_->paths()
+                                                         : nullptr;
+        pm != nullptr && pm->enabled()) {
+        s.active_path_remote = pm->active_remote();
+        s.path_count = pm->table().size();
+        s.path = pm->stats();
+    }
     return s;
 }
 
@@ -205,6 +221,11 @@ session_snapshot session::snapshot() const {
     sn.sender_role = sender_ != nullptr;
     sn.half_open = half_open();
     sn.stats = stats();
+    if (const path::manager* pm = sender_ != nullptr    ? &sender_->paths()
+                                  : receiver_ != nullptr ? &receiver_->paths()
+                                                         : nullptr;
+        pm != nullptr && pm->enabled())
+        sn.paths = pm->paths();
     return sn;
 }
 

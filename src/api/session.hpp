@@ -131,6 +131,12 @@ struct session_stats {
     /// sink — a spill sink makes the ring lossless).
     std::uint64_t trace_events_recorded = 0;
     std::uint64_t trace_events_dropped = 0;
+
+    /// Path migration / multipath (zero while path.enabled is off).
+    /// `active_path_remote` is where this endpoint currently sends.
+    std::uint32_t active_path_remote = 0;
+    std::size_t path_count = 0; ///< tracked paths (any state)
+    path::manager_stats path{};
 };
 
 /// Cross-thread snapshot of one hosted session, as served by the admin
@@ -143,6 +149,8 @@ struct session_snapshot {
     bool sender_role = false;
     bool half_open = false;
     session_stats stats{};
+    /// Per-path detail (empty while path.enabled is off).
+    std::vector<path::path_info> paths{};
 };
 
 class session {
@@ -225,6 +233,19 @@ public:
     /// actually agreed.
     void renegotiate(const qtp::profile& p);
     bool renegotiation_pending() const;
+
+    /// Validated live migration (sender role; requires
+    /// session_options::path.enabled on both endpoints): re-validate the
+    /// current 4-tuple (`new_peer == 0`, the after-rebind case — call it
+    /// after the substrate's local address changed) or prove and switch
+    /// to a different peer address. Congestion state, stream scoreboards
+    /// and sequence space all survive; a `path_changed` event fires once
+    /// the new path is proven.
+    void migrate(std::uint32_t new_peer = 0);
+    /// Probe `remote` as an additional validated path; with
+    /// session_options::path.multipath the dual-path scheduler starts
+    /// steering data across it.
+    void add_path(std::uint32_t remote);
 
     bool established() const;
     /// Sender role: FIN acknowledged. Receiver role: peer's FIN seen.

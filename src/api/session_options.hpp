@@ -71,6 +71,12 @@ struct session_options {
     std::size_t trace_ring_records = 0;
     trace::sink* trace_sink = nullptr;
 
+    /// Connection migration / multipath (path/path.hpp). Off by default;
+    /// enable with with_migration() / with_multipath() or by setting
+    /// path.enabled directly. Both endpoints must enable it — a disabled
+    /// peer silently ignores path probes.
+    path::manager_config path{};
+
     /// QTPAF: full reliability + receiver-side estimation + a gTFRC
     /// committed rate (the QoS-network instance).
     static session_options af(double target_rate_bps) {
@@ -103,6 +109,21 @@ struct session_options {
         return *this;
     }
 
+    /// Enable validated migration (passive rebind detection plus
+    /// session::migrate()); chainable on any preset.
+    session_options& with_migration() {
+        path.enabled = true;
+        return *this;
+    }
+
+    /// Enable migration plus dual-path data steering across every
+    /// validated path (session::add_path + path::scheduler).
+    session_options& with_multipath() {
+        path.enabled = true;
+        path.multipath = true;
+        return *this;
+    }
+
     /// Lower the options into a core connection_config (the facade's
     /// glue; applications should not need this).
     qtp::connection_config to_connection_config() const {
@@ -123,6 +144,7 @@ struct session_options {
         cfg.handshake_rtx = handshake_rtx;
         cfg.trace_ring_records = trace_ring_records;
         cfg.trace_sink = trace_sink;
+        cfg.path = path;
         return cfg;
     }
 };

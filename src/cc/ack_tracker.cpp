@@ -49,8 +49,8 @@ ack_tracker::feedback_delta ack_tracker::on_feedback(
     // Reorder-window loss: anything still outstanding that the receiver
     // has acknowledged past is presumed lost. Samples only — the SACK
     // scoreboards own actual retransmission decisions.
-    if (any_acked_ && highest_acked_ >= reorder_threshold) {
-        const std::uint64_t lost_below = highest_acked_ - reorder_threshold + 1;
+    if (any_acked_ && highest_acked_ >= reorder_threshold_) {
+        const std::uint64_t lost_below = highest_acked_ - reorder_threshold_ + 1;
         const std::uint64_t end = std::min(lost_below, next_seq_);
         for (std::uint64_t seq = base_; seq < end; ++seq) {
             entry& e = pkts_[static_cast<std::size_t>(seq - base_)];

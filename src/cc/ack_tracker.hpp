@@ -53,6 +53,13 @@ public:
 
     static constexpr std::uint64_t reorder_threshold = 3;
 
+    /// Widen the loss-declaration horizon (multipath striping reorders
+    /// across paths far beyond the single-path tolerance; see
+    /// path::manager_config::multipath_reorder_tolerance).
+    void set_reorder_threshold(std::uint64_t pkts) {
+        reorder_threshold_ = pkts < 1 ? 1 : pkts;
+    }
+
 private:
     enum class pkt_state : std::uint8_t { outstanding, acked, lost };
     struct entry {
@@ -71,6 +78,7 @@ private:
     std::uint64_t outstanding_ = 0;
     std::uint64_t highest_acked_ = 0;
     bool any_acked_ = false;
+    std::uint64_t reorder_threshold_ = reorder_threshold;
 };
 
 } // namespace vtp::cc

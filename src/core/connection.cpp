@@ -23,6 +23,20 @@ stream::stream_options stream0_options(const connection_config& cfg) {
     return opts;
 }
 
+// Striping interleaves paths with unequal delay, so a slow-path packet
+// is routinely overtaken by more than the single-path horizon before it
+// is SACKed; finalising it would retransmit data that is still in
+// flight (see path::manager_config::multipath_reorder_tolerance).
+sack::scoreboard_config effective_scoreboard(const connection_config& cfg) {
+    sack::scoreboard_config sb = cfg.scoreboard;
+    if (cfg.path.enabled && cfg.path.multipath) {
+        sb.finalize_horizon = std::max<std::uint64_t>(
+            sb.finalize_horizon,
+            2 * static_cast<std::uint64_t>(cfg.path.multipath_reorder_tolerance));
+    }
+    return sb;
+}
+
 } // namespace
 
 cc::algorithm_config connection_sender::cc_config(double floor_bps) const {
@@ -38,8 +52,8 @@ connection_sender::connection_sender(connection_config cfg)
       handshake_(cfg.proposal),
       reneg_resp_(cfg.caps),
       estimator_(cfg.estimator),
-      mux_(stream0_options(cfg), cfg.total_bytes, cfg.stream_open, cfg.scoreboard,
-           cfg.scheduler),
+      mux_(stream0_options(cfg), cfg.total_bytes, cfg.stream_open,
+           effective_scoreboard(cfg), cfg.scheduler),
       events_(cfg.event_queue_capacity) {
     cfg_.rate.equation.packet_size_bytes = cfg_.packet_size;
     // Pre-handshake placeholder controller (nothing paces until
@@ -53,6 +67,11 @@ connection_sender::connection_sender(connection_config cfg)
     }
     if (cfg_.reneg_rate_bps > 0.0)
         reneg_bucket_.emplace(cfg_.reneg_rate_bps, cfg_.reneg_burst_bytes);
+    path_.configure(cfg_.path, cfg_.flow_id);
+    // Striping reorders across paths; see multipath_reorder_tolerance.
+    if (cfg_.path.enabled && cfg_.path.multipath)
+        tracker_.set_reorder_threshold(
+            static_cast<std::uint64_t>(cfg_.path.multipath_reorder_tolerance));
 }
 
 void connection_sender::attach_tracer(std::size_t ring_records,
@@ -61,16 +80,65 @@ void connection_sender::attach_tracer(std::size_t ring_records,
     tracer_ = std::make_unique<trace::tracer>(
         cfg_.flow_id, ring_records != 0 ? ring_records : 4096, sink);
     mux_.set_tracer(tracer_.get());
+    path_.set_tracer(tracer_.get());
 }
 
 void connection_sender::detach_tracer() {
     mux_.set_tracer(nullptr);
+    path_.set_tracer(nullptr);
     tracer_.reset();
 }
 
 void connection_sender::start(environment& env) {
     env_ = &env;
+    start_paths();
     send_syn();
+}
+
+void connection_sender::start_paths() {
+    if (!path_.enabled()) return;
+    path_.set_tracer(tracer_.get());
+    path_.set_on_path_changed(
+        [this](std::uint32_t old_remote, std::uint32_t new_remote, std::uint8_t cause) {
+            // Control traffic (reneg, FIN) and single-path data follow
+            // the config address; the CC controller and every stream
+            // scoreboard are untouched — the transfer continues at the
+            // established operating point on the new 4-tuple.
+            cfg_.peer_addr = new_remote;
+            util::log(util::log_level::info, "qtp-send", "path changed: ", old_remote,
+                      " -> ", new_remote, " cause ", static_cast<int>(cause));
+            event ev;
+            ev.type = event_type::path_changed;
+            ev.offset = old_remote;
+            ev.bytes = new_remote;
+            emit(ev);
+        });
+    path_.start(*env_, cfg_.peer_addr);
+}
+
+void connection_sender::migrate(std::uint32_t remote) {
+    if (!path_.enabled() || env_ == nullptr) return;
+    path_.migrate(remote == 0 ? cfg_.peer_addr : remote);
+}
+
+void connection_sender::add_path(std::uint32_t remote) {
+    if (!path_.enabled() || env_ == nullptr || remote == 0) return;
+    path_.add_path(remote);
+}
+
+bool connection_sender::on_path_frame(const packet::packet& pkt) {
+    if (!path_.enabled()) return false;
+    const bool est = handshake_.established();
+    if (const auto* pc = std::get_if<packet::path_challenge_segment>(pkt.body.get())) {
+        path_.on_challenge(*pc, pkt.src, est);
+        return true;
+    }
+    if (const auto* pr = std::get_if<packet::path_response_segment>(pkt.body.get())) {
+        path_.on_response(*pr, pkt.src);
+        return true;
+    }
+    path_.on_datagram(pkt.src, pkt.size_bytes, est);
+    return false;
 }
 
 void connection_sender::send_syn() {
@@ -356,6 +424,7 @@ bool connection_sender::work_available() const {
 }
 
 void connection_sender::on_packet(const packet::packet& pkt) {
+    if (on_path_frame(pkt)) return;
     if (const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get())) {
         if (hs->type == packet::handshake_segment::kind::fin_ack) {
             if (fin_sent_ && !closed_) {
@@ -365,6 +434,7 @@ void connection_sender::on_packet(const packet::packet& pkt) {
                 if (nofeedback_timer_ != qtp::no_timer) env_->cancel(nofeedback_timer_);
                 nofeedback_timer_ = qtp::no_timer;
                 reneg_.cancel(*env_);
+                path_.stop();
                 util::log(util::log_level::info, "qtp-send", "closed");
                 if (tracer_) {
                     tracer_->push(env_->now(), trace::record_type::closed, 0, 0, 0, 0);
@@ -454,6 +524,12 @@ void connection_sender::on_sack_feedback(const packet::sack_feedback_segment& fb
     cev.acked = std::move(delta.acked);
     cev.lost = std::move(delta.lost);
     cc_->on_congestion_event(cev);
+    if (path_.enabled()) {
+        // Attribute each packet's fate to the path it travelled so the
+        // per-path RTT/loss/rate estimators stay honest under steering.
+        for (const cc::packet_sample& s : cev.acked) path_.on_acked(s.seq, sample);
+        for (const cc::packet_sample& s : cev.lost) path_.on_lost(s.seq);
+    }
     if (tracer_) {
         tracer_->push(now, trace::record_type::ack_rx, 0, 0,
                       static_cast<std::uint64_t>(sample),
@@ -606,7 +682,17 @@ int connection_sender::send_one() {
                       pick->payload_len);
     tracker_.on_packet_sent(seq, pick->payload_len, now);
     cc_->on_packet_sent(seq, pick->payload_len, tracker_.bytes_in_flight(), now);
-    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), cfg_.peer_addr,
+    std::uint32_t dst = cfg_.peer_addr;
+    if (path_.enabled()) {
+        // Dual-path steering: the scheduler picks where this paced slot
+        // goes (single validated path short-circuits to the active one).
+        const bool urgent =
+            pick->deadline != util::time_never && pick->deadline > 0;
+        dst = path_sched_.pick(path_, now, cc_->pacing_rate(),
+                               std::max<std::uint32_t>(pick->payload_len, 64u), urgent);
+        path_.on_data_sent(seq, dst, pick->payload_len);
+    }
+    env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(), dst,
                                    std::move(body)));
 
     // Mode-none streams get no SACKs, so their payload buffer releases
@@ -684,17 +770,60 @@ connection_receiver::connection_receiver(connection_config cfg)
     : cfg_(cfg),
       responder_(cfg.caps),
       reneg_resp_(cfg.caps),
-      history_(tfrc::loss_history_config{}),
+      // A striping peer interleaves paths with unequal delay, so holes
+      // heal later than the single-path tolerance allows; widen it or
+      // reordering masquerades as loss (see manager_config).
+      history_(tfrc::loss_history_config{
+          .num_intervals = tfrc::loss_history_config{}.num_intervals,
+          .reorder_tolerance = cfg.path.enabled && cfg.path.multipath
+                                   ? cfg.path.multipath_reorder_tolerance
+                                   : tfrc::loss_history_config{}.reorder_tolerance}),
       events_(cfg.event_queue_capacity) {
     if (cfg_.trace_ring_records > 0)
         tracer_ = std::make_unique<trace::tracer>(cfg_.flow_id, cfg_.trace_ring_records,
                                                   cfg_.trace_sink);
     if (cfg_.reneg_rate_bps > 0.0)
         reneg_bucket_.emplace(cfg_.reneg_rate_bps, cfg_.reneg_burst_bytes);
+    path_.configure(cfg_.path, cfg_.flow_id);
+}
+
+void connection_receiver::start_paths() {
+    if (!path_.enabled()) return;
+    path_.set_tracer(tracer_.get());
+    path_.set_on_path_changed(
+        [this](std::uint32_t old_remote, std::uint32_t new_remote, std::uint8_t cause) {
+            // Feedback, FIN-ACKs and reneg answers now go to the peer's
+            // new (validated) address.
+            cfg_.peer_addr = new_remote;
+            util::log(util::log_level::info, "qtp-recv", "path changed: ", old_remote,
+                      " -> ", new_remote, " cause ", static_cast<int>(cause));
+            event ev;
+            ev.type = event_type::path_changed;
+            ev.offset = old_remote;
+            ev.bytes = new_remote;
+            emit(ev);
+        });
+    path_.start(*env_, cfg_.peer_addr);
+}
+
+bool connection_receiver::on_path_frame(const packet::packet& pkt) {
+    if (!path_.enabled()) return false;
+    const bool est = responder_.established();
+    if (const auto* pc = std::get_if<packet::path_challenge_segment>(pkt.body.get())) {
+        path_.on_challenge(*pc, pkt.src, est);
+        return true;
+    }
+    if (const auto* pr = std::get_if<packet::path_response_segment>(pkt.body.get())) {
+        path_.on_response(*pr, pkt.src);
+        return true;
+    }
+    path_.on_datagram(pkt.src, pkt.size_bytes, est);
+    return false;
 }
 
 void connection_receiver::start(environment& env) {
     env_ = &env;
+    start_paths();
     // Liveness deadline: an endpoint spawned by a (possibly spoofed) SYN
     // must hear something only a reachable peer sends — data, a reneg,
     // a FIN — before the deadline, or it closes itself for reaping.
@@ -709,9 +838,13 @@ void connection_receiver::attach_tracer(std::size_t ring_records,
                                         trace::sink* sink) {
     tracer_ = std::make_unique<trace::tracer>(
         cfg_.flow_id, ring_records != 0 ? ring_records : 4096, sink);
+    path_.set_tracer(tracer_.get());
 }
 
-void connection_receiver::detach_tracer() { tracer_.reset(); }
+void connection_receiver::detach_tracer() {
+    path_.set_tracer(nullptr);
+    tracer_.reset();
+}
 
 void connection_receiver::set_half_open_gauge(std::atomic<std::uint64_t>* g) {
     leave_half_open();
@@ -736,6 +869,7 @@ void connection_receiver::on_handshake_deadline() {
         feedback_timer_ = qtp::no_timer;
     }
     reneg_.cancel(*env_);
+    path_.stop();
     util::log(util::log_level::debug, "qtp-recv", "handshake deadline: half-open, closing");
     if (tracer_) {
         tracer_->push(env_->now(), trace::record_type::timer_fire,
@@ -852,6 +986,7 @@ std::uint64_t connection_receiver::recv_dropped_bytes() const {
 }
 
 void connection_receiver::on_packet(const packet::packet& pkt) {
+    if (on_path_frame(pkt)) return;
     if (const auto* hs = std::get_if<packet::handshake_segment>(pkt.body.get())) {
         if (hs->type == packet::handshake_segment::kind::fin) {
             const bool first_fin = !remote_closed_;
@@ -863,6 +998,7 @@ void connection_receiver::on_packet(const packet::packet& pkt) {
                 feedback_timer_ = qtp::no_timer;
             }
             reneg_.cancel(*env_);
+            path_.stop();
             packet::handshake_segment ack;
             ack.type = packet::handshake_segment::kind::fin_ack;
             env_->send(packet::make_packet(cfg_.flow_id, env_->local_addr(),

@@ -37,6 +37,8 @@
 #include "cc/ack_tracker.hpp"
 #include "cc/send_algorithm.hpp"
 #include "core/environment.hpp"
+#include "path/manager.hpp"
+#include "path/scheduler.hpp"
 #include "diffserv/token_bucket.hpp"
 #include "core/events.hpp"
 #include "core/negotiation.hpp"
@@ -134,6 +136,12 @@ struct connection_config {
     /// (trace/writer.hpp) and flush at close.
     std::size_t trace_ring_records = 0;
     trace::sink* trace_sink = nullptr;
+
+    /// Connection migration / multipath (path/path.hpp). Disabled by
+    /// default: the manager is inert, packet sources are ignored and no
+    /// randomness is drawn — wire behaviour is bit-identical to the
+    /// pre-path tree (the frozen trace-hash configuration).
+    path::manager_config path{};
 };
 
 class connection_sender : public qtp::agent {
@@ -215,6 +223,17 @@ public:
     /// Flush and drop the active tracer (no-op when none).
     void detach_tracer();
 
+    /// Validate `remote` end to end and switch the transmit path to it
+    /// once proven (path_changed event). `remote == 0` (or the current
+    /// peer) re-probes the active 4-tuple — the client-after-rebind
+    /// case. No-op unless cfg.path.enabled.
+    void migrate(std::uint32_t remote);
+    /// Probe `remote` as an additional send path; once validated the
+    /// dual-path scheduler starts steering to it (cfg.path.multipath).
+    void add_path(std::uint32_t remote);
+    /// Path manager introspection (per-path stats, migration counters).
+    const path::manager& paths() const { return path_; }
+
     bool established() const { return handshake_.established(); }
     const profile& active_profile() const { return active_; }
     /// The active congestion controller (selected at handshake, swapped
@@ -278,6 +297,12 @@ private:
     /// Build the cc::algorithm_config for the current connection config
     /// with gTFRC floor `floor_bps`.
     cc::algorithm_config cc_config(double floor_bps) const;
+    /// Dispatch path_challenge / path_response frames and feed per-path
+    /// receive accounting; returns true when the packet was a path
+    /// probe (fully consumed). Inert when cfg.path.enabled is false.
+    bool on_path_frame(const packet::packet& pkt);
+    /// Wire the manager callbacks and install the initial peer path.
+    void start_paths();
 
     connection_config cfg_;
     environment* env_ = nullptr;
@@ -325,6 +350,11 @@ private:
     bool tx_blocked_ = false;  ///< an offer was clamped; writable pending
 
     std::unique_ptr<trace::tracer> tracer_; ///< null = tracing disabled
+
+    /// Path validation / migration / multipath steering. Inert (and
+    /// random-draw free) unless cfg.path.enabled.
+    path::manager path_;
+    path::scheduler path_sched_;
 
     std::uint64_t packets_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
@@ -418,6 +448,9 @@ public:
         legacy_mode_ = true;
     }
 
+    /// Path manager introspection (rebind validations, per-path stats).
+    const path::manager& paths() const { return path_; }
+
     bool established() const { return responder_.established(); }
     const profile& active_profile() const { return active_; }
     /// Stream 0's reassembly (legacy single-stream accessor).
@@ -477,6 +510,9 @@ private:
     /// leaves the remainder parked for the next delivery/feedback tick.
     void export_chunks();
     void record_seq(std::uint64_t seq);
+    /// See connection_sender::on_path_frame.
+    bool on_path_frame(const packet::packet& pkt);
+    void start_paths();
     void send_feedback();
     void arm_feedback_timer();
     void on_handshake_deadline();
@@ -522,6 +558,10 @@ private:
     bool legacy_mode_ = false;
 
     std::unique_ptr<trace::tracer> tracer_; ///< null = tracing disabled
+
+    /// Passive rebind detection: validates a peer that shows up from a
+    /// new source address mid-connection. Inert unless cfg.path.enabled.
+    path::manager path_;
 
     std::uint64_t received_packets_ = 0;
     std::uint64_t received_bytes_ = 0;

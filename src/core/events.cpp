@@ -12,6 +12,7 @@ const char* to_string(event_type t) {
     case event_type::profile_changed: return "profile_changed";
     case event_type::fin: return "fin";
     case event_type::closed: return "closed";
+    case event_type::path_changed: return "path_changed";
     }
     return "event?";
 }

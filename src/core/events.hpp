@@ -61,6 +61,10 @@ enum class event_type : std::uint8_t {
     /// Connection fully closed (sender: FIN acknowledged; receiver:
     /// peer's FIN seen).
     closed,
+    /// The active network path changed (validated migration): traffic
+    /// now flows to a new remote address. `offset` carries the old
+    /// address, `bytes` the new one (both substrate addresses).
+    path_changed,
 };
 
 const char* to_string(event_type t);

@@ -314,6 +314,12 @@ void server::arm_reaper(vtp::server* srv, shard& sh) {
         c.syn_sheds.store(ss.shed, std::memory_order_relaxed);
         c.amp_limited.store(ss.amplification_limited, std::memory_order_relaxed);
         c.reneg_rate_limited.store(ss.reneg_rate_limited, std::memory_order_relaxed);
+        c.path_migrations.store(ss.path_migrations, std::memory_order_relaxed);
+        c.path_validations.store(ss.path_validations, std::memory_order_relaxed);
+        c.path_validation_failures.store(ss.path_validation_failures,
+                                         std::memory_order_relaxed);
+        c.path_responses_rejected.store(ss.path_responses_rejected,
+                                        std::memory_order_relaxed);
         // (half_open is NOT mirrored here: the receivers maintain the
         // shard gauge incrementally — see set_half_open_gauge.)
         // Sliding-window telemetry snapshot: shard counters + every
@@ -335,6 +341,7 @@ void server::arm_reaper(vtp::server* srv, shard& sh) {
         vals.emplace_back("vtp_synflood_retries_sent_total", ss.retries_sent);
         vals.emplace_back("vtp_synflood_sheds_total", ss.shed);
         vals.emplace_back("vtp_reneg_rate_limited_total", ss.reneg_rate_limited);
+        vals.emplace_back("vtp_path_migrations_total", ss.path_migrations);
         if (sh.index() == 0)
             vals.emplace_back("vtp_commands_dropped_total",
                               commands_dropped_.load(std::memory_order_relaxed));
@@ -441,6 +448,10 @@ engine_stats server::stats() const {
         agg.amp_limited += st.amp_limited;
         agg.reneg_rate_limited += st.reneg_rate_limited;
         agg.half_open += st.half_open;
+        agg.path_migrations += st.path_migrations;
+        agg.path_validations += st.path_validations;
+        agg.path_validation_failures += st.path_validation_failures;
+        agg.path_responses_rejected += st.path_responses_rejected;
     }
     agg.commands_dropped = commands_dropped_.load(std::memory_order_relaxed);
     agg.cc_swaps_applied = cc_swaps_.load(std::memory_order_relaxed);
@@ -517,6 +528,21 @@ void server::collect_metrics(trace::registry& out) const {
     out.get_gauge("vtp_half_open_sessions",
                   "Accepted sessions that have not yet received data.")
         .set(static_cast<std::int64_t>(st.half_open));
+    out.get_counter("vtp_path_migrations_total",
+                    "Validated active-path switches (migrate/rebind) across "
+                    "all hosted sessions.")
+        .add(st.path_migrations);
+    out.get_counter("vtp_path_validation_success_total",
+                    "Paths proven two-way reachable by a challenge/response "
+                    "round trip.")
+        .add(st.path_validations);
+    out.get_counter("vtp_path_validation_failure_total",
+                    "Paths that exhausted every validation attempt.")
+        .add(st.path_validation_failures);
+    out.get_counter("vtp_path_responses_rejected_total",
+                    "path_response frames whose token matched no pending "
+                    "challenge (forged, mutated or stale).")
+        .add(st.path_responses_rejected);
     if (!writers_.empty()) {
         std::uint64_t records = 0;
         std::uint64_t frames_dropped = 0;

@@ -141,6 +141,12 @@ struct engine_stats {
     std::uint64_t amp_limited = 0;      ///< retries withheld by the 3x budget
     std::uint64_t reneg_rate_limited = 0; ///< reneg-bucket denials (all sessions)
     std::uint64_t half_open = 0;        ///< gauge: accepted but no data yet
+    /// Validated path migrations across all hosted sessions, plus the
+    /// validation outcomes behind them (see path::manager_stats).
+    std::uint64_t path_migrations = 0;
+    std::uint64_t path_validations = 0;
+    std::uint64_t path_validation_failures = 0;
+    std::uint64_t path_responses_rejected = 0;
 };
 
 /// One event of an engine-hosted session, as merged by poll_events().

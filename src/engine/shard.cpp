@@ -314,6 +314,12 @@ shard_stats shard::stats() const {
     s.amp_limited = stats_.amp_limited.load(std::memory_order_relaxed);
     s.reneg_rate_limited = stats_.reneg_rate_limited.load(std::memory_order_relaxed);
     s.half_open = stats_.half_open.load(std::memory_order_relaxed);
+    s.path_migrations = stats_.path_migrations.load(std::memory_order_relaxed);
+    s.path_validations = stats_.path_validations.load(std::memory_order_relaxed);
+    s.path_validation_failures =
+        stats_.path_validation_failures.load(std::memory_order_relaxed);
+    s.path_responses_rejected =
+        stats_.path_responses_rejected.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -90,6 +90,13 @@ struct shard_counters {
     std::atomic<std::uint64_t> amp_limited{0};
     std::atomic<std::uint64_t> reneg_rate_limited{0}; ///< reneg bucket denials
     std::atomic<std::uint64_t> half_open{0}; ///< gauge
+
+    // Path migration mirrors (same reap-tick absolute-store discipline;
+    // zero while the engine's path config is disabled).
+    std::atomic<std::uint64_t> path_migrations{0};
+    std::atomic<std::uint64_t> path_validations{0};
+    std::atomic<std::uint64_t> path_validation_failures{0};
+    std::atomic<std::uint64_t> path_responses_rejected{0};
 };
 
 /// Plain-value snapshot of shard_counters.
@@ -116,6 +123,10 @@ struct shard_stats {
     std::uint64_t amp_limited = 0;
     std::uint64_t reneg_rate_limited = 0;
     std::uint64_t half_open = 0;
+    std::uint64_t path_migrations = 0;
+    std::uint64_t path_validations = 0;
+    std::uint64_t path_validation_failures = 0;
+    std::uint64_t path_responses_rejected = 0;
 };
 
 class shard final : public qtp::environment {

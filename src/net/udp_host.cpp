@@ -24,6 +24,16 @@ udp_host::udp_host(event_loop& loop, std::uint16_t port, std::uint64_t rng_seed)
     loop_.add_fd(fd_, [this] { on_readable(); });
 }
 
+void udp_host::rebind(std::uint16_t new_port) {
+    loop_.remove_fd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+    fd_ = engine::open_udp_socket(new_port);
+    port_ = new_port;
+    loop_.add_fd(fd_, [this] { on_readable(); });
+    util::log(util::log_level::info, "udp_host", "rebound to port ", new_port);
+}
+
 udp_host::~udp_host() {
     if (fd_ >= 0) {
         loop_.remove_fd(fd_);

@@ -52,6 +52,14 @@ public:
     /// Packets for flows with no attached agent go here (listener hook).
     void set_default_agent(qtp::agent* a) override { default_agent_ = a; }
 
+    /// Move the host to a new local UDP port (the live "NAT rebind" /
+    /// interface change): closes the socket, binds `new_port`, and
+    /// subsequent datagrams carry the new source address. Agents stay
+    /// attached and keep their state — pair with session::migrate() so
+    /// the peer re-validates the fresh 4-tuple. Throws on bind failure
+    /// (the old socket is already gone — retry with another port).
+    void rebind(std::uint16_t new_port);
+
     std::uint64_t sent_datagrams() const { return sent_; }
     std::uint64_t received_datagrams() const { return received_; }
     std::uint64_t decode_errors() const { return decode_errors_; }

@@ -94,7 +94,23 @@ void append_session_json(std::ostringstream& os, const vtp::session_snapshot& sn
        << ",\"feedback_sent\":" << st.feedback_sent
        << ",\"events_dropped\":" << st.events_dropped
        << ",\"trace_recorded\":" << st.trace_events_recorded
-       << ",\"trace_dropped\":" << st.trace_events_dropped << '}';
+       << ",\"trace_dropped\":" << st.trace_events_dropped
+       << ",\"path_migrations\":" << st.path.migrations
+       << ",\"active_path\":" << st.active_path_remote << ",\"paths\":[";
+    for (std::size_t i = 0; i < sn.paths.size(); ++i) {
+        const path::path_info& p = sn.paths[i];
+        if (i != 0) os << ',';
+        os << "{\"remote\":" << p.remote << ",\"state\":\"" << path::to_string(p.state)
+           << "\",\"active\":" << (p.active ? "true" : "false")
+           << ",\"srtt_ms\":" << fmt_double(static_cast<double>(p.srtt) / 1e6)
+           << ",\"bytes_sent\":" << p.bytes_sent
+           << ",\"bytes_received\":" << p.bytes_received
+           << ",\"packets_acked\":" << p.packets_acked
+           << ",\"packets_lost\":" << p.packets_lost
+           << ",\"delivery_rate_bps\":" << fmt_double(p.delivery_rate_bps)
+           << ",\"loss_rate\":" << fmt_double(p.loss_rate) << '}';
+    }
+    os << "]}";
 }
 
 } // namespace

@@ -26,6 +26,7 @@ constexpr std::uint32_t sack_feedback_fixed_bytes = 44;
 constexpr std::uint32_t sack_block_bytes = 16;
 constexpr std::uint32_t handshake_bytes = 26;
 constexpr std::uint32_t tcp_fixed_bytes = 39;
+constexpr std::uint32_t path_probe_bytes = 10; ///< kind + token + check fold
 
 struct size_visitor {
     std::uint32_t operator()(const data_segment&) const { return data_header_bytes; }
@@ -41,6 +42,8 @@ struct size_visitor {
     std::uint32_t operator()(const tcp_segment& s) const {
         return tcp_fixed_bytes + sack_block_bytes * static_cast<std::uint32_t>(s.sack.size());
     }
+    std::uint32_t operator()(const path_challenge_segment&) const { return path_probe_bytes; }
+    std::uint32_t operator()(const path_response_segment&) const { return path_probe_bytes; }
 };
 
 struct payload_visitor {
@@ -97,6 +100,16 @@ struct describe_visitor {
         }
         if (s.type == handshake_segment::kind::retry)
             out << std::dec << " cookie=0x" << std::hex << s.boundary_seq;
+        return out.str();
+    }
+    std::string operator()(const path_challenge_segment& s) const {
+        std::ostringstream out;
+        out << "PATH-CHALLENGE token=0x" << std::hex << s.token;
+        return out.str();
+    }
+    std::string operator()(const path_response_segment& s) const {
+        std::ostringstream out;
+        out << "PATH-RESPONSE token=0x" << std::hex << s.token;
         return out.str();
     }
     std::string operator()(const tcp_segment& s) const {

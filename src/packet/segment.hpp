@@ -186,6 +186,39 @@ struct handshake_segment {
     bool operator==(const handshake_segment&) const = default;
 };
 
+/// Path validation probes (QUIC PATH_CHALLENGE/PATH_RESPONSE style).
+///
+/// A migrating endpoint — or one that observes a peer's datagrams
+/// arriving from a new address — proves the new path forwards in both
+/// directions before steering traffic onto it: it sends a challenge
+/// carrying a random 8-byte token and only treats the path as validated
+/// when a response echoes that exact token. Tokens are never reused and
+/// 0 is reserved (rejected on the wire), so a response can only be
+/// produced by something that saw the challenge on the path under test.
+/// The wire form carries an XOR fold of the token bytes; the decoder
+/// rejects frames whose fold does not match, so bit-flipped probes die
+/// at the codec instead of reaching the path manager.
+struct path_challenge_segment {
+    std::uint64_t token = 0; ///< random, non-zero
+
+    bool operator==(const path_challenge_segment&) const = default;
+};
+
+/// Echo of a path_challenge token, sent from the challenged endpoint.
+struct path_response_segment {
+    std::uint64_t token = 0; ///< the challenge token, verbatim
+
+    bool operator==(const path_response_segment&) const = default;
+};
+
+/// XOR fold of a path token's bytes, carried on the wire as a cheap
+/// integrity check (defined here so the decoder and fuzzers agree).
+constexpr std::uint8_t path_token_check(std::uint64_t token) {
+    std::uint8_t c = 0;
+    for (int i = 0; i < 8; ++i) c ^= static_cast<std::uint8_t>(token >> (8 * i));
+    return c;
+}
+
 /// Baseline TCP segment (byte sequence space, cumulative + SACK acks).
 struct tcp_segment {
     std::uint64_t seq = 0;      ///< first byte carried
@@ -202,7 +235,8 @@ struct tcp_segment {
 };
 
 using segment = std::variant<data_segment, tfrc_feedback_segment, sack_feedback_segment,
-                             handshake_segment, tcp_segment, data_stream_segment>;
+                             handshake_segment, tcp_segment, data_stream_segment,
+                             path_challenge_segment, path_response_segment>;
 
 /// Wire header size in bytes for each segment kind (payload excluded).
 /// Matches what packet/wire.hpp actually emits, so simulation sizes and

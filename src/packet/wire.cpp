@@ -102,6 +102,18 @@ struct encode_visitor {
         out.put_u64(s.boundary_seq);
     }
 
+    void operator()(const path_challenge_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::path_challenge));
+        out.put_u64(s.token);
+        out.put_u8(path_token_check(s.token));
+    }
+
+    void operator()(const path_response_segment& s) const {
+        out.put_u8(static_cast<std::uint8_t>(wire_kind::path_response));
+        out.put_u64(s.token);
+        out.put_u8(path_token_check(s.token));
+    }
+
     void operator()(const tcp_segment& s) const {
         out.put_u8(static_cast<std::uint8_t>(wire_kind::tcp));
         std::uint8_t flags = 0;
@@ -225,6 +237,30 @@ handshake_segment decode_handshake(byte_reader& in) {
     return s;
 }
 
+// Shared by both probe kinds: a non-zero token whose XOR fold matches
+// the trailing check byte. Anything else — zero token (reserved),
+// bit-flipped token, truncated frame — is a decode_error, so a mutated
+// probe can never present a "valid" token to the path manager.
+std::uint64_t decode_path_token(byte_reader& in) {
+    const std::uint64_t token = in.get_u64();
+    const std::uint8_t check = in.get_u8();
+    if (token == 0) throw decode_error("reserved zero path token");
+    if (check != path_token_check(token)) throw decode_error("path token check mismatch");
+    return token;
+}
+
+path_challenge_segment decode_path_challenge(byte_reader& in) {
+    path_challenge_segment s;
+    s.token = decode_path_token(in);
+    return s;
+}
+
+path_response_segment decode_path_response(byte_reader& in) {
+    path_response_segment s;
+    s.token = decode_path_token(in);
+    return s;
+}
+
 tcp_segment decode_tcp(byte_reader& in) {
     tcp_segment s;
     const std::uint8_t flags = in.get_u8();
@@ -273,6 +309,8 @@ segment decode_segment(const std::uint8_t* data, std::size_t len) {
     case wire_kind::handshake: return decode_handshake(in);
     case wire_kind::tcp: return decode_tcp(in);
     case wire_kind::data_stream: return decode_data_stream(in);
+    case wire_kind::path_challenge: return decode_path_challenge(in);
+    case wire_kind::path_response: return decode_path_response(in);
     }
     throw decode_error("unknown segment kind");
 }

@@ -26,6 +26,8 @@ enum class wire_kind : std::uint8_t {
     handshake = 4,
     tcp = 5,
     data_stream = 6,
+    path_challenge = 7,
+    path_response = 8,
 };
 
 /// Encode a segment header to bytes. Never fails.

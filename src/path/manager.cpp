@@ -1,0 +1,365 @@
+#include "path/manager.hpp"
+
+#include <algorithm>
+
+namespace vtp::path {
+
+const char* to_string(path_state s) {
+    switch (s) {
+    case path_state::candidate: return "candidate";
+    case path_state::validating: return "validating";
+    case path_state::validated: return "validated";
+    case path_state::failed: return "failed";
+    }
+    return "path_state?";
+}
+
+void manager::start(qtp::environment& env, std::uint32_t initial_peer) {
+    env_ = &env;
+    active_remote_ = initial_peer;
+    if (!cfg_.enabled || started_) return;
+    started_ = true;
+    // The handshake path is implicitly validated: the peer proved
+    // reachability by completing (or driving) the handshake on it.
+    entry e;
+    e.remote = initial_peer;
+    e.state = path_state::validated;
+    e.locally_initiated = true;
+    paths_.push_back(e);
+}
+
+void manager::stop() {
+    if (env_ != nullptr && timer_ != qtp::no_timer) {
+        env_->cancel(timer_);
+        timer_ = qtp::no_timer;
+    }
+}
+
+manager::entry* manager::find(std::uint32_t remote) {
+    for (entry& e : paths_)
+        if (e.remote == remote) return &e;
+    return nullptr;
+}
+
+manager::entry* manager::find_by_token(std::uint64_t token) {
+    if (token == 0) return nullptr;
+    for (entry& e : paths_)
+        if (e.state == path_state::validating && e.token == token) return &e;
+    return nullptr;
+}
+
+std::uint64_t manager::fresh_token() {
+    // Zero is reserved on the wire; draw until non-zero (p ~ 2^-64 of
+    // even one retry).
+    std::uint64_t t = 0;
+    while (t == 0) t = env_->random().next_u64();
+    return t;
+}
+
+void manager::send_segment(std::uint32_t dst, packet::segment seg) {
+    env_->send(packet::make_packet(flow_id_, env_->local_addr(), dst, std::move(seg)));
+}
+
+void manager::trace(trace::record_type type, std::uint8_t aux, std::uint64_t a,
+                    std::uint64_t b) {
+    if (tracer_ != nullptr) tracer_->push(env_->now(), type, aux, 0, a, b);
+}
+
+bool manager::budget_allows(const entry& e, std::uint32_t bytes) const {
+    if (e.locally_initiated || e.state == path_state::validated) return true;
+    const double budget = cfg_.amplification_factor * static_cast<double>(e.bytes_received);
+    return static_cast<double>(e.bytes_sent + bytes) <= budget;
+}
+
+void manager::probe(entry& e) {
+    packet::path_challenge_segment c;
+    c.token = e.token;
+    const std::uint32_t bytes = packet::wire_size(c);
+    if (!budget_allows(e, bytes)) {
+        // Withheld, not failed: more bytes from the address re-trigger
+        // the probe from on_datagram (challenge_sent_at stays 0), and
+        // the attempt timer still runs so a silent address fails out.
+        ++stats_.amplification_limited;
+        e.challenge_sent_at = 0;
+    } else {
+        e.bytes_sent += bytes;
+        ++stats_.challenges_sent;
+        trace(trace::record_type::path_challenge, 0, c.token, e.remote);
+        send_segment(e.remote, c);
+        e.challenge_sent_at = env_->now();
+    }
+    e.deadline = env_->now() + cfg_.validation_timeout;
+    ++e.attempts;
+    arm_timer();
+}
+
+void manager::arm_timer() {
+    util::sim_time next = util::time_never;
+    for (const entry& e : paths_)
+        if (e.state == path_state::validating) next = std::min(next, e.deadline);
+    if (timer_ != qtp::no_timer) {
+        env_->cancel(timer_);
+        timer_ = qtp::no_timer;
+    }
+    if (next == util::time_never) return;
+    const util::sim_time delay = next > env_->now() ? next - env_->now() : 0;
+    timer_ = env_->schedule(delay, [this] {
+        timer_ = qtp::no_timer;
+        on_validation_timer();
+    });
+}
+
+void manager::on_validation_timer() {
+    const util::sim_time now = env_->now();
+    for (entry& e : paths_) {
+        if (e.state != path_state::validating || e.deadline > now) continue;
+        if (e.attempts >= cfg_.max_validation_attempts) {
+            e.state = path_state::failed;
+            e.token = 0;
+            ++stats_.validation_failures;
+        } else {
+            e.token = fresh_token(); // never reuse a timed-out token
+            probe(e);
+        }
+    }
+    arm_timer();
+}
+
+void manager::on_datagram(std::uint32_t src, std::uint32_t size_bytes, bool established) {
+    if (!cfg_.enabled || env_ == nullptr) return;
+    entry* e = find(src);
+    if (e != nullptr) {
+        e->bytes_received += size_bytes;
+        // A candidate whose probe was amplification-limited earns more
+        // budget with every byte it sends us; retry as soon as one fits.
+        if (e->state == path_state::validating && e->token != 0 &&
+            e->challenge_sent_at == 0) {
+            probe(*e);
+        }
+        return;
+    }
+    if (!established || src == active_remote_) return;
+    if (paths_.size() >= cfg_.max_paths) {
+        ++stats_.candidates_ignored;
+        return;
+    }
+    entry fresh;
+    fresh.remote = src;
+    fresh.state = path_state::validating;
+    fresh.locally_initiated = false;
+    fresh.bytes_received = size_bytes;
+    fresh.token = fresh_token();
+    paths_.push_back(fresh);
+    probe(paths_.back());
+}
+
+void manager::on_challenge(const packet::path_challenge_segment& c, std::uint32_t src,
+                           bool established) {
+    if (!cfg_.enabled || env_ == nullptr) return;
+    ++stats_.challenges_received;
+    trace(trace::record_type::path_challenge, 1, c.token, src);
+    // Account the challenge bytes to the source path (and let an unknown
+    // source become a candidate like any other datagram would).
+    on_datagram(src, packet::wire_size(packet::segment(c)), established);
+    // Echo the token to the address that asked. For an unvalidated
+    // source the response spends its amplification budget; the ratio is
+    // 1:1 (equal-size frames), far inside any sane factor.
+    entry* e = find(src);
+    packet::path_response_segment r;
+    r.token = c.token;
+    const std::uint32_t bytes = packet::wire_size(packet::segment(r));
+    if (e != nullptr && !budget_allows(*e, bytes)) {
+        ++stats_.amplification_limited;
+        return;
+    }
+    if (e != nullptr) e->bytes_sent += bytes;
+    ++stats_.responses_sent;
+    trace(trace::record_type::path_response, 0, r.token, src);
+    send_segment(src, r);
+}
+
+void manager::on_response(const packet::path_response_segment& r, std::uint32_t src) {
+    if (!cfg_.enabled || env_ == nullptr) return;
+    entry* e = find_by_token(r.token);
+    if (e == nullptr) {
+        // Mutated, replayed or plain-forged token: never validates
+        // anything. Counted so scenarios can assert containment.
+        ++stats_.responses_rejected;
+        trace(trace::record_type::path_response, 2, r.token, src);
+        return;
+    }
+    ++stats_.responses_received;
+    trace(trace::record_type::path_response, 1, r.token, src);
+    e->state = path_state::validated;
+    e->token = 0;
+    ++stats_.validations;
+    if (e->challenge_sent_at > 0) {
+        const util::sim_time rtt = env_->now() - e->challenge_sent_at;
+        e->srtt = e->srtt == 0 ? rtt : (e->srtt * 7 + rtt) / 8;
+    }
+    arm_timer();
+    if (e->remote == active_remote_) return; // re-validated current path
+    if (e->locally_initiated) {
+        if (e->state == path_state::validated && migrate_pending_ == e->remote) {
+            switch_active(*e, cause_migrate);
+        } else {
+            trace(trace::record_type::path_changed, cause_path_added, active_remote_,
+                  e->remote);
+        }
+    } else if (cfg_.passive_migration) {
+        switch_active(*e, cause_rebind);
+    }
+}
+
+void manager::switch_active(entry& e, std::uint8_t cause) {
+    const std::uint32_t old = active_remote_;
+    active_remote_ = e.remote;
+    migrate_pending_ = 0;
+    ++stats_.migrations;
+    trace(trace::record_type::path_changed, cause, old, e.remote);
+    if (on_path_changed_) on_path_changed_(old, e.remote, cause);
+}
+
+void manager::add_path(std::uint32_t remote) {
+    if (!cfg_.enabled || env_ == nullptr || remote == 0) return;
+    entry* e = find(remote);
+    if (e != nullptr) {
+        if (e->state == path_state::failed) {
+            e->state = path_state::validating;
+            e->attempts = 0;
+            e->locally_initiated = true;
+            e->token = fresh_token();
+            probe(*e);
+        }
+        return;
+    }
+    if (paths_.size() >= cfg_.max_paths) {
+        ++stats_.candidates_ignored;
+        return;
+    }
+    entry fresh;
+    fresh.remote = remote;
+    fresh.state = path_state::validating;
+    fresh.locally_initiated = true;
+    fresh.token = fresh_token();
+    paths_.push_back(fresh);
+    probe(paths_.back());
+}
+
+void manager::migrate(std::uint32_t remote) {
+    if (!cfg_.enabled || env_ == nullptr) return;
+    if (remote == 0 || remote == active_remote_) {
+        // Re-probe the active path: the local socket rebound, so prove
+        // the fresh 4-tuple end to end (the peer sees our new source
+        // and runs its own passive validation meanwhile).
+        entry* e = find(active_remote_);
+        if (e == nullptr) return;
+        e->state = path_state::validating;
+        e->attempts = 0;
+        e->token = fresh_token();
+        probe(*e);
+        return;
+    }
+    migrate_pending_ = remote;
+    entry* e = find(remote);
+    if (e != nullptr && e->state == path_state::validated) {
+        switch_active(*e, cause_migrate);
+        return;
+    }
+    add_path(remote);
+    if (entry* fresh = find(remote); fresh != nullptr) fresh->locally_initiated = true;
+}
+
+manager::sent_entry* manager::find_sent(std::uint64_t seq) {
+    auto it = std::lower_bound(sent_.begin(), sent_.end(), seq,
+                               [](const sent_entry& e, std::uint64_t s) { return e.seq < s; });
+    if (it == sent_.end() || it->seq != seq || it->remote == 0) return nullptr;
+    return &*it;
+}
+
+void manager::on_data_sent(std::uint64_t seq, std::uint32_t remote, std::uint32_t bytes) {
+    if (!cfg_.enabled) return;
+    entry* e = find(remote);
+    if (e != nullptr) {
+        e->bytes_sent += bytes;
+        ++e->packets_sent;
+    }
+    if (sent_.size() >= max_sent_entries) sent_.pop_front();
+    // Sequences are monotone across fresh sends and retransmissions;
+    // tolerate an out-of-order stamp by dropping it (attribution is an
+    // estimator, not an oracle).
+    if (!sent_.empty() && sent_.back().seq >= seq) return;
+    sent_.push_back({seq, remote, bytes});
+}
+
+void manager::settle_sent(std::uint64_t seq, bool acked, util::sim_time rtt_sample) {
+    sent_entry* s = find_sent(seq);
+    if (s == nullptr) return;
+    entry* e = find(s->remote);
+    if (e != nullptr) {
+        if (acked) {
+            ++e->packets_acked;
+            e->loss_ewma = e->loss_ewma * 0.95;
+            if (rtt_sample > 0) {
+                e->srtt = e->srtt == 0 ? rtt_sample : (e->srtt * 7 + rtt_sample) / 8;
+            }
+            // Windowed delivery rate from acked bytes.
+            const util::sim_time now = env_ != nullptr ? env_->now() : 0;
+            if (e->window_start == 0) e->window_start = now;
+            e->window_bytes += s->bytes;
+            const util::sim_time dt = now - e->window_start;
+            if (dt >= cfg_.rate_window) {
+                e->delivery_rate_bps =
+                    static_cast<double>(e->window_bytes) * 8e9 / static_cast<double>(dt);
+                e->window_start = now;
+                e->window_bytes = 0;
+            }
+        } else {
+            ++e->packets_lost;
+            e->loss_ewma = e->loss_ewma * 0.95 + 0.05;
+        }
+    }
+    s->remote = 0; // tombstone
+    while (!sent_.empty() && sent_.front().remote == 0) sent_.pop_front();
+}
+
+void manager::on_acked(std::uint64_t seq, util::sim_time rtt_sample) {
+    if (!cfg_.enabled) return;
+    settle_sent(seq, true, rtt_sample);
+}
+
+void manager::on_lost(std::uint64_t seq) {
+    if (!cfg_.enabled) return;
+    settle_sent(seq, false, 0);
+}
+
+std::vector<path_info> manager::paths() const {
+    std::vector<path_info> out;
+    out.reserve(paths_.size());
+    for (const entry& e : paths_) {
+        path_info p;
+        p.remote = e.remote;
+        p.state = e.state;
+        p.active = e.remote == active_remote_;
+        p.locally_initiated = e.locally_initiated;
+        p.srtt = e.srtt;
+        p.bytes_sent = e.bytes_sent;
+        p.bytes_received = e.bytes_received;
+        p.packets_sent = e.packets_sent;
+        p.packets_acked = e.packets_acked;
+        p.packets_lost = e.packets_lost;
+        p.delivery_rate_bps = e.delivery_rate_bps;
+        p.loss_rate = e.loss_ewma;
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::size_t manager::validated_count() const {
+    std::size_t n = 0;
+    for (const entry& e : paths_)
+        if (e.state == path_state::validated) ++n;
+    return n;
+}
+
+} // namespace vtp::path

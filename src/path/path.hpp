@@ -1,0 +1,133 @@
+// Network-path model for connection migration and multipath.
+//
+// A connection historically had exactly one remote address for its whole
+// life; `src/path/` makes the remote address a *set* of paths, each with
+// its own validation state, RTT, loss and delivery-rate estimators:
+//
+//   candidate   an address we have seen traffic from (passive rebind
+//               detection) or were asked to use (session::add_path /
+//               migrate) but have not proven two-way reachability for
+//   validating  a path_challenge with a random 8-byte token is in
+//               flight; retried up to max_validation_attempts
+//   validated   a response echoed the exact token: the path forwards in
+//               both directions and may carry traffic
+//   failed      every validation attempt timed out
+//
+// Exactly one validated path is *active* (the default destination for
+// everything the connection sends); with `multipath` enabled the
+// path::scheduler steers data packets across every validated path by
+// per-path quality while control traffic stays on the active one.
+//
+// Spoofed-migration defence: a passively discovered path (unknown source
+// address echoing our flow id) never receives more than
+// `amplification_factor` x the bytes received from that address until it
+// is validated — the same anti-amplification discipline the accept-path
+// guard applies to unvalidated SYN sources — so an attacker who can
+// inject but not observe cannot redirect the flow or use it as an
+// amplifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vtp::path {
+
+enum class path_state : std::uint8_t {
+    candidate = 0,
+    validating = 1,
+    validated = 2,
+    failed = 3,
+};
+
+const char* to_string(path_state s);
+
+struct manager_config {
+    /// Master switch. Off (the default) the manager is inert: no state,
+    /// no timers, no random draws — the frozen-trace-hash configuration.
+    bool enabled = false;
+
+    /// Bounded path table per connection; further candidates are
+    /// counted (candidates_ignored) and dropped.
+    std::size_t max_paths = 4;
+
+    /// Per-attempt challenge timeout and the retry cap. A path whose
+    /// every attempt times out is marked failed.
+    util::sim_time validation_timeout = util::milliseconds(250);
+    std::uint32_t max_validation_attempts = 3;
+
+    /// Unvalidated passively-discovered paths may be sent at most this
+    /// factor x bytes received from the address (anti-amplification,
+    /// mirrors the accept-guard budget). Locally initiated probes
+    /// (migrate / add_path) are exempt: we are the traffic source.
+    double amplification_factor = 3.0;
+
+    /// Adopt a passively validated path as the new active path (the NAT
+    /// rebind case). Off, validated candidates sit unused until an
+    /// explicit migrate().
+    bool passive_migration = true;
+
+    /// Steer data across every validated path (path::scheduler). Off,
+    /// data follows the active path only.
+    bool multipath = false;
+
+    /// Receiver-side loss detection: packets after a sequence hole
+    /// before it is declared lost, when the peer may stripe (multipath).
+    /// Paths with unequal one-way delay interleave arrivals out of
+    /// sequence order; the single-path tolerance (3, RFC 3448) reads
+    /// that as loss and inflates the reported loss-event rate by an
+    /// order of magnitude, collapsing the aggregate TFRC rate. The
+    /// sender widens its SACK finalize horizon to twice this, for the
+    /// same reason (a slow-path packet overtaken by the fast path must
+    /// not be finalised lost and retransmitted).
+    int multipath_reorder_tolerance = 32;
+
+    /// Scheduler: share of the connection pacing rate a validated path
+    /// with no delivery history yet may claim (capacity probing).
+    double probe_fraction = 0.25;
+    /// Scheduler: per-path budget = measured delivery rate x headroom,
+    /// so a path can grow its share but not flood far beyond what it
+    /// has proven it can carry (keeps each path inside the
+    /// TFRC-friendly band the connection controller negotiated). The
+    /// headroom is also the per-window ramp factor for a fresh path, so
+    /// it must be comfortably above 1 or a second path takes many RTTs
+    /// to claim its fair share.
+    double budget_headroom = 1.25;
+    /// Delivery-rate estimation window per path.
+    util::sim_time rate_window = util::milliseconds(250);
+};
+
+/// Point-in-time view of one path (session_stats / ops snapshots).
+struct path_info {
+    std::uint32_t remote = 0;
+    path_state state = path_state::candidate;
+    bool active = false;
+    bool locally_initiated = false;
+    util::sim_time srtt = 0;               ///< 0 until a sample exists
+    std::uint64_t bytes_sent = 0;          ///< toward this address
+    std::uint64_t bytes_received = 0;      ///< from this address
+    std::uint64_t packets_sent = 0;        ///< data packets steered here
+    std::uint64_t packets_acked = 0;
+    std::uint64_t packets_lost = 0;
+    double delivery_rate_bps = 0.0;        ///< windowed acked-bytes rate
+    double loss_rate = 0.0;                ///< EWMA lost/(acked+lost)
+};
+
+/// Monotonic counters; exported through session_stats and aggregated
+/// into vtp_path_* engine metrics.
+struct manager_stats {
+    std::uint64_t migrations = 0;            ///< active-path switches
+    std::uint64_t challenges_sent = 0;
+    std::uint64_t challenges_received = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t responses_received = 0;
+    std::uint64_t responses_rejected = 0;    ///< token matched no pending challenge
+    std::uint64_t validations = 0;           ///< paths proven two-way reachable
+    std::uint64_t validation_failures = 0;   ///< paths failed after all retries
+    std::uint64_t amplification_limited = 0; ///< probe/response withheld by budget
+    std::uint64_t candidates_ignored = 0;    ///< path table full
+};
+
+} // namespace vtp::path

@@ -1,0 +1,81 @@
+#include "path/scheduler.hpp"
+
+#include <algorithm>
+
+namespace vtp::path {
+
+namespace {
+
+// One DRR round in bytes (~64 MTU packets). Each validated path gets a
+// weight-proportional quantum of every round, so runs are long enough
+// to keep the in-flight sequence-hole count near 1 (see last_remote_)
+// but short enough that the split converges within a few RTTs.
+constexpr double round_bytes = 96'000.0;
+
+// A path's scheduling weight: what it has proven it can deliver
+// (x headroom, so it can probe for more), floored by the probe share of
+// the aggregate pacing rate so a fresh path bootstraps an estimate.
+double weight(const manager::entry& e, const manager_config& cfg,
+              double pacing_rate_bps) {
+    const double floor_bps = cfg.probe_fraction * pacing_rate_bps;
+    return std::max(e.delivery_rate_bps * cfg.budget_headroom, floor_bps);
+}
+
+} // namespace
+
+std::uint32_t scheduler::pick(manager& m, util::sim_time now, double pacing_rate_bps,
+                              std::uint32_t bytes, bool deadline_urgent) {
+    (void)now;
+    if (!m.enabled() || !m.config().multipath) return m.active_remote();
+
+    manager::entry* primary = nullptr;
+    manager::entry* secondary = nullptr;
+    for (manager::entry& e : m.table()) {
+        if (e.state != path_state::validated) continue;
+        // Untested paths (srtt 0) rank behind any measured path for
+        // primary, ahead of nothing: treat missing srtt as +inf.
+        auto better = [](const manager::entry& a, const manager::entry& b) {
+            const util::sim_time ra = a.srtt == 0 ? util::time_never : a.srtt;
+            const util::sim_time rb = b.srtt == 0 ? util::time_never : b.srtt;
+            if (ra != rb) return ra < rb;
+            return a.remote < b.remote; // deterministic tie-break
+        };
+        if (primary == nullptr || better(e, *primary)) {
+            secondary = primary;
+            primary = &e;
+        } else if (secondary == nullptr || better(e, *secondary)) {
+            secondary = &e;
+        }
+    }
+    if (primary == nullptr) return m.active_remote();
+    if (secondary == nullptr) return primary->remote;
+
+    // Deadline traffic takes the lowest-RTT path regardless of deficits.
+    if (deadline_urgent) return primary->remote;
+
+    // Weighted deficit round robin. Budget-rate schemes (send where the
+    // token bucket is fullest, or primary-first-overflow) deadlock here:
+    // when the primary's budget refills faster than the aggregate TFRC
+    // pacer drains it, its bucket never empties, the secondary never
+    // gets a slot, and its delivery estimate — the very thing its budget
+    // grows from — decays to nothing. DRR rotation is unconditional:
+    // each path gets a weight-proportional quantum of every round, so
+    // the split tracks proven per-path delivery whatever the pacing
+    // rate, and each path's share stays inside its TCP-friendly band.
+    manager::entry* cur = last_remote_ == secondary->remote ? secondary : primary;
+    manager::entry* other = cur == primary ? secondary : primary;
+    if (cur->budget_bytes < static_cast<double>(bytes)) {
+        const double wc = weight(*cur, m.config(), pacing_rate_bps);
+        const double wo = weight(*other, m.config(), pacing_rate_bps);
+        const double quantum = round_bytes * wo / (wc + wo);
+        cur = other;
+        // Cap the deficit at one quantum: a path must not bank unused
+        // rounds into a later burst.
+        cur->budget_bytes = std::min(cur->budget_bytes + quantum, quantum);
+    }
+    cur->budget_bytes -= static_cast<double>(bytes);
+    last_remote_ = cur->remote;
+    return cur->remote;
+}
+
+} // namespace vtp::path

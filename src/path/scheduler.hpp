@@ -1,0 +1,49 @@
+// Dual-path send steering.
+//
+// Called by the sender once per TFRC-paced transmission slot, after the
+// congestion controller has already decided *when* and *how much* —
+// the scheduler only decides *where*. Policy:
+//
+//   - the validated path with the lowest smoothed RTT is primary;
+//     deadline-urgent traffic always takes it (lowest latency to the
+//     receiver's reassembly deadline)
+//   - bulk traffic drains the primary's per-path pacing budget first
+//     and overflows to the secondary when the primary has proven all
+//     the capacity it can (budget = measured per-path delivery rate x
+//     headroom, with a probe floor so an idle validated path gets
+//     enough traffic to build a rate estimate)
+//   - aggregate volume is still the connection controller's single
+//     TFRC-paced rate; the per-path budgets only split it, so each
+//     path's share stays inside what that path has demonstrated — the
+//     per-path TCP-friendly band
+//
+// Single-validated-path connections short-circuit to the active remote;
+// the whole call is skipped entirely when multipath is off.
+#pragma once
+
+#include <cstdint>
+
+#include "path/manager.hpp"
+
+namespace vtp::path {
+
+class scheduler {
+public:
+    /// Pick the destination address for the next data packet of
+    /// `bytes`. `pacing_rate_bps` is the connection controller's
+    /// current aggregate pacing rate (probe-floor input);
+    /// `deadline_urgent` marks a transmission promoted by a message
+    /// deadline. Never returns 0 (falls back to the active remote).
+    std::uint32_t pick(manager& m, util::sim_time now, double pacing_rate_bps,
+                       std::uint32_t bytes, bool deadline_urgent);
+
+private:
+    /// Last pick, for quantum hysteresis: switching paths on every slot
+    /// would interleave unequal-delay paths packet-by-packet, putting
+    /// dozens of sequence holes in flight at once — enough to overflow
+    /// the SACK wire block budget, which the sender then misreads as
+    /// loss. Sending in runs keeps the in-flight hole count at ~1.
+    std::uint32_t last_remote_ = 0;
+};
+
+} // namespace vtp::path

@@ -21,6 +21,10 @@ void host::add_observer(std::function<void(const packet::packet&)> fn) {
     observers_.push_back(std::move(fn));
 }
 
+void host::attach_alias(node& alias) {
+    alias.set_delivery([this](packet::packet pkt) { deliver(std::move(pkt)); });
+}
+
 qtp::timer_id host::schedule(util::sim_time delay, std::function<void()> fn) {
     return sched_.after(delay, std::move(fn));
 }

@@ -40,6 +40,13 @@ public:
     /// called before agent dispatch).
     void add_observer(std::function<void(const packet::packet&)> fn);
 
+    /// Multi-homing: also accept packets delivered at `alias` (a second
+    /// node, reached over its own links) into this host's flow demux.
+    /// Models a dual-homed endpoint — one transport terminus, two
+    /// network attachment points — for the multipath scenarios. The
+    /// alias node must outlive the host's packet flow.
+    void attach_alias(node& alias);
+
     // --- qtp::environment ---
     util::sim_time now() const override { return sched_.now(); }
     qtp::timer_id schedule(util::sim_time delay, std::function<void()> fn) override;

@@ -1,0 +1,25 @@
+#include "sim/nat.hpp"
+
+namespace vtp::sim {
+
+void nat_node::receive(packet::packet pkt) {
+    // Inbound: anything addressed to either face of the mapping goes to
+    // the inside hop; only the external face needs rewriting.
+    if (pkt.dst == internal_ || pkt.dst == external_) {
+        if (pkt.dst == external_) {
+            pkt.dst = internal_;
+            ++translated_in_;
+        }
+        if (inside_ != nullptr) inside_->receive(std::move(pkt));
+        return;
+    }
+    // Outbound: once active, the endpoint's packets leave under the
+    // rebound public address.
+    if (active_ && pkt.src == internal_) {
+        pkt.src = external_;
+        ++translated_out_;
+    }
+    if (outside_ != nullptr) outside_->receive(std::move(pkt));
+}
+
+} // namespace vtp::sim

@@ -1,0 +1,64 @@
+// Address-rewriting NAT for deterministic migration scenarios.
+//
+// Sits on an endpoint's access links (both directions) and models the
+// event that kills a classical transport session: the endpoint's public
+// address changes mid-flow. Before activation the NAT is a transparent
+// wire. After `activate()` (typically fired by a scheduler event at the
+// spec's rebind time):
+//
+//   outbound  packets whose src is the internal address leave with
+//             src = external (the rebound public mapping)
+//   inbound   packets addressed to the external address are rewritten
+//             to the internal one and handed to the inside hop, so the
+//             endpoint keeps receiving without learning anything changed
+//
+// Inbound translation is installed from construction (the external
+// address simply attracts no traffic until the peer discovers it), so
+// activation is one boolean flip — exactly the instant a real NAT drops
+// and re-creates a UDP mapping. The transport on top must detect the new
+// 4-tuple, validate it (path_challenge/path_response) and re-point its
+// reply path; the NAT itself stays dumb.
+//
+// Wiring (see testing/scenario_runner.cpp):
+//   uplink.set_destination(&nat);   nat.set_outside(&router);
+//   downlink.set_destination(&nat); nat.set_inside(&endpoint_node);
+//   router.add_route(external, &downlink);
+#pragma once
+
+#include <cstdint>
+
+#include "sim/node.hpp"
+
+namespace vtp::sim {
+
+class nat_node : public node {
+public:
+    /// `id` must not collide with routed node ids (the NAT is transparent
+    /// and never delivers locally). `internal` is the endpoint's real
+    /// address, `external` the post-rebind public one.
+    nat_node(std::uint32_t id, std::uint32_t internal, std::uint32_t external)
+        : node(id), internal_(internal), external_(external) {}
+
+    void set_inside(node* n) { inside_ = n; }
+    void set_outside(node* n) { outside_ = n; }
+
+    /// Flip the mapping: outbound packets now carry the external source.
+    void activate() { active_ = true; }
+    bool active() const { return active_; }
+
+    void receive(packet::packet pkt) override;
+
+    std::uint64_t translated_out() const { return translated_out_; }
+    std::uint64_t translated_in() const { return translated_in_; }
+
+private:
+    std::uint32_t internal_;
+    std::uint32_t external_;
+    node* inside_ = nullptr;
+    node* outside_ = nullptr;
+    bool active_ = false;
+    std::uint64_t translated_out_ = 0;
+    std::uint64_t translated_in_ = 0;
+};
+
+} // namespace vtp::sim

@@ -71,6 +71,11 @@ public:
     node& left_node(std::size_t i) { return *nodes_.at(i); }
     node& right_node(std::size_t i) { return *nodes_.at(cfg_.pairs + i); }
 
+    /// Pair i's access links (for interposing NATs or impairments on one
+    /// endpoint's attachment rather than the shared bottleneck).
+    link& left_uplink(std::size_t i) { return *links_.at(2 + 4 * i); }   ///< left[i] -> RL
+    link& left_downlink(std::size_t i) { return *links_.at(3 + 4 * i); } ///< RL -> left[i]
+
     /// RTT (propagation only) for pair i.
     sim_time base_rtt(std::size_t i) const;
 

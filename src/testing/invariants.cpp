@@ -264,6 +264,147 @@ void check_flood_containment(const scenario_spec& spec, scenario_result& result)
     }
 }
 
+void check_migration_continuity(const scenario_spec& spec, scenario_result& result) {
+    if (!spec.mobility.enabled || !spec.mobility.expect_migration()) return;
+    if (result.flows.empty()) return;
+    const std::string inv = "migration-continuity";
+    const flow_observation& f = result.flows[0];
+    const std::uint64_t migrations =
+        f.client_stats.path.migrations + f.server_stats.path.migrations;
+    if (migrations == 0) {
+        violate(result, inv,
+                "no endpoint ever switched its active path despite a scheduled "
+                "rebind/migrate event");
+    }
+    // A passive rebind is detected and followed by the *server* (the
+    // client's address changed under it); an explicit migrate() switches
+    // the *client*. Check the side the event targets.
+    if (spec.mobility.rebind_at > 0 && f.server_stats.path.migrations == 0)
+        violate(result, inv, "server never followed the client's rebound address");
+    if (spec.mobility.migrate_at > 0 && f.client_stats.path.migrations == 0)
+        violate(result, inv, "client migrate() never switched the active path");
+    // CC continuity: the same controller instance must keep pacing across
+    // the switch — no mid-flow algorithm swap was applied by migration,
+    // and the allowed rate did not crater to a slow-start restart.
+    if (f.client_stats.cc_swaps_applied != result.mobility.cc_swaps_at_event) {
+        std::ostringstream os;
+        os << "cc controller was swapped across the migration (swaps "
+           << result.mobility.cc_swaps_at_event << " -> "
+           << f.client_stats.cc_swaps_applied << ")";
+        violate(result, inv, os.str());
+    }
+    if (result.mobility.rate_before_bps > 0 &&
+        result.mobility.rate_after_bps < 0.2 * result.mobility.rate_before_bps) {
+        std::ostringstream os;
+        os << "allowed rate cratered across the migration: "
+           << result.mobility.rate_before_bps << " b/s before, "
+           << result.mobility.rate_after_bps
+           << " b/s 1.5s after (slow-start restart signature)";
+        violate(result, inv, os.str());
+    }
+}
+
+void check_path_containment(const scenario_spec& spec, scenario_result& result) {
+    if (!spec.mobility.enabled || !spec.mobility.spoof_enabled()) return;
+    if (result.flows.empty()) return;
+    const std::string inv = "path-containment";
+    const double factor = spec.flows[0].options.path.amplification_factor;
+    auto audit = [&](const char* side, const std::vector<path::path_info>& paths) {
+        for (const auto& p : paths) {
+            const bool spoofed = p.remote >= 0xB0000000u;
+            if (spoofed && p.state == path::path_state::validated) {
+                std::ostringstream os;
+                os << side << ": spoofed address " << p.remote
+                   << " was validated — a forged token was accepted";
+                violate(result, inv, os.str());
+            }
+            // The amplification bound applies to every path we did not
+            // probe on our own initiative until it validates.
+            if (!p.locally_initiated && p.state != path::path_state::validated &&
+                static_cast<double>(p.bytes_sent) >
+                    factor * static_cast<double>(p.bytes_received)) {
+                std::ostringstream os;
+                os << side << ": unvalidated path " << p.remote << " was sent "
+                   << p.bytes_sent << " bytes against " << p.bytes_received
+                   << " received (budget factor " << factor << ")";
+                violate(result, inv, os.str());
+            }
+        }
+    };
+    for (const auto& f : result.flows) {
+        audit("client", f.client_paths);
+        audit("server", f.server_paths);
+    }
+    // The attack surface actually engaged: forged tokens were seen and
+    // rejected, and no spoofed path ever carried steered data.
+    const flow_observation& f0 = result.flows[0];
+    if (result.mobility.spoofs_injected > 0 &&
+        f0.server_stats.path.responses_rejected == 0) {
+        violate(result, inv,
+                "forged path_responses were injected but none was counted as "
+                "rejected — the token check never ran");
+    }
+    for (const auto& p : f0.server_paths) {
+        if (p.remote >= 0xB0000000u && p.packets_sent > 0) {
+            std::ostringstream os;
+            os << "server steered " << p.packets_sent
+               << " data packets to spoofed address " << p.remote;
+            violate(result, inv, os.str());
+        }
+    }
+}
+
+void check_dualpath_goodput(const scenario_spec& spec, scenario_result& result) {
+    if (!spec.mobility.enabled || spec.mobility.min_goodput_factor <= 0) return;
+    if (result.flows.empty()) return;
+    const std::string inv = "dualpath-goodput";
+    const flow_observation& f = result.flows[0];
+    // Both legs must have validated and actually carried acked data.
+    std::size_t carrying = 0;
+    for (const auto& p : f.client_paths)
+        if (p.state == path::path_state::validated && p.packets_acked > 0) ++carrying;
+    if (carrying < 2) {
+        std::ostringstream os;
+        os << "only " << carrying
+           << " validated path(s) carried acked data; dual-path striping never engaged";
+        violate(result, inv, os.str());
+        return;
+    }
+    const double seconds = util::to_seconds(result.finished_at);
+    const double goodput_bps =
+        seconds > 0 ? static_cast<double>(f.server_stats.bytes_delivered) * 8.0 / seconds
+                    : 0.0;
+    const double best_single =
+        std::max(spec.bottleneck_rate_bps, spec.mobility.alt_rate_bps);
+    const double bar = spec.mobility.min_goodput_factor * best_single;
+    if (goodput_bps < bar) {
+        std::ostringstream os;
+        os << "aggregate goodput " << goodput_bps << " b/s below "
+           << spec.mobility.min_goodput_factor << "x best single link (" << bar
+           << " b/s)";
+        violate(result, inv, os.str());
+    }
+    // Per-path friendliness: each leg's delivered rate must stay inside
+    // the TFRC band for its own measured (p, rtt) — striping must not
+    // turn one leg into an unresponsive firehose.
+    for (const auto& p : f.client_paths) {
+        if (p.state != path::path_state::validated) continue;
+        if (p.loss_rate < 1e-3 || p.srtt == 0 || p.delivery_rate_bps <= 0) continue;
+        tfrc::equation_params eq;
+        eq.packet_size_bytes = static_cast<double>(f.packet_size);
+        const double x_bps =
+            tfrc::throughput_bytes_per_second(eq, util::to_seconds(p.srtt), p.loss_rate) *
+            8.0;
+        if (p.delivery_rate_bps > 3.0 * x_bps) {
+            std::ostringstream os;
+            os << "path " << p.remote << " delivered " << p.delivery_rate_bps
+               << " b/s, above 3x its TFRC equation rate " << x_bps << " b/s (p="
+               << p.loss_rate << ", srtt=" << util::to_seconds(p.srtt) << "s)";
+            violate(result, inv, os.str());
+        }
+    }
+}
+
 const std::vector<named_invariant>& default_invariants() {
     static const std::vector<named_invariant> all = {
         {"delivery-integrity", check_delivery_integrity},
@@ -271,6 +412,9 @@ const std::vector<named_invariant>& default_invariants() {
         {"tfrc-equation-bound", check_tfrc_equation_bound},
         {"stats-consistency", check_stats_consistency},
         {"flood-containment", check_flood_containment},
+        {"migration-continuity", check_migration_continuity},
+        {"path-containment", check_path_containment},
+        {"dualpath-goodput", check_dualpath_goodput},
     };
     return all;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "path/path.hpp"
 #include "sack/reassembly.hpp"
 #include "testing/scenario.hpp"
 
@@ -78,6 +79,24 @@ struct flow_observation {
     std::map<std::uint32_t, stream_delivery> streams;
     std::uint32_t packet_size = 1000;
     double guaranteed_rate_bps = 0.0; ///< active gTFRC floor at run end
+    /// End-of-run path tables (empty unless the spec arms mobility).
+    std::vector<path::path_info> client_paths;
+    std::vector<path::path_info> server_paths;
+};
+
+/// Mobility accounting observed during a path-enabled run
+/// (scenario_spec::mobility). Like the flood block, deliberately outside
+/// the trace hash: estimator-level fields (rates, srtt) may evolve
+/// without invalidating the frozen delivery oracle.
+struct mobility_observation {
+    bool enabled = false;
+    /// Sender allowed rate sampled just before the rebind/migrate event
+    /// and again 1.5 s later — the CC-continuity evidence (a slow-start
+    /// restart would crater the second sample).
+    double rate_before_bps = 0.0;
+    double rate_after_bps = 0.0;
+    std::uint32_t cc_swaps_at_event = 0; ///< client cc_swaps_applied at sample time
+    std::uint64_t spoofs_injected = 0;   ///< forged datagrams the runner injected
 };
 
 /// Accept-path guard accounting observed during a SYN-flooded run
@@ -117,6 +136,9 @@ struct scenario_result {
 
     /// SYN-flood accounting (all zeros unless the spec enables a flood).
     flood_observation flood{};
+
+    /// Mobility accounting (inert unless the spec arms mobility).
+    mobility_observation mobility{};
 };
 
 /// A checker appends violations to `result.violations`.
@@ -136,5 +158,16 @@ void check_close_termination(const scenario_spec& spec, scenario_result& result)
 void check_tfrc_equation_bound(const scenario_spec& spec, scenario_result& result);
 void check_stats_consistency(const scenario_spec& spec, scenario_result& result);
 void check_flood_containment(const scenario_spec& spec, scenario_result& result);
+/// Migration happened, the CC controller survived it (no swap, no
+/// slow-start crater) and every validation counter is coherent.
+void check_migration_continuity(const scenario_spec& spec, scenario_result& result);
+/// No spoofed (never-validated) path ever received more than
+/// amplification_factor x the bytes heard from it, and no forged token
+/// validated anything.
+void check_path_containment(const scenario_spec& spec, scenario_result& result);
+/// Dual-path: aggregate goodput >= min_goodput_factor x the best single
+/// link, both paths actually carried data, and each path's delivered
+/// rate stayed inside the TFRC-friendly band for its measured (p, rtt).
+void check_dualpath_goodput(const scenario_spec& spec, scenario_result& result);
 
 } // namespace vtp::testing

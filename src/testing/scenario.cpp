@@ -273,6 +273,74 @@ scenario_spec syn_flood_during_transfer() {
     return s;
 }
 
+scenario_spec nat_rebind_mid_transfer() {
+    scenario_spec s;
+    s.name = "nat_rebind_mid_transfer";
+    s.summary = "client NAT mapping flips at 2s; server validates + follows the new 4-tuple";
+    s.bottleneck_rate_bps = 16e6;
+    s.flows = {bulk_reliable(10'000'000)};
+    s.mobility.enabled = true;
+    s.mobility.rebind_at = seconds(2);
+    s.duration = seconds(60);
+    return s;
+}
+
+scenario_spec wifi_to_lte_handover() {
+    scenario_spec s;
+    s.name = "wifi_to_lte_handover";
+    s.summary = "explicit migrate() onto a slower/longer second link mid-flow, CC carried";
+    s.bottleneck_rate_bps = 12e6;
+    s.bottleneck_delay = milliseconds(15);
+    s.flows = {bulk_reliable(8'000'000)};
+    s.mobility.enabled = true;
+    s.mobility.alt_link = true;
+    s.mobility.alt_rate_bps = 5e6;       // the "LTE" leg: half the rate...
+    s.mobility.alt_delay = milliseconds(45); // ...three times the delay
+    s.mobility.migrate_at = seconds(2);
+    s.duration = seconds(60);
+    s.tfrc_bound_factor = 0.0; // p/rtt are stale across the path switch
+    return s;
+}
+
+scenario_spec dual_path_striping() {
+    scenario_spec s;
+    s.name = "dual_path_striping";
+    s.summary = "dual-path scheduler stripes one flow over two asymmetric validated links";
+    // Rates sized so 1.5x the best leg stays inside the TFRC equation
+    // envelope for the blended RTT — the aggregate is still paced by ONE
+    // connection-wide TFRC controller; striping buys capacity, not a
+    // license to outrun the equation.
+    s.bottleneck_rate_bps = 4e6;
+    s.bottleneck_delay = milliseconds(8);
+    s.queue_packets = 120; // deep enough to absorb striping bursts as delay, not drops
+    s.flows = {bulk_reliable(60'000'000)};
+    s.mobility.enabled = true;
+    s.mobility.multipath = true;
+    s.mobility.alt_link = true;
+    s.mobility.alt_rate_bps = 3.8e6;
+    s.mobility.alt_delay = milliseconds(10);
+    s.mobility.add_path_at = milliseconds(500);
+    s.mobility.min_goodput_factor = 1.5; // aggregate must beat 1.5x the best leg
+    s.duration = seconds(90);
+    s.tfrc_bound_factor = 0.0; // the connection-level (p, rtt) mixes two paths
+    return s;
+}
+
+scenario_spec spoofed_migration_attack() {
+    scenario_spec s;
+    s.name = "spoofed_migration_attack";
+    s.summary = "forged frames echo the flow id from spoofed sources; validation contains them";
+    s.bottleneck_rate_bps = 16e6;
+    s.flows = {bulk_reliable(6'000'000)};
+    s.mobility.enabled = true;
+    s.mobility.spoof_rate_hz = 100;
+    s.mobility.spoof_sources = 8; // > max_paths, so the table-cap path runs too
+    s.mobility.spoof_start = milliseconds(500);
+    s.mobility.spoof_stop = seconds(6);
+    s.duration = seconds(60);
+    return s;
+}
+
 } // namespace
 
 const std::vector<scenario_spec>& scenario_matrix() {
@@ -292,6 +360,10 @@ const std::vector<scenario_spec>& scenario_matrix() {
         diffserv_af_congestion(),
         kitchen_sink_adversarial(),
         syn_flood_during_transfer(),
+        nat_rebind_mid_transfer(),
+        wifi_to_lte_handover(),
+        dual_path_striping(),
+        spoofed_migration_attack(),
     };
     return all;
 }
@@ -310,8 +382,9 @@ std::vector<std::string> scenario_names() {
 }
 
 std::vector<std::string> reduced_matrix_names() {
-    return {"wireless_burst_loss", "reorder_heavy_path",   "duplicate_path",
-            "corruption_at_decoder", "handover_rate_cliff", "mux_bulk_deadline_oscillation"};
+    return {"wireless_burst_loss",   "reorder_heavy_path",  "duplicate_path",
+            "corruption_at_decoder", "handover_rate_cliff", "mux_bulk_deadline_oscillation",
+            "nat_rebind_mid_transfer", "spoofed_migration_attack"};
 }
 
 } // namespace vtp::testing

@@ -90,6 +90,56 @@ struct synflood_spec {
     bool enabled() const { return syn_rate_hz > 0 && stop > start; }
 };
 
+/// Path mobility / multipath regime (src/path/). When `enabled`, every
+/// flow's endpoints arm their path managers; the runner then drives one
+/// (or more) of three shapes against flow 0:
+///
+///   rebind    an address-rewriting NAT (sim/nat.hpp) on flow 0's access
+///             links flips at `rebind_at`: the client's packets suddenly
+///             carry a new source address and the server must detect,
+///             validate and follow (passive rebind migration)
+///   alt link  a second, asymmetric link from the left router straight
+///             to an alias address of flow 0's server (sim::host
+///             multi-homing) — the explicit-migrate target
+///             (`migrate_at`, the wifi->lte handover) or the second leg
+///             of dual-path striping (`add_path_at` + `multipath`)
+///   spoof     datagrams echoing flow 0's flow id injected from spoofed
+///             source addresses toward the server: the attack the
+///             validation + anti-amplification machinery must contain
+struct mobility_spec {
+    bool enabled = false;  ///< arm path managers on every flow's endpoints
+    bool multipath = false; ///< dual-path striping (path::scheduler on)
+
+    /// NAT rebind: flow 0's client address becomes old + `rebind_shift`
+    /// at `rebind_at` (0 disables).
+    util::sim_time rebind_at = 0;
+    std::uint32_t rebind_shift = 1000;
+
+    /// Alternate link: left router -> alias of flow 0's server.
+    bool alt_link = false;
+    double alt_rate_bps = 6e6;
+    util::sim_time alt_delay = util::milliseconds(35);
+    /// Explicit client migrate() onto the alternate link (0 disables).
+    util::sim_time migrate_at = 0;
+    /// add_path() time for dual-path striping (0 disables).
+    util::sim_time add_path_at = 0;
+
+    /// Spoofed-migration attack (0 rate disables).
+    double spoof_rate_hz = 0;
+    std::uint32_t spoof_sources = 8;
+    util::sim_time spoof_start = 0;
+    util::sim_time spoof_stop = 0;
+
+    /// Dual-path bar: aggregate goodput must reach at least this factor
+    /// x the best single link's capacity (0 disables the check).
+    double min_goodput_factor = 0.0;
+
+    /// check_migration_continuity: expect at least one active-path
+    /// switch somewhere (client or server) by the end of the run.
+    bool expect_migration() const { return rebind_at > 0 || migrate_at > 0; }
+    bool spoof_enabled() const { return spoof_rate_hz > 0 && spoof_stop > spoof_start; }
+};
+
 /// One client->server flow on its own dumbbell pair.
 struct flow_spec {
     session_options options{};
@@ -116,6 +166,7 @@ struct scenario_spec {
     std::vector<handover_spec> handovers;
     std::vector<flow_spec> flows;
     synflood_spec synflood{};
+    mobility_spec mobility{};
 
     /// Wall of the simulation: every flow must be closed by
     /// `deadline()`; the runner stops early once all flows close.

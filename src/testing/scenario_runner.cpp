@@ -12,6 +12,7 @@
 #include "diffserv/rio.hpp"
 #include "sim/handover.hpp"
 #include "sim/impairment.hpp"
+#include "sim/nat.hpp"
 #include "sim/topology.hpp"
 #include "util/pattern.hpp"
 #include "util/rng.hpp"
@@ -171,6 +172,39 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
     }
     handover.start();
 
+    // --- mobility: NAT rebind + alternate link -------------------------
+    // The NAT interposes on flow 0's access links (both directions) and
+    // flips its mapping at rebind_at: the server suddenly sees the
+    // client's packets from a new source address and must migrate. The
+    // alternate link is a second, asymmetric route from the left router
+    // straight to an alias of flow 0's server host — the explicit
+    // migrate()/add_path() target.
+    const std::uint32_t alias_addr = 900;
+    std::unique_ptr<sim::nat_node> nat;
+    std::unique_ptr<sim::node> alias;
+    std::unique_ptr<sim::link> alt_link;
+    if (spec.mobility.enabled && spec.mobility.rebind_at > 0 && !spec.flows.empty()) {
+        const std::uint32_t internal = net.left_addr(0);
+        const std::uint32_t external = internal + spec.mobility.rebind_shift;
+        nat = std::make_unique<sim::nat_node>(30000, internal, external);
+        nat->set_inside(&net.left_node(0));
+        nat->set_outside(&net.left_router());
+        net.left_uplink(0).set_destination(nat.get());
+        net.left_downlink(0).set_destination(nat.get());
+        net.left_router().add_route(external, &net.left_downlink(0));
+        net.sched().at(spec.mobility.rebind_at, [&nat] { nat->activate(); });
+    }
+    if (spec.mobility.enabled && spec.mobility.alt_link && !spec.flows.empty()) {
+        alias = std::make_unique<sim::node>(alias_addr);
+        net.right_host(0).attach_alias(*alias);
+        const sim::link::config alt_cfg{spec.mobility.alt_rate_bps,
+                                        spec.mobility.alt_delay};
+        alt_link = std::make_unique<sim::link>(
+            net.sched(), alt_cfg, sim::make_drop_tail(spec.queue_packets, 1500));
+        alt_link->set_destination(alias.get());
+        net.left_router().add_route(alias_addr, alt_link.get());
+    }
+
     // --- DiffServ edge (AF marking for flow 0) -------------------------
     diffserv::conditioner edge(net.sched());
     if (spec.af_commit_bps > 0) {
@@ -216,6 +250,15 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
         server_options server_opts{};
         server_opts.trace_ring_records = trace_ring;
         server_opts.trace_sink = opts.trace_sink;
+        if (spec.mobility.enabled) {
+            // Accepted sessions need a live path manager to answer
+            // challenges, detect the client's rebind passively and keep
+            // spoofed sources inside the amplification budget.
+            server_opts.path.enabled = true;
+            // The receiver must know the peer may stripe: its loss
+            // detector needs the multipath reorder tolerance.
+            server_opts.path.multipath = spec.mobility.multipath;
+        }
         if (spec.synflood.enabled()) {
             // Flooded runs arm the full accept-path guard: stateless
             // retry cookies (legitimate clients pay one extra RTT), a
@@ -270,6 +313,10 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
     for (std::size_t i = 0; i < n; ++i) {
         const flow_spec& flow = spec.flows[i];
         session_options sopts = flow.options;
+        if (spec.mobility.enabled) {
+            sopts.path.enabled = true;
+            sopts.path.multipath = spec.mobility.multipath;
+        }
         if (opts.cc_override) sopts.profile.congestion = *opts.cc_override;
         sopts.trace_ring_records = trace_ring;
         sopts.trace_sink = opts.trace_sink;
@@ -312,6 +359,63 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
             net.sched().at(flow.close_at, [&, i] { clients[i].close(); });
         } else {
             clients[i].close();
+        }
+    }
+
+    // --- mobility events ------------------------------------------------
+    result.mobility.enabled = spec.mobility.enabled;
+    std::uint64_t spoofs_injected = 0;
+    if (spec.mobility.enabled && n > 0) {
+        if (spec.mobility.migrate_at > 0) {
+            net.sched().at(spec.mobility.migrate_at,
+                           [&clients, alias_addr] { clients[0].migrate(alias_addr); });
+        }
+        if (spec.mobility.add_path_at > 0) {
+            net.sched().at(spec.mobility.add_path_at,
+                           [&clients, alias_addr] { clients[0].add_path(alias_addr); });
+        }
+        // CC-continuity evidence: sample the sender's allowed rate just
+        // before the mobility event and again 1.5 s later. A slow-start
+        // restart would crater the second sample; a carried controller
+        // keeps pacing through the switch.
+        if (spec.mobility.expect_migration()) {
+            const util::sim_time ev = spec.mobility.rebind_at > 0
+                                          ? spec.mobility.rebind_at
+                                          : spec.mobility.migrate_at;
+            const util::sim_time before =
+                ev > util::milliseconds(50) ? ev - util::milliseconds(50) : 0;
+            net.sched().at(before, [&result, &clients] {
+                const vtp::session_stats st = clients[0].stats();
+                result.mobility.rate_before_bps = st.allowed_rate_bps;
+                result.mobility.cc_swaps_at_event = st.cc_swaps_applied;
+            });
+            net.sched().at(ev + util::milliseconds(1500), [&result, &clients] {
+                result.mobility.rate_after_bps = clients[0].stats().allowed_rate_bps;
+            });
+        }
+        // Spoofed-migration attack: forged frames echoing flow 0's flow
+        // id from spoofed sources, aimed at the server. Challenges force
+        // the server to spend (budgeted) probe bytes; responses carry
+        // tokens that match nothing and must all be rejected.
+        if (spec.mobility.spoof_enabled()) {
+            const auto interval =
+                static_cast<util::sim_time>(1e9 / spec.mobility.spoof_rate_hz);
+            auto tick = std::make_shared<std::function<void()>>();
+            *tick = [&spec, &net, &spoofs_injected, &result,
+                     weak = std::weak_ptr(tick), interval] {
+                if (net.sched().now() >= spec.mobility.spoof_stop) return;
+                const std::uint32_t k = static_cast<std::uint32_t>(spoofs_injected++);
+                const std::uint32_t src = 0xB0000000u + k % spec.mobility.spoof_sources;
+                packet::segment seg =
+                    k % 2 == 0
+                        ? packet::segment{packet::path_challenge_segment{0x5eed0000ULL + k}}
+                        : packet::segment{packet::path_response_segment{0xF00D0000ULL + k}};
+                net.left_node(0).inject(packet::make_packet(
+                    result.flows[0].flow_id, src, net.right_addr(0), std::move(seg)));
+                if (auto self = weak.lock())
+                    net.sched().at(net.sched().now() + interval, [self] { (*self)(); });
+            };
+            net.sched().at(spec.mobility.spoof_start, [tick] { (*tick)(); });
         }
     }
 
@@ -382,6 +486,10 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
         obs.server_closed = accepted[i] != nullptr && accepted[i]->closed();
         obs.client_stats = clients[i].stats();
         if (accepted[i] != nullptr) obs.server_stats = accepted[i]->stats();
+        if (spec.mobility.enabled) {
+            obs.client_paths = clients[i].snapshot().paths;
+            if (accepted[i] != nullptr) obs.server_paths = accepted[i]->snapshot().paths;
+        }
         obs.sender_streams = clients[i].stream_infos();
         const qtp::profile active = clients[i].valid() ? clients[i].active_profile()
                                                        : qtp::profile{};
@@ -414,6 +522,11 @@ scenario_result run_scenario(const scenario_spec& spec, const scenario_run_optio
     }
     hash = fnv1a(hash, result.events);
     result.trace_hash = hash;
+    // Mobility accounting stays OUT of the trace hash, like the flood
+    // block: estimator-level fields may evolve without invalidating the
+    // frozen delivery oracle. check_migration_continuity and friends
+    // judge them instead.
+    result.mobility.spoofs_injected = spoofs_injected;
 
     // Flood accounting stays OUT of the trace hash: guard counters may
     // evolve (new shed reasons, different retry pacing) without

@@ -26,6 +26,9 @@ const char* qlog_name(record_type t) {
     case record_type::timer_fire: return "recovery:timer_fired";
     case record_type::stream_sched: return "transport:stream_promoted";
     case record_type::guard: return "security:accept_guard";
+    case record_type::path_challenge: return "path:challenge";
+    case record_type::path_response: return "path:response";
+    case record_type::path_changed: return "path:changed";
     default: return "unknown";
     }
 }
@@ -85,6 +88,17 @@ void write_data(std::ostream& os, const record& r) {
         os << "\"event\":" << static_cast<unsigned>(r.aux) << ",\"src\":" << r.a
            << ",\"detail\":" << r.b;
         break;
+    case record_type::path_challenge:
+    case record_type::path_response:
+        os << "\"token\":" << r.a << ",\"remote\":" << r.b
+           << ",\"direction\":\"" << (r.aux == 0 ? "sent" : r.aux == 1 ? "received" : "rejected")
+           << '"';
+        break;
+    case record_type::path_changed:
+        os << "\"old_remote\":" << r.a << ",\"new_remote\":" << r.b
+           << ",\"cause\":\""
+           << (r.aux == 0 ? "migrate" : r.aux == 1 ? "rebind" : "path_added") << '"';
+        break;
     default:
         os << "\"a\":" << r.a << ",\"b\":" << r.b;
         break;
@@ -135,6 +149,8 @@ record_type type_from_string(const char* name) {
         record_type::reneg_applied,  record_type::established,
         record_type::closed,         record_type::timer_fire,
         record_type::stream_sched,   record_type::guard,
+        record_type::path_challenge, record_type::path_response,
+        record_type::path_changed,
     };
     const std::string want(name);
     for (record_type t : all)

@@ -68,6 +68,16 @@ enum class record_type : std::uint8_t {
     /// a=source address, b=detail (cookie value for the cookie events,
     /// denied bytes for the rate/amplification events).
     guard = 14,
+    /// Path validation probe carrying a random token (migration /
+    /// multipath). a=token, b=remote address, aux: 0 sent, 1 received.
+    path_challenge = 15,
+    /// Echo of a challenge token. a=token, b=remote address,
+    /// aux: 0 sent, 1 received (2: received but token rejected).
+    path_response = 16,
+    /// The connection's active path switched. a=old remote address,
+    /// b=new remote address, aux: 0 explicit migrate, 1 passive rebind,
+    /// 2 path added (multipath).
+    path_changed = 17,
 };
 
 /// guard aux values.
@@ -116,6 +126,9 @@ inline const char* type_name(record_type t) {
     case record_type::timer_fire: return "timer_fire";
     case record_type::stream_sched: return "stream_sched";
     case record_type::guard: return "guard";
+    case record_type::path_challenge: return "path_challenge";
+    case record_type::path_response: return "path_response";
+    case record_type::path_changed: return "path_changed";
     default: return "unknown";
     }
 }

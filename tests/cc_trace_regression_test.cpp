@@ -46,6 +46,16 @@ constexpr frozen_run frozen[] = {
     // deliberately outside the hash; the deliveries, endgame counters and
     // event count still pin the legitimate flows' wire behaviour.
     {"syn_flood_during_transfer", 478109, 0x21687dadbf0e9eacULL},
+    // Frozen at introduction (the mobility scenarios post-date the cc
+    // refactor): path validation, migration and striping run on top of
+    // the same deterministic engine, so the deliveries + endgame counters
+    // pin the migration wire behaviour too. Mobility accounting (probe
+    // counters, spoof totals) stays outside the hash, like the flood
+    // counters above.
+    {"nat_rebind_mid_transfer", 72364, 0x9572e66f76b55249ULL},
+    {"wifi_to_lte_handover", 45041, 0x02263b6a31355474ULL},
+    {"dual_path_striping", 380874, 0x00c2e82939c59351ULL},
+    {"spoofed_migration_attack", 101323, 0x5873613979091e82ULL},
 };
 
 TEST(cc_trace_regression_test, tfrc_scenarios_reproduce_frozen_hashes) {

@@ -1,0 +1,134 @@
+// Routing-by-flow-id regression tests (migration prerequisite): a
+// datagram whose flow id is owned by a live endpoint must reach that
+// endpoint no matter which source address it arrives from. Before path
+// migration landed, a 4-tuple change could only look like a stray; now
+// the host demux keys purely on flow id, so a rebound peer's packets
+// never hit the listener's stray/SYN accounting and instead become
+// migration candidates at the owning endpoint.
+#include <gtest/gtest.h>
+
+#include "core/connection.hpp"
+#include "core/listener.hpp"
+#include "mock_env.hpp"
+#include "sim/host.hpp"
+#include "sim/node.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace vtp;
+using namespace vtp::testing;
+
+packet::packet syn_packet(std::uint32_t flow, std::uint32_t src) {
+    packet::handshake_segment syn;
+    syn.type = packet::handshake_segment::kind::syn;
+    syn.profile_bits = qtp::qtp_default_profile().encode();
+    return packet::make_packet(flow, src, /*dst*/ 0, syn);
+}
+
+packet::packet data_packet(std::uint32_t flow, std::uint32_t src) {
+    packet::data_segment data;
+    data.payload_len = 100;
+    return packet::make_packet(flow, src, /*dst*/ 0, data);
+}
+
+const path::manager::entry* find_path(const qtp::connection_receiver& rx,
+                                      std::uint32_t remote) {
+    for (const path::manager::entry& e : rx.paths().table())
+        if (e.remote == remote) return &e;
+    return nullptr;
+}
+
+TEST(flow_routing_test, known_flow_from_new_source_reaches_endpoint_not_stray) {
+    // Full sim datapath: node -> host demux -> listener/endpoint. The
+    // listener (with the flood guard accounting active) is the default
+    // agent, exactly as vtp::server wires it.
+    sim::scheduler sched;
+    sim::node n(0);
+    sim::host h(sched, n, /*rng_seed*/ 1);
+
+    qtp::listener_config lcfg;
+    lcfg.endpoint.path.enabled = true;
+    qtp::listener listen(lcfg);
+    qtp::connection_receiver* endpoint = nullptr;
+    listen.set_on_accept(
+        [&](std::uint32_t, qtp::connection_receiver& rx) { endpoint = &rx; });
+    listen.start(h);
+    h.set_default_agent(&listen);
+
+    // SYN from source 9 spawns the endpoint for flow 42.
+    n.inject(syn_packet(42, 9));
+    ASSERT_NE(endpoint, nullptr);
+    ASSERT_TRUE(endpoint->established());
+    EXPECT_EQ(listen.accepted(), 1u);
+
+    // The same flow id now shows up from source 99 — a NAT rebind. The
+    // host must route it to the endpoint by flow id; the listener sees
+    // nothing, so no stray/SYN bucket moves.
+    n.inject(data_packet(42, 99));
+
+    EXPECT_EQ(listen.stray_packets(), 0u);
+    EXPECT_EQ(listen.accepted(), 1u);
+    EXPECT_EQ(listen.guard_stats().stray_rate_limited, 0u);
+    EXPECT_EQ(listen.guard_stats().syn_rate_limited, 0u);
+    EXPECT_EQ(h.undeliverable_packets(), 0u);
+    // ...and the endpoint turned the new source into a migration
+    // candidate under validation.
+    const path::manager::entry* cand = find_path(*endpoint, 99);
+    ASSERT_NE(cand, nullptr);
+    EXPECT_EQ(cand->state, path::path_state::validating);
+    // The active path only switches after the challenge is answered.
+    EXPECT_EQ(endpoint->paths().active_remote(), 9u);
+}
+
+TEST(flow_routing_test, rebind_with_paths_disabled_still_routes_by_flow_id) {
+    // The determinism contract: with the path subsystem off (the
+    // default), a rebound source's data still reaches the endpoint —
+    // routing never depended on the 4-tuple — it just creates no
+    // candidate and sends no probe.
+    sim::scheduler sched;
+    sim::node n(0);
+    sim::host h(sched, n, 1);
+
+    qtp::listener listen{qtp::listener_config{}};
+    qtp::connection_receiver* endpoint = nullptr;
+    listen.set_on_accept(
+        [&](std::uint32_t, qtp::connection_receiver& rx) { endpoint = &rx; });
+    listen.start(h);
+    h.set_default_agent(&listen);
+    // Egress tap: every locally injected packet passes the node filter.
+    std::uint64_t challenges = 0;
+    n.set_filter([&](packet::packet& pkt) {
+        if (std::get_if<packet::path_challenge_segment>(pkt.body.get()) != nullptr)
+            ++challenges;
+    });
+
+    n.inject(syn_packet(42, 9));
+    ASSERT_NE(endpoint, nullptr);
+
+    n.inject(data_packet(42, 99));
+
+    EXPECT_EQ(listen.stray_packets(), 0u);
+    EXPECT_TRUE(endpoint->paths().table().empty());
+    EXPECT_EQ(endpoint->paths().stats().challenges_sent, 0u);
+    EXPECT_EQ(challenges, 0u); // no probe ever leaves the host
+}
+
+TEST(flow_routing_test, unknown_flow_data_is_still_a_stray) {
+    // The stray bucket still exists for genuinely unowned flows: only
+    // *known* flow ids bypass it.
+    sim::scheduler sched;
+    sim::node n(0);
+    sim::host h(sched, n, 1);
+
+    qtp::listener listen{qtp::listener_config{}};
+    listen.start(h);
+    h.set_default_agent(&listen);
+
+    n.inject(data_packet(7, 99));
+
+    EXPECT_EQ(listen.stray_packets(), 1u);
+    EXPECT_EQ(listen.accepted(), 0u);
+}
+
+} // namespace

@@ -179,6 +179,42 @@ TEST(wire_test, wire_size_includes_payload) {
     EXPECT_EQ(wire_size(segment{d}), header_size(segment{d}) + 1200);
 }
 
+TEST(wire_test, path_probe_roundtrip) {
+    const segment challenge{path_challenge_segment{0x1122334455667788ULL}};
+    const segment response{path_response_segment{0x1122334455667788ULL}};
+    EXPECT_EQ(decode_segment(encode_segment(challenge)), challenge);
+    EXPECT_EQ(decode_segment(encode_segment(response)), response);
+}
+
+TEST(wire_test, path_probe_wire_size_is_ten_bytes) {
+    // kind + 8-byte token + XOR-fold check byte; both frames must be the
+    // same size so a challenge/response exchange is 1:1 amplification.
+    const segment challenge{path_challenge_segment{0xdeadbeefULL}};
+    const segment response{path_response_segment{0xdeadbeefULL}};
+    EXPECT_EQ(encode_segment(challenge).size(), 10u);
+    EXPECT_EQ(encode_segment(response).size(), 10u);
+    EXPECT_EQ(wire_size(challenge), 10u);
+    EXPECT_EQ(wire_size(response), 10u);
+    EXPECT_EQ(header_size(challenge), 10u);
+}
+
+TEST(wire_test, path_probe_decode_rejects_bad_check_byte) {
+    auto bytes = encode_segment(segment{path_challenge_segment{0xcafef00dULL}});
+    bytes[3] ^= 0x40; // flip one token bit, leave the check byte stale
+    EXPECT_THROW(decode_segment(bytes), vtp::util::decode_error);
+    auto rbytes = encode_segment(segment{path_response_segment{0xcafef00dULL}});
+    rbytes.back() ^= 0x01; // corrupt the check byte itself
+    EXPECT_THROW(decode_segment(rbytes), vtp::util::decode_error);
+}
+
+TEST(wire_test, path_token_check_folds_all_bytes) {
+    // Every byte of the token participates, so any single-byte change
+    // breaks the fold.
+    const std::uint64_t t = 0x0102030405060708ULL;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NE(path_token_check(t), path_token_check(t ^ (0xffULL << (8 * i))));
+}
+
 TEST(wire_test, decode_rejects_unknown_kind) {
     std::vector<std::uint8_t> bogus = {0x7f, 0, 0, 0};
     EXPECT_THROW(decode_segment(bogus), vtp::util::decode_error);

@@ -1,0 +1,278 @@
+// path::manager unit tests: validation handshake, token hygiene,
+// amplification budget, passive rebind, timeout failure and the
+// determinism contract (disabled manager is fully inert).
+#include <gtest/gtest.h>
+
+#include "mock_env.hpp"
+#include "packet/segment.hpp"
+#include "path/manager.hpp"
+
+using vtp::packet::packet;
+using vtp::packet::path_challenge_segment;
+using vtp::packet::path_response_segment;
+using vtp::path::manager;
+using vtp::path::manager_config;
+using vtp::path::path_state;
+using vtp::testing::mock_env;
+
+namespace {
+
+manager_config enabled_config() {
+    manager_config cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+/// The token of the last path_challenge sent into `env` toward `dst`
+/// (0 if none).
+std::uint64_t last_challenge_token(const mock_env& env, std::uint32_t dst) {
+    std::uint64_t token = 0;
+    for (const packet& pkt : env.sent) {
+        const auto* c = std::get_if<path_challenge_segment>(pkt.body.get());
+        if (c != nullptr && pkt.dst == dst) token = c->token;
+    }
+    return token;
+}
+
+const manager::entry* find_entry(const manager& m, std::uint32_t remote) {
+    for (const manager::entry& e : m.table())
+        if (e.remote == remote) return &e;
+    return nullptr;
+}
+
+TEST(path_manager_test, disabled_manager_is_inert) {
+    mock_env env;
+    manager m; // default config: enabled = false
+    m.start(env, 10);
+    m.on_datagram(99, 1000, true);
+    m.add_path(20);
+    m.migrate(30);
+    m.on_challenge(path_challenge_segment{0x1234}, 99, true);
+    m.on_response(path_response_segment{0x1234}, 99);
+    EXPECT_TRUE(env.sent.empty());
+    EXPECT_TRUE(m.table().empty());
+    EXPECT_EQ(m.active_remote(), 10u); // start() still records the peer
+    EXPECT_EQ(m.stats().challenges_sent, 0u);
+    EXPECT_EQ(m.stats().responses_sent, 0u);
+}
+
+TEST(path_manager_test, initial_peer_is_validated_active) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+    ASSERT_EQ(m.table().size(), 1u);
+    EXPECT_EQ(m.table().front().remote, 10u);
+    EXPECT_EQ(m.table().front().state, path_state::validated);
+    EXPECT_TRUE(m.table().front().locally_initiated);
+    EXPECT_EQ(m.validated_count(), 1u);
+}
+
+TEST(path_manager_test, add_path_validates_on_token_echo) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+
+    m.add_path(20);
+    const std::uint64_t token = last_challenge_token(env, 20);
+    ASSERT_NE(token, 0u) << "challenge must carry a non-zero token";
+    ASSERT_NE(find_entry(m, 20), nullptr);
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::validating);
+
+    m.on_response(path_response_segment{token}, 20);
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::validated);
+    EXPECT_EQ(m.stats().validations, 1u);
+    // add_path never switches the active path.
+    EXPECT_EQ(m.active_remote(), 10u);
+}
+
+TEST(path_manager_test, response_matched_by_token_not_source) {
+    // A NAT may rewrite the return path: the response must validate the
+    // path the challenge went to, keyed purely on the token.
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+    m.add_path(20);
+    const std::uint64_t token = last_challenge_token(env, 20);
+    m.on_response(path_response_segment{token}, /*src=*/99);
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::validated);
+}
+
+TEST(path_manager_test, forged_or_replayed_token_rejected) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+    m.add_path(20);
+    const std::uint64_t token = last_challenge_token(env, 20);
+
+    m.on_response(path_response_segment{token ^ 1}, 20); // mutated
+    m.on_response(path_response_segment{0}, 20);         // zero reserved
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::validating);
+    EXPECT_EQ(m.stats().responses_rejected, 2u);
+
+    m.on_response(path_response_segment{token}, 20);
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::validated);
+    m.on_response(path_response_segment{token}, 20); // replay post-validation
+    EXPECT_EQ(m.stats().responses_rejected, 3u);
+    EXPECT_EQ(m.stats().validations, 1u);
+}
+
+TEST(path_manager_test, validation_times_out_to_failed) {
+    mock_env env;
+    manager m;
+    manager_config cfg = enabled_config();
+    cfg.validation_timeout = vtp::util::milliseconds(100);
+    cfg.max_validation_attempts = 3;
+    m.configure(cfg, 7);
+    m.start(env, 10);
+    m.add_path(20);
+
+    env.advance(vtp::util::milliseconds(350)); // 3 attempts x 100ms, then done
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::failed);
+    EXPECT_EQ(m.stats().validation_failures, 1u);
+    EXPECT_EQ(m.stats().challenges_sent, 3u);
+    // A failed path never validates, even with a once-valid token echo.
+    const std::uint64_t token = last_challenge_token(env, 20);
+    m.on_response(path_response_segment{token}, 20);
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::failed);
+}
+
+TEST(path_manager_test, retries_draw_fresh_tokens) {
+    mock_env env;
+    manager m;
+    manager_config cfg = enabled_config();
+    cfg.validation_timeout = vtp::util::milliseconds(100);
+    m.configure(cfg, 7);
+    m.start(env, 10);
+    m.add_path(20);
+    const std::uint64_t first = last_challenge_token(env, 20);
+    env.advance(vtp::util::milliseconds(150));
+    const std::uint64_t second = last_challenge_token(env, 20);
+    ASSERT_NE(second, 0u);
+    EXPECT_NE(first, second) << "a timed-out token must never be reused";
+    // The stale token no longer validates.
+    m.on_response(path_response_segment{first}, 20);
+    EXPECT_EQ(find_entry(m, 20)->state, path_state::validating);
+    EXPECT_EQ(m.stats().responses_rejected, 1u);
+}
+
+TEST(path_manager_test, passive_rebind_switches_active_path) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+
+    std::uint32_t from = 0, to = 0;
+    std::uint8_t cause = 0xff;
+    m.set_on_path_changed([&](std::uint32_t o, std::uint32_t n, std::uint8_t c) {
+        from = o;
+        to = n;
+        cause = c;
+    });
+
+    // Established traffic from an unknown source: candidate + probe.
+    m.on_datagram(30, 1200, /*established=*/true);
+    const std::uint64_t token = last_challenge_token(env, 30);
+    ASSERT_NE(token, 0u);
+    m.on_response(path_response_segment{token}, 30);
+
+    EXPECT_EQ(m.active_remote(), 30u);
+    EXPECT_EQ(from, 10u);
+    EXPECT_EQ(to, 30u);
+    EXPECT_EQ(cause, manager::cause_rebind);
+    EXPECT_EQ(m.stats().migrations, 1u);
+}
+
+TEST(path_manager_test, pre_established_source_change_is_not_a_candidate) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+    m.on_datagram(30, 1200, /*established=*/false);
+    EXPECT_EQ(find_entry(m, 30), nullptr);
+    EXPECT_EQ(m.stats().challenges_sent, 0u);
+}
+
+TEST(path_manager_test, amplification_budget_bounds_unvalidated_path) {
+    mock_env env;
+    manager m;
+    manager_config cfg = enabled_config();
+    cfg.amplification_factor = 3.0;
+    m.configure(cfg, 7);
+    m.start(env, 10);
+
+    // A 2-byte datagram earns a 6-byte budget: the 10-byte challenge
+    // frame does not fit, so the probe is withheld.
+    m.on_datagram(30, 2, true);
+    EXPECT_EQ(m.stats().amplification_limited, 1u);
+    EXPECT_EQ(m.stats().challenges_sent, 0u);
+    const manager::entry* e = find_entry(m, 30);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->bytes_sent, 0u);
+
+    // More inbound bytes grow the budget; the probe then goes out and
+    // total sent stays under factor x received.
+    m.on_datagram(30, 1200, true);
+    EXPECT_EQ(m.stats().challenges_sent, 1u);
+    EXPECT_LE(static_cast<double>(find_entry(m, 30)->bytes_sent),
+              cfg.amplification_factor * static_cast<double>(find_entry(m, 30)->bytes_received));
+}
+
+TEST(path_manager_test, locally_initiated_probe_exempt_from_budget) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+    m.add_path(20); // zero bytes received from 20, yet the probe goes out
+    EXPECT_EQ(m.stats().challenges_sent, 1u);
+    EXPECT_EQ(m.stats().amplification_limited, 0u);
+}
+
+TEST(path_manager_test, challenge_answered_within_budget) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+
+    m.on_challenge(path_challenge_segment{0xabcdef}, 10, true);
+    ASSERT_EQ(m.stats().responses_sent, 1u);
+    bool echoed = false;
+    for (const packet& pkt : env.sent) {
+        const auto* r = std::get_if<path_response_segment>(pkt.body.get());
+        if (r != nullptr && pkt.dst == 10 && r->token == 0xabcdef) echoed = true;
+    }
+    EXPECT_TRUE(echoed) << "response must echo the challenge token to the asker";
+}
+
+TEST(path_manager_test, migrate_switches_after_validation) {
+    mock_env env;
+    manager m;
+    m.configure(enabled_config(), 7);
+    m.start(env, 10);
+
+    m.migrate(40);
+    EXPECT_EQ(m.active_remote(), 10u) << "no switch before validation";
+    const std::uint64_t token = last_challenge_token(env, 40);
+    m.on_response(path_response_segment{token}, 40);
+    EXPECT_EQ(m.active_remote(), 40u);
+    EXPECT_EQ(m.stats().migrations, 1u);
+}
+
+TEST(path_manager_test, path_table_is_capped) {
+    mock_env env;
+    manager m;
+    manager_config cfg = enabled_config();
+    cfg.max_paths = 2; // initial peer + one candidate
+    m.configure(cfg, 7);
+    m.start(env, 10);
+    m.on_datagram(30, 1200, true);
+    m.on_datagram(31, 1200, true);
+    m.on_datagram(32, 1200, true);
+    EXPECT_EQ(m.table().size(), 2u);
+    EXPECT_EQ(m.stats().candidates_ignored, 2u);
+}
+
+} // namespace

@@ -72,6 +72,8 @@ TEST(wire_robustness_test, truncation_of_every_kind_throws) {
     ds.payload_len = 500;
     ds.reliability = 2; // partial
     segments.emplace_back(ds);
+    segments.emplace_back(path_challenge_segment{0x1122334455667788ULL});
+    segments.emplace_back(path_response_segment{0x8877665544332211ULL});
 
     for (const auto& seg : segments) {
         const auto bytes = encode_segment(seg);

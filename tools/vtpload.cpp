@@ -73,6 +73,7 @@ struct options {
     int metrics_interval_ms = 0; ///< 0 = no periodic sampling
     std::string metrics_series;  ///< time-series JSON path (default derived)
     std::uint16_t admin_port = 0; ///< 0 = admin plane off
+    int migrate_after_ms = 0; ///< >0: rebind every client host + migrate mid-load
 };
 
 /// One periodic engine snapshot taken every --metrics-interval ms while
@@ -155,6 +156,12 @@ bool parse(int argc, char** argv, options& o) {
             o.metrics_series = next();
         } else if (a == "--admin-port") {
             o.admin_port = static_cast<std::uint16_t>(std::atoi(next()));
+        } else if (a == "--migrate-after") {
+            o.migrate_after_ms = std::atoi(next());
+            if (o.migrate_after_ms <= 0) {
+                std::fprintf(stderr, "vtpload: --migrate-after wants a positive ms\n");
+                missing_value = true;
+            }
         } else {
             missing_value = true;
         }
@@ -168,7 +175,8 @@ bool parse(int argc, char** argv, options& o) {
                      "[--metrics-out PATH|-] [--trace-dir DIR] "
                      "[--attack syn-flood|reneg-storm] [--attack-pps N] "
                      "[--attack-sources N] [--metrics-interval MS] "
-                     "[--metrics-series PATH] [--admin-port P]\n");
+                     "[--metrics-series PATH] [--admin-port P] "
+                     "[--migrate-after MS]\n");
         return false;
     }
     return true;
@@ -247,6 +255,10 @@ int main(int argc, char** argv) {
     // Live operations plane: loopback HTTP scrape target while the load
     // runs (GET /metrics, /sessions, /healthz — see src/ops/admin.hpp).
     cfg.admin_port = opt.admin_port;
+    // Live migration smoke: both endpoints must speak path validation —
+    // the server validates the rebound clients, bumping
+    // vtp_path_migrations_total once per proven switch.
+    if (opt.migrate_after_ms > 0) cfg.accept.path.enabled = true;
     if (!opt.attack.empty()) {
         // Attack runs exercise the accept-path guard: stateless retry
         // cookies, half-open caps + deadline sweeper, and (for the reneg
@@ -307,6 +319,7 @@ int main(int argc, char** argv) {
         so.flow_id = static_cast<std::uint32_t>(i);
         so.packet_size = opt.packet_size;
         so.profile.congestion = opt.cc;
+        if (opt.migrate_after_ms > 0) so.path.enabled = true;
         vtp::session s = vtp::session::connect(host, opt.port, so);
         auto queue_stream = [&](std::uint32_t sid) {
             if (!opt.payload) {
@@ -394,8 +407,24 @@ int main(int argc, char** argv) {
             reg->get_histogram("vtp_event_ring_occupancy").max();
         series.push_back(ms);
     };
+    // Mid-load live migration: every client host drops its socket and
+    // rebinds to a fresh port (the NAT-rebind moment), then each session
+    // re-validates its path from the new address. Transfers must finish
+    // byte-exactly across the switch.
+    const util::sim_time migrate_at =
+        opt.migrate_after_ms > 0 ? t0 + milliseconds(opt.migrate_after_ms)
+                                 : deadline + util::seconds(1); // never fires
+    bool migrated = false;
     while (remaining > 0 && loop.now() < deadline) {
         loop.run(milliseconds(5));
+        if (!migrated && loop.now() >= migrate_at) {
+            migrated = true;
+            for (std::size_t h = 0; h < hosts.size(); ++h)
+                hosts[h]->rebind(static_cast<std::uint16_t>(
+                    opt.port + 1 + n_hosts + static_cast<int>(h)));
+            for (auto& s : sessions)
+                if (s.established() && !s.closed()) s.migrate();
+        }
         if (loop.now() >= next_sample) {
             take_sample();
             next_sample = loop.now() + milliseconds(opt.metrics_interval_ms);
@@ -435,10 +464,20 @@ int main(int argc, char** argv) {
     }
     const double bw_est_mean_bps = bw_est_n > 0 ? bw_est_sum / static_cast<double>(bw_est_n) : 0.0;
 
-    // Guard counters are mirrored from each shard's vtp::server at reap
-    // ticks; give the reaper an interval or two before snapshotting
-    // (elapsed_s is already fixed, so goodput is not diluted).
-    if (!opt.attack.empty()) loop.run(milliseconds(600));
+    // Client-side path accounting (non-zero only with --migrate-after).
+    std::uint64_t client_migrations = 0;
+    std::uint64_t client_validations = 0;
+    for (const auto& s : sessions) {
+        const session_stats ss = s.stats();
+        client_migrations += ss.path.migrations;
+        client_validations += ss.path.validations;
+    }
+
+    // Guard and path counters are mirrored from each shard's vtp::server
+    // at reap ticks; give the reaper an interval or two before
+    // snapshotting (elapsed_s is already fixed, so goodput is not
+    // diluted).
+    if (!opt.attack.empty() || migrated) loop.run(milliseconds(600));
 
     const engine::engine_stats st = srv.stats();
     const std::uint64_t total_bytes = delivered;
@@ -505,6 +544,17 @@ int main(int argc, char** argv) {
         std::printf("payload checksum     %llu bytes verified, %llu mismatched\n",
                     static_cast<unsigned long long>(payload_bytes - payload_mismatch),
                     static_cast<unsigned long long>(payload_mismatch));
+    if (opt.migrate_after_ms > 0)
+        std::printf("migration            rebind at %d ms — engine migrations %llu "
+                    "validations %llu (failures %llu, rejected %llu)  "
+                    "client migrations %llu validations %llu\n",
+                    opt.migrate_after_ms,
+                    static_cast<unsigned long long>(st.path_migrations),
+                    static_cast<unsigned long long>(st.path_validations),
+                    static_cast<unsigned long long>(st.path_validation_failures),
+                    static_cast<unsigned long long>(st.path_responses_rejected),
+                    static_cast<unsigned long long>(client_migrations),
+                    static_cast<unsigned long long>(client_validations));
 
     const bool all_done = completed == sessions.size();
     const bool pps_ok = opt.min_pps <= 0.0 || pps >= opt.min_pps;
@@ -521,12 +571,17 @@ int main(int argc, char** argv) {
     // reach full session state, so accepted == the legitimate client count.
     const bool contained =
         opt.attack.empty() || st.accepted == static_cast<std::uint64_t>(opt.clients);
-    const bool ok = all_done && pps_ok && clean && payload_ok && contained;
+    // A migration run that never migrated proves nothing: the engine must
+    // have validated and switched at least one rebound client.
+    const bool migrated_ok = opt.migrate_after_ms <= 0 || st.path_migrations > 0;
+    const bool ok =
+        all_done && pps_ok && clean && payload_ok && contained && migrated_ok;
     if (!ok)
-        std::printf("FAIL:%s%s%s%s%s\n", all_done ? "" : " sessions-incomplete",
+        std::printf("FAIL:%s%s%s%s%s%s\n", all_done ? "" : " sessions-incomplete",
                     pps_ok ? "" : " pps-below-floor", clean ? "" : " decode-errors",
                     payload_ok ? "" : " payload-mismatch-or-incomplete",
-                    contained ? "" : " attack-not-contained");
+                    contained ? "" : " attack-not-contained",
+                    migrated_ok ? "" : " migration-not-observed");
 
     // Engine metrics snapshot: the Prometheus dump and the digest the
     // JSON report embeds come from the same registry merge.
@@ -617,6 +672,12 @@ int main(int argc, char** argv) {
         rep.add("synflood_sheds", st.syn_sheds);
         rep.add("reneg_rate_limited", st.reneg_rate_limited);
         rep.add("half_open_sessions", st.half_open);
+        rep.add("migrate_after_ms", static_cast<std::uint64_t>(
+                                        std::max(0, opt.migrate_after_ms)));
+        rep.add("path_migrations", st.path_migrations);
+        rep.add("path_validations", st.path_validations);
+        rep.add("path_validation_failures", st.path_validation_failures);
+        rep.add("client_path_migrations", client_migrations);
         rep.add("payload_mode", opt.payload);
         rep.add("payload_bytes_verified", payload_bytes - payload_mismatch);
         rep.add("payload_mismatch_bytes", payload_mismatch);

@@ -119,6 +119,21 @@ void dump_flows(const vtp::testing::scenario_result& result) {
                         (unsigned long long)info.bytes_sent,
                         (unsigned long long)info.bytes_acked,
                         (unsigned long long)info.abandoned_bytes, info.open);
+        auto dump_paths = [](const char* side, const std::vector<vtp::path::path_info>& ps) {
+            for (const auto& p : ps)
+                std::printf("    %s path %u: %s%s sent=%llu/%llu pkts rcvd=%llu B "
+                            "acked=%llu lost=%llu srtt=%.1fms rate=%.0fb/s loss=%.4f\n",
+                            side, p.remote, vtp::path::to_string(p.state),
+                            p.active ? " (active)" : "", (unsigned long long)p.packets_sent,
+                            (unsigned long long)p.bytes_sent,
+                            (unsigned long long)p.bytes_received,
+                            (unsigned long long)p.packets_acked,
+                            (unsigned long long)p.packets_lost,
+                            vtp::util::to_seconds(p.srtt) * 1e3, p.delivery_rate_bps,
+                            p.loss_rate);
+        };
+        dump_paths("client", f.client_paths);
+        dump_paths("server", f.server_paths);
     }
 }
 

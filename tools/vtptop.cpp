@@ -242,8 +242,8 @@ int render(const options& opt, std::map<int, shard_prev>& prev,
     }
     emit("%s", "");
     emit("top %zu sessions (by bytes moved)", opt.top);
-    emit("%-10s %5s %-8s %6s %11s %11s %10s %9s", "flow", "shard", "role",
-         "strms", "bytes", "rate B/s", "rtt ms", "cc");
+    emit("%-10s %5s %-8s %6s %11s %11s %10s %9s %9s %5s", "flow", "shard",
+         "role", "strms", "bytes", "rate B/s", "rtt ms", "cc", "path", "migr");
 
     // Rank by total bytes moved; per-session byte rate from poll deltas.
     std::sort(session_rows.begin(), session_rows.end(),
@@ -267,11 +267,21 @@ int render(const options& opt, std::map<int, shard_prev>& prev,
         const auto pit = prev_sessions_bytes.find(flow);
         if (pit != prev_sessions_bytes.end() && dt > 0)
             rate = (bytes - pit->second) / dt;
-        emit("%-10s %5.0f %-8s %6.0f %11s %11s %10.2f %9s", flow.c_str(),
-             field_num(row, "shard"), field_str(row, "role").c_str(),
-             field_num(row, "streams"), human_rate(bytes).c_str(),
-             human_rate(rate).c_str(), field_num(row, "rtt_ms"),
-             field_str(row, "cc").c_str());
+        // Active path: the validated remote the session currently sends
+        // to (0 until the path subsystem is enabled), plus the number of
+        // validated switches it has survived.
+        char path_buf[16];
+        const double active_path = field_num(row, "active_path");
+        if (active_path > 0)
+            std::snprintf(path_buf, sizeof(path_buf), "%.0f", active_path);
+        else
+            std::snprintf(path_buf, sizeof(path_buf), "-");
+        emit("%-10s %5.0f %-8s %6.0f %11s %11s %10.2f %9s %9s %5.0f",
+             flow.c_str(), field_num(row, "shard"),
+             field_str(row, "role").c_str(), field_num(row, "streams"),
+             human_rate(bytes).c_str(), human_rate(rate).c_str(),
+             field_num(row, "rtt_ms"), field_str(row, "cc").c_str(), path_buf,
+             field_num(row, "path_migrations"));
     }
     prev_sessions_bytes = std::move(cur_bytes);
 
